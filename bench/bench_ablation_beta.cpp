@@ -1,0 +1,76 @@
+// Ablation (DESIGN.md §6 extension): the inlining filter threshold β of the
+// callee-count calibration (§III-C).
+//
+// The paper fixes β without a sweep; this bench quantifies the choice:
+// β = 0 counts every callee (inlined-away small callees on some ISAs then
+// break the count match), large β empties the callee sets (calibration
+// degenerates to ASTERIA-WOC). CSV: bench_out/ablation_beta.csv.
+#include <cstdio>
+
+#include "common.h"
+#include "decompiler/decompile.h"
+#include "util/table.h"
+
+namespace asteria {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  bench::DefineCommonFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  bench::ExperimentSetup setup = bench::BuildSetup(flags);
+  const int epochs = static_cast<int>(flags.GetInt("epochs"));
+  util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 17);
+
+  core::AsteriaConfig config;
+  config.siamese.encoder.embedding_dim =
+      static_cast<int>(flags.GetInt("embedding"));
+  config.siamese.encoder.hidden_dim = config.siamese.encoder.embedding_dim;
+  core::AsteriaModel model(config);
+  bench::TrainAsteria(&model, setup, epochs, &rng);
+
+  // Base (uncalibrated) scores once; calibration re-applied per β.
+  const auto raw =
+      bench::ScoreAsteria(model, setup.corpus, setup.test, /*calibrated=*/false);
+
+  std::printf("\n== Ablation: calibration filter threshold β ==\n\n");
+  util::TextTable table({"beta", "AUC", "mean |C| (x86)", "mean |C| (PPC)"});
+  for (int beta : {0, 1, 2, 4, 6, 8, 12, 1000000}) {
+    std::vector<eval::Scored> scored;
+    for (std::size_t i = 0; i < setup.test.size(); ++i) {
+      const auto& pair = setup.test[i];
+      const auto& fa = setup.corpus.functions[static_cast<std::size_t>(pair.a)];
+      const auto& fb = setup.corpus.functions[static_cast<std::size_t>(pair.b)];
+      const double calibrated = core::CalibratedSimilarity(
+          raw[i].first,
+          decompiler::CalleeCountAtBeta(fa.callee_sizes, beta),
+          decompiler::CalleeCountAtBeta(fb.callee_sizes, beta));
+      scored.push_back({calibrated, pair.homologous});
+    }
+    double mean_x86 = 0.0, mean_ppc = 0.0;
+    int n_x86 = 0, n_ppc = 0;
+    for (const auto& fn : setup.corpus.functions) {
+      const int count = decompiler::CalleeCountAtBeta(fn.callee_sizes, beta);
+      if (fn.isa == 0) {
+        mean_x86 += count;
+        ++n_x86;
+      }
+      if (fn.isa == 3) {
+        mean_ppc += count;
+        ++n_ppc;
+      }
+    }
+    const std::string label = beta >= 1000000 ? "inf (WOC)" : std::to_string(beta);
+    table.AddRow({label, util::FormatDouble(eval::Auc(scored)),
+                  util::FormatDouble(n_x86 ? mean_x86 / n_x86 : 0.0, 2),
+                  util::FormatDouble(n_ppc ? mean_ppc / n_ppc : 0.0, 2)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  table.WriteCsv(bench::OutDir() + "/ablation_beta.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace asteria
+
+int main(int argc, char** argv) { return asteria::Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Ablation (paper §VII future work): embedding constant/string payloads.
+//
+// The paper's digitalization drops constants and strings and §VII proposes
+// "another embedding system to embed constants and strings ... and combine
+// the embedding vectors with the AST encoding". This bench implements that
+// extension (TreeLstmConfig::embed_payloads) and measures its effect and
+// its cost. CSV: bench_out/ablation_payload.csv.
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace asteria {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  bench::DefineCommonFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  bench::ExperimentSetup setup = bench::BuildSetup(flags);
+  const int epochs = static_cast<int>(flags.GetInt("epochs"));
+
+  std::printf("\n== Ablation: payload (constant/string) embedding, §VII ==\n\n");
+  util::TextTable table({"variant", "AUC", "TPR@5%FPR", "weights",
+                         "train time"});
+  for (const bool payloads : {false, true}) {
+    core::AsteriaConfig config;
+    config.siamese.encoder.embedding_dim =
+        static_cast<int>(flags.GetInt("embedding"));
+    config.siamese.encoder.hidden_dim =
+        config.siamese.encoder.embedding_dim;
+    config.siamese.encoder.embed_payloads = payloads;
+    config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+    core::AsteriaModel model(config);
+    util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 77);
+    util::Timer timer;
+    bench::TrainAsteria(&model, setup, epochs, &rng);
+    const double train_time = timer.ElapsedSeconds();
+    const auto scored =
+        bench::ScoreAsteria(model, setup.corpus, setup.test, true);
+    const eval::RocResult roc = eval::ComputeRoc(scored);
+    table.AddRow({payloads ? "AST + payload embedding" : "AST only (paper)",
+                  util::FormatDouble(roc.auc),
+                  util::FormatDouble(eval::TprAtFpr(roc, 0.05)),
+                  std::to_string(model.TotalWeights()),
+                  util::FormatSeconds(train_time)});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\n(§VII predicts an accuracy/cost tradeoff from the extra "
+              "embedding system)\n");
+  table.WriteCsv(bench::OutDir() + "/ablation_payload.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace asteria
+
+int main(int argc, char** argv) { return asteria::Run(argc, argv); }

@@ -1,0 +1,59 @@
+// Figure 10(a): cumulative distribution of AST sizes in the OpenSSL-like
+// corpus. The paper reports <20: 48.6%, <40: 65.1%, <80: 85.4%, <200: 97.4%.
+// CSV: bench_out/fig10a_cdf.csv.
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+namespace asteria {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  bench::DefineCommonFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+
+  dataset::CorpusConfig config;
+  config.packages = static_cast<int>(flags.GetInt("packages"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) + 404;
+  dataset::Corpus corpus = dataset::BuildCorpus(config);
+
+  std::vector<int> sizes;
+  for (const dataset::CorpusFunction& fn : corpus.functions) {
+    sizes.push_back(fn.ast_size);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  if (sizes.empty()) return 1;
+
+  auto fraction_below = [&](int bound) {
+    const auto it = std::lower_bound(sizes.begin(), sizes.end(), bound);
+    return 100.0 * static_cast<double>(it - sizes.begin()) /
+           static_cast<double>(sizes.size());
+  };
+
+  std::printf("\n== Figure 10(a): AST size CDF (%zu ASTs) ==\n\n",
+              sizes.size());
+  util::TextTable table({"size <", "fraction (%)", "paper (%)"});
+  table.AddRow({"20", util::FormatDouble(fraction_below(20), 1), "48.6"});
+  table.AddRow({"40", util::FormatDouble(fraction_below(40), 1), "65.1"});
+  table.AddRow({"80", util::FormatDouble(fraction_below(80), 1), "85.4"});
+  table.AddRow({"200", util::FormatDouble(fraction_below(200), 1), "97.4"});
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("\nmin=%d median=%d max=%d\n", sizes.front(),
+              sizes[sizes.size() / 2], sizes.back());
+
+  util::TextTable cdf({"size", "cumulative_fraction"});
+  for (int bound = 0; bound <= std::min(sizes.back(), 400); bound += 5) {
+    cdf.AddRow({std::to_string(bound),
+                util::FormatDouble(fraction_below(bound) / 100.0, 5)});
+  }
+  cdf.WriteCsv(flags.GetString("out") + "/fig10a_cdf.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace asteria
+
+int main(int argc, char** argv) { return asteria::Run(argc, argv); }

@@ -1,0 +1,126 @@
+// Figure 10(c): online-phase similarity-calculation time per pair
+// (google-benchmark microbenchmarks).
+//
+//   ASTERIA : eq. (8) replay on two precomputed encodings (paper: 8e-9 s)
+//   Gemini  : cosine over two structure2vec embeddings    (paper: 6e-5 s)
+//   Diaphora: prime-product / multiset comparison         (paper: 4e-3 s)
+// The paper's shape: ASTERIA's online phase is orders of magnitude faster
+// than Diaphora and much faster than Gemini at their native embedding
+// sizes (Gemini embeddings are 4x wider; Diaphora compares bignums).
+#include <benchmark/benchmark.h>
+
+#include "baselines/diaphora.h"
+#include "baselines/gemini.h"
+#include "core/asteria.h"
+#include "util/rng.h"
+
+namespace asteria {
+namespace {
+
+ast::Ast SyntheticTree(int nodes, util::Rng& rng) {
+  ast::Ast tree;
+  std::vector<ast::NodeId> pool;
+  pool.push_back(tree.AddVar("x"));
+  while (tree.size() < nodes) {
+    const auto kind = static_cast<ast::NodeKind>(
+        rng.NextBounded(static_cast<std::uint64_t>(ast::kNumNodeKinds)));
+    const int arity = static_cast<int>(rng.NextBounded(3));
+    std::vector<ast::NodeId> children;
+    for (int i = 0; i < arity && !pool.empty(); ++i) {
+      children.push_back(pool.back());
+      pool.pop_back();
+    }
+    pool.push_back(tree.AddNode(kind, std::move(children)));
+  }
+  const ast::NodeId root = tree.AddNode(ast::NodeKind::kBlock, pool);
+  tree.set_root(root);
+  return tree;
+}
+
+const core::AsteriaModel& Model() {
+  static core::AsteriaModel* model = [] {
+    core::AsteriaConfig config;
+    return new core::AsteriaModel(config);
+  }();
+  return *model;
+}
+
+void BM_AsteriaOnline(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto t1 = core::AsteriaModel::Preprocess(SyntheticTree(80, rng));
+  const auto t2 = core::AsteriaModel::Preprocess(SyntheticTree(80, rng));
+  const nn::Matrix e1 = Model().Encode(t1);
+  const nn::Matrix e2 = Model().Encode(t2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Model().SimilarityFromEncodings(e1, e2));
+  }
+}
+BENCHMARK(BM_AsteriaOnline);
+
+void BM_AsteriaOnlineCalibrated(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto t1 = core::AsteriaModel::Preprocess(SyntheticTree(80, rng));
+  const auto t2 = core::AsteriaModel::Preprocess(SyntheticTree(80, rng));
+  const nn::Matrix e1 = Model().Encode(t1);
+  const nn::Matrix e2 = Model().Encode(t2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::CalibratedSimilarity(
+        Model().SimilarityFromEncodings(e1, e2), 3, 5));
+  }
+}
+BENCHMARK(BM_AsteriaOnlineCalibrated);
+
+void BM_GeminiOnline(benchmark::State& state) {
+  // Gemini's native 64-dim embeddings compared with cosine.
+  util::Rng rng(3);
+  nn::Matrix e1(64, 1), e2(64, 1);
+  for (int i = 0; i < 64; ++i) {
+    e1(i, 0) = rng.NextDouble(-1, 1);
+    e2(i, 0) = rng.NextDouble(-1, 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::GeminiModel::CosineSimilarity(e1, e2));
+  }
+}
+BENCHMARK(BM_GeminiOnline);
+
+void BM_DiaphoraOnline(benchmark::State& state) {
+  // What Diaphora actually does per pair: its database stores only the
+  // prime products, so comparison factorizes both bignums first.
+  util::Rng rng(4);
+  const auto s1 = baselines::DiaphoraHash(SyntheticTree(80, rng));
+  const auto s2 = baselines::DiaphoraHash(SyntheticTree(80, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baselines::DiaphoraProductSimilarity(s1.product, s2.product));
+  }
+}
+BENCHMARK(BM_DiaphoraOnline);
+
+void BM_DiaphoraOnlinePrefactored(benchmark::State& state) {
+  // Lower bound when histograms are cached instead of products.
+  util::Rng rng(4);
+  const auto s1 = baselines::DiaphoraHash(SyntheticTree(80, rng));
+  const auto s2 = baselines::DiaphoraHash(SyntheticTree(80, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baselines::DiaphoraSimilarity(s1, s2));
+  }
+}
+BENCHMARK(BM_DiaphoraOnlinePrefactored);
+
+// Offline encoding cost for context (one 80-node AST).
+void BM_AsteriaEncodeOffline(benchmark::State& state) {
+  util::Rng rng(5);
+  const auto tree = core::AsteriaModel::Preprocess(
+      SyntheticTree(static_cast<int>(state.range(0)), rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Model().Encode(tree));
+  }
+}
+BENCHMARK(BM_AsteriaEncodeOffline)->Arg(20)->Arg(80)->Arg(200);
+
+}  // namespace
+}  // namespace asteria
+
+BENCHMARK_MAIN();

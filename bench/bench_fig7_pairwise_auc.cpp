@@ -1,0 +1,70 @@
+// Figure 7: AUCs for ASTERIA, ASTERIA-WOC, Gemini and Diaphora in the six
+// pair-wise cross-architecture evaluations (ARM-PPC, ARM-x64, PPC-x64,
+// x86-ARM, x86-PPC, x86-x64).
+//
+// Models are trained once on the mixed split (as in the paper) and then
+// evaluated on per-combination test subsets. CSV: bench_out/fig7_auc.csv.
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+namespace asteria {
+namespace {
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  bench::DefineCommonFlags(&flags);
+  if (!flags.Parse(argc, argv)) return 1;
+  bench::ExperimentSetup setup = bench::BuildSetup(flags);
+  const int epochs = static_cast<int>(flags.GetInt("epochs"));
+  util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")));
+
+  core::AsteriaConfig asteria_config;
+  asteria_config.siamese.encoder.embedding_dim =
+      static_cast<int>(flags.GetInt("embedding"));
+  asteria_config.siamese.encoder.hidden_dim =
+      asteria_config.siamese.encoder.embedding_dim;
+  core::AsteriaModel asteria_model(asteria_config);
+  bench::TrainAsteria(&asteria_model, setup, epochs, &rng);
+
+  baselines::GeminiConfig gemini_config;
+  util::Rng gemini_rng(7);
+  baselines::GeminiModel gemini(gemini_config, gemini_rng);
+  bench::TrainGemini(&gemini, setup, epochs, &rng);
+
+  // The paper's combination order.
+  const std::pair<int, int> kCombos[] = {{2, 3}, {2, 1}, {3, 1},
+                                         {0, 2}, {0, 3}, {0, 1}};
+  std::printf("\n== Figure 7: pair-wise cross-architecture AUCs ==\n\n");
+  util::TextTable table(
+      {"combination", "ASTERIA", "ASTERIA-WOC", "Gemini", "Diaphora", "#pairs"});
+  for (const auto& [isa_a, isa_b] : kCombos) {
+    const auto pairs =
+        bench::FilterPairs(setup.corpus, setup.test, isa_a, isa_b);
+    if (pairs.empty()) continue;
+    const double asteria_auc =
+        eval::Auc(bench::ScoreAsteria(asteria_model, setup.corpus, pairs, true));
+    const double woc_auc =
+        eval::Auc(bench::ScoreAsteria(asteria_model, setup.corpus, pairs, false));
+    const double gemini_auc =
+        eval::Auc(bench::ScoreGemini(gemini, setup.corpus, pairs));
+    const double diaphora_auc =
+        eval::Auc(bench::ScoreDiaphora(setup.corpus, pairs));
+    const std::string name =
+        std::string(binary::IsaName(static_cast<binary::Isa>(isa_a))) + "-" +
+        std::string(binary::IsaName(static_cast<binary::Isa>(isa_b)));
+    table.AddRow({name, util::FormatDouble(asteria_auc),
+                  util::FormatDouble(woc_auc), util::FormatDouble(gemini_auc),
+                  util::FormatDouble(diaphora_auc),
+                  std::to_string(pairs.size())});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  table.WriteCsv(bench::OutDir() + "/fig7_auc.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace asteria
+
+int main(int argc, char** argv) { return asteria::Run(argc, argv); }

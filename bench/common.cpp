@@ -1,0 +1,200 @@
+#include "common.h"
+
+#include <unordered_map>
+
+#include "util/log.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace asteria::bench {
+
+void DefineCommonFlags(util::Flags* flags) {
+  flags->DefineInt("packages", 12, "number of generated packages (Buildroot-like corpus)");
+  flags->DefineInt("pairs_per_comb", 120, "max labeled pairs per ISA combination (0 = all)");
+  flags->DefineInt("epochs", 5, "training epochs (paper: 60; defaults sized for one CPU core)");
+  flags->DefineInt("seed", 1, "experiment seed");
+  flags->DefineInt("embedding", 16, "Tree-LSTM embedding/hidden size");
+  flags->DefineString("out", "bench_out", "CSV output directory");
+  flags->DefineBool("quiet", false, "suppress progress logging");
+}
+
+namespace {
+std::string g_out_dir = "bench_out";
+}  // namespace
+
+std::string OutDir() { return g_out_dir; }
+
+ExperimentSetup BuildSetup(const util::Flags& flags) {
+  if (flags.GetBool("quiet")) util::SetLogLevel(util::LogLevel::kWarn);
+  g_out_dir = flags.GetString("out");
+  dataset::CorpusConfig config;
+  config.packages = static_cast<int>(flags.GetInt("packages"));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) * 1000003 + 17;
+  util::Timer timer;
+  ExperimentSetup setup;
+  setup.corpus = dataset::BuildCorpus(config);
+  ASTERIA_LOG(Info) << "corpus: " << setup.corpus.functions.size()
+                    << " functions from " << config.packages
+                    << " packages x 4 ISAs in "
+                    << util::FormatSeconds(timer.ElapsedSeconds());
+  util::Rng rng(config.seed ^ 0xabcdef);
+  auto pairs = dataset::MakeMixedPairs(
+      setup.corpus, rng, static_cast<int>(flags.GetInt("pairs_per_comb")));
+  dataset::SplitPairs(std::move(pairs), rng, &setup.train, &setup.test);
+  ASTERIA_LOG(Info) << "pairs: " << setup.train.size() << " train / "
+                    << setup.test.size() << " test (mixed cross-arch)";
+  return setup;
+}
+
+std::vector<double> TrainAsteria(core::AsteriaModel* model,
+                                 const ExperimentSetup& setup, int epochs,
+                                 util::Rng* rng) {
+  // Adapt corpus entries to the model's feature type (no copies of trees:
+  // build a feature view once).
+  std::vector<core::FunctionFeature> features;
+  features.reserve(setup.corpus.functions.size());
+  for (const dataset::CorpusFunction& fn : setup.corpus.functions) {
+    core::FunctionFeature feature;
+    feature.name = fn.package + "::" + fn.function;
+    feature.tree = fn.preprocessed;
+    feature.callee_count = fn.callee_count;
+    features.push_back(std::move(feature));
+  }
+  std::vector<core::LabeledPair> pairs;
+  pairs.reserve(setup.train.size());
+  for (const dataset::CorpusPair& pair : setup.train) {
+    pairs.push_back({pair.a, pair.b, pair.homologous});
+  }
+  std::vector<double> losses;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    util::Timer timer;
+    const double loss = model->TrainEpoch(features, pairs, *rng);
+    losses.push_back(loss);
+    ASTERIA_LOG(Info) << "asteria epoch " << epoch << ": loss=" << loss
+                      << " (" << util::FormatSeconds(timer.ElapsedSeconds())
+                      << ")";
+  }
+  return losses;
+}
+
+std::vector<double> TrainGemini(baselines::GeminiModel* model,
+                                const ExperimentSetup& setup, int epochs,
+                                util::Rng* rng) {
+  std::vector<double> losses;
+  std::vector<dataset::CorpusPair> pairs = setup.train;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    util::Timer timer;
+    rng->Shuffle(pairs);
+    double total = 0.0;
+    for (const dataset::CorpusPair& pair : pairs) {
+      const auto& a = setup.corpus.functions[static_cast<std::size_t>(pair.a)];
+      const auto& b = setup.corpus.functions[static_cast<std::size_t>(pair.b)];
+      total += model->TrainPair(a.acfg, b.acfg, pair.homologous ? 1 : -1);
+    }
+    const double loss = pairs.empty() ? 0.0 : total / static_cast<double>(pairs.size());
+    losses.push_back(loss);
+    ASTERIA_LOG(Info) << "gemini epoch " << epoch << ": loss=" << loss << " ("
+                      << util::FormatSeconds(timer.ElapsedSeconds()) << ")";
+  }
+  return losses;
+}
+
+std::vector<eval::Scored> ScoreAsteria(
+    const core::AsteriaModel& model, const dataset::Corpus& corpus,
+    const std::vector<dataset::CorpusPair>& pairs, bool calibrated) {
+  // Offline phase: encode each referenced function once.
+  std::unordered_map<int, nn::Matrix> encodings;
+  for (const dataset::CorpusPair& pair : pairs) {
+    for (int idx : {pair.a, pair.b}) {
+      if (!encodings.count(idx)) {
+        encodings.emplace(
+            idx, model.Encode(
+                     corpus.functions[static_cast<std::size_t>(idx)].preprocessed));
+      }
+    }
+  }
+  std::vector<eval::Scored> scored;
+  scored.reserve(pairs.size());
+  for (const dataset::CorpusPair& pair : pairs) {
+    double score = model.SimilarityFromEncodings(encodings.at(pair.a),
+                                                 encodings.at(pair.b));
+    if (calibrated) {
+      score = core::CalibratedSimilarity(
+          score,
+          corpus.functions[static_cast<std::size_t>(pair.a)].callee_count,
+          corpus.functions[static_cast<std::size_t>(pair.b)].callee_count);
+    }
+    scored.push_back({score, pair.homologous});
+  }
+  return scored;
+}
+
+std::vector<eval::Scored> ScoreGemini(
+    const baselines::GeminiModel& model, const dataset::Corpus& corpus,
+    const std::vector<dataset::CorpusPair>& pairs) {
+  std::unordered_map<int, nn::Matrix> encodings;
+  for (const dataset::CorpusPair& pair : pairs) {
+    for (int idx : {pair.a, pair.b}) {
+      if (!encodings.count(idx)) {
+        encodings.emplace(
+            idx,
+            model.Encode(corpus.functions[static_cast<std::size_t>(idx)].acfg));
+      }
+    }
+  }
+  std::vector<eval::Scored> scored;
+  scored.reserve(pairs.size());
+  for (const dataset::CorpusPair& pair : pairs) {
+    scored.push_back({baselines::GeminiModel::CosineSimilarity(
+                          encodings.at(pair.a), encodings.at(pair.b)),
+                      pair.homologous});
+  }
+  return scored;
+}
+
+std::vector<eval::Scored> ScoreDiaphora(
+    const dataset::Corpus& corpus,
+    const std::vector<dataset::CorpusPair>& pairs) {
+  std::unordered_map<int, baselines::DiaphoraSignature> signatures;
+  auto signature_of = [&](int idx) -> const baselines::DiaphoraSignature& {
+    auto it = signatures.find(idx);
+    if (it == signatures.end()) {
+      const auto& fn = corpus.functions[static_cast<std::size_t>(idx)];
+      // Label histogram (index = label = kind + 1) -> kind histogram.
+      const std::vector<int> labels = fn.preprocessed.LabelHistogram();
+      std::vector<int> kinds(ast::kNumNodeKinds, 0);
+      for (int label = 1; label <= ast::kMaxNodeLabel; ++label) {
+        kinds[static_cast<std::size_t>(label - 1)] =
+            labels[static_cast<std::size_t>(label)];
+      }
+      it = signatures
+               .emplace(idx, baselines::DiaphoraHashFromHistogram(kinds))
+               .first;
+    }
+    return it->second;
+  };
+  std::vector<eval::Scored> scored;
+  scored.reserve(pairs.size());
+  for (const dataset::CorpusPair& pair : pairs) {
+    scored.push_back({baselines::DiaphoraSimilarity(signature_of(pair.a),
+                                                    signature_of(pair.b)),
+                      pair.homologous});
+  }
+  return scored;
+}
+
+std::vector<dataset::CorpusPair> FilterPairs(
+    const dataset::Corpus& corpus,
+    const std::vector<dataset::CorpusPair>& pairs, int isa_a, int isa_b) {
+  std::vector<dataset::CorpusPair> out;
+  for (const dataset::CorpusPair& pair : pairs) {
+    const int a = corpus.functions[static_cast<std::size_t>(pair.a)].isa;
+    const int b = corpus.functions[static_cast<std::size_t>(pair.b)].isa;
+    if ((a == isa_a && b == isa_b) || (a == isa_b && b == isa_a)) {
+      out.push_back(pair);
+    }
+  }
+  return out;
+}
+
+}  // namespace asteria::bench

@@ -1,0 +1,250 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace asteria::ast {
+
+NodeId Ast::AddNode(NodeKind kind, std::vector<NodeId> children) {
+  AstNode node;
+  node.kind = kind;
+  node.children = std::move(children);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Ast::AddNum(std::int64_t value) {
+  const NodeId id = AddNode(NodeKind::kNum);
+  nodes_.back().value = value;
+  return id;
+}
+
+NodeId Ast::AddVar(std::string name) {
+  const NodeId id = AddNode(NodeKind::kVar);
+  nodes_.back().text = std::move(name);
+  return id;
+}
+
+NodeId Ast::AddStr(std::string literal) {
+  const NodeId id = AddNode(NodeKind::kStr);
+  nodes_.back().text = std::move(literal);
+  return id;
+}
+
+NodeId Ast::AddCall(std::string callee, std::vector<NodeId> args) {
+  const NodeId id = AddNode(NodeKind::kCall, std::move(args));
+  nodes_.back().text = std::move(callee);
+  return id;
+}
+
+void Ast::AddChild(NodeId parent, NodeId child) {
+  nodes_[static_cast<std::size_t>(parent)].children.push_back(child);
+}
+
+int Ast::Depth() const {
+  if (root_ == kInvalidNode) return 0;
+  // Iterative post-order depth computation (trees can be deep).
+  std::vector<int> depth(nodes_.size(), 0);
+  struct Frame {
+    NodeId id;
+    std::size_t next_child;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  int result = 1;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const AstNode& n = node(top.id);
+    if (top.next_child < n.children.size()) {
+      stack.push_back({n.children[top.next_child++], 0});
+      continue;
+    }
+    int d = 1;
+    for (NodeId c : n.children) d = std::max(d, depth[static_cast<std::size_t>(c)] + 1);
+    depth[static_cast<std::size_t>(top.id)] = d;
+    result = std::max(result, d);
+    stack.pop_back();
+  }
+  return depth[static_cast<std::size_t>(root_)];
+}
+
+bool Ast::Validate(std::string* error) const {
+  auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  if (nodes_.empty()) return root_ == kInvalidNode || fail("root set on empty tree");
+  if (root_ < 0 || root_ >= size()) return fail("root out of range");
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<NodeId> stack{root_};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(id)]) return fail("node visited twice (not a tree)");
+    seen[static_cast<std::size_t>(id)] = 1;
+    ++visited;
+    for (NodeId c : node(id).children) {
+      if (c < 0 || c >= size()) return fail("child id out of range");
+      stack.push_back(c);
+    }
+  }
+  if (visited != nodes_.size()) return fail("unreachable nodes in arena");
+  return true;
+}
+
+std::vector<NodeId> Ast::PreOrder() const {
+  std::vector<NodeId> order;
+  if (root_ == kInvalidNode) return order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const auto& children = node(id).children;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<int> Ast::Digitalize() const {
+  std::vector<int> labels;
+  labels.reserve(nodes_.size());
+  for (NodeId id : PreOrder()) labels.push_back(NodeLabel(node(id).kind));
+  return labels;
+}
+
+std::vector<int> Ast::KindHistogram() const {
+  std::vector<int> histogram(kNumNodeKinds, 0);
+  for (NodeId id : PreOrder()) {
+    ++histogram[static_cast<std::size_t>(node(id).kind)];
+  }
+  return histogram;
+}
+
+namespace {
+
+void EscapeInto(const std::string& text, std::string& out) {
+  for (char ch : text) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+}
+
+void SExprNode(const Ast& tree, NodeId id, std::string& out) {
+  const AstNode& n = tree.node(id);
+  out += '(';
+  out += NodeKindName(n.kind);
+  if (n.kind == NodeKind::kNum) {
+    out += ' ';
+    out += std::to_string(n.value);
+  } else if (!n.text.empty()) {
+    out += " \"";
+    EscapeInto(n.text, out);
+    out += '"';
+  }
+  for (NodeId c : n.children) {
+    out += ' ';
+    SExprNode(tree, c, out);
+  }
+  out += ')';
+}
+
+}  // namespace
+
+std::string Ast::ToSExpr() const {
+  if (root_ == kInvalidNode) return "()";
+  std::string out;
+  SExprNode(*this, root_, out);
+  return out;
+}
+
+namespace {
+
+struct SExprParser {
+  const std::string& text;
+  std::size_t pos = 0;
+  Ast* out;
+
+  void SkipSpace() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool Expect(char ch) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != ch) return false;
+    ++pos;
+    return true;
+  }
+
+  bool ParseNode(NodeId* id) {
+    if (!Expect('(')) return false;
+    SkipSpace();
+    std::size_t start = pos;
+    while (pos < text.size() && (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '-')) {
+      ++pos;
+    }
+    const NodeKind kind = NodeKindFromName(text.substr(start, pos - start));
+    if (kind == NodeKind::kKindCount) return false;
+    *id = out->AddNode(kind);
+    SkipSpace();
+    if (pos < text.size() && (text[pos] == '-' || std::isdigit(static_cast<unsigned char>(text[pos])))) {
+      std::size_t digits = pos;
+      if (text[pos] == '-') ++pos;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+      out->node(*id).value = std::stoll(text.substr(digits, pos - digits));
+    } else if (pos < text.size() && text[pos] == '"') {
+      ++pos;
+      std::string value;
+      while (pos < text.size() && text[pos] != '"') {
+        if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+        value += text[pos++];
+      }
+      if (pos >= text.size()) return false;
+      ++pos;  // closing quote
+      out->node(*id).text = std::move(value);
+    }
+    SkipSpace();
+    while (pos < text.size() && text[pos] == '(') {
+      NodeId child = kInvalidNode;
+      if (!ParseNode(&child)) return false;
+      out->AddChild(*id, child);
+      SkipSpace();
+    }
+    return Expect(')');
+  }
+};
+
+}  // namespace
+
+bool Ast::FromSExpr(const std::string& text, Ast* out) {
+  *out = Ast();
+  SExprParser parser{text, 0, out};
+  parser.SkipSpace();
+  if (parser.pos < text.size() && text.compare(parser.pos, 2, "()") == 0) return true;
+  NodeId root = kInvalidNode;
+  if (!parser.ParseNode(&root)) return false;
+  parser.SkipSpace();
+  if (parser.pos != text.size()) return false;
+  out->set_root(root);
+  return true;
+}
+
+std::string Ast::ToDot(const std::string& title) const {
+  std::ostringstream out;
+  out << "digraph \"" << title << "\" {\n  node [shape=box];\n";
+  for (NodeId id = 0; id < size(); ++id) {
+    const AstNode& n = node(id);
+    out << "  n" << id << " [label=\"" << NodeKindName(n.kind);
+    if (n.kind == NodeKind::kNum) out << "\\n" << n.value;
+    if (!n.text.empty()) out << "\\n" << n.text;
+    out << "\"];\n";
+    for (NodeId c : n.children) out << "  n" << id << " -> n" << c << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace asteria::ast

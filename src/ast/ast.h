@@ -1,0 +1,87 @@
+// Decompiled-function AST: the feature the paper encodes (§II-A, §III-A).
+//
+// Nodes live in a flat arena (indices instead of pointers) so trees are cheap
+// to copy, serialize, and traverse. Node payloads (constant values, names,
+// strings) are retained for printing and debugging, but digitalization drops
+// them, exactly as the paper does ("we remove the constant values and
+// strings", §VII).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/node_kind.h"
+
+namespace asteria::ast {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// One node of an n-ary AST.
+struct AstNode {
+  NodeKind kind = NodeKind::kOther;
+  std::vector<NodeId> children;
+  // Optional payloads; meaning depends on kind (kNum: value; kVar/kCall:
+  // name; kStr: literal). Dropped by digitalization.
+  std::int64_t value = 0;
+  std::string text;
+};
+
+// An abstract syntax tree of one decompiled function.
+class Ast {
+ public:
+  // Creates a node and returns its id. Children may be added later via
+  // AddChild or passed here.
+  NodeId AddNode(NodeKind kind, std::vector<NodeId> children = {});
+
+  // Convenience creators for leaf payload nodes.
+  NodeId AddNum(std::int64_t value);
+  NodeId AddVar(std::string name);
+  NodeId AddStr(std::string literal);
+  NodeId AddCall(std::string callee, std::vector<NodeId> args = {});
+
+  void AddChild(NodeId parent, NodeId child);
+
+  void set_root(NodeId root) { root_ = root; }
+  NodeId root() const { return root_; }
+
+  const AstNode& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  AstNode& node(NodeId id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  // Number of nodes in the arena ("AST size" in Fig. 10(a)).
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+
+  // Height of the tree rooted at root() (single node -> 1; empty -> 0).
+  int Depth() const;
+
+  // Checks structural sanity: root set, child ids in range, every node
+  // reachable from the root exactly once (i.e. a tree, not a DAG).
+  bool Validate(std::string* error = nullptr) const;
+
+  // Digitalization (§III-A): pre-order sequence of Table-I labels.
+  std::vector<int> Digitalize() const;
+
+  // Per-kind node histogram (used by Diaphora's prime product).
+  std::vector<int> KindHistogram() const;
+
+  // Pre-order node ids starting at the root.
+  std::vector<NodeId> PreOrder() const;
+
+  // Compact single-line text form, e.g. "(block (asg (var x) (num)))".
+  // Stable across runs; used for serialization and golden tests.
+  std::string ToSExpr() const;
+
+  // Parses the ToSExpr() format. Returns false on malformed input.
+  static bool FromSExpr(const std::string& text, Ast* out);
+
+  // Graphviz dot rendering for debugging.
+  std::string ToDot(const std::string& title = "ast") const;
+
+ private:
+  std::vector<AstNode> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+}  // namespace asteria::ast

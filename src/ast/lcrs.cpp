@@ -1,0 +1,101 @@
+#include "ast/lcrs.h"
+
+#include <algorithm>
+
+namespace asteria::ast {
+
+int NumberPayloadBucket(std::int64_t value) {
+  // 1 = zero; then signed log2-magnitude buckets (1..16 positive,
+  // 17..32 negative), capped.
+  if (value == 0) return 1;
+  const bool negative = value < 0;
+  std::uint64_t magnitude =
+      negative ? ~static_cast<std::uint64_t>(value) + 1
+               : static_cast<std::uint64_t>(value);
+  int log2 = 0;
+  while (magnitude >>= 1) ++log2;
+  const int bucket = std::min(log2, 15);
+  return 2 + bucket + (negative ? 16 : 0);  // 2..33
+}
+
+int StringPayloadBucket(const std::string& text) {
+  std::uint32_t hash = 2166136261u;
+  for (char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 16777619u;
+  }
+  return 34 + static_cast<int>(hash % 30u);  // 34..63
+}
+
+BinaryAst ToLeftChildRightSibling(const Ast& tree) {
+  if (tree.root() == kInvalidNode) return BinaryAst();
+  std::vector<BinaryNode> nodes(static_cast<std::size_t>(tree.size()));
+  // The binarized tree reuses the source node ids: only the edge structure
+  // changes, so we can fill left/right directly.
+  for (NodeId id : tree.PreOrder()) {
+    const AstNode& n = tree.node(id);
+    nodes[static_cast<std::size_t>(id)].label = NodeLabel(n.kind);
+    if (n.kind == NodeKind::kNum) {
+      nodes[static_cast<std::size_t>(id)].payload_bucket =
+          NumberPayloadBucket(n.value);
+    } else if (n.kind == NodeKind::kStr) {
+      nodes[static_cast<std::size_t>(id)].payload_bucket =
+          StringPayloadBucket(n.text);
+    }
+    if (!n.children.empty()) {
+      nodes[static_cast<std::size_t>(id)].left = n.children.front();
+    }
+    for (std::size_t i = 0; i + 1 < n.children.size(); ++i) {
+      nodes[static_cast<std::size_t>(n.children[i])].right = n.children[i + 1];
+    }
+  }
+  return BinaryAst(std::move(nodes), tree.root());
+}
+
+std::vector<NodeId> BinaryAst::PostOrder() const {
+  std::vector<NodeId> order;
+  if (root_ == kInvalidNode) return order;
+  order.reserve(nodes_.size());
+  // Two-stack post-order: push reversed pre-order (node, right, left),
+  // then reverse.
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    order.push_back(id);
+    const BinaryNode& n = node(id);
+    if (n.left != kInvalidNode) stack.push_back(n.left);
+    if (n.right != kInvalidNode) stack.push_back(n.right);
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+int BinaryAst::Depth() const {
+  if (root_ == kInvalidNode) return 0;
+  std::vector<int> depth(nodes_.size(), 1);
+  int result = 1;
+  for (NodeId id : PostOrder()) {
+    const BinaryNode& n = node(id);
+    int d = 1;
+    if (n.left != kInvalidNode) {
+      d = std::max(d, depth[static_cast<std::size_t>(n.left)] + 1);
+    }
+    if (n.right != kInvalidNode) {
+      d = std::max(d, depth[static_cast<std::size_t>(n.right)] + 1);
+    }
+    depth[static_cast<std::size_t>(id)] = d;
+    result = std::max(result, d);
+  }
+  return result;
+}
+
+std::vector<int> BinaryAst::LabelHistogram() const {
+  std::vector<int> histogram(kMaxNodeLabel + 1, 0);
+  for (NodeId id : PostOrder()) {
+    ++histogram[static_cast<std::size_t>(node(id).label)];
+  }
+  return histogram;
+}
+
+}  // namespace asteria::ast

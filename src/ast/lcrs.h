@@ -1,0 +1,70 @@
+// Left-child right-sibling binarization (§III-A).
+//
+// The Binary Tree-LSTM consumes binary trees, so after digitalization every
+// n-ary AST is transformed: a node's first child becomes its left child and
+// its next sibling becomes its right child. This preserves node count and
+// child order (the property the paper relies on when preferring the Binary
+// Tree-LSTM over Child-Sum).
+#pragma once
+
+#include <vector>
+
+#include "ast/ast.h"
+
+namespace asteria::ast {
+
+// One node of a binarized AST. label is the Table-I integer fed to the
+// embedding layer. payload_bucket optionally summarizes the constant/string
+// payload the paper's digitalization drops (§VII suggests embedding them;
+// core::TreeLstmConfig::embed_payloads uses this): 0 = no payload,
+// 1..33 = signed log2 magnitude buckets for numbers, 34..63 = string-hash
+// buckets. Buckets depend only on the payload, so they are identical for
+// homologous constants across ISAs.
+struct BinaryNode {
+  int label = 0;
+  int payload_bucket = 0;
+  NodeId left = kInvalidNode;
+  NodeId right = kInvalidNode;
+};
+
+// Payload-bucket vocabulary size (see BinaryNode).
+inline constexpr int kPayloadVocab = 64;
+
+// Bucket helpers (exposed for tests).
+int NumberPayloadBucket(std::int64_t value);
+int StringPayloadBucket(const std::string& text);
+
+// A binary tree produced by the LCRS transform, stored as a flat arena.
+class BinaryAst {
+ public:
+  BinaryAst() = default;
+  BinaryAst(std::vector<BinaryNode> nodes, NodeId root)
+      : nodes_(std::move(nodes)), root_(root) {}
+
+  NodeId root() const { return root_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  const BinaryNode& node(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+
+  // Post-order node ids: children strictly before parents. This is the
+  // bottom-up evaluation order of the Tree-LSTM (§III-B), computed
+  // iteratively so deep LCRS chains cannot overflow the stack.
+  std::vector<NodeId> PostOrder() const;
+
+  // Height of the binary tree (single node -> 1).
+  int Depth() const;
+
+  // Multiset of labels; the LCRS transform must preserve this.
+  std::vector<int> LabelHistogram() const;
+
+ private:
+  std::vector<BinaryNode> nodes_;
+  NodeId root_ = kInvalidNode;
+};
+
+// Transforms an n-ary AST into left-child right-sibling form.
+BinaryAst ToLeftChildRightSibling(const Ast& tree);
+
+}  // namespace asteria::ast

@@ -1,0 +1,33 @@
+#include "ast/node_kind.h"
+
+#include <array>
+
+namespace asteria::ast {
+
+namespace {
+constexpr std::array<std::string_view, kNumNodeKinds> kNames = {
+    "if",       "block",    "for",      "while",   "switch",  "return",
+    "goto",     "continue", "break",    "asg",     "asg-or",  "asg-xor",
+    "asg-and",  "asg-add",  "asg-sub",  "asg-mul", "asg-div", "eq",
+    "ne",       "gt",       "lt",       "ge",      "le",      "or",
+    "xor",      "add",      "sub",      "mul",     "div",     "not",
+    "post-inc", "post-dec", "pre-inc",  "pre-dec", "index",   "var",
+    "num",      "call",     "str",      "asm",     "band",    "neg",
+    "shl",      "shr",      "mod",      "ternary", "deref",   "other",
+};
+}  // namespace
+
+std::string_view NodeKindName(NodeKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  if (i >= kNames.size()) return "?";
+  return kNames[i];
+}
+
+NodeKind NodeKindFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (kNames[i] == name) return static_cast<NodeKind>(i);
+  }
+  return NodeKind::kKindCount;
+}
+
+}  // namespace asteria::ast

@@ -1,0 +1,108 @@
+// Table I of the paper: the node vocabulary of decompiled ASTs.
+//
+// Every AST node carries a NodeKind; digitalization (§III-A) maps each kind
+// to the integer label listed in Table I. Statement kinds control execution
+// flow, expression kinds perform computation. The paper reserves labels
+// 1..43; bitwise-and is not listed in the paper's "ariths" row, so it is
+// mapped into the trailing "other" range (documented deviation, DESIGN.md §7).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace asteria::ast {
+
+enum class NodeKind : std::uint8_t {
+  // --- statements -----------------------------------------------------
+  kIf = 0,        // if statement (cond, then[, else])
+  kBlock,         // instructions executed sequentially
+  kFor,           // for loop (init, cond, step, body)
+  kWhile,         // while loop (cond, body)
+  kSwitch,        // switch statement (value, cases...)
+  kReturn,        // return statement ([value])
+  kGoto,          // unconditional jump
+  kContinue,      // continue statement in a loop
+  kBreak,         // break statement in a loop
+  // --- expressions: assignments (labels 10..17) -------------------------
+  kAsg,           // =
+  kAsgOr,         // |=
+  kAsgXor,        // ^=
+  kAsgAnd,        // &=
+  kAsgAdd,        // +=
+  kAsgSub,        // -=
+  kAsgMul,        // *=
+  kAsgDiv,        // /=
+  // --- expressions: comparisons (labels 18..23) -------------------------
+  kEq,            // ==
+  kNe,            // !=
+  kGt,            // >
+  kLt,            // <
+  kGe,            // >=
+  kLe,            // <=
+  // --- expressions: arithmetic (labels 24..34) ---------------------------
+  kOr,            // |
+  kXor,           // ^
+  kAdd,           // +
+  kSub,           // -
+  kMul,           // *
+  kDiv,           // /
+  kNot,           // ! / ~
+  kPostInc,       // x++
+  kPostDec,       // x--
+  kPreInc,        // ++x
+  kPreDec,        // --x
+  // --- expressions: other (labels 35..43) --------------------------------
+  kIndex,         // a[i]
+  kVar,           // variable reference
+  kNum,           // numeric constant
+  kCall,          // function call
+  kStr,           // string constant
+  kAsm,           // inline assembly / unliftable region
+  kBand,          // & (bitwise and; see header comment)
+  kNeg,           // unary minus
+  // Extensions beyond the paper's enumeration (Table I: "can be extended if
+  // new statements or expressions are introduced"); these correspond to
+  // Hex-Rays ctype items the paper's prototype would have met (cot_shl,
+  // cot_sshr, cot_smod, cot_tern, cot_ptr).
+  kShl,           // <<
+  kShr,           // >>
+  kMod,           // %
+  kTernary,       // cond ? a : b (from if-converted csel)
+  kDeref,         // *p (non-array memory access)
+  kOther,         // anything else (casts, address-of, ...)
+  kKindCount,
+};
+
+inline constexpr int kNumNodeKinds = static_cast<int>(NodeKind::kKindCount);
+
+// Table I label (1..43) for a node kind. This is the integer fed to the
+// embedding layer after digitalization.
+constexpr int NodeLabel(NodeKind kind) {
+  return static_cast<int>(kind) + 1;
+}
+
+// Largest label value; the embedding vocabulary is [0, kMaxNodeLabel].
+inline constexpr int kMaxNodeLabel = kNumNodeKinds;
+
+// True for the statement rows of Table I.
+constexpr bool IsStatement(NodeKind kind) {
+  return static_cast<int>(kind) <= static_cast<int>(NodeKind::kBreak);
+}
+
+// True for assignment kinds (labels 10..17).
+constexpr bool IsAssignment(NodeKind kind) {
+  return kind >= NodeKind::kAsg && kind <= NodeKind::kAsgDiv;
+}
+
+// True for comparison kinds (labels 18..23).
+constexpr bool IsComparison(NodeKind kind) {
+  return kind >= NodeKind::kEq && kind <= NodeKind::kLe;
+}
+
+// Human-readable name, e.g. "if", "asg-add", "var".
+std::string_view NodeKindName(NodeKind kind);
+
+// Inverse of NodeKindName; returns kKindCount when unknown.
+NodeKind NodeKindFromName(std::string_view name);
+
+}  // namespace asteria::ast

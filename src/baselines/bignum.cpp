@@ -1,0 +1,130 @@
+#include "baselines/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace asteria::baselines {
+
+BigUint::BigUint(std::uint64_t value) {
+  limbs_.push_back(static_cast<std::uint32_t>(value));
+  limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+  Trim();
+}
+
+void BigUint::Trim() {
+  while (limbs_.size() > 1 && limbs_.back() == 0) limbs_.pop_back();
+}
+
+void BigUint::MulSmall(std::uint64_t factor) {
+  // Split the factor into two 32-bit halves and accumulate.
+  const std::uint32_t lo = static_cast<std::uint32_t>(factor);
+  const std::uint32_t hi = static_cast<std::uint32_t>(factor >> 32);
+  std::vector<std::uint32_t> result(limbs_.size() + 2, 0);
+  auto accumulate = [&](std::uint32_t half, std::size_t shift) {
+    if (half == 0) return;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(limbs_[i]) * half +
+          result[i + shift] + carry;
+      result[i + shift] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t i = limbs_.size() + shift;
+    while (carry != 0) {
+      const std::uint64_t cur = result[i] + carry;
+      result[i] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++i;
+    }
+  };
+  accumulate(lo, 0);
+  accumulate(hi, 1);
+  limbs_ = std::move(result);
+  Trim();
+}
+
+std::uint32_t BigUint::DivModSmall(std::uint32_t divisor) {
+  std::uint64_t remainder = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    const std::uint64_t cur = (remainder << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    remainder = cur % divisor;
+  }
+  Trim();
+  return static_cast<std::uint32_t>(remainder);
+}
+
+bool BigUint::operator<(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size();
+  }
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i];
+  }
+  return false;
+}
+
+std::size_t BigUint::BitLength() const {
+  if (IsZero()) return 0;
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+std::string BigUint::ToString() const {
+  // Repeated division by 1e9.
+  std::vector<std::uint32_t> work = limbs_;
+  std::string out;
+  auto all_zero = [&] {
+    return std::all_of(work.begin(), work.end(),
+                       [](std::uint32_t limb) { return limb == 0; });
+  };
+  if (all_zero()) return "0";
+  while (!all_zero()) {
+    std::uint64_t remainder = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1'000'000'000ULL);
+      remainder = cur % 1'000'000'000ULL;
+    }
+    std::string chunk = std::to_string(remainder);
+    if (!all_zero()) chunk = std::string(9 - chunk.size(), '0') + chunk;
+    out = chunk + out;
+  }
+  return out;
+}
+
+std::uint64_t BigUint::Hash() const {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::uint32_t limb : limbs_) {
+    hash ^= limb;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::vector<std::uint32_t> FirstPrimes(int count) {
+  if (count > 10'000) throw std::invalid_argument("too many primes requested");
+  std::vector<std::uint32_t> primes;
+  primes.reserve(static_cast<std::size_t>(count));
+  for (std::uint32_t candidate = 2; static_cast<int>(primes.size()) < count;
+       ++candidate) {
+    bool prime = true;
+    for (std::uint32_t p : primes) {
+      if (p * p > candidate) break;
+      if (candidate % p == 0) {
+        prime = false;
+        break;
+      }
+    }
+    if (prime) primes.push_back(candidate);
+  }
+  return primes;
+}
+
+}  // namespace asteria::baselines

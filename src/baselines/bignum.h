@@ -1,0 +1,46 @@
+// Arbitrary-precision unsigned integers, sized for Diaphora's AST prime
+// products (one prime factor per AST node; products of thousands of small
+// primes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asteria::baselines {
+
+class BigUint {
+ public:
+  BigUint() : limbs_{0} {}
+  explicit BigUint(std::uint64_t value);
+
+  // this *= factor (factor may be any uint64).
+  void MulSmall(std::uint64_t factor);
+
+  // Divides by a small divisor; returns the remainder and replaces *this
+  // with the quotient. divisor must be nonzero.
+  std::uint32_t DivModSmall(std::uint32_t divisor);
+
+  bool operator==(const BigUint& other) const { return limbs_ == other.limbs_; }
+  bool operator!=(const BigUint& other) const { return !(*this == other); }
+  bool operator<(const BigUint& other) const;
+
+  bool IsZero() const { return limbs_.size() == 1 && limbs_[0] == 0; }
+  std::size_t BitLength() const;
+
+  // Decimal rendering (tests / diagnostics).
+  std::string ToString() const;
+
+  // FNV-style hash of the limbs (bucketing in clone search).
+  std::uint64_t Hash() const;
+
+ private:
+  void Trim();
+  // Little-endian 32-bit limbs.
+  std::vector<std::uint32_t> limbs_;
+};
+
+// First `count` primes (sieve; count <= 10'000).
+std::vector<std::uint32_t> FirstPrimes(int count);
+
+}  // namespace asteria::baselines

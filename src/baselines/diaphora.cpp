@@ -1,0 +1,67 @@
+#include "baselines/diaphora.h"
+
+#include <algorithm>
+
+namespace asteria::baselines {
+
+DiaphoraSignature DiaphoraHashFromHistogram(std::vector<int> kind_histogram) {
+  static const std::vector<std::uint32_t> kPrimes =
+      FirstPrimes(ast::kNumNodeKinds);
+  DiaphoraSignature sig;
+  sig.histogram = std::move(kind_histogram);
+  sig.histogram.resize(static_cast<std::size_t>(ast::kNumNodeKinds), 0);
+  sig.product = BigUint(1);
+  for (int kind = 0; kind < ast::kNumNodeKinds; ++kind) {
+    const int count = sig.histogram[static_cast<std::size_t>(kind)];
+    sig.total_nodes += count;
+    for (int i = 0; i < count; ++i) {
+      sig.product.MulSmall(kPrimes[static_cast<std::size_t>(kind)]);
+    }
+  }
+  return sig;
+}
+
+DiaphoraSignature DiaphoraHash(const ast::Ast& tree) {
+  return DiaphoraHashFromHistogram(tree.KindHistogram());
+}
+
+double DiaphoraProductSimilarity(const BigUint& a, const BigUint& b) {
+  static const std::vector<std::uint32_t> kPrimes =
+      FirstPrimes(ast::kNumNodeKinds);
+  auto factorize = [](BigUint product) {
+    DiaphoraSignature sig;
+    sig.histogram.assign(static_cast<std::size_t>(ast::kNumNodeKinds), 0);
+    for (std::size_t k = 0; k < kPrimes.size(); ++k) {
+      for (;;) {
+        BigUint quotient = product;
+        if (quotient.DivModSmall(kPrimes[k]) != 0) break;
+        product = std::move(quotient);
+        ++sig.histogram[k];
+        ++sig.total_nodes;
+      }
+    }
+    return sig;
+  };
+  if (a == b) return 1.0;
+  const DiaphoraSignature sa = factorize(a);
+  const DiaphoraSignature sb = factorize(b);
+  if (sa.total_nodes == 0 || sb.total_nodes == 0) return 0.0;
+  int shared = 0;
+  for (std::size_t k = 0; k < sa.histogram.size(); ++k) {
+    shared += std::min(sa.histogram[k], sb.histogram[k]);
+  }
+  return 2.0 * shared / static_cast<double>(sa.total_nodes + sb.total_nodes);
+}
+
+double DiaphoraSimilarity(const DiaphoraSignature& a,
+                          const DiaphoraSignature& b) {
+  if (a.product == b.product) return 1.0;
+  if (a.total_nodes == 0 || b.total_nodes == 0) return 0.0;
+  int shared = 0;
+  for (std::size_t k = 0; k < a.histogram.size(); ++k) {
+    shared += std::min(a.histogram[k], b.histogram[k]);
+  }
+  return 2.0 * shared / static_cast<double>(a.total_nodes + b.total_nodes);
+}
+
+}  // namespace asteria::baselines

@@ -1,0 +1,40 @@
+// Diaphora baseline: AST prime-product hashing (paper §IV-C).
+//
+// Diaphora maps every AST node type to a prime and multiplies them; two
+// functions match when the products are equal (node-type multiset
+// equality). For a graded score we use the Dice coefficient over the prime
+// multisets — the "fuzzy AST hash" ratio reconstructed from Diaphora's
+// published approach (documented deviation, DESIGN.md §7).
+#pragma once
+
+#include "ast/ast.h"
+#include "baselines/bignum.h"
+
+namespace asteria::baselines {
+
+struct DiaphoraSignature {
+  BigUint product;             // product of per-node primes
+  std::vector<int> histogram;  // node-kind counts (the prime multiset)
+  int total_nodes = 0;
+};
+
+// Computes the signature of a decompiled AST ("offline" phase, the D-H
+// series of Fig. 10(b)).
+DiaphoraSignature DiaphoraHash(const ast::Ast& tree);
+
+// Same, from a node-kind histogram (index = NodeKind); lets callers hash
+// preprocessed BinaryAsts via BinaryAst::LabelHistogram (label = kind + 1).
+DiaphoraSignature DiaphoraHashFromHistogram(std::vector<int> kind_histogram);
+
+// Graded similarity in [0, 1]; 1.0 iff the prime products match exactly.
+double DiaphoraSimilarity(const DiaphoraSignature& a,
+                          const DiaphoraSignature& b);
+
+// The comparison Diaphora actually performs online: only the prime
+// *products* are stored (its AST hash), so similarity requires factorizing
+// both bignums by trial division over the prime table before comparing the
+// multisets — the expensive step behind the paper's 4e-3 s/pair figure
+// (Fig. 10(c)). Returns the same value as DiaphoraSimilarity.
+double DiaphoraProductSimilarity(const BigUint& a, const BigUint& b);
+
+}  // namespace asteria::baselines

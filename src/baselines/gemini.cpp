@@ -1,0 +1,102 @@
+#include "baselines/gemini.h"
+
+#include <cmath>
+
+namespace asteria::baselines {
+
+using nn::Matrix;
+using nn::Tape;
+using nn::Var;
+
+GeminiModel::GeminiModel(const GeminiConfig& config, util::Rng& rng)
+    : config_(config), optimizer_(config.learning_rate) {
+  const int p = config_.embedding_dim;
+  w1_ = store_.CreateXavier("gemini.W1", p, cfg::kAcfgFeatureDim, rng);
+  p1_ = store_.CreateXavier("gemini.P1", p, p, rng);
+  p2_ = store_.CreateXavier("gemini.P2", p, p, rng);
+  w2_ = store_.CreateXavier("gemini.W2", p, p, rng);
+}
+
+Var GeminiModel::EmbedGraph(Tape* tape, const cfg::Acfg& graph) const {
+  const int p = config_.embedding_dim;
+  const int n = graph.size();
+  const Var w1 = tape->Param(w1_);
+  const Var p1 = tape->Param(p1_);
+  const Var p2 = tape->Param(p2_);
+  const Var w2 = tape->Param(w2_);
+
+  // Symmetrized neighbor lists (message passing is undirected).
+  std::vector<std::vector<int>> neighbors(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (int u : graph.adjacency[static_cast<std::size_t>(v)]) {
+      neighbors[static_cast<std::size_t>(v)].push_back(u);
+      neighbors[static_cast<std::size_t>(u)].push_back(v);
+    }
+  }
+
+  // Precompute W1 x_v (constant across iterations).
+  std::vector<Var> wx(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    Matrix x(cfg::kAcfgFeatureDim, 1);
+    for (int f = 0; f < cfg::kAcfgFeatureDim; ++f) {
+      x(f, 0) = graph.nodes[static_cast<std::size_t>(v)].features[static_cast<std::size_t>(f)];
+    }
+    wx[static_cast<std::size_t>(v)] = tape->MatMul(w1, tape->Leaf(std::move(x)));
+  }
+
+  std::vector<Var> mu(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) mu[static_cast<std::size_t>(v)] = tape->Leaf(Matrix(p, 1));
+  for (int t = 0; t < config_.iterations; ++t) {
+    std::vector<Var> next(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      Var agg = tape->Leaf(Matrix(p, 1));
+      bool any = false;
+      for (int u : neighbors[static_cast<std::size_t>(v)]) {
+        agg = any ? tape->Add(agg, mu[static_cast<std::size_t>(u)])
+                  : mu[static_cast<std::size_t>(u)];
+        any = true;
+      }
+      // sigma(agg) = P1 relu(P2 agg)
+      const Var sigma = tape->MatMul(p1, tape->Relu(tape->MatMul(p2, agg)));
+      next[static_cast<std::size_t>(v)] =
+          tape->Tanh(tape->Add(wx[static_cast<std::size_t>(v)], sigma));
+    }
+    mu = std::move(next);
+  }
+  Var sum = mu[0];
+  for (int v = 1; v < n; ++v) sum = tape->Add(sum, mu[static_cast<std::size_t>(v)]);
+  return tape->MatMul(w2, sum);
+}
+
+Matrix GeminiModel::Encode(const cfg::Acfg& graph) const {
+  if (graph.size() == 0) return Matrix(config_.embedding_dim, 1);
+  Tape tape;
+  const Var embedding = EmbedGraph(&tape, graph);
+  return tape.value(embedding);
+}
+
+double GeminiModel::CosineSimilarity(const Matrix& a, const Matrix& b) {
+  const double denom = a.Norm() * b.Norm();
+  if (denom < 1e-12) return 0.0;
+  return Dot(a, b) / denom;
+}
+
+double GeminiModel::Similarity(const cfg::Acfg& a, const cfg::Acfg& b) const {
+  return CosineSimilarity(Encode(a), Encode(b));
+}
+
+double GeminiModel::TrainPair(const cfg::Acfg& a, const cfg::Acfg& b,
+                              int label) {
+  if (a.size() == 0 || b.size() == 0) return 0.0;
+  Tape tape;
+  const Var ea = EmbedGraph(&tape, a);
+  const Var eb = EmbedGraph(&tape, b);
+  const Var cos = tape.Cosine(ea, eb);
+  const Var loss = tape.SquaredErrorToConst(cos, static_cast<double>(label));
+  const double loss_value = tape.value(loss)(0, 0);
+  tape.Backward(loss);
+  optimizer_.Step(store_.parameters());
+  return loss_value;
+}
+
+}  // namespace asteria::baselines

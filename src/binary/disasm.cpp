@@ -1,0 +1,137 @@
+#include "binary/disasm.h"
+
+#include <sstream>
+
+namespace asteria::binary {
+
+namespace {
+
+std::string RegName(Isa isa, Reg reg) {
+  if (reg == kFramePointerReg) return "fp";
+  const char* prefix = "r";
+  switch (isa) {
+    case Isa::kX86: prefix = "e"; break;
+    case Isa::kX64: prefix = "q"; break;
+    case Isa::kArm: prefix = "r"; break;
+    case Isa::kPpc: prefix = "g"; break;
+    default: break;
+  }
+  return prefix + std::to_string(static_cast<int>(reg));
+}
+
+}  // namespace
+
+std::string DisasmInstruction(Isa isa, const Instruction& insn) {
+  std::ostringstream out;
+  auto a = [&] { return RegName(isa, insn.a); };
+  auto b = [&] { return RegName(isa, insn.b); };
+  auto c = [&] { return RegName(isa, insn.c); };
+  out << OpcodeName(insn.op);
+  switch (insn.op) {
+    case Opcode::kNop: break;
+    case Opcode::kMovImm:
+    case Opcode::kMovStr:
+      out << ' ' << a() << ", #" << insn.imm;
+      break;
+    case Opcode::kMov:
+    case Opcode::kNeg:
+    case Opcode::kNot:
+      out << ' ' << a() << ", " << b();
+      break;
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+    case Opcode::kShr:
+      out << ' ' << a() << ", " << b() << ", " << c();
+      break;
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI:
+      out << ' ' << a() << ", " << b() << ", #" << insn.imm;
+      break;
+    case Opcode::kLea:
+      out << ' ' << a() << ", [" << b() << " + " << c() << "*" << insn.imm << "]";
+      break;
+    case Opcode::kCmp:
+      out << ' ' << a() << ", " << b();
+      break;
+    case Opcode::kCmpI:
+      out << ' ' << a() << ", #" << insn.imm;
+      break;
+    case Opcode::kSetCond:
+      out << '.' << CondName(insn.cond) << ' ' << a();
+      break;
+    case Opcode::kCsel:
+      out << '.' << CondName(insn.cond) << ' ' << a() << ", " << b() << ", " << c();
+      break;
+    case Opcode::kBr:
+      out << " @" << insn.imm;
+      break;
+    case Opcode::kBrCond:
+      out << '.' << CondName(insn.cond) << " @" << insn.imm;
+      break;
+    case Opcode::kJmpTable:
+      out << ' ' << a() << ", table#" << insn.imm;
+      break;
+    case Opcode::kFrameAddr:
+      out << ' ' << a() << ", fp+" << insn.imm;
+      break;
+    case Opcode::kLoad:
+      out << ' ' << a() << ", [" << b() << " + " << c() << "]";
+      break;
+    case Opcode::kLoadI:
+      out << ' ' << a() << ", [" << b() << " + " << insn.imm << "]";
+      break;
+    case Opcode::kStore:
+      out << ' ' << a() << ", [" << b() << " + " << c() << "]";
+      break;
+    case Opcode::kStoreI:
+      out << ' ' << a() << ", [" << b() << " + " << insn.imm << "]";
+      break;
+    case Opcode::kArg:
+      out << " #" << insn.imm << ", " << a();
+      break;
+    case Opcode::kCall:
+      out << ' ' << a() << ", fn#" << insn.imm;
+      break;
+    case Opcode::kRet:
+      out << ' ' << a();
+      break;
+    case Opcode::kOpcodeCount:
+      out << "?";
+      break;
+  }
+  return out.str();
+}
+
+std::string DisasmFunction(const BinModule& module, const BinFunction& fn) {
+  std::ostringstream out;
+  out << fn.name << ":  ; params=" << fn.num_params
+      << " frame=" << fn.frame_words << " words\n";
+  for (std::size_t i = 0; i < fn.code.size(); ++i) {
+    out << "  " << i << ":\t" << DisasmInstruction(module.isa, fn.code[i])
+        << "\n";
+  }
+  for (std::size_t t = 0; t < fn.jump_tables.size(); ++t) {
+    const JumpTable& table = fn.jump_tables[t];
+    out << "  table#" << t << ": base=" << table.base << " targets=[";
+    for (std::size_t i = 0; i < table.targets.size(); ++i) {
+      if (i) out << ", ";
+      out << "@" << table.targets[i];
+    }
+    out << "] default=@" << table.default_target << "\n";
+  }
+  return out.str();
+}
+
+std::string DisasmModule(const BinModule& module) {
+  std::ostringstream out;
+  out << "; module " << module.name << " (" << IsaName(module.isa) << ")\n";
+  for (const BinFunction& fn : module.functions) {
+    out << DisasmFunction(module, fn) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace asteria::binary

@@ -1,0 +1,21 @@
+// Textual disassembly of synthetic-ISA code (debugging aid and the basis of
+// the instruction-count statistics used by the callee-inlining filter).
+#pragma once
+
+#include <string>
+
+#include "binary/module.h"
+
+namespace asteria::binary {
+
+// Renders one instruction, ISA-flavoured register names (e.g. x86 "e0",
+// ARM "r0", PPC "g0").
+std::string DisasmInstruction(Isa isa, const Instruction& insn);
+
+// Renders a whole function with instruction indices and jump tables.
+std::string DisasmFunction(const BinModule& module, const BinFunction& fn);
+
+// Renders a whole module.
+std::string DisasmModule(const BinModule& module);
+
+}  // namespace asteria::binary

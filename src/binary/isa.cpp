@@ -1,0 +1,82 @@
+#include "binary/isa.h"
+
+#include <array>
+
+namespace asteria::binary {
+
+std::string_view IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kX86: return "x86";
+    case Isa::kX64: return "x64";
+    case Isa::kArm: return "ARM";
+    case Isa::kPpc: return "PPC";
+    case Isa::kIsaCount: break;
+  }
+  return "?";
+}
+
+Isa IsaFromName(std::string_view name) {
+  for (int i = 0; i < kNumIsas; ++i) {
+    if (IsaName(static_cast<Isa>(i)) == name) return static_cast<Isa>(i);
+  }
+  return Isa::kIsaCount;
+}
+
+Cond NegateCond(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return Cond::kNe;
+    case Cond::kNe: return Cond::kEq;
+    case Cond::kLt: return Cond::kGe;
+    case Cond::kLe: return Cond::kGt;
+    case Cond::kGt: return Cond::kLe;
+    case Cond::kGe: return Cond::kLt;
+  }
+  return Cond::kEq;
+}
+
+std::string_view CondName(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return "eq";
+    case Cond::kNe: return "ne";
+    case Cond::kLt: return "lt";
+    case Cond::kLe: return "le";
+    case Cond::kGt: return "gt";
+    case Cond::kGe: return "ge";
+  }
+  return "?";
+}
+
+std::string_view OpcodeName(Opcode op) {
+  static constexpr std::array<std::string_view,
+                              static_cast<std::size_t>(Opcode::kOpcodeCount)>
+      kNames = {
+          "nop",  "movi", "movs", "mov",  "add",  "sub",  "mul",  "div",
+          "mod",  "and",  "or",   "xor",  "shl",  "shr",  "addi", "subi",
+          "muli", "divi", "modi", "andi", "ori",  "xori", "shli", "shri",
+          "neg",  "not",  "lea",  "cmp",  "cmpi", "set",  "csel", "br",
+          "brc",  "jtab", "fadr", "ld",   "ldi",  "st",   "sti",  "arg",
+          "call", "ret",
+      };
+  const auto i = static_cast<std::size_t>(op);
+  return i < kNames.size() ? kNames[i] : "?";
+}
+
+const IsaSpec& GetIsaSpec(Isa isa) {
+  // The numbers mirror the flavour of the real targets: x86 is register
+  // starved and CISC-ish, x64 the same with more registers, ARM is a
+  // 3-operand RISC with conditional execution, PPC a 3-operand RISC with a
+  // big register file and 16-bit immediates.
+  static const std::array<IsaSpec, kNumIsas> kSpecs = {{
+      {Isa::kX86, 6, true, true, false, false, (1LL << 31) - 1, 0, 12,
+       4, false, false, false},
+      {Isa::kX64, 14, true, true, false, false, (1LL << 31) - 1, 6, 22,
+       4, false, false, true},
+      {Isa::kArm, 12, false, false, true, false, (1LL << 12) - 1, 4, 18,
+       6, true, false, true},
+      {Isa::kPpc, 28, false, false, false, true, (1LL << 15) - 1, 8, 16,
+       0, true, true, false},
+  }};
+  return kSpecs[static_cast<std::size_t>(isa)];
+}
+
+}  // namespace asteria::binary

@@ -1,0 +1,122 @@
+// The four synthetic ISAs of the reproduction (x86 / x64 / ARM / PPC).
+//
+// The paper's cross-architecture variation comes from real ISAs compiled by
+// gcc and lifted by Hex-Rays. Here all four ISAs share one instruction
+// *vocabulary* (the union below) but differ in everything a backend can
+// exploit, which is what shapes the decompiled ASTs:
+//   * register file size (x86: 6 allocatable, x64: 14, ARM: 12, PPC: 28)
+//     -> spill-induced extra assignments on register-starved targets
+//   * 2-operand destructive arithmetic on x86/x64 (dst must equal lhs)
+//     -> extra moves
+//   * kLea (base + index*scale) folding on x86/x64 only
+//   * kCsel if-conversion on ARM only -> merged basic blocks (paper Fig. 2)
+//   * multiply-by-constant strength reduction on PPC only
+//   * immediate-operand width: RISC targets materialize wide constants
+// The VM executes all four uniformly; per-ISA behaviour is a codegen
+// property, exactly as in real toolchains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace asteria::binary {
+
+enum class Isa : std::uint8_t { kX86 = 0, kX64, kArm, kPpc, kIsaCount };
+
+inline constexpr int kNumIsas = static_cast<int>(Isa::kIsaCount);
+
+std::string_view IsaName(Isa isa);
+// Inverse of IsaName; returns kIsaCount when unknown.
+Isa IsaFromName(std::string_view name);
+
+// Condition codes for kBrCond / kSetCond / kCsel, evaluated against the
+// flags set by the latest kCmp/kCmpI (signed comparison).
+enum class Cond : std::uint8_t { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+Cond NegateCond(Cond cond);
+std::string_view CondName(Cond cond);
+
+// Union instruction vocabulary (see header comment; each backend emits a
+// subset). Field usage is documented per opcode in instruction.h.
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kMovImm,    // ra <- imm
+  kMovStr,    // ra <- address of module string #imm
+  kMov,       // ra <- rb
+  // 3-operand ALU: ra <- rb op rc
+  kAdd, kSub, kMul, kDiv, kMod, kAnd, kOr, kXor, kShl, kShr,
+  // immediate ALU: ra <- rb op imm
+  kAddI, kSubI, kMulI, kDivI, kModI, kAndI, kOrI, kXorI, kShlI, kShrI,
+  kNeg,       // ra <- -rb
+  kNot,       // ra <- ~rb
+  kLea,       // ra <- rb + rc * imm            (x86/x64 only)
+  kCmp,       // flags <- sign(ra - rb)
+  kCmpI,      // flags <- sign(ra - imm)
+  kSetCond,   // ra <- flags satisfy cond ? 1 : 0
+  kCsel,      // ra <- flags satisfy cond ? rb : rc   (ARM only)
+  kBr,        // pc <- imm (instruction index)
+  kBrCond,    // if flags satisfy cond: pc <- imm
+  kJmpTable,  // pc <- jump table #imm indexed by ra (see JumpTable)
+  kFrameAddr, // ra <- fp + imm (word offset)
+  kLoad,      // ra <- mem[rb + rc]
+  kLoadI,     // ra <- mem[rb + imm]
+  kStore,     // mem[rb + rc] <- ra
+  kStoreI,    // mem[rb + imm] <- ra
+  kArg,       // stage call argument #imm <- ra
+  kCall,      // call function #imm; ra <- return value
+  kRet,       // return ra
+  kOpcodeCount,
+};
+
+std::string_view OpcodeName(Opcode op);
+
+// Per-ISA backend properties consumed by the compiler.
+struct IsaSpec {
+  Isa isa;
+  // Number of general-purpose registers the allocator may use (r0 is also
+  // the return-value register on every target).
+  int allocatable_registers;
+  // 2-operand destructive ALU (dst must alias lhs) -> fixup moves.
+  bool two_operand_alu;
+  // kLea available.
+  bool has_lea;
+  // kCsel available (enables if-conversion).
+  bool has_csel;
+  // Multiply-by-constant is strength-reduced to shifts/adds.
+  bool strength_reduce_mul;
+  // Largest |imm| representable in an immediate ALU operand; wider
+  // constants are materialized with kMovImm first.
+  std::int64_t max_alu_imm;
+  // Maximum arguments passed in the register file (the rest conceptually go
+  // through the stack; modeled uniformly by kArg but counted in stats).
+  int reg_args;
+  // Callee size (IR instructions) below which calls are inlined. Differs per
+  // ISA, which makes callee counts diverge across architectures — the effect
+  // the paper's β-filter calibration compensates for (§III-C).
+  int inline_limit;
+  // Switch lowering strategy: minimum dense-case count for a jump table
+  // (<= 0 disables tables entirely, PPC-style compare chains only). Differs
+  // per ISA, so the same switch decompiles to `switch` on one target and an
+  // if-chain on another — a major cross-arch AST/CFG divergence source.
+  int jump_table_min;
+  // Rewrites the Euclidean index-wrap sequence (mod/shr/and/add) into a
+  // single AND mask when the array size is a power of two (RISC targets).
+  bool mask_wrap_idiom;
+  // Rewrites division by a power-of-two constant into the sign-fix shift
+  // sequence (PPC-style).
+  bool shift_division;
+  // Rotates loops into guarded do-while form (duplicated exit test at the
+  // bottom), like gcc -O2; reshapes the decompiled control flow.
+  bool rotate_loops;
+};
+
+const IsaSpec& GetIsaSpec(Isa isa);
+
+// Register-file conventions shared by all four ISAs: 32 registers, r31 is
+// the frame pointer (set by the VM at entry), r0 carries return values.
+inline constexpr std::uint8_t kFramePointerReg = 31;
+inline constexpr std::uint8_t kReturnReg = 0;
+inline constexpr int kNumRegs = 32;
+
+}  // namespace asteria::binary

@@ -1,0 +1,204 @@
+#include "binary/module.h"
+
+#include <cstring>
+
+namespace asteria::binary {
+
+bool IsBranch(const Instruction& insn) {
+  switch (insn.op) {
+    case Opcode::kBr:
+    case Opcode::kBrCond:
+    case Opcode::kJmpTable:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsTerminator(const Instruction& insn) {
+  switch (insn.op) {
+    case Opcode::kBr:
+    case Opcode::kJmpTable:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int BinModule::FindFunction(const std::string& fn_name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == fn_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t BinModule::TotalInstructions() const {
+  std::size_t total = 0;
+  for (const BinFunction& fn : functions) total += fn.code.size();
+  return total;
+}
+
+void BinModule::StripSymbols() {
+  std::size_t offset = 0x1000;
+  for (BinFunction& fn : functions) {
+    fn.name = "sub_" + std::to_string(offset);
+    offset += fn.code.size() * 8 + 16;
+  }
+}
+
+namespace {
+
+// Little serialization cursor; all multi-byte values little-endian.
+struct Writer {
+  std::vector<std::uint8_t> out;
+
+  void U8(std::uint8_t v) { out.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I64(std::int64_t v) {
+    auto u = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+  }
+};
+
+struct Reader {
+  const std::vector<std::uint8_t>& in;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool Has(std::size_t n) {
+    if (pos + n > in.size()) ok = false;
+    return ok;
+  }
+  std::uint8_t U8() {
+    if (!Has(1)) return 0;
+    return in[pos++];
+  }
+  std::uint32_t U32() {
+    if (!Has(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[pos++]) << (8 * i);
+    return v;
+  }
+  std::int64_t I64() {
+    if (!Has(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[pos++]) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (!Has(n)) return {};
+    std::string s(in.begin() + static_cast<std::ptrdiff_t>(pos),
+                  in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return s;
+  }
+};
+
+constexpr std::uint32_t kMagic = 0x41535442;  // "ASTB"
+
+}  // namespace
+
+std::vector<std::uint8_t> BinModule::Encode() const {
+  Writer w;
+  w.U32(kMagic);
+  w.U8(static_cast<std::uint8_t>(isa));
+  w.Str(name);
+  w.U32(static_cast<std::uint32_t>(strings.size()));
+  for (const std::string& s : strings) w.Str(s);
+  w.U32(static_cast<std::uint32_t>(functions.size()));
+  for (const BinFunction& fn : functions) {
+    w.Str(fn.name);
+    w.U32(static_cast<std::uint32_t>(fn.num_params));
+    for (int i = 0; i < fn.num_params; ++i) {
+      w.U8(i < static_cast<int>(fn.param_is_array.size()) ? fn.param_is_array[static_cast<std::size_t>(i)] : 0);
+    }
+    w.U32(static_cast<std::uint32_t>(fn.frame_words));
+    w.U32(static_cast<std::uint32_t>(fn.code.size()));
+    for (const Instruction& insn : fn.code) {
+      w.U8(static_cast<std::uint8_t>(insn.op));
+      w.U8(static_cast<std::uint8_t>(insn.cond));
+      w.U8(insn.a);
+      w.U8(insn.b);
+      w.U8(insn.c);
+      w.I64(insn.imm);
+    }
+    w.U32(static_cast<std::uint32_t>(fn.jump_tables.size()));
+    for (const JumpTable& table : fn.jump_tables) {
+      w.I64(table.base);
+      w.U32(static_cast<std::uint32_t>(table.default_target));
+      w.U32(static_cast<std::uint32_t>(table.targets.size()));
+      for (std::int32_t target : table.targets) {
+        w.U32(static_cast<std::uint32_t>(target));
+      }
+    }
+  }
+  return std::move(w.out);
+}
+
+std::optional<BinModule> BinModule::Decode(
+    const std::vector<std::uint8_t>& blob) {
+  Reader r{blob};
+  if (r.U32() != kMagic) return std::nullopt;
+  BinModule module;
+  const std::uint8_t isa = r.U8();
+  if (isa >= kNumIsas) return std::nullopt;
+  module.isa = static_cast<Isa>(isa);
+  module.name = r.Str();
+  const std::uint32_t num_strings = r.U32();
+  if (num_strings > 1'000'000) return std::nullopt;
+  for (std::uint32_t i = 0; i < num_strings && r.ok; ++i) {
+    module.strings.push_back(r.Str());
+  }
+  const std::uint32_t num_functions = r.U32();
+  if (num_functions > 1'000'000) return std::nullopt;
+  for (std::uint32_t i = 0; i < num_functions && r.ok; ++i) {
+    BinFunction fn;
+    fn.name = r.Str();
+    fn.num_params = static_cast<int>(r.U32());
+    if (fn.num_params > 255) return std::nullopt;
+    for (int p = 0; p < fn.num_params; ++p) fn.param_is_array.push_back(r.U8());
+    fn.frame_words = static_cast<int>(r.U32());
+    const std::uint32_t num_insns = r.U32();
+    if (num_insns > 10'000'000) return std::nullopt;
+    fn.code.reserve(num_insns);
+    for (std::uint32_t k = 0; k < num_insns && r.ok; ++k) {
+      Instruction insn;
+      const std::uint8_t op = r.U8();
+      if (op >= static_cast<std::uint8_t>(Opcode::kOpcodeCount)) return std::nullopt;
+      insn.op = static_cast<Opcode>(op);
+      insn.cond = static_cast<Cond>(r.U8() % 6);
+      insn.a = r.U8();
+      insn.b = r.U8();
+      insn.c = r.U8();
+      insn.imm = r.I64();
+      fn.code.push_back(insn);
+    }
+    const std::uint32_t num_tables = r.U32();
+    if (num_tables > 100'000) return std::nullopt;
+    for (std::uint32_t t = 0; t < num_tables && r.ok; ++t) {
+      JumpTable table;
+      table.base = r.I64();
+      table.default_target = static_cast<std::int32_t>(r.U32());
+      const std::uint32_t num_targets = r.U32();
+      if (num_targets > 1'000'000) return std::nullopt;
+      for (std::uint32_t k = 0; k < num_targets && r.ok; ++k) {
+        table.targets.push_back(static_cast<std::int32_t>(r.U32()));
+      }
+      fn.jump_tables.push_back(std::move(table));
+    }
+    module.functions.push_back(std::move(fn));
+  }
+  if (!r.ok || r.pos != blob.size()) return std::nullopt;
+  return module;
+}
+
+}  // namespace asteria::binary

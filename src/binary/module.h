@@ -1,0 +1,84 @@
+// Synthetic binary object format: instructions, functions, modules.
+//
+// A BinModule is the analog of one compiled ELF: a list of functions (with
+// or without symbol names — firmware strips them), a string table, and jump
+// tables. Modules serialize to a flat byte blob (Encode/Decode) which the
+// firmware packer embeds into images.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binary/isa.h"
+
+namespace asteria::binary {
+
+using Reg = std::uint8_t;
+
+// One machine instruction. Field usage by opcode is documented in isa.h.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  Cond cond = Cond::kEq;
+  Reg a = 0;
+  Reg b = 0;
+  Reg c = 0;
+  std::int64_t imm = 0;
+
+  static Instruction Make(Opcode op, Reg a = 0, Reg b = 0, Reg c = 0,
+                          std::int64_t imm = 0, Cond cond = Cond::kEq) {
+    return Instruction{op, cond, a, b, c, imm};
+  }
+};
+
+// True when the instruction can transfer control away from fallthrough.
+bool IsBranch(const Instruction& insn);
+// True when execution never falls through to the next instruction.
+bool IsTerminator(const Instruction& insn);
+// True for call instructions.
+inline bool IsCall(const Instruction& insn) { return insn.op == Opcode::kCall; }
+
+// Dense switch dispatch: pc <- targets[ra - base] if in range, else
+// default_target.
+struct JumpTable {
+  std::int64_t base = 0;
+  std::vector<std::int32_t> targets;
+  std::int32_t default_target = 0;
+};
+
+// One compiled function.
+struct BinFunction {
+  std::string name;  // empty/"sub_<n>" once stripped
+  int num_params = 0;
+  // Bitmask-free per-param array flag (index i -> param i is an array ref).
+  std::vector<std::uint8_t> param_is_array;
+  // Frame size in 64-bit words (params live in slots [0, num_params)).
+  int frame_words = 0;
+  std::vector<Instruction> code;
+  std::vector<JumpTable> jump_tables;
+
+  int size() const { return static_cast<int>(code.size()); }
+};
+
+// One compiled translation unit ("binary file").
+struct BinModule {
+  Isa isa = Isa::kX86;
+  std::string name;                 // e.g. "libfoo" — the paper keys ground
+                                    // truth on (library, function) pairs
+  std::vector<BinFunction> functions;
+  std::vector<std::string> strings;
+
+  int FindFunction(const std::string& fn_name) const;
+  std::size_t TotalInstructions() const;
+
+  // Replaces symbol names with IDA-style "sub_<offset>" (§IV-B: firmware
+  // symbols are stripped).
+  void StripSymbols();
+
+  // Flat byte serialization.
+  std::vector<std::uint8_t> Encode() const;
+  static std::optional<BinModule> Decode(const std::vector<std::uint8_t>& blob);
+};
+
+}  // namespace asteria::binary

@@ -1,0 +1,289 @@
+#include "binary/vm.h"
+
+#include <array>
+
+namespace asteria::binary {
+
+namespace sem = minic::semantics;
+
+namespace {
+
+struct Trap {
+  std::string reason;
+};
+
+struct Frame {
+  int fn_index = 0;
+  int pc = 0;
+  std::int64_t fp = 0;
+  int flags = 0;  // sign of last comparison: -1 / 0 / +1
+  std::array<std::int64_t, kNumRegs> regs{};
+  std::vector<std::int64_t> staged_args;
+};
+
+bool CondHolds(Cond cond, int flags) {
+  switch (cond) {
+    case Cond::kEq: return flags == 0;
+    case Cond::kNe: return flags != 0;
+    case Cond::kLt: return flags < 0;
+    case Cond::kLe: return flags <= 0;
+    case Cond::kGt: return flags > 0;
+    case Cond::kGe: return flags >= 0;
+  }
+  return false;
+}
+
+int Sign(std::int64_t a, std::int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+
+class Machine {
+ public:
+  Machine(const BinModule& module, const Vm::Options& options)
+      : module_(module), options_(options) {
+    // rodata: each string as NUL-terminated words at the bottom of memory.
+    for (const std::string& s : module_.strings) {
+      string_addrs_.push_back(static_cast<std::int64_t>(memory_.size()));
+      for (char ch : s) memory_.push_back(static_cast<unsigned char>(ch));
+      memory_.push_back(0);
+    }
+    stack_base_ = static_cast<std::int64_t>(memory_.size());
+    memory_.resize(memory_.size() + options_.stack_words, 0);
+    sp_ = stack_base_;
+  }
+
+  minic::Interpreter::Result Run(int fn_index,
+                                 std::vector<minic::ArgValue> args) {
+    minic::Interpreter::Result result;
+    if (fn_index < 0 ||
+        fn_index >= static_cast<int>(module_.functions.size())) {
+      result.trap = "unknown function index";
+      return result;
+    }
+    const BinFunction& fn = module_.functions[static_cast<std::size_t>(fn_index)];
+    if (static_cast<int>(args.size()) != fn.num_params) {
+      result.trap = "arity mismatch";
+      return result;
+    }
+    try {
+      // Materialize array arguments as caller-owned buffers.
+      std::vector<std::int64_t> arg_words;
+      std::vector<std::pair<std::int64_t, std::size_t>> out_arrays;
+      for (const minic::ArgValue& arg : args) {
+        if (arg.is_array) {
+          const std::int64_t addr = Alloc(arg.array.size());
+          for (std::size_t i = 0; i < arg.array.size(); ++i) {
+            memory_[static_cast<std::size_t>(addr) + i] = arg.array[i];
+          }
+          out_arrays.emplace_back(addr, arg.array.size());
+          arg_words.push_back(addr);
+        } else {
+          arg_words.push_back(arg.scalar);
+        }
+      }
+      result.value = Execute(fn_index, arg_words);
+      result.ok = true;
+      for (const auto& [addr, size] : out_arrays) {
+        result.arrays.emplace_back(
+            memory_.begin() + static_cast<std::ptrdiff_t>(addr),
+            memory_.begin() + static_cast<std::ptrdiff_t>(addr + static_cast<std::int64_t>(size)));
+      }
+    } catch (const Trap& trap) {
+      result.trap = trap.reason;
+    }
+    return result;
+  }
+
+ private:
+  std::int64_t Alloc(std::size_t words) {
+    if (static_cast<std::size_t>(sp_) + words + 4096 > memory_.size()) {
+      throw Trap{"stack overflow"};
+    }
+    const std::int64_t addr = sp_;
+    sp_ += static_cast<std::int64_t>(words);
+    return addr;
+  }
+
+  std::int64_t Mem(std::int64_t addr) const {
+    if (addr < 0 || addr >= static_cast<std::int64_t>(memory_.size())) {
+      throw Trap{"memory read out of bounds"};
+    }
+    return memory_[static_cast<std::size_t>(addr)];
+  }
+
+  void SetMem(std::int64_t addr, std::int64_t value) {
+    // rodata is writable in this machine (simplifies string buffers).
+    if (addr < 0 || addr >= static_cast<std::int64_t>(memory_.size())) {
+      throw Trap{"memory write out of bounds"};
+    }
+    memory_[static_cast<std::size_t>(addr)] = value;
+  }
+
+  void PushFrame(int fn_index, const std::vector<std::int64_t>& arg_words) {
+    if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+      throw Trap{"call depth exceeded"};
+    }
+    const BinFunction& fn = module_.functions[static_cast<std::size_t>(fn_index)];
+    if (static_cast<int>(arg_words.size()) != fn.num_params) {
+      throw Trap{"arity mismatch in call"};
+    }
+    Frame frame;
+    frame.fn_index = fn_index;
+    frame.fp = Alloc(static_cast<std::size_t>(fn.frame_words));
+    // Zero the frame: local arrays are zero-initialized in MiniC semantics
+    // (the interpreter allocates fresh zeroed storage per declaration), so
+    // stale data from previously popped frames must not leak in.
+    for (int w = 0; w < fn.frame_words; ++w) {
+      memory_[static_cast<std::size_t>(frame.fp + w)] = 0;
+    }
+    frame.regs[kFramePointerReg] = frame.fp;
+    for (std::size_t i = 0; i < arg_words.size(); ++i) {
+      SetMem(frame.fp + static_cast<std::int64_t>(i), arg_words[i]);
+    }
+    frames_.push_back(std::move(frame));
+  }
+
+  void PopFrame() {
+    const BinFunction& fn =
+        module_.functions[static_cast<std::size_t>(frames_.back().fn_index)];
+    sp_ -= fn.frame_words;
+    frames_.pop_back();
+  }
+
+  std::int64_t Execute(int entry_fn, const std::vector<std::int64_t>& args) {
+    std::int64_t steps = options_.max_steps;
+    PushFrame(entry_fn, args);
+    std::int64_t return_value = 0;
+    while (!frames_.empty()) {
+      if (--steps <= 0) throw Trap{"step limit exceeded"};
+      Frame& f = frames_.back();
+      const BinFunction& fn =
+          module_.functions[static_cast<std::size_t>(f.fn_index)];
+      if (f.pc < 0 || f.pc >= fn.size()) throw Trap{"pc out of range"};
+      const Instruction& insn = fn.code[static_cast<std::size_t>(f.pc)];
+      auto& r = f.regs;
+      int next_pc = f.pc + 1;
+      switch (insn.op) {
+        case Opcode::kNop: break;
+        case Opcode::kMovImm: r[insn.a] = insn.imm; break;
+        case Opcode::kMovStr: {
+          const auto i = static_cast<std::size_t>(insn.imm);
+          if (i >= string_addrs_.size()) throw Trap{"bad string index"};
+          r[insn.a] = string_addrs_[i];
+          break;
+        }
+        case Opcode::kMov: r[insn.a] = r[insn.b]; break;
+        case Opcode::kAdd: r[insn.a] = sem::Add(r[insn.b], r[insn.c]); break;
+        case Opcode::kSub: r[insn.a] = sem::Sub(r[insn.b], r[insn.c]); break;
+        case Opcode::kMul: r[insn.a] = sem::Mul(r[insn.b], r[insn.c]); break;
+        case Opcode::kDiv: r[insn.a] = sem::Div(r[insn.b], r[insn.c]); break;
+        case Opcode::kMod: r[insn.a] = sem::Mod(r[insn.b], r[insn.c]); break;
+        case Opcode::kAnd: r[insn.a] = r[insn.b] & r[insn.c]; break;
+        case Opcode::kOr: r[insn.a] = r[insn.b] | r[insn.c]; break;
+        case Opcode::kXor: r[insn.a] = r[insn.b] ^ r[insn.c]; break;
+        case Opcode::kShl: r[insn.a] = sem::Shl(r[insn.b], r[insn.c]); break;
+        case Opcode::kShr: r[insn.a] = sem::Shr(r[insn.b], r[insn.c]); break;
+        case Opcode::kAddI: r[insn.a] = sem::Add(r[insn.b], insn.imm); break;
+        case Opcode::kSubI: r[insn.a] = sem::Sub(r[insn.b], insn.imm); break;
+        case Opcode::kMulI: r[insn.a] = sem::Mul(r[insn.b], insn.imm); break;
+        case Opcode::kDivI: r[insn.a] = sem::Div(r[insn.b], insn.imm); break;
+        case Opcode::kModI: r[insn.a] = sem::Mod(r[insn.b], insn.imm); break;
+        case Opcode::kAndI: r[insn.a] = r[insn.b] & insn.imm; break;
+        case Opcode::kOrI: r[insn.a] = r[insn.b] | insn.imm; break;
+        case Opcode::kXorI: r[insn.a] = r[insn.b] ^ insn.imm; break;
+        case Opcode::kShlI: r[insn.a] = sem::Shl(r[insn.b], insn.imm); break;
+        case Opcode::kShrI: r[insn.a] = sem::Shr(r[insn.b], insn.imm); break;
+        case Opcode::kNeg: r[insn.a] = sem::Neg(r[insn.b]); break;
+        case Opcode::kNot: r[insn.a] = ~r[insn.b]; break;
+        case Opcode::kLea:
+          r[insn.a] = sem::Add(r[insn.b], sem::Mul(r[insn.c], insn.imm));
+          break;
+        case Opcode::kCmp: f.flags = Sign(r[insn.a], r[insn.b]); break;
+        case Opcode::kCmpI: f.flags = Sign(r[insn.a], insn.imm); break;
+        case Opcode::kSetCond:
+          r[insn.a] = CondHolds(insn.cond, f.flags) ? 1 : 0;
+          break;
+        case Opcode::kCsel:
+          r[insn.a] = CondHolds(insn.cond, f.flags) ? r[insn.b] : r[insn.c];
+          break;
+        case Opcode::kBr: next_pc = static_cast<int>(insn.imm); break;
+        case Opcode::kBrCond:
+          if (CondHolds(insn.cond, f.flags)) next_pc = static_cast<int>(insn.imm);
+          break;
+        case Opcode::kJmpTable: {
+          const auto t = static_cast<std::size_t>(insn.imm);
+          if (t >= fn.jump_tables.size()) throw Trap{"bad jump table"};
+          const JumpTable& table = fn.jump_tables[t];
+          const std::int64_t index = sem::Sub(r[insn.a], table.base);
+          if (index >= 0 &&
+              index < static_cast<std::int64_t>(table.targets.size())) {
+            next_pc = table.targets[static_cast<std::size_t>(index)];
+          } else {
+            next_pc = table.default_target;
+          }
+          break;
+        }
+        case Opcode::kFrameAddr: r[insn.a] = sem::Add(f.fp, insn.imm); break;
+        case Opcode::kLoad: r[insn.a] = Mem(sem::Add(r[insn.b], r[insn.c])); break;
+        case Opcode::kLoadI: r[insn.a] = Mem(sem::Add(r[insn.b], insn.imm)); break;
+        case Opcode::kStore: SetMem(sem::Add(r[insn.b], r[insn.c]), r[insn.a]); break;
+        case Opcode::kStoreI: SetMem(sem::Add(r[insn.b], insn.imm), r[insn.a]); break;
+        case Opcode::kArg: {
+          const auto i = static_cast<std::size_t>(insn.imm);
+          if (f.staged_args.size() <= i) f.staged_args.resize(i + 1, 0);
+          f.staged_args[i] = r[insn.a];
+          break;
+        }
+        case Opcode::kCall: {
+          const int callee = static_cast<int>(insn.imm);
+          if (callee < 0 ||
+              callee >= static_cast<int>(module_.functions.size())) {
+            throw Trap{"bad call target"};
+          }
+          f.pc = next_pc;  // return address
+          pending_dst_stack_.push_back(insn.a);
+          std::vector<std::int64_t> call_args = std::move(f.staged_args);
+          f.staged_args.clear();
+          PushFrame(callee, call_args);
+          continue;  // do not advance the new frame's pc
+        }
+        case Opcode::kRet: {
+          return_value = r[insn.a];
+          PopFrame();
+          if (!frames_.empty()) {
+            // Deliver the return value into the caller's kCall destination.
+            frames_.back().regs[pending_dst_stack_.back()] = return_value;
+            pending_dst_stack_.pop_back();
+          }
+          continue;
+        }
+        case Opcode::kOpcodeCount:
+          throw Trap{"bad opcode"};
+      }
+      f.pc = next_pc;
+    }
+    return return_value;
+  }
+
+  const BinModule& module_;
+  const Vm::Options& options_;
+  std::vector<std::int64_t> memory_;
+  std::vector<std::int64_t> string_addrs_;
+  std::int64_t stack_base_ = 0;
+  std::int64_t sp_ = 0;
+  std::vector<Frame> frames_;
+  std::vector<Reg> pending_dst_stack_;
+};
+
+}  // namespace
+
+minic::Interpreter::Result Vm::Call(const std::string& function_name,
+                                    std::vector<minic::ArgValue> args) {
+  return CallIndex(module_.FindFunction(function_name), std::move(args));
+}
+
+minic::Interpreter::Result Vm::CallIndex(int fn_index,
+                                         std::vector<minic::ArgValue> args) {
+  Machine machine(module_, options_);
+  return machine.Run(fn_index, std::move(args));
+}
+
+}  // namespace asteria::binary

@@ -1,0 +1,52 @@
+// Virtual machine executing synthetic-ISA modules.
+//
+// The VM is the differential-testing oracle's second half: for every
+// generated MiniC program, Interpreter (source semantics) and Vm (compiled
+// semantics, any ISA) must produce identical results.
+//
+// Machine model: 64-bit word-addressed memory (rodata strings at the bottom,
+// a downward-growing... no — an upward-growing stack above them), per-frame
+// register files of 32 registers (r31 is the frame pointer, set by the VM at
+// entry; r0 carries return values), a signed compare flag, and an argument
+// staging area per frame. Per-frame register files stand in for real
+// callee-save conventions, which are invisible after decompilation anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "binary/module.h"
+#include "minic/interp.h"  // reuses ArgValue/Result & shared semantics
+
+namespace asteria::binary {
+
+class Vm {
+ public:
+  struct Options {
+    std::int64_t max_steps = 4'000'000;
+    int max_call_depth = 200;
+    // Stack memory size in words.
+    std::size_t stack_words = 1 << 20;
+  };
+
+  explicit Vm(const BinModule& module) : module_(module), options_(Options{}) {}
+  Vm(const BinModule& module, Options options)
+      : module_(module), options_(options) {}
+
+  // Calls a function by name with interpreter-compatible arguments; array
+  // arguments are materialized in memory and copied back into
+  // Result::arrays after the call.
+  minic::Interpreter::Result Call(const std::string& function_name,
+                                  std::vector<minic::ArgValue> args);
+
+  // Calls a function by index.
+  minic::Interpreter::Result CallIndex(int fn_index,
+                                       std::vector<minic::ArgValue> args);
+
+ private:
+  const BinModule& module_;
+  Options options_;
+};
+
+}  // namespace asteria::binary

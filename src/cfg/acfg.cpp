@@ -1,0 +1,121 @@
+#include "cfg/acfg.h"
+
+#include "decompiler/machine_cfg.h"
+
+namespace asteria::cfg {
+
+using binary::Instruction;
+using binary::Opcode;
+
+namespace {
+
+bool IsArithmetic(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI:
+    case Opcode::kNeg: case Opcode::kNot: case Opcode::kLea:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasNumericImmediate(Opcode op) {
+  switch (op) {
+    case Opcode::kMovImm:
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI: case Opcode::kCmpI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Acfg BuildAcfg(const binary::BinFunction& fn) {
+  Acfg acfg;
+  if (fn.code.empty()) return acfg;
+  decompiler::MachineCfg cfg(fn);
+  acfg.nodes.resize(static_cast<std::size_t>(cfg.num_blocks()));
+  acfg.adjacency.resize(static_cast<std::size_t>(cfg.num_blocks()));
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    const decompiler::MachineBlock& block = cfg.block(b);
+    AcfgNode& node = acfg.nodes[static_cast<std::size_t>(b)];
+    for (int i = block.first; i <= block.last; ++i) {
+      const Instruction& insn = fn.code[static_cast<std::size_t>(i)];
+      if (insn.op == Opcode::kMovStr) node.features[0] += 1;
+      if (HasNumericImmediate(insn.op)) node.features[1] += 1;
+      if (binary::IsBranch(insn)) node.features[2] += 1;
+      if (binary::IsCall(insn)) node.features[3] += 1;
+      node.features[4] += 1;
+      if (IsArithmetic(insn.op)) node.features[5] += 1;
+    }
+    node.features[6] = static_cast<double>(block.succs.size());
+    acfg.adjacency[static_cast<std::size_t>(b)] = block.succs;
+  }
+  const std::vector<double> centrality =
+      BetweennessCentrality(acfg.adjacency);
+  for (int b = 0; b < acfg.size(); ++b) {
+    acfg.nodes[static_cast<std::size_t>(b)].features[7] =
+        centrality[static_cast<std::size_t>(b)];
+  }
+  return acfg;
+}
+
+std::vector<double> BetweennessCentrality(
+    const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  std::vector<double> centrality(static_cast<std::size_t>(n), 0.0);
+  // Brandes' algorithm, unweighted (BFS from every source).
+  for (int s = 0; s < n; ++s) {
+    std::vector<std::vector<int>> preds(static_cast<std::size_t>(n));
+    std::vector<double> sigma(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    dist[static_cast<std::size_t>(s)] = 0;
+    std::vector<int> queue{s};
+    std::vector<int> order;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const int v = queue[head++];
+      order.push_back(v);
+      for (int w : adjacency[static_cast<std::size_t>(v)]) {
+        if (dist[static_cast<std::size_t>(w)] < 0) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+          queue.push_back(w);
+        }
+        if (dist[static_cast<std::size_t>(w)] ==
+            dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(w)] += sigma[static_cast<std::size_t>(v)];
+          preds[static_cast<std::size_t>(w)].push_back(v);
+        }
+      }
+    }
+    std::vector<double> delta(static_cast<std::size_t>(n), 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const int w = *it;
+      for (int v : preds[static_cast<std::size_t>(w)]) {
+        delta[static_cast<std::size_t>(v)] +=
+            sigma[static_cast<std::size_t>(v)] /
+            sigma[static_cast<std::size_t>(w)] *
+            (1.0 + delta[static_cast<std::size_t>(w)]);
+      }
+      if (w != s) {
+        centrality[static_cast<std::size_t>(w)] +=
+            delta[static_cast<std::size_t>(w)];
+      }
+    }
+  }
+  return centrality;
+}
+
+}  // namespace asteria::cfg

@@ -1,0 +1,45 @@
+// Attributed control-flow graphs (ACFG) — the function feature of
+// Genius/Gemini (paper §VI, Xu et al. 2017).
+//
+// Each basic block carries the statistical features Gemini's graph
+// embedding network consumes. Feature order follows the Genius paper:
+//   0: number of string constants        (kMovStr)
+//   1: number of numeric constants       (kMovImm + immediate ALU forms)
+//   2: number of transfer instructions   (branches / jump tables)
+//   3: number of call instructions
+//   4: number of instructions
+//   5: number of arithmetic instructions
+//   6: number of offspring               (CFG successors)
+//   7: betweenness centrality            (Brandes, unweighted)
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "binary/module.h"
+
+namespace asteria::cfg {
+
+inline constexpr int kAcfgFeatureDim = 8;
+
+struct AcfgNode {
+  std::array<double, kAcfgFeatureDim> features{};
+};
+
+struct Acfg {
+  std::vector<AcfgNode> nodes;
+  // adjacency[i] = successor node ids (directed edges, like the CFG).
+  std::vector<std::vector<int>> adjacency;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+};
+
+// Builds the ACFG of one function.
+Acfg BuildAcfg(const binary::BinFunction& fn);
+
+// Unweighted betweenness centrality of every node (Brandes' algorithm on
+// the directed graph).
+std::vector<double> BetweennessCentrality(
+    const std::vector<std::vector<int>>& adjacency);
+
+}  // namespace asteria::cfg

@@ -1,0 +1,62 @@
+#include "compiler/compile.h"
+
+#include "compiler/emit.h"
+#include "compiler/lower.h"
+#include "compiler/passes.h"
+#include "compiler/regalloc.h"
+
+namespace asteria::compiler {
+
+CompileResult CompileProgram(const minic::Program& program, binary::Isa isa,
+                             const std::string& module_name,
+                             const CompileOptions& options) {
+  CompileResult result;
+  const binary::IsaSpec& spec = binary::GetIsaSpec(isa);
+
+  IrProgram ir;
+  LoweringOptions lowering;
+  lowering.jump_table_min = spec.jump_table_min;
+  if (!LowerProgram(program, lowering, &ir, &result.error)) return result;
+
+  if (options.optimize && options.inline_small) {
+    result.inlined_calls =
+        InlineSmallCalls(&ir, spec, options.inline_limit_override);
+  }
+  for (IrFunction& fn : ir.functions) {
+    if (options.optimize) {
+      // Pattern passes that rely on raw lowering shapes run first.
+      if (spec.mask_wrap_idiom) MaskWrapIdiom(&fn);
+      CopyPropagate(&fn);
+      FoldConstants(&fn);
+      FoldImmediates(&fn, spec);
+      if (spec.shift_division) ShiftDivision(&fn);
+      if (spec.strength_reduce_mul) StrengthReduceMul(&fn);
+      // RISC-style constant-comparison canonicalization (same targets as
+      // the mask-wrap idiom: ARM and PPC).
+      if (spec.mask_wrap_idiom) NormalizeComparisons(&fn);
+      if (spec.has_lea) FoldLea(&fn);
+      // DCE before if-conversion: dead snapshot moves otherwise hide the
+      // single-assignment diamond shape.
+      EliminateDeadCode(&fn);
+      if (spec.has_csel) IfConvert(&fn);
+      CopyPropagate(&fn);
+      EliminateDeadCode(&fn);
+      if (spec.rotate_loops) RotateLoops(&fn);
+      RemoveUnreachableBlocks(&fn);
+    }
+    if (!fn.Validate(&result.error)) return result;
+    AllocateRegisters(&fn, spec);
+    if (!fn.Validate(&result.error)) return result;
+  }
+
+  result.module.isa = isa;
+  result.module.name = module_name;
+  result.module.strings = ir.strings;
+  for (const IrFunction& fn : ir.functions) {
+    result.module.functions.push_back(EmitFunction(fn));
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace asteria::compiler

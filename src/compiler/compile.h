@@ -1,0 +1,41 @@
+// Top-level compilation driver: MiniC program -> BinModule for one ISA.
+//
+// Pipeline: lower -> inline (per-ISA threshold) -> copy-prop -> const-fold
+// -> imm-fold(ISA) -> strength-reduce (PPC) -> lea-fold (x86/x64) ->
+// if-convert (ARM) -> copy-prop -> DCE -> unreachable sweep -> regalloc ->
+// emit. All ISA-specific behaviour flows from the IsaSpec.
+#pragma once
+
+#include <string>
+
+#include "binary/module.h"
+#include "minic/ast.h"
+
+namespace asteria::compiler {
+
+struct CompileOptions {
+  bool optimize = true;        // run the pass pipeline
+  bool inline_small = true;    // allow inlining (requires optimize)
+  int inline_limit_override = -1;  // >= 0 overrides the ISA default
+};
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;
+  binary::BinModule module;
+  int inlined_calls = 0;
+};
+
+// Compiles a sema-checked program for `isa`. `module_name` becomes the
+// BinModule name (the paper keys ground truth on library + function name).
+CompileResult CompileProgram(const minic::Program& program, binary::Isa isa,
+                             const std::string& module_name,
+                             const CompileOptions& options);
+
+inline CompileResult CompileProgram(const minic::Program& program,
+                                    binary::Isa isa,
+                                    const std::string& module_name) {
+  return CompileProgram(program, isa, module_name, CompileOptions{});
+}
+
+}  // namespace asteria::compiler

@@ -1,0 +1,97 @@
+#include "compiler/emit.h"
+
+#include <cassert>
+
+namespace asteria::compiler {
+
+binary::BinFunction EmitFunction(const IrFunction& fn) {
+  binary::BinFunction out;
+  out.name = fn.name;
+  out.num_params = fn.num_params;
+  out.param_is_array = fn.param_is_array;
+  out.frame_words = fn.frame_words;
+
+  // First pass: compute the emitted index of each block's first instruction.
+  // Layout = block order. A kBrCond expands to brc(+br); a trailing kBr to
+  // the next block is elided.
+  std::vector<int> block_index(fn.blocks.size(), 0);
+  int cursor = 0;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    block_index[b] = cursor;
+    const IrBlock& block = fn.blocks[b];
+    for (std::size_t i = 0; i < block.insns.size(); ++i) {
+      const IrInsn& insn = block.insns[i];
+      switch (insn.op) {
+        case Opcode::kBr:
+          // Elide a fallthrough branch (always the block's last insn).
+          if (insn.target != static_cast<int>(b) + 1) ++cursor;
+          break;
+        case Opcode::kBrCond:
+          ++cursor;
+          if (insn.target2 != static_cast<int>(b) + 1) ++cursor;
+          break;
+        default:
+          ++cursor;
+          break;
+      }
+    }
+  }
+
+  // Second pass: emit.
+  auto reg = [](int v) {
+    assert(v >= 0 && v < binary::kNumRegs);
+    return static_cast<binary::Reg>(v);
+  };
+  auto reg_or_zero = [&](int v) {
+    return v == kNoVReg ? binary::Reg{0} : reg(v);
+  };
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (const IrInsn& insn : fn.blocks[b].insns) {
+      binary::Instruction machine;
+      machine.op = insn.op;
+      machine.cond = insn.cond;
+      machine.a = reg_or_zero(insn.a);
+      machine.b = reg_or_zero(insn.b);
+      machine.c = reg_or_zero(insn.c);
+      machine.imm = insn.imm;
+      switch (insn.op) {
+        case Opcode::kBr:
+          if (insn.target == static_cast<int>(b) + 1) continue;  // elided
+          machine.imm = block_index[static_cast<std::size_t>(insn.target)];
+          break;
+        case Opcode::kBrCond: {
+          machine.imm = block_index[static_cast<std::size_t>(insn.target)];
+          out.code.push_back(machine);
+          if (insn.target2 != static_cast<int>(b) + 1) {
+            binary::Instruction fallthrough;
+            fallthrough.op = Opcode::kBr;
+            fallthrough.imm =
+                block_index[static_cast<std::size_t>(insn.target2)];
+            out.code.push_back(fallthrough);
+          }
+          continue;
+        }
+        case Opcode::kJmpTable:
+          machine.imm = insn.table;
+          break;
+        default:
+          break;
+      }
+      out.code.push_back(machine);
+    }
+  }
+
+  for (const IrJumpTable& table : fn.jump_tables) {
+    binary::JumpTable out_table;
+    out_table.base = table.base;
+    out_table.default_target =
+        block_index[static_cast<std::size_t>(table.default_target)];
+    for (int t : table.targets) {
+      out_table.targets.push_back(block_index[static_cast<std::size_t>(t)]);
+    }
+    out.jump_tables.push_back(std::move(out_table));
+  }
+  return out;
+}
+
+}  // namespace asteria::compiler

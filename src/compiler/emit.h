@@ -1,0 +1,15 @@
+// Emission: register-allocated IR -> binary::BinFunction.
+//
+// Linearizes blocks in layout order, resolves block targets to instruction
+// indices, elides unconditional branches to the immediately following block,
+// and converts kBrCond's two-way form into brc + (optional) br.
+#pragma once
+
+#include "binary/module.h"
+#include "compiler/ir.h"
+
+namespace asteria::compiler {
+
+binary::BinFunction EmitFunction(const IrFunction& fn);
+
+}  // namespace asteria::compiler

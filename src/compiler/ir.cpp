@@ -1,0 +1,151 @@
+#include "compiler/ir.h"
+
+#include <sstream>
+
+namespace asteria::compiler {
+
+bool DefinesA(Opcode op) {
+  switch (op) {
+    case Opcode::kCmp:
+    case Opcode::kCmpI:
+    case Opcode::kBr:
+    case Opcode::kBrCond:
+    case Opcode::kJmpTable:
+    case Opcode::kStore:
+    case Opcode::kStoreI:
+    case Opcode::kArg:
+    case Opcode::kRet:
+    case Opcode::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void CollectUses(const IrInsn& insn, std::vector<int>* uses) {
+  auto add = [&](int v) {
+    if (v != kNoVReg) uses->push_back(v);
+  };
+  // Field `a` is a *use* for ops that read it (store/arg/ret/cmp/jmptable).
+  if (!DefinesA(insn.op)) {
+    switch (insn.op) {
+      case Opcode::kCmp:
+      case Opcode::kCmpI:
+      case Opcode::kStore:
+      case Opcode::kStoreI:
+      case Opcode::kArg:
+      case Opcode::kRet:
+      case Opcode::kJmpTable:
+        add(insn.a);
+        break;
+      default:
+        break;
+    }
+  }
+  add(insn.b);
+  add(insn.c);
+}
+
+std::vector<int> IrFunction::Successors(int block_id) const {
+  std::vector<int> out;
+  const IrBlock& block = blocks[static_cast<std::size_t>(block_id)];
+  if (block.insns.empty()) return out;
+  const IrInsn& last = block.insns.back();
+  switch (last.op) {
+    case Opcode::kBr:
+      out.push_back(last.target);
+      break;
+    case Opcode::kBrCond:
+      out.push_back(last.target);
+      out.push_back(last.target2);
+      break;
+    case Opcode::kJmpTable: {
+      const IrJumpTable& table = jump_tables[static_cast<std::size_t>(last.table)];
+      for (int t : table.targets) out.push_back(t);
+      out.push_back(table.default_target);
+      break;
+    }
+    case Opcode::kRet:
+      break;
+    default:
+      break;  // invalid; Validate() reports it
+  }
+  return out;
+}
+
+bool IrFunction::Validate(std::string* error) const {
+  auto fail = [&](const std::string& message) {
+    if (error) *error = name + ": " + message;
+    return false;
+  };
+  if (blocks.empty()) return fail("no blocks");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const IrBlock& block = blocks[b];
+    if (block.insns.empty()) return fail("empty block " + std::to_string(b));
+    const IrInsn& last = block.insns.back();
+    if (last.op != Opcode::kBr && last.op != Opcode::kBrCond &&
+        last.op != Opcode::kJmpTable && last.op != Opcode::kRet) {
+      return fail("block " + std::to_string(b) + " lacks terminator");
+    }
+    for (std::size_t i = 0; i + 1 < block.insns.size(); ++i) {
+      const Opcode op = block.insns[i].op;
+      if (op == Opcode::kBr || op == Opcode::kBrCond ||
+          op == Opcode::kJmpTable || op == Opcode::kRet) {
+        return fail("terminator in the middle of block " + std::to_string(b));
+      }
+    }
+    for (int succ : Successors(static_cast<int>(b))) {
+      if (succ < 0 || succ >= static_cast<int>(blocks.size())) {
+        return fail("invalid successor from block " + std::to_string(b));
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t IrFunction::TotalInsns() const {
+  std::size_t total = 0;
+  for (const IrBlock& block : blocks) total += block.insns.size();
+  return total;
+}
+
+bool IrFunction::IsLeaf() const {
+  for (const IrBlock& block : blocks) {
+    for (const IrInsn& insn : block.insns) {
+      if (insn.op == Opcode::kCall) return false;
+    }
+  }
+  return true;
+}
+
+std::string IrFunction::ToString() const {
+  std::ostringstream out;
+  out << "func " << name << " params=" << num_params
+      << " frame=" << frame_words << " vregs=" << num_vregs << "\n";
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    out << " bb" << b << ":\n";
+    for (const IrInsn& insn : blocks[b].insns) {
+      out << "   " << OpcodeName(insn.op);
+      if (insn.op == Opcode::kBrCond || insn.op == Opcode::kSetCond ||
+          insn.op == Opcode::kCsel) {
+        out << "." << CondName(insn.cond);
+      }
+      out << " a=" << insn.a << " b=" << insn.b << " c=" << insn.c
+          << " imm=" << insn.imm;
+      if (insn.target >= 0) out << " ->bb" << insn.target;
+      if (insn.target2 >= 0) out << " /bb" << insn.target2;
+      if (insn.table >= 0) out << " table#" << insn.table;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+int IrProgram::FindFunction(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace asteria::compiler

@@ -1,0 +1,106 @@
+// Three-address intermediate representation.
+//
+// The IR reuses the binary Opcode vocabulary but with unbounded virtual
+// registers and symbolic basic-block targets. Lowering (lower.h) produces
+// it, optimization passes (passes.h) rewrite it per ISA, the register
+// allocator (regalloc.h) maps vregs to physical registers, and emit.h
+// linearizes blocks into a BinFunction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "binary/isa.h"
+#include "binary/module.h"
+
+namespace asteria::compiler {
+
+using binary::Cond;
+using binary::Opcode;
+
+inline constexpr int kNoVReg = -1;
+// Virtual register 0 is the frame pointer, pre-colored to physical r31.
+inline constexpr int kFpVReg = 0;
+
+// One IR instruction. For branch ops, `target` / `target2` are block ids
+// (target2 is the false/fallthrough successor of kBrCond). Calls keep the
+// callee function index in imm.
+struct IrInsn {
+  Opcode op = Opcode::kNop;
+  Cond cond = Cond::kEq;
+  int a = kNoVReg;  // def for most ops (see DefinesA)
+  int b = kNoVReg;
+  int c = kNoVReg;
+  std::int64_t imm = 0;
+  int target = -1;
+  int target2 = -1;
+  int table = -1;  // jump table id for kJmpTable
+
+  static IrInsn Make(Opcode op, int a = kNoVReg, int b = kNoVReg,
+                     int c = kNoVReg, std::int64_t imm = 0,
+                     Cond cond = Cond::kEq) {
+    IrInsn insn;
+    insn.op = op;
+    insn.a = a;
+    insn.b = b;
+    insn.c = c;
+    insn.imm = imm;
+    insn.cond = cond;
+    return insn;
+  }
+};
+
+// True when register field `a` is written by the instruction.
+bool DefinesA(Opcode op);
+// Appends the vregs read by `insn` to `uses` (ignores kNoVReg fields).
+void CollectUses(const IrInsn& insn, std::vector<int>* uses);
+
+// Jump table at IR level (block-id targets).
+struct IrJumpTable {
+  std::int64_t base = 0;
+  std::vector<int> targets;  // block ids
+  int default_target = -1;   // block id
+};
+
+// A basic block: straight-line instructions ending in a terminator
+// (kBr / kBrCond / kJmpTable / kRet). Lowering guarantees the terminator
+// invariant; Successors() derives CFG edges from it.
+struct IrBlock {
+  std::vector<IrInsn> insns;
+};
+
+struct IrFunction {
+  std::string name;
+  int num_params = 0;
+  std::vector<std::uint8_t> param_is_array;
+  int num_vregs = 0;
+  // Frame slots already allocated (params + local arrays); the register
+  // allocator appends spill slots after these.
+  int frame_words = 0;
+  std::vector<IrBlock> blocks;  // block 0 is the entry
+  std::vector<IrJumpTable> jump_tables;
+
+  int NewVReg() { return num_vregs++; }
+
+  // Successor block ids of `block_id`, derived from its terminator.
+  std::vector<int> Successors(int block_id) const;
+
+  // Checks the terminator invariant and target validity.
+  bool Validate(std::string* error = nullptr) const;
+
+  std::size_t TotalInsns() const;
+
+  // True when the function contains no kCall (used by the inliner).
+  bool IsLeaf() const;
+
+  std::string ToString() const;
+};
+
+struct IrProgram {
+  std::vector<IrFunction> functions;
+  std::vector<std::string> strings;
+
+  int FindFunction(const std::string& name) const;
+};
+
+}  // namespace asteria::compiler

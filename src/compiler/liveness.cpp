@@ -1,0 +1,116 @@
+#include "compiler/liveness.h"
+
+#include <algorithm>
+
+namespace asteria::compiler {
+
+LivenessInfo ComputeLiveness(const IrFunction& fn) {
+  const std::size_t num_blocks = fn.blocks.size();
+  const std::size_t num_vregs = static_cast<std::size_t>(fn.num_vregs);
+  LivenessInfo info;
+  info.live_in.assign(num_blocks, std::vector<char>(num_vregs, 0));
+  info.live_out.assign(num_blocks, std::vector<char>(num_vregs, 0));
+  info.block_start.resize(num_blocks);
+  int pos = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    info.block_start[b] = pos;
+    pos += static_cast<int>(fn.blocks[b].insns.size());
+  }
+  info.total_positions = pos;
+
+  // Per-block gen (use before def) and kill (defined) sets.
+  std::vector<std::vector<char>> gen(num_blocks,
+                                     std::vector<char>(num_vregs, 0));
+  std::vector<std::vector<char>> kill(num_blocks,
+                                      std::vector<char>(num_vregs, 0));
+  std::vector<int> uses;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    for (const IrInsn& insn : fn.blocks[b].insns) {
+      uses.clear();
+      CollectUses(insn, &uses);
+      for (int v : uses) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (!kill[b][vi]) gen[b][vi] = 1;
+      }
+      if (DefinesA(insn.op) && insn.a != kNoVReg) {
+        kill[b][static_cast<std::size_t>(insn.a)] = 1;
+      }
+    }
+  }
+
+  // Iterate to fixpoint (reverse order converges fast on reducible CFGs).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = num_blocks; b-- > 0;) {
+      std::vector<char>& out = info.live_out[b];
+      for (int succ : fn.Successors(static_cast<int>(b))) {
+        const std::vector<char>& succ_in =
+            info.live_in[static_cast<std::size_t>(succ)];
+        for (std::size_t v = 0; v < num_vregs; ++v) {
+          if (succ_in[v] && !out[v]) {
+            out[v] = 1;
+            changed = true;
+          }
+        }
+      }
+      std::vector<char>& in = info.live_in[b];
+      for (std::size_t v = 0; v < num_vregs; ++v) {
+        const char value = gen[b][v] || (out[v] && !kill[b][v]);
+        if (value != in[v]) {
+          in[v] = value;
+          changed = true;
+        }
+      }
+    }
+  }
+  return info;
+}
+
+std::vector<Interval> ComputeIntervals(const IrFunction& fn,
+                                       const LivenessInfo& liveness) {
+  const std::size_t num_vregs = static_cast<std::size_t>(fn.num_vregs);
+  std::vector<Interval> intervals(num_vregs);
+  for (std::size_t v = 0; v < num_vregs; ++v) {
+    intervals[v].vreg = static_cast<int>(v);
+  }
+  auto touch = [&](int v, int position) {
+    Interval& interval = intervals[static_cast<std::size_t>(v)];
+    if (interval.start < 0 || position < interval.start) {
+      interval.start = position;
+    }
+    if (position > interval.end) interval.end = position;
+  };
+  std::vector<int> uses;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    const int base = liveness.block_start[b];
+    const int block_end =
+        base + static_cast<int>(fn.blocks[b].insns.size()) - 1;
+    for (std::size_t v = 0; v < num_vregs; ++v) {
+      // A vreg live across the block spans all of it.
+      if (liveness.live_in[b][v]) touch(static_cast<int>(v), base);
+      if (liveness.live_out[b][v]) touch(static_cast<int>(v), block_end);
+    }
+    for (std::size_t i = 0; i < fn.blocks[b].insns.size(); ++i) {
+      const IrInsn& insn = fn.blocks[b].insns[i];
+      const int position = base + static_cast<int>(i);
+      uses.clear();
+      CollectUses(insn, &uses);
+      for (int v : uses) touch(v, position);
+      if (DefinesA(insn.op) && insn.a != kNoVReg) touch(insn.a, position);
+    }
+  }
+  std::vector<Interval> result;
+  for (const Interval& interval : intervals) {
+    if (interval.vreg == kFpVReg) continue;  // pre-colored
+    if (interval.start >= 0) result.push_back(interval);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start ||
+                     (a.start == b.start && a.vreg < b.vreg);
+            });
+  return result;
+}
+
+}  // namespace asteria::compiler

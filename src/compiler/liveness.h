@@ -1,0 +1,38 @@
+// Classic backward dataflow liveness on the IR CFG.
+//
+// Produces per-block live-in/live-out sets and, for the linear-scan
+// allocator, the position hull [start, end) of each vreg over the linearized
+// instruction order (block layout order). Back edges extend hulls correctly
+// because a vreg live around a loop is live-out of the back-edge block.
+#pragma once
+
+#include <vector>
+
+#include "compiler/ir.h"
+
+namespace asteria::compiler {
+
+struct LivenessInfo {
+  // live_in[b] / live_out[b]: bitsets indexed by vreg.
+  std::vector<std::vector<char>> live_in;
+  std::vector<std::vector<char>> live_out;
+  // Linear position of the first instruction of each block.
+  std::vector<int> block_start;
+  int total_positions = 0;
+};
+
+LivenessInfo ComputeLiveness(const IrFunction& fn);
+
+// Live interval hull of one vreg in linear positions.
+struct Interval {
+  int vreg = kNoVReg;
+  int start = -1;  // first position where the vreg is defined or live
+  int end = -1;    // last position (inclusive) where it is used or live
+};
+
+// Intervals for all vregs that appear in the function (excluding the frame
+// pointer), sorted by start position.
+std::vector<Interval> ComputeIntervals(const IrFunction& fn,
+                                       const LivenessInfo& liveness);
+
+}  // namespace asteria::compiler

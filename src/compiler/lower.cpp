@@ -1,0 +1,785 @@
+#include "compiler/lower.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "minic/interp.h"
+
+namespace asteria::compiler {
+
+namespace {
+
+using minic::ExprId;
+using minic::ExprKind;
+using minic::StmtId;
+using minic::StmtKind;
+
+struct LowerError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Lowerer {
+ public:
+  Lowerer(const minic::Program& program, const LoweringOptions& options,
+          IrProgram* out)
+      : program_(program), options_(options), out_(out) {}
+
+  void Run() {
+    // Intern all string literals first so indices are stable.
+    for (std::size_t i = 0; i < program_.expr_count(); ++i) {
+      const minic::Expr& e = program_.expr(static_cast<ExprId>(i));
+      if (e.kind == ExprKind::kStr) InternString(e.name);
+    }
+    for (const minic::Function& fn : program_.functions()) {
+      out_->functions.push_back(LowerFunction(fn));
+    }
+  }
+
+ private:
+  struct VarSlot {
+    bool is_array = false;
+    int vreg = kNoVReg;          // scalars
+    int frame_offset = -1;       // arrays (and array params: offset of the
+                                 // slot holding the address)
+    std::int64_t array_size = 0; // local arrays; 0 for array params
+    bool param_array = false;    // array param: frame slot holds an address
+  };
+
+  int InternString(const std::string& s) {
+    for (std::size_t i = 0; i < out_->strings.size(); ++i) {
+      if (out_->strings[i] == s) return static_cast<int>(i);
+    }
+    out_->strings.push_back(s);
+    return static_cast<int>(out_->strings.size()) - 1;
+  }
+
+  // ---- block plumbing -----------------------------------------------------
+
+  int NewBlock() {
+    fn_->blocks.emplace_back();
+    return static_cast<int>(fn_->blocks.size()) - 1;
+  }
+
+  IrBlock& Cur() { return fn_->blocks[static_cast<std::size_t>(cur_block_)]; }
+
+  bool CurTerminated() {
+    if (Cur().insns.empty()) return false;
+    const Opcode op = Cur().insns.back().op;
+    return op == Opcode::kBr || op == Opcode::kBrCond ||
+           op == Opcode::kJmpTable || op == Opcode::kRet;
+  }
+
+  void Emit(IrInsn insn) {
+    if (!CurTerminated()) Cur().insns.push_back(insn);
+    // Silently drop unreachable instructions after a terminator.
+  }
+
+  void Branch(int target) {
+    if (!CurTerminated()) {
+      IrInsn insn = IrInsn::Make(Opcode::kBr);
+      insn.target = target;
+      Cur().insns.push_back(insn);
+    }
+  }
+
+  void BranchCond(Cond cond, int if_true, int if_false) {
+    if (!CurTerminated()) {
+      IrInsn insn = IrInsn::Make(Opcode::kBrCond);
+      insn.cond = cond;
+      insn.target = if_true;
+      insn.target2 = if_false;
+      Cur().insns.push_back(insn);
+    }
+  }
+
+  // ---- scoping ---------------------------------------------------------
+
+  VarSlot& Declare(const std::string& name) { return scopes_.back()[name]; }
+
+  const VarSlot& Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    throw LowerError("lowering: unknown variable " + name);
+  }
+
+  // ---- function ------------------------------------------------------
+
+  IrFunction LowerFunction(const minic::Function& fn) {
+    IrFunction out;
+    out.name = fn.name;
+    out.num_params = static_cast<int>(fn.params.size());
+    out.num_vregs = 1;  // vreg 0 = frame pointer
+    out.frame_words = out.num_params;
+    fn_ = &out;
+    scopes_.clear();
+    scopes_.emplace_back();
+    label_blocks_.clear();
+    break_stack_.clear();
+    continue_stack_.clear();
+    cur_block_ = NewBlock();
+
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      VarSlot& slot = Declare(fn.params[i].name);
+      if (fn.params[i].is_array) {
+        slot.is_array = true;
+        slot.param_array = true;
+        slot.frame_offset = static_cast<int>(i);
+        out.param_is_array.push_back(1);
+      } else {
+        slot.vreg = out.NewVReg();
+        Emit(IrInsn::Make(Opcode::kLoadI, slot.vreg, kFpVReg, kNoVReg,
+                          static_cast<std::int64_t>(i)));
+        out.param_is_array.push_back(0);
+      }
+    }
+
+    LowerStmt(fn.body);
+
+    // Implicit `return 0` on every path that falls off the end; also caps
+    // any block left open (e.g. unreachable code after goto).
+    for (std::size_t b = 0; b < out.blocks.size(); ++b) {
+      cur_block_ = static_cast<int>(b);
+      if (!CurTerminated()) {
+        const int zero = out.NewVReg();
+        Emit(IrInsn::Make(Opcode::kMovImm, zero, kNoVReg, kNoVReg, 0));
+        Emit(IrInsn::Make(Opcode::kRet, zero));
+      }
+    }
+    fn_ = nullptr;
+    return out;
+  }
+
+  // ---- statements -----------------------------------------------------
+
+  void LowerStmt(StmtId id) {
+    const minic::Stmt& s = program_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (StmtId child : s.stmts) LowerStmt(child);
+        scopes_.pop_back();
+        return;
+      }
+      case StmtKind::kExpr:
+        LowerExpr(s.expr);
+        return;
+      case StmtKind::kDecl: {
+        if (s.array_size > 0) {
+          const int offset = fn_->frame_words;
+          fn_->frame_words += static_cast<int>(s.array_size);
+          VarSlot& slot = Declare(s.name);
+          slot.is_array = true;
+          slot.frame_offset = offset;
+          slot.array_size = s.array_size;
+          // Zero-initialize with an inline memset loop: MiniC arrays are
+          // zeroed at declaration (fresh storage per execution of the decl,
+          // matching the interpreter even when declared inside loops).
+          const int base = fn_->NewVReg();
+          Emit(IrInsn::Make(Opcode::kFrameAddr, base, kNoVReg, kNoVReg,
+                            offset));
+          const int zero = fn_->NewVReg();
+          Emit(IrInsn::Make(Opcode::kMovImm, zero, kNoVReg, kNoVReg, 0));
+          const int idx = fn_->NewVReg();
+          Emit(IrInsn::Make(Opcode::kMovImm, idx, kNoVReg, kNoVReg, 0));
+          const int loop = NewBlock();
+          const int exit = NewBlock();
+          Branch(loop);
+          cur_block_ = loop;
+          Emit(IrInsn::Make(Opcode::kStore, zero, base, idx));
+          Emit(IrInsn::Make(Opcode::kAddI, idx, idx, kNoVReg, 1));
+          Emit(IrInsn::Make(Opcode::kCmpI, idx, kNoVReg, kNoVReg,
+                            s.array_size));
+          BranchCond(Cond::kLt, loop, exit);
+          cur_block_ = exit;
+        } else {
+          const int vreg = fn_->NewVReg();
+          if (s.init != minic::kNoId) {
+            const int value = LowerExpr(s.init);
+            Emit(IrInsn::Make(Opcode::kMov, vreg, value));
+          } else {
+            Emit(IrInsn::Make(Opcode::kMovImm, vreg, kNoVReg, kNoVReg, 0));
+          }
+          Declare(s.name).vreg = vreg;
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        const int then_block = NewBlock();
+        const int end_block = NewBlock();
+        int else_block = end_block;
+        if (s.else_body != minic::kNoId) else_block = NewBlock();
+        LowerCondBranch(s.expr, then_block, else_block);
+        cur_block_ = then_block;
+        LowerStmt(s.body);
+        Branch(end_block);
+        if (s.else_body != minic::kNoId) {
+          cur_block_ = else_block;
+          LowerStmt(s.else_body);
+          Branch(end_block);
+        }
+        cur_block_ = end_block;
+        return;
+      }
+      case StmtKind::kWhile: {
+        const int header = NewBlock();
+        const int body = NewBlock();
+        const int exit = NewBlock();
+        Branch(header);
+        cur_block_ = header;
+        LowerCondBranch(s.expr, body, exit);
+        continue_stack_.push_back(header);
+        break_stack_.push_back(exit);
+        cur_block_ = body;
+        LowerStmt(s.body);
+        Branch(header);
+        continue_stack_.pop_back();
+        break_stack_.pop_back();
+        cur_block_ = exit;
+        return;
+      }
+      case StmtKind::kFor: {
+        if (s.expr2 != minic::kNoId) LowerExpr(s.expr2);
+        const int header = NewBlock();
+        const int body = NewBlock();
+        const int step = NewBlock();
+        const int exit = NewBlock();
+        Branch(header);
+        cur_block_ = header;
+        if (s.expr != minic::kNoId) {
+          LowerCondBranch(s.expr, body, exit);
+        } else {
+          Branch(body);
+        }
+        continue_stack_.push_back(step);
+        break_stack_.push_back(exit);
+        cur_block_ = body;
+        LowerStmt(s.body);
+        Branch(step);
+        continue_stack_.pop_back();
+        break_stack_.pop_back();
+        cur_block_ = step;
+        if (s.expr3 != minic::kNoId) LowerExpr(s.expr3);
+        Branch(header);
+        cur_block_ = exit;
+        return;
+      }
+      case StmtKind::kSwitch:
+        LowerSwitch(s);
+        return;
+      case StmtKind::kReturn: {
+        int value;
+        if (s.expr != minic::kNoId) {
+          value = LowerExpr(s.expr);
+        } else {
+          value = fn_->NewVReg();
+          Emit(IrInsn::Make(Opcode::kMovImm, value, kNoVReg, kNoVReg, 0));
+        }
+        Emit(IrInsn::Make(Opcode::kRet, value));
+        return;
+      }
+      case StmtKind::kBreak:
+        if (break_stack_.empty()) throw LowerError("break outside loop");
+        Branch(break_stack_.back());
+        return;
+      case StmtKind::kContinue:
+        if (continue_stack_.empty()) throw LowerError("continue outside loop");
+        Branch(continue_stack_.back());
+        return;
+      case StmtKind::kGoto:
+        Branch(LabelBlock(s.name));
+        return;
+      case StmtKind::kLabel: {
+        const int block = LabelBlock(s.name);
+        Branch(block);
+        cur_block_ = block;
+        LowerStmt(s.body);
+        return;
+      }
+    }
+    throw LowerError("unknown statement kind");
+  }
+
+  int LabelBlock(const std::string& name) {
+    auto [it, inserted] = label_blocks_.try_emplace(name, -1);
+    if (inserted) it->second = NewBlock();
+    return it->second;
+  }
+
+  void LowerSwitch(const minic::Stmt& s) {
+    const int value = LowerExpr(s.expr);
+    const int end_block = NewBlock();
+    // Pre-create arm blocks.
+    std::vector<int> arm_blocks;
+    int default_block = end_block;
+    std::vector<std::pair<std::int64_t, int>> cases;  // value -> block
+    for (const minic::SwitchCase& arm : s.cases) {
+      const int block = NewBlock();
+      arm_blocks.push_back(block);
+      if (arm.is_default) {
+        default_block = block;
+      } else {
+        cases.emplace_back(arm.match_value, block);
+      }
+    }
+    std::sort(cases.begin(), cases.end());
+
+    bool use_table = false;
+    if (options_.jump_table_min > 0 &&
+        static_cast<int>(cases.size()) >= options_.jump_table_min) {
+      const std::int64_t span = cases.back().first - cases.front().first + 1;
+      use_table = span <= static_cast<std::int64_t>(cases.size()) * 3 &&
+                  span <= 512;
+    }
+    if (use_table) {
+      IrJumpTable table;
+      table.base = cases.front().first;
+      table.default_target = default_block;
+      const std::int64_t span = cases.back().first - cases.front().first + 1;
+      table.targets.assign(static_cast<std::size_t>(span), default_block);
+      for (const auto& [match, block] : cases) {
+        table.targets[static_cast<std::size_t>(match - table.base)] = block;
+      }
+      fn_->jump_tables.push_back(std::move(table));
+      IrInsn insn = IrInsn::Make(Opcode::kJmpTable, value);
+      insn.table = static_cast<int>(fn_->jump_tables.size()) - 1;
+      Emit(insn);
+    } else {
+      // Compare chain.
+      for (const auto& [match, block] : cases) {
+        const int next = NewBlock();
+        Emit(IrInsn::Make(Opcode::kCmpI, value, kNoVReg, kNoVReg, match));
+        BranchCond(Cond::kEq, block, next);
+        cur_block_ = next;
+      }
+      Branch(default_block);
+    }
+
+    // Arm bodies: implicit break at the end of each arm; explicit `break`
+    // also targets end_block.
+    break_stack_.push_back(end_block);
+    for (std::size_t i = 0; i < s.cases.size(); ++i) {
+      cur_block_ = arm_blocks[i];
+      scopes_.emplace_back();
+      for (StmtId child : s.cases[i].body) LowerStmt(child);
+      scopes_.pop_back();
+      Branch(end_block);
+    }
+    break_stack_.pop_back();
+    cur_block_ = end_block;
+  }
+
+  // ---- conditions -------------------------------------------------------
+
+  static Cond CondOfBinOp(minic::BinOp op) {
+    switch (op) {
+      case minic::BinOp::kEq: return Cond::kEq;
+      case minic::BinOp::kNe: return Cond::kNe;
+      case minic::BinOp::kLt: return Cond::kLt;
+      case minic::BinOp::kGt: return Cond::kGt;
+      case minic::BinOp::kLe: return Cond::kLe;
+      case minic::BinOp::kGe: return Cond::kGe;
+      default: throw LowerError("not a comparison");
+    }
+  }
+
+  static bool IsComparison(minic::BinOp op) {
+    switch (op) {
+      case minic::BinOp::kEq:
+      case minic::BinOp::kNe:
+      case minic::BinOp::kLt:
+      case minic::BinOp::kGt:
+      case minic::BinOp::kLe:
+      case minic::BinOp::kGe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Lowers `expr` as a branch condition: control flows to if_true/if_false.
+  // Comparisons and short-circuit operators branch directly without
+  // materializing a 0/1 value.
+  void LowerCondBranch(ExprId id, int if_true, int if_false) {
+    const minic::Expr& e = program_.expr(id);
+    if (e.kind == ExprKind::kBinary) {
+      if (IsComparison(e.bin_op)) {
+        const int lhs = LowerExpr(e.lhs);
+        const int rhs = LowerExpr(e.rhs);
+        Emit(IrInsn::Make(Opcode::kCmp, lhs, rhs));
+        BranchCond(CondOfBinOp(e.bin_op), if_true, if_false);
+        return;
+      }
+      if (e.bin_op == minic::BinOp::kLogicalAnd) {
+        const int mid = NewBlock();
+        LowerCondBranch(e.lhs, mid, if_false);
+        cur_block_ = mid;
+        LowerCondBranch(e.rhs, if_true, if_false);
+        return;
+      }
+      if (e.bin_op == minic::BinOp::kLogicalOr) {
+        const int mid = NewBlock();
+        LowerCondBranch(e.lhs, if_true, mid);
+        cur_block_ = mid;
+        LowerCondBranch(e.rhs, if_true, if_false);
+        return;
+      }
+    }
+    if (e.kind == ExprKind::kUnary && e.un_op == minic::UnOp::kLogicalNot) {
+      LowerCondBranch(e.lhs, if_false, if_true);
+      return;
+    }
+    const int value = LowerExpr(id);
+    Emit(IrInsn::Make(Opcode::kCmpI, value, kNoVReg, kNoVReg, 0));
+    BranchCond(Cond::kNe, if_true, if_false);
+  }
+
+  // ---- expressions -----------------------------------------------------
+
+  static Opcode OpcodeOfBinOp(minic::BinOp op) {
+    switch (op) {
+      case minic::BinOp::kAdd: return Opcode::kAdd;
+      case minic::BinOp::kSub: return Opcode::kSub;
+      case minic::BinOp::kMul: return Opcode::kMul;
+      case minic::BinOp::kDiv: return Opcode::kDiv;
+      case minic::BinOp::kMod: return Opcode::kMod;
+      case minic::BinOp::kShl: return Opcode::kShl;
+      case minic::BinOp::kShr: return Opcode::kShr;
+      case minic::BinOp::kBitAnd: return Opcode::kAnd;
+      case minic::BinOp::kBitOr: return Opcode::kOr;
+      case minic::BinOp::kBitXor: return Opcode::kXor;
+      default: throw LowerError("no direct opcode for binop");
+    }
+  }
+
+  int LowerExpr(ExprId id) {
+    const minic::Expr& e = program_.expr(id);
+    switch (e.kind) {
+      case ExprKind::kNum: {
+        const int dst = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kMovImm, dst, kNoVReg, kNoVReg, e.num));
+        return dst;
+      }
+      case ExprKind::kStr: {
+        // Scalar context: string length (see interp.h).
+        const int dst = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kMovImm, dst, kNoVReg, kNoVReg,
+                          static_cast<std::int64_t>(e.name.size())));
+        return dst;
+      }
+      case ExprKind::kVar: {
+        const VarSlot& slot = Lookup(e.name);
+        if (slot.is_array) return ArrayBase(slot);
+        // Snapshot into a fresh vreg: a later side effect in the same
+        // expression (e.g. `x + (x = 3)`) must not clobber this operand.
+        // Copy propagation cleans up the cases where no clobber follows.
+        const int copy = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kMov, copy, slot.vreg));
+        return copy;
+      }
+      case ExprKind::kIndex: {
+        const VarSlot& slot = Lookup(program_.expr(e.lhs).name);
+        const ArrayRef ref = LowerArrayRef(slot, e.rhs);
+        const int dst = fn_->NewVReg();
+        EmitLoadRef(ref, dst);
+        return dst;
+      }
+      case ExprKind::kCall:
+        return LowerCall(e);
+      case ExprKind::kUnary:
+        return LowerUnary(e);
+      case ExprKind::kBinary:
+        return LowerBinary(e);
+      case ExprKind::kAssign:
+        return LowerAssign(e);
+    }
+    throw LowerError("unknown expression kind");
+  }
+
+  // Materializes the base address of an array variable.
+  int ArrayBase(const VarSlot& slot) {
+    const int base = fn_->NewVReg();
+    if (slot.param_array) {
+      // Address stored in the parameter frame slot.
+      Emit(IrInsn::Make(Opcode::kLoadI, base, kFpVReg, kNoVReg,
+                        slot.frame_offset));
+    } else {
+      Emit(IrInsn::Make(Opcode::kFrameAddr, base, kNoVReg, kNoVReg,
+                        slot.frame_offset));
+    }
+    return base;
+  }
+
+  // A resolved array element address: base register plus either an
+  // immediate or a register index. Computed once per source-level access so
+  // side-effecting index expressions evaluate exactly once (matching the
+  // interpreter's LValue resolution).
+  struct ArrayRef {
+    int base = kNoVReg;
+    int idx = kNoVReg;
+    std::int64_t imm = 0;
+    bool is_imm = false;
+  };
+
+  // Emits the wrap-and-address sequence for arr[index]. For local arrays
+  // the size is static; array parameters have unknown extent, so the wrap
+  // is skipped (the generator guarantees in-bounds indices for them via
+  // explicit masking in the source).
+  ArrayRef LowerArrayRef(const VarSlot& slot, ExprId index_expr) {
+    ArrayRef ref;
+    const minic::Expr& index = program_.expr(index_expr);
+    if (index.kind == ExprKind::kNum && slot.array_size > 0) {
+      ref.base = ArrayBase(slot);
+      ref.is_imm = true;
+      ref.imm = minic::semantics::WrapIndex(index.num, slot.array_size);
+      return ref;
+    }
+    int idx = LowerExpr(index_expr);
+    ref.base = ArrayBase(slot);
+    if (slot.array_size > 0) {
+      // Branch-free Euclidean wrap: m = i % N; m += (m >> 63) & N.
+      const std::int64_t size = slot.array_size;
+      const int m = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kModI, m, idx, kNoVReg, size));
+      const int sign = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kShrI, sign, m, kNoVReg, 63));
+      const int add = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kAndI, add, sign, kNoVReg, size));
+      const int wrapped = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kAdd, wrapped, m, add));
+      idx = wrapped;
+    }
+    ref.idx = idx;
+    return ref;
+  }
+
+  void EmitLoadRef(const ArrayRef& ref, int dst) {
+    if (ref.is_imm) {
+      Emit(IrInsn::Make(Opcode::kLoadI, dst, ref.base, kNoVReg, ref.imm));
+    } else {
+      Emit(IrInsn::Make(Opcode::kLoad, dst, ref.base, ref.idx));
+    }
+  }
+
+  void EmitStoreRef(const ArrayRef& ref, int src) {
+    if (ref.is_imm) {
+      Emit(IrInsn::Make(Opcode::kStoreI, src, ref.base, kNoVReg, ref.imm));
+    } else {
+      Emit(IrInsn::Make(Opcode::kStore, src, ref.base, ref.idx));
+    }
+  }
+
+  int LowerCall(const minic::Expr& e) {
+    const int callee = program_.FindFunction(e.name);
+    if (callee < 0) throw LowerError("unknown callee " + e.name);
+    const minic::Function& fn =
+        program_.functions()[static_cast<std::size_t>(callee)];
+    std::vector<int> arg_regs;
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      const minic::Expr& arg = program_.expr(e.args[i]);
+      if (fn.params[i].is_array && arg.kind == ExprKind::kStr) {
+        const int reg = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kMovStr, reg, kNoVReg, kNoVReg,
+                          InternString(arg.name)));
+        arg_regs.push_back(reg);
+      } else {
+        arg_regs.push_back(LowerExpr(e.args[i]));
+      }
+    }
+    for (std::size_t i = 0; i < arg_regs.size(); ++i) {
+      Emit(IrInsn::Make(Opcode::kArg, arg_regs[i], kNoVReg, kNoVReg,
+                        static_cast<std::int64_t>(i)));
+    }
+    const int dst = fn_->NewVReg();
+    Emit(IrInsn::Make(Opcode::kCall, dst, kNoVReg, kNoVReg, callee));
+    return dst;
+  }
+
+  int LowerUnary(const minic::Expr& e) {
+    switch (e.un_op) {
+      case minic::UnOp::kNeg: {
+        const int src = LowerExpr(e.lhs);
+        const int dst = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kNeg, dst, src));
+        return dst;
+      }
+      case minic::UnOp::kBitNot: {
+        const int src = LowerExpr(e.lhs);
+        const int dst = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kNot, dst, src));
+        return dst;
+      }
+      case minic::UnOp::kLogicalNot: {
+        const int src = LowerExpr(e.lhs);
+        const int dst = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kCmpI, src, kNoVReg, kNoVReg, 0));
+        Emit(IrInsn::Make(Opcode::kSetCond, dst, kNoVReg, kNoVReg, 0,
+                          Cond::kEq));
+        return dst;
+      }
+      case minic::UnOp::kPreInc:
+        return LowerBump(e.lhs, +1, /*return_old=*/false);
+      case minic::UnOp::kPreDec:
+        return LowerBump(e.lhs, -1, /*return_old=*/false);
+      case minic::UnOp::kPostInc:
+        return LowerBump(e.lhs, +1, /*return_old=*/true);
+      case minic::UnOp::kPostDec:
+        return LowerBump(e.lhs, -1, /*return_old=*/true);
+    }
+    throw LowerError("unknown unary op");
+  }
+
+  int LowerBump(ExprId target, int delta, bool return_old) {
+    const minic::Expr& t = program_.expr(target);
+    if (t.kind == ExprKind::kVar) {
+      const VarSlot& slot = Lookup(t.name);
+      int old_copy = kNoVReg;
+      if (return_old) {
+        old_copy = fn_->NewVReg();
+        Emit(IrInsn::Make(Opcode::kMov, old_copy, slot.vreg));
+      }
+      Emit(IrInsn::Make(Opcode::kAddI, slot.vreg, slot.vreg, kNoVReg, delta));
+      if (return_old) return old_copy;
+      const int new_copy = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kMov, new_copy, slot.vreg));
+      return new_copy;
+    }
+    // Array element: resolve the address once, then read-modify-write.
+    const VarSlot& slot = Lookup(program_.expr(t.lhs).name);
+    const ArrayRef ref = LowerArrayRef(slot, t.rhs);
+    const int old_value = fn_->NewVReg();
+    EmitLoadRef(ref, old_value);
+    const int new_value = fn_->NewVReg();
+    Emit(IrInsn::Make(Opcode::kAddI, new_value, old_value, kNoVReg, delta));
+    EmitStoreRef(ref, new_value);
+    return return_old ? old_value : new_value;
+  }
+
+  int LowerBinary(const minic::Expr& e) {
+    if (IsComparison(e.bin_op)) {
+      const int lhs = LowerExpr(e.lhs);
+      const int rhs = LowerExpr(e.rhs);
+      const int dst = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kCmp, lhs, rhs));
+      Emit(IrInsn::Make(Opcode::kSetCond, dst, kNoVReg, kNoVReg, 0,
+                        CondOfBinOp(e.bin_op)));
+      return dst;
+    }
+    if (e.bin_op == minic::BinOp::kLogicalAnd ||
+        e.bin_op == minic::BinOp::kLogicalOr) {
+      // Short-circuit with a materialized 0/1 result.
+      const int dst = fn_->NewVReg();
+      const int true_block = NewBlock();
+      const int false_block = NewBlock();
+      const int end_block = NewBlock();
+      const ExprId self = FindSelf(e);
+      LowerCondBranch(self, true_block, false_block);
+      cur_block_ = true_block;
+      Emit(IrInsn::Make(Opcode::kMovImm, dst, kNoVReg, kNoVReg, 1));
+      Branch(end_block);
+      cur_block_ = false_block;
+      Emit(IrInsn::Make(Opcode::kMovImm, dst, kNoVReg, kNoVReg, 0));
+      Branch(end_block);
+      cur_block_ = end_block;
+      return dst;
+    }
+    const int lhs = LowerExpr(e.lhs);
+    const int rhs = LowerExpr(e.rhs);
+    const int dst = fn_->NewVReg();
+    Emit(IrInsn::Make(OpcodeOfBinOp(e.bin_op), dst, lhs, rhs));
+    return dst;
+  }
+
+  // Recovers the ExprId of an Expr reference (arena scan; expressions are
+  // unique objects so pointer identity is sound).
+  ExprId FindSelf(const minic::Expr& e) const {
+    for (std::size_t i = 0; i < program_.expr_count(); ++i) {
+      if (&program_.expr(static_cast<ExprId>(i)) == &e) {
+        return static_cast<ExprId>(i);
+      }
+    }
+    throw LowerError("expression not in arena");
+  }
+
+  int LowerAssign(const minic::Expr& e) {
+    const minic::Expr& target = program_.expr(e.lhs);
+    const int rhs = LowerExpr(e.rhs);
+    if (target.kind == ExprKind::kVar) {
+      const VarSlot& slot = Lookup(target.name);
+      if (e.assign_op == minic::AssignOp::kAssign) {
+        Emit(IrInsn::Make(Opcode::kMov, slot.vreg, rhs));
+      } else {
+        Emit(IrInsn::Make(CompoundOpcode(e.assign_op), slot.vreg, slot.vreg,
+                          rhs));
+      }
+      // Snapshot the assigned value (see kVar case for why).
+      const int copy = fn_->NewVReg();
+      Emit(IrInsn::Make(Opcode::kMov, copy, slot.vreg));
+      return copy;
+    }
+    // Array element target: resolve the address once.
+    const VarSlot& slot = Lookup(program_.expr(target.lhs).name);
+    const ArrayRef ref = LowerArrayRef(slot, target.rhs);
+    int value = rhs;
+    if (e.assign_op != minic::AssignOp::kAssign) {
+      const int old_value = fn_->NewVReg();
+      EmitLoadRef(ref, old_value);
+      value = fn_->NewVReg();
+      Emit(IrInsn::Make(CompoundOpcode(e.assign_op), value, old_value, rhs));
+    }
+    EmitStoreRef(ref, value);
+    return value;
+  }
+
+  static Opcode CompoundOpcode(minic::AssignOp op) {
+    switch (op) {
+      case minic::AssignOp::kAddAssign: return Opcode::kAdd;
+      case minic::AssignOp::kSubAssign: return Opcode::kSub;
+      case minic::AssignOp::kMulAssign: return Opcode::kMul;
+      case minic::AssignOp::kDivAssign: return Opcode::kDiv;
+      case minic::AssignOp::kAndAssign: return Opcode::kAnd;
+      case minic::AssignOp::kOrAssign: return Opcode::kOr;
+      case minic::AssignOp::kXorAssign: return Opcode::kXor;
+      case minic::AssignOp::kAssign: break;
+    }
+    throw LowerError("not a compound assignment");
+  }
+
+  const minic::Program& program_;
+  const LoweringOptions& options_;
+  IrProgram* out_;
+  IrFunction* fn_ = nullptr;
+  int cur_block_ = 0;
+  std::vector<std::map<std::string, VarSlot>> scopes_;
+  std::map<std::string, int> label_blocks_;
+  std::vector<int> break_stack_;
+  std::vector<int> continue_stack_;
+};
+
+}  // namespace
+
+bool LowerProgram(const minic::Program& program, IrProgram* out,
+                  std::string* error) {
+  return LowerProgram(program, LoweringOptions{}, out, error);
+}
+
+bool LowerProgram(const minic::Program& program,
+                  const LoweringOptions& options, IrProgram* out,
+                  std::string* error) {
+  *out = IrProgram();
+  try {
+    Lowerer lowerer(program, options, out);
+    lowerer.Run();
+  } catch (const LowerError& err) {
+    *error = err.what();
+    return false;
+  }
+  for (const IrFunction& fn : out->functions) {
+    if (!fn.Validate(error)) return false;
+  }
+  return true;
+}
+
+}  // namespace asteria::compiler

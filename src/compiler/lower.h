@@ -1,0 +1,36 @@
+// Lowering: MiniC source AST -> IR.
+//
+// One IrFunction per MiniC function. Conventions established here (and
+// relied on by the register allocator, emitter, VM and decompiler):
+//  * vreg 0 is the frame pointer, pre-colored to physical register 31
+//  * frame slots [0, num_params) hold incoming arguments (scalar value or
+//    array address); scalar params are loaded into fresh vregs at entry
+//  * local arrays occupy frame slabs; their base address is materialized
+//    with kFrameAddr at each use
+//  * every array access wraps its index Euclidean-modulo the array size
+//    (branch-free mod/shift/and/add sequence), matching the interpreter
+//  * switch statements lower to a jump table when they have >= 4 dense
+//    cases, otherwise to a compare chain
+#pragma once
+
+#include <string>
+
+#include "compiler/ir.h"
+#include "minic/ast.h"
+
+namespace asteria::compiler {
+
+// Target-dependent lowering knobs (derived from the IsaSpec).
+struct LoweringOptions {
+  // Minimum dense case count for a jump table; <= 0 disables tables.
+  int jump_table_min = 4;
+};
+
+// Lowers a whole (sema-checked) program. Returns false and fills `error` on
+// an internal invariant violation.
+bool LowerProgram(const minic::Program& program, IrProgram* out,
+                  std::string* error);
+bool LowerProgram(const minic::Program& program, const LoweringOptions& options,
+                  IrProgram* out, std::string* error);
+
+}  // namespace asteria::compiler

@@ -1,0 +1,847 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "minic/interp.h"
+
+namespace asteria::compiler {
+
+namespace sem = minic::semantics;
+
+namespace {
+
+bool IsPure(Opcode op) {
+  switch (op) {
+    case Opcode::kMovImm:
+    case Opcode::kMovStr:
+    case Opcode::kMov:
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI:
+    case Opcode::kNeg: case Opcode::kNot: case Opcode::kLea:
+    case Opcode::kSetCond: case Opcode::kCsel:
+    case Opcode::kFrameAddr:
+    case Opcode::kLoad: case Opcode::kLoadI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool TouchesFlags(Opcode op) {
+  return op == Opcode::kCmp || op == Opcode::kCmpI;
+}
+
+bool ReadsFlags(Opcode op) {
+  return op == Opcode::kSetCond || op == Opcode::kCsel ||
+         op == Opcode::kBrCond;
+}
+
+// Replaces vreg uses in an instruction according to `rename`, returning a
+// value < 0 from rename to keep the original.
+template <typename Fn>
+void RenameUses(IrInsn* insn, Fn rename) {
+  auto apply = [&](int* field) {
+    if (*field == kNoVReg) return;
+    const int replacement = rename(*field);
+    if (replacement >= 0) *field = replacement;
+  };
+  if (!DefinesA(insn->op)) apply(&insn->a);
+  apply(&insn->b);
+  apply(&insn->c);
+}
+
+}  // namespace
+
+void CopyPropagate(IrFunction* fn) {
+  for (IrBlock& block : fn->blocks) {
+    // copy_of[v] = w means v currently holds the same value as w.
+    std::unordered_map<int, int> copy_of;
+    auto resolve = [&](int v) -> int {
+      auto it = copy_of.find(v);
+      return it == copy_of.end() ? -1 : it->second;
+    };
+    for (IrInsn& insn : block.insns) {
+      RenameUses(&insn, resolve);
+      if (DefinesA(insn.op) && insn.a != kNoVReg) {
+        // The def invalidates all copies involving insn.a.
+        copy_of.erase(insn.a);
+        for (auto it = copy_of.begin(); it != copy_of.end();) {
+          if (it->second == insn.a) {
+            it = copy_of.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (insn.op == Opcode::kMov && insn.b != insn.a) {
+          copy_of[insn.a] = insn.b;
+        }
+      }
+    }
+  }
+}
+
+void FoldConstants(IrFunction* fn) {
+  for (IrBlock& block : fn->blocks) {
+    std::unordered_map<int, std::int64_t> consts;
+    auto known = [&](int v, std::int64_t* out) {
+      auto it = consts.find(v);
+      if (it == consts.end()) return false;
+      *out = it->second;
+      return true;
+    };
+    for (IrInsn& insn : block.insns) {
+      const bool defines = DefinesA(insn.op) && insn.a != kNoVReg;
+      std::int64_t bv = 0, cv = 0;
+      switch (insn.op) {
+        case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+        case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+        case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+        case Opcode::kShr:
+          if (known(insn.b, &bv) && known(insn.c, &cv)) {
+            std::int64_t result = 0;
+            switch (insn.op) {
+              case Opcode::kAdd: result = sem::Add(bv, cv); break;
+              case Opcode::kSub: result = sem::Sub(bv, cv); break;
+              case Opcode::kMul: result = sem::Mul(bv, cv); break;
+              case Opcode::kDiv: result = sem::Div(bv, cv); break;
+              case Opcode::kMod: result = sem::Mod(bv, cv); break;
+              case Opcode::kAnd: result = bv & cv; break;
+              case Opcode::kOr: result = bv | cv; break;
+              case Opcode::kXor: result = bv ^ cv; break;
+              case Opcode::kShl: result = sem::Shl(bv, cv); break;
+              case Opcode::kShr: result = sem::Shr(bv, cv); break;
+              default: break;
+            }
+            insn = IrInsn::Make(Opcode::kMovImm, insn.a, kNoVReg, kNoVReg,
+                                result);
+          }
+          break;
+        case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+        case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+        case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+        case Opcode::kShrI:
+          if (known(insn.b, &bv)) {
+            std::int64_t result = 0;
+            switch (insn.op) {
+              case Opcode::kAddI: result = sem::Add(bv, insn.imm); break;
+              case Opcode::kSubI: result = sem::Sub(bv, insn.imm); break;
+              case Opcode::kMulI: result = sem::Mul(bv, insn.imm); break;
+              case Opcode::kDivI: result = sem::Div(bv, insn.imm); break;
+              case Opcode::kModI: result = sem::Mod(bv, insn.imm); break;
+              case Opcode::kAndI: result = bv & insn.imm; break;
+              case Opcode::kOrI: result = bv | insn.imm; break;
+              case Opcode::kXorI: result = bv ^ insn.imm; break;
+              case Opcode::kShlI: result = sem::Shl(bv, insn.imm); break;
+              case Opcode::kShrI: result = sem::Shr(bv, insn.imm); break;
+              default: break;
+            }
+            insn = IrInsn::Make(Opcode::kMovImm, insn.a, kNoVReg, kNoVReg,
+                                result);
+          }
+          break;
+        case Opcode::kNeg:
+          if (known(insn.b, &bv)) {
+            insn = IrInsn::Make(Opcode::kMovImm, insn.a, kNoVReg, kNoVReg,
+                                sem::Neg(bv));
+          }
+          break;
+        case Opcode::kNot:
+          if (known(insn.b, &bv)) {
+            insn = IrInsn::Make(Opcode::kMovImm, insn.a, kNoVReg, kNoVReg,
+                                ~bv);
+          }
+          break;
+        case Opcode::kMov:
+          if (known(insn.b, &bv)) {
+            insn = IrInsn::Make(Opcode::kMovImm, insn.a, kNoVReg, kNoVReg, bv);
+          }
+          break;
+        default:
+          break;
+      }
+      if (defines) {
+        if (insn.op == Opcode::kMovImm) {
+          consts[insn.a] = insn.imm;
+        } else {
+          consts.erase(insn.a);
+        }
+      }
+    }
+  }
+}
+
+void FoldImmediates(IrFunction* fn, const binary::IsaSpec& spec) {
+  auto imm_form = [](Opcode op) {
+    switch (op) {
+      case Opcode::kAdd: return Opcode::kAddI;
+      case Opcode::kSub: return Opcode::kSubI;
+      case Opcode::kMul: return Opcode::kMulI;
+      case Opcode::kDiv: return Opcode::kDivI;
+      case Opcode::kMod: return Opcode::kModI;
+      case Opcode::kAnd: return Opcode::kAndI;
+      case Opcode::kOr: return Opcode::kOrI;
+      case Opcode::kXor: return Opcode::kXorI;
+      case Opcode::kShl: return Opcode::kShlI;
+      case Opcode::kShr: return Opcode::kShrI;
+      default: return Opcode::kNop;
+    }
+  };
+  auto commutative = [](Opcode op) {
+    return op == Opcode::kAdd || op == Opcode::kMul || op == Opcode::kAnd ||
+           op == Opcode::kOr || op == Opcode::kXor;
+  };
+  for (IrBlock& block : fn->blocks) {
+    std::unordered_map<int, std::int64_t> consts;
+    for (IrInsn& insn : block.insns) {
+      const Opcode imm_op = imm_form(insn.op);
+      if (imm_op != Opcode::kNop) {
+        auto cit = consts.find(insn.c);
+        if (cit != consts.end() && std::llabs(cit->second) <= spec.max_alu_imm) {
+          insn.op = imm_op;
+          insn.imm = cit->second;
+          insn.c = kNoVReg;
+        } else if (commutative(insn.op)) {
+          auto bit = consts.find(insn.b);
+          if (bit != consts.end() &&
+              std::llabs(bit->second) <= spec.max_alu_imm) {
+            insn.op = imm_op;
+            insn.imm = bit->second;
+            insn.b = insn.c;
+            insn.c = kNoVReg;
+          }
+        }
+      } else if (insn.op == Opcode::kCmp) {
+        auto bit = consts.find(insn.b);
+        if (bit != consts.end() && std::llabs(bit->second) <= spec.max_alu_imm) {
+          insn.op = Opcode::kCmpI;
+          insn.imm = bit->second;
+          insn.b = kNoVReg;
+        }
+      }
+      if (DefinesA(insn.op) && insn.a != kNoVReg) {
+        if (insn.op == Opcode::kMovImm) {
+          consts[insn.a] = insn.imm;
+        } else {
+          consts.erase(insn.a);
+        }
+      }
+    }
+  }
+}
+
+void EliminateDeadCode(IrFunction* fn) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> use_count(static_cast<std::size_t>(fn->num_vregs), 0);
+    std::vector<int> uses;
+    for (const IrBlock& block : fn->blocks) {
+      for (const IrInsn& insn : block.insns) {
+        uses.clear();
+        CollectUses(insn, &uses);
+        for (int v : uses) ++use_count[static_cast<std::size_t>(v)];
+      }
+    }
+    for (IrBlock& block : fn->blocks) {
+      auto removable = [&](const IrInsn& insn) {
+        return IsPure(insn.op) && DefinesA(insn.op) && insn.a != kNoVReg &&
+               insn.a != kFpVReg &&
+               use_count[static_cast<std::size_t>(insn.a)] == 0;
+      };
+      const auto before = block.insns.size();
+      block.insns.erase(
+          std::remove_if(block.insns.begin(), block.insns.end(), removable),
+          block.insns.end());
+      if (block.insns.size() != before) changed = true;
+    }
+  }
+}
+
+void StrengthReduceMul(IrFunction* fn) {
+  for (IrBlock& block : fn->blocks) {
+    std::vector<IrInsn> out;
+    out.reserve(block.insns.size());
+    for (const IrInsn& insn : block.insns) {
+      if (insn.op != Opcode::kMulI || insn.imm <= 0) {
+        out.push_back(insn);
+        continue;
+      }
+      const auto imm = static_cast<std::uint64_t>(insn.imm);
+      const bool pow2 = (imm & (imm - 1)) == 0;
+      if (pow2) {
+        int shift = 0;
+        while ((imm >> shift) != 1) ++shift;
+        out.push_back(IrInsn::Make(Opcode::kShlI, insn.a, insn.b, kNoVReg,
+                                   shift));
+        continue;
+      }
+      // imm = 2^k + 2^j: two shifts and an add.
+      const std::uint64_t high = std::uint64_t{1}
+                                 << (63 - __builtin_clzll(imm));
+      const std::uint64_t rest = imm - high;
+      if (rest != 0 && (rest & (rest - 1)) == 0) {
+        int k = 0, j = 0;
+        while ((high >> k) != 1) ++k;
+        while ((rest >> j) != 1) ++j;
+        const int t1 = fn->NewVReg();
+        const int t2 = fn->NewVReg();
+        out.push_back(IrInsn::Make(Opcode::kShlI, t1, insn.b, kNoVReg, k));
+        out.push_back(IrInsn::Make(Opcode::kShlI, t2, insn.b, kNoVReg, j));
+        out.push_back(IrInsn::Make(Opcode::kAdd, insn.a, t1, t2));
+        continue;
+      }
+      // imm = 2^k - 1: shift and subtract.
+      if (((imm + 1) & imm) == 0) {
+        int k = 0;
+        while (((imm + 1) >> k) != 1) ++k;
+        const int t1 = fn->NewVReg();
+        out.push_back(IrInsn::Make(Opcode::kShlI, t1, insn.b, kNoVReg, k));
+        out.push_back(IrInsn::Make(Opcode::kSub, insn.a, t1, insn.b));
+        continue;
+      }
+      out.push_back(insn);
+    }
+    block.insns = std::move(out);
+  }
+}
+
+namespace {
+bool IsPow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+int Log2(std::int64_t v) {
+  int k = 0;
+  while ((v >> k) != 1) ++k;
+  return k;
+}
+}  // namespace
+
+int MaskWrapIdiom(IrFunction* fn) {
+  int rewrites = 0;
+  for (IrBlock& block : fn->blocks) {
+    for (std::size_t i = 0; i + 3 < block.insns.size(); ++i) {
+      IrInsn& mod = block.insns[i];
+      IrInsn& shr = block.insns[i + 1];
+      IrInsn& andi = block.insns[i + 2];
+      IrInsn& add = block.insns[i + 3];
+      if (mod.op != Opcode::kModI || !IsPow2(mod.imm)) continue;
+      if (shr.op != Opcode::kShrI || shr.b != mod.a || shr.imm != 63) continue;
+      if (andi.op != Opcode::kAndI || andi.b != shr.a || andi.imm != mod.imm) continue;
+      if (add.op != Opcode::kAdd) continue;
+      const bool operands_match = (add.b == mod.a && add.c == andi.a) ||
+                                  (add.b == andi.a && add.c == mod.a);
+      if (!operands_match) continue;
+      const int result = add.a;
+      const int input = mod.b;
+      const std::int64_t mask = mod.imm - 1;
+      mod = IrInsn::Make(Opcode::kAndI, result, input, kNoVReg, mask);
+      shr = IrInsn::Make(Opcode::kNop);
+      andi = IrInsn::Make(Opcode::kNop);
+      add = IrInsn::Make(Opcode::kNop);
+      ++rewrites;
+    }
+    block.insns.erase(std::remove_if(block.insns.begin(), block.insns.end(),
+                                     [](const IrInsn& insn) {
+                                       return insn.op == Opcode::kNop;
+                                     }),
+                      block.insns.end());
+  }
+  return rewrites;
+}
+
+int ShiftDivision(IrFunction* fn) {
+  int rewrites = 0;
+  for (IrBlock& block : fn->blocks) {
+    std::vector<IrInsn> out;
+    out.reserve(block.insns.size());
+    for (const IrInsn& insn : block.insns) {
+      if (insn.op != Opcode::kDivI || !IsPow2(insn.imm) || insn.imm < 2) {
+        out.push_back(insn);
+        continue;
+      }
+      const int k = Log2(insn.imm);
+      const int sign = fn->NewVReg();
+      const int fix = fn->NewVReg();
+      const int adjusted = fn->NewVReg();
+      out.push_back(IrInsn::Make(Opcode::kShrI, sign, insn.b, kNoVReg, 63));
+      out.push_back(
+          IrInsn::Make(Opcode::kAndI, fix, sign, kNoVReg, insn.imm - 1));
+      out.push_back(IrInsn::Make(Opcode::kAdd, adjusted, insn.b, fix));
+      out.push_back(IrInsn::Make(Opcode::kShrI, insn.a, adjusted, kNoVReg, k));
+      ++rewrites;
+    }
+    block.insns = std::move(out);
+  }
+  return rewrites;
+}
+
+void FoldLea(IrFunction* fn) {
+  // mul by 3/5/9 -> lea b + b*{2,4,8} (the classic x86 idiom).
+  for (IrBlock& block : fn->blocks) {
+    for (IrInsn& insn : block.insns) {
+      if (insn.op == Opcode::kMulI &&
+          (insn.imm == 3 || insn.imm == 5 || insn.imm == 9)) {
+        insn = IrInsn::Make(Opcode::kLea, insn.a, insn.b, insn.b,
+                            insn.imm - 1);
+      }
+    }
+  }
+  // Single-use defs of `t = c << k` (k <= 3) or `t = c * {1,2,4,8}`
+  // feeding `dst = b + t` become `dst = lea b + c*scale`.
+  std::vector<int> use_count(static_cast<std::size_t>(fn->num_vregs), 0);
+  std::vector<int> uses;
+  for (const IrBlock& block : fn->blocks) {
+    for (const IrInsn& insn : block.insns) {
+      uses.clear();
+      CollectUses(insn, &uses);
+      for (int v : uses) ++use_count[static_cast<std::size_t>(v)];
+    }
+  }
+  for (IrBlock& block : fn->blocks) {
+    for (std::size_t i = 0; i < block.insns.size(); ++i) {
+      IrInsn& add = block.insns[i];
+      if (add.op != Opcode::kAdd) continue;
+      // Look backwards in the same block for the defining shift/mul.
+      for (std::size_t j = i; j-- > 0;) {
+        IrInsn& def = block.insns[j];
+        if (!DefinesA(def.op) || def.a == kNoVReg) continue;
+        if (def.a == add.b || def.a == add.c) {
+          const int t = def.a;
+          if (use_count[static_cast<std::size_t>(t)] != 1) break;
+          std::int64_t scale = 0;
+          if (def.op == Opcode::kShlI && def.imm >= 1 && def.imm <= 3) {
+            scale = std::int64_t{1} << def.imm;
+          } else if (def.op == Opcode::kMulI &&
+                     (def.imm == 2 || def.imm == 4 || def.imm == 8)) {
+            scale = def.imm;
+          } else {
+            break;
+          }
+          const int index = def.b;
+          const int base = (add.b == t) ? add.c : add.b;
+          add = IrInsn::Make(Opcode::kLea, add.a, base, index, scale);
+          def = IrInsn::Make(Opcode::kNop);
+          break;
+        }
+        // A redefinition of either add operand between def and use ends the
+        // search (values no longer line up).
+        if (def.a == add.b || def.a == add.c) break;
+      }
+    }
+    block.insns.erase(std::remove_if(block.insns.begin(), block.insns.end(),
+                                     [](const IrInsn& insn) {
+                                       return insn.op == Opcode::kNop;
+                                     }),
+                      block.insns.end());
+  }
+}
+
+namespace {
+
+// Analysis of a potential if-conversion side: a block whose instructions are
+// pure and flag-free, ending with kBr, whose final def writes `value_reg`.
+struct SideInfo {
+  bool viable = false;
+  std::vector<IrInsn> prefix;  // everything but the terminator
+  int value_reg = kNoVReg;     // vreg holding the side's result
+  int defined_var = kNoVReg;   // the variable assigned (last def target)
+  int join = -1;
+};
+
+// Counts, per vreg, how many uses occur inside `block_id` vs anywhere.
+// If a prefix def is observable outside its side block, hoisting it would
+// execute it unconditionally and change behaviour — such sides are rejected.
+bool PrefixDefsLocal(const IrFunction& fn, int block_id,
+                     const std::vector<IrInsn>& prefix, int final_var) {
+  std::vector<int> uses;
+  for (const IrInsn& def : prefix) {
+    if (!DefinesA(def.op) || def.a == kNoVReg || def.a == final_var) continue;
+    const int v = def.a;
+    int total = 0, inside = 0;
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      for (const IrInsn& insn : fn.blocks[b].insns) {
+        uses.clear();
+        CollectUses(insn, &uses);
+        for (int u : uses) {
+          if (u != v) continue;
+          ++total;
+          if (static_cast<int>(b) == block_id) ++inside;
+        }
+      }
+    }
+    if (total != inside) return false;
+  }
+  return true;
+}
+
+SideInfo AnalyzeSide(const IrFunction& fn, int block_id, int max_insns) {
+  SideInfo info;
+  const IrBlock& block = fn.blocks[static_cast<std::size_t>(block_id)];
+  if (block.insns.empty() ||
+      static_cast<int>(block.insns.size()) > max_insns + 1) {
+    return info;
+  }
+  const IrInsn& last = block.insns.back();
+  if (last.op != Opcode::kBr) return info;
+  info.join = last.target;
+  for (std::size_t i = 0; i + 1 < block.insns.size(); ++i) {
+    const IrInsn& insn = block.insns[i];
+    if (!IsPure(insn.op) || TouchesFlags(insn.op) || ReadsFlags(insn.op)) {
+      return info;
+    }
+    info.prefix.push_back(insn);
+  }
+  if (info.prefix.empty()) return info;
+  const IrInsn& final_def = info.prefix.back();
+  if (final_def.op != Opcode::kMov && final_def.op != Opcode::kMovImm) {
+    return info;
+  }
+  info.defined_var = final_def.a;
+  if (!PrefixDefsLocal(fn, block_id, info.prefix, info.defined_var)) {
+    return info;
+  }
+  info.viable = true;
+  return info;
+}
+
+}  // namespace
+
+int IfConvert(IrFunction* fn) {
+  int conversions = 0;
+  constexpr int kMaxSideInsns = 6;
+  for (std::size_t b = 0; b < fn->blocks.size(); ++b) {
+    IrBlock& block = fn->blocks[b];
+    if (block.insns.empty()) continue;
+    IrInsn& term = block.insns.back();
+    if (term.op != Opcode::kBrCond) continue;
+    const int t_block = term.target;
+    const int f_block = term.target2;
+    if (t_block == static_cast<int>(b) || f_block == static_cast<int>(b)) {
+      continue;
+    }
+
+    SideInfo t_info = AnalyzeSide(*fn, t_block, kMaxSideInsns);
+
+    // Diamond: brcond -> T, F; both sides assign the same vreg and join.
+    if (t_info.viable && f_block != t_info.join) {
+      SideInfo f_info = AnalyzeSide(*fn, f_block, kMaxSideInsns);
+      auto redefines_var = [](const SideInfo& side) {
+        for (std::size_t i = 0; i + 1 < side.prefix.size(); ++i) {
+          if (DefinesA(side.prefix[i].op) &&
+              side.prefix[i].a == side.defined_var) {
+            return true;
+          }
+        }
+        return false;
+      };
+      if (f_info.viable && f_info.join == t_info.join &&
+          f_info.defined_var == t_info.defined_var &&
+          !redefines_var(t_info) && !redefines_var(f_info)) {
+        const Cond cond = term.cond;
+        const int join = t_info.join;
+        const int var = t_info.defined_var;
+        block.insns.pop_back();  // drop brcond
+        auto value_of = [&](SideInfo& side) {
+          IrInsn final_def = side.prefix.back();
+          side.prefix.pop_back();
+          for (const IrInsn& insn : side.prefix) block.insns.push_back(insn);
+          if (final_def.op == Opcode::kMovImm) {
+            const int tmp = fn->NewVReg();
+            block.insns.push_back(IrInsn::Make(Opcode::kMovImm, tmp, kNoVReg,
+                                               kNoVReg, final_def.imm));
+            return tmp;
+          }
+          return final_def.b;
+        };
+        const int tv = value_of(t_info);
+        const int fv = value_of(f_info);
+        block.insns.push_back(
+            IrInsn::Make(Opcode::kCsel, var, tv, fv, 0, cond));
+        IrInsn br = IrInsn::Make(Opcode::kBr);
+        br.target = join;
+        block.insns.push_back(br);
+        ++conversions;
+        continue;
+      }
+    }
+
+    // Triangle: brcond -> T, J where T joins at J.
+    if (t_info.viable && t_info.join == f_block) {
+      // csel var, value, var requires the old value of var; only safe when
+      // the side's prefix does not redefine var before the final def.
+      bool redefines = false;
+      for (std::size_t i = 0; i + 1 < t_info.prefix.size(); ++i) {
+        if (DefinesA(t_info.prefix[i].op) &&
+            t_info.prefix[i].a == t_info.defined_var) {
+          redefines = true;
+        }
+      }
+      if (redefines) continue;
+      const Cond cond = term.cond;
+      const int join = f_block;
+      const int var = t_info.defined_var;
+      block.insns.pop_back();
+      IrInsn final_def = t_info.prefix.back();
+      t_info.prefix.pop_back();
+      for (const IrInsn& insn : t_info.prefix) block.insns.push_back(insn);
+      int tv;
+      if (final_def.op == Opcode::kMovImm) {
+        tv = fn->NewVReg();
+        block.insns.push_back(
+            IrInsn::Make(Opcode::kMovImm, tv, kNoVReg, kNoVReg, final_def.imm));
+      } else {
+        tv = final_def.b;
+      }
+      block.insns.push_back(IrInsn::Make(Opcode::kCsel, var, tv, var, 0, cond));
+      IrInsn br = IrInsn::Make(Opcode::kBr);
+      br.target = join;
+      block.insns.push_back(br);
+      ++conversions;
+    }
+  }
+  if (conversions > 0) RemoveUnreachableBlocks(fn);
+  return conversions;
+}
+
+int NormalizeComparisons(IrFunction* fn) {
+  int rewrites = 0;
+  for (IrBlock& block : fn->blocks) {
+    for (std::size_t i = 0; i < block.insns.size(); ++i) {
+      IrInsn& cmp = block.insns[i];
+      if (cmp.op != Opcode::kCmpI) continue;
+      if (cmp.imm == std::numeric_limits<std::int64_t>::min() ||
+          cmp.imm == std::numeric_limits<std::int64_t>::max()) {
+        continue;
+      }
+      // Collect the flag consumers up to the next flag-setting instruction.
+      std::vector<IrInsn*> consumers;
+      bool convertible_down = true;  // lt/ge family: imm - 1
+      bool convertible_up = true;    // gt/le family: imm + 1
+      for (std::size_t j = i + 1; j < block.insns.size(); ++j) {
+        IrInsn& insn = block.insns[j];
+        if (TouchesFlags(insn.op)) break;
+        if (!ReadsFlags(insn.op)) continue;
+        consumers.push_back(&insn);
+        if (insn.cond != Cond::kLt && insn.cond != Cond::kGe) {
+          convertible_down = false;
+        }
+        if (insn.cond != Cond::kGt && insn.cond != Cond::kLe) {
+          convertible_up = false;
+        }
+      }
+      if (consumers.empty()) continue;
+      if (convertible_down) {
+        cmp.imm -= 1;  // x < K  ==  x <= K-1 ; x >= K == x > K-1
+        for (IrInsn* insn : consumers) {
+          insn->cond = insn->cond == Cond::kLt ? Cond::kLe : Cond::kGt;
+        }
+        ++rewrites;
+      } else if (convertible_up) {
+        cmp.imm += 1;  // x > K  ==  x >= K+1 ; x <= K == x < K+1
+        for (IrInsn* insn : consumers) {
+          insn->cond = insn->cond == Cond::kGt ? Cond::kGe : Cond::kLt;
+        }
+        ++rewrites;
+      }
+    }
+  }
+  return rewrites;
+}
+
+int RotateLoops(IrFunction* fn) {
+  int rotated = 0;
+  const std::size_t original_blocks = fn->blocks.size();
+  // header id -> duplicated bottom-test block id.
+  std::map<int, int> duplicate_of;
+  for (std::size_t b = 0; b < original_blocks; ++b) {
+    // (no references held across the push_back below — it reallocates)
+    if (fn->blocks[b].insns.back().op != Opcode::kBr) continue;
+    const int header = fn->blocks[b].insns.back().target;
+    if (header >= static_cast<int>(b)) continue;  // only back edges
+    if (fn->blocks[static_cast<std::size_t>(header)].insns.back().op !=
+        Opcode::kBrCond) {
+      continue;
+    }
+    auto [it, inserted] = duplicate_of.try_emplace(header, -1);
+    if (inserted) {
+      it->second = static_cast<int>(fn->blocks.size());
+      IrBlock copy = fn->blocks[static_cast<std::size_t>(header)];
+      fn->blocks.push_back(std::move(copy));
+      ++rotated;
+    }
+    fn->blocks[b].insns.back().target = it->second;
+  }
+  return rotated;
+}
+
+void RemoveUnreachableBlocks(IrFunction* fn) {
+  std::vector<char> reachable(fn->blocks.size(), 0);
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int b = stack.back();
+    stack.pop_back();
+    if (reachable[static_cast<std::size_t>(b)]) continue;
+    reachable[static_cast<std::size_t>(b)] = 1;
+    for (int succ : fn->Successors(b)) stack.push_back(succ);
+  }
+  std::vector<int> remap(fn->blocks.size(), -1);
+  std::vector<IrBlock> kept;
+  for (std::size_t b = 0; b < fn->blocks.size(); ++b) {
+    if (reachable[b]) {
+      remap[b] = static_cast<int>(kept.size());
+      kept.push_back(std::move(fn->blocks[b]));
+    }
+  }
+  fn->blocks = std::move(kept);
+  for (IrBlock& block : fn->blocks) {
+    for (IrInsn& insn : block.insns) {
+      if (insn.target >= 0) insn.target = remap[static_cast<std::size_t>(insn.target)];
+      if (insn.target2 >= 0) insn.target2 = remap[static_cast<std::size_t>(insn.target2)];
+    }
+  }
+  for (IrJumpTable& table : fn->jump_tables) {
+    for (int& t : table.targets) t = remap[static_cast<std::size_t>(t)];
+    table.default_target = remap[static_cast<std::size_t>(table.default_target)];
+  }
+}
+
+namespace {
+
+// Splices `callee` (a leaf function) into `caller`, replacing the kCall at
+// (block_id, insn_idx). Lowering guarantees the callee's kArg instructions
+// immediately precede the kCall; they become stores into a fresh frame
+// extension that plays the callee's frame.
+void InlineCallSite(IrFunction* caller, int block_id, int insn_idx,
+                    const IrFunction& callee) {
+  const int vreg_offset = caller->num_vregs;
+  caller->num_vregs += callee.num_vregs;
+  const int frame_base = caller->frame_words;
+  caller->frame_words += callee.frame_words;
+  const int block_offset = static_cast<int>(caller->blocks.size());
+  const int table_offset = static_cast<int>(caller->jump_tables.size());
+
+  auto remap_vreg = [&](int v) {
+    if (v == kNoVReg || v == kFpVReg) return v;
+    return vreg_offset + v;
+  };
+
+  // Split the call block.
+  std::vector<IrInsn> tail;
+  IrInsn call;
+  {
+    IrBlock& cb = caller->blocks[static_cast<std::size_t>(block_id)];
+    call = cb.insns[static_cast<std::size_t>(insn_idx)];
+    tail.assign(cb.insns.begin() + insn_idx + 1, cb.insns.end());
+    cb.insns.resize(static_cast<std::size_t>(insn_idx));
+    // Rewrite the kArg group into stores to the callee's inlined frame.
+    for (int i = 0; i < callee.num_params; ++i) {
+      IrInsn& arg =
+          cb.insns[cb.insns.size() - static_cast<std::size_t>(callee.num_params - i)];
+      arg = IrInsn::Make(Opcode::kStoreI, arg.a, kFpVReg, kNoVReg,
+                         frame_base + arg.imm);
+    }
+    IrInsn br = IrInsn::Make(Opcode::kBr);
+    br.target = block_offset;  // callee entry
+    cb.insns.push_back(br);
+  }
+
+  // Continuation block receives the rest of the original block.
+  caller->blocks.emplace_back();
+  // (emplace first so the callee entry lands at block_offset + 1? No:
+  // continuation must not shift callee block ids — append the continuation
+  // AFTER the callee blocks instead.)
+  caller->blocks.pop_back();
+
+  // Copy callee blocks.
+  for (const IrBlock& src : callee.blocks) {
+    IrBlock dst;
+    for (IrInsn insn : src.insns) {
+      if (insn.op == Opcode::kRet) {
+        IrInsn mov = IrInsn::Make(Opcode::kMov, call.a, remap_vreg(insn.a));
+        dst.insns.push_back(mov);
+        IrInsn br = IrInsn::Make(Opcode::kBr);
+        br.target = block_offset + static_cast<int>(callee.blocks.size());
+        dst.insns.push_back(br);
+        continue;
+      }
+      // Frame-relative accesses shift by the inlined frame base.
+      if ((insn.op == Opcode::kLoadI || insn.op == Opcode::kStoreI) &&
+          insn.b == kFpVReg) {
+        insn.imm += frame_base;
+      } else if (insn.op == Opcode::kFrameAddr) {
+        insn.imm += frame_base;
+      }
+      if (DefinesA(insn.op)) {
+        insn.a = remap_vreg(insn.a);
+      } else if (insn.op == Opcode::kCmp || insn.op == Opcode::kCmpI ||
+                 insn.op == Opcode::kStore || insn.op == Opcode::kStoreI ||
+                 insn.op == Opcode::kArg || insn.op == Opcode::kJmpTable) {
+        insn.a = remap_vreg(insn.a);
+      }
+      insn.b = remap_vreg(insn.b);
+      insn.c = remap_vreg(insn.c);
+      if (insn.target >= 0) insn.target += block_offset;
+      if (insn.target2 >= 0) insn.target2 += block_offset;
+      if (insn.table >= 0) insn.table += table_offset;
+      dst.insns.push_back(insn);
+    }
+    caller->blocks.push_back(std::move(dst));
+  }
+  for (const IrJumpTable& src : callee.jump_tables) {
+    IrJumpTable table = src;
+    for (int& t : table.targets) t += block_offset;
+    table.default_target += block_offset;
+    caller->jump_tables.push_back(std::move(table));
+  }
+
+  // Continuation block (id = block_offset + callee.blocks.size()).
+  IrBlock continuation;
+  continuation.insns = std::move(tail);
+  caller->blocks.push_back(std::move(continuation));
+}
+
+}  // namespace
+
+int InlineSmallCalls(IrProgram* program, const binary::IsaSpec& spec,
+                     int limit_override) {
+  const int limit = limit_override >= 0 ? limit_override : spec.inline_limit;
+  int inlined = 0;
+  for (std::size_t f = 0; f < program->functions.size(); ++f) {
+    IrFunction& caller = program->functions[f];
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 16) {
+      changed = false;
+      for (std::size_t b = 0; b < caller.blocks.size() && !changed; ++b) {
+        for (std::size_t i = 0; i < caller.blocks[b].insns.size(); ++i) {
+          const IrInsn& insn = caller.blocks[b].insns[i];
+          if (insn.op != Opcode::kCall) continue;
+          const auto callee_index = static_cast<std::size_t>(insn.imm);
+          if (callee_index == f) continue;  // no self-inlining
+          const IrFunction& callee = program->functions[callee_index];
+          if (!callee.IsLeaf() ||
+              static_cast<int>(callee.TotalInsns()) > limit) {
+            continue;
+          }
+          InlineCallSite(&caller, static_cast<int>(b), static_cast<int>(i),
+                         callee);
+          ++inlined;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return inlined;
+}
+
+}  // namespace asteria::compiler

@@ -1,0 +1,78 @@
+// IR optimization passes.
+//
+// Besides the usual cleanups (copy propagation, constant folding, DCE),
+// these passes are where the four ISAs diverge — the source of the
+// cross-architecture AST/CFG variation the paper studies:
+//  * FoldImmediates respects each ISA's immediate width
+//  * StrengthReduceMul fires only on PPC
+//  * FoldLea fires only on x86/x64
+//  * IfConvert (kCsel) fires only on ARM, merging small diamonds into
+//    straight-line code (the Fig. 2 CFG-collapse effect)
+//  * InlineSmallCalls uses per-ISA size thresholds, making callee counts
+//    differ across architectures (motivates the paper's β-filter, §III-C)
+#pragma once
+
+#include "binary/isa.h"
+#include "compiler/ir.h"
+
+namespace asteria::compiler {
+
+// Per-block copy propagation (kMov chains), clobber-aware.
+void CopyPropagate(IrFunction* fn);
+
+// Per-block constant folding through kMovImm/ALU chains.
+void FoldConstants(IrFunction* fn);
+
+// Rewrites reg-reg ALU ops whose rhs is a known constant fitting the ISA's
+// immediate width into the -I form.
+void FoldImmediates(IrFunction* fn, const binary::IsaSpec& spec);
+
+// Removes pure instructions whose results are never used (keeps stores,
+// calls, branches, compares, args, rets). Runs to fixpoint.
+void EliminateDeadCode(IrFunction* fn);
+
+// kMulI by power-of-two(-ish) constants -> shift/add sequences (PPC).
+void StrengthReduceMul(IrFunction* fn);
+
+// Rewrites the lowering's 4-instruction Euclidean wrap
+//   m = i % N;  s = m >> 63;  t = s & N;  w = m + t      (N a power of two)
+// into a single `w = i & (N-1)` (exactly equivalent in two's complement).
+// Fires on ISAs with mask_wrap_idiom, changing the node multiset of every
+// variable-index array access. Returns the number of rewrites.
+int MaskWrapIdiom(IrFunction* fn);
+
+// Rewrites kDivI by a positive power of two into the sign-fix shift
+// sequence (s = i >> 63; t = s & (N-1); u = i + t; d = u >> k), PPC-style.
+// Exactly matches C truncating division. Returns the number of rewrites.
+int ShiftDivision(IrFunction* fn);
+
+// shl/mul-by-{1,2,4,8} + add -> kLea, and mul-by-{3,5,9} -> lea b + b*{2,4,8}
+// (x86/x64).
+void FoldLea(IrFunction* fn);
+
+// Canonicalizes constant comparisons the way RISC backends do:
+// x < K  ->  x <= K-1   and   x > K  ->  x >= K+1 (ARM/PPC). Changes the
+// comparison node kinds in the decompiled multiset on every loop bound.
+// Returns the number of rewrites.
+int NormalizeComparisons(IrFunction* fn);
+
+// Converts small if-diamonds/triangles whose sides are pure, flag-free and
+// single-assignment into kCsel (ARM). Returns the number of conversions.
+int IfConvert(IrFunction* fn);
+
+// Drops blocks unreachable from the entry and renumbers targets.
+void RemoveUnreachableBlocks(IrFunction* fn);
+
+// Loop rotation (x64/ARM): every back edge targeting a conditional header
+// is redirected to a duplicate of that header placed as a separate block,
+// yielding the guarded do-while shape of gcc -O2. The duplicate is an exact
+// copy with identical successors, so the rewrite is semantics-preserving
+// for any CFG. Returns the number of rotated headers.
+int RotateLoops(IrFunction* fn);
+
+// Inlines calls to small leaf functions (per-ISA threshold, or
+// `limit_override` >= 0). Returns the number of inlined call sites.
+int InlineSmallCalls(IrProgram* program, const binary::IsaSpec& spec,
+                     int limit_override = -1);
+
+}  // namespace asteria::compiler

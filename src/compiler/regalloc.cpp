@@ -1,0 +1,220 @@
+#include "compiler/regalloc.h"
+
+#include <algorithm>
+#include <list>
+#include <unordered_map>
+
+#include "compiler/liveness.h"
+
+namespace asteria::compiler {
+
+namespace {
+
+struct Assignment {
+  // vreg -> physical register, or -1 when spilled.
+  std::unordered_map<int, int> reg_of;
+  // vreg -> frame slot for spilled vregs.
+  std::unordered_map<int, int> slot_of;
+};
+
+Assignment LinearScan(IrFunction* fn, int num_regs, RegAllocStats* stats) {
+  Assignment assignment;
+  const LivenessInfo liveness = ComputeLiveness(*fn);
+  std::vector<Interval> intervals = ComputeIntervals(*fn, liveness);
+
+  std::vector<int> free_regs;
+  for (int r = num_regs - 1; r >= 0; --r) free_regs.push_back(r);
+  // Active intervals sorted by increasing end.
+  std::list<Interval> active;
+
+  auto spill_to_slot = [&](int vreg) {
+    assignment.reg_of[vreg] = -1;
+    assignment.slot_of[vreg] = fn->frame_words++;
+    ++stats->spilled_vregs;
+  };
+
+  for (const Interval& current : intervals) {
+    // Expire intervals that ended before this one starts.
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->end < current.start) {
+        free_regs.push_back(assignment.reg_of[it->vreg]);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (!free_regs.empty()) {
+      const int reg = free_regs.back();
+      free_regs.pop_back();
+      assignment.reg_of[current.vreg] = reg;
+      auto pos = std::find_if(active.begin(), active.end(),
+                              [&](const Interval& i) { return i.end > current.end; });
+      active.insert(pos, current);
+      continue;
+    }
+    // Spill the interval with the furthest end (Poletto heuristic).
+    Interval& victim = active.back();
+    if (victim.end > current.end) {
+      assignment.reg_of[current.vreg] = assignment.reg_of[victim.vreg];
+      spill_to_slot(victim.vreg);
+      active.pop_back();
+      auto pos = std::find_if(active.begin(), active.end(),
+                              [&](const Interval& i) { return i.end > current.end; });
+      active.insert(pos, current);
+    } else {
+      spill_to_slot(current.vreg);
+    }
+  }
+  return assignment;
+}
+
+// Rewrites one function from vregs to physical registers, inserting spill
+// loads/stores around instructions that touch spilled vregs.
+void RewriteWithAssignment(IrFunction* fn, const Assignment& assignment,
+                           RegAllocStats* stats) {
+  auto phys = [&](int v) -> int {
+    if (v == kNoVReg) return kNoVReg;
+    if (v == kFpVReg) return binary::kFramePointerReg;
+    auto it = assignment.reg_of.find(v);
+    if (it == assignment.reg_of.end()) return kScratchA;  // dead def
+    return it->second;
+  };
+  auto slot = [&](int v) { return assignment.slot_of.at(v); };
+  auto spilled = [&](int v) {
+    if (v == kNoVReg || v == kFpVReg) return false;
+    auto it = assignment.reg_of.find(v);
+    return it != assignment.reg_of.end() && it->second == -1;
+  };
+
+  for (IrBlock& block : fn->blocks) {
+    std::vector<IrInsn> out;
+    out.reserve(block.insns.size());
+    for (IrInsn insn : block.insns) {
+      const bool defines = DefinesA(insn.op) && insn.a != kNoVReg;
+      // Uses in field a (stores, args, rets, compares, jump tables).
+      const bool a_is_use = !defines && insn.a != kNoVReg &&
+                            (insn.op == Opcode::kCmp || insn.op == Opcode::kCmpI ||
+                             insn.op == Opcode::kStore || insn.op == Opcode::kStoreI ||
+                             insn.op == Opcode::kArg || insn.op == Opcode::kRet ||
+                             insn.op == Opcode::kJmpTable);
+      auto reload = [&](int v, int scratch) {
+        out.push_back(IrInsn::Make(Opcode::kLoadI, scratch,
+                                   binary::kFramePointerReg, kNoVReg,
+                                   slot(v)));
+        ++stats->spill_loads;
+        return scratch;
+      };
+      int a = insn.a, b = insn.b, c = insn.c;
+      if (b != kNoVReg) b = spilled(b) ? reload(insn.b, kScratchB) : phys(b);
+      if (c != kNoVReg) c = spilled(c) ? reload(insn.c, kScratchC) : phys(c);
+      bool store_def = false;
+      if (a != kNoVReg) {
+        if (a_is_use) {
+          a = spilled(a) ? reload(insn.a, kScratchA) : phys(a);
+        } else if (defines) {
+          if (spilled(a)) {
+            store_def = true;
+            a = kScratchA;
+          } else {
+            a = phys(a);
+          }
+        }
+      }
+      const int def_slot = store_def ? slot(insn.a) : -1;
+      insn.a = a;
+      insn.b = b;
+      insn.c = c;
+      // kCsel additionally *reads* its destination on neither-side... no:
+      // csel always writes; but the triangle form uses the old value as one
+      // of its operands (already handled as a normal use of b/c).
+      out.push_back(insn);
+      if (store_def) {
+        out.push_back(IrInsn::Make(Opcode::kStoreI, kScratchA,
+                                   binary::kFramePointerReg, kNoVReg,
+                                   def_slot));
+        ++stats->spill_stores;
+      }
+    }
+    block.insns = std::move(out);
+  }
+}
+
+bool IsThreeOpAlu(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+    case Opcode::kShr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsCommutative(Opcode op) {
+  return op == Opcode::kAdd || op == Opcode::kMul || op == Opcode::kAnd ||
+         op == Opcode::kOr || op == Opcode::kXor;
+}
+
+bool IsTwoOpImmAlu(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Enforces the dst==lhs constraint of two-operand ISAs after allocation.
+void TwoOperandFixup(IrFunction* fn, RegAllocStats* stats) {
+  for (IrBlock& block : fn->blocks) {
+    std::vector<IrInsn> out;
+    out.reserve(block.insns.size());
+    for (IrInsn insn : block.insns) {
+      if (IsThreeOpAlu(insn.op) && insn.a != insn.b) {
+        if (insn.a == insn.c) {
+          if (IsCommutative(insn.op)) {
+            std::swap(insn.b, insn.c);
+          } else {
+            // mov tmp, c; mov dst, b; op dst, dst, tmp
+            const int tmp = (insn.b == kScratchB) ? kScratchC : kScratchB;
+            out.push_back(IrInsn::Make(Opcode::kMov, tmp, insn.c));
+            out.push_back(IrInsn::Make(Opcode::kMov, insn.a, insn.b));
+            insn.b = insn.a;
+            insn.c = tmp;
+            out.push_back(insn);
+            stats->fixup_moves += 2;
+            continue;
+          }
+        }
+        if (insn.a != insn.b) {
+          out.push_back(IrInsn::Make(Opcode::kMov, insn.a, insn.b));
+          insn.b = insn.a;
+          ++stats->fixup_moves;
+        }
+      } else if (IsTwoOpImmAlu(insn.op) && insn.a != insn.b) {
+        out.push_back(IrInsn::Make(Opcode::kMov, insn.a, insn.b));
+        insn.b = insn.a;
+        ++stats->fixup_moves;
+      }
+      out.push_back(insn);
+    }
+    block.insns = std::move(out);
+  }
+}
+
+}  // namespace
+
+RegAllocStats AllocateRegisters(IrFunction* fn, const binary::IsaSpec& spec) {
+  RegAllocStats stats;
+  const Assignment assignment = LinearScan(fn, spec.allocatable_registers,
+                                           &stats);
+  RewriteWithAssignment(fn, assignment, &stats);
+  if (spec.two_operand_alu) TwoOperandFixup(fn, &stats);
+  return stats;
+}
+
+}  // namespace asteria::compiler

@@ -1,0 +1,33 @@
+// Linear-scan register allocation (Poletto & Sarkar) with spilling.
+//
+// Rewrites the IrFunction in place: after the pass every register field
+// holds a *physical* register. Allocatable registers are r0..r<K-1> (K from
+// the IsaSpec), r28-r30 are reserved spill scratches, r31 is the frame
+// pointer. Spilled vregs receive frame slots; each use loads into a scratch
+// and each def stores back, producing exactly the memory traffic that makes
+// register-starved targets (x86) decompile with extra temporaries.
+//
+// For two-operand ISAs (x86/x64) a post-pass rewrites 3-op ALU instructions
+// into mov+op pairs honouring the dst==lhs constraint.
+#pragma once
+
+#include "binary/isa.h"
+#include "compiler/ir.h"
+
+namespace asteria::compiler {
+
+inline constexpr int kScratchA = 30;  // def / value-operand scratch
+inline constexpr int kScratchB = 28;
+inline constexpr int kScratchC = 29;
+
+struct RegAllocStats {
+  int spilled_vregs = 0;
+  int spill_loads = 0;
+  int spill_stores = 0;
+  int fixup_moves = 0;
+};
+
+// Allocates registers for `fn` targeting `spec`. Returns statistics.
+RegAllocStats AllocateRegisters(IrFunction* fn, const binary::IsaSpec& spec);
+
+}  // namespace asteria::compiler

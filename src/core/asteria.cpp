@@ -1,0 +1,28 @@
+#include "core/asteria.h"
+
+namespace asteria::core {
+
+AsteriaModel::AsteriaModel(const AsteriaConfig& config)
+    : config_(config), rng_(config.seed), siamese_(config.siamese, rng_) {}
+
+ast::BinaryAst AsteriaModel::Preprocess(const ast::Ast& tree) {
+  return ast::ToLeftChildRightSibling(tree);
+}
+
+double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
+                                std::vector<LabeledPair> pairs,
+                                util::Rng& rng) {
+  rng.Shuffle(pairs);
+  double total_loss = 0.0;
+  std::size_t counted = 0;
+  for (const LabeledPair& pair : pairs) {
+    const auto& a = features[static_cast<std::size_t>(pair.a)].tree;
+    const auto& b = features[static_cast<std::size_t>(pair.b)].tree;
+    if (a.empty() || b.empty()) continue;
+    total_loss += TrainPair(a, b, pair.homologous);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total_loss / static_cast<double>(counted);
+}
+
+}  // namespace asteria::core

@@ -1,0 +1,26 @@
+// Similarity calibration with callee counts (§III-C, equations (9)-(10)).
+//
+//   S(C1, C2) = e^{-|C1 - C2|}
+//   F(F1, F2) = M(T1, T2) * S(C1, C2)
+// C is the size of the β-filtered callee set χ (decompiler::DecompiledFunction
+// computes it). Calibration is applied at inference only — training sees raw
+// AST similarity so the Tree-LSTM "effectively learns semantic differences
+// between ASTs" (§IV-A).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+
+namespace asteria::core {
+
+// Equation (9).
+inline double CalleeSimilarity(int c1, int c2) {
+  return std::exp(-static_cast<double>(std::abs(c1 - c2)));
+}
+
+// Equation (10).
+inline double CalibratedSimilarity(double ast_similarity, int c1, int c2) {
+  return ast_similarity * CalleeSimilarity(c1, c2);
+}
+
+}  // namespace asteria::core

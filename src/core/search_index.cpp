@@ -1,0 +1,66 @@
+#include "core/search_index.h"
+
+#include <algorithm>
+
+namespace asteria::core {
+
+int SearchIndex::Add(const FunctionFeature& feature) {
+  Entry entry;
+  entry.name = feature.name;
+  entry.encoding = model_.Encode(feature.tree);
+  entry.callee_count = feature.callee_count;
+  entries_.push_back(std::move(entry));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+void SearchIndex::AddAll(const std::vector<FunctionFeature>& features) {
+  for (const FunctionFeature& feature : features) Add(feature);
+}
+
+std::vector<SearchHit> SearchIndex::Scored(
+    const FunctionFeature& query) const {
+  const nn::Matrix query_encoding = model_.Encode(query.tree);
+  std::vector<SearchHit> hits;
+  hits.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    SearchHit hit;
+    hit.index = static_cast<int>(i);
+    hit.name = entry.name;
+    hit.score = CalibratedSimilarity(
+        model_.SimilarityFromEncodings(query_encoding, entry.encoding),
+        query.callee_count, entry.callee_count);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
+                                         int k) const {
+  std::vector<SearchHit> hits = Scored(query);
+  const auto cut = hits.begin() +
+                   std::min<std::ptrdiff_t>(k, static_cast<std::ptrdiff_t>(hits.size()));
+  std::partial_sort(hits.begin(), cut, hits.end(),
+                    [](const SearchHit& a, const SearchHit& b) {
+                      return a.score > b.score;
+                    });
+  hits.erase(cut, hits.end());
+  return hits;
+}
+
+std::vector<SearchHit> SearchIndex::AboveThreshold(
+    const FunctionFeature& query, double threshold) const {
+  std::vector<SearchHit> hits = Scored(query);
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const SearchHit& hit) {
+                              return hit.score < threshold;
+                            }),
+             hits.end());
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              return a.score > b.score;
+            });
+  return hits;
+}
+
+}  // namespace asteria::core

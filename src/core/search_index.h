@@ -1,0 +1,57 @@
+// SearchIndex: encode-once, query-many function search.
+//
+// The workflow of §V and of any realistic clone/vulnerability search:
+// offline, every corpus function is encoded once; online, a query is
+// encoded and scored against all stored encodings with the fast eq. (8)
+// replay plus callee calibration, returning the top-k matches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/asteria.h"
+
+namespace asteria::core {
+
+struct SearchHit {
+  int index = 0;        // position in insertion order
+  std::string name;     // the stored FunctionFeature name
+  double score = 0.0;   // calibrated similarity F
+};
+
+class SearchIndex {
+ public:
+  // The model must outlive the index; its weights should be trained before
+  // Add() (encodings are computed with the weights current at call time).
+  explicit SearchIndex(const AsteriaModel& model) : model_(model) {}
+
+  // Encodes and stores one function; returns its index.
+  int Add(const FunctionFeature& feature);
+
+  // Encodes all features (convenience).
+  void AddAll(const std::vector<FunctionFeature>& features);
+
+  // Scores `query` against every stored function and returns the best `k`
+  // hits in descending score order.
+  std::vector<SearchHit> TopK(const FunctionFeature& query, int k) const;
+
+  // All hits scoring at least `threshold`, descending.
+  std::vector<SearchHit> AboveThreshold(const FunctionFeature& query,
+                                        double threshold) const;
+
+  int size() const { return static_cast<int>(entries_.size()); }
+
+ private:
+  struct Entry {
+    std::string name;
+    nn::Matrix encoding;
+    int callee_count = 0;
+  };
+
+  std::vector<SearchHit> Scored(const FunctionFeature& query) const;
+
+  const AsteriaModel& model_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace asteria::core

@@ -1,0 +1,97 @@
+#include "core/siamese.h"
+
+#include <cmath>
+
+namespace asteria::core {
+
+using nn::Matrix;
+using nn::Tape;
+using nn::Var;
+
+SiameseModel::SiameseModel(const SiameseConfig& config, util::Rng& rng)
+    : config_(config),
+      encoder_(config.encoder, &store_, rng),
+      optimizer_(config.learning_rate) {
+  if (config_.head == SiameseHead::kClassification) {
+    w_out_ = store_.CreateXavier("siamese.W",
+                                 2 * config_.encoder.hidden_dim, 2, rng);
+  }
+}
+
+Var SiameseModel::Head(Tape* tape, Var e1, Var e2) const {
+  if (config_.head == SiameseHead::kRegression) {
+    return tape->Cosine(e1, e2);
+  }
+  // eq. (8): softmax(sigmoid(cat(|e1-e2|, e1.e2))^T W)
+  const Var diff = tape->Abs(tape->Sub(e1, e2));
+  const Var prod = tape->Hadamard(e1, e2);
+  const Var features = tape->Sigmoid(tape->ConcatRows(diff, prod));
+  const Var logits = tape->MatMulTransA(tape->Param(w_out_), features);
+  return tape->Softmax(logits);  // [dissimilarity, similarity]
+}
+
+double SiameseModel::Similarity(const ast::BinaryAst& a,
+                                const ast::BinaryAst& b) const {
+  if (a.empty() || b.empty()) return 0.0;
+  Tape tape;
+  const Var e1 = encoder_.Encode(&tape, a);
+  const Var e2 = encoder_.Encode(&tape, b);
+  const Var out = Head(&tape, e1, e2);
+  const Matrix& value = tape.value(out);
+  if (config_.head == SiameseHead::kRegression) {
+    return 0.5 * (value(0, 0) + 1.0);  // map cos [-1,1] -> [0,1]
+  }
+  return value(1, 0);
+}
+
+double SiameseModel::SimilarityFromEncodings(const Matrix& a,
+                                             const Matrix& b) const {
+  if (config_.head == SiameseHead::kRegression) {
+    const double denom = a.Norm() * b.Norm();
+    if (denom < 1e-12) return 0.0;
+    return 0.5 * (Dot(a, b) / denom + 1.0);
+  }
+  // Plain-matrix replay of eq. (8) — this is the 10^-9-second online path.
+  const int h = a.rows();
+  Matrix features(2 * h, 1);
+  for (int r = 0; r < h; ++r) {
+    features(r, 0) =
+        1.0 / (1.0 + std::exp(-std::fabs(a(r, 0) - b(r, 0))));
+    features(h + r, 0) =
+        1.0 / (1.0 + std::exp(-(a(r, 0) * b(r, 0))));
+  }
+  double logit0 = 0.0, logit1 = 0.0;
+  const Matrix& w = w_out_->value;
+  for (int r = 0; r < 2 * h; ++r) {
+    logit0 += w(r, 0) * features(r, 0);
+    logit1 += w(r, 1) * features(r, 0);
+  }
+  const double max_logit = std::max(logit0, logit1);
+  const double z0 = std::exp(logit0 - max_logit);
+  const double z1 = std::exp(logit1 - max_logit);
+  return z1 / (z0 + z1);
+}
+
+double SiameseModel::TrainPair(const ast::BinaryAst& a,
+                               const ast::BinaryAst& b, bool homologous) {
+  if (a.empty() || b.empty()) return 0.0;
+  Tape tape;
+  const Var e1 = encoder_.Encode(&tape, a);
+  const Var e2 = encoder_.Encode(&tape, b);
+  const Var out = Head(&tape, e1, e2);
+  Var loss;
+  if (config_.head == SiameseHead::kRegression) {
+    loss = tape.SquaredErrorToConst(out, homologous ? 1.0 : -1.0);
+  } else {
+    Matrix target(2, 1);
+    target(0, 0) = homologous ? 0.0 : 1.0;
+    target(1, 0) = homologous ? 1.0 : 0.0;
+    loss = tape.BceLoss(out, target);
+  }
+  const double loss_value = tape.value(loss)(0, 0);
+  tape.Backward(loss);
+  optimizer_.Step(store_.parameters());
+  return loss_value;
+}
+
+}  // namespace asteria::core

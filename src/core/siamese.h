@@ -1,0 +1,65 @@
+// Siamese network over two shared-weight Tree-LSTM encoders (§III-B).
+//
+// Classification head — equation (8):
+//   M(T1,T2) = softmax( sigmoid( cat(|e1-e2|, e1 . e2) )^T W )
+// with W a (2h x 2) matrix; output [dissimilarity, similarity]. Training
+// uses BCELoss against one-hot labels ([1,0] = non-homologous, [0,1] =
+// homologous) and AdaGrad with batch size 1, as in §IV-A.
+//
+// Regression head (Fig. 9 "Regression" ablation): cos(e1, e2) trained with
+// squared error against ±1.
+#pragma once
+
+#include <string>
+
+#include "core/tree_lstm.h"
+#include "nn/optimizer.h"
+
+namespace asteria::core {
+
+enum class SiameseHead { kClassification, kRegression };
+
+struct SiameseConfig {
+  TreeLstmConfig encoder;
+  SiameseHead head = SiameseHead::kClassification;
+  double learning_rate = 0.05;
+};
+
+class SiameseModel {
+ public:
+  SiameseModel(const SiameseConfig& config, util::Rng& rng);
+
+  // AST similarity in [0, 1] (full forward pass: encode + head).
+  double Similarity(const ast::BinaryAst& a, const ast::BinaryAst& b) const;
+
+  // Offline phase: encode once, compare many times (the "A-E" stage).
+  nn::Matrix Encode(const ast::BinaryAst& tree) const {
+    return encoder_.EncodeVector(tree);
+  }
+
+  // Online phase (Fig. 10(c)): similarity from two precomputed encodings —
+  // plain matrix math, no tape.
+  double SimilarityFromEncodings(const nn::Matrix& a,
+                                 const nn::Matrix& b) const;
+
+  // One training step on a labeled pair (homologous: true). Returns loss.
+  double TrainPair(const ast::BinaryAst& a, const ast::BinaryAst& b,
+                   bool homologous);
+
+  bool Save(const std::string& path) const { return store_.Save(path); }
+  bool Load(const std::string& path) { return store_.Load(path); }
+
+  const SiameseConfig& config() const { return config_; }
+  std::size_t TotalWeights() const { return store_.TotalWeights(); }
+
+ private:
+  nn::Var Head(nn::Tape* tape, nn::Var e1, nn::Var e2) const;
+
+  SiameseConfig config_;
+  nn::ParameterStore store_;
+  TreeLstmEncoder encoder_;
+  nn::Parameter* w_out_ = nullptr;  // (2h x 2), classification head only
+  nn::AdaGrad optimizer_;
+};
+
+}  // namespace asteria::core

@@ -1,0 +1,129 @@
+#include "core/tree_lstm.h"
+
+namespace asteria::core {
+
+using ast::BinaryAst;
+using ast::kInvalidNode;
+using ast::NodeId;
+using nn::Matrix;
+using nn::Tape;
+using nn::Var;
+
+TreeLstmEncoder::TreeLstmEncoder(const TreeLstmConfig& config,
+                                 nn::ParameterStore* store, util::Rng& rng,
+                                 const std::string& prefix)
+    : config_(config) {
+  const int e = config_.embedding_dim;
+  const int h = config_.hidden_dim;
+  const int vocab = ast::kMaxNodeLabel + 1;
+  auto make = [&](const std::string& name, int rows, int cols) {
+    return store->CreateXavier(prefix + "." + name, rows, cols, rng);
+  };
+  embedding_ = make("embedding", vocab, e);
+  if (config_.embed_payloads) {
+    payload_embedding_ = make("payload_embedding", ast::kPayloadVocab, e);
+  }
+  wf_ = make("Wf", h, e);
+  ufll_ = make("Ufll", h, h);
+  uflr_ = make("Uflr", h, h);
+  ufrl_ = make("Ufrl", h, h);
+  ufrr_ = make("Ufrr", h, h);
+  bf_ = store->Create(prefix + ".bf", h, 1);
+  auto make_gate = [&](const std::string& name) {
+    Gate gate;
+    gate.w = make("W" + name, h, e);
+    gate.ul = make("U" + name + "l", h, h);
+    gate.ur = make("U" + name + "r", h, h);
+    gate.b = store->Create(prefix + ".b" + name, h, 1);
+    return gate;
+  };
+  input_ = make_gate("i");
+  output_ = make_gate("o");
+  cached_ = make_gate("u");
+}
+
+Var TreeLstmEncoder::Encode(Tape* tape, const BinaryAst& tree) const {
+  const int h = config_.hidden_dim;
+  // Leaf-state initialization (Fig. 9: zeros vs ones).
+  const double init = config_.leaf_init_ones ? 1.0 : 0.0;
+  const Var leaf_state = tape->Leaf(Matrix::Filled(h, 1, init));
+
+  const Var wf = tape->Param(wf_);
+  const Var ufll = tape->Param(ufll_);
+  const Var uflr = tape->Param(uflr_);
+  const Var ufrl = tape->Param(ufrl_);
+  const Var ufrr = tape->Param(ufrr_);
+  const Var bf = tape->Param(bf_);
+  struct GateVars {
+    Var w, ul, ur, b;
+  };
+  auto bind = [&](const Gate& gate) {
+    return GateVars{tape->Param(gate.w), tape->Param(gate.ul),
+                    tape->Param(gate.ur), tape->Param(gate.b)};
+  };
+  const GateVars gi = bind(input_);
+  const GateVars go = bind(output_);
+  const GateVars gu = bind(cached_);
+
+  struct State {
+    Var h, c;
+  };
+  std::vector<State> states(static_cast<std::size_t>(tree.size()),
+                            State{leaf_state, leaf_state});
+
+  for (NodeId id : tree.PostOrder()) {
+    const ast::BinaryNode& node = tree.node(id);
+    const State left = node.left != kInvalidNode
+                           ? states[static_cast<std::size_t>(node.left)]
+                           : State{leaf_state, leaf_state};
+    const State right = node.right != kInvalidNode
+                            ? states[static_cast<std::size_t>(node.right)]
+                            : State{leaf_state, leaf_state};
+    Var e = tape->EmbeddingRow(embedding_, node.label);
+    if (payload_embedding_ != nullptr && node.payload_bucket != 0) {
+      e = tape->Add(e, tape->EmbeddingRow(payload_embedding_,
+                                          node.payload_bucket));
+    }
+
+    auto gate3 = [&](const GateVars& g) {
+      return tape->Sigmoid(tape->Add(
+          tape->Add(tape->MatMul(g.w, e),
+                    tape->Add(tape->MatMul(g.ul, left.h),
+                              tape->MatMul(g.ur, right.h))),
+          g.b));
+    };
+    // (1)(2): two forget gates with shared W/b, distinct U pairs.
+    const Var fl = tape->Sigmoid(tape->Add(
+        tape->Add(tape->MatMul(wf, e),
+                  tape->Add(tape->MatMul(ufll, left.h),
+                            tape->MatMul(uflr, right.h))),
+        bf));
+    const Var fr = tape->Sigmoid(tape->Add(
+        tape->Add(tape->MatMul(wf, e),
+                  tape->Add(tape->MatMul(ufrl, left.h),
+                            tape->MatMul(ufrr, right.h))),
+        bf));
+    const Var i = gate3(gi);  // (3)
+    const Var o = gate3(go);  // (4)
+    const Var u = tape->Tanh(tape->Add(
+        tape->Add(tape->MatMul(gu.w, e),
+                  tape->Add(tape->MatMul(gu.ul, left.h),
+                            tape->MatMul(gu.ur, right.h))),
+        gu.b));  // (5)
+    const Var c = tape->Add(tape->Hadamard(i, u),
+                            tape->Add(tape->Hadamard(left.c, fl),
+                                      tape->Hadamard(right.c, fr)));  // (6)
+    const Var hidden = tape->Hadamard(o, tape->Tanh(c));  // (7)
+    states[static_cast<std::size_t>(id)] = State{hidden, c};
+  }
+  return states[static_cast<std::size_t>(tree.root())].h;
+}
+
+Matrix TreeLstmEncoder::EncodeVector(const BinaryAst& tree) const {
+  if (tree.empty()) return Matrix(config_.hidden_dim, 1);
+  Tape tape;
+  const Var encoding = Encode(&tape, tree);
+  return tape.value(encoding);
+}
+
+}  // namespace asteria::core

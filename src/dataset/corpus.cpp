@@ -1,0 +1,137 @@
+#include "dataset/corpus.h"
+
+#include <array>
+#include <set>
+
+#include "compiler/compile.h"
+#include "decompiler/decompile.h"
+#include "minic/sema.h"
+#include "util/log.h"
+
+namespace asteria::dataset {
+
+Corpus BuildCorpus(const CorpusConfig& config) {
+  Corpus corpus;
+  util::Rng rng(config.seed);
+  for (int pkg = 0; pkg < config.packages; ++pkg) {
+    const std::string package = "pkg" + std::to_string(pkg);
+    minic::Program program = GenerateProgram(config.generator, rng);
+    std::string error;
+    if (!minic::Check(program, &error)) {
+      // Generator invariant violation; skip the package but scream.
+      ASTERIA_LOG(Error) << "generated package failed sema: " << error;
+      continue;
+    }
+    for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+      auto compiled = compiler::CompileProgram(
+          program, static_cast<binary::Isa>(isa), package);
+      if (!compiled.ok) {
+        ASTERIA_LOG(Error) << "compile failed: " << compiled.error;
+        continue;
+      }
+      ++corpus.binaries_per_isa[static_cast<std::size_t>(isa)];
+      auto decompiled =
+          decompiler::DecompileModule(compiled.module, config.beta);
+      for (std::size_t f = 0; f < decompiled.size(); ++f) {
+        decompiler::DecompiledFunction& df = decompiled[f];
+        ++corpus.functions_per_isa[static_cast<std::size_t>(isa)];
+        if (df.tree.size() < config.min_ast_size) {
+          ++corpus.filtered_small;
+          continue;
+        }
+        CorpusFunction entry;
+        entry.package = package;
+        entry.function = df.name;
+        entry.isa = isa;
+        entry.preprocessed = ast::ToLeftChildRightSibling(df.tree);
+        entry.ast_size = df.tree.size();
+        entry.callee_count = df.callee_count;
+        entry.callee_sizes = std::move(df.callee_sizes);
+        entry.instruction_count = df.instruction_count;
+        entry.acfg = cfg::BuildAcfg(
+            compiled.module.functions[f]);
+        if (config.keep_source_ast) entry.tree = std::move(df.tree);
+        corpus.index[{package, entry.function, isa}] =
+            static_cast<int>(corpus.functions.size());
+        corpus.functions.push_back(std::move(entry));
+      }
+    }
+  }
+  return corpus;
+}
+
+std::vector<CorpusPair> MakePairs(const Corpus& corpus, int isa_a, int isa_b,
+                                  util::Rng& rng, int max_pairs) {
+  std::vector<CorpusPair> pairs;
+  // Homologous: same (package, function) under both ISAs.
+  std::vector<int> pool_b;  // candidate partners for negatives
+  for (const auto& [key, idx] : corpus.index) {
+    if (std::get<2>(key) == isa_b) pool_b.push_back(idx);
+  }
+  if (pool_b.empty()) return pairs;
+  for (const auto& [key, idx_a] : corpus.index) {
+    if (std::get<2>(key) != isa_a) continue;
+    const int idx_b =
+        corpus.Find(std::get<0>(key), std::get<1>(key), isa_b);
+    if (idx_b < 0) continue;
+    pairs.push_back({idx_a, idx_b, true});
+    // One negative per positive: a random non-matching isa_b function,
+    // preferring a size-matched candidate (the hard negatives that dominate
+    // a real clone-search corpus; trivially size-mismatched negatives would
+    // make every method look perfect).
+    const int size_a =
+        corpus.functions[static_cast<std::size_t>(idx_a)].ast_size;
+    int fallback = -1;
+    double best_ratio = -1.0;
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      const int other = pool_b[rng.NextBounded(pool_b.size())];
+      const CorpusFunction& cand = corpus.functions[static_cast<std::size_t>(other)];
+      if (cand.package == std::get<0>(key) &&
+          cand.function == std::get<1>(key)) {
+        continue;
+      }
+      // Prefer same-package negatives (the paper's non-homologous pairs
+      // come from the same binaries) and similar AST sizes; keep the best
+      // candidate seen.
+      double ratio =
+          static_cast<double>(std::min(size_a, cand.ast_size)) /
+          static_cast<double>(std::max(size_a, cand.ast_size));
+      if (cand.package == std::get<0>(key)) ratio += 0.15;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        fallback = other;
+      }
+      if (best_ratio >= 0.95) break;
+    }
+    if (fallback >= 0) pairs.push_back({idx_a, fallback, false});
+  }
+  rng.Shuffle(pairs);
+  if (max_pairs > 0 && static_cast<int>(pairs.size()) > max_pairs) {
+    pairs.resize(static_cast<std::size_t>(max_pairs));
+  }
+  return pairs;
+}
+
+std::vector<CorpusPair> MakeMixedPairs(const Corpus& corpus, util::Rng& rng,
+                                       int max_pairs_per_comb) {
+  std::vector<CorpusPair> all;
+  for (int a = 0; a < binary::kNumIsas; ++a) {
+    for (int b = a + 1; b < binary::kNumIsas; ++b) {
+      auto pairs = MakePairs(corpus, a, b, rng, max_pairs_per_comb);
+      all.insert(all.end(), pairs.begin(), pairs.end());
+    }
+  }
+  rng.Shuffle(all);
+  return all;
+}
+
+void SplitPairs(std::vector<CorpusPair> pairs, util::Rng& rng,
+                std::vector<CorpusPair>* train,
+                std::vector<CorpusPair>* test) {
+  rng.Shuffle(pairs);
+  const std::size_t train_count = pairs.size() * 8 / 10;
+  train->assign(pairs.begin(), pairs.begin() + static_cast<std::ptrdiff_t>(train_count));
+  test->assign(pairs.begin() + static_cast<std::ptrdiff_t>(train_count), pairs.end());
+}
+
+}  // namespace asteria::dataset

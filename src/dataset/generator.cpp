@@ -1,0 +1,556 @@
+#include "dataset/generator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace asteria::dataset {
+
+using minic::AssignOp;
+using minic::BinOp;
+using minic::Expr;
+using minic::ExprId;
+using minic::ExprKind;
+using minic::Program;
+using minic::Stmt;
+using minic::StmtId;
+using minic::StmtKind;
+using minic::UnOp;
+
+namespace {
+
+struct FunctionSignature {
+  std::string name;
+  std::vector<bool> array_params;
+  int call_nesting = 0;  // 0 = leaf
+};
+
+class Generator {
+ public:
+  Generator(const GeneratorConfig& config, util::Rng& rng)
+      : config_(config), rng_(rng) {}
+
+  Program Generate() {
+    program_ = Program();
+    signatures_.clear();
+    const int count = static_cast<int>(
+        rng_.NextInt(config_.min_functions, config_.max_functions));
+    for (int i = 0; i < count; ++i) GenerateFunction(i);
+    return std::move(program_);
+  }
+
+ private:
+  struct ScopeVar {
+    std::string name;
+    bool is_array = false;
+    std::int64_t array_size = 0;
+    bool protected_var = false;  // loop induction variables
+  };
+
+  // ---- helpers -----------------------------------------------------------
+
+  ExprId Num(std::int64_t v) {
+    Expr e;
+    e.kind = ExprKind::kNum;
+    e.num = v;
+    return program_.AddExpr(std::move(e));
+  }
+
+  ExprId Var(const std::string& name) {
+    Expr e;
+    e.kind = ExprKind::kVar;
+    e.name = name;
+    return program_.AddExpr(std::move(e));
+  }
+
+  ExprId Bin(BinOp op, ExprId lhs, ExprId rhs) {
+    Expr e;
+    e.kind = ExprKind::kBinary;
+    e.bin_op = op;
+    e.lhs = lhs;
+    e.rhs = rhs;
+    return program_.AddExpr(std::move(e));
+  }
+
+  ExprId Assign(AssignOp op, ExprId lhs, ExprId rhs) {
+    Expr e;
+    e.kind = ExprKind::kAssign;
+    e.assign_op = op;
+    e.lhs = lhs;
+    e.rhs = rhs;
+    return program_.AddExpr(std::move(e));
+  }
+
+  // arr[expr & (size-1)] — size is a power of two, so the mask keeps the
+  // index in bounds without the compiler's wrap sequence.
+  ExprId IndexMasked(const ScopeVar& array, ExprId index) {
+    Expr e;
+    e.kind = ExprKind::kIndex;
+    e.lhs = Var(array.name);
+    e.rhs = Bin(BinOp::kBitAnd, index, Num(array.array_size - 1));
+    return program_.AddExpr(std::move(e));
+  }
+
+  StmtId MakeStmt(Stmt stmt) { return program_.AddStmt(std::move(stmt)); }
+
+  StmtId ExprStmt(ExprId expr) {
+    Stmt s;
+    s.kind = StmtKind::kExpr;
+    s.expr = expr;
+    return MakeStmt(std::move(s));
+  }
+
+  // ---- scope -------------------------------------------------------------
+
+  std::vector<const ScopeVar*> Scalars(bool writable) const {
+    std::vector<const ScopeVar*> out;
+    for (const auto& scope : scopes_) {
+      for (const auto& var : scope) {
+        if (var.is_array) continue;
+        if (writable && var.protected_var) continue;
+        out.push_back(&var);
+      }
+    }
+    return out;
+  }
+
+  std::vector<const ScopeVar*> Arrays() const {
+    std::vector<const ScopeVar*> out;
+    for (const auto& scope : scopes_) {
+      for (const auto& var : scope) {
+        if (var.is_array) out.push_back(&var);
+      }
+    }
+    return out;
+  }
+
+  std::string FreshName(const std::string& prefix) {
+    return prefix + std::to_string(next_name_++);
+  }
+
+  // ---- expressions ------------------------------------------------------
+
+  ExprId GenExpr(int depth) {
+    const auto scalars = Scalars(/*writable=*/false);
+    if (depth <= 0 || rng_.NextBool(0.3)) {
+      // leaf
+      if (!scalars.empty() && rng_.NextBool(0.7)) {
+        return Var(rng_.Choice(scalars)->name);
+      }
+      return Num(rng_.NextInt(-64, 64) *
+                 (rng_.NextBool(0.12) ? rng_.NextInt(1000, 100000) : 1));
+    }
+    const auto arrays = Arrays();
+    const double call_ok =
+        (fn_index_ > 0 && calls_left_ > 0) ? config_.call_probability : 0.0;
+    const std::size_t choice = rng_.NextWeighted(
+        {5.0 /*binary*/, 1.0 /*unary*/, arrays.empty() ? 0.0 : 2.0 /*index*/,
+         call_ok * 10.0 /*call*/, 1.0 /*comparison*/});
+    switch (choice) {
+      case 0: {
+        // Heavily weighted toward the add/sub/mul mix that dominates real C
+        // code, so node-type histograms are similar across functions (makes
+        // the Diaphora baseline face a realistic, non-trivial task).
+        static constexpr BinOp kOps[] = {
+            BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kDiv,
+            BinOp::kMod, BinOp::kBitAnd, BinOp::kBitOr, BinOp::kBitXor,
+            BinOp::kShl, BinOp::kShr};
+        static const std::vector<double> kWeights = {8, 5, 3, 1.2, 1,
+                                                     1, 1, 1, 0.8, 0.8};
+        BinOp op = kOps[rng_.NextWeighted(kWeights)];
+        ExprId lhs = GenExpr(depth - 1);
+        ExprId rhs = GenExpr(depth - 1);
+        // Keep shift amounts small so values stay interesting.
+        if (op == BinOp::kShl || op == BinOp::kShr) rhs = Num(rng_.NextInt(1, 7));
+        return Bin(op, lhs, rhs);
+      }
+      case 1: {
+        static constexpr UnOp kOps[] = {UnOp::kNeg, UnOp::kBitNot,
+                                        UnOp::kLogicalNot};
+        Expr e;
+        e.kind = ExprKind::kUnary;
+        e.un_op = kOps[rng_.NextBounded(std::size(kOps))];
+        e.lhs = GenExpr(depth - 1);
+        return program_.AddExpr(std::move(e));
+      }
+      case 2:
+        return IndexMasked(*rng_.Choice(arrays), GenExpr(depth - 1));
+      case 3:
+        return GenCall(depth);
+      default:
+        return GenComparison(depth - 1);
+    }
+  }
+
+  ExprId GenComparison(int depth) {
+    static constexpr BinOp kCmp[] = {BinOp::kEq, BinOp::kNe, BinOp::kLt,
+                                     BinOp::kGt, BinOp::kLe, BinOp::kGe};
+    return Bin(kCmp[rng_.NextBounded(std::size(kCmp))], GenExpr(depth),
+               GenExpr(depth));
+  }
+
+  ExprId GenCondition(int depth) {
+    if (depth > 0 && rng_.NextBool(0.25)) {
+      const BinOp op = rng_.NextBool() ? BinOp::kLogicalAnd : BinOp::kLogicalOr;
+      return Bin(op, GenComparison(depth - 1), GenComparison(depth - 1));
+    }
+    return GenComparison(depth);
+  }
+
+  ExprId GenCall(int depth) {
+    // Pick an earlier function whose nesting allows another level.
+    std::vector<int> candidates;
+    for (int i = 0; i < fn_index_; ++i) {
+      if (signatures_[static_cast<std::size_t>(i)].call_nesting <
+          config_.max_call_nesting) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty() || calls_left_ <= 0) return GenExpr(0);
+    --calls_left_;
+    const int callee = candidates[rng_.NextBounded(candidates.size())];
+    const FunctionSignature& sig =
+        signatures_[static_cast<std::size_t>(callee)];
+    max_callee_nesting_ = std::max(max_callee_nesting_, sig.call_nesting + 1);
+    Expr e;
+    e.kind = ExprKind::kCall;
+    e.name = sig.name;
+    for (bool is_array : sig.array_params) {
+      if (is_array) {
+        const auto arrays = Arrays();
+        if (!arrays.empty() && rng_.NextBool(0.8)) {
+          e.args.push_back(Var(rng_.Choice(arrays)->name));
+        } else {
+          // String literal argument (becomes a byte array).
+          // All literals have length >= 7 so the byte array (incl. NUL) is
+          // at least 8 words: callees mask param-array indices with & 7.
+          static constexpr const char* kStrings[] = {
+              "GET /index.html", "content-length", "ssl_ctx", "firmware",
+              "admin:admin", "udhcpc_renew", "%s:%d:%s", "/etc/passwd"};
+          Expr str;
+          str.kind = ExprKind::kStr;
+          str.name = kStrings[rng_.NextBounded(std::size(kStrings))];
+          e.args.push_back(program_.AddExpr(std::move(str)));
+        }
+      } else {
+        e.args.push_back(GenExpr(std::max(0, depth - 2)));
+      }
+    }
+    return program_.AddExpr(std::move(e));
+  }
+
+  // ---- statements --------------------------------------------------------
+
+  StmtId GenBlock(int depth, bool in_loop) {
+    Stmt block;
+    block.kind = StmtKind::kBlock;
+    scopes_.emplace_back();
+    const int count = static_cast<int>(rng_.NextInt(1, std::max(1, fn_block_stmts_)));
+    for (int i = 0; i < count; ++i) {
+      block.stmts.push_back(GenStmt(depth, in_loop));
+    }
+    scopes_.pop_back();
+    return MakeStmt(std::move(block));
+  }
+
+  StmtId GenStmt(int depth, bool in_loop) {
+    const double deeper = depth > 0 ? 1.0 : 0.0;
+    const std::size_t choice = rng_.NextWeighted({
+        3.0,                                   // 0: assignment
+        1.5,                                   // 1: declaration
+        deeper * 2.0,                          // 2: if
+        deeper * 1.5,                          // 3: for loop
+        deeper * config_.switch_probability * 6.0,  // 4: switch
+        in_loop ? 0.5 : 0.0,                   // 5: break/continue
+        0.4,                                   // 6: early return
+        fn_index_ > 0 ? config_.call_probability * 2.0 : 0.0,  // 7: call stmt
+        1.0,                                   // 8: inc/dec statement
+    });
+    switch (choice) {
+      case 0: return GenAssignment(depth);
+      case 1: return GenDeclaration(depth);
+      case 2: return GenIf(depth, in_loop);
+      case 3: return GenFor(depth);
+      case 4: return GenSwitch(depth, in_loop);
+      case 5: {
+        Stmt s;
+        s.kind = rng_.NextBool(0.6) ? StmtKind::kBreak : StmtKind::kContinue;
+        return MakeStmt(std::move(s));
+      }
+      case 6: {
+        Stmt s;
+        s.kind = StmtKind::kReturn;
+        s.expr = GenExpr(config_.max_expr_depth - 1);
+        return MakeStmt(std::move(s));
+      }
+      case 7: return ExprStmt(GenCall(config_.max_expr_depth));
+      default: {
+        const auto scalars = Scalars(/*writable=*/true);
+        if (scalars.empty()) return GenAssignment(depth);
+        Expr e;
+        e.kind = ExprKind::kUnary;
+        e.un_op = rng_.NextBool() ? UnOp::kPostInc : UnOp::kPreDec;
+        e.lhs = Var(rng_.Choice(scalars)->name);
+        return ExprStmt(program_.AddExpr(std::move(e)));
+      }
+    }
+  }
+
+  StmtId GenAssignment(int depth) {
+    const auto scalars = Scalars(/*writable=*/true);
+    const auto arrays = Arrays();
+    const bool to_array = !arrays.empty() &&
+                          rng_.NextBool(config_.array_probability);
+    static constexpr AssignOp kOps[] = {
+        AssignOp::kAssign, AssignOp::kAssign, AssignOp::kAssign,
+        AssignOp::kAddAssign, AssignOp::kSubAssign, AssignOp::kMulAssign,
+        AssignOp::kOrAssign, AssignOp::kXorAssign, AssignOp::kAndAssign};
+    const AssignOp op = kOps[rng_.NextBounded(std::size(kOps))];
+    const ExprId rhs = GenExpr(depth > 0 ? config_.max_expr_depth : 1);
+    if (to_array) {
+      return ExprStmt(Assign(
+          op, IndexMasked(*rng_.Choice(arrays), GenExpr(1)), rhs));
+    }
+    if (scalars.empty()) return GenDeclaration(depth);
+    return ExprStmt(Assign(op, Var(rng_.Choice(scalars)->name), rhs));
+  }
+
+  StmtId GenDeclaration(int depth) {
+    Stmt s;
+    s.kind = StmtKind::kDecl;
+    if (!scalar_only_decls_ &&
+        rng_.NextBool(config_.array_probability * 0.6)) {
+      // Size >= 8: arrays may be passed to array params, which mask with &7.
+      const std::int64_t size = std::int64_t{1} << rng_.NextInt(3, 5);
+      s.name = FreshName("buf");
+      s.array_size = size;
+      scopes_.back().push_back({s.name, true, size, false});
+    } else {
+      s.name = FreshName("x");
+      s.init = GenExpr(depth > 0 ? 2 : 1);
+      scopes_.back().push_back({s.name, false, 0, false});
+    }
+    return MakeStmt(std::move(s));
+  }
+
+  StmtId GenIf(int depth, bool in_loop) {
+    Stmt s;
+    s.kind = StmtKind::kIf;
+    s.expr = GenCondition(1);
+    s.body = GenBlock(depth - 1, in_loop);
+    if (rng_.NextBool(0.45)) s.else_body = GenBlock(depth - 1, in_loop);
+    return MakeStmt(std::move(s));
+  }
+
+  StmtId GenFor(int depth) {
+    // for (i = 0; i < K; i++) with i protected inside the body.
+    const std::string loop_var = FreshName("i");
+    Stmt decl;
+    decl.kind = StmtKind::kDecl;
+    decl.name = loop_var;
+    decl.init = Num(0);
+    const StmtId decl_id = MakeStmt(std::move(decl));
+
+    scopes_.emplace_back();
+    scopes_.back().push_back({loop_var, false, 0, /*protected=*/true});
+    Stmt loop;
+    loop.kind = StmtKind::kFor;
+    loop.expr2 = Assign(AssignOp::kAssign, Var(loop_var), Num(0));
+    loop.expr = Bin(BinOp::kLt, Var(loop_var),
+                    Num(rng_.NextInt(2, config_.max_loop_trip)));
+    Expr step;
+    step.kind = ExprKind::kUnary;
+    step.un_op = UnOp::kPostInc;
+    step.lhs = Var(loop_var);
+    loop.expr3 = program_.AddExpr(std::move(step));
+    loop.body = GenBlock(depth - 1, /*in_loop=*/true);
+    const StmtId loop_id = MakeStmt(std::move(loop));
+    scopes_.pop_back();
+
+    Stmt wrapper;
+    wrapper.kind = StmtKind::kBlock;
+    wrapper.stmts = {decl_id, loop_id};
+    // Keep the loop variable declared in an enclosing block so the induction
+    // variable is invisible (and unwritable) outside.
+    return MakeStmt(std::move(wrapper));
+  }
+
+  StmtId GenSwitch(int depth, bool in_loop) {
+    Stmt s;
+    s.kind = StmtKind::kSwitch;
+    s.expr = GenExpr(1);
+    const int arms = static_cast<int>(rng_.NextInt(2, 6));
+    const bool dense = rng_.NextBool(0.6);
+    std::int64_t value = rng_.NextInt(0, 3);
+    for (int i = 0; i < arms; ++i) {
+      minic::SwitchCase arm;
+      arm.match_value = value;
+      value += dense ? 1 : rng_.NextInt(7, 5000);
+      scopes_.emplace_back();
+      const int stmts = static_cast<int>(rng_.NextInt(1, 2));
+      for (int k = 0; k < stmts; ++k) {
+        arm.body.push_back(GenStmt(std::max(0, depth - 1), in_loop));
+      }
+      scopes_.pop_back();
+      s.cases.push_back(std::move(arm));
+    }
+    if (rng_.NextBool(0.7)) {
+      minic::SwitchCase def;
+      def.is_default = true;
+      scopes_.emplace_back();
+      def.body.push_back(GenStmt(0, in_loop));
+      scopes_.pop_back();
+      s.cases.push_back(std::move(def));
+    }
+    return MakeStmt(std::move(s));
+  }
+
+  // ---- functions ----------------------------------------------------------
+
+  void GenerateFunction(int index) {
+    fn_index_ = index;
+    next_name_ = 0;
+    calls_left_ = 3;
+    max_callee_nesting_ = 0;
+    // Heavy-tailed size distribution, like real binaries (paper Fig. 10(a):
+    // half of all ASTs are under 20 nodes — accessors, stubs, tiny helpers).
+    scalar_only_decls_ = false;
+    switch (rng_.NextWeighted({5.5, 3.0, 2.2, 0.8})) {
+      case 0:  // tiny: straight-line arithmetic helper
+        fn_depth_ = 0;
+        fn_block_stmts_ = 1;
+        fn_body_stmts_ = 1;
+        loop_probability_ = 0.0;
+        if_probability_ = 0.1;
+        scalar_only_decls_ = true;  // no arrays: no zero-fill loops
+        break;
+      case 1:  // small
+        fn_depth_ = 1;
+        fn_block_stmts_ = 2;
+        fn_body_stmts_ = 2;
+        loop_probability_ = 0.45;
+        if_probability_ = 0.5;
+        break;
+      case 2:  // medium
+        fn_depth_ = 2;
+        fn_block_stmts_ = 3;
+        fn_body_stmts_ = 3;
+        loop_probability_ = 0.75;
+        if_probability_ = 0.75;
+        break;
+      default:  // large
+        fn_depth_ = config_.max_stmt_depth;
+        fn_block_stmts_ = config_.max_block_stmts;
+        fn_body_stmts_ = config_.max_block_stmts + 2;
+        loop_probability_ = 0.9;
+        if_probability_ = 0.9;
+        break;
+    }
+    minic::Function fn;
+    fn.name = "f" + std::to_string(index);
+    const int params = static_cast<int>(rng_.NextInt(0, 4));
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (int p = 0; p < params; ++p) {
+      minic::Param param;
+      param.name = "p" + std::to_string(p);
+      param.is_array = rng_.NextBool(0.25);
+      if (param.is_array) {
+        // Unknown extent: treat as size-8 window, masked accesses only.
+        scopes_.back().push_back({param.name, true, 8, false});
+      } else {
+        scopes_.back().push_back({param.name, false, 0, false});
+      }
+      fn.params.push_back(std::move(param));
+    }
+
+    Stmt body;
+    body.kind = StmtKind::kBlock;
+    scopes_.emplace_back();
+    const int stmts = static_cast<int>(rng_.NextInt(1, fn_body_stmts_));
+    // A couple of locals make sure expressions have material to work with
+    // (tiny functions get just one).
+    body.stmts.push_back(GenDeclaration(1));
+    if (!scalar_only_decls_) body.stmts.push_back(GenDeclaration(1));
+    for (int i = 0; i < stmts; ++i) {
+      body.stmts.push_back(GenStmt(fn_depth_, false));
+    }
+    // Most real non-trivial functions mix straight-line code with a loop
+    // and a branch; nudge each size class toward that shared shape.
+    if (rng_.NextBool(loop_probability_)) {
+      body.stmts.push_back(GenFor(std::max(1, fn_depth_)));
+    }
+    if (rng_.NextBool(if_probability_)) {
+      body.stmts.push_back(GenIf(std::max(1, fn_depth_), false));
+    }
+    // Rare goto-cleanup idiom: if (cond) goto out; ... out: return expr.
+    if (rng_.NextBool(config_.goto_probability)) {
+      Stmt go;
+      go.kind = StmtKind::kGoto;
+      go.name = "out";
+      Stmt iff;
+      iff.kind = StmtKind::kIf;
+      // The guard is inserted near the top of the body, so its condition
+      // may only reference names in scope there: scalar parameters (or a
+      // constant when the function has none).
+      ExprId guard_value = minic::kNoId;
+      for (const minic::Param& p : fn.params) {
+        if (!p.is_array) {
+          guard_value = Var(p.name);
+          break;
+        }
+      }
+      if (guard_value == minic::kNoId) guard_value = Num(rng_.NextInt(-8, 8));
+      iff.expr = Bin(BinOp::kLt, guard_value, Num(rng_.NextInt(-4, 4)));
+      iff.body = MakeStmt(std::move(go));
+      body.stmts.insert(body.stmts.begin() + 2, MakeStmt(std::move(iff)));
+      Stmt ret;
+      ret.kind = StmtKind::kReturn;
+      ret.expr = GenExpr(1);
+      Stmt label;
+      label.kind = StmtKind::kLabel;
+      label.name = "out";
+      label.body = MakeStmt(std::move(ret));
+      body.stmts.push_back(MakeStmt(std::move(label)));
+    } else {
+      Stmt ret;
+      ret.kind = StmtKind::kReturn;
+      ret.expr = GenExpr(config_.max_expr_depth);
+      body.stmts.push_back(MakeStmt(std::move(ret)));
+    }
+    scopes_.pop_back();
+    fn.body = MakeStmt(std::move(body));
+
+    FunctionSignature sig;
+    sig.name = fn.name;
+    for (const auto& p : fn.params) sig.array_params.push_back(p.is_array);
+    sig.call_nesting = max_callee_nesting_;
+    signatures_.push_back(std::move(sig));
+    program_.AddFunction(std::move(fn));
+  }
+
+  const GeneratorConfig& config_;
+  util::Rng& rng_;
+  Program program_;
+  std::vector<FunctionSignature> signatures_;
+  std::vector<std::vector<ScopeVar>> scopes_;
+  int fn_index_ = 0;
+  int next_name_ = 0;
+  int calls_left_ = 0;
+  int max_callee_nesting_ = 0;
+  // Per-function size-class knobs (set in GenerateFunction).
+  int fn_depth_ = 2;
+  int fn_block_stmts_ = 3;
+  int fn_body_stmts_ = 3;
+  double loop_probability_ = 0.75;
+  double if_probability_ = 0.75;
+  bool scalar_only_decls_ = false;
+};
+
+}  // namespace
+
+minic::Program GenerateProgram(const GeneratorConfig& config, util::Rng& rng) {
+  Generator generator(config, rng);
+  return generator.Generate();
+}
+
+}  // namespace asteria::dataset

@@ -1,0 +1,51 @@
+// Top-level decompilation: BinFunction -> Table-I AST + callee features.
+//
+// The IDA Pro + Hex-Rays substitute of the reproduction (DESIGN.md §2):
+// machine CFG -> block lifting -> structuring -> ast::Ast, plus the callee
+// statistics the paper's calibration consumes (§III-C): the callee set χ of
+// a function keeps only callees with at least `beta` instructions (smaller
+// ones are considered inlining candidates and filtered out).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "binary/module.h"
+
+namespace asteria::decompiler {
+
+inline constexpr int kDefaultBeta = 4;
+
+struct DecompiledFunction {
+  std::string name;
+  ast::Ast tree;
+  // |χ|: distinct callees with >= beta instructions (eq. (9) input).
+  int callee_count = 0;
+  // Distinct callees before the β filter.
+  int callee_count_raw = 0;
+  // Machine instruction count of the function itself.
+  int instruction_count = 0;
+  // Instruction counts of each distinct callee (lets callers re-apply the
+  // β filter with other thresholds, e.g. the β-sweep ablation bench).
+  std::vector<int> callee_sizes;
+};
+
+// Re-applies the β filter: |{s in callee_sizes : s >= beta}|.
+inline int CalleeCountAtBeta(const std::vector<int>& callee_sizes, int beta) {
+  int count = 0;
+  for (int size : callee_sizes) {
+    if (size >= beta) ++count;
+  }
+  return count;
+}
+
+// Decompiles one function of `module`.
+DecompiledFunction DecompileFunction(const binary::BinModule& module,
+                                     int fn_index, int beta = kDefaultBeta);
+
+// Decompiles every function of `module`.
+std::vector<DecompiledFunction> DecompileModule(
+    const binary::BinModule& module, int beta = kDefaultBeta);
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,394 @@
+#include "decompiler/lifter.h"
+
+#include <array>
+#include <map>
+
+namespace asteria::decompiler {
+
+using ast::NodeKind;
+using binary::Cond;
+using binary::Instruction;
+using binary::Opcode;
+
+int DPool::Add(NodeKind kind, std::vector<int> children) {
+  DNode node;
+  node.kind = kind;
+  int size = 1;
+  for (int c : children) size += SizeOf(c);
+  node.size = size;
+  node.children = std::move(children);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int DPool::AddNum(std::int64_t value) {
+  const int id = Add(NodeKind::kNum);
+  nodes_.back().value = value;
+  return id;
+}
+
+int DPool::AddVar(const std::string& name) {
+  const int id = Add(NodeKind::kVar);
+  nodes_.back().text = name;
+  return id;
+}
+
+int DPool::AddStr(const std::string& literal) {
+  const int id = Add(NodeKind::kStr);
+  nodes_.back().text = literal;
+  return id;
+}
+
+int DPool::AddCall(const std::string& callee, std::vector<int> args) {
+  const int id = Add(NodeKind::kCall, std::move(args));
+  nodes_.back().text = callee;
+  return id;
+}
+
+namespace {
+
+NodeKind KindOfCond(Cond cond) {
+  switch (cond) {
+    case Cond::kEq: return NodeKind::kEq;
+    case Cond::kNe: return NodeKind::kNe;
+    case Cond::kLt: return NodeKind::kLt;
+    case Cond::kLe: return NodeKind::kLe;
+    case Cond::kGt: return NodeKind::kGt;
+    case Cond::kGe: return NodeKind::kGe;
+  }
+  return NodeKind::kEq;
+}
+
+// Compound-assignment recovery: `x = x op e` prints as `x op= e` in
+// Hex-Rays; `x = x + 1` / `x = x - 1` as `++x` / `--x`.
+NodeKind CompoundKind(NodeKind op) {
+  switch (op) {
+    case NodeKind::kAdd: return NodeKind::kAsgAdd;
+    case NodeKind::kSub: return NodeKind::kAsgSub;
+    case NodeKind::kMul: return NodeKind::kAsgMul;
+    case NodeKind::kDiv: return NodeKind::kAsgDiv;
+    case NodeKind::kOr: return NodeKind::kAsgOr;
+    case NodeKind::kXor: return NodeKind::kAsgXor;
+    case NodeKind::kBand: return NodeKind::kAsgAnd;
+    default: return NodeKind::kKindCount;
+  }
+}
+
+class BlockLifter {
+ public:
+  BlockLifter(const binary::BinModule& module, const MachineCfg& cfg,
+              DPool* pool)
+      : module_(module), cfg_(cfg), fn_(cfg.function()), pool_(*pool) {}
+
+  LiftedFunction Run() {
+    LiftedFunction lifted;
+    lifted.blocks.resize(static_cast<std::size_t>(cfg_.num_blocks()));
+    for (int b = 0; b < cfg_.num_blocks(); ++b) {
+      LiftBlock(b, &lifted.blocks[static_cast<std::size_t>(b)]);
+    }
+    return lifted;
+  }
+
+ private:
+  // ---- expression helpers ----------------------------------------------
+
+  int RegRead(int r) {
+    int& e = reg_expr_[static_cast<std::size_t>(r)];
+    if (e < 0) e = pool_.AddVar("r" + std::to_string(r));
+    return e;
+  }
+
+  void RegWrite(int r, int expr) {
+    // Blowup guard: huge substituted expressions become temporaries.
+    if (pool_.SizeOf(expr) > kMaxExprNodes) {
+      const std::string temp = "t" + std::to_string(next_temp_++);
+      const int temp_var = pool_.AddVar(temp);
+      stmts_->push_back(
+          pool_.Add(NodeKind::kAsg, {pool_.AddVar(temp), expr}));
+      expr = temp_var;
+    }
+    reg_expr_[static_cast<std::size_t>(r)] = expr;
+    modified_[static_cast<std::size_t>(r)] = true;
+  }
+
+  std::string FrameSlotName(std::int64_t slot) const {
+    if (slot < fn_.num_params) return "a" + std::to_string(slot);
+    return "v" + std::to_string(slot);
+  }
+
+  int IndexExpr(int base, int index) {
+    if (pool_.node(base).kind == NodeKind::kVar) {
+      return pool_.Add(NodeKind::kIndex, {base, index});
+    }
+    return pool_.Add(NodeKind::kDeref,
+                     {pool_.Add(NodeKind::kAdd, {base, index})});
+  }
+
+  int MakeAsg(int lhs, int rhs) {
+    const DNode& target = pool_.node(lhs);
+    const DNode& value = pool_.node(rhs);
+    if (target.kind == NodeKind::kVar && value.children.size() == 2) {
+      const DNode& first = pool_.node(value.children[0]);
+      if (first.kind == NodeKind::kVar && first.text == target.text) {
+        // ++x / --x recovery.
+        const DNode& second = pool_.node(value.children[1]);
+        if (second.kind == NodeKind::kNum &&
+            (value.kind == NodeKind::kAdd || value.kind == NodeKind::kSub)) {
+          if (second.value == 1) {
+            return pool_.Add(value.kind == NodeKind::kAdd
+                                 ? NodeKind::kPreInc
+                                 : NodeKind::kPreDec,
+                             {lhs});
+          }
+        }
+        const NodeKind compound = CompoundKind(value.kind);
+        if (compound != NodeKind::kKindCount) {
+          return pool_.Add(compound, {lhs, value.children[1]});
+        }
+      }
+    }
+    return pool_.Add(NodeKind::kAsg, {lhs, rhs});
+  }
+
+  int CmpExpr(Cond cond) {
+    // Flags are always set in the same block by construction; the fallback
+    // keeps the lifter total on hand-crafted/fuzzed code.
+    if (flag_lhs_ < 0 || flag_rhs_ < 0) {
+      flag_lhs_ = pool_.AddNum(0);
+      flag_rhs_ = pool_.AddNum(0);
+    }
+    return pool_.Add(KindOfCond(cond), {flag_lhs_, flag_rhs_});
+  }
+
+  // True when register r is consumed after instruction index i within
+  // [i+1, last]; false if redefined first. Falls back to block live-out.
+  bool ValueUsedLater(int block_id, int i, int r) {
+    const MachineBlock& block = cfg_.block(block_id);
+    std::vector<int> uses;
+    for (int k = i + 1; k <= block.last; ++k) {
+      const Instruction& insn = fn_.code[static_cast<std::size_t>(k)];
+      uses.clear();
+      MachineUses(insn, &uses);
+      for (int u : uses) {
+        if (u == r) return true;
+      }
+      if (MachineDefinesA(insn) && insn.a == r) return false;
+    }
+    return cfg_.live_out()[static_cast<std::size_t>(block_id)]
+                          [static_cast<std::size_t>(r)] != 0;
+  }
+
+  // ---- block lifting -------------------------------------------------
+
+  void LiftBlock(int block_id, LiftedBlock* out) {
+    const MachineBlock& block = cfg_.block(block_id);
+    reg_expr_.fill(-1);
+    modified_.fill(false);
+    staged_args_.clear();
+    flag_lhs_ = flag_rhs_ = -1;
+    stmts_ = &out->stmts;
+
+    for (int i = block.first; i <= block.last; ++i) {
+      const Instruction& insn = fn_.code[static_cast<std::size_t>(i)];
+      switch (insn.op) {
+        case Opcode::kNop:
+          break;
+        case Opcode::kMovImm:
+          RegWrite(insn.a, pool_.AddNum(insn.imm));
+          break;
+        case Opcode::kMovStr: {
+          const auto s = static_cast<std::size_t>(insn.imm);
+          RegWrite(insn.a, pool_.AddStr(
+                               s < module_.strings.size() ? module_.strings[s]
+                                                          : std::string()));
+          break;
+        }
+        case Opcode::kMov:
+          RegWrite(insn.a, RegRead(insn.b));
+          break;
+        case Opcode::kAdd: BinOp(insn, NodeKind::kAdd); break;
+        case Opcode::kSub: BinOp(insn, NodeKind::kSub); break;
+        case Opcode::kMul: BinOp(insn, NodeKind::kMul); break;
+        case Opcode::kDiv: BinOp(insn, NodeKind::kDiv); break;
+        case Opcode::kMod: BinOp(insn, NodeKind::kMod); break;
+        case Opcode::kAnd: BinOp(insn, NodeKind::kBand); break;
+        case Opcode::kOr: BinOp(insn, NodeKind::kOr); break;
+        case Opcode::kXor: BinOp(insn, NodeKind::kXor); break;
+        case Opcode::kShl: BinOp(insn, NodeKind::kShl); break;
+        case Opcode::kShr: BinOp(insn, NodeKind::kShr); break;
+        case Opcode::kAddI: BinOpImm(insn, NodeKind::kAdd); break;
+        case Opcode::kSubI: BinOpImm(insn, NodeKind::kSub); break;
+        case Opcode::kMulI: BinOpImm(insn, NodeKind::kMul); break;
+        case Opcode::kDivI: BinOpImm(insn, NodeKind::kDiv); break;
+        case Opcode::kModI: BinOpImm(insn, NodeKind::kMod); break;
+        case Opcode::kAndI: BinOpImm(insn, NodeKind::kBand); break;
+        case Opcode::kOrI: BinOpImm(insn, NodeKind::kOr); break;
+        case Opcode::kXorI: BinOpImm(insn, NodeKind::kXor); break;
+        case Opcode::kShlI: BinOpImm(insn, NodeKind::kShl); break;
+        case Opcode::kShrI: BinOpImm(insn, NodeKind::kShr); break;
+        case Opcode::kNeg:
+          RegWrite(insn.a, pool_.Add(NodeKind::kNeg, {RegRead(insn.b)}));
+          break;
+        case Opcode::kNot:
+          RegWrite(insn.a, pool_.Add(NodeKind::kNot, {RegRead(insn.b)}));
+          break;
+        case Opcode::kLea:
+          RegWrite(insn.a,
+                   pool_.Add(NodeKind::kAdd,
+                             {RegRead(insn.b),
+                              pool_.Add(NodeKind::kMul,
+                                        {RegRead(insn.c),
+                                         pool_.AddNum(insn.imm)})}));
+          break;
+        case Opcode::kCmp:
+          flag_lhs_ = RegRead(insn.a);
+          flag_rhs_ = RegRead(insn.b);
+          break;
+        case Opcode::kCmpI:
+          flag_lhs_ = RegRead(insn.a);
+          flag_rhs_ = pool_.AddNum(insn.imm);
+          break;
+        case Opcode::kSetCond:
+          RegWrite(insn.a, CmpExpr(insn.cond));
+          break;
+        case Opcode::kCsel:
+          RegWrite(insn.a,
+                   pool_.Add(NodeKind::kTernary,
+                             {CmpExpr(insn.cond), RegRead(insn.b),
+                              RegRead(insn.c)}));
+          break;
+        case Opcode::kFrameAddr:
+          RegWrite(insn.a,
+                   pool_.AddVar("arr" + std::to_string(insn.imm)));
+          break;
+        case Opcode::kLoad:
+          RegWrite(insn.a, IndexExpr(RegRead(insn.b), RegRead(insn.c)));
+          break;
+        case Opcode::kLoadI:
+          if (insn.b == binary::kFramePointerReg) {
+            RegWrite(insn.a, pool_.AddVar(FrameSlotName(insn.imm)));
+          } else {
+            RegWrite(insn.a,
+                     IndexExpr(RegRead(insn.b), pool_.AddNum(insn.imm)));
+          }
+          break;
+        case Opcode::kStore:
+          stmts_->push_back(MakeAsg(
+              IndexExpr(RegRead(insn.b), RegRead(insn.c)), RegRead(insn.a)));
+          break;
+        case Opcode::kStoreI:
+          if (insn.b == binary::kFramePointerReg) {
+            stmts_->push_back(MakeAsg(pool_.AddVar(FrameSlotName(insn.imm)),
+                                      RegRead(insn.a)));
+          } else {
+            stmts_->push_back(
+                MakeAsg(IndexExpr(RegRead(insn.b), pool_.AddNum(insn.imm)),
+                        RegRead(insn.a)));
+          }
+          break;
+        case Opcode::kArg: {
+          const auto slot = static_cast<std::size_t>(insn.imm);
+          if (staged_args_.size() <= slot) staged_args_.resize(slot + 1, -1);
+          staged_args_[slot] = RegRead(insn.a);
+          break;
+        }
+        case Opcode::kCall: {
+          const auto callee = static_cast<std::size_t>(insn.imm);
+          const std::string name = callee < module_.functions.size()
+                                       ? module_.functions[callee].name
+                                       : "sub_unknown";
+          std::vector<int> args;
+          for (int a : staged_args_) {
+            args.push_back(a >= 0 ? a : pool_.AddNum(0));
+          }
+          staged_args_.clear();
+          const int call = pool_.AddCall(name, std::move(args));
+          if (ValueUsedLater(block_id, i, insn.a)) {
+            const std::string temp = "t" + std::to_string(next_temp_++);
+            stmts_->push_back(
+                pool_.Add(NodeKind::kAsg, {pool_.AddVar(temp), call}));
+            RegWrite(insn.a, pool_.AddVar(temp));
+          } else {
+            stmts_->push_back(call);
+            reg_expr_[insn.a] = -1;
+          }
+          break;
+        }
+        case Opcode::kBr:
+          break;  // terminator handled below
+        case Opcode::kBrCond:
+          out->term = TermKind::kCond;
+          out->cond = CmpExpr(insn.cond);
+          break;
+        case Opcode::kJmpTable: {
+          out->term = TermKind::kSwitch;
+          out->switch_expr = RegRead(insn.a);
+          const auto& table =
+              fn_.jump_tables[static_cast<std::size_t>(insn.imm)];
+          std::map<int, SwitchArm> arms;  // keyed by target block
+          for (std::size_t k = 0; k < table.targets.size(); ++k) {
+            const int target = cfg_.BlockOf(table.targets[k]);
+            if (target == cfg_.BlockOf(table.default_target)) continue;
+            SwitchArm& arm = arms[target];
+            arm.target = target;
+            arm.values.push_back(table.base + static_cast<std::int64_t>(k));
+          }
+          for (auto& [target, arm] : arms) out->arms.push_back(std::move(arm));
+          out->switch_default = cfg_.BlockOf(table.default_target);
+          break;
+        }
+        case Opcode::kRet:
+          out->term = TermKind::kRet;
+          out->ret = RegRead(insn.a);
+          break;
+        case Opcode::kOpcodeCount:
+          stmts_->push_back(pool_.Add(NodeKind::kAsm));
+          break;
+      }
+    }
+
+    // Materialize live-out register variables modified by this block.
+    const auto& live_out = cfg_.live_out()[static_cast<std::size_t>(block_id)];
+    for (int r = 0; r < binary::kNumRegs; ++r) {
+      const auto ri = static_cast<std::size_t>(r);
+      if (!modified_[ri] || !live_out[ri]) continue;
+      const int expr = reg_expr_[ri];
+      const DNode& node = pool_.node(expr);
+      const std::string reg_name = "r" + std::to_string(r);
+      if (node.kind == NodeKind::kVar && node.text == reg_name) continue;
+      stmts_->push_back(MakeAsg(pool_.AddVar(reg_name), expr));
+    }
+    stmts_ = nullptr;
+  }
+
+  void BinOp(const Instruction& insn, NodeKind kind) {
+    RegWrite(insn.a,
+             pool_.Add(kind, {RegRead(insn.b), RegRead(insn.c)}));
+  }
+
+  void BinOpImm(const Instruction& insn, NodeKind kind) {
+    RegWrite(insn.a,
+             pool_.Add(kind, {RegRead(insn.b), pool_.AddNum(insn.imm)}));
+  }
+
+  const binary::BinModule& module_;
+  const MachineCfg& cfg_;
+  const binary::BinFunction& fn_;
+  DPool& pool_;
+  std::array<int, binary::kNumRegs> reg_expr_{};
+  std::array<bool, binary::kNumRegs> modified_{};
+  std::vector<int> staged_args_;
+  int flag_lhs_ = -1;
+  int flag_rhs_ = -1;
+  std::vector<int>* stmts_ = nullptr;
+  int next_temp_ = 0;
+};
+
+}  // namespace
+
+LiftedFunction LiftFunction(const binary::BinModule& module,
+                            const MachineCfg& cfg, DPool* pool) {
+  return BlockLifter(module, cfg, pool).Run();
+}
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,84 @@
+// Block lifting: machine instructions -> expression trees + statements.
+//
+// Plays the role of Hex-Rays' microcode-to-ctree stage. Within one basic
+// block, registers map to symbolic expression trees (forward substitution
+// rebuilds nested expressions); statements are emitted for memory stores,
+// calls, and the live-out register variables at block end. The output feeds
+// the structurer (structurer.h), which assembles the Table-I AST.
+//
+// Deliberate approximations, shared identically by all four ISAs (the
+// decompiled tree feeds a similarity model, not an executor):
+//  * end-of-block register assignments are sequential, not parallel
+//  * a load captured in a register expression is not re-ordered against
+//    later stores
+//  * expression trees larger than kMaxExprNodes are materialized into
+//    synthetic temporaries (guards against exponential substitution blowup)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/node_kind.h"
+#include "binary/module.h"
+#include "decompiler/machine_cfg.h"
+
+namespace asteria::decompiler {
+
+// A node in the decompiler's working tree (converted to ast::Ast at the
+// end; ids index into DPool).
+struct DNode {
+  ast::NodeKind kind = ast::NodeKind::kOther;
+  std::vector<int> children;
+  std::int64_t value = 0;
+  std::string text;
+  int size = 1;  // subtree node count (cached for the blowup guard)
+};
+
+class DPool {
+ public:
+  int Add(ast::NodeKind kind, std::vector<int> children = {});
+  int AddNum(std::int64_t value);
+  int AddVar(const std::string& name);
+  int AddStr(const std::string& literal);
+  int AddCall(const std::string& callee, std::vector<int> args);
+
+  const DNode& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  DNode& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+  int SizeOf(int id) const { return node(id).size; }
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  std::vector<DNode> nodes_;
+};
+
+// How a lifted block ends.
+enum class TermKind : std::uint8_t { kSeq, kCond, kSwitch, kRet };
+
+struct SwitchArm {
+  std::vector<std::int64_t> values;  // case values sharing this target
+  int target = -1;                   // block id
+};
+
+struct LiftedBlock {
+  std::vector<int> stmts;  // DNode ids (statement-level nodes)
+  TermKind term = TermKind::kSeq;
+  int cond = -1;      // kCond: expr that is true when the branch to
+                      // MachineBlock::succs[0] is taken
+  int ret = -1;       // kRet: returned expr (-1 = none)
+  std::vector<SwitchArm> arms;  // kSwitch
+  int switch_default = -1;      // kSwitch default target block
+  int switch_expr = -1;
+};
+
+struct LiftedFunction {
+  std::vector<LiftedBlock> blocks;
+};
+
+inline constexpr int kMaxExprNodes = 48;
+
+// Lifts every block of `fn`. `module` provides string/function names.
+LiftedFunction LiftFunction(const binary::BinModule& module,
+                            const MachineCfg& cfg, DPool* pool);
+
+}  // namespace asteria::decompiler

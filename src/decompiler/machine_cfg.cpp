@@ -1,0 +1,216 @@
+#include "decompiler/machine_cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace asteria::decompiler {
+
+using binary::Instruction;
+using binary::Opcode;
+
+bool MachineDefinesA(const Instruction& insn) {
+  switch (insn.op) {
+    case Opcode::kCmp:
+    case Opcode::kCmpI:
+    case Opcode::kBr:
+    case Opcode::kBrCond:
+    case Opcode::kJmpTable:
+    case Opcode::kStore:
+    case Opcode::kStoreI:
+    case Opcode::kArg:
+    case Opcode::kRet:
+    case Opcode::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+void MachineUses(const Instruction& insn, std::vector<int>* uses) {
+  auto add = [&](int r) { uses->push_back(r); };
+  switch (insn.op) {
+    case Opcode::kNop:
+    case Opcode::kMovImm:
+    case Opcode::kMovStr:
+    case Opcode::kFrameAddr:
+    case Opcode::kBr:
+    case Opcode::kBrCond:
+    case Opcode::kSetCond:
+    case Opcode::kCall:
+      return;  // no register reads (beyond flags / staged args)
+    case Opcode::kMov:
+    case Opcode::kNeg:
+    case Opcode::kNot:
+      add(insn.b);
+      return;
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul:
+    case Opcode::kDiv: case Opcode::kMod: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kShl:
+    case Opcode::kShr: case Opcode::kLea: case Opcode::kLoad:
+      add(insn.b);
+      add(insn.c);
+      return;
+    case Opcode::kAddI: case Opcode::kSubI: case Opcode::kMulI:
+    case Opcode::kDivI: case Opcode::kModI: case Opcode::kAndI:
+    case Opcode::kOrI: case Opcode::kXorI: case Opcode::kShlI:
+    case Opcode::kShrI: case Opcode::kLoadI:
+      add(insn.b);
+      return;
+    case Opcode::kCsel:
+      add(insn.b);
+      add(insn.c);
+      return;
+    case Opcode::kCmp:
+      add(insn.a);
+      add(insn.b);
+      return;
+    case Opcode::kCmpI:
+    case Opcode::kArg:
+    case Opcode::kRet:
+    case Opcode::kJmpTable:
+      add(insn.a);
+      return;
+    case Opcode::kStore:
+      add(insn.a);
+      add(insn.b);
+      add(insn.c);
+      return;
+    case Opcode::kStoreI:
+      add(insn.a);
+      add(insn.b);
+      return;
+    case Opcode::kOpcodeCount:
+      return;
+  }
+}
+
+MachineCfg::MachineCfg(const binary::BinFunction& fn) : fn_(&fn) {
+  const int n = fn.size();
+  std::set<int> leaders{0};
+  for (int i = 0; i < n; ++i) {
+    const Instruction& insn = fn.code[static_cast<std::size_t>(i)];
+    switch (insn.op) {
+      case Opcode::kBr:
+        leaders.insert(static_cast<int>(insn.imm));
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      case Opcode::kBrCond:
+        leaders.insert(static_cast<int>(insn.imm));
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      case Opcode::kJmpTable: {
+        const auto& table = fn.jump_tables[static_cast<std::size_t>(insn.imm)];
+        for (int t : table.targets) leaders.insert(t);
+        leaders.insert(table.default_target);
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      }
+      case Opcode::kRet:
+        if (i + 1 < n) leaders.insert(i + 1);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<int> starts(leaders.begin(), leaders.end());
+  block_of_.assign(static_cast<std::size_t>(n), 0);
+  for (std::size_t b = 0; b < starts.size(); ++b) {
+    MachineBlock block;
+    block.first = starts[b];
+    block.last = (b + 1 < starts.size() ? starts[b + 1] : n) - 1;
+    for (int i = block.first; i <= block.last; ++i) {
+      block_of_[static_cast<std::size_t>(i)] = static_cast<int>(b);
+    }
+    blocks_.push_back(block);
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    MachineBlock& block = blocks_[b];
+    const Instruction& last = fn.code[static_cast<std::size_t>(block.last)];
+    auto link = [&](int target_pc) {
+      block.succs.push_back(BlockOf(target_pc));
+    };
+    switch (last.op) {
+      case Opcode::kBr:
+        link(static_cast<int>(last.imm));
+        break;
+      case Opcode::kBrCond:
+        link(static_cast<int>(last.imm));
+        if (block.last + 1 < n) link(block.last + 1);
+        break;
+      case Opcode::kJmpTable: {
+        const auto& table =
+            fn.jump_tables[static_cast<std::size_t>(last.imm)];
+        std::set<int> seen;
+        for (int t : table.targets) {
+          if (seen.insert(BlockOf(t)).second) link(t);
+        }
+        if (seen.insert(BlockOf(table.default_target)).second) {
+          link(table.default_target);
+        }
+        break;
+      }
+      case Opcode::kRet:
+        break;
+      default:
+        if (block.last + 1 < n) link(block.last + 1);
+        break;
+    }
+  }
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    for (int succ : blocks_[b].succs) {
+      blocks_[static_cast<std::size_t>(succ)].preds.push_back(
+          static_cast<int>(b));
+    }
+  }
+  ComputeLiveness();
+}
+
+void MachineCfg::ComputeLiveness() {
+  const std::size_t num_blocks = blocks_.size();
+  live_in_.assign(num_blocks, std::vector<char>(binary::kNumRegs, 0));
+  live_out_.assign(num_blocks, std::vector<char>(binary::kNumRegs, 0));
+  std::vector<std::vector<char>> gen(num_blocks,
+                                     std::vector<char>(binary::kNumRegs, 0));
+  std::vector<std::vector<char>> kill(num_blocks,
+                                      std::vector<char>(binary::kNumRegs, 0));
+  std::vector<int> uses;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    for (int i = blocks_[b].first; i <= blocks_[b].last; ++i) {
+      const Instruction& insn = fn_->code[static_cast<std::size_t>(i)];
+      uses.clear();
+      MachineUses(insn, &uses);
+      for (int r : uses) {
+        if (!kill[b][static_cast<std::size_t>(r)]) {
+          gen[b][static_cast<std::size_t>(r)] = 1;
+        }
+      }
+      if (MachineDefinesA(insn)) kill[b][insn.a] = 1;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t b = num_blocks; b-- > 0;) {
+      for (int succ : blocks_[b].succs) {
+        const auto& succ_in = live_in_[static_cast<std::size_t>(succ)];
+        for (int r = 0; r < binary::kNumRegs; ++r) {
+          if (succ_in[static_cast<std::size_t>(r)] &&
+              !live_out_[b][static_cast<std::size_t>(r)]) {
+            live_out_[b][static_cast<std::size_t>(r)] = 1;
+            changed = true;
+          }
+        }
+      }
+      for (int r = 0; r < binary::kNumRegs; ++r) {
+        const auto ri = static_cast<std::size_t>(r);
+        const char value = gen[b][ri] || (live_out_[b][ri] && !kill[b][ri]);
+        if (value != live_in_[b][ri]) {
+          live_in_[b][ri] = value;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,54 @@
+// Machine-level control-flow graph and register liveness.
+//
+// Built directly from BinFunction code by leader analysis. The lifter uses
+// liveness to decide which registers modified by a block must materialize as
+// register-variable assignments (dead defs vanish, matching what a real
+// decompiler's dataflow does). The cfg library reuses this graph for ACFG
+// feature extraction (Gemini baseline).
+#pragma once
+
+#include <vector>
+
+#include "binary/module.h"
+
+namespace asteria::decompiler {
+
+struct MachineBlock {
+  int first = 0;  // instruction index range [first, last]
+  int last = 0;
+  std::vector<int> succs;  // block ids
+  std::vector<int> preds;
+};
+
+class MachineCfg {
+ public:
+  // Builds the CFG of `fn` (which must be non-empty).
+  explicit MachineCfg(const binary::BinFunction& fn);
+
+  const binary::BinFunction& function() const { return *fn_; }
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  const MachineBlock& block(int id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  // Block containing instruction index `pc`.
+  int BlockOf(int pc) const { return block_of_[static_cast<std::size_t>(pc)]; }
+
+  // live_out[b][r]: register r is live out of block b.
+  const std::vector<std::vector<char>>& live_out() const { return live_out_; }
+  const std::vector<std::vector<char>>& live_in() const { return live_in_; }
+
+ private:
+  void ComputeLiveness();
+
+  const binary::BinFunction* fn_;
+  std::vector<MachineBlock> blocks_;
+  std::vector<int> block_of_;
+  std::vector<std::vector<char>> live_in_;
+  std::vector<std::vector<char>> live_out_;
+};
+
+// Register def/use sets for one machine instruction.
+bool MachineDefinesA(const binary::Instruction& insn);
+void MachineUses(const binary::Instruction& insn, std::vector<int>* uses);
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,436 @@
+#include "decompiler/structurer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace asteria::decompiler {
+
+using ast::NodeKind;
+
+namespace {
+
+// Reverse postorder from the entry over successor edges.
+std::vector<int> ReversePostorder(const MachineCfg& cfg) {
+  std::vector<int> order;
+  std::vector<char> visited(static_cast<std::size_t>(cfg.num_blocks()), 0);
+  // Iterative DFS with explicit post stack.
+  struct Frame {
+    int block;
+    std::size_t next;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  visited[0] = 1;
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    const auto& succs = cfg.block(top.block).succs;
+    if (top.next < succs.size()) {
+      const int succ = succs[top.next++];
+      if (!visited[static_cast<std::size_t>(succ)]) {
+        visited[static_cast<std::size_t>(succ)] = 1;
+        stack.push_back({succ, 0});
+      }
+      continue;
+    }
+    order.push_back(top.block);
+    stack.pop_back();
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> ComputeIdom(const MachineCfg& cfg) {
+  const int n = cfg.num_blocks();
+  std::vector<int> idom(static_cast<std::size_t>(n), -1);
+  const std::vector<int> rpo = ReversePostorder(cfg);
+  std::vector<int> rpo_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    rpo_index[static_cast<std::size_t>(rpo[i])] = static_cast<int>(i);
+  }
+  idom[0] = 0;
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)]) {
+        a = idom[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)]) {
+        b = idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo) {
+      if (b == 0) continue;
+      int new_idom = -1;
+      for (int pred : cfg.block(b).preds) {
+        if (idom[static_cast<std::size_t>(pred)] < 0) continue;
+        if (rpo_index[static_cast<std::size_t>(pred)] < 0) continue;
+        new_idom = new_idom < 0 ? pred : intersect(new_idom, pred);
+      }
+      if (new_idom >= 0 && idom[static_cast<std::size_t>(b)] != new_idom) {
+        idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return idom;
+}
+
+std::vector<int> ComputeIpostdom(const MachineCfg& cfg) {
+  // Postdominators = dominators on the reversed graph with a virtual exit
+  // (index n) that every return block feeds. Simple iterative set-based
+  // algorithm (blocks are small).
+  const int n = cfg.num_blocks();
+  const int vexit = n;
+  std::vector<std::vector<int>> rsuccs(static_cast<std::size_t>(n + 1));
+  std::vector<std::vector<int>> rpreds(static_cast<std::size_t>(n + 1));
+  for (int b = 0; b < n; ++b) {
+    const auto& succs = cfg.block(b).succs;
+    if (succs.empty()) {
+      rsuccs[static_cast<std::size_t>(vexit)].push_back(b);
+      rpreds[static_cast<std::size_t>(b)].push_back(vexit);
+    }
+    for (int s : succs) {
+      rsuccs[static_cast<std::size_t>(s)].push_back(b);
+      rpreds[static_cast<std::size_t>(b)].push_back(s);
+    }
+  }
+  // pdom sets via bitsets.
+  std::vector<std::vector<char>> pdom(
+      static_cast<std::size_t>(n + 1),
+      std::vector<char>(static_cast<std::size_t>(n + 1), 1));
+  std::vector<char> empty_set(static_cast<std::size_t>(n + 1), 0);
+  pdom[static_cast<std::size_t>(vexit)] = empty_set;
+  pdom[static_cast<std::size_t>(vexit)][static_cast<std::size_t>(vexit)] = 1;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = n - 1; b >= 0; --b) {
+      std::vector<char> next(static_cast<std::size_t>(n + 1), 1);
+      bool has_succ = false;
+      // successors in the original graph (preds in reversed) = rpreds[b].
+      for (int s : rpreds[static_cast<std::size_t>(b)]) {
+        has_succ = true;
+        const auto& sd = pdom[static_cast<std::size_t>(s)];
+        for (std::size_t i = 0; i < next.size(); ++i) next[i] &= sd[i];
+      }
+      if (!has_succ) next = empty_set;  // unreachable-from-exit (inf. loop)
+      next[static_cast<std::size_t>(b)] = 1;
+      if (next != pdom[static_cast<std::size_t>(b)]) {
+        pdom[static_cast<std::size_t>(b)] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  // Immediate postdominator: the strict postdominator postdominated by all
+  // other strict postdominators (smallest strict pdom set containing b).
+  std::vector<int> ipdom(static_cast<std::size_t>(n), -1);
+  for (int b = 0; b < n; ++b) {
+    int best = -1;
+    std::size_t best_size = 0;
+    for (int c = 0; c <= n; ++c) {
+      if (c == b || !pdom[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)]) continue;
+      std::size_t size = 0;
+      for (char bit : pdom[static_cast<std::size_t>(c)]) size += static_cast<std::size_t>(bit);
+      if (best < 0 || size > best_size) {
+        best = c;
+        best_size = size;
+      }
+    }
+    ipdom[static_cast<std::size_t>(b)] = best == vexit ? -1 : best;
+  }
+  return ipdom;
+}
+
+namespace {
+
+class StructurerImpl {
+ public:
+  StructurerImpl(const MachineCfg& cfg, const LiftedFunction& lifted,
+                 DPool* pool)
+      : cfg_(cfg), lifted_(lifted), pool_(*pool) {
+    ipdom_ = ComputeIpostdom(cfg_);
+    FindLoops();
+    emitted_.assign(static_cast<std::size_t>(cfg_.num_blocks()), 0);
+  }
+
+  int Run() {
+    std::vector<int> stmts;
+    Walk(0, {}, nullptr, &stmts);
+    // Goto-fallback targets not emitted anywhere else land at top level.
+    while (!pending_.empty()) {
+      const int b = pending_.back();
+      pending_.pop_back();
+      if (emitted_[static_cast<std::size_t>(b)]) continue;
+      Walk(b, {}, nullptr, &stmts);
+    }
+    return pool_.Add(NodeKind::kBlock, std::move(stmts));
+  }
+
+ private:
+  struct LoopCtx {
+    int header;
+    int exit;
+    const std::set<int>* body;
+  };
+
+  void FindLoops() {
+    const std::vector<int> idom = ComputeIdom(cfg_);
+    auto dominates = [&](int a, int b) {
+      // walk idom chain of b up to entry
+      int cur = b;
+      while (true) {
+        if (cur == a) return true;
+        const int up = idom[static_cast<std::size_t>(cur)];
+        if (up == cur || up < 0) return cur == a;
+        cur = up;
+      }
+    };
+    for (int u = 0; u < cfg_.num_blocks(); ++u) {
+      for (int h : cfg_.block(u).succs) {
+        if (!dominates(h, u)) continue;
+        // natural loop of back edge u -> h
+        std::set<int>& body = loops_[h];
+        body.insert(h);
+        std::vector<int> work{u};
+        while (!work.empty()) {
+          const int x = work.back();
+          work.pop_back();
+          if (!body.insert(x).second) continue;
+          for (int p : cfg_.block(x).preds) {
+            if (!body.count(p)) work.push_back(p);
+          }
+        }
+      }
+    }
+  }
+
+  int Negate(int cond) {
+    const DNode& node = pool_.node(cond);
+    NodeKind flipped;
+    switch (node.kind) {
+      case NodeKind::kEq: flipped = NodeKind::kNe; break;
+      case NodeKind::kNe: flipped = NodeKind::kEq; break;
+      case NodeKind::kLt: flipped = NodeKind::kGe; break;
+      case NodeKind::kLe: flipped = NodeKind::kGt; break;
+      case NodeKind::kGt: flipped = NodeKind::kLe; break;
+      case NodeKind::kGe: flipped = NodeKind::kLt; break;
+      default:
+        return pool_.Add(NodeKind::kNot, {cond});
+    }
+    return pool_.Add(flipped, pool_.node(cond).children);
+  }
+
+  void EmitGoto(int target, std::vector<int>* out) {
+    out->push_back(pool_.Add(NodeKind::kGoto));
+    if (!emitted_[static_cast<std::size_t>(target)]) {
+      pending_.push_back(target);
+    }
+  }
+
+  // Structures the chain starting at `cur`; stops (without emitting) at any
+  // block in `stops`, at the enclosing loop's header (continue) or exit
+  // (break), or at a return.
+  void Walk(int cur, std::set<int> stops, LoopCtx* loop,
+            std::vector<int>* out) {
+    while (cur >= 0) {
+      if (stops.count(cur)) return;
+      if (loop != nullptr) {
+        // An edge back to an already-emitted header is the next iteration;
+        // on first entry (while(1) form) the header is processed normally.
+        if (cur == loop->header && emitted_[static_cast<std::size_t>(cur)]) {
+          out->push_back(pool_.Add(NodeKind::kContinue));
+          return;
+        }
+        if (cur == loop->exit) {
+          out->push_back(pool_.Add(NodeKind::kBreak));
+          return;
+        }
+        if (!loop->body->count(cur)) {
+          EmitGoto(cur, out);
+          return;
+        }
+      }
+      if (emitted_[static_cast<std::size_t>(cur)]) {
+        EmitGoto(cur, out);
+        return;
+      }
+      auto loop_it = loops_.find(cur);
+      if (loop_it != loops_.end() && !walking_header_.count(cur)) {
+        cur = EmitLoop(cur, loop_it->second, loop, out);
+        continue;
+      }
+      emitted_[static_cast<std::size_t>(cur)] = 1;
+      const LiftedBlock& lb = lifted_.blocks[static_cast<std::size_t>(cur)];
+      for (int s : lb.stmts) out->push_back(s);
+      const auto& succs = cfg_.block(cur).succs;
+      switch (lb.term) {
+        case TermKind::kRet: {
+          std::vector<int> children;
+          if (lb.ret >= 0) children.push_back(lb.ret);
+          out->push_back(pool_.Add(NodeKind::kReturn, std::move(children)));
+          return;
+        }
+        case TermKind::kSeq:
+          if (succs.empty()) return;
+          cur = succs[0];
+          continue;
+        case TermKind::kCond: {
+          const int true_block = succs[0];
+          const int false_block = succs.size() > 1 ? succs[1] : succs[0];
+          const int join = ipdom_[static_cast<std::size_t>(cur)];
+          std::vector<int> then_stmts =
+              Side(true_block, join, stops, loop);
+          std::vector<int> else_stmts =
+              Side(false_block, join, stops, loop);
+          int cond = lb.cond;
+          if (then_stmts.empty() && !else_stmts.empty()) {
+            cond = Negate(cond);
+            std::swap(then_stmts, else_stmts);
+          }
+          if (!then_stmts.empty()) {
+            std::vector<int> children{
+                cond, pool_.Add(NodeKind::kBlock, std::move(then_stmts))};
+            if (!else_stmts.empty()) {
+              children.push_back(
+                  pool_.Add(NodeKind::kBlock, std::move(else_stmts)));
+            }
+            out->push_back(pool_.Add(NodeKind::kIf, std::move(children)));
+          }
+          cur = join;
+          continue;
+        }
+        case TermKind::kSwitch: {
+          const int join = ipdom_[static_cast<std::size_t>(cur)];
+          std::vector<int> children{lb.switch_expr};
+          for (const SwitchArm& arm : lb.arms) {
+            std::vector<int> arm_stmts = Side(arm.target, join, stops, loop);
+            children.push_back(
+                pool_.Add(NodeKind::kBlock, std::move(arm_stmts)));
+          }
+          if (lb.switch_default >= 0 && lb.switch_default != join) {
+            std::vector<int> def_stmts =
+                Side(lb.switch_default, join, stops, loop);
+            if (!def_stmts.empty()) {
+              children.push_back(
+                  pool_.Add(NodeKind::kBlock, std::move(def_stmts)));
+            }
+          }
+          out->push_back(pool_.Add(NodeKind::kSwitch, std::move(children)));
+          cur = join;
+          continue;
+        }
+      }
+      return;
+    }
+  }
+
+  std::vector<int> Side(int start, int join, const std::set<int>& stops,
+                        LoopCtx* loop) {
+    std::vector<int> out;
+    if (start == join) return out;
+    std::set<int> stops2 = stops;
+    if (join >= 0) stops2.insert(join);
+    Walk(start, std::move(stops2), loop, &out);
+    return out;
+  }
+
+  // Emits a while loop for the natural loop with `header`; returns the
+  // block where control continues after the loop (-1 when the loop never
+  // exits).
+  int EmitLoop(int header, const std::set<int>& body, LoopCtx* parent,
+               std::vector<int>* out) {
+    // Collect exit edge targets.
+    std::map<int, int> exit_counts;
+    for (int u : body) {
+      for (int s : cfg_.block(u).succs) {
+        if (!body.count(s)) ++exit_counts[s];
+      }
+    }
+    const LiftedBlock& hb = lifted_.blocks[static_cast<std::size_t>(header)];
+    const auto& hsuccs = cfg_.block(header).succs;
+
+    int exit = -1;
+    int body_entry = -1;
+    int cond = -1;
+    if (hb.term == TermKind::kCond && hsuccs.size() == 2) {
+      const int t = hsuccs[0], f = hsuccs[1];
+      if (body.count(t) && !body.count(f)) {
+        exit = f;
+        body_entry = t;
+        cond = hb.cond;
+      } else if (body.count(f) && !body.count(t)) {
+        exit = t;
+        body_entry = f;
+        cond = Negate(hb.cond);
+      }
+    }
+    if (exit < 0) {
+      // Canonical exit = the most targeted exit block (others become gotos).
+      int best_count = 0;
+      for (const auto& [target, count] : exit_counts) {
+        if (count > best_count) {
+          best_count = count;
+          exit = target;
+        }
+      }
+    }
+
+    LoopCtx ctx{header, exit, &body};
+    if (cond >= 0 && hb.stmts.empty()) {
+      // while (cond) { body }
+      emitted_[static_cast<std::size_t>(header)] = 1;
+      std::vector<int> body_stmts;
+      if (body_entry != header) Walk(body_entry, {}, &ctx, &body_stmts);
+      DropTrailingContinue(&body_stmts);
+      out->push_back(pool_.Add(
+          NodeKind::kWhile,
+          {cond, pool_.Add(NodeKind::kBlock, std::move(body_stmts))}));
+    } else {
+      // while (1) { header...; } with breaks for exits.
+      walking_header_.insert(header);
+      std::vector<int> body_stmts;
+      Walk(header, {}, &ctx, &body_stmts);
+      walking_header_.erase(header);
+      DropTrailingContinue(&body_stmts);
+      out->push_back(pool_.Add(
+          NodeKind::kWhile,
+          {pool_.AddNum(1),
+           pool_.Add(NodeKind::kBlock, std::move(body_stmts))}));
+    }
+    (void)parent;
+    return exit;
+  }
+
+  void DropTrailingContinue(std::vector<int>* stmts) {
+    if (!stmts->empty() &&
+        pool_.node(stmts->back()).kind == NodeKind::kContinue) {
+      stmts->pop_back();
+    }
+  }
+
+  const MachineCfg& cfg_;
+  const LiftedFunction& lifted_;
+  DPool& pool_;
+  std::vector<int> ipdom_;
+  std::map<int, std::set<int>> loops_;
+  std::vector<char> emitted_;
+  std::vector<int> pending_;
+  std::set<int> walking_header_;
+};
+
+}  // namespace
+
+int StructureFunction(const MachineCfg& cfg, const LiftedFunction& lifted,
+                      DPool* pool) {
+  return StructurerImpl(cfg, lifted, pool).Run();
+}
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,25 @@
+// Control-flow structuring: machine CFG + lifted blocks -> statement tree.
+//
+// Recovers if/else (via immediate postdominators), while loops (via
+// dominator-based natural loops), switch (from jump tables), break/continue
+// (edges to the innermost loop's exit/header), and falls back to goto nodes
+// for anything irreducible — exactly the degradation a production
+// decompiler exhibits, and Table I reserves a label for it.
+#pragma once
+
+#include "decompiler/lifter.h"
+#include "decompiler/machine_cfg.h"
+
+namespace asteria::decompiler {
+
+// Structures the function and returns the DNode id of the root kBlock.
+int StructureFunction(const MachineCfg& cfg, const LiftedFunction& lifted,
+                      DPool* pool);
+
+// Dominator utilities (exposed for tests and the cfg library).
+// idom[b] = immediate dominator block id (entry's is itself).
+std::vector<int> ComputeIdom(const MachineCfg& cfg);
+// Immediate postdominators with a virtual exit (-1 represents it).
+std::vector<int> ComputeIpostdom(const MachineCfg& cfg);
+
+}  // namespace asteria::decompiler

@@ -1,0 +1,120 @@
+#include "eval/roc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asteria::eval {
+
+RocResult ComputeRoc(std::vector<Scored> scored) {
+  RocResult result;
+  for (const Scored& s : scored) {
+    if (s.second) {
+      ++result.positives;
+    } else {
+      ++result.negatives;
+    }
+  }
+  if (result.positives == 0 || result.negatives == 0) return result;
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.first > b.first; });
+  // Sweep thresholds from +inf down; each distinct score adds a point.
+  int tp = 0, fp = 0;
+  result.points.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  for (std::size_t i = 0; i < scored.size();) {
+    const double score = scored[i].first;
+    while (i < scored.size() && scored[i].first == score) {
+      if (scored[i].second) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    result.points.push_back(
+        {static_cast<double>(fp) / result.negatives,
+         static_cast<double>(tp) / result.positives, score});
+  }
+  // Trapezoidal AUC.
+  double auc = 0.0;
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    const RocPoint& prev = result.points[i - 1];
+    const RocPoint& cur = result.points[i];
+    auc += (cur.fpr - prev.fpr) * (cur.tpr + prev.tpr) * 0.5;
+  }
+  result.auc = auc;
+  return result;
+}
+
+double Auc(const std::vector<Scored>& scored) {
+  // Mann-Whitney with midranks for ties.
+  std::vector<Scored> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Scored& a, const Scored& b) { return a.first < b.first; });
+  double rank_sum_positive = 0.0;
+  std::size_t positives = 0, negatives = 0;
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].first == sorted[i].first) ++j;
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (sorted[k].second) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  for (const Scored& s : sorted) {
+    if (s.second) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  if (positives == 0 || negatives == 0) return 0.0;
+  const double p = static_cast<double>(positives);
+  return (rank_sum_positive - p * (p + 1) / 2.0) /
+         (p * static_cast<double>(negatives));
+}
+
+double TprAtFpr(const RocResult& roc, double fpr) {
+  double best = 0.0;
+  for (std::size_t i = 1; i < roc.points.size(); ++i) {
+    const RocPoint& prev = roc.points[i - 1];
+    const RocPoint& cur = roc.points[i];
+    if (cur.fpr <= fpr) {
+      best = std::max(best, cur.tpr);
+      continue;
+    }
+    if (prev.fpr <= fpr && cur.fpr > prev.fpr) {
+      const double t = (fpr - prev.fpr) / (cur.fpr - prev.fpr);
+      best = std::max(best, prev.tpr + t * (cur.tpr - prev.tpr));
+    }
+    break;
+  }
+  return best;
+}
+
+double YoudenThreshold(const RocResult& roc) {
+  double best_j = -1.0;
+  double best_threshold = 0.5;
+  for (const RocPoint& point : roc.points) {
+    const double j = point.tpr - point.fpr;
+    if (j > best_j && std::isfinite(point.threshold)) {
+      best_j = j;
+      best_threshold = point.threshold;
+    }
+  }
+  return best_threshold;
+}
+
+Confusion ConfusionAt(const std::vector<Scored>& scored, double threshold) {
+  Confusion confusion;
+  for (const Scored& s : scored) {
+    const bool predicted = s.first >= threshold;
+    if (s.second && predicted) ++confusion.tp;
+    if (s.second && !predicted) ++confusion.fn;
+    if (!s.second && predicted) ++confusion.fp;
+    if (!s.second && !predicted) ++confusion.tn;
+  }
+  return confusion;
+}
+
+}  // namespace asteria::eval

@@ -1,0 +1,50 @@
+// Evaluation metrics: ROC curves, AUC, TPR@FPR, Youden index (§IV-D, §V).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace asteria::eval {
+
+// One (score, is_positive) observation.
+using Scored = std::pair<double, bool>;
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+struct RocResult {
+  std::vector<RocPoint> points;  // sorted by increasing FPR
+  double auc = 0.0;
+  int positives = 0;
+  int negatives = 0;
+};
+
+// Builds the full ROC curve by sweeping the threshold over every distinct
+// score; AUC via the trapezoidal rule (equals the rank statistic).
+RocResult ComputeRoc(std::vector<Scored> scored);
+
+// AUC only (Mann-Whitney rank formulation, handles ties).
+double Auc(const std::vector<Scored>& scored);
+
+// Interpolated TPR at the given FPR.
+double TprAtFpr(const RocResult& roc, double fpr);
+
+// Threshold maximizing Youden's J = TPR - FPR (§V uses this to pick 0.84).
+double YoudenThreshold(const RocResult& roc);
+
+// Confusion counts at a fixed threshold (score >= threshold -> positive).
+struct Confusion {
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+  double Tpr() const { return tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0; }
+  double Fpr() const { return fp + tn ? static_cast<double>(fp) / (fp + tn) : 0.0; }
+  double Accuracy() const {
+    const int total = tp + fp + tn + fn;
+    return total ? static_cast<double>(tp + tn) / total : 0.0;
+  }
+};
+Confusion ConfusionAt(const std::vector<Scored>& scored, double threshold);
+
+}  // namespace asteria::eval

@@ -1,0 +1,101 @@
+#include "firmware/image.h"
+
+namespace asteria::firmware {
+
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0x46545341;  // "ASTF"
+
+void PutU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutStr(std::vector<std::uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+std::uint32_t Checksum(const std::vector<std::uint8_t>& data,
+                       std::size_t begin, std::size_t end) {
+  std::uint32_t sum = 2166136261u;
+  for (std::size_t i = begin; i < end; ++i) {
+    sum ^= data[i];
+    sum *= 16777619u;
+  }
+  return sum;
+}
+
+struct Cursor {
+  const std::vector<std::uint8_t>& data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool Has(std::size_t n) {
+    if (pos + n > data.size()) ok = false;
+    return ok;
+  }
+  std::uint32_t U32() {
+    if (!Has(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (!Has(n)) return {};
+    std::string s(data.begin() + static_cast<std::ptrdiff_t>(pos),
+                  data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Pack(const FirmwareImage& image) {
+  std::vector<std::uint8_t> out;
+  PutU32(&out, kImageMagic);
+  PutStr(&out, image.vendor);
+  PutStr(&out, image.model);
+  PutStr(&out, image.version);
+  PutU32(&out, static_cast<std::uint32_t>(image.modules.size()));
+  for (const binary::BinModule& module : image.modules) {
+    const std::vector<std::uint8_t> blob = module.Encode();
+    PutU32(&out, static_cast<std::uint32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  PutU32(&out, Checksum(out, 0, out.size()));
+  return out;
+}
+
+std::optional<FirmwareImage> Unpack(const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < 8) return std::nullopt;
+  // Validate trailing checksum first.
+  Cursor tail{blob, blob.size() - 4};
+  const std::uint32_t stored = tail.U32();
+  if (stored != Checksum(blob, 0, blob.size() - 4)) return std::nullopt;
+
+  Cursor cursor{blob};
+  if (cursor.U32() != kImageMagic) return std::nullopt;
+  FirmwareImage image;
+  image.vendor = cursor.Str();
+  image.model = cursor.Str();
+  image.version = cursor.Str();
+  const std::uint32_t count = cursor.U32();
+  if (!cursor.ok || count > 10'000) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t size = cursor.U32();
+    if (!cursor.Has(size)) return std::nullopt;
+    std::vector<std::uint8_t> module_blob(
+        blob.begin() + static_cast<std::ptrdiff_t>(cursor.pos),
+        blob.begin() + static_cast<std::ptrdiff_t>(cursor.pos + size));
+    cursor.pos += size;
+    auto module = binary::BinModule::Decode(module_blob);
+    if (!module.has_value()) return std::nullopt;
+    image.modules.push_back(std::move(*module));
+  }
+  if (cursor.pos != blob.size() - 4) return std::nullopt;
+  return image;
+}
+
+}  // namespace asteria::firmware

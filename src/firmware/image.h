@@ -1,0 +1,32 @@
+// Synthetic firmware image format and packer/unpacker (binwalk analog).
+//
+// An image holds vendor/model/version metadata and a set of binary modules
+// (symbol-stripped, as vendors ship them). The on-disk format has a magic,
+// a section table and a trailing checksum; Unpack validates both — images
+// that fail to parse are skipped, mirroring §IV-B's "not all firmware can
+// be unpacked".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binary/module.h"
+
+namespace asteria::firmware {
+
+struct FirmwareImage {
+  std::string vendor;
+  std::string model;
+  std::string version;
+  std::vector<binary::BinModule> modules;
+};
+
+// Serializes an image to a flat blob.
+std::vector<std::uint8_t> Pack(const FirmwareImage& image);
+
+// Parses a blob; returns nullopt on bad magic/section table/checksum.
+std::optional<FirmwareImage> Unpack(const std::vector<std::uint8_t>& blob);
+
+}  // namespace asteria::firmware

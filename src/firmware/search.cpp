@@ -1,0 +1,244 @@
+#include "firmware/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "compiler/compile.h"
+#include "dataset/generator.h"
+#include "decompiler/decompile.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+#include "util/log.h"
+
+namespace asteria::firmware {
+
+namespace {
+
+struct VendorSpec {
+  const char* vendor;
+  std::vector<const char*> models;
+};
+
+const std::vector<VendorSpec>& Vendors() {
+  static const std::vector<VendorSpec> kVendors = {
+      {"NetGear", {"R7000", "D7000", "R8000", "R7500", "D7800", "R7800",
+                   "R6250", "R7900", "R6700", "FVS318Gv2"}},
+      {"Schneider", {"BMX-NOE", "TM221", "PM5560"}},
+      {"Dlink", {"DSN-6200", "DIR-865L", "DCS-930L"}},
+  };
+  return kVendors;
+}
+
+binary::BinModule CompileSource(const std::string& source,
+                                const std::string& name, binary::Isa isa) {
+  minic::Program program;
+  std::string error;
+  if (!minic::Parse(source, &program, &error) ||
+      !minic::Check(program, &error)) {
+    ASTERIA_LOG(Error) << "vuln-library source broken (" << name
+                       << "): " << error;
+    return binary::BinModule{};
+  }
+  auto compiled = compiler::CompileProgram(program, isa, name);
+  if (!compiled.ok) {
+    ASTERIA_LOG(Error) << "vuln-library compile failed (" << name
+                       << "): " << compiled.error;
+    return binary::BinModule{};
+  }
+  return std::move(compiled.module);
+}
+
+}  // namespace
+
+FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
+  FirmwareCorpus corpus;
+  util::Rng rng(config.seed);
+  dataset::GeneratorConfig generator_config;
+  generator_config.min_functions = 3;
+  generator_config.max_functions = 6;
+
+  for (int img = 0; img < config.images; ++img) {
+    const VendorSpec& vendor = Vendors()[rng.NextWeighted({5.0, 1.5, 2.5})];
+    FirmwareImage image;
+    image.vendor = vendor.vendor;
+    image.model = vendor.models[rng.NextBounded(vendor.models.size())];
+    image.version = "v" + std::to_string(rng.NextInt(1, 3)) + "." +
+                    std::to_string(rng.NextInt(0, 9));
+    const binary::Isa isa =
+        static_cast<binary::Isa>(rng.NextWeighted({1.0, 0.2, 5.0, 1.2}));
+
+    // Filler packages (vendor-specific code).
+    for (int p = 0; p < config.filler_packages_per_image; ++p) {
+      minic::Program program = dataset::GenerateProgram(generator_config, rng);
+      std::string error;
+      if (!minic::Check(program, &error)) continue;
+      auto compiled = compiler::CompileProgram(
+          program, isa, "vendor_" + std::to_string(img) + "_" + std::to_string(p));
+      if (compiled.ok) image.modules.push_back(std::move(compiled.module));
+    }
+
+    // Possibly ship CVE-library software.
+    struct Plant {
+      std::string cve;
+      std::string function;
+      bool patched;
+    };
+    std::vector<Plant> plants;
+    if (rng.NextBool(config.software_probability)) {
+      // Ship 1-3 distinct softwares.
+      const int count = static_cast<int>(rng.NextInt(1, 3));
+      std::set<std::size_t> chosen;
+      for (int k = 0; k < count; ++k) {
+        chosen.insert(rng.NextBounded(VulnLibrary().size()));
+      }
+      for (std::size_t v : chosen) {
+        const VulnSpec& spec = VulnLibrary()[v];
+        const bool vulnerable = rng.NextBool(config.vulnerable_probability);
+        binary::BinModule module = CompileSource(
+            vulnerable ? spec.vulnerable_source : spec.patched_source,
+            spec.software + "-" +
+                (vulnerable ? spec.vulnerable_version : spec.patched_version),
+            isa);
+        if (module.functions.empty()) continue;
+        plants.push_back({spec.cve, spec.function, !vulnerable});
+        image.modules.push_back(std::move(module));
+      }
+    }
+
+    // Strip symbols but remember which stripped name held the CVE function.
+    struct TruthEntry {
+      std::size_t module;
+      std::string stripped;
+      std::string cve;
+      bool patched;
+    };
+    std::vector<TruthEntry> truths;
+    {
+      std::size_t plant_index = 0;
+      for (std::size_t m = 0; m < image.modules.size(); ++m) {
+        binary::BinModule& module = image.modules[m];
+        const bool is_software = module.name.find("vendor_") != 0;
+        std::string target_fn;
+        std::string cve;
+        bool patched = false;
+        if (is_software && plant_index < plants.size()) {
+          target_fn = plants[plant_index].function;
+          cve = plants[plant_index].cve;
+          patched = plants[plant_index].patched;
+          ++plant_index;
+        }
+        std::vector<std::string> old_names;
+        for (const auto& fn : module.functions) old_names.push_back(fn.name);
+        module.StripSymbols();
+        for (std::size_t f = 0; f < module.functions.size(); ++f) {
+          if (!target_fn.empty() && old_names[f] == target_fn) {
+            truths.push_back({m, module.functions[f].name, cve, patched});
+          }
+        }
+      }
+    }
+
+    // Pack + unpack round trip (the binwalk-analog path).
+    const std::vector<std::uint8_t> blob = Pack(image);
+    auto unpacked = Unpack(blob);
+    if (!unpacked.has_value()) {
+      ++corpus.unpack_failures;
+      continue;
+    }
+    const int image_index = static_cast<int>(corpus.images.size());
+    corpus.images.push_back(std::move(*unpacked));
+    const FirmwareImage& stored = corpus.images.back();
+
+    for (std::size_t m = 0; m < stored.modules.size(); ++m) {
+      const binary::BinModule& module = stored.modules[m];
+      auto decompiled = decompiler::DecompileModule(module, config.beta);
+      for (auto& df : decompiled) {
+        if (df.tree.size() < 5) continue;
+        FirmwareFunction entry;
+        entry.image = image_index;
+        entry.module = module.name;
+        entry.version = stored.version;
+        entry.symbol = df.name;
+        entry.feature.name = module.name + "::" + df.name;
+        entry.feature.tree = ast::ToLeftChildRightSibling(df.tree);
+        entry.feature.callee_count = df.callee_count;
+        for (const TruthEntry& truth : truths) {
+          if (truth.module == m && truth.stripped == df.name) {
+            entry.truth_cve = truth.cve;
+            entry.patched = truth.patched;
+          }
+        }
+        corpus.functions.push_back(std::move(entry));
+      }
+    }
+  }
+  return corpus;
+}
+
+VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
+                               const FirmwareCorpus& corpus, double threshold,
+                               int beta) {
+  VulnSearchResult result;
+  result.threshold = threshold;
+
+  // Encode the whole firmware corpus once (offline phase).
+  std::vector<nn::Matrix> encodings;
+  encodings.reserve(corpus.functions.size());
+  for (const FirmwareFunction& fn : corpus.functions) {
+    encodings.push_back(model.Encode(fn.feature.tree));
+  }
+
+  for (const VulnSpec& spec : VulnLibrary()) {
+    CveSearchResult row;
+    row.cve = spec.cve;
+    row.software = spec.software;
+    row.function = spec.function;
+
+    // Compile + decompile the query function on the reference ISA.
+    binary::BinModule module = CompileSource(
+        spec.vulnerable_source, spec.software, static_cast<binary::Isa>(kQueryIsa));
+    const int fn_index = module.FindFunction(spec.function);
+    if (fn_index < 0) {
+      result.per_cve.push_back(std::move(row));
+      continue;
+    }
+    auto query = decompiler::DecompileFunction(module, fn_index, beta);
+    const ast::BinaryAst query_tree = ast::ToLeftChildRightSibling(query.tree);
+    const nn::Matrix query_encoding = model.Encode(query_tree);
+
+    std::set<std::string> models_hit;
+    for (std::size_t i = 0; i < corpus.functions.size(); ++i) {
+      const FirmwareFunction& fn = corpus.functions[i];
+      const double ast_similarity =
+          model.SimilarityFromEncodings(query_encoding, encodings[i]);
+      const double score = core::CalibratedSimilarity(
+          ast_similarity, query.callee_count, fn.feature.callee_count);
+      if (score < threshold) continue;
+      ++row.candidates;
+      const bool is_vulnerable = fn.truth_cve == spec.cve && !fn.patched;
+      // Criterion A: same software, vulnerable version. Module names encode
+      // "software-version"; patched plants carry the fixed version string.
+      const std::string prefix = spec.software + "-";
+      const bool same_software = fn.module.rfind("sub_", 0) != 0 &&
+                                 fn.module.rfind(prefix, 0) == 0;
+      const bool version_vulnerable =
+          fn.module == prefix + spec.vulnerable_version;
+      if (same_software && version_vulnerable) ++row.criteria_a;
+      if (score > 1.0 - 1e-9) ++row.criteria_b;
+      if (is_vulnerable) {
+        ++row.confirmed;
+        models_hit.insert(corpus.images[static_cast<std::size_t>(fn.image)].model);
+      } else {
+        ++row.false_positives;
+      }
+    }
+    row.affected_models.assign(models_hit.begin(), models_hit.end());
+    result.total_confirmed += row.confirmed;
+    result.total_candidates += row.candidates;
+    result.per_cve.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace asteria::firmware

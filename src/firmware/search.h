@@ -1,0 +1,85 @@
+// End-to-end vulnerability search pipeline (§V).
+//
+// BuildFirmwareCorpus generates vendor firmware images (NetGear / Schneider /
+// Dlink), plants vulnerable or patched CVE functions into a subset, packs
+// and re-unpacks every image (exercising the binwalk-analog path), strips
+// symbols, and decompiles everything. RunVulnSearch encodes all firmware
+// functions and the CVE library with a trained Asteria model, scores every
+// (function, CVE) pair with the fast online path, filters by threshold, and
+// applies the paper's confirmation criteria:
+//   A: the candidate comes from the same software and a vulnerable version
+//   B: the similarity score is (numerically) 1
+// Ground truth (which planted function is really the vulnerable one) is
+// recorded at build time so confirmations can be validated automatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/asteria.h"
+#include "firmware/image.h"
+#include "firmware/vulnlib.h"
+
+namespace asteria::firmware {
+
+struct FirmwareCorpusConfig {
+  int images = 30;
+  std::uint64_t seed = 99;
+  // Probability that an image ships a CVE-library software module at all;
+  // when it does, this fraction is still on the vulnerable version.
+  double software_probability = 0.8;
+  double vulnerable_probability = 0.6;
+  int filler_packages_per_image = 2;
+  int beta = 4;
+};
+
+// One decompiled firmware function with build-time ground truth.
+struct FirmwareFunction {
+  int image = 0;                 // index into FirmwareCorpus::images
+  std::string module;            // module (software) name
+  std::string version;           // software version string
+  std::string symbol;            // stripped name: sub_xxx
+  core::FunctionFeature feature; // preprocessed AST + callee count
+  // Ground truth: CVE id if this is the planted vulnerable function, empty
+  // otherwise. `patched` marks the fixed variant of a CVE function.
+  std::string truth_cve;
+  bool patched = false;
+};
+
+struct FirmwareCorpus {
+  std::vector<FirmwareImage> images;
+  std::vector<FirmwareFunction> functions;
+  int unpack_failures = 0;
+};
+
+FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config);
+
+// Per-CVE search outcome (one Table IV row).
+struct CveSearchResult {
+  std::string cve;
+  std::string software;
+  std::string function;
+  int candidates = 0;       // scores above threshold
+  int criteria_a = 0;       // same software + vulnerable version
+  int criteria_b = 0;       // score == 1 (within 1e-9)
+  int confirmed = 0;        // candidates that are truly the CVE function
+  int false_positives = 0;  // candidates that are not
+  std::vector<std::string> affected_models;
+};
+
+struct VulnSearchResult {
+  std::vector<CveSearchResult> per_cve;
+  int total_confirmed = 0;
+  int total_candidates = 0;
+  double threshold = 0.0;
+};
+
+// Reference ISA used to compile the CVE library for querying.
+inline constexpr int kQueryIsa = 0;  // x86
+
+// Runs the search with a trained model at the given score threshold.
+VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
+                               const FirmwareCorpus& corpus,
+                               double threshold, int beta = 4);
+
+}  // namespace asteria::firmware

@@ -1,0 +1,412 @@
+#include "firmware/vulnlib.h"
+
+namespace asteria::firmware {
+
+namespace {
+
+// Shared helper bodies keep each program self-contained (MiniC has no
+// external linkage); array parameters are accessed through & 7 masks by the
+// project-wide convention (indices stay in bounds for any >= 8-word array).
+
+const char* kOpensslEncodeVuln = R"(
+int evp_encode_block(int out[], int in[], int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {
+    acc = (acc << 6) | (in[i & 7] & 63);
+    out[i & 7] = (acc >> 2) & 255;
+  }
+  return n + n / 3 + 4;
+}
+int EVP_EncodeUpdate(int out[], int in[], int inl) {
+  int total = 0;
+  int chunk = 48;
+  while (inl > 0) {
+    int take = inl;
+    if (take > chunk) { take = chunk; }
+    int produced = evp_encode_block(out, in, take);
+    total = total + produced;
+    inl = inl - take;
+  }
+  out[0] = total;
+  return total;
+}
+)";
+
+const char* kOpensslEncodePatched = R"(
+int evp_encode_block(int out[], int in[], int n) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < n; i++) {
+    acc = (acc << 6) | (in[i & 7] & 63);
+    out[i & 7] = (acc >> 2) & 255;
+  }
+  return n + n / 3 + 4;
+}
+int EVP_EncodeUpdate(int out[], int in[], int inl) {
+  int total = 0;
+  int chunk = 48;
+  while (inl > 0) {
+    int take = inl;
+    if (take > chunk) { take = chunk; }
+    int produced = evp_encode_block(out, in, take);
+    if (total + produced < total) { return 0; }
+    if (total > 2147483647 - produced) { return 0; }
+    total = total + produced;
+    inl = inl - take;
+  }
+  out[0] = total;
+  return total;
+}
+)";
+
+const char* kWgetGlobVuln = R"(
+int has_wildcard(int name[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (name[i & 7] == 42 || name[i & 7] == 63) { return 1; }
+  }
+  return 0;
+}
+int make_local_name(int dst[], int src[], int n) {
+  int i;
+  for (i = 0; i < n; i++) { dst[i & 7] = src[i & 7]; }
+  return n;
+}
+int ftp_retrieve_glob(int list[], int count) {
+  int handled = 0;
+  int i;
+  int name[8];
+  for (i = 0; i < count; i++) {
+    int kind = list[i & 7] & 3;
+    if (kind == 2) {
+      make_local_name(name, list, 8);
+      handled++;
+    } else {
+      if (has_wildcard(list, 8)) { handled += 2; }
+      else { make_local_name(name, list, 8); handled++; }
+    }
+  }
+  return handled;
+}
+)";
+
+const char* kWgetGlobPatched = R"(
+int has_wildcard(int name[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (name[i & 7] == 42 || name[i & 7] == 63) { return 1; }
+  }
+  return 0;
+}
+int make_local_name(int dst[], int src[], int n) {
+  int i;
+  for (i = 0; i < n; i++) { dst[i & 7] = src[i & 7]; }
+  return n;
+}
+int name_is_safe(int name[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (name[i & 7] == 47) { return 0; }
+    if (name[i & 7] == 46 && name[(i + 1) & 7] == 46) { return 0; }
+  }
+  return 1;
+}
+int ftp_retrieve_glob(int list[], int count) {
+  int handled = 0;
+  int i;
+  int name[8];
+  for (i = 0; i < count; i++) {
+    int kind = list[i & 7] & 3;
+    if (kind == 2) {
+      if (name_is_safe(list, 8)) { make_local_name(name, list, 8); handled++; }
+    } else {
+      if (has_wildcard(list, 8)) { handled += 2; }
+      else {
+        if (name_is_safe(list, 8)) { make_local_name(name, list, 8); handled++; }
+      }
+    }
+  }
+  return handled;
+}
+)";
+
+const char* kOpensslDtlsVuln = R"(
+int frag_copy(int dst[], int src[], int off, int len) {
+  int i;
+  for (i = 0; i < len; i++) { dst[(off + i) & 7] = src[i & 7]; }
+  return len;
+}
+int dtls1_reassemble_fragment(int msg[], int frag[], int frag_off, int frag_len, int msg_len) {
+  int buf[16];
+  if (frag_len == 0) { return 0; }
+  frag_copy(buf, frag, frag_off, frag_len);
+  int i;
+  int sum = 0;
+  for (i = 0; i < frag_len; i++) { sum += buf[i & 15]; }
+  msg[0] = sum;
+  msg[1] = frag_off + frag_len;
+  return frag_len;
+}
+)";
+
+const char* kOpensslDtlsPatched = R"(
+int frag_copy(int dst[], int src[], int off, int len) {
+  int i;
+  for (i = 0; i < len; i++) { dst[(off + i) & 7] = src[i & 7]; }
+  return len;
+}
+int dtls1_reassemble_fragment(int msg[], int frag[], int frag_off, int frag_len, int msg_len) {
+  int buf[16];
+  if (frag_len == 0) { return 0; }
+  if (frag_off + frag_len > msg_len) { return 0; }
+  if (frag_len > msg_len) { return 0; }
+  frag_copy(buf, frag, frag_off, frag_len);
+  int i;
+  int sum = 0;
+  for (i = 0; i < frag_len; i++) { sum += buf[i & 15]; }
+  msg[0] = sum;
+  msg[1] = frag_off + frag_len;
+  return frag_len;
+}
+)";
+
+const char* kOpensslMdc2Vuln = R"(
+int mdc2_block(int state[], int data[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    state[i & 7] = (state[i & 7] ^ data[i & 7]) * 31 + 7;
+  }
+  return 0;
+}
+int MDC2_Update(int state[], int data[], int len) {
+  int pos = state[0];
+  int block = 8;
+  if (pos != 0) {
+    int need = block - pos;
+    if (len < need) {
+      state[0] = pos + len;
+      return 1;
+    }
+    mdc2_block(state, data, need);
+    len = len - need;
+    pos = 0;
+  }
+  while (len >= block) {
+    mdc2_block(state, data, block);
+    len -= block;
+  }
+  state[0] = pos + len;
+  return 1;
+}
+)";
+
+const char* kOpensslMdc2Patched = R"(
+int mdc2_block(int state[], int data[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    state[i & 7] = (state[i & 7] ^ data[i & 7]) * 31 + 7;
+  }
+  return 0;
+}
+int MDC2_Update(int state[], int data[], int len) {
+  int pos = state[0];
+  int block = 8;
+  if (pos < 0 || pos >= block) { return 0; }
+  if (len < 0) { return 0; }
+  if (pos != 0) {
+    int need = block - pos;
+    if (len < need) {
+      state[0] = pos + len;
+      return 1;
+    }
+    mdc2_block(state, data, need);
+    len = len - need;
+    pos = 0;
+  }
+  while (len >= block) {
+    mdc2_block(state, data, block);
+    len -= block;
+  }
+  state[0] = pos + len;
+  return 1;
+}
+)";
+
+const char* kCurlMaprintfVuln = R"(
+int emit_char(int out[], int pos, int ch) {
+  out[pos & 7] = ch;
+  return pos + 1;
+}
+int format_int(int out[], int pos, int value) {
+  if (value < 0) { pos = emit_char(out, pos, 45); value = -value; }
+  while (value > 9) { pos = emit_char(out, pos, 48 + value % 10); value /= 10; }
+  return emit_char(out, pos, 48 + value);
+}
+int curl_maprintf(int out[], int fmt[], int arg0, int arg1) {
+  int pos = 0;
+  int i = 0;
+  while (fmt[i & 7] != 0) {
+    int ch = fmt[i & 7];
+    if (ch == 37) {
+      i++;
+      int spec = fmt[i & 7];
+      if (spec == 100) { pos = format_int(out, pos, arg0); }
+      else { pos = format_int(out, pos, arg1); }
+    } else {
+      pos = emit_char(out, pos, ch);
+    }
+    i++;
+  }
+  return pos;
+}
+)";
+
+const char* kCurlMaprintfPatched = R"(
+int emit_char(int out[], int pos, int ch) {
+  out[pos & 7] = ch;
+  return pos + 1;
+}
+int format_int(int out[], int pos, int value) {
+  if (value < 0) { pos = emit_char(out, pos, 45); value = -value; }
+  while (value > 9) { pos = emit_char(out, pos, 48 + value % 10); value /= 10; }
+  return emit_char(out, pos, 48 + value);
+}
+int curl_maprintf(int out[], int fmt[], int arg0, int arg1) {
+  int pos = 0;
+  int i = 0;
+  int limit = 128;
+  while (fmt[i & 7] != 0 && pos < limit) {
+    int ch = fmt[i & 7];
+    if (ch == 37) {
+      i++;
+      int spec = fmt[i & 7];
+      if (spec == 100) { pos = format_int(out, pos, arg0); }
+      else { pos = format_int(out, pos, arg1); }
+    } else {
+      pos = emit_char(out, pos, ch);
+    }
+    i++;
+  }
+  if (pos >= limit) { return -1; }
+  return pos;
+}
+)";
+
+const char* kCurlTailmatchVuln = R"(
+int str_len(int s[]) {
+  int n = 0;
+  while (s[n & 7] != 0) { n++; if (n > 64) { break; } }
+  return n;
+}
+int tailmatch(int cookie_domain[], int hostname[]) {
+  int cookie_len = str_len(cookie_domain);
+  int host_len = str_len(hostname);
+  if (cookie_len > host_len) { return 0; }
+  int i;
+  int off = host_len - cookie_len;
+  for (i = 0; i < cookie_len; i++) {
+    if (cookie_domain[i & 7] != hostname[(off + i) & 7]) { return 0; }
+  }
+  return 1;
+}
+)";
+
+const char* kCurlTailmatchPatched = R"(
+int str_len(int s[]) {
+  int n = 0;
+  while (s[n & 7] != 0) { n++; if (n > 64) { break; } }
+  return n;
+}
+int tailmatch(int cookie_domain[], int hostname[]) {
+  int cookie_len = str_len(cookie_domain);
+  int host_len = str_len(hostname);
+  if (cookie_len > host_len) { return 0; }
+  int off = host_len - cookie_len;
+  if (off > 0 && hostname[(off - 1) & 7] != 46) { return 0; }
+  int i;
+  for (i = 0; i < cookie_len; i++) {
+    if (cookie_domain[i & 7] != hostname[(off + i) & 7]) { return 0; }
+  }
+  return 1;
+}
+)";
+
+const char* kVsftpdFilterVuln = R"(
+int char_matches(int pattern_ch, int ch) {
+  if (pattern_ch == 63) { return 1; }
+  return pattern_ch == ch;
+}
+int vsf_filename_passes_filter(int filename[], int filter[]) {
+  int fi = 0;
+  int pi = 0;
+  int matched = 1;
+  while (filter[pi & 7] != 0) {
+    int pc = filter[pi & 7];
+    if (pc == 42) {
+      pi++;
+      while (filename[fi & 7] != 0 && filename[fi & 7] != filter[pi & 7]) { fi++; }
+    } else {
+      if (char_matches(pc, filename[fi & 7]) == 0) { matched = 0; break; }
+      fi++;
+      pi++;
+    }
+  }
+  return matched;
+}
+)";
+
+const char* kVsftpdFilterPatched = R"(
+int char_matches(int pattern_ch, int ch) {
+  if (pattern_ch == 63) { return 1; }
+  return pattern_ch == ch;
+}
+int vsf_filename_passes_filter(int filename[], int filter[]) {
+  int fi = 0;
+  int pi = 0;
+  int matched = 1;
+  int iterations = 0;
+  while (filter[pi & 7] != 0) {
+    iterations++;
+    if (iterations > 100) { return 0; }
+    int pc = filter[pi & 7];
+    if (pc == 42) {
+      pi++;
+      while (filename[fi & 7] != 0 && filename[fi & 7] != filter[pi & 7]) {
+        fi++;
+        iterations++;
+        if (iterations > 100) { return 0; }
+      }
+    } else {
+      if (char_matches(pc, filename[fi & 7]) == 0) { matched = 0; break; }
+      fi++;
+      pi++;
+    }
+  }
+  return matched;
+}
+)";
+
+}  // namespace
+
+const std::vector<VulnSpec>& VulnLibrary() {
+  static const std::vector<VulnSpec> kLibrary = {
+      {"CVE-2016-2105", "openssl", "1.0.1s", "1.0.1t", "EVP_EncodeUpdate",
+       kOpensslEncodeVuln, kOpensslEncodePatched},
+      {"CVE-2014-4877", "wget", "1.15", "1.16", "ftp_retrieve_glob",
+       kWgetGlobVuln, kWgetGlobPatched},
+      {"CVE-2014-0195", "openssl", "1.0.1g", "1.0.1h",
+       "dtls1_reassemble_fragment", kOpensslDtlsVuln, kOpensslDtlsPatched},
+      {"CVE-2016-6303", "openssl", "1.0.2h", "1.1.0", "MDC2_Update",
+       kOpensslMdc2Vuln, kOpensslMdc2Patched},
+      {"CVE-2016-8618", "libcurl", "7.50.3", "7.51.0", "curl_maprintf",
+       kCurlMaprintfVuln, kCurlMaprintfPatched},
+      {"CVE-2013-1944", "libcurl", "7.29.0", "7.30.0", "tailmatch",
+       kCurlTailmatchVuln, kCurlTailmatchPatched},
+      {"CVE-2011-0762", "vsftpd", "2.3.2", "2.3.3",
+       "vsf_filename_passes_filter", kVsftpdFilterVuln, kVsftpdFilterPatched},
+  };
+  return kLibrary;
+}
+
+}  // namespace asteria::firmware

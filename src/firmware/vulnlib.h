@@ -1,0 +1,30 @@
+// The vulnerability library of §V / Table IV: seven CVE-modeled vulnerable
+// functions, written in MiniC (the paper's real CVE functions are listed in
+// Table IV; these synthetic stand-ins preserve the experiment's shape —
+// DESIGN.md §2).
+//
+// Each entry carries the vulnerable source and a patched variant (the patch
+// adds/changes a bounds or overflow check, so the two ASTs are close but
+// distinguishable), plus the version metadata used by criterion A of the
+// confirmation protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asteria::firmware {
+
+struct VulnSpec {
+  std::string cve;                // e.g. "CVE-2016-2105"
+  std::string software;           // e.g. "openssl"
+  std::string vulnerable_version; // version string shipped when vulnerable
+  std::string patched_version;    // version string after the fix
+  std::string function;           // vulnerable function name
+  std::string vulnerable_source;  // full MiniC program
+  std::string patched_source;     // same program with the fix applied
+};
+
+// The seven entries of Table IV.
+const std::vector<VulnSpec>& VulnLibrary();
+
+}  // namespace asteria::firmware

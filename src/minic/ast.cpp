@@ -1,0 +1,63 @@
+#include "minic/ast.h"
+
+namespace asteria::minic {
+
+int Program::FindFunction(const std::string& name) const {
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    if (functions_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string_view BinOpSpelling(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kLogicalAnd: return "&&";
+    case BinOp::kLogicalOr: return "||";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kGt: return ">";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string_view UnOpSpelling(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kLogicalNot: return "!";
+    case UnOp::kBitNot: return "~";
+    case UnOp::kPreInc: return "++";
+    case UnOp::kPreDec: return "--";
+    case UnOp::kPostInc: return "++";
+    case UnOp::kPostDec: return "--";
+  }
+  return "?";
+}
+
+std::string_view AssignOpSpelling(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAddAssign: return "+=";
+    case AssignOp::kSubAssign: return "-=";
+    case AssignOp::kMulAssign: return "*=";
+    case AssignOp::kDivAssign: return "/=";
+    case AssignOp::kAndAssign: return "&=";
+    case AssignOp::kOrAssign: return "|=";
+    case AssignOp::kXorAssign: return "^=";
+  }
+  return "?";
+}
+
+}  // namespace asteria::minic

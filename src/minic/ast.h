@@ -1,0 +1,169 @@
+// MiniC: the C-subset source language of the reproduction pipeline.
+//
+// The paper compiles 260 real packages with buildroot; we synthesize MiniC
+// programs instead (DESIGN.md §2). MiniC has 64-bit integers, fixed-size
+// local arrays, array parameters, the full statement repertoire of Table I
+// (if/while/for/switch/goto/...), compound assignments, and calls. Division
+// and modulo by zero are *defined* to yield 0 so the interpreter, the VM and
+// all four backends agree (no UB in differential tests).
+//
+// This header defines the source-level AST: a flat arena of Expr and Stmt
+// nodes owned by a Program. It is distinct from ast::Ast, which models the
+// *decompiled* tree of Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asteria::minic {
+
+using ExprId = std::int32_t;
+using StmtId = std::int32_t;
+inline constexpr std::int32_t kNoId = -1;
+
+enum class UnOp : std::uint8_t {
+  kNeg,      // -x
+  kLogicalNot,  // !x
+  kBitNot,   // ~x
+  kPreInc,   // ++x
+  kPreDec,   // --x
+  kPostInc,  // x++
+  kPostDec,  // x--
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr,
+  kBitAnd, kBitOr, kBitXor,
+  kLogicalAnd, kLogicalOr,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+};
+
+enum class AssignOp : std::uint8_t {
+  kAssign,     // =
+  kAddAssign,  // +=
+  kSubAssign,  // -=
+  kMulAssign,  // *=
+  kDivAssign,  // /=
+  kAndAssign,  // &=
+  kOrAssign,   // |=
+  kXorAssign,  // ^=
+};
+
+enum class ExprKind : std::uint8_t {
+  kNum,     // integer literal           (num)
+  kStr,     // string literal            (text) — call arguments only
+  kVar,     // variable reference        (name)
+  kIndex,   // a[i]                      (lhs = base var expr, rhs = index)
+  kCall,    // f(args...)                (name, args)
+  kUnary,   // op applied to lhs
+  kBinary,  // lhs op rhs
+  kAssign,  // lhs op= rhs; lhs is kVar or kIndex
+};
+
+// One expression node. A single struct with a kind tag keeps the arena flat
+// and copyable; unused fields stay at their defaults.
+struct Expr {
+  ExprKind kind = ExprKind::kNum;
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  AssignOp assign_op = AssignOp::kAssign;
+  std::int64_t num = 0;
+  std::string name;          // kVar / kCall / kStr payload
+  ExprId lhs = kNoId;
+  ExprId rhs = kNoId;
+  std::vector<ExprId> args;  // kCall
+};
+
+enum class StmtKind : std::uint8_t {
+  kBlock,     // { body... }
+  kExpr,      // expression statement
+  kDecl,      // int name [= init];  or  int name[size];
+  kIf,        // if (cond) then_stmt [else else_stmt]
+  kWhile,     // while (cond) body
+  kFor,       // for (init_expr; cond; step_expr) body
+  kSwitch,    // switch (value) { case k: ... default: ... }
+  kReturn,    // return [value];
+  kBreak,
+  kContinue,
+  kGoto,      // goto label;
+  kLabel,     // label: stmt
+};
+
+// One switch arm; is_default ignores `match_value`.
+struct SwitchCase {
+  bool is_default = false;
+  std::int64_t match_value = 0;
+  std::vector<StmtId> body;  // statements until the next case (no fallthrough
+                             // across arms: each arm ends with implicit break)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kBlock;
+  ExprId expr = kNoId;          // kExpr / kIf cond / kWhile cond / kSwitch
+                                // value / kReturn value / kFor cond
+  ExprId expr2 = kNoId;         // kFor init
+  ExprId expr3 = kNoId;         // kFor step
+  StmtId body = kNoId;          // kIf then / loop body / kLabel stmt
+  StmtId else_body = kNoId;     // kIf else
+  std::vector<StmtId> stmts;    // kBlock children
+  std::vector<SwitchCase> cases;  // kSwitch
+  std::string name;             // kDecl var name / kGoto / kLabel label
+  std::int64_t array_size = 0;  // kDecl: >0 means array of that size
+  ExprId init = kNoId;          // kDecl initializer
+};
+
+struct Param {
+  std::string name;
+  bool is_array = false;  // `int name[]` — passed by reference
+};
+
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  StmtId body = kNoId;  // always a kBlock
+};
+
+// A MiniC translation unit plus its node arenas.
+class Program {
+ public:
+  ExprId AddExpr(Expr expr) {
+    exprs_.push_back(std::move(expr));
+    return static_cast<ExprId>(exprs_.size() - 1);
+  }
+  StmtId AddStmt(Stmt stmt) {
+    stmts_.push_back(std::move(stmt));
+    return static_cast<StmtId>(stmts_.size() - 1);
+  }
+  int AddFunction(Function fn) {
+    functions_.push_back(std::move(fn));
+    return static_cast<int>(functions_.size() - 1);
+  }
+
+  const Expr& expr(ExprId id) const { return exprs_[static_cast<std::size_t>(id)]; }
+  Expr& expr(ExprId id) { return exprs_[static_cast<std::size_t>(id)]; }
+  const Stmt& stmt(StmtId id) const { return stmts_[static_cast<std::size_t>(id)]; }
+  Stmt& stmt(StmtId id) { return stmts_[static_cast<std::size_t>(id)]; }
+
+  const std::vector<Function>& functions() const { return functions_; }
+  std::vector<Function>& functions() { return functions_; }
+
+  // Returns the index of the named function, or -1.
+  int FindFunction(const std::string& name) const;
+
+  std::size_t expr_count() const { return exprs_.size(); }
+  std::size_t stmt_count() const { return stmts_.size(); }
+
+ private:
+  std::vector<Expr> exprs_;
+  std::vector<Stmt> stmts_;
+  std::vector<Function> functions_;
+};
+
+// Convenience spellings used by the parser, printer and tests.
+std::string_view BinOpSpelling(BinOp op);
+std::string_view UnOpSpelling(UnOp op);
+std::string_view AssignOpSpelling(AssignOp op);
+
+}  // namespace asteria::minic

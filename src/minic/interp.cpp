@@ -1,0 +1,446 @@
+#include "minic/interp.h"
+
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace asteria::minic {
+
+namespace semantics {
+
+namespace {
+std::uint64_t U(std::int64_t x) { return static_cast<std::uint64_t>(x); }
+std::int64_t S(std::uint64_t x) { return static_cast<std::int64_t>(x); }
+}  // namespace
+
+std::int64_t Add(std::int64_t a, std::int64_t b) { return S(U(a) + U(b)); }
+std::int64_t Sub(std::int64_t a, std::int64_t b) { return S(U(a) - U(b)); }
+std::int64_t Mul(std::int64_t a, std::int64_t b) { return S(U(a) * U(b)); }
+
+std::int64_t Div(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+std::int64_t Mod(std::int64_t a, std::int64_t b) {
+  if (b == 0) return 0;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+std::int64_t Shl(std::int64_t a, std::int64_t b) {
+  return S(U(a) << (U(b) & 63));
+}
+
+std::int64_t Shr(std::int64_t a, std::int64_t b) {
+  return a >> (U(b) & 63);  // implementation-defined pre-C++20; arithmetic
+                            // since C++20, which this project requires
+}
+
+std::int64_t Neg(std::int64_t a) { return S(~U(a) + 1); }
+
+std::int64_t WrapIndex(std::int64_t index, std::int64_t size) {
+  if (size <= 0) return 0;
+  std::int64_t m = Mod(index, size);
+  // Mod() may be negative for negative index (C-style truncation).
+  if (m < 0) m += size;
+  return m;
+}
+
+std::int64_t EvalBinOp(BinOp op, std::int64_t a, std::int64_t b) {
+  switch (op) {
+    case BinOp::kAdd: return Add(a, b);
+    case BinOp::kSub: return Sub(a, b);
+    case BinOp::kMul: return Mul(a, b);
+    case BinOp::kDiv: return Div(a, b);
+    case BinOp::kMod: return Mod(a, b);
+    case BinOp::kShl: return Shl(a, b);
+    case BinOp::kShr: return Shr(a, b);
+    case BinOp::kBitAnd: return a & b;
+    case BinOp::kBitOr: return a | b;
+    case BinOp::kBitXor: return a ^ b;
+    case BinOp::kLogicalAnd: return (a != 0 && b != 0) ? 1 : 0;
+    case BinOp::kLogicalOr: return (a != 0 || b != 0) ? 1 : 0;
+    case BinOp::kEq: return a == b ? 1 : 0;
+    case BinOp::kNe: return a != b ? 1 : 0;
+    case BinOp::kLt: return a < b ? 1 : 0;
+    case BinOp::kGt: return a > b ? 1 : 0;
+    case BinOp::kLe: return a <= b ? 1 : 0;
+    case BinOp::kGe: return a >= b ? 1 : 0;
+  }
+  return 0;
+}
+
+std::int64_t EvalAssignArith(AssignOp op, std::int64_t old_value,
+                             std::int64_t rhs) {
+  switch (op) {
+    case AssignOp::kAssign: return rhs;
+    case AssignOp::kAddAssign: return Add(old_value, rhs);
+    case AssignOp::kSubAssign: return Sub(old_value, rhs);
+    case AssignOp::kMulAssign: return Mul(old_value, rhs);
+    case AssignOp::kDivAssign: return Div(old_value, rhs);
+    case AssignOp::kAndAssign: return old_value & rhs;
+    case AssignOp::kOrAssign: return old_value | rhs;
+    case AssignOp::kXorAssign: return old_value ^ rhs;
+  }
+  return rhs;
+}
+
+}  // namespace semantics
+
+namespace {
+
+struct Trap {
+  std::string reason;
+};
+
+// Runtime value: scalar or handle into the array heap.
+struct Value {
+  bool is_array = false;
+  std::int64_t scalar = 0;
+  int array_ref = -1;
+};
+
+enum class Signal { kNormal, kReturn, kBreak, kContinue, kGoto };
+
+}  // namespace
+
+class InterpImpl {
+ public:
+  InterpImpl(const Program& program, const Interpreter::Options& options)
+      : program_(program), options_(options) {}
+
+  Interpreter::Result Run(const std::string& function_name,
+                          std::vector<ArgValue> args) {
+    Interpreter::Result result;
+    const int fn_index = program_.FindFunction(function_name);
+    if (fn_index < 0) {
+      result.trap = "unknown function '" + function_name + "'";
+      return result;
+    }
+    // Materialize argument arrays on the heap; remember which heap slots
+    // belong to caller-visible arrays.
+    std::vector<Value> values;
+    std::vector<int> out_refs;
+    for (ArgValue& arg : args) {
+      if (arg.is_array) {
+        heap_.push_back(std::move(arg.array));
+        const int ref = static_cast<int>(heap_.size()) - 1;
+        out_refs.push_back(ref);
+        values.push_back(Value{true, 0, ref});
+      } else {
+        values.push_back(Value{false, arg.scalar, -1});
+      }
+    }
+    try {
+      result.value = CallFunction(fn_index, values);
+      result.ok = true;
+      for (int ref : out_refs) {
+        result.arrays.push_back(heap_[static_cast<std::size_t>(ref)]);
+      }
+    } catch (const Trap& trap) {
+      result.trap = trap.reason;
+    }
+    return result;
+  }
+
+ private:
+  struct Frame {
+    std::vector<std::map<std::string, Value>> scopes;
+  };
+
+  void Tick() {
+    if (--steps_left_ <= 0) throw Trap{"step limit exceeded"};
+  }
+
+  Value* Lookup(const std::string& name) {
+    Frame& frame = frames_.back();
+    for (auto it = frame.scopes.rbegin(); it != frame.scopes.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  std::int64_t CallFunction(int fn_index, const std::vector<Value>& args) {
+    if (static_cast<int>(frames_.size()) >= options_.max_call_depth) {
+      throw Trap{"call depth exceeded"};
+    }
+    const Function& fn = program_.functions()[static_cast<std::size_t>(fn_index)];
+    frames_.emplace_back();
+    frames_.back().scopes.emplace_back();
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      frames_.back().scopes.back()[fn.params[i].name] = args[i];
+    }
+    std::int64_t return_value = 0;
+    const Signal signal = ExecStmt(fn.body, &return_value);
+    if (signal == Signal::kGoto) throw Trap{"unresolved goto"};
+    frames_.pop_back();
+    return signal == Signal::kReturn ? return_value : 0;
+  }
+
+  // Executes a statement. On kReturn, *return_value holds the value. On
+  // kGoto, pending_label_ names the target.
+  Signal ExecStmt(StmtId id, std::int64_t* return_value) {
+    Tick();
+    const Stmt& s = program_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        return ExecBlock(s.stmts, return_value);
+      case StmtKind::kExpr:
+        EvalExpr(s.expr);
+        return Signal::kNormal;
+      case StmtKind::kDecl: {
+        Value v;
+        if (s.array_size > 0) {
+          heap_.emplace_back(static_cast<std::size_t>(s.array_size), 0);
+          v.is_array = true;
+          v.array_ref = static_cast<int>(heap_.size()) - 1;
+        } else if (s.init != kNoId) {
+          v.scalar = EvalExpr(s.init);
+        }
+        frames_.back().scopes.back()[s.name] = v;
+        return Signal::kNormal;
+      }
+      case StmtKind::kIf:
+        if (EvalExpr(s.expr) != 0) return ExecStmt(s.body, return_value);
+        if (s.else_body != kNoId) return ExecStmt(s.else_body, return_value);
+        return Signal::kNormal;
+      case StmtKind::kWhile:
+        while (EvalExpr(s.expr) != 0) {
+          Tick();
+          const Signal signal = ExecStmt(s.body, return_value);
+          if (signal == Signal::kBreak) break;
+          if (signal == Signal::kReturn || signal == Signal::kGoto) {
+            return signal;
+          }
+        }
+        return Signal::kNormal;
+      case StmtKind::kFor: {
+        if (s.expr2 != kNoId) EvalExpr(s.expr2);
+        while (s.expr == kNoId || EvalExpr(s.expr) != 0) {
+          Tick();
+          const Signal signal = ExecStmt(s.body, return_value);
+          if (signal == Signal::kBreak) break;
+          if (signal == Signal::kReturn || signal == Signal::kGoto) {
+            return signal;
+          }
+          if (s.expr3 != kNoId) EvalExpr(s.expr3);
+        }
+        return Signal::kNormal;
+      }
+      case StmtKind::kSwitch: {
+        const std::int64_t value = EvalExpr(s.expr);
+        const SwitchCase* chosen = nullptr;
+        for (const SwitchCase& arm : s.cases) {
+          if (!arm.is_default && arm.match_value == value) {
+            chosen = &arm;
+            break;
+          }
+        }
+        if (chosen == nullptr) {
+          for (const SwitchCase& arm : s.cases) {
+            if (arm.is_default) {
+              chosen = &arm;
+              break;
+            }
+          }
+        }
+        if (chosen == nullptr) return Signal::kNormal;
+        frames_.back().scopes.emplace_back();
+        Signal signal = ExecBlock(chosen->body, return_value);
+        frames_.back().scopes.pop_back();
+        if (signal == Signal::kBreak) signal = Signal::kNormal;  // break exits switch
+        return signal;
+      }
+      case StmtKind::kReturn:
+        *return_value = s.expr != kNoId ? EvalExpr(s.expr) : 0;
+        return Signal::kReturn;
+      case StmtKind::kBreak:
+        return Signal::kBreak;
+      case StmtKind::kContinue:
+        return Signal::kContinue;
+      case StmtKind::kGoto:
+        pending_label_ = s.name;
+        return Signal::kGoto;
+      case StmtKind::kLabel:
+        return ExecStmt(s.body, return_value);
+    }
+    throw Trap{"unknown statement"};
+  }
+
+  // Executes statements sequentially with goto resolution: when a child
+  // signals kGoto and a (possibly nested first-level) kLabel in this list
+  // matches, control transfers there; otherwise the signal propagates up.
+  Signal ExecBlock(const std::vector<StmtId>& stmts,
+                   std::int64_t* return_value) {
+    frames_.back().scopes.emplace_back();
+    Signal result = Signal::kNormal;
+    std::size_t i = 0;
+    while (i < stmts.size()) {
+      const Signal signal = ExecStmt(stmts[i], return_value);
+      if (signal == Signal::kGoto) {
+        bool found = false;
+        for (std::size_t j = 0; j < stmts.size(); ++j) {
+          const Stmt& candidate = program_.stmt(stmts[j]);
+          if (candidate.kind == StmtKind::kLabel &&
+              candidate.name == pending_label_) {
+            i = j;
+            found = true;
+            break;
+          }
+        }
+        if (found) continue;
+        result = Signal::kGoto;
+        break;
+      }
+      if (signal != Signal::kNormal) {
+        result = signal;
+        break;
+      }
+      ++i;
+    }
+    frames_.back().scopes.pop_back();
+    return result;
+  }
+
+  std::vector<std::int64_t>& ArrayOf(const Value& v) {
+    if (!v.is_array || v.array_ref < 0) throw Trap{"not an array"};
+    return heap_[static_cast<std::size_t>(v.array_ref)];
+  }
+
+  std::int64_t EvalExpr(ExprId id) {
+    Tick();
+    const Expr& e = program_.expr(id);
+    switch (e.kind) {
+      case ExprKind::kNum:
+        return e.num;
+      case ExprKind::kStr:
+        return static_cast<std::int64_t>(e.name.size());
+      case ExprKind::kVar: {
+        Value* v = Lookup(e.name);
+        if (v == nullptr) throw Trap{"undeclared variable " + e.name};
+        if (v->is_array) throw Trap{"array used as scalar"};
+        return v->scalar;
+      }
+      case ExprKind::kIndex: {
+        // Evaluate the index BEFORE touching heap_: nested calls or decls
+        // can grow the heap and invalidate array references.
+        const std::int64_t raw_index = EvalExpr(e.rhs);
+        const Expr& base = program_.expr(e.lhs);
+        Value* v = Lookup(base.name);
+        if (v == nullptr) throw Trap{"undeclared variable " + base.name};
+        auto& array = ArrayOf(*v);
+        const std::int64_t index = semantics::WrapIndex(
+            raw_index, static_cast<std::int64_t>(array.size()));
+        return array[static_cast<std::size_t>(index)];
+      }
+      case ExprKind::kCall: {
+        const int callee = program_.FindFunction(e.name);
+        if (callee < 0) throw Trap{"unknown function " + e.name};
+        std::vector<Value> args;
+        const Function& fn =
+            program_.functions()[static_cast<std::size_t>(callee)];
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          const Expr& arg = program_.expr(e.args[i]);
+          const bool want_array = fn.params[i].is_array;
+          if (want_array && arg.kind == ExprKind::kStr) {
+            // String literal -> NUL-terminated byte array.
+            std::vector<std::int64_t> bytes;
+            bytes.reserve(arg.name.size() + 1);
+            for (char ch : arg.name) bytes.push_back(static_cast<unsigned char>(ch));
+            bytes.push_back(0);
+            heap_.push_back(std::move(bytes));
+            args.push_back(Value{true, 0, static_cast<int>(heap_.size()) - 1});
+          } else if (want_array) {
+            Value* v = Lookup(arg.name);
+            if (v == nullptr || !v->is_array) throw Trap{"bad array argument"};
+            args.push_back(*v);
+          } else {
+            args.push_back(Value{false, EvalExpr(e.args[i]), -1});
+          }
+        }
+        return CallFunction(callee, args);
+      }
+      case ExprKind::kUnary: {
+        switch (e.un_op) {
+          case UnOp::kNeg: return semantics::Neg(EvalExpr(e.lhs));
+          case UnOp::kLogicalNot: return EvalExpr(e.lhs) == 0 ? 1 : 0;
+          case UnOp::kBitNot: return ~EvalExpr(e.lhs);
+          case UnOp::kPreInc: return Bump(e.lhs, +1, /*return_old=*/false);
+          case UnOp::kPreDec: return Bump(e.lhs, -1, /*return_old=*/false);
+          case UnOp::kPostInc: return Bump(e.lhs, +1, /*return_old=*/true);
+          case UnOp::kPostDec: return Bump(e.lhs, -1, /*return_old=*/true);
+        }
+        throw Trap{"unknown unary op"};
+      }
+      case ExprKind::kBinary: {
+        if (e.bin_op == BinOp::kLogicalAnd) {
+          return (EvalExpr(e.lhs) != 0 && EvalExpr(e.rhs) != 0) ? 1 : 0;
+        }
+        if (e.bin_op == BinOp::kLogicalOr) {
+          return (EvalExpr(e.lhs) != 0 || EvalExpr(e.rhs) != 0) ? 1 : 0;
+        }
+        const std::int64_t lhs = EvalExpr(e.lhs);
+        const std::int64_t rhs = EvalExpr(e.rhs);
+        return semantics::EvalBinOp(e.bin_op, lhs, rhs);
+      }
+      case ExprKind::kAssign: {
+        const std::int64_t rhs = EvalExpr(e.rhs);
+        std::int64_t* slot = LValue(e.lhs);
+        *slot = semantics::EvalAssignArith(e.assign_op, *slot, rhs);
+        return *slot;
+      }
+    }
+    throw Trap{"unknown expression"};
+  }
+
+  // Resolves an lvalue (kVar or kIndex) to a storage slot.
+  std::int64_t* LValue(ExprId id) {
+    const Expr& e = program_.expr(id);
+    if (e.kind == ExprKind::kVar) {
+      Value* v = Lookup(e.name);
+      if (v == nullptr || v->is_array) throw Trap{"bad lvalue"};
+      return &v->scalar;
+    }
+    if (e.kind == ExprKind::kIndex) {
+      // Index first: its evaluation may grow heap_ (see EvalExpr::kIndex).
+      const std::int64_t raw_index = EvalExpr(e.rhs);
+      const Expr& base = program_.expr(e.lhs);
+      Value* v = Lookup(base.name);
+      if (v == nullptr) throw Trap{"bad lvalue"};
+      auto& array = ArrayOf(*v);
+      const std::int64_t index = semantics::WrapIndex(
+          raw_index, static_cast<std::int64_t>(array.size()));
+      return &array[static_cast<std::size_t>(index)];
+    }
+    throw Trap{"bad lvalue"};
+  }
+
+  std::int64_t Bump(ExprId target, int delta, bool return_old) {
+    std::int64_t* slot = LValue(target);
+    const std::int64_t old_value = *slot;
+    *slot = semantics::Add(old_value, delta);
+    return return_old ? old_value : *slot;
+  }
+
+  const Program& program_;
+  const Interpreter::Options& options_;
+  std::vector<Frame> frames_;
+  std::vector<std::vector<std::int64_t>> heap_;
+  std::string pending_label_;
+  std::int64_t steps_left_ = 0;
+
+ public:
+  void set_steps(std::int64_t steps) { steps_left_ = steps; }
+};
+
+Interpreter::Result Interpreter::Call(const std::string& function_name,
+                                      std::vector<ArgValue> args) {
+  InterpImpl impl(program_, options_);
+  impl.set_steps(options_.max_steps);
+  return impl.Run(function_name, std::move(args));
+}
+
+}  // namespace asteria::minic

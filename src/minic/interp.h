@@ -1,0 +1,88 @@
+// MiniC tree-walking interpreter: the semantic oracle.
+//
+// The compiler + VM must agree with this interpreter on every generated
+// program (differential testing, DESIGN.md §6). The shared semantics:
+//  * 64-bit two's-complement integers with wraparound on overflow
+//  * x / 0 == 0 and x % 0 == 0 (defined, so no UB anywhere in the pipeline)
+//  * shift amounts are masked to [0, 63]; >> is arithmetic
+//  * array indices wrap Euclidean-modulo the array size (the compiler emits
+//    the same wrap code, see compiler/lower.cpp)
+//  * && and || short-circuit and yield 0/1; comparisons yield 0/1
+//  * a string literal evaluates to its length in scalar context and converts
+//    to a NUL-terminated byte array when passed to an array parameter
+//  * falling off the end of a function returns 0
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minic/ast.h"
+
+namespace asteria::minic {
+
+// One call argument / out-value. Arrays are passed by reference; after the
+// call, Result::arrays holds their (possibly mutated) contents.
+struct ArgValue {
+  bool is_array = false;
+  std::int64_t scalar = 0;
+  std::vector<std::int64_t> array;
+
+  static ArgValue Scalar(std::int64_t v) { return {false, v, {}}; }
+  static ArgValue Array(std::vector<std::int64_t> v) {
+    return {true, 0, std::move(v)};
+  }
+};
+
+class Interpreter {
+ public:
+  struct Options {
+    // Aborts execution after this many evaluated nodes (runaway-loop guard).
+    std::int64_t max_steps = 2'000'000;
+    // Maximum call depth.
+    int max_call_depth = 200;
+  };
+
+  struct Result {
+    bool ok = false;
+    std::string trap;  // reason when !ok ("step limit", "call depth", ...)
+    std::int64_t value = 0;
+    // Contents of array arguments after the call, positionally matching the
+    // array entries of `args` (scalars are skipped).
+    std::vector<std::vector<std::int64_t>> arrays;
+  };
+
+  explicit Interpreter(const Program& program)
+      : program_(program), options_(Options{}) {}
+  Interpreter(const Program& program, Options options)
+      : program_(program), options_(options) {}
+
+  // Calls `function_name` with the given arguments. The program must have
+  // passed sema::Check.
+  Result Call(const std::string& function_name, std::vector<ArgValue> args);
+
+ private:
+  friend class InterpImpl;
+  const Program& program_;
+  Options options_;
+};
+
+// Deterministic semantic helpers shared with the VM and constant folding.
+namespace semantics {
+std::int64_t Add(std::int64_t a, std::int64_t b);
+std::int64_t Sub(std::int64_t a, std::int64_t b);
+std::int64_t Mul(std::int64_t a, std::int64_t b);
+std::int64_t Div(std::int64_t a, std::int64_t b);  // x/0 == 0
+std::int64_t Mod(std::int64_t a, std::int64_t b);  // x%0 == 0
+std::int64_t Shl(std::int64_t a, std::int64_t b);
+std::int64_t Shr(std::int64_t a, std::int64_t b);  // arithmetic
+std::int64_t Neg(std::int64_t a);
+// Euclidean wrap of an index into [0, size).
+std::int64_t WrapIndex(std::int64_t index, std::int64_t size);
+// Applies a BinOp (logical ops non-short-circuit here: both sides given).
+std::int64_t EvalBinOp(BinOp op, std::int64_t a, std::int64_t b);
+std::int64_t EvalAssignArith(AssignOp op, std::int64_t old_value,
+                             std::int64_t rhs);
+}  // namespace semantics
+
+}  // namespace asteria::minic

@@ -1,0 +1,191 @@
+#include "minic/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace asteria::minic {
+
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& Keywords() {
+  static const std::unordered_map<std::string, TokenKind> kMap = {
+      {"int", TokenKind::kKwInt},         {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},       {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},         {"do", TokenKind::kKwDo},
+      {"switch", TokenKind::kKwSwitch},   {"case", TokenKind::kKwCase},
+      {"default", TokenKind::kKwDefault}, {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},     {"continue", TokenKind::kKwContinue},
+      {"goto", TokenKind::kKwGoto},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto push = [&](TokenKind kind) {
+    tokens.push_back({kind, "", 0, line});
+  };
+  auto error = [&](const std::string& message) {
+    tokens.push_back({TokenKind::kError, message, 0, line});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        error("unterminated block comment");
+        return tokens;
+      }
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      std::string word = source.substr(start, i - start);
+      auto it = Keywords().find(word);
+      if (it != Keywords().end()) {
+        push(it->second);
+      } else {
+        tokens.push_back({TokenKind::kIdent, std::move(word), 0, line});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) ++i;
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.line = line;
+      t.number = std::stoll(source.substr(start, i - start));
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string value;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (source[i]) {
+            case 'n': value += '\n'; break;
+            case 't': value += '\t'; break;
+            default: value += source[i]; break;
+          }
+        } else {
+          if (source[i] == '\n') ++line;
+          value += source[i];
+        }
+        ++i;
+      }
+      if (i >= n) {
+        error("unterminated string literal");
+        return tokens;
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(value), 0, line});
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < n && source[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokenKind::kLParen); ++i; break;
+      case ')': push(TokenKind::kRParen); ++i; break;
+      case '{': push(TokenKind::kLBrace); ++i; break;
+      case '}': push(TokenKind::kRBrace); ++i; break;
+      case '[': push(TokenKind::kLBracket); ++i; break;
+      case ']': push(TokenKind::kRBracket); ++i; break;
+      case ',': push(TokenKind::kComma); ++i; break;
+      case ';': push(TokenKind::kSemicolon); ++i; break;
+      case ':': push(TokenKind::kColon); ++i; break;
+      case '~': push(TokenKind::kTilde); ++i; break;
+      case '%': push(TokenKind::kPercent); ++i; break;
+      case '+':
+        if (two('+')) { push(TokenKind::kPlusPlus); i += 2; }
+        else if (two('=')) { push(TokenKind::kPlusAssign); i += 2; }
+        else { push(TokenKind::kPlus); ++i; }
+        break;
+      case '-':
+        if (two('-')) { push(TokenKind::kMinusMinus); i += 2; }
+        else if (two('=')) { push(TokenKind::kMinusAssign); i += 2; }
+        else { push(TokenKind::kMinus); ++i; }
+        break;
+      case '*':
+        if (two('=')) { push(TokenKind::kStarAssign); i += 2; }
+        else { push(TokenKind::kStar); ++i; }
+        break;
+      case '/':
+        if (two('=')) { push(TokenKind::kSlashAssign); i += 2; }
+        else { push(TokenKind::kSlash); ++i; }
+        break;
+      case '&':
+        if (two('&')) { push(TokenKind::kAmpAmp); i += 2; }
+        else if (two('=')) { push(TokenKind::kAmpAssign); i += 2; }
+        else { push(TokenKind::kAmp); ++i; }
+        break;
+      case '|':
+        if (two('|')) { push(TokenKind::kPipePipe); i += 2; }
+        else if (two('=')) { push(TokenKind::kPipeAssign); i += 2; }
+        else { push(TokenKind::kPipe); ++i; }
+        break;
+      case '^':
+        if (two('=')) { push(TokenKind::kCaretAssign); i += 2; }
+        else { push(TokenKind::kCaret); ++i; }
+        break;
+      case '!':
+        if (two('=')) { push(TokenKind::kNe); i += 2; }
+        else { push(TokenKind::kBang); ++i; }
+        break;
+      case '=':
+        if (two('=')) { push(TokenKind::kEq); i += 2; }
+        else { push(TokenKind::kAssign); ++i; }
+        break;
+      case '<':
+        if (two('<')) { push(TokenKind::kShl); i += 2; }
+        else if (two('=')) { push(TokenKind::kLe); i += 2; }
+        else { push(TokenKind::kLt); ++i; }
+        break;
+      case '>':
+        if (two('>')) { push(TokenKind::kShr); i += 2; }
+        else if (two('=')) { push(TokenKind::kGe); i += 2; }
+        else { push(TokenKind::kGt); ++i; }
+        break;
+      default:
+        error(std::string("unexpected character '") + c + "'");
+        return tokens;
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace asteria::minic

@@ -1,0 +1,44 @@
+// MiniC lexical analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asteria::minic {
+
+enum class TokenKind : std::uint8_t {
+  kEnd,
+  kIdent,
+  kNumber,
+  kString,
+  // keywords
+  kKwInt, kKwIf, kKwElse, kKwWhile, kKwFor, kKwDo, kKwSwitch, kKwCase,
+  kKwDefault, kKwReturn, kKwBreak, kKwContinue, kKwGoto,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon, kColon,
+  // operators
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kAmpAmp, kPipePipe,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kPlusPlus, kMinusMinus,
+  kError,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier / string payload
+  std::int64_t number = 0; // kNumber payload
+  int line = 1;
+};
+
+// Tokenizes MiniC source. On a lexical error the last token has kind kError
+// and text holds the message.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace asteria::minic

@@ -1,0 +1,502 @@
+#include "minic/parser.h"
+
+#include <sstream>
+
+#include "minic/lexer.h"
+
+namespace asteria::minic {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Program* out)
+      : tokens_(std::move(tokens)), out_(out) {}
+
+  bool Run(std::string* error) {
+    while (!At(TokenKind::kEnd)) {
+      if (!ParseFunction()) {
+        *error = error_;
+        return false;
+      }
+    }
+    if (out_->functions().empty()) {
+      *error = "no functions in translation unit";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool Expect(TokenKind kind, const char* what) {
+    if (Accept(kind)) return true;
+    return Fail(std::string("expected ") + what);
+  }
+  bool Fail(const std::string& message) {
+    std::ostringstream out;
+    out << "line " << Peek().line << ": " << message;
+    error_ = out.str();
+    return false;
+  }
+
+  bool ParseFunction() {
+    if (!Expect(TokenKind::kKwInt, "'int' at function start")) return false;
+    if (!At(TokenKind::kIdent)) return Fail("expected function name");
+    Function fn;
+    fn.name = Advance().text;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    if (!Accept(TokenKind::kRParen)) {
+      do {
+        if (!Expect(TokenKind::kKwInt, "'int' in parameter")) return false;
+        if (!At(TokenKind::kIdent)) return Fail("expected parameter name");
+        Param param;
+        param.name = Advance().text;
+        if (Accept(TokenKind::kLBracket)) {
+          if (!Expect(TokenKind::kRBracket, "']'")) return false;
+          param.is_array = true;
+        }
+        fn.params.push_back(std::move(param));
+      } while (Accept(TokenKind::kComma));
+      if (!Expect(TokenKind::kRParen, "')'")) return false;
+    }
+    StmtId body = kNoId;
+    if (!ParseBlock(&body)) return false;
+    fn.body = body;
+    out_->AddFunction(std::move(fn));
+    return true;
+  }
+
+  bool ParseBlock(StmtId* id) {
+    if (!Expect(TokenKind::kLBrace, "'{'")) return false;
+    Stmt block;
+    block.kind = StmtKind::kBlock;
+    while (!At(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEnd)) return Fail("unterminated block");
+      StmtId child = kNoId;
+      if (!ParseStmt(&child)) return false;
+      block.stmts.push_back(child);
+    }
+    Advance();  // consume '}'
+    *id = out_->AddStmt(std::move(block));
+    return true;
+  }
+
+  bool ParseStmt(StmtId* id) {
+    switch (Peek().kind) {
+      case TokenKind::kLBrace:
+        return ParseBlock(id);
+      case TokenKind::kKwInt:
+        return ParseDecl(id);
+      case TokenKind::kKwIf:
+        return ParseIf(id);
+      case TokenKind::kKwWhile:
+        return ParseWhile(id);
+      case TokenKind::kKwFor:
+        return ParseFor(id);
+      case TokenKind::kKwSwitch:
+        return ParseSwitch(id);
+      case TokenKind::kKwReturn: {
+        Advance();
+        Stmt s;
+        s.kind = StmtKind::kReturn;
+        if (!At(TokenKind::kSemicolon)) {
+          if (!ParseExpr(&s.expr)) return false;
+        }
+        if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+        *id = out_->AddStmt(std::move(s));
+        return true;
+      }
+      case TokenKind::kKwBreak: {
+        Advance();
+        if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+        Stmt s;
+        s.kind = StmtKind::kBreak;
+        *id = out_->AddStmt(std::move(s));
+        return true;
+      }
+      case TokenKind::kKwContinue: {
+        Advance();
+        if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+        Stmt s;
+        s.kind = StmtKind::kContinue;
+        *id = out_->AddStmt(std::move(s));
+        return true;
+      }
+      case TokenKind::kKwGoto: {
+        Advance();
+        if (!At(TokenKind::kIdent)) return Fail("expected label after goto");
+        Stmt s;
+        s.kind = StmtKind::kGoto;
+        s.name = Advance().text;
+        if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+        *id = out_->AddStmt(std::move(s));
+        return true;
+      }
+      case TokenKind::kIdent:
+        if (Peek(1).kind == TokenKind::kColon) {
+          Stmt s;
+          s.kind = StmtKind::kLabel;
+          s.name = Advance().text;
+          Advance();  // ':'
+          if (!ParseStmt(&s.body)) return false;
+          *id = out_->AddStmt(std::move(s));
+          return true;
+        }
+        [[fallthrough]];
+      default: {
+        Stmt s;
+        s.kind = StmtKind::kExpr;
+        if (!ParseExpr(&s.expr)) return false;
+        if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+        *id = out_->AddStmt(std::move(s));
+        return true;
+      }
+    }
+  }
+
+  bool ParseDecl(StmtId* id) {
+    Advance();  // 'int'
+    if (!At(TokenKind::kIdent)) return Fail("expected variable name");
+    Stmt s;
+    s.kind = StmtKind::kDecl;
+    s.name = Advance().text;
+    if (Accept(TokenKind::kLBracket)) {
+      if (!At(TokenKind::kNumber)) return Fail("expected array size");
+      s.array_size = Advance().number;
+      if (s.array_size <= 0) return Fail("array size must be positive");
+      if (!Expect(TokenKind::kRBracket, "']'")) return false;
+    } else if (Accept(TokenKind::kAssign)) {
+      if (!ParseExpr(&s.init)) return false;
+    }
+    if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+    *id = out_->AddStmt(std::move(s));
+    return true;
+  }
+
+  bool ParseIf(StmtId* id) {
+    Advance();  // 'if'
+    Stmt s;
+    s.kind = StmtKind::kIf;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    if (!ParseExpr(&s.expr)) return false;
+    if (!Expect(TokenKind::kRParen, "')'")) return false;
+    if (!ParseStmt(&s.body)) return false;
+    if (Accept(TokenKind::kKwElse)) {
+      if (!ParseStmt(&s.else_body)) return false;
+    }
+    *id = out_->AddStmt(std::move(s));
+    return true;
+  }
+
+  bool ParseWhile(StmtId* id) {
+    Advance();  // 'while'
+    Stmt s;
+    s.kind = StmtKind::kWhile;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    if (!ParseExpr(&s.expr)) return false;
+    if (!Expect(TokenKind::kRParen, "')'")) return false;
+    if (!ParseStmt(&s.body)) return false;
+    *id = out_->AddStmt(std::move(s));
+    return true;
+  }
+
+  bool ParseFor(StmtId* id) {
+    Advance();  // 'for'
+    Stmt s;
+    s.kind = StmtKind::kFor;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    if (!At(TokenKind::kSemicolon) && !ParseExpr(&s.expr2)) return false;
+    if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+    if (!At(TokenKind::kSemicolon) && !ParseExpr(&s.expr)) return false;
+    if (!Expect(TokenKind::kSemicolon, "';'")) return false;
+    if (!At(TokenKind::kRParen) && !ParseExpr(&s.expr3)) return false;
+    if (!Expect(TokenKind::kRParen, "')'")) return false;
+    if (!ParseStmt(&s.body)) return false;
+    *id = out_->AddStmt(std::move(s));
+    return true;
+  }
+
+  bool ParseSwitch(StmtId* id) {
+    Advance();  // 'switch'
+    Stmt s;
+    s.kind = StmtKind::kSwitch;
+    if (!Expect(TokenKind::kLParen, "'('")) return false;
+    if (!ParseExpr(&s.expr)) return false;
+    if (!Expect(TokenKind::kRParen, "')'")) return false;
+    if (!Expect(TokenKind::kLBrace, "'{'")) return false;
+    while (!Accept(TokenKind::kRBrace)) {
+      if (At(TokenKind::kEnd)) return Fail("unterminated switch");
+      SwitchCase arm;
+      if (Accept(TokenKind::kKwCase)) {
+        bool negative = Accept(TokenKind::kMinus);
+        if (!At(TokenKind::kNumber)) return Fail("expected case value");
+        arm.match_value = Advance().number;
+        if (negative) arm.match_value = -arm.match_value;
+      } else if (Accept(TokenKind::kKwDefault)) {
+        arm.is_default = true;
+      } else {
+        return Fail("expected 'case' or 'default'");
+      }
+      if (!Expect(TokenKind::kColon, "':'")) return false;
+      while (!At(TokenKind::kKwCase) && !At(TokenKind::kKwDefault) &&
+             !At(TokenKind::kRBrace)) {
+        if (At(TokenKind::kEnd)) return Fail("unterminated switch arm");
+        StmtId child = kNoId;
+        if (!ParseStmt(&child)) return false;
+        arm.body.push_back(child);
+      }
+      s.cases.push_back(std::move(arm));
+    }
+    *id = out_->AddStmt(std::move(s));
+    return true;
+  }
+
+  // ---- expressions (precedence climbing) ---------------------------------
+
+  bool ParseExpr(ExprId* id) { return ParseAssign(id); }
+
+  bool ParseAssign(ExprId* id) {
+    ExprId lhs = kNoId;
+    if (!ParseLogicalOr(&lhs)) return false;
+    AssignOp op;
+    switch (Peek().kind) {
+      case TokenKind::kAssign: op = AssignOp::kAssign; break;
+      case TokenKind::kPlusAssign: op = AssignOp::kAddAssign; break;
+      case TokenKind::kMinusAssign: op = AssignOp::kSubAssign; break;
+      case TokenKind::kStarAssign: op = AssignOp::kMulAssign; break;
+      case TokenKind::kSlashAssign: op = AssignOp::kDivAssign; break;
+      case TokenKind::kAmpAssign: op = AssignOp::kAndAssign; break;
+      case TokenKind::kPipeAssign: op = AssignOp::kOrAssign; break;
+      case TokenKind::kCaretAssign: op = AssignOp::kXorAssign; break;
+      default:
+        *id = lhs;
+        return true;
+    }
+    const ExprKind lhs_kind = out_->expr(lhs).kind;
+    if (lhs_kind != ExprKind::kVar && lhs_kind != ExprKind::kIndex) {
+      return Fail("assignment target must be a variable or array element");
+    }
+    Advance();
+    ExprId rhs = kNoId;
+    if (!ParseAssign(&rhs)) return false;
+    Expr e;
+    e.kind = ExprKind::kAssign;
+    e.assign_op = op;
+    e.lhs = lhs;
+    e.rhs = rhs;
+    *id = out_->AddExpr(std::move(e));
+    return true;
+  }
+
+  using BinaryParser = bool (Parser::*)(ExprId*);
+
+  bool ParseBinaryLevel(ExprId* id, BinaryParser next,
+                        std::initializer_list<std::pair<TokenKind, BinOp>> ops) {
+    if (!(this->*next)(id)) return false;
+    for (;;) {
+      BinOp matched{};
+      bool found = false;
+      for (const auto& [token, op] : ops) {
+        if (At(token)) {
+          matched = op;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return true;
+      Advance();
+      ExprId rhs = kNoId;
+      if (!(this->*next)(&rhs)) return false;
+      Expr e;
+      e.kind = ExprKind::kBinary;
+      e.bin_op = matched;
+      e.lhs = *id;
+      e.rhs = rhs;
+      *id = out_->AddExpr(std::move(e));
+    }
+  }
+
+  bool ParseLogicalOr(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseLogicalAnd,
+                            {{TokenKind::kPipePipe, BinOp::kLogicalOr}});
+  }
+  bool ParseLogicalAnd(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseBitOr,
+                            {{TokenKind::kAmpAmp, BinOp::kLogicalAnd}});
+  }
+  bool ParseBitOr(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseBitXor,
+                            {{TokenKind::kPipe, BinOp::kBitOr}});
+  }
+  bool ParseBitXor(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseBitAnd,
+                            {{TokenKind::kCaret, BinOp::kBitXor}});
+  }
+  bool ParseBitAnd(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseEquality,
+                            {{TokenKind::kAmp, BinOp::kBitAnd}});
+  }
+  bool ParseEquality(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseRelational,
+                            {{TokenKind::kEq, BinOp::kEq},
+                             {TokenKind::kNe, BinOp::kNe}});
+  }
+  bool ParseRelational(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseShift,
+                            {{TokenKind::kLt, BinOp::kLt},
+                             {TokenKind::kGt, BinOp::kGt},
+                             {TokenKind::kLe, BinOp::kLe},
+                             {TokenKind::kGe, BinOp::kGe}});
+  }
+  bool ParseShift(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseAdditive,
+                            {{TokenKind::kShl, BinOp::kShl},
+                             {TokenKind::kShr, BinOp::kShr}});
+  }
+  bool ParseAdditive(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseMultiplicative,
+                            {{TokenKind::kPlus, BinOp::kAdd},
+                             {TokenKind::kMinus, BinOp::kSub}});
+  }
+  bool ParseMultiplicative(ExprId* id) {
+    return ParseBinaryLevel(id, &Parser::ParseUnary,
+                            {{TokenKind::kStar, BinOp::kMul},
+                             {TokenKind::kSlash, BinOp::kDiv},
+                             {TokenKind::kPercent, BinOp::kMod}});
+  }
+
+  bool ParseUnary(ExprId* id) {
+    UnOp op;
+    switch (Peek().kind) {
+      case TokenKind::kMinus: op = UnOp::kNeg; break;
+      case TokenKind::kBang: op = UnOp::kLogicalNot; break;
+      case TokenKind::kTilde: op = UnOp::kBitNot; break;
+      case TokenKind::kPlusPlus: op = UnOp::kPreInc; break;
+      case TokenKind::kMinusMinus: op = UnOp::kPreDec; break;
+      default:
+        return ParsePostfix(id);
+    }
+    Advance();
+    ExprId operand = kNoId;
+    if (!ParseUnary(&operand)) return false;
+    if ((op == UnOp::kPreInc || op == UnOp::kPreDec)) {
+      const ExprKind k = out_->expr(operand).kind;
+      if (k != ExprKind::kVar && k != ExprKind::kIndex) {
+        return Fail("++/-- target must be a variable or array element");
+      }
+    }
+    Expr e;
+    e.kind = ExprKind::kUnary;
+    e.un_op = op;
+    e.lhs = operand;
+    *id = out_->AddExpr(std::move(e));
+    return true;
+  }
+
+  bool ParsePostfix(ExprId* id) {
+    if (!ParsePrimary(id)) return false;
+    for (;;) {
+      if (Accept(TokenKind::kLBracket)) {
+        ExprId index = kNoId;
+        if (!ParseExpr(&index)) return false;
+        if (!Expect(TokenKind::kRBracket, "']'")) return false;
+        Expr e;
+        e.kind = ExprKind::kIndex;
+        e.lhs = *id;
+        e.rhs = index;
+        *id = out_->AddExpr(std::move(e));
+        continue;
+      }
+      if (At(TokenKind::kPlusPlus) || At(TokenKind::kMinusMinus)) {
+        const ExprKind k = out_->expr(*id).kind;
+        if (k != ExprKind::kVar && k != ExprKind::kIndex) {
+          return Fail("++/-- target must be a variable or array element");
+        }
+        Expr e;
+        e.kind = ExprKind::kUnary;
+        e.un_op = At(TokenKind::kPlusPlus) ? UnOp::kPostInc : UnOp::kPostDec;
+        e.lhs = *id;
+        Advance();
+        *id = out_->AddExpr(std::move(e));
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool ParsePrimary(ExprId* id) {
+    if (At(TokenKind::kNumber)) {
+      Expr e;
+      e.kind = ExprKind::kNum;
+      e.num = Advance().number;
+      *id = out_->AddExpr(std::move(e));
+      return true;
+    }
+    if (At(TokenKind::kString)) {
+      Expr e;
+      e.kind = ExprKind::kStr;
+      e.name = Advance().text;
+      *id = out_->AddExpr(std::move(e));
+      return true;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      if (!ParseExpr(id)) return false;
+      return Expect(TokenKind::kRParen, "')'");
+    }
+    if (At(TokenKind::kIdent)) {
+      std::string name = Advance().text;
+      if (Accept(TokenKind::kLParen)) {
+        Expr e;
+        e.kind = ExprKind::kCall;
+        e.name = std::move(name);
+        if (!Accept(TokenKind::kRParen)) {
+          do {
+            ExprId arg = kNoId;
+            if (!ParseExpr(&arg)) return false;
+            e.args.push_back(arg);
+          } while (Accept(TokenKind::kComma));
+          if (!Expect(TokenKind::kRParen, "')'")) return false;
+        }
+        *id = out_->AddExpr(std::move(e));
+        return true;
+      }
+      Expr e;
+      e.kind = ExprKind::kVar;
+      e.name = std::move(name);
+      *id = out_->AddExpr(std::move(e));
+      return true;
+    }
+    return Fail("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Program* out_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool Parse(const std::string& source, Program* out, std::string* error) {
+  *out = Program();
+  std::vector<Token> tokens = Lex(source);
+  if (!tokens.empty() && tokens.back().kind == TokenKind::kError) {
+    *error = "lex error: " + tokens.back().text;
+    return false;
+  }
+  Parser parser(std::move(tokens), out);
+  return parser.Run(error);
+}
+
+}  // namespace asteria::minic

@@ -1,0 +1,20 @@
+// MiniC recursive-descent parser.
+//
+// Notable semantics (shared by interpreter, compiler and VM):
+//  * switch arms do not fall through: each case body runs and exits the
+//    switch (the generator never relies on fallthrough; keeps all four
+//    backends simple and equivalent).
+//  * for-init and for-step are expressions, not declarations.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace asteria::minic {
+
+// Parses MiniC source into `out`. Returns false and fills `error` (with line
+// info) on failure; `out` is left in an unspecified state on failure.
+bool Parse(const std::string& source, Program* out, std::string* error);
+
+}  // namespace asteria::minic

@@ -1,0 +1,253 @@
+#include "minic/sema.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace asteria::minic {
+
+namespace {
+
+// Per-function checker with a lexical scope stack.
+class Checker {
+ public:
+  Checker(const Program& program, const Function& fn)
+      : program_(program), fn_(fn) {}
+
+  bool Run(std::string* error) {
+    CollectLabels(fn_.body);
+    scopes_.emplace_back();
+    for (const Param& p : fn_.params) Declare(p.name, p.is_array);
+    const bool ok = CheckStmt(fn_.body, /*loop_depth=*/0, /*switch_depth=*/0);
+    if (!ok) {
+      std::ostringstream out;
+      out << "function " << fn_.name << ": " << error_;
+      *error = out.str();
+    }
+    return ok;
+  }
+
+ private:
+  struct VarInfo {
+    bool is_array = false;
+  };
+
+  bool Fail(const std::string& message) {
+    error_ = message;
+    return false;
+  }
+
+  void Declare(const std::string& name, bool is_array) {
+    scopes_.back()[name] = VarInfo{is_array};
+  }
+
+  const VarInfo* Lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return nullptr;
+  }
+
+  void CollectLabels(StmtId id) {
+    if (id == kNoId) return;
+    const Stmt& s = program_.stmt(id);
+    if (s.kind == StmtKind::kLabel) labels_.insert(s.name);
+    CollectLabels(s.body);
+    CollectLabels(s.else_body);
+    for (StmtId child : s.stmts) CollectLabels(child);
+    for (const SwitchCase& arm : s.cases) {
+      for (StmtId child : arm.body) CollectLabels(child);
+    }
+  }
+
+  bool CheckStmt(StmtId id, int loop_depth, int switch_depth) {
+    const Stmt& s = program_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (StmtId child : s.stmts) {
+          if (!CheckStmt(child, loop_depth, switch_depth)) return false;
+        }
+        scopes_.pop_back();
+        return true;
+      }
+      case StmtKind::kExpr:
+        return CheckExpr(s.expr, nullptr);
+      case StmtKind::kDecl: {
+        if (s.init != kNoId && !CheckExpr(s.init, nullptr)) return false;
+        Declare(s.name, s.array_size > 0);
+        return true;
+      }
+      case StmtKind::kIf:
+        if (!CheckExpr(s.expr, nullptr)) return false;
+        if (!CheckStmt(s.body, loop_depth, switch_depth)) return false;
+        if (s.else_body != kNoId &&
+            !CheckStmt(s.else_body, loop_depth, switch_depth)) {
+          return false;
+        }
+        return true;
+      case StmtKind::kWhile:
+        if (!CheckExpr(s.expr, nullptr)) return false;
+        return CheckStmt(s.body, loop_depth + 1, switch_depth);
+      case StmtKind::kFor:
+        if (s.expr2 != kNoId && !CheckExpr(s.expr2, nullptr)) return false;
+        if (s.expr != kNoId && !CheckExpr(s.expr, nullptr)) return false;
+        if (s.expr3 != kNoId && !CheckExpr(s.expr3, nullptr)) return false;
+        return CheckStmt(s.body, loop_depth + 1, switch_depth);
+      case StmtKind::kSwitch: {
+        if (!CheckExpr(s.expr, nullptr)) return false;
+        std::set<std::int64_t> seen;
+        bool has_default = false;
+        for (const SwitchCase& arm : s.cases) {
+          if (arm.is_default) {
+            if (has_default) return Fail("duplicate default arm");
+            has_default = true;
+          } else if (!seen.insert(arm.match_value).second) {
+            return Fail("duplicate case value");
+          }
+          scopes_.emplace_back();
+          for (StmtId child : arm.body) {
+            if (!CheckStmt(child, loop_depth, switch_depth + 1)) return false;
+          }
+          scopes_.pop_back();
+        }
+        return true;
+      }
+      case StmtKind::kReturn:
+        return s.expr == kNoId || CheckExpr(s.expr, nullptr);
+      case StmtKind::kBreak:
+        if (loop_depth == 0 && switch_depth == 0) {
+          return Fail("break outside loop/switch");
+        }
+        return true;
+      case StmtKind::kContinue:
+        if (loop_depth == 0) return Fail("continue outside loop");
+        return true;
+      case StmtKind::kGoto:
+        if (!labels_.contains(s.name)) {
+          return Fail("goto to unknown label '" + s.name + "'");
+        }
+        return true;
+      case StmtKind::kLabel:
+        return CheckStmt(s.body, loop_depth, switch_depth);
+    }
+    return Fail("unknown statement kind");
+  }
+
+  // is_array_out: when non-null, receives whether the expression denotes a
+  // whole array (only kVar can).
+  bool CheckExpr(ExprId id, bool* is_array_out) {
+    const Expr& e = program_.expr(id);
+    if (is_array_out) *is_array_out = false;
+    switch (e.kind) {
+      case ExprKind::kNum:
+        return true;
+      case ExprKind::kStr:
+        return true;
+      case ExprKind::kVar: {
+        const VarInfo* info = Lookup(e.name);
+        if (info == nullptr) return Fail("undeclared variable '" + e.name + "'");
+        if (info->is_array) {
+          if (is_array_out == nullptr) {
+            return Fail("array '" + e.name + "' used as a scalar");
+          }
+          *is_array_out = true;
+        }
+        return true;
+      }
+      case ExprKind::kIndex: {
+        const Expr& base = program_.expr(e.lhs);
+        if (base.kind != ExprKind::kVar) {
+          return Fail("indexing requires an array variable");
+        }
+        const VarInfo* info = Lookup(base.name);
+        if (info == nullptr) {
+          return Fail("undeclared variable '" + base.name + "'");
+        }
+        if (!info->is_array) {
+          return Fail("scalar '" + base.name + "' cannot be indexed");
+        }
+        return CheckExpr(e.rhs, nullptr);
+      }
+      case ExprKind::kCall: {
+        const int callee = program_.FindFunction(e.name);
+        if (callee < 0) return Fail("call to unknown function '" + e.name + "'");
+        const Function& fn = program_.functions()[static_cast<std::size_t>(callee)];
+        if (fn.params.size() != e.args.size()) {
+          return Fail("call to '" + e.name + "' with wrong arity");
+        }
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          bool arg_is_array = false;
+          if (!CheckExpr(e.args[i], &arg_is_array)) return false;
+          const bool want_array = fn.params[i].is_array;
+          const bool is_string = program_.expr(e.args[i]).kind == ExprKind::kStr;
+          if (want_array && !arg_is_array && !is_string) {
+            return Fail("argument " + std::to_string(i) + " of '" + e.name +
+                        "' must be an array");
+          }
+          if (!want_array && arg_is_array) {
+            return Fail("argument " + std::to_string(i) + " of '" + e.name +
+                        "' must be a scalar");
+          }
+        }
+        return true;
+      }
+      case ExprKind::kUnary:
+        return CheckExpr(e.lhs, nullptr);
+      case ExprKind::kBinary:
+        return CheckExpr(e.lhs, nullptr) && CheckExpr(e.rhs, nullptr);
+      case ExprKind::kAssign: {
+        const Expr& target = program_.expr(e.lhs);
+        if (target.kind == ExprKind::kVar) {
+          const VarInfo* info = Lookup(target.name);
+          if (info == nullptr) {
+            return Fail("undeclared variable '" + target.name + "'");
+          }
+          if (info->is_array) {
+            return Fail("cannot assign to whole array '" + target.name + "'");
+          }
+        } else if (target.kind == ExprKind::kIndex) {
+          if (!CheckExpr(e.lhs, nullptr)) return false;
+        } else {
+          return Fail("invalid assignment target");
+        }
+        return CheckExpr(e.rhs, nullptr);
+      }
+    }
+    return Fail("unknown expression kind");
+  }
+
+  const Program& program_;
+  const Function& fn_;
+  std::vector<std::map<std::string, VarInfo>> scopes_;
+  std::set<std::string> labels_;
+  std::string error_;
+};
+
+}  // namespace
+
+bool Check(const Program& program, std::string* error) {
+  std::set<std::string> names;
+  for (const Function& fn : program.functions()) {
+    if (!names.insert(fn.name).second) {
+      *error = "duplicate function name '" + fn.name + "'";
+      return false;
+    }
+    std::set<std::string> param_names;
+    for (const Param& p : fn.params) {
+      if (!param_names.insert(p.name).second) {
+        *error = "function " + fn.name + ": duplicate parameter '" + p.name + "'";
+        return false;
+      }
+    }
+  }
+  for (const Function& fn : program.functions()) {
+    Checker checker(program, fn);
+    if (!checker.Run(error)) return false;
+  }
+  return true;
+}
+
+}  // namespace asteria::minic

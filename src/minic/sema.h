@@ -1,0 +1,23 @@
+// MiniC semantic checks.
+//
+// Validates a parsed Program before it reaches the interpreter or compiler:
+//  * every referenced variable is declared (block scoping, shadowing allowed)
+//  * scalars are not indexed; arrays are only indexed or passed whole
+//  * calls target functions defined in the same program with matching arity;
+//    array parameters receive array arguments, scalar parameters receive
+//    scalar expressions (string literals are allowed for any parameter and
+//    evaluate to their length — a stand-in for C string pointers)
+//  * goto targets exist within the same function
+//  * break/continue appear inside loops (break also inside switch)
+#pragma once
+
+#include <string>
+
+#include "minic/ast.h"
+
+namespace asteria::minic {
+
+// Returns true when the program is well-formed; otherwise fills `error`.
+bool Check(const Program& program, std::string* error);
+
+}  // namespace asteria::minic

@@ -1,0 +1,384 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace asteria::nn {
+
+namespace {
+constexpr double kBceEps = 1e-7;
+constexpr double kCosineEps = 1e-12;
+}  // namespace
+
+Var Tape::Push(Matrix value, std::function<void(Tape&)> backward) {
+  Node node;
+  node.grad = Matrix(value.rows(), value.cols());
+  node.value = std::move(value);
+  node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var{static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::Leaf(Matrix value) { return Push(std::move(value)); }
+
+Var Tape::Param(Parameter* p) {
+  Var v = Push(p->value);
+  const int id = v.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, p](Tape& t) {
+    p->grad.AddInPlace(t.nodes_[static_cast<std::size_t>(id)].grad);
+  };
+  return v;
+}
+
+Var Tape::EmbeddingRow(Parameter* table, int row) {
+  assert(row >= 0 && row < table->value.rows());
+  const int dim = table->value.cols();
+  Matrix value(dim, 1);
+  for (int c = 0; c < dim; ++c) value(c, 0) = table->value(row, c);
+  Var v = Push(std::move(value));
+  const int id = v.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, table, row, dim](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    for (int c = 0; c < dim; ++c) table->grad(row, c) += g(c, 0);
+  };
+  return v;
+}
+
+Var Tape::Add(Var a, Var b) {
+  Var v = Push(nn::Add(value(a), value(b)));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    t.MutableGrad(ia).AddInPlace(g);
+    t.MutableGrad(ib).AddInPlace(g);
+  };
+  return v;
+}
+
+Var Tape::Sub(Var a, Var b) {
+  Var v = Push(nn::Sub(value(a), value(b)));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    t.MutableGrad(ia).AddInPlace(g);
+    t.MutableGrad(ib).AddScaled(g, -1.0);
+  };
+  return v;
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Var v = Push(nn::MatMul(value(a), value(b)));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    // dA = g * B^T ; dB = A^T * g
+    t.MutableGrad(ia).AddInPlace(nn::MatMulTransB(g, t.value(Var{ib})));
+    t.MutableGrad(ib).AddInPlace(nn::MatMulTransA(t.value(Var{ia}), g));
+  };
+  return v;
+}
+
+Var Tape::MatMulTransA(Var a, Var b) {
+  Var v = Push(nn::MatMulTransA(value(a), value(b)));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    // out = A^T B  =>  dA = B g^T ; dB = A g
+    t.MutableGrad(ia).AddInPlace(MatMulTransB(t.value(Var{ib}), g));
+    t.MutableGrad(ib).AddInPlace(nn::MatMul(t.value(Var{ia}), g));
+  };
+  return v;
+}
+
+Var Tape::Hadamard(Var a, Var b) {
+  Var v = Push(nn::Hadamard(value(a), value(b)));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    t.MutableGrad(ia).AddInPlace(nn::Hadamard(g, t.value(Var{ib})));
+    t.MutableGrad(ib).AddInPlace(nn::Hadamard(g, t.value(Var{ia})));
+  };
+  return v;
+}
+
+Var Tape::DivElem(Var a, Var b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  assert(av.SameShape(bv));
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] / bv[i];
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& aval = t.value(Var{ia});
+    const Matrix& bval = t.value(Var{ib});
+    Matrix& ga = t.MutableGrad(ia);
+    Matrix& gb = t.MutableGrad(ib);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] / bval[i];
+      gb[i] -= g[i] * aval[i] / (bval[i] * bval[i]);
+    }
+  };
+  return v;
+}
+
+Var Tape::Sigmoid(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-av[i]));
+  }
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& y = t.value(Var{id});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * y[i] * (1.0 - y[i]);
+    }
+  };
+  return v;
+}
+
+Var Tape::Tanh(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(av[i]);
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& y = t.value(Var{id});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * (1.0 - y[i] * y[i]);
+    }
+  };
+  return v;
+}
+
+Var Tape::Relu(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] > 0.0 ? av[i] : 0.0;
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& x = t.value(Var{ia});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (x[i] > 0.0) ga[i] += g[i];
+    }
+  };
+  return v;
+}
+
+Var Tape::Abs(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::fabs(av[i]);
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& x = t.value(Var{ia});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (x[i] > 0.0) ga[i] += g[i];
+      else if (x[i] < 0.0) ga[i] -= g[i];
+    }
+  };
+  return v;
+}
+
+Var Tape::Square(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] * av[i];
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& x = t.value(Var{ia});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) ga[i] += 2.0 * x[i] * g[i];
+  };
+  return v;
+}
+
+Var Tape::Sqrt(Var a) {
+  const Matrix& av = value(a);
+  Matrix out(av.rows(), av.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::sqrt(av[i]);
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& y = t.value(Var{id});
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      ga[i] += g[i] * 0.5 / (y[i] > 1e-12 ? y[i] : 1e-12);
+    }
+  };
+  return v;
+}
+
+Var Tape::Scale(Var a, double s) {
+  Matrix out = value(a);
+  out.Scale(s);
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, s](Tape& t) {
+    t.MutableGrad(ia).AddScaled(t.nodes_[static_cast<std::size_t>(id)].grad, s);
+  };
+  return v;
+}
+
+Var Tape::AddConst(Var a, double c) {
+  Matrix out = value(a);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += c;
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    t.MutableGrad(ia).AddInPlace(t.nodes_[static_cast<std::size_t>(id)].grad);
+  };
+  return v;
+}
+
+Var Tape::ConcatRows(Var a, Var b) {
+  const Matrix& av = value(a);
+  const Matrix& bv = value(b);
+  assert(av.cols() == 1 && bv.cols() == 1);
+  Matrix out(av.rows() + bv.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) out(r, 0) = av(r, 0);
+  for (int r = 0; r < bv.rows(); ++r) out(av.rows() + r, 0) = bv(r, 0);
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id, ib = b.id;
+  const int na = av.rows(), nb = bv.rows();
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib, na, nb](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    Matrix& ga = t.MutableGrad(ia);
+    Matrix& gb = t.MutableGrad(ib);
+    for (int r = 0; r < na; ++r) ga(r, 0) += g(r, 0);
+    for (int r = 0; r < nb; ++r) gb(r, 0) += g(na + r, 0);
+  };
+  return v;
+}
+
+Var Tape::Sum(Var a) {
+  Matrix out(1, 1);
+  out(0, 0) = value(a).SumAll();
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const double g = t.nodes_[static_cast<std::size_t>(id)].grad(0, 0);
+    Matrix& ga = t.MutableGrad(ia);
+    for (std::size_t i = 0; i < ga.size(); ++i) ga[i] += g;
+  };
+  return v;
+}
+
+Var Tape::Dot(Var a, Var b) {
+  Matrix out(1, 1);
+  out(0, 0) = nn::Dot(value(a), value(b));
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id, ib = b.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib](Tape& t) {
+    const double g = t.nodes_[static_cast<std::size_t>(id)].grad(0, 0);
+    t.MutableGrad(ia).AddScaled(t.value(Var{ib}), g);
+    t.MutableGrad(ib).AddScaled(t.value(Var{ia}), g);
+  };
+  return v;
+}
+
+Var Tape::Softmax(Var a) {
+  const Matrix& av = value(a);
+  assert(av.cols() == 1);
+  double max = av(0, 0);
+  for (int r = 1; r < av.rows(); ++r) max = std::max(max, av(r, 0));
+  Matrix out(av.rows(), 1);
+  double denom = 0.0;
+  for (int r = 0; r < av.rows(); ++r) {
+    out(r, 0) = std::exp(av(r, 0) - max);
+    denom += out(r, 0);
+  }
+  for (int r = 0; r < av.rows(); ++r) out(r, 0) /= denom;
+  Var v = Push(std::move(out));
+  const int id = v.id, ia = a.id;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ia](Tape& t) {
+    const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
+    const Matrix& y = t.value(Var{id});
+    // dx = (diag(y) - y y^T) g  =  y ⊙ (g - <y, g>)
+    double dot = 0.0;
+    for (int r = 0; r < y.rows(); ++r) dot += y(r, 0) * g(r, 0);
+    Matrix& ga = t.MutableGrad(ia);
+    for (int r = 0; r < y.rows(); ++r) {
+      ga(r, 0) += y(r, 0) * (g(r, 0) - dot);
+    }
+  };
+  return v;
+}
+
+Var Tape::BceLoss(Var pred, const Matrix& target) {
+  const Matrix& p = value(pred);
+  assert(p.SameShape(target));
+  const double n = static_cast<double>(p.size());
+  Matrix out(1, 1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double pi = std::clamp(p[i], kBceEps, 1.0 - kBceEps);
+    loss += -(target[i] * std::log(pi) + (1.0 - target[i]) * std::log(1.0 - pi));
+  }
+  out(0, 0) = loss / n;
+  Var v = Push(std::move(out));
+  const int id = v.id, ip = pred.id;
+  Matrix t_copy = target;
+  nodes_[static_cast<std::size_t>(id)].backward = [id, ip, t_copy, n](Tape& t) {
+    const double g = t.nodes_[static_cast<std::size_t>(id)].grad(0, 0);
+    const Matrix& p = t.value(Var{ip});
+    Matrix& gp = t.MutableGrad(ip);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double pi = std::clamp(p[i], kBceEps, 1.0 - kBceEps);
+      gp[i] += g / n * (-(t_copy[i] / pi) + (1.0 - t_copy[i]) / (1.0 - pi));
+    }
+  };
+  return v;
+}
+
+Var Tape::SquaredErrorToConst(Var a, double target) {
+  assert(value(a).size() == 1);
+  Var diff = AddConst(a, -target);
+  return Square(diff);
+}
+
+Var Tape::Cosine(Var a, Var b) {
+  Var ab = Dot(a, b);
+  Var aa = AddConst(Dot(a, a), kCosineEps);
+  Var bb = AddConst(Dot(b, b), kCosineEps);
+  Var denom = Sqrt(Hadamard(aa, bb));
+  return DivElem(ab, denom);
+}
+
+void Tape::Backward(Var loss) {
+  if (!loss.valid() || nodes_.empty()) {
+    throw std::logic_error("Backward on invalid var/empty tape");
+  }
+  Node& top = nodes_[static_cast<std::size_t>(loss.id)];
+  if (top.value.size() != 1) {
+    throw std::logic_error("Backward requires a scalar loss");
+  }
+  top.grad(0, 0) = 1.0;
+  for (int id = loss.id; id >= 0; --id) {
+    Node& node = nodes_[static_cast<std::size_t>(id)];
+    if (node.backward && node.grad.MaxAbs() != 0.0) node.backward(*this);
+  }
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+}  // namespace asteria::nn

@@ -1,0 +1,101 @@
+// Reverse-mode automatic differentiation on a dynamic tape.
+//
+// The Tree-LSTM's compute graph depends on the shape of each input AST
+// ("batch size always 1", §IV-A), so the graph is rebuilt per example: ops
+// append nodes to a Tape, Backward() walks the tape in reverse. Parameter
+// leaves accumulate into Parameter::grad; everything is gradient-checked
+// against central finite differences in tests/nn_gradcheck_test.cpp.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace asteria::nn {
+
+class Tape;
+
+// Lightweight handle to a tape node.
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+class Tape {
+ public:
+  // ---- graph construction ------------------------------------------------
+  // Constant leaf (no gradient flows into it).
+  Var Leaf(Matrix value);
+  // Trainable leaf; Backward accumulates into p->grad.
+  Var Param(Parameter* p);
+  // Row `row` of `table`, returned as a (dim x 1) column vector; gradients
+  // scatter into the corresponding row of table->grad.
+  Var EmbeddingRow(Parameter* table, int row);
+
+  Var Add(Var a, Var b);
+  Var Sub(Var a, Var b);
+  // Matrix product.
+  Var MatMul(Var a, Var b);
+  // a^T * b (used by the eq. (8) output head: W is stored (2n x 2)).
+  Var MatMulTransA(Var a, Var b);
+  // Elementwise product.
+  Var Hadamard(Var a, Var b);
+  // Elementwise quotient a / b (b must be nonzero everywhere).
+  Var DivElem(Var a, Var b);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  Var Relu(Var a);
+  // Elementwise |x|; subgradient 0 at x == 0.
+  Var Abs(Var a);
+  Var Square(Var a);
+  Var Sqrt(Var a);
+  Var Scale(Var a, double s);
+  Var AddConst(Var a, double c);
+  // Stacks two column vectors (a over b).
+  Var ConcatRows(Var a, Var b);
+  // Sum of all elements -> 1x1.
+  Var Sum(Var a);
+  // <a, b> viewed as flat vectors -> 1x1.
+  Var Dot(Var a, Var b);
+  // Numerically stable softmax over a column vector.
+  Var Softmax(Var a);
+  // Binary cross entropy between prediction p (column vector in (0,1)) and a
+  // constant target of the same shape; mean over elements -> 1x1.
+  // Predictions are clamped to [eps, 1-eps] for stability.
+  Var BceLoss(Var pred, const Matrix& target);
+  // (mean(a) - target)^2 for 1x1 a -> 1x1; used by the Gemini baseline and
+  // the cosine "regression" ablation head.
+  Var SquaredErrorToConst(Var a, double target);
+  // cos(a, b) for column vectors -> 1x1 (composed from primitive ops).
+  Var Cosine(Var a, Var b);
+
+  // ---- execution -----------------------------------------------------------
+  const Matrix& value(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].value; }
+  // Valid after Backward(); zero matrix if no gradient reached the node.
+  const Matrix& grad(Var v) const { return nodes_[static_cast<std::size_t>(v.id)].grad; }
+
+  // Runs reverse-mode accumulation from `loss` (must be 1x1).
+  void Backward(Var loss);
+
+  // Drops all nodes so the tape can be reused for the next example.
+  void Clear();
+
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Matrix value;
+    Matrix grad;
+    // Propagates this node's grad to its inputs; null for constants.
+    std::function<void(Tape&)> backward;
+  };
+
+  Var Push(Matrix value, std::function<void(Tape&)> backward = nullptr);
+  Matrix& MutableGrad(int id) { return nodes_[static_cast<std::size_t>(id)].grad; }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace asteria::nn

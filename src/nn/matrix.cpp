@@ -1,0 +1,142 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace asteria::nn {
+
+Matrix Matrix::Filled(int rows, int cols, double value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::ColVector(std::vector<double> values) {
+  const int n = static_cast<int>(values.size());
+  return Matrix(n, 1, std::move(values));
+}
+
+void Matrix::Fill(double value) {
+  for (auto& x : data_) x = value;
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  assert(SameShape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, double scale) {
+  assert(SameShape(other));
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+double Matrix::SumAll() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x;
+  return sum;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Matrix::Norm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (int r = 0; r < rows_; ++r) {
+    if (r) out << "; ";
+    for (int c = 0; c < cols_; ++c) {
+      if (c) out << ", ";
+      out << (*this)(r, c);
+    }
+  }
+  out << "]";
+  return out.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a(k, i);
+      if (aki == 0.0) continue;
+      for (int j = 0; j < b.cols(); ++j) {
+        out(i, j) += aki * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.rows(); ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += a(i, k) * b(j, k);
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  assert(a.SameShape(b));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace asteria::nn

@@ -1,0 +1,87 @@
+// Dense row-major matrix of doubles: the numeric substrate replacing PyTorch
+// tensors. Sized for the paper's scales (embedding/hidden dims 8..128), so
+// simplicity and correctness are preferred over blocking/vectorization.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace asteria::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols) : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+  Matrix(int rows, int cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    assert(data_.size() == static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  }
+
+  static Matrix Zeros(int rows, int cols) { return Matrix(rows, cols); }
+  static Matrix Filled(int rows, int cols, double value);
+  // Column vector (n x 1).
+  static Matrix ColVector(std::vector<double> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c)];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) + static_cast<std::size_t>(c)];
+  }
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void Fill(double value);
+  void SetZero() { Fill(0.0); }
+
+  // this += other (shapes must match).
+  void AddInPlace(const Matrix& other);
+  // this += scale * other.
+  void AddScaled(const Matrix& other, double scale);
+  void Scale(double factor);
+
+  double SumAll() const;
+  double MaxAbs() const;
+  // Frobenius norm.
+  double Norm() const;
+
+  std::string DebugString() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+// out = a * b (matrix product). Shapes: (m x k) * (k x n) -> (m x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+// out = a^T * b.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+// out = a * b^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+// Elementwise product.
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+// Elementwise sum / difference.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+// Dot product of two same-shaped matrices viewed as flat vectors.
+double Dot(const Matrix& a, const Matrix& b);
+
+}  // namespace asteria::nn

@@ -1,0 +1,34 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace asteria::nn {
+
+void AdaGrad::Step(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    auto [it, inserted] =
+        accum_.try_emplace(p, Matrix(p->value.rows(), p->value.cols()));
+    Matrix& acc = it->second;
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const double g = p->grad[i];
+      acc[i] += g * g;
+      p->value[i] -= learning_rate_ * g / (std::sqrt(acc[i]) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Sgd::Step(const std::vector<Parameter*>& params) {
+  double scale = 1.0;
+  if (clip_ > 0.0) {
+    double max_abs = 0.0;
+    for (Parameter* p : params) max_abs = std::max(max_abs, p->grad.MaxAbs());
+    if (max_abs > clip_) scale = clip_ / max_abs;
+  }
+  for (Parameter* p : params) {
+    p->value.AddScaled(p->grad, -learning_rate_ * scale);
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace asteria::nn

@@ -1,0 +1,52 @@
+// Optimizers: AdaGrad (the paper's choice, §IV-A) and plain SGD.
+//
+// Optimizer state is keyed by Parameter pointer, so one optimizer instance
+// can drive any parameter subset across training steps.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace asteria::nn {
+
+// Interface shared by all optimizers.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently accumulated in the
+  // parameters, then zeroes the gradients.
+  virtual void Step(const std::vector<Parameter*>& params) = 0;
+};
+
+// AdaGrad: per-weight learning rates that shrink with accumulated squared
+// gradients (Duchi et al.). Matches torch.optim.Adagrad's update rule.
+class AdaGrad final : public Optimizer {
+ public:
+  explicit AdaGrad(double learning_rate = 0.05, double eps = 1e-10)
+      : learning_rate_(learning_rate), eps_(eps) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  double learning_rate_;
+  double eps_;
+  std::unordered_map<Parameter*, Matrix> accum_;
+};
+
+// Plain SGD with optional gradient clipping (by global max-abs).
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate = 0.01, double clip = 0.0)
+      : learning_rate_(learning_rate), clip_(clip) {}
+
+  void Step(const std::vector<Parameter*>& params) override;
+
+ private:
+  double learning_rate_;
+  double clip_;
+};
+
+}  // namespace asteria::nn

@@ -1,0 +1,85 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace asteria::nn {
+
+Parameter* ParameterStore::Create(const std::string& name, int rows,
+                                  int cols) {
+  if (Find(name) != nullptr) {
+    throw std::invalid_argument("duplicate parameter name: " + name);
+  }
+  owned_.push_back(std::make_unique<Parameter>(name, rows, cols));
+  handles_.push_back(owned_.back().get());
+  return handles_.back();
+}
+
+Parameter* ParameterStore::CreateXavier(const std::string& name, int rows,
+                                        int cols, util::Rng& rng) {
+  Parameter* p = Create(name, rows, cols);
+  const double bound = std::sqrt(6.0 / (rows + cols));
+  for (std::size_t i = 0; i < p->value.size(); ++i) {
+    p->value[i] = rng.NextDouble(-bound, bound);
+  }
+  return p;
+}
+
+Parameter* ParameterStore::Find(const std::string& name) const {
+  for (Parameter* p : handles_) {
+    if (p->name == name) return p;
+  }
+  return nullptr;
+}
+
+void ParameterStore::ZeroGrads() {
+  for (Parameter* p : handles_) p->ZeroGrad();
+}
+
+std::size_t ParameterStore::TotalWeights() const {
+  std::size_t total = 0;
+  for (Parameter* p : handles_) total += p->value.size();
+  return total;
+}
+
+bool ParameterStore::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "asteria-params v1\n" << handles_.size() << "\n";
+  for (Parameter* p : handles_) {
+    out << p->name << " " << p->value.rows() << " " << p->value.cols() << "\n";
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ParameterStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "asteria-params" || version != "v1") return false;
+  std::size_t count = 0;
+  in >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    int rows = 0, cols = 0;
+    in >> name >> rows >> cols;
+    in.ignore();  // newline before the raw block
+    Parameter* p = Find(name);
+    if (p == nullptr || p->value.rows() != rows || p->value.cols() != cols) {
+      return false;
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
+    if (!in) return false;
+    in.ignore();  // trailing newline
+  }
+  return true;
+}
+
+}  // namespace asteria::nn

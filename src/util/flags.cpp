@@ -1,0 +1,151 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace asteria::util {
+
+void Flags::DefineInt(const std::string& name, std::int64_t default_value,
+                      const std::string& help) {
+  Entry e;
+  e.type = Type::kInt;
+  e.help = help;
+  e.int_value = default_value;
+  if (entries_.emplace(name, std::move(e)).second) order_.push_back(name);
+}
+
+void Flags::DefineDouble(const std::string& name, double default_value,
+                         const std::string& help) {
+  Entry e;
+  e.type = Type::kDouble;
+  e.help = help;
+  e.double_value = default_value;
+  if (entries_.emplace(name, std::move(e)).second) order_.push_back(name);
+}
+
+void Flags::DefineBool(const std::string& name, bool default_value,
+                       const std::string& help) {
+  Entry e;
+  e.type = Type::kBool;
+  e.help = help;
+  e.bool_value = default_value;
+  if (entries_.emplace(name, std::move(e)).second) order_.push_back(name);
+}
+
+void Flags::DefineString(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  Entry e;
+  e.type = Type::kString;
+  e.help = help;
+  e.string_value = default_value;
+  if (entries_.emplace(name, std::move(e)).second) order_.push_back(name);
+}
+
+bool Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(Usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n%s",
+                   arg.c_str(), Usage(argv[0]).c_str());
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(),
+                   Usage(argv[0]).c_str());
+      return false;
+    }
+    Entry& entry = it->second;
+    if (!has_value && entry.type != Type::kBool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    try {
+      switch (entry.type) {
+        case Type::kInt:
+          entry.int_value = std::stoll(value);
+          break;
+        case Type::kDouble:
+          entry.double_value = std::stod(value);
+          break;
+        case Type::kBool:
+          entry.bool_value =
+              !has_value || value == "true" || value == "1" || value == "yes";
+          break;
+        case Type::kString:
+          entry.string_value = value;
+          break;
+      }
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+                   value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::Lookup(const std::string& name, Type type) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.type != type) {
+    throw std::logic_error("undefined flag: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name) const {
+  return Lookup(name, Type::kInt).int_value;
+}
+double Flags::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).double_value;
+}
+bool Flags::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+const std::string& Flags::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).string_value;
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Entry& e = entries_.at(name);
+    out << "  --" << name;
+    switch (e.type) {
+      case Type::kInt: out << "=<int> (default " << e.int_value << ")"; break;
+      case Type::kDouble:
+        out << "=<float> (default " << e.double_value << ")";
+        break;
+      case Type::kBool:
+        out << " (default " << (e.bool_value ? "true" : "false") << ")";
+        break;
+      case Type::kString:
+        out << "=<str> (default \"" << e.string_value << "\")";
+        break;
+    }
+    out << "\n      " << e.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace asteria::util

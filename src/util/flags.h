@@ -1,0 +1,55 @@
+// Tiny command-line flag parser shared by bench and example binaries.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Unknown
+// flags are reported and cause Parse() to return false so binaries fail fast
+// on typos in experiment scripts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asteria::util {
+
+class Flags {
+ public:
+  // Registers a flag with a default value and help text.
+  void DefineInt(const std::string& name, std::int64_t default_value,
+                 const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+  void DefineString(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+
+  // Parses argv; returns false (and prints usage) on unknown flag, bad value,
+  // or --help.
+  bool Parse(int argc, char** argv);
+
+  std::int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  // Renders the usage/help text.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Entry {
+    Type type;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+  const Entry& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace asteria::util

@@ -1,0 +1,30 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace asteria::util {
+
+double Rng::NextGaussian() {
+  // Box-Muller transform; u1 is kept away from zero for log().
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("NextWeighted: zero total");
+  double r = NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace asteria::util

@@ -1,0 +1,120 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the reproduction (corpus generation, pair
+// sampling, weight initialization) draw from Rng so that every experiment is
+// reproducible from a single seed. The generator is xoshiro256**, seeded via
+// splitmix64, which is fast, has a 2^256-1 period, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace asteria::util {
+
+// Random number generator with convenience distributions.
+//
+// Satisfies UniformRandomBitGenerator so it can also be used with <random>
+// distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { Reseed(seed); }
+
+  // Re-initializes the state from a 64-bit seed via splitmix64.
+  void Reseed(std::uint64_t seed) {
+    for (auto& s : state_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    NextBounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Standard normal via Box-Muller (non-cached variant; adequate here).
+  double NextGaussian();
+
+  // Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+  // Picks an index according to non-negative weights (sum must be > 0).
+  std::size_t NextWeighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextBounded(i)]);
+    }
+  }
+
+  // Picks a uniformly random element; v must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[NextBounded(v.size())];
+  }
+
+  // Derives an independent child generator (for parallel-safe substreams).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace asteria::util

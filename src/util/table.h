@@ -1,0 +1,42 @@
+// Plain-text table and CSV emission for bench binaries.
+//
+// Every bench target prints a human-readable table (the paper's rows/series)
+// to stdout and optionally writes the same data as CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace asteria::util {
+
+// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends one row; cells beyond the header width are dropped, missing
+  // cells are rendered empty.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+
+  // Renders RFC-4180-ish CSV (quotes cells containing separators).
+  std::string ToCsv() const;
+
+  // Writes CSV to a file path, creating parent directories if needed.
+  // Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given precision (fixed notation).
+std::string FormatDouble(double value, int precision = 4);
+
+// Formats seconds in an adaptive unit (ns / us / ms / s).
+std::string FormatSeconds(double seconds);
+
+}  // namespace asteria::util

@@ -1,0 +1,57 @@
+// Wall-clock timing helpers used by the overhead experiments (Fig. 10).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace asteria::util {
+
+// High-resolution stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Elapsed nanoseconds since construction or last Reset().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Incremental mean/min/max accumulator for repeated timings.
+class TimingStats {
+ public:
+  void Add(double seconds) {
+    ++count_;
+    sum_ += seconds;
+    if (seconds < min_ || count_ == 1) min_ = seconds;
+    if (seconds > max_ || count_ == 1) max_ = seconds;
+  }
+
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace asteria::util

@@ -1,0 +1,301 @@
+// AST arena, Table-I digitalization, LCRS binarization, serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "ast/ast.h"
+#include "ast/lcrs.h"
+#include "util/rng.h"
+
+namespace asteria::ast {
+namespace {
+
+// (block (asg (var) (num)) (if (lt (var) (num)) (return (var))))
+Ast SampleTree() {
+  Ast tree;
+  const NodeId var_x = tree.AddVar("x");
+  const NodeId num5 = tree.AddNum(5);
+  const NodeId asg = tree.AddNode(NodeKind::kAsg, {var_x, num5});
+  const NodeId var_x2 = tree.AddVar("x");
+  const NodeId num9 = tree.AddNum(9);
+  const NodeId lt = tree.AddNode(NodeKind::kLt, {var_x2, num9});
+  const NodeId var_x3 = tree.AddVar("x");
+  const NodeId ret = tree.AddNode(NodeKind::kReturn, {var_x3});
+  const NodeId iff = tree.AddNode(NodeKind::kIf, {lt, ret});
+  const NodeId block = tree.AddNode(NodeKind::kBlock, {asg, iff});
+  tree.set_root(block);
+  return tree;
+}
+
+TEST(NodeKind, LabelsMatchTableOne) {
+  EXPECT_EQ(NodeLabel(NodeKind::kIf), 1);
+  EXPECT_EQ(NodeLabel(NodeKind::kBreak), 9);
+  EXPECT_EQ(NodeLabel(NodeKind::kAsg), 10);
+  EXPECT_EQ(NodeLabel(NodeKind::kAsgDiv), 17);
+  EXPECT_EQ(NodeLabel(NodeKind::kEq), 18);
+  EXPECT_EQ(NodeLabel(NodeKind::kLe), 23);
+  EXPECT_EQ(NodeLabel(NodeKind::kOr), 24);
+  EXPECT_EQ(NodeLabel(NodeKind::kPreDec), 34);
+  EXPECT_EQ(NodeLabel(NodeKind::kIndex), 35);
+  EXPECT_EQ(NodeLabel(NodeKind::kOther), kMaxNodeLabel);
+}
+
+TEST(NodeKind, NamesRoundTrip) {
+  for (int i = 0; i < kNumNodeKinds; ++i) {
+    const NodeKind kind = static_cast<NodeKind>(i);
+    EXPECT_EQ(NodeKindFromName(NodeKindName(kind)), kind);
+  }
+  EXPECT_EQ(NodeKindFromName("definitely-not-a-node"), NodeKind::kKindCount);
+}
+
+TEST(NodeKind, Predicates) {
+  EXPECT_TRUE(IsStatement(NodeKind::kIf));
+  EXPECT_TRUE(IsStatement(NodeKind::kBreak));
+  EXPECT_FALSE(IsStatement(NodeKind::kAsg));
+  EXPECT_TRUE(IsAssignment(NodeKind::kAsgXor));
+  EXPECT_FALSE(IsAssignment(NodeKind::kEq));
+  EXPECT_TRUE(IsComparison(NodeKind::kGe));
+}
+
+TEST(Ast, SizeDepthAndValidate) {
+  Ast tree = SampleTree();
+  EXPECT_EQ(tree.size(), 10);
+  EXPECT_EQ(tree.Depth(), 4);
+  std::string error;
+  EXPECT_TRUE(tree.Validate(&error)) << error;
+}
+
+TEST(Ast, ValidateCatchesCycles) {
+  Ast tree;
+  const NodeId a = tree.AddNode(NodeKind::kBlock);
+  const NodeId b = tree.AddNode(NodeKind::kReturn);
+  tree.AddChild(a, b);
+  tree.AddChild(b, a);  // cycle
+  tree.set_root(a);
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(Ast, ValidateCatchesUnreachable) {
+  Ast tree;
+  const NodeId a = tree.AddNode(NodeKind::kBlock);
+  tree.AddNode(NodeKind::kReturn);  // orphan
+  tree.set_root(a);
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(Ast, DigitalizeIsPreOrderLabels) {
+  Ast tree = SampleTree();
+  const std::vector<int> labels = tree.Digitalize();
+  ASSERT_EQ(labels.size(), 10u);
+  EXPECT_EQ(labels[0], NodeLabel(NodeKind::kBlock));
+  EXPECT_EQ(labels[1], NodeLabel(NodeKind::kAsg));
+  EXPECT_EQ(labels[2], NodeLabel(NodeKind::kVar));
+}
+
+TEST(Ast, SExprRoundTrip) {
+  Ast tree = SampleTree();
+  const std::string text = tree.ToSExpr();
+  Ast parsed;
+  ASSERT_TRUE(Ast::FromSExpr(text, &parsed));
+  EXPECT_EQ(parsed.ToSExpr(), text);
+  EXPECT_EQ(parsed.size(), tree.size());
+  EXPECT_EQ(parsed.Digitalize(), tree.Digitalize());
+}
+
+TEST(Ast, SExprRejectsGarbage) {
+  Ast parsed;
+  EXPECT_FALSE(Ast::FromSExpr("(nonsense)", &parsed));
+  EXPECT_FALSE(Ast::FromSExpr("(if", &parsed));
+  EXPECT_FALSE(Ast::FromSExpr("(if) trailing", &parsed));
+}
+
+TEST(Lcrs, PreservesNodeCountAndLabels) {
+  Ast tree = SampleTree();
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  EXPECT_EQ(binary.size(), tree.size());
+  std::vector<int> source_labels = tree.Digitalize();
+  std::sort(source_labels.begin(), source_labels.end());
+  std::vector<int> binary_labels;
+  for (NodeId id : binary.PostOrder()) {
+    binary_labels.push_back(binary.node(id).label);
+  }
+  std::sort(binary_labels.begin(), binary_labels.end());
+  EXPECT_EQ(binary_labels, source_labels);
+}
+
+TEST(Lcrs, FirstChildBecomesLeftSiblingBecomesRight) {
+  // root with three children a, b, c.
+  Ast tree;
+  const NodeId a = tree.AddNum(1);
+  const NodeId b = tree.AddNum(2);
+  const NodeId c = tree.AddNum(3);
+  const NodeId root = tree.AddNode(NodeKind::kBlock, {a, b, c});
+  tree.set_root(root);
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  const BinaryNode& r = binary.node(binary.root());
+  EXPECT_EQ(r.left, a);
+  EXPECT_EQ(r.right, kInvalidNode);
+  EXPECT_EQ(binary.node(a).right, b);
+  EXPECT_EQ(binary.node(b).right, c);
+  EXPECT_EQ(binary.node(c).right, kInvalidNode);
+}
+
+TEST(Lcrs, PostOrderChildrenBeforeParents) {
+  Ast tree = SampleTree();
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  const std::vector<NodeId> order = binary.PostOrder();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(binary.size()));
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId id = 0; id < binary.size(); ++id) {
+    const BinaryNode& node = binary.node(id);
+    if (node.left != kInvalidNode) {
+      EXPECT_LT(position[static_cast<std::size_t>(node.left)],
+                position[static_cast<std::size_t>(id)]);
+    }
+    if (node.right != kInvalidNode) {
+      EXPECT_LT(position[static_cast<std::size_t>(node.right)],
+                position[static_cast<std::size_t>(id)]);
+    }
+  }
+}
+
+TEST(Lcrs, DeepChainDoesNotOverflow) {
+  // 50k-node degenerate chain exercises the iterative traversals.
+  Ast tree;
+  NodeId prev = tree.AddNum(0);
+  for (int i = 0; i < 50'000; ++i) {
+    prev = tree.AddNode(NodeKind::kBlock, {prev});
+  }
+  tree.set_root(prev);
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  EXPECT_EQ(binary.size(), tree.size());
+  EXPECT_EQ(binary.PostOrder().size(), static_cast<std::size_t>(tree.size()));
+  EXPECT_EQ(binary.Depth(), 50'001);
+}
+
+TEST(Lcrs, PayloadBucketsForNumbersAndStrings) {
+  Ast tree;
+  const NodeId small = tree.AddNum(3);
+  const NodeId big = tree.AddNum(1'000'000);
+  const NodeId negative = tree.AddNum(-3);
+  const NodeId zero = tree.AddNum(0);
+  const NodeId text = tree.AddStr("GET /index.html");
+  const NodeId var = tree.AddVar("x");
+  const NodeId root =
+      tree.AddNode(NodeKind::kBlock, {small, big, negative, zero, text, var});
+  tree.set_root(root);
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  // Numbers land in 1..33, strings in 34..63, variables have no payload.
+  EXPECT_EQ(binary.node(zero).payload_bucket, 1);
+  EXPECT_GT(binary.node(small).payload_bucket, 1);
+  EXPECT_LT(binary.node(small).payload_bucket, 18);
+  EXPECT_NE(binary.node(small).payload_bucket, binary.node(big).payload_bucket);
+  EXPECT_GT(binary.node(negative).payload_bucket, 17);
+  EXPECT_LE(binary.node(negative).payload_bucket, 33);
+  EXPECT_GE(binary.node(text).payload_bucket, 34);
+  EXPECT_LT(binary.node(text).payload_bucket, kPayloadVocab);
+  EXPECT_EQ(binary.node(var).payload_bucket, 0);
+  // Buckets are deterministic.
+  EXPECT_EQ(StringPayloadBucket("abc"), StringPayloadBucket("abc"));
+  EXPECT_EQ(NumberPayloadBucket(7), NumberPayloadBucket(7));
+  // Extremes stay in range.
+  EXPECT_LE(NumberPayloadBucket(std::numeric_limits<std::int64_t>::max()), 17);
+  EXPECT_LE(NumberPayloadBucket(std::numeric_limits<std::int64_t>::min()), 33);
+}
+
+TEST(Lcrs, KindHistogramMatchesLabelHistogram) {
+  Ast tree = SampleTree();
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  const std::vector<int> kinds = tree.KindHistogram();
+  const std::vector<int> labels = binary.LabelHistogram();
+  for (int k = 0; k < kNumNodeKinds; ++k) {
+    EXPECT_EQ(kinds[static_cast<std::size_t>(k)],
+              labels[static_cast<std::size_t>(NodeLabel(static_cast<NodeKind>(k)))]);
+  }
+}
+
+// ---- randomized property sweep -------------------------------------------
+
+namespace property {
+
+// Random tree with mixed arity, payloads, and depth.
+Ast RandomTree(util::Rng& rng, int max_nodes) {
+  Ast tree;
+  std::vector<NodeId> roots;
+  const int nodes = static_cast<int>(rng.NextInt(1, max_nodes));
+  for (int i = 0; i < nodes; ++i) {
+    const auto kind =
+        static_cast<NodeKind>(rng.NextBounded(static_cast<std::uint64_t>(kNumNodeKinds)));
+    const int arity = static_cast<int>(
+        rng.NextBounded(std::min<std::uint64_t>(roots.size() + 1, 4)));
+    std::vector<NodeId> children;
+    for (int a = 0; a < arity; ++a) {
+      children.push_back(roots.back());
+      roots.pop_back();
+    }
+    NodeId id;
+    if (kind == NodeKind::kNum && arity == 0) {
+      id = tree.AddNum(rng.NextInt(-1000000, 1000000));
+    } else if (kind == NodeKind::kStr && arity == 0) {
+      id = tree.AddStr("s" + std::to_string(rng.NextBounded(40)));
+    } else {
+      id = tree.AddNode(kind, std::move(children));
+    }
+    roots.push_back(id);
+  }
+  // Attach leftover roots under one block.
+  if (roots.size() == 1) {
+    tree.set_root(roots[0]);
+  } else {
+    tree.set_root(tree.AddNode(NodeKind::kBlock, roots));
+  }
+  return tree;
+}
+
+}  // namespace property
+
+class AstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AstProperty, InvariantsHoldOnRandomTrees) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 3);
+  Ast tree = property::RandomTree(rng, 200);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+
+  // Digitalization covers every node with an in-vocabulary label.
+  const auto labels = tree.Digitalize();
+  EXPECT_EQ(static_cast<int>(labels.size()), tree.size());
+  for (int label : labels) {
+    EXPECT_GE(label, 1);
+    EXPECT_LE(label, kMaxNodeLabel);
+  }
+
+  // LCRS: same node count, same label multiset, children before parents,
+  // payload buckets in range.
+  const BinaryAst binary = ToLeftChildRightSibling(tree);
+  EXPECT_EQ(binary.size(), tree.size());
+  std::vector<int> a = labels, b;
+  for (NodeId id : binary.PostOrder()) {
+    b.push_back(binary.node(id).label);
+    EXPECT_GE(binary.node(id).payload_bucket, 0);
+    EXPECT_LT(binary.node(id).payload_bucket, kPayloadVocab);
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(binary.PostOrder().back(), binary.root());
+
+  // Serialization round trip preserves the digitalized sequence.
+  Ast parsed;
+  ASSERT_TRUE(Ast::FromSExpr(tree.ToSExpr(), &parsed));
+  EXPECT_EQ(parsed.Digitalize(), labels);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AstProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace asteria::ast

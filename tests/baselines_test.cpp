@@ -1,0 +1,245 @@
+// Baseline tests: BigUint arithmetic, Diaphora prime-product invariants,
+// ACFG features (incl. betweenness), and Gemini structure2vec learnability.
+#include <gtest/gtest.h>
+
+#include "baselines/diaphora.h"
+#include "baselines/gemini.h"
+#include "cfg/acfg.h"
+#include "compiler/compile.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace asteria::baselines {
+namespace {
+
+TEST(BigUint, SmallProducts) {
+  BigUint n(1);
+  n.MulSmall(6);
+  n.MulSmall(7);
+  EXPECT_EQ(n.ToString(), "42");
+}
+
+TEST(BigUint, LargeProductMatchesKnownFactorial) {
+  BigUint n(1);
+  for (std::uint64_t k = 2; k <= 25; ++k) n.MulSmall(k);
+  EXPECT_EQ(n.ToString(), "15511210043330985984000000");  // 25!
+}
+
+TEST(BigUint, MulByLargeFactor) {
+  BigUint n(0xFFFFFFFFFFFFFFFFull);
+  n.MulSmall(0xFFFFFFFFFFFFFFFFull);
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(n.ToString(), "340282366920938463426481119284349108225");
+}
+
+TEST(BigUint, ComparisonAndHash) {
+  BigUint a(1), b(1);
+  a.MulSmall(982451653);
+  b.MulSmall(982451653);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.MulSmall(2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(BigUint, BitLength) {
+  EXPECT_EQ(BigUint(0).BitLength(), 0u);
+  EXPECT_EQ(BigUint(1).BitLength(), 1u);
+  EXPECT_EQ(BigUint(255).BitLength(), 8u);
+  EXPECT_EQ(BigUint(256).BitLength(), 9u);
+}
+
+TEST(Primes, FirstPrimesAreCorrect) {
+  const auto primes = FirstPrimes(10);
+  EXPECT_EQ(primes,
+            (std::vector<std::uint32_t>{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}));
+}
+
+ast::Ast TreeOf(std::initializer_list<ast::NodeKind> kinds) {
+  // Chain the kinds into a degenerate tree (structure is irrelevant for
+  // Diaphora, which only sees the multiset).
+  ast::Ast tree;
+  ast::NodeId prev = ast::kInvalidNode;
+  for (ast::NodeKind kind : kinds) {
+    const ast::NodeId node = prev == ast::kInvalidNode
+                                 ? tree.AddNode(kind)
+                                 : tree.AddNode(kind, {prev});
+    prev = node;
+  }
+  tree.set_root(prev);
+  return tree;
+}
+
+TEST(Diaphora, ProductEqualIffMultisetEqual) {
+  using ast::NodeKind;
+  ast::Ast a = TreeOf({NodeKind::kVar, NodeKind::kReturn, NodeKind::kBlock});
+  ast::Ast b = TreeOf({NodeKind::kReturn, NodeKind::kVar, NodeKind::kBlock});
+  ast::Ast c = TreeOf({NodeKind::kNum, NodeKind::kReturn, NodeKind::kBlock});
+  const auto sa = DiaphoraHash(a);
+  const auto sb = DiaphoraHash(b);
+  const auto sc = DiaphoraHash(c);
+  EXPECT_EQ(sa.product, sb.product);  // same multiset, different order
+  EXPECT_NE(sa.product, sc.product);
+  EXPECT_DOUBLE_EQ(DiaphoraSimilarity(sa, sb), 1.0);
+  EXPECT_LT(DiaphoraSimilarity(sa, sc), 1.0);
+  EXPECT_GT(DiaphoraSimilarity(sa, sc), 0.0);
+}
+
+TEST(Diaphora, ProductSimilarityMatchesHistogramPath) {
+  using ast::NodeKind;
+  ast::Ast a = TreeOf({NodeKind::kIf, NodeKind::kEq, NodeKind::kVar,
+                       NodeKind::kNum, NodeKind::kBlock, NodeKind::kAdd});
+  ast::Ast b = TreeOf({NodeKind::kWhile, NodeKind::kLt, NodeKind::kVar,
+                       NodeKind::kVar, NodeKind::kBlock});
+  const auto sa = DiaphoraHash(a);
+  const auto sb = DiaphoraHash(b);
+  EXPECT_NEAR(DiaphoraProductSimilarity(sa.product, sb.product),
+              DiaphoraSimilarity(sa, sb), 1e-12);
+  EXPECT_DOUBLE_EQ(DiaphoraProductSimilarity(sa.product, sa.product), 1.0);
+}
+
+TEST(BigUint, DivModSmallRoundTrips) {
+  BigUint n(1);
+  for (std::uint64_t k = 2; k <= 20; ++k) n.MulSmall(k);  // 20!
+  BigUint q = n;
+  EXPECT_EQ(q.DivModSmall(19), 0u);  // 19 divides 20!
+  q.MulSmall(19);
+  EXPECT_EQ(q, n);
+  BigUint r = n;
+  EXPECT_NE(r.DivModSmall(23), 0u);  // 23 does not divide 20!
+}
+
+TEST(Diaphora, SimilarityIsSymmetricAndBounded) {
+  using ast::NodeKind;
+  ast::Ast a = TreeOf({NodeKind::kIf, NodeKind::kEq, NodeKind::kVar,
+                       NodeKind::kNum, NodeKind::kBlock});
+  ast::Ast b = TreeOf({NodeKind::kWhile, NodeKind::kLt, NodeKind::kVar,
+                       NodeKind::kBlock});
+  const auto sa = DiaphoraHash(a);
+  const auto sb = DiaphoraHash(b);
+  const double ab = DiaphoraSimilarity(sa, sb);
+  EXPECT_DOUBLE_EQ(ab, DiaphoraSimilarity(sb, sa));
+  EXPECT_GE(ab, 0.0);
+  EXPECT_LE(ab, 1.0);
+}
+
+// ---- ACFG ---------------------------------------------------------------
+
+binary::BinModule Compile(const std::string& source, binary::Isa isa) {
+  minic::Program program;
+  std::string error;
+  EXPECT_TRUE(minic::Parse(source, &program, &error)) << error;
+  EXPECT_TRUE(minic::Check(program, &error)) << error;
+  auto result = compiler::CompileProgram(program, isa, "m");
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.module);
+}
+
+TEST(Acfg, FeaturesCountInstructionClasses) {
+  // g is large enough that no ISA inlines it, so the call edge survives.
+  binary::BinModule module = Compile(R"(
+    int g(int a) {
+      int s = 0;
+      int i;
+      for (i = 0; i < a; i++) { s += i * a - (s >> 1) + (i ^ s); }
+      while (s > 100) { s /= 3; s -= a; }
+      return s + 1;
+    }
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { s += g(i) * 3; }
+      return s;
+    }
+  )",
+                                     binary::Isa::kPpc);
+  const int f_index = module.FindFunction("f");
+  ASSERT_GE(f_index, 0);
+  cfg::Acfg acfg = cfg::BuildAcfg(module.functions[static_cast<std::size_t>(f_index)]);
+  ASSERT_GT(acfg.size(), 1);
+  double total_insns = 0, total_calls = 0, total_branches = 0;
+  for (const auto& node : acfg.nodes) {
+    total_insns += node.features[4];
+    total_calls += node.features[3];
+    total_branches += node.features[2];
+  }
+  EXPECT_EQ(total_insns,
+            static_cast<double>(module.functions[static_cast<std::size_t>(f_index)].size()));
+  EXPECT_GE(total_calls, 1.0);
+  EXPECT_GE(total_branches, 2.0);
+}
+
+TEST(Betweenness, LineGraph) {
+  // 0 -> 1 -> 2: node 1 lies on the single shortest path 0->2.
+  const std::vector<double> c =
+      cfg::BetweennessCentrality({{1}, {2}, {}});
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+TEST(Betweenness, DiamondSplitsCredit) {
+  // 0 -> {1,2} -> 3: two shortest paths, each middle node carries 0.5.
+  const std::vector<double> c =
+      cfg::BetweennessCentrality({{1, 2}, {3}, {3}, {}});
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 0.5);
+}
+
+// ---- Gemini ---------------------------------------------------------------
+
+TEST(Gemini, EmbeddingDeterministicAndShaped) {
+  util::Rng rng(5);
+  GeminiConfig config;
+  config.embedding_dim = 16;
+  GeminiModel model(config, rng);
+  binary::BinModule module = Compile(
+      "int f(int n) { if (n > 0) { return n * 2; } return -n; }",
+      binary::Isa::kX64);
+  cfg::Acfg acfg = cfg::BuildAcfg(module.functions[0]);
+  const nn::Matrix e1 = model.Encode(acfg);
+  const nn::Matrix e2 = model.Encode(acfg);
+  EXPECT_EQ(e1.rows(), 16);
+  for (std::size_t i = 0; i < e1.size(); ++i) EXPECT_DOUBLE_EQ(e1[i], e2[i]);
+}
+
+TEST(Gemini, SelfSimilarityIsOne) {
+  util::Rng rng(6);
+  GeminiConfig config;
+  config.embedding_dim = 8;
+  GeminiModel model(config, rng);
+  binary::BinModule module = Compile(
+      "int f(int n) { int s = 0; while (n > 0) { s += n; n--; } return s; }",
+      binary::Isa::kArm);
+  cfg::Acfg acfg = cfg::BuildAcfg(module.functions[0]);
+  EXPECT_NEAR(model.Similarity(acfg, acfg), 1.0, 1e-9);
+}
+
+TEST(Gemini, TrainingSeparatesStructures) {
+  util::Rng rng(7);
+  GeminiConfig config;
+  config.embedding_dim = 16;
+  config.learning_rate = 0.05;
+  GeminiModel model(config, rng);
+  // Two structurally different functions, each compiled for two ISAs.
+  const std::string loopy =
+      "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += i; } return s; }";
+  const std::string branchy =
+      "int f(int n) { if (n > 10) { return 1; } if (n > 5) { return 2; } if (n > 1) { return 3; } return 4; }";
+  cfg::Acfg loop_x86 = cfg::BuildAcfg(Compile(loopy, binary::Isa::kX86).functions[0]);
+  cfg::Acfg loop_ppc = cfg::BuildAcfg(Compile(loopy, binary::Isa::kPpc).functions[0]);
+  cfg::Acfg branch_x86 = cfg::BuildAcfg(Compile(branchy, binary::Isa::kX86).functions[0]);
+  cfg::Acfg branch_ppc = cfg::BuildAcfg(Compile(branchy, binary::Isa::kPpc).functions[0]);
+  for (int step = 0; step < 40; ++step) {
+    model.TrainPair(loop_x86, loop_ppc, +1);
+    model.TrainPair(branch_x86, branch_ppc, +1);
+    model.TrainPair(loop_x86, branch_ppc, -1);
+    model.TrainPair(branch_x86, loop_ppc, -1);
+  }
+  EXPECT_GT(model.Similarity(loop_x86, loop_ppc),
+            model.Similarity(loop_x86, branch_ppc));
+}
+
+}  // namespace
+}  // namespace asteria::baselines

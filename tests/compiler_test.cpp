@@ -1,0 +1,397 @@
+// Compiler + VM tests: lowering invariants, pass behaviour, and the core
+// differential property — for every program, the interpreter and the VM on
+// all four ISAs agree on results and array side effects.
+#include <gtest/gtest.h>
+
+#include "binary/disasm.h"
+#include "binary/vm.h"
+#include "compiler/compile.h"
+#include "compiler/lower.h"
+#include "compiler/passes.h"
+#include "minic/interp.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace asteria::compiler {
+namespace {
+
+using binary::Isa;
+using minic::ArgValue;
+
+minic::Program MustParse(const std::string& source) {
+  minic::Program program;
+  std::string error;
+  EXPECT_TRUE(minic::Parse(source, &program, &error)) << error;
+  EXPECT_TRUE(minic::Check(program, &error)) << error;
+  return program;
+}
+
+// Runs `fn(args)` through the interpreter and through the VM for every ISA,
+// and checks all five agree.
+void ExpectAllAgree(const std::string& source, const std::string& fn,
+                    std::vector<ArgValue> args,
+                    const CompileOptions& options = CompileOptions{}) {
+  minic::Program program = MustParse(source);
+  minic::Interpreter interp(program);
+  const auto expected = interp.Call(fn, args);
+  ASSERT_TRUE(expected.ok) << expected.trap;
+  for (int i = 0; i < binary::kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    const CompileResult compiled =
+        CompileProgram(program, isa, "test", options);
+    ASSERT_TRUE(compiled.ok) << compiled.error;
+    binary::Vm vm(compiled.module);
+    const auto actual = vm.Call(fn, args);
+    ASSERT_TRUE(actual.ok)
+        << "ISA " << binary::IsaName(isa) << ": " << actual.trap << "\n"
+        << binary::DisasmModule(compiled.module);
+    EXPECT_EQ(actual.value, expected.value)
+        << "ISA " << binary::IsaName(isa) << "\n"
+        << binary::DisasmModule(compiled.module);
+    EXPECT_EQ(actual.arrays, expected.arrays)
+        << "ISA " << binary::IsaName(isa);
+  }
+}
+
+TEST(Lowering, ProducesValidIr) {
+  minic::Program program = MustParse(R"(
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { if (i % 2 == 0) { s += i; } }
+      return s;
+    }
+  )");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  ASSERT_EQ(ir.functions.size(), 1u);
+  EXPECT_GT(ir.functions[0].blocks.size(), 3u);
+}
+
+TEST(Lowering, SwitchBecomesJumpTableWhenDense) {
+  minic::Program program = MustParse(R"(
+    int f(int n) {
+      switch (n) {
+        case 1: return 1;
+        case 2: return 2;
+        case 3: return 3;
+        case 4: return 4;
+        case 5: return 5;
+        default: return 0;
+      }
+    }
+  )");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  EXPECT_EQ(ir.functions[0].jump_tables.size(), 1u);
+}
+
+TEST(Lowering, SparseSwitchBecomesCompareChain) {
+  minic::Program program = MustParse(R"(
+    int f(int n) {
+      switch (n) {
+        case 1: return 1;
+        case 1000: return 2;
+        case 100000: return 3;
+        case 5000000: return 4;
+        default: return 0;
+      }
+    }
+  )");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  EXPECT_TRUE(ir.functions[0].jump_tables.empty());
+}
+
+TEST(Passes, DeadCodeEliminationRemovesUnusedDefs) {
+  minic::Program program = MustParse("int f(int a) { int unused = a * 99; return a; }");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  const std::size_t before = ir.functions[0].TotalInsns();
+  CopyPropagate(&ir.functions[0]);
+  EliminateDeadCode(&ir.functions[0]);
+  EXPECT_LT(ir.functions[0].TotalInsns(), before);
+}
+
+TEST(Passes, IfConvertFiresOnArmDiamonds) {
+  minic::Program program = MustParse(
+      "int f(int a, int b) { int m = 0; if (a < b) { m = a; } else { m = b; } return m; }");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  CopyPropagate(&ir.functions[0]);
+  EliminateDeadCode(&ir.functions[0]);
+  EXPECT_GE(IfConvert(&ir.functions[0]), 1);
+  // After conversion the CFG shrinks (blocks merged), mirroring Fig. 2.
+  EXPECT_LE(ir.functions[0].blocks.size(), 3u);
+}
+
+TEST(Passes, StrengthReductionRewritesPowerOfTwoMul) {
+  minic::Program program = MustParse("int f(int a) { return a * 8; }");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  FoldImmediates(&ir.functions[0], binary::GetIsaSpec(Isa::kPpc));
+  StrengthReduceMul(&ir.functions[0]);
+  bool has_shift = false, has_mul = false;
+  for (const IrBlock& block : ir.functions[0].blocks) {
+    for (const IrInsn& insn : block.insns) {
+      if (insn.op == Opcode::kShlI) has_shift = true;
+      if (insn.op == Opcode::kMulI || insn.op == Opcode::kMul) has_mul = true;
+    }
+  }
+  EXPECT_TRUE(has_shift);
+  EXPECT_FALSE(has_mul);
+}
+
+TEST(Passes, InlinerInlinesSmallLeaf) {
+  minic::Program program = MustParse(R"(
+    int tiny(int a) { return a + 1; }
+    int f(int n) { return tiny(n) * 2; }
+  )");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  const int inlined =
+      InlineSmallCalls(&ir, binary::GetIsaSpec(Isa::kX64), -1);
+  EXPECT_EQ(inlined, 1);
+  ASSERT_TRUE(ir.functions[1].Validate(&error)) << error;
+  EXPECT_TRUE(ir.functions[1].IsLeaf());
+}
+
+// ---- differential tests -------------------------------------------------
+
+TEST(Differential, Arithmetic) {
+  ExpectAllAgree(
+      "int f(int a, int b) { return (a * 3 - b / 2) % 7 + (a << 2) - (b >> 1) + (a & b) - (a | b) + (a ^ b); }",
+      "f", {ArgValue::Scalar(1234), ArgValue::Scalar(-57)});
+}
+
+TEST(Differential, DivModByZero) {
+  ExpectAllAgree("int f(int a) { return a / 0 + a % 0 + 0 / 1; }", "f",
+                 {ArgValue::Scalar(99)});
+}
+
+TEST(Differential, Comparisons) {
+  ExpectAllAgree(
+      "int f(int a, int b) { return (a<b)*32 + (a>b)*16 + (a<=b)*8 + (a>=b)*4 + (a==b)*2 + (a!=b); }",
+      "f", {ArgValue::Scalar(3), ArgValue::Scalar(3)});
+}
+
+TEST(Differential, ShortCircuitSideEffects) {
+  ExpectAllAgree(R"(
+    int f(int a) {
+      int hits = 0;
+      int r1 = (a > 0) || (hits += 1);
+      int r2 = (a > 0) && (hits += 10);
+      return hits * 100 + r1 * 10 + r2;
+    }
+  )",
+                 "f", {ArgValue::Scalar(-3)});
+}
+
+TEST(Differential, LoopsArraysAndCalls) {
+  ExpectAllAgree(R"(
+    int sum(int a[], int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { s += a[i]; }
+      return s;
+    }
+    int f(int n) {
+      int buf[16];
+      int i = 0;
+      while (i < 16) { buf[i] = i * i - 3; i++; }
+      return sum(buf, n);
+    }
+  )",
+                 "f", {ArgValue::Scalar(12)});
+}
+
+TEST(Differential, NestedLoopsBreakContinue) {
+  ExpectAllAgree(R"(
+    int f(int n) {
+      int s = 0;
+      int i;
+      int j;
+      for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+          if (j == 3) { continue; }
+          if (i * j > 20) { break; }
+          s += i * 10 + j;
+        }
+      }
+      return s;
+    }
+  )",
+                 "f", {ArgValue::Scalar(7)});
+}
+
+TEST(Differential, SwitchDenseAndSparse) {
+  ExpectAllAgree(R"(
+    int dense(int n) {
+      switch (n) {
+        case 0: return 5;
+        case 1: return 6;
+        case 2: return 7;
+        case 3: return 8;
+        case 4: return 9;
+        default: return -1;
+      }
+    }
+    int sparse(int n) {
+      switch (n) {
+        case 10: return 1;
+        case 2000: return 2;
+        default: return 3;
+      }
+    }
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = -1; i < 7; i++) { s = s * 10 + dense(i); }
+      return s + sparse(n) * 1000000000;
+    }
+  )",
+                 "f", {ArgValue::Scalar(2000)});
+}
+
+TEST(Differential, GotoCleanupPattern) {
+  ExpectAllAgree(R"(
+    int f(int n) {
+      int r = 0;
+      if (n < 0) { goto fail; }
+      if (n > 100) { goto fail; }
+      r = n * 2;
+      goto done;
+      fail: r = -1;
+      done: return r;
+    }
+  )",
+                 "f", {ArgValue::Scalar(-5)});
+}
+
+TEST(Differential, Recursion) {
+  ExpectAllAgree(
+      "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }",
+      "fib", {ArgValue::Scalar(12)});
+}
+
+TEST(Differential, ArrayWrapSemantics) {
+  ExpectAllAgree(R"(
+    int f(int k) {
+      int a[8];
+      int i;
+      for (i = 0; i < 8; i++) { a[i] = i; }
+      return a[k] * 100 + a[-k] * 10 + a[k * 7919];
+    }
+  )",
+                 "f", {ArgValue::Scalar(13)});
+}
+
+TEST(Differential, ArrayOutParams) {
+  ExpectAllAgree(R"(
+    int rotate(int a[], int n) {
+      int first = a[0];
+      int i;
+      for (i = 0; i + 1 < n; i++) { a[i] = a[i + 1]; }
+      a[n - 1] = first;
+      return n;
+    }
+  )",
+                 "rotate", {ArgValue::Array({1, 2, 3, 4, 5}), ArgValue::Scalar(5)});
+}
+
+TEST(Differential, StringArguments) {
+  ExpectAllAgree(R"(
+    int strlen_(int s[]) { int n = 0; while (s[n] != 0) { n++; } return n; }
+    int f() { return strlen_("hello world") * 10 + "xy"; }
+  )",
+                 "f", {});
+}
+
+TEST(Differential, IncDecEverywhere) {
+  ExpectAllAgree(R"(
+    int f() {
+      int a[4];
+      int x = 5;
+      a[0] = 1;
+      a[x++ - 5] += 3;
+      int y = ++x;
+      a[1] = y-- + x;
+      return a[0] * 1000 + a[1] * 10 + x + y;
+    }
+  )",
+                 "f", {});
+}
+
+TEST(Differential, SideEffectEvaluationOrder) {
+  ExpectAllAgree("int f() { int x = 1; return x + (x = 3) + x * (x = 4); }",
+                 "f", {});
+}
+
+TEST(Differential, BigConstantsExceedRiscImmediates) {
+  ExpectAllAgree(
+      "int f(int a) { return a * 1000003 + 123456789012345 - (a & 65535000); }",
+      "f", {ArgValue::Scalar(-999)});
+}
+
+TEST(Differential, UnoptimizedMatchesToo) {
+  CompileOptions options;
+  options.optimize = false;
+  ExpectAllAgree(R"(
+    int helper(int a) { return a * 2 + 1; }
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { s += helper(i); }
+      return s;
+    }
+  )",
+                 "f", {ArgValue::Scalar(9)}, options);
+}
+
+TEST(Differential, ManyLiveVariablesForceSpills) {
+  // 12 simultaneously live scalars exceed x86's 6 allocatable registers.
+  ExpectAllAgree(R"(
+    int f(int n) {
+      int a = n + 1; int b = n + 2; int c = n + 3; int d = n + 4;
+      int e = n + 5; int g = n + 6; int h = n + 7; int i = n + 8;
+      int j = n + 9; int k = n + 10; int l = n + 11; int m = n + 12;
+      int s = 0;
+      int t;
+      for (t = 0; t < 3; t++) {
+        s += a * b + c * d + e * g + h * i + j * k + l * m;
+        a++; b += 2; c ^= d; d -= e; e |= g; g &= h;
+        h = h << 1; i = i >> 1; j *= 2; k /= 2; l += m; m -= a;
+      }
+      return s + a + b + c + d + e + g + h + i + j + k + l + m;
+    }
+  )",
+                 "f", {ArgValue::Scalar(37)});
+}
+
+TEST(Differential, EncodeDecodeRoundTripPreservesBehaviour) {
+  minic::Program program = MustParse(
+      "int f(int a) { int i; int s = 0; for (i = 0; i < a; i++) { s += i * i; } return s; }");
+  const CompileResult compiled =
+      CompileProgram(program, Isa::kArm, "roundtrip");
+  ASSERT_TRUE(compiled.ok) << compiled.error;
+  const auto blob = compiled.module.Encode();
+  const auto decoded = binary::BinModule::Decode(blob);
+  ASSERT_TRUE(decoded.has_value());
+  binary::Vm vm1(compiled.module);
+  binary::Vm vm2(*decoded);
+  const auto r1 = vm1.Call("f", {ArgValue::Scalar(10)});
+  const auto r2 = vm2.Call("f", {ArgValue::Scalar(10)});
+  ASSERT_TRUE(r1.ok && r2.ok);
+  EXPECT_EQ(r1.value, r2.value);
+  EXPECT_EQ(r1.value, 285);
+}
+
+}  // namespace
+}  // namespace asteria::compiler

@@ -1,0 +1,272 @@
+// Decompiler tests: CFG construction, dominators, lifting, structuring,
+// Table-I AST invariants, cross-ISA stability, and callee counting.
+#include <gtest/gtest.h>
+
+#include "ast/lcrs.h"
+#include "binary/disasm.h"
+#include "compiler/compile.h"
+#include "decompiler/decompile.h"
+#include "decompiler/machine_cfg.h"
+#include "decompiler/structurer.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace asteria::decompiler {
+namespace {
+
+using binary::Isa;
+
+minic::Program MustParse(const std::string& source) {
+  minic::Program program;
+  std::string error;
+  EXPECT_TRUE(minic::Parse(source, &program, &error)) << error;
+  EXPECT_TRUE(minic::Check(program, &error)) << error;
+  return program;
+}
+
+binary::BinModule Compile(const std::string& source, Isa isa) {
+  minic::Program program = MustParse(source);
+  auto result = compiler::CompileProgram(program, isa, "m");
+  EXPECT_TRUE(result.ok) << result.error;
+  return std::move(result.module);
+}
+
+// Counts nodes of a given kind in an AST.
+int CountKind(const ast::Ast& tree, ast::NodeKind kind) {
+  int count = 0;
+  for (ast::NodeId id : tree.PreOrder()) {
+    if (tree.node(id).kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(MachineCfg, BuildsBlocksAndEdges) {
+  binary::BinModule module = Compile(
+      "int f(int n) { if (n > 0) { return 1; } return 2; }", Isa::kX64);
+  MachineCfg cfg(module.functions[0]);
+  EXPECT_GE(cfg.num_blocks(), 3);
+  // Entry has a conditional: two successors.
+  bool found_cond = false;
+  for (int b = 0; b < cfg.num_blocks(); ++b) {
+    if (cfg.block(b).succs.size() == 2) found_cond = true;
+  }
+  EXPECT_TRUE(found_cond);
+}
+
+TEST(MachineCfg, ArmIfConversionCollapsesCfg) {
+  // Paper Fig. 2: ARM's conditional execution merges basic blocks.
+  const std::string source =
+      "int f(int a, int b) { int m = 0; if (a < b) { m = a; } else { m = b; } return m; }";
+  binary::BinModule x86 = Compile(source, Isa::kX86);
+  binary::BinModule arm = Compile(source, Isa::kArm);
+  MachineCfg x86_cfg(x86.functions[0]);
+  MachineCfg arm_cfg(arm.functions[0]);
+  EXPECT_GT(x86_cfg.num_blocks(), arm_cfg.num_blocks());
+  EXPECT_EQ(arm_cfg.num_blocks(), 1);
+}
+
+TEST(Dominators, LinearChain) {
+  binary::BinModule module = Compile(
+      "int f(int n) { int s = n + 1; s *= 2; return s; }", Isa::kPpc);
+  MachineCfg cfg(module.functions[0]);
+  const std::vector<int> idom = ComputeIdom(cfg);
+  EXPECT_EQ(idom[0], 0);
+}
+
+TEST(Dominators, DiamondJoin) {
+  binary::BinModule module = Compile(
+      "int f(int n) { int r = 0; if (n > 0) { r = 1; } else { r = 2; } return r * n; }",
+      Isa::kX86);
+  MachineCfg cfg(module.functions[0]);
+  const std::vector<int> ipdom = ComputeIpostdom(cfg);
+  // The entry's immediate postdominator is the join block, which then
+  // returns: entry's ipdom must not be -1 in a diamond.
+  ASSERT_GE(cfg.num_blocks(), 4);
+  EXPECT_GE(ipdom[0], 0);
+}
+
+TEST(Decompile, ProducesValidAstOnAllIsas) {
+  const std::string source = R"(
+    int helper(int a[], int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { s += a[i]; }
+      return s;
+    }
+    int f(int n) {
+      int buf[8];
+      int i = 0;
+      while (i < 8) { buf[i] = i * 3 + 1; i++; }
+      if (n > 4) { return helper(buf, 8); }
+      return helper(buf, n) - 7;
+    }
+  )";
+  for (int i = 0; i < binary::kNumIsas; ++i) {
+    const Isa isa = static_cast<Isa>(i);
+    binary::BinModule module = Compile(source, isa);
+    for (std::size_t f = 0; f < module.functions.size(); ++f) {
+      DecompiledFunction decompiled =
+          DecompileFunction(module, static_cast<int>(f));
+      std::string error;
+      EXPECT_TRUE(decompiled.tree.Validate(&error))
+          << binary::IsaName(isa) << "/" << decompiled.name << ": " << error;
+      EXPECT_GE(decompiled.tree.size(), 5)
+          << binary::IsaName(isa) << "/" << decompiled.name;
+    }
+  }
+}
+
+TEST(Decompile, RecoversControlFlowKinds) {
+  binary::BinModule module = Compile(R"(
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) {
+        if (i % 3 == 0) { s += i; } else { s -= 1; }
+      }
+      return s;
+    }
+  )",
+                                     Isa::kPpc);
+  DecompiledFunction decompiled = DecompileFunction(module, 0);
+  EXPECT_GE(CountKind(decompiled.tree, ast::NodeKind::kWhile), 1);
+  EXPECT_GE(CountKind(decompiled.tree, ast::NodeKind::kIf), 1);
+  EXPECT_GE(CountKind(decompiled.tree, ast::NodeKind::kReturn), 1);
+}
+
+TEST(Decompile, RecoversSwitchFromJumpTable) {
+  binary::BinModule module = Compile(R"(
+    int f(int n) {
+      int r = 0;
+      switch (n) {
+        case 0: r = 10; break;
+        case 1: r = 11; break;
+        case 2: r = 12; break;
+        case 3: r = 13; break;
+        case 4: r = 14; break;
+        default: r = -1;
+      }
+      return r + 1;
+    }
+  )",
+                                     Isa::kX64);
+  DecompiledFunction decompiled = DecompileFunction(module, 0);
+  EXPECT_EQ(CountKind(decompiled.tree, ast::NodeKind::kSwitch), 1);
+}
+
+TEST(Decompile, ArmTernaryFromCsel) {
+  binary::BinModule module = Compile(
+      "int f(int a, int b) { int m = 0; if (a < b) { m = a; } else { m = b; } return m; }",
+      Isa::kArm);
+  DecompiledFunction decompiled = DecompileFunction(module, 0);
+  EXPECT_GE(CountKind(decompiled.tree, ast::NodeKind::kTernary), 1);
+  EXPECT_EQ(CountKind(decompiled.tree, ast::NodeKind::kIf), 0);
+}
+
+TEST(Decompile, CrossIsaAstsAreSimilarButNotIdentical) {
+  const std::string source = R"(
+    int f(int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) {
+        if (i % 2 == 0) { s += i * 5; }
+      }
+      return s;
+    }
+  )";
+  std::vector<ast::Ast> trees;
+  for (int i = 0; i < binary::kNumIsas; ++i) {
+    binary::BinModule module = Compile(source, static_cast<Isa>(i));
+    trees.push_back(DecompileFunction(module, 0).tree);
+  }
+  // All four share control-flow skeleton: a loop and a return.
+  for (const ast::Ast& tree : trees) {
+    EXPECT_GE(CountKind(tree, ast::NodeKind::kWhile), 1);
+    EXPECT_GE(CountKind(tree, ast::NodeKind::kReturn), 1);
+  }
+  // Sizes are in the same ballpark (within 3x of each other).
+  int min_size = trees[0].size(), max_size = trees[0].size();
+  for (const ast::Ast& tree : trees) {
+    min_size = std::min(min_size, tree.size());
+    max_size = std::max(max_size, tree.size());
+  }
+  EXPECT_LE(max_size, min_size * 3);
+}
+
+TEST(Decompile, GotoFallbackKeepsAstValid) {
+  binary::BinModule module = Compile(R"(
+    int f(int n) {
+      int r = 0;
+      if (n < 0) { goto fail; }
+      if (n > 100) { goto fail; }
+      r = n * 2;
+      goto done;
+      fail: r = -1;
+      done: return r;
+    }
+  )",
+                                     Isa::kX86);
+  DecompiledFunction decompiled = DecompileFunction(module, 0);
+  std::string error;
+  EXPECT_TRUE(decompiled.tree.Validate(&error)) << error;
+}
+
+TEST(Decompile, CalleeCountsRespectBetaFilter) {
+  const std::string source = R"(
+    int tiny(int a) { return a; }
+    int big(int a) {
+      int s = 0;
+      int i;
+      for (i = 0; i < a; i++) { s += i * a + (s >> 2); }
+      return s;
+    }
+    int f(int n) { return tiny(n) + big(n) + big(n + 1); }
+  )";
+  // Compile without inlining so all call edges survive.
+  minic::Program program = MustParse(source);
+  compiler::CompileOptions options;
+  options.inline_small = false;
+  auto result = compiler::CompileProgram(program, Isa::kPpc, "m", options);
+  ASSERT_TRUE(result.ok) << result.error;
+  DecompiledFunction f = DecompileFunction(result.module, 2, /*beta=*/4);
+  EXPECT_EQ(f.callee_count_raw, 2);  // distinct callees: tiny, big
+  EXPECT_EQ(f.callee_count, 1);      // tiny (< 4 instructions) filtered out
+}
+
+TEST(Decompile, InliningChangesCalleeCountsAcrossIsas) {
+  // The same source yields different callee sets per ISA because inline
+  // thresholds differ — the effect the β-filter compensates for.
+  const std::string source = R"(
+    int leaf(int a) { return a * 2 + 1; }
+    int f(int n) { return leaf(n) + leaf(n + 1) + n; }
+  )";
+  minic::Program program = MustParse(source);
+  auto x86 = compiler::CompileProgram(program, Isa::kX86, "m");
+  ASSERT_TRUE(x86.ok);
+  // leaf is small: every ISA inlines it; callee count becomes 0.
+  DecompiledFunction f = DecompileFunction(x86.module, 1);
+  EXPECT_EQ(f.callee_count_raw, 0);
+}
+
+TEST(Decompile, DigitalizedLabelsWithinVocabulary) {
+  binary::BinModule module = Compile(R"(
+    int f(int a, int b) {
+      int buf[4];
+      buf[a & 3] = b % 5;
+      return buf[0] << 2;
+    }
+  )",
+                                     Isa::kX64);
+  DecompiledFunction decompiled = DecompileFunction(module, 0);
+  for (int label : decompiled.tree.Digitalize()) {
+    EXPECT_GE(label, 1);
+    EXPECT_LE(label, ast::kMaxNodeLabel);
+  }
+  // LCRS binarization of a decompiled tree stays consistent.
+  const ast::BinaryAst binary_tree =
+      ast::ToLeftChildRightSibling(decompiled.tree);
+  EXPECT_EQ(binary_tree.size(), decompiled.tree.size());
+}
+
+}  // namespace
+}  // namespace asteria::decompiler

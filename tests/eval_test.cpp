@@ -1,0 +1,116 @@
+// Evaluation metric tests: ROC/AUC invariants and hand-computed cases.
+#include <gtest/gtest.h>
+
+#include "eval/roc.h"
+#include "util/rng.h"
+
+namespace asteria::eval {
+namespace {
+
+TEST(Roc, PerfectSeparationGivesAucOne) {
+  std::vector<Scored> scored = {{0.9, true}, {0.8, true}, {0.2, false},
+                                {0.1, false}};
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 1.0);
+  EXPECT_DOUBLE_EQ(Auc(scored), 1.0);
+}
+
+TEST(Roc, ReversedSeparationGivesAucZero) {
+  std::vector<Scored> scored = {{0.1, true}, {0.2, true}, {0.8, false},
+                                {0.9, false}};
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 0.0);
+  EXPECT_DOUBLE_EQ(Auc(scored), 0.0);
+}
+
+TEST(Roc, RandomScoresGiveHalf) {
+  util::Rng rng(4);
+  std::vector<Scored> scored;
+  for (int i = 0; i < 20'000; ++i) {
+    scored.push_back({rng.NextDouble(), rng.NextBool()});
+  }
+  EXPECT_NEAR(ComputeRoc(scored).auc, 0.5, 0.02);
+  EXPECT_NEAR(Auc(scored), 0.5, 0.02);
+}
+
+TEST(Roc, HandComputedCase) {
+  // scores: P:0.8 N:0.6 P:0.4 N:0.2 -> AUC = 3/4 (one swapped pair).
+  std::vector<Scored> scored = {{0.8, true}, {0.6, false}, {0.4, true},
+                                {0.2, false}};
+  EXPECT_DOUBLE_EQ(Auc(scored), 0.75);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 0.75);
+}
+
+TEST(Roc, TiedScoresUseMidranks) {
+  std::vector<Scored> scored = {{0.5, true}, {0.5, false}};
+  EXPECT_DOUBLE_EQ(Auc(scored), 0.5);
+  EXPECT_DOUBLE_EQ(ComputeRoc(scored).auc, 0.5);
+}
+
+TEST(Roc, TrapezoidMatchesRankForm) {
+  util::Rng rng(8);
+  std::vector<Scored> scored;
+  for (int i = 0; i < 500; ++i) {
+    const bool label = rng.NextBool();
+    scored.push_back({rng.NextDouble() + (label ? 0.3 : 0.0), label});
+  }
+  EXPECT_NEAR(ComputeRoc(scored).auc, Auc(scored), 1e-9);
+}
+
+TEST(Roc, AucAlwaysInUnitInterval) {
+  util::Rng rng(15);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Scored> scored;
+    const int n = static_cast<int>(rng.NextInt(2, 50));
+    bool saw_pos = false, saw_neg = false;
+    for (int i = 0; i < n; ++i) {
+      const bool label = rng.NextBool();
+      saw_pos |= label;
+      saw_neg |= !label;
+      scored.push_back({rng.NextDouble(), label});
+    }
+    if (!saw_pos || !saw_neg) continue;
+    const double auc = Auc(scored);
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0);
+  }
+}
+
+TEST(Roc, TprAtFprInterpolates) {
+  std::vector<Scored> scored = {{0.9, true},  {0.7, true},  {0.6, false},
+                                {0.5, true},  {0.3, false}, {0.1, false}};
+  RocResult roc = ComputeRoc(scored);
+  EXPECT_NEAR(TprAtFpr(roc, 0.0), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(TprAtFpr(roc, 1.0), 1.0, 1e-9);
+}
+
+TEST(Roc, YoudenPicksBestThreshold) {
+  std::vector<Scored> scored = {{0.9, true}, {0.8, true}, {0.75, true},
+                                {0.7, false}, {0.2, false}, {0.1, false}};
+  RocResult roc = ComputeRoc(scored);
+  const double threshold = YoudenThreshold(roc);
+  // Any threshold in (0.7, 0.75] perfectly separates; Youden must find one.
+  Confusion c = ConfusionAt(scored, threshold);
+  EXPECT_EQ(c.tp, 3);
+  EXPECT_EQ(c.fp, 0);
+}
+
+TEST(Confusion, CountsAndRates) {
+  std::vector<Scored> scored = {{0.9, true}, {0.6, false}, {0.4, true},
+                                {0.1, false}};
+  Confusion c = ConfusionAt(scored, 0.5);
+  EXPECT_EQ(c.tp, 1);
+  EXPECT_EQ(c.fp, 1);
+  EXPECT_EQ(c.tn, 1);
+  EXPECT_EQ(c.fn, 1);
+  EXPECT_DOUBLE_EQ(c.Tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Accuracy(), 0.5);
+}
+
+TEST(Roc, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(ComputeRoc({}).auc, 0.0);
+  EXPECT_DOUBLE_EQ(ComputeRoc({{0.5, true}}).auc, 0.0);
+  EXPECT_DOUBLE_EQ(Auc({{0.5, true}}), 0.0);
+}
+
+}  // namespace
+}  // namespace asteria::eval

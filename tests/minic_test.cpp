@@ -1,0 +1,339 @@
+// MiniC front-end tests: lexer, parser, sema, printer round-trip, and
+// interpreter semantics.
+#include <gtest/gtest.h>
+
+#include "minic/interp.h"
+#include "minic/lexer.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+#include "minic/sema.h"
+
+namespace asteria::minic {
+namespace {
+
+Program MustParse(const std::string& source) {
+  Program program;
+  std::string error;
+  EXPECT_TRUE(Parse(source, &program, &error)) << error;
+  EXPECT_TRUE(Check(program, &error)) << error;
+  return program;
+}
+
+std::int64_t Eval(const Program& program, const std::string& fn,
+                 std::vector<ArgValue> args = {}) {
+  Interpreter interp(program);
+  auto result = interp.Call(fn, std::move(args));
+  EXPECT_TRUE(result.ok) << result.trap;
+  return result.value;
+}
+
+TEST(Lexer, TokenizesOperators) {
+  auto tokens = Lex("a += b << 2; c &&= 1");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPlusAssign);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kShl);
+}
+
+TEST(Lexer, SkipsComments) {
+  auto tokens = Lex("// line\nint /* block */ x");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, ReportsUnterminatedString) {
+  auto tokens = Lex("int f() { g(\"abc); }");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kError);
+}
+
+TEST(Parser, ParsesFunctionWithParams) {
+  Program program = MustParse("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(program.functions().size(), 1u);
+  EXPECT_EQ(program.functions()[0].name, "add");
+  EXPECT_EQ(program.functions()[0].params.size(), 2u);
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  Program program;
+  std::string error;
+  EXPECT_FALSE(Parse("int f() { return 1 }", &program, &error));
+  EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(Parser, ParsesControlFlow) {
+  MustParse(R"(
+    int f(int n) {
+      int s = 0;
+      for (s = 0; n > 0; n--) { s += n; }
+      while (s > 100) { s /= 2; }
+      if (s == 7) { return 1; } else { return s; }
+    }
+  )");
+}
+
+TEST(Parser, ParsesSwitchAndGoto) {
+  MustParse(R"(
+    int f(int n) {
+      switch (n) {
+        case 1: return 10;
+        case 2: return 20;
+        default: goto out;
+      }
+      out: return 0;
+    }
+  )");
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int f() { return x; }", &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, RejectsScalarIndexing) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int f(int x) { return x[0]; }", &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+}
+
+TEST(Sema, RejectsWrongArity) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int g(int a) { return a; } int f() { return g(1, 2); }",
+                    &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+}
+
+TEST(Sema, RejectsArrayScalarMismatch) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int g(int a[]) { return a[0]; } int f(int x) { return g(x); }",
+                    &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+}
+
+TEST(Sema, RejectsBreakOutsideLoop) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int f() { break; return 0; }", &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+}
+
+TEST(Sema, RejectsGotoUnknownLabel) {
+  Program program;
+  std::string error;
+  ASSERT_TRUE(Parse("int f() { goto nowhere; return 0; }", &program, &error));
+  EXPECT_FALSE(Check(program, &error));
+}
+
+TEST(Sema, AllowsShadowing) {
+  MustParse("int f(int x) { { int x = 2; x += 1; } return x; }");
+}
+
+TEST(Printer, RoundTripsThroughParser) {
+  const std::string source = R"(
+    int helper(int a[], int n) {
+      int s = 0;
+      int i;
+      for (i = 0; i < n; i++) { s += a[i & 7]; }
+      return s;
+    }
+    int f(int n) {
+      int buf[8];
+      int i = 0;
+      while (i < 8) { buf[i] = i * 3; i++; }
+      switch (n) { case 0: return helper(buf, 8); default: return n % 5; }
+    }
+  )";
+  Program p1 = MustParse(source);
+  const std::string printed1 = Print(p1);
+  Program p2 = MustParse(printed1);
+  const std::string printed2 = Print(p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+TEST(Interp, Arithmetic) {
+  Program program = MustParse("int f(int a, int b) { return a * 3 + b / 2 - (a % b); }");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(10), ArgValue::Scalar(4)}),
+            10 * 3 + 4 / 2 - (10 % 4));
+}
+
+TEST(Interp, DivisionByZeroIsZero) {
+  Program program = MustParse("int f(int a) { return a / 0 + a % 0; }");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(42)}), 0);
+}
+
+TEST(Interp, ShortCircuit) {
+  // The second operand would return early if evaluated: use side effects.
+  Program program = MustParse(R"(
+    int f(int a) {
+      int hits = 0;
+      int r = (a > 0) || (hits = 1);
+      int r2 = (a > 0) && (hits = 1);
+      return hits * 10 + r * 2 + r2;
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(5)}), 1 * 10 + 2 + 1);
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(-5)}), 1 * 10 + 1 * 2 + 0);
+}
+
+TEST(Interp, LoopsAndArrays) {
+  Program program = MustParse(R"(
+    int f(int n) {
+      int a[10];
+      int i;
+      for (i = 0; i < n; i++) { a[i] = i * i; }
+      int s = 0;
+      for (i = 0; i < n; i++) { s += a[i]; }
+      return s;
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(5)}), 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(Interp, ArrayIndexWraps) {
+  Program program = MustParse(R"(
+    int f() {
+      int a[4];
+      a[0] = 7;
+      return a[4] + a[-4];  // both wrap to index 0
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f"), 14);
+}
+
+TEST(Interp, ArrayArgumentsMutate) {
+  Program program = MustParse(R"(
+    int fill(int a[], int n) {
+      int i;
+      for (i = 0; i < n; i++) { a[i] = i + 1; }
+      return n;
+    }
+  )");
+  Interpreter interp(program);
+  auto result = interp.Call(
+      "fill", {ArgValue::Array({0, 0, 0}), ArgValue::Scalar(3)});
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.arrays.size(), 1u);
+  EXPECT_EQ(result.arrays[0], (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Interp, Recursion) {
+  Program program = MustParse(
+      "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }");
+  EXPECT_EQ(Eval(program, "fib", {ArgValue::Scalar(10)}), 55);
+}
+
+TEST(Interp, SwitchDispatch) {
+  Program program = MustParse(R"(
+    int f(int n) {
+      switch (n) {
+        case 1: return 11;
+        case 2: return 22;
+        case 5: return 55;
+        default: return -1;
+      }
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(2)}), 22);
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(3)}), -1);
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(5)}), 55);
+}
+
+TEST(Interp, GotoForwardAndCleanupPattern) {
+  Program program = MustParse(R"(
+    int f(int n) {
+      int r = 0;
+      if (n < 0) { goto fail; }
+      r = n * 2;
+      goto done;
+      fail: r = -1;
+      done: return r;
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(21)}), 42);
+  EXPECT_EQ(Eval(program, "f", {ArgValue::Scalar(-1)}), -1);
+}
+
+TEST(Interp, PostAndPreIncrement) {
+  Program program = MustParse(R"(
+    int f() {
+      int x = 5;
+      int a = x++;
+      int b = ++x;
+      int c = x--;
+      int d = --x;
+      return a * 1000 + b * 100 + c * 10 + d;
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f"), 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+TEST(Interp, SideEffectEvaluationOrder) {
+  Program program = MustParse(R"(
+    int f() {
+      int x = 1;
+      return x + (x = 3);
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f"), 4);
+}
+
+TEST(Interp, StepLimitTrapsOnInfiniteLoop) {
+  Program program = MustParse("int f() { while (1) { } return 0; }");
+  Interpreter::Options options;
+  options.max_steps = 10'000;
+  Interpreter interp(program, options);
+  auto result = interp.Call("f", {});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.trap.find("step limit"), std::string::npos);
+}
+
+TEST(Interp, StringLiteralScalarIsLength) {
+  Program program = MustParse(R"(
+    int len(int s[]) { int n = 0; while (s[n] != 0) { n++; } return n; }
+    int f() { return len("hello") + "abc"; }
+  )");
+  EXPECT_EQ(Eval(program, "f"), 5 + 3);
+}
+
+TEST(Interp, CompoundAssignEvaluatesIndexOnce) {
+  Program program = MustParse(R"(
+    int f() {
+      int a[4];
+      int i = 0;
+      a[0] = 10;
+      a[i++] += 5;
+      return a[0] * 10 + i;
+    }
+  )");
+  EXPECT_EQ(Eval(program, "f"), 15 * 10 + 1);
+}
+
+TEST(Semantics, WrapIndexEuclidean) {
+  EXPECT_EQ(semantics::WrapIndex(5, 4), 1);
+  EXPECT_EQ(semantics::WrapIndex(-1, 4), 3);
+  EXPECT_EQ(semantics::WrapIndex(-4, 4), 0);
+  EXPECT_EQ(semantics::WrapIndex(0, 4), 0);
+}
+
+TEST(Semantics, OverflowWraps) {
+  EXPECT_EQ(semantics::Add(std::numeric_limits<std::int64_t>::max(), 1),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(semantics::Mul(std::numeric_limits<std::int64_t>::min(), -1),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(semantics::Div(std::numeric_limits<std::int64_t>::min(), -1),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Semantics, ShiftsMaskAmount) {
+  EXPECT_EQ(semantics::Shl(1, 64), 1);  // 64 & 63 == 0
+  EXPECT_EQ(semantics::Shr(-8, 1), -4);  // arithmetic
+}
+
+}  // namespace
+}  // namespace asteria::minic

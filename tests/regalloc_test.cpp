@@ -1,0 +1,136 @@
+// Register allocation and liveness tests: physical-register bounds, spill
+// generation under pressure, 2-operand fixups, and liveness interval sanity.
+#include <gtest/gtest.h>
+
+#include "binary/vm.h"
+#include "compiler/compile.h"
+#include "compiler/liveness.h"
+#include "compiler/lower.h"
+#include "compiler/regalloc.h"
+#include "minic/interp.h"
+#include "minic/parser.h"
+#include "minic/sema.h"
+
+namespace asteria::compiler {
+namespace {
+
+using binary::Isa;
+
+minic::Program MustParse(const std::string& source) {
+  minic::Program program;
+  std::string error;
+  EXPECT_TRUE(minic::Parse(source, &program, &error)) << error;
+  EXPECT_TRUE(minic::Check(program, &error)) << error;
+  return program;
+}
+
+// Many simultaneously live values to pressure any allocator.
+const char* kPressureSource = R"(
+  int f(int n) {
+    int a = n + 1; int b = n + 2; int c = n + 3; int d = n + 4;
+    int e = n + 5; int g = n + 6; int h = n + 7; int i = n + 8;
+    int j = n + 9; int k = n + 10;
+    int s = a * b + c * d + e * g + h * i + j * k;
+    return s + a + b + c + d + e + g + h + i + j + k;
+  }
+)";
+
+TEST(Liveness, IntervalsCoverDefsAndUses) {
+  minic::Program program = MustParse("int f(int a) { int b = a + 1; return b * a; }");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  const LivenessInfo liveness = ComputeLiveness(ir.functions[0]);
+  const auto intervals = ComputeIntervals(ir.functions[0], liveness);
+  ASSERT_FALSE(intervals.empty());
+  for (const Interval& interval : intervals) {
+    EXPECT_GE(interval.start, 0);
+    EXPECT_GE(interval.end, interval.start);
+    EXPECT_LT(interval.end, liveness.total_positions);
+    EXPECT_NE(interval.vreg, kFpVReg);  // fp is pre-colored, never scanned
+  }
+  // Sorted by start.
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_LE(intervals[i - 1].start, intervals[i].start);
+  }
+}
+
+TEST(Liveness, LoopCarriedValueLiveAcrossLoop) {
+  // `s` is defined before the loop and used inside and after: it must be
+  // live-in to the loop body blocks.
+  minic::Program program = MustParse(
+      "int f(int n) { int s = 0; int i; for (i = 0; i < n; i++) { s += i; } return s; }");
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  const IrFunction& fn = ir.functions[0];
+  const LivenessInfo liveness = ComputeLiveness(fn);
+  // At least one block has a nonempty live-in set (the loop-carried vregs).
+  bool any_live_in = false;
+  for (const auto& in : liveness.live_in) {
+    for (char bit : in) any_live_in |= bit != 0;
+  }
+  EXPECT_TRUE(any_live_in);
+}
+
+TEST(RegAlloc, AllRegistersWithinBounds) {
+  minic::Program program = MustParse(kPressureSource);
+  for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+    auto compiled = CompileProgram(program, static_cast<Isa>(isa), "m");
+    ASSERT_TRUE(compiled.ok) << compiled.error;
+    const auto& spec = binary::GetIsaSpec(static_cast<Isa>(isa));
+    for (const auto& insn : compiled.module.functions[0].code) {
+      for (int reg : {static_cast<int>(insn.a), static_cast<int>(insn.b),
+                      static_cast<int>(insn.c)}) {
+        // Registers are either allocatable, scratch (28-30), or fp (31).
+        EXPECT_TRUE(reg < spec.allocatable_registers ||
+                    (reg >= kScratchB && reg <= binary::kFramePointerReg))
+            << binary::IsaName(static_cast<Isa>(isa)) << " reg " << reg;
+      }
+    }
+  }
+}
+
+TEST(RegAlloc, SpillsUnderPressureOnX86Only) {
+  minic::Program program = MustParse(kPressureSource);
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  IrFunction x86_fn = ir.functions[0];
+  IrFunction ppc_fn = ir.functions[0];
+  const auto x86_stats =
+      AllocateRegisters(&x86_fn, binary::GetIsaSpec(Isa::kX86));
+  const auto ppc_stats =
+      AllocateRegisters(&ppc_fn, binary::GetIsaSpec(Isa::kPpc));
+  EXPECT_GT(x86_stats.spilled_vregs, 0);  // 6 registers cannot hold 11 lives
+  EXPECT_EQ(ppc_stats.spilled_vregs, 0);  // 28 registers can
+  EXPECT_GT(x86_stats.fixup_moves, 0);    // 2-operand ISA
+  EXPECT_EQ(ppc_stats.fixup_moves, 0);    // 3-operand ISA
+}
+
+TEST(RegAlloc, SpilledCodeStillComputesCorrectly) {
+  minic::Program program = MustParse(kPressureSource);
+  minic::Interpreter interp(program);
+  const auto expected = interp.Call("f", {minic::ArgValue::Scalar(11)});
+  ASSERT_TRUE(expected.ok);
+  auto compiled = CompileProgram(program, Isa::kX86, "m");
+  ASSERT_TRUE(compiled.ok);
+  binary::Vm vm(compiled.module);
+  const auto actual = vm.Call("f", {minic::ArgValue::Scalar(11)});
+  ASSERT_TRUE(actual.ok) << actual.trap;
+  EXPECT_EQ(actual.value, expected.value);
+}
+
+TEST(RegAlloc, FrameGrowsBySpillSlots) {
+  minic::Program program = MustParse(kPressureSource);
+  IrProgram ir;
+  std::string error;
+  ASSERT_TRUE(LowerProgram(program, &ir, &error)) << error;
+  IrFunction fn = ir.functions[0];
+  const int frame_before = fn.frame_words;
+  const auto stats = AllocateRegisters(&fn, binary::GetIsaSpec(Isa::kX86));
+  EXPECT_EQ(fn.frame_words, frame_before + stats.spilled_vregs);
+}
+
+}  // namespace
+}  // namespace asteria::compiler

@@ -1,0 +1,212 @@
+// Direct structurer tests on hand-assembled machine code (no compiler in
+// the loop): verifies the recovered statement kinds for canonical CFG
+// shapes — sequence, if-then, if-then-else, while, self-loop, switch, and
+// the goto fallback for irreducible flow.
+#include <gtest/gtest.h>
+
+#include "ast/ast.h"
+#include "decompiler/decompile.h"
+#include "decompiler/machine_cfg.h"
+#include "decompiler/structurer.h"
+
+namespace asteria::decompiler {
+namespace {
+
+using binary::Instruction;
+using binary::Opcode;
+using I = Instruction;
+
+binary::BinModule ModuleWith(std::vector<Instruction> code,
+                             int num_params = 1) {
+  binary::BinModule module;
+  module.isa = binary::Isa::kX64;
+  binary::BinFunction fn;
+  fn.name = "f";
+  fn.num_params = num_params;
+  fn.param_is_array.assign(static_cast<std::size_t>(num_params), 0);
+  fn.frame_words = num_params + 4;
+  fn.code = std::move(code);
+  module.functions.push_back(std::move(fn));
+  return module;
+}
+
+int CountKind(const ast::Ast& tree, ast::NodeKind kind) {
+  int count = 0;
+  for (ast::NodeId id : tree.PreOrder()) {
+    if (tree.node(id).kind == kind) ++count;
+  }
+  return count;
+}
+
+TEST(Structurer, StraightLineIsFlatBlock) {
+  // r1 = a0; r0 = r1 + 1; ret r0
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kAddI, 0, 1, 0, 1),
+      I::Make(Opcode::kRet, 0),
+  });
+  auto result = DecompileFunction(module, 0);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kIf), 0);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kWhile), 0);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kGoto), 0);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kReturn), 1);
+}
+
+TEST(Structurer, IfThenElseBecomesIfNode) {
+  //  0: r1 = a0
+  //  1: cmp r1, 0
+  //  2: brc.lt @5
+  //  3: r0 = 1
+  //  4: br @6
+  //  5: r0 = 2
+  //  6: ret r0
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kCmpI, 1, 0, 0, 0),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 5, binary::Cond::kLt),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 1),
+      I::Make(Opcode::kBr, 0, 0, 0, 6),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 2),
+      I::Make(Opcode::kRet, 0),
+  });
+  auto result = DecompileFunction(module, 0);
+  std::string error;
+  ASSERT_TRUE(result.tree.Validate(&error)) << error;
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kIf), 1);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kGoto), 0);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kReturn), 1);
+}
+
+TEST(Structurer, WhileLoopRecovered) {
+  //  0: r1 = a0
+  //  1: r2 = 0
+  //  2: cmp r2, r1 ; header
+  //  3: brc.ge @6
+  //  4: r2 = r2 + 1
+  //  5: br @2
+  //  6: ret r2
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kMovImm, 2, 0, 0, 0),
+      I::Make(Opcode::kCmp, 2, 1),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 6, binary::Cond::kGe),
+      I::Make(Opcode::kAddI, 2, 2, 0, 1),
+      I::Make(Opcode::kBr, 0, 0, 0, 2),
+      I::Make(Opcode::kRet, 2),
+  });
+  auto result = DecompileFunction(module, 0);
+  std::string error;
+  ASSERT_TRUE(result.tree.Validate(&error)) << error;
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kWhile), 1);
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kGoto), 0);
+}
+
+TEST(Structurer, SelfLoopBecomesWhile) {
+  //  0: r1 = a0
+  //  1: r1 = r1 - 1 ; single-block loop
+  //  2: cmp r1, 0
+  //  3: brc.gt @1
+  //  4: ret r1
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kSubI, 1, 1, 0, 1),
+      I::Make(Opcode::kCmpI, 1, 0, 0, 0),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 1, binary::Cond::kGt),
+      I::Make(Opcode::kRet, 1),
+  });
+  auto result = DecompileFunction(module, 0);
+  std::string error;
+  ASSERT_TRUE(result.tree.Validate(&error)) << error;
+  EXPECT_GE(CountKind(result.tree, ast::NodeKind::kWhile), 1);
+}
+
+TEST(Structurer, JumpTableBecomesSwitch) {
+  //  0: r1 = a0
+  //  1: jtab r1, table#0   (cases 0,1 -> @2,@4; default @6)
+  //  2: r0 = 10
+  //  3: br @7
+  //  4: r0 = 20
+  //  5: br @7
+  //  6: r0 = -1
+  //  7: ret r0
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kJmpTable, 1, 0, 0, 0),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 10),
+      I::Make(Opcode::kBr, 0, 0, 0, 7),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 20),
+      I::Make(Opcode::kBr, 0, 0, 0, 7),
+      I::Make(Opcode::kMovImm, 0, 0, 0, -1),
+      I::Make(Opcode::kRet, 0),
+  });
+  binary::JumpTable table;
+  table.base = 0;
+  table.targets = {2, 4};
+  table.default_target = 6;
+  module.functions[0].jump_tables.push_back(table);
+  auto result = DecompileFunction(module, 0);
+  std::string error;
+  ASSERT_TRUE(result.tree.Validate(&error)) << error;
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kSwitch), 1);
+}
+
+TEST(Structurer, IrreducibleFlowFallsBackToGoto) {
+  // Two blocks jumping into each other's middles (classic irreducible
+  // shape): entry cond-branches into two blocks that both jump to a shared
+  // tail which loops back into one of them.
+  //  0: r1 = a0
+  //  1: cmp r1, 0
+  //  2: brc.lt @5
+  //  3: r1 = r1 + 1        ; block A
+  //  4: br @6
+  //  5: r1 = r1 - 1        ; block B
+  //  6: cmp r1, 100        ; shared tail
+  //  7: brc.lt @3          ; loops back into A (irreducible w.r.t. B)
+  //  8: ret r1
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kCmpI, 1, 0, 0, 0),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 5, binary::Cond::kLt),
+      I::Make(Opcode::kAddI, 1, 1, 0, 1),
+      I::Make(Opcode::kBr, 0, 0, 0, 6),
+      I::Make(Opcode::kSubI, 1, 1, 0, 1),
+      I::Make(Opcode::kCmpI, 1, 0, 0, 100),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 3, binary::Cond::kLt),
+      I::Make(Opcode::kRet, 1),
+  });
+  auto result = DecompileFunction(module, 0);
+  std::string error;
+  ASSERT_TRUE(result.tree.Validate(&error)) << error;
+  // Everything still structures into a valid tree; some goto/loop mix is
+  // acceptable, silent dropping of blocks is not: the AST must contain the
+  // return and at least one loop-or-goto.
+  EXPECT_EQ(CountKind(result.tree, ast::NodeKind::kReturn), 1);
+  EXPECT_GE(CountKind(result.tree, ast::NodeKind::kWhile) +
+                CountKind(result.tree, ast::NodeKind::kGoto),
+            1);
+}
+
+TEST(Structurer, IdomOfDiamond) {
+  auto module = ModuleWith({
+      I::Make(Opcode::kLoadI, 1, binary::kFramePointerReg, 0, 0),
+      I::Make(Opcode::kCmpI, 1, 0, 0, 0),
+      I::Make(Opcode::kBrCond, 0, 0, 0, 5, binary::Cond::kLt),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 1),
+      I::Make(Opcode::kBr, 0, 0, 0, 6),
+      I::Make(Opcode::kMovImm, 0, 0, 0, 2),
+      I::Make(Opcode::kRet, 0),
+  });
+  MachineCfg cfg(module.functions[0]);
+  ASSERT_EQ(cfg.num_blocks(), 4);
+  const auto idom = ComputeIdom(cfg);
+  // Both arms and the join are immediately dominated by the entry... the
+  // join's idom is the entry (block 0), not either arm.
+  EXPECT_EQ(idom[1], 0);
+  EXPECT_EQ(idom[2], 0);
+  EXPECT_EQ(idom[3], 0);
+  const auto ipdom = ComputeIpostdom(cfg);
+  EXPECT_EQ(ipdom[0], 3);  // entry's join is the ret block
+}
+
+}  // namespace
+}  // namespace asteria::decompiler

@@ -1,0 +1,139 @@
+// util tests: RNG determinism/distributions, tables, flags, timers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace asteria::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(5);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30'000; ++i) {
+    ++counts[rng.NextWeighted({1.0, 2.0, 7.0})];
+  }
+  EXPECT_NEAR(counts[2] / 30'000.0, 0.7, 0.03);
+  EXPECT_NEAR(counts[1] / 30'000.0, 0.2, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Table, AlignsAndEmitsCsv) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22,3"});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("| alpha |"), std::string::npos);
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"22,3\""), std::string::npos);
+}
+
+TEST(Flags, ParsesAllTypes) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  flags.DefineDouble("rate", 0.5, "rate");
+  flags.DefineBool("verbose", false, "verbosity");
+  flags.DefineString("out", "x.csv", "output");
+  const char* argv[] = {"prog", "--n=9", "--rate", "0.25", "--verbose",
+                        "--out=y.csv"};
+  ASSERT_TRUE(flags.Parse(6, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.GetInt("n"), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("rate"), 0.25);
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetString("out"), "y.csv");
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+}
+
+TEST(TimingStats, TracksMeanMinMax) {
+  TimingStats stats;
+  stats.Add(1.0);
+  stats.Add(3.0);
+  stats.Add(2.0);
+  EXPECT_EQ(stats.count(), 3);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(Format, AdaptiveSeconds) {
+  EXPECT_NE(FormatSeconds(3e-9).find("ns"), std::string::npos);
+  EXPECT_NE(FormatSeconds(3e-6).find("us"), std::string::npos);
+  EXPECT_NE(FormatSeconds(3e-3).find("ms"), std::string::npos);
+  EXPECT_NE(FormatSeconds(3.0).find(" s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asteria::util

@@ -1,0 +1,240 @@
+// asteria-cli — command-line front end to the pipeline substrates.
+//
+//   asteria-cli gen [seed]                     generate a random MiniC package
+//   asteria-cli compile <file> [isa]           compile and disassemble
+//   asteria-cli decompile <file> [isa] [fn]    decompile to Table-I s-exprs
+//   asteria-cli dot <file> <fn> [isa]          decompiled AST as Graphviz dot
+//   asteria-cli stats <file>                   per-ISA AST size/callee table
+//   asteria-cli sim <file> <fnA> <isaA> <fnB> <isaB> [weights]
+//                                              similarity of two functions
+//   asteria-cli run <file> <fn> [args...]      execute in the interpreter
+//
+// ISAs: x86 x64 ARM PPC (default x86).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "binary/disasm.h"
+#include "compiler/compile.h"
+#include "core/asteria.h"
+#include "decompiler/decompile.h"
+#include "minic/interp.h"
+#include "minic/parser.h"
+#include "minic/printer.h"
+#include "minic/sema.h"
+#include "dataset/generator.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace asteria;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|run> ...\n"
+               "see the header of tools/asteria_cli.cpp for details\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool LoadProgram(const std::string& path, minic::Program* program) {
+  std::string source, error;
+  if (!ReadFile(path, &source)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  if (!minic::Parse(source, program, &error) ||
+      !minic::Check(*program, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+binary::Isa ParseIsa(const std::string& name) {
+  const binary::Isa isa = binary::IsaFromName(name);
+  if (isa == binary::Isa::kIsaCount) {
+    std::fprintf(stderr, "unknown ISA '%s' (x86|x64|ARM|PPC)\n", name.c_str());
+    std::exit(2);
+  }
+  return isa;
+}
+
+int CmdGen(int argc, char** argv) {
+  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 42;
+  dataset::GeneratorConfig config;
+  util::Rng rng(seed);
+  minic::Program program = dataset::GenerateProgram(config, rng);
+  std::fputs(minic::Print(program).c_str(), stdout);
+  return 0;
+}
+
+int CmdCompile(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const binary::Isa isa = argc > 3 ? ParseIsa(argv[3]) : binary::Isa::kX86;
+  auto result = compiler::CompileProgram(program, isa, argv[2]);
+  if (!result.ok) {
+    std::fprintf(stderr, "compile error: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::fputs(binary::DisasmModule(result.module).c_str(), stdout);
+  std::fprintf(stderr, "; %zu instructions, %d calls inlined\n",
+               result.module.TotalInstructions(), result.inlined_calls);
+  return 0;
+}
+
+int CmdDecompile(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const binary::Isa isa = argc > 3 ? ParseIsa(argv[3]) : binary::Isa::kX86;
+  const std::string only = argc > 4 ? argv[4] : "";
+  auto result = compiler::CompileProgram(program, isa, argv[2]);
+  if (!result.ok) {
+    std::fprintf(stderr, "compile error: %s\n", result.error.c_str());
+    return 1;
+  }
+  for (std::size_t f = 0; f < result.module.functions.size(); ++f) {
+    if (!only.empty() && result.module.functions[f].name != only) continue;
+    auto decompiled =
+        decompiler::DecompileFunction(result.module, static_cast<int>(f));
+    std::printf("; %s  (AST size %d, depth %d, |chi|=%d)\n",
+                decompiled.name.c_str(), decompiled.tree.size(),
+                decompiled.tree.Depth(), decompiled.callee_count);
+    std::printf("%s\n\n", decompiled.tree.ToSExpr().c_str());
+  }
+  return 0;
+}
+
+int CmdDot(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const binary::Isa isa = argc > 4 ? ParseIsa(argv[4]) : binary::Isa::kX86;
+  auto result = compiler::CompileProgram(program, isa, argv[2]);
+  if (!result.ok) return 1;
+  const int fn = result.module.FindFunction(argv[3]);
+  if (fn < 0) {
+    std::fprintf(stderr, "no function '%s'\n", argv[3]);
+    return 1;
+  }
+  auto decompiled = decompiler::DecompileFunction(result.module, fn);
+  std::fputs(decompiled.tree.ToDot(argv[3]).c_str(), stdout);
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  util::TextTable table({"function", "ISA", "instructions", "AST size",
+                         "AST depth", "|chi|"});
+  for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+    auto result =
+        compiler::CompileProgram(program, static_cast<binary::Isa>(isa), argv[2]);
+    if (!result.ok) continue;
+    auto decompiled = decompiler::DecompileModule(result.module);
+    for (std::size_t f = 0; f < decompiled.size(); ++f) {
+      table.AddRow(
+          {decompiled[f].name,
+           std::string(binary::IsaName(static_cast<binary::Isa>(isa))),
+           std::to_string(decompiled[f].instruction_count),
+           std::to_string(decompiled[f].tree.size()),
+           std::to_string(decompiled[f].tree.Depth()),
+           std::to_string(decompiled[f].callee_count)});
+    }
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
+int CmdSim(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const std::string fn_a = argv[3];
+  const binary::Isa isa_a = ParseIsa(argv[4]);
+  const std::string fn_b = argv[5];
+  const binary::Isa isa_b = ParseIsa(argv[6]);
+
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  if (argc > 7) {
+    if (!model.Load(argv[7])) {
+      std::fprintf(stderr, "cannot load weights from %s\n", argv[7]);
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "warning: scoring with UNTRAINED weights; pass a weight "
+                 "file (see examples/train_model)\n");
+  }
+
+  auto feature = [&](const std::string& fn_name, binary::Isa isa,
+                     core::FunctionFeature* out) {
+    auto result = compiler::CompileProgram(program, isa, "cli");
+    if (!result.ok) return false;
+    const int fn = result.module.FindFunction(fn_name);
+    if (fn < 0) {
+      std::fprintf(stderr, "no function '%s'\n", fn_name.c_str());
+      return false;
+    }
+    auto decompiled = decompiler::DecompileFunction(result.module, fn);
+    out->name = fn_name;
+    out->tree = core::AsteriaModel::Preprocess(decompiled.tree);
+    out->callee_count = decompiled.callee_count;
+    return true;
+  };
+  core::FunctionFeature a, b;
+  if (!feature(fn_a, isa_a, &a) || !feature(fn_b, isa_b, &b)) return 1;
+  const double m = model.AstSimilarity(a.tree, b.tree);
+  const double f = core::CalibratedSimilarity(m, a.callee_count, b.callee_count);
+  std::printf("M(T1,T2) = %.6f   S(C1=%d, C2=%d) = %.6f   F = %.6f\n", m,
+              a.callee_count, b.callee_count,
+              core::CalleeSimilarity(a.callee_count, b.callee_count), f);
+  return 0;
+}
+
+int CmdRun(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  std::vector<minic::ArgValue> args;
+  for (int i = 4; i < argc; ++i) {
+    args.push_back(minic::ArgValue::Scalar(std::stoll(argv[i])));
+  }
+  minic::Interpreter interp(program);
+  const auto result = interp.Call(argv[3], std::move(args));
+  if (!result.ok) {
+    std::fprintf(stderr, "trap: %s\n", result.trap.c_str());
+    return 1;
+  }
+  std::printf("%lld\n", static_cast<long long>(result.value));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "gen") return CmdGen(argc, argv);
+  if (command == "compile") return CmdCompile(argc, argv);
+  if (command == "decompile") return CmdDecompile(argc, argv);
+  if (command == "dot") return CmdDot(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "sim") return CmdSim(argc, argv);
+  if (command == "run") return CmdRun(argc, argv);
+  return Usage();
+}
