@@ -4,11 +4,18 @@
 // The paper's qualitative result: Asteria's offline stages cost the most
 // (decompile + sequential Tree-LSTM), Diaphora hashing is cheap, Gemini
 // extraction/encoding in between. CSV: bench_out/fig10b_offline.csv.
+//
+// A second section measures the whole-corpus offline encoding phase
+// (SearchIndex::AddAll) single- vs multi-threaded (--threads), asserts the
+// embeddings and top-k results are bitwise identical, and writes the
+// speedup to bench_out/fig10b_offline_threads.csv.
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "common.h"
 #include "compiler/compile.h"
+#include "core/search_index.h"
 #include "decompiler/decompile.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -54,6 +61,7 @@ int Run(int argc, char** argv) {
     return 1000000;
   };
 
+  std::vector<core::FunctionFeature> features;  // for the threading section
   util::Timer timer;
   for (const binary::BinModule& module : modules) {
     for (std::size_t f = 0; f < module.functions.size(); ++f) {
@@ -73,6 +81,7 @@ int Run(int argc, char** argv) {
       timer.Reset();
       (void)model.Encode(tree);
       bucket.encode.Add(timer.ElapsedSeconds());
+      features.push_back({decompiled.name, tree, decompiled.callee_count});
       // D-H: Diaphora prime-product hash.
       timer.Reset();
       (void)baselines::DiaphoraHash(decompiled.tree);
@@ -105,6 +114,55 @@ int Run(int argc, char** argv) {
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("\n(paper shape: Tree-LSTM encoding ~ decompilation cost, both >> Diaphora hash)\n");
   table.WriteCsv(flags.GetString("out") + "/fig10b_offline.csv");
+
+  // ---- parallel offline encoding (--threads) -----------------------------
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+  std::printf("\n== Offline corpus encoding: 1 vs %d thread(s), %zu functions ==\n\n",
+              threads, features.size());
+  core::SearchIndex serial_index(model, 1);
+  timer.Reset();
+  serial_index.AddAll(features);
+  const double serial_seconds = timer.ElapsedSeconds();
+  core::SearchIndex parallel_index(model, threads);
+  timer.Reset();
+  parallel_index.AddAll(features);
+  const double parallel_seconds = timer.ElapsedSeconds();
+
+  // Determinism check: embeddings and top-k must be bitwise identical.
+  bool identical = serial_index.size() == parallel_index.size();
+  for (int i = 0; identical && i < serial_index.size(); ++i) {
+    const nn::Matrix& a = serial_index.encoding(i);
+    const nn::Matrix& b = parallel_index.encoding(i);
+    identical = a.SameShape(b) &&
+                std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+  }
+  if (identical && !features.empty()) {
+    const auto top_serial = serial_index.TopK(features.front(), 10);
+    const auto top_parallel = parallel_index.TopK(features.front(), 10);
+    identical = top_serial.size() == top_parallel.size();
+    for (std::size_t i = 0; identical && i < top_serial.size(); ++i) {
+      identical = top_serial[i].index == top_parallel[i].index &&
+                  top_serial[i].score == top_parallel[i].score;
+    }
+  }
+
+  const double speedup =
+      parallel_seconds > 0 ? serial_seconds / parallel_seconds : 0.0;
+  util::TextTable threads_table({"threads", "encode time", "speedup",
+                                 "bitwise identical"});
+  threads_table.AddRow({"1", util::FormatSeconds(serial_seconds), "1.00x",
+                        "yes"});
+  char speedup_text[32];
+  std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", speedup);
+  threads_table.AddRow({std::to_string(threads),
+                        util::FormatSeconds(parallel_seconds), speedup_text,
+                        identical ? "yes" : "NO"});
+  std::fputs(threads_table.ToString().c_str(), stdout);
+  threads_table.WriteCsv(flags.GetString("out") + "/fig10b_offline_threads.csv");
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: parallel encodings diverge from serial\n");
+    return 1;
+  }
   return 0;
 }
 

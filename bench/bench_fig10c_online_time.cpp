@@ -7,14 +7,27 @@
 // The paper's shape: ASTERIA's online phase is orders of magnitude faster
 // than Diaphora and much faster than Gemini at their native embedding
 // sizes (Gemini embeddings are 4x wider; Diaphora compares bignums).
+//
+// BM_SearchTopK additionally times a whole top-10 query against a prebuilt
+// SearchIndex, sharded over worker threads: /1 is the serial baseline and
+// /0 resolves to the --threads=N flag (stripped before gbench parsing).
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 #include "baselines/diaphora.h"
 #include "baselines/gemini.h"
 #include "core/asteria.h"
+#include "core/search_index.h"
 #include "util/rng.h"
 
 namespace asteria {
+
+// Set by --threads=N in main(); consumed by BM_SearchTopK/0.
+int g_flag_threads = 1;
+
 namespace {
 
 ast::Ast SyntheticTree(int nodes, util::Rng& rng) {
@@ -120,7 +133,60 @@ void BM_AsteriaEncodeOffline(benchmark::State& state) {
 }
 BENCHMARK(BM_AsteriaEncodeOffline)->Arg(20)->Arg(80)->Arg(200);
 
+// A 512-function index built once; each TopK call re-scores the whole
+// corpus, so this is the full online phase of a clone-search query.
+core::SearchIndex& SharedIndex() {
+  static core::SearchIndex* index = [] {
+    util::Rng rng(6);
+    std::vector<core::FunctionFeature> features;
+    features.reserve(512);
+    for (int i = 0; i < 512; ++i) {
+      core::FunctionFeature feature;
+      feature.name = "fn" + std::to_string(i);
+      feature.tree = core::AsteriaModel::Preprocess(SyntheticTree(60, rng));
+      feature.callee_count = static_cast<int>(rng.NextBounded(8));
+      features.push_back(std::move(feature));
+    }
+    auto* built = new core::SearchIndex(Model(), 1);
+    built->AddAll(features);
+    return built;
+  }();
+  return *index;
+}
+
+void BM_SearchTopK(benchmark::State& state) {
+  const int threads = state.range(0) > 0 ? static_cast<int>(state.range(0))
+                                         : g_flag_threads;
+  core::SearchIndex& index = SharedIndex();
+  index.set_threads(threads);
+  util::Rng rng(7);
+  core::FunctionFeature query;
+  query.name = "query";
+  query.tree = core::AsteriaModel::Preprocess(SyntheticTree(60, rng));
+  query.callee_count = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.TopK(query, 10));
+  }
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_SearchTopK)->Arg(1)->Arg(0);
+
 }  // namespace
 }  // namespace asteria
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --threads=N (our flag) before google-benchmark sees the args.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      asteria::g_flag_threads = std::max(1, std::atoi(argv[i] + 10));
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,10 @@ void DefineCommonFlags(util::Flags* flags) {
   flags->DefineInt("embedding", 16, "Tree-LSTM embedding/hidden size");
   flags->DefineString("out", "bench_out", "CSV output directory");
   flags->DefineBool("quiet", false, "suppress progress logging");
+  flags->DefineInt("threads", 1,
+                   "worker threads for corpus generation and offline "
+                   "encoding (deterministic: results are bitwise identical "
+                   "for any value)");
 }
 
 namespace {
@@ -30,6 +34,7 @@ ExperimentSetup BuildSetup(const util::Flags& flags) {
   dataset::CorpusConfig config;
   config.packages = static_cast<int>(flags.GetInt("packages"));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) * 1000003 + 17;
+  config.threads = static_cast<int>(flags.GetInt("threads"));
   util::Timer timer;
   ExperimentSetup setup;
   setup.corpus = dataset::BuildCorpus(config);

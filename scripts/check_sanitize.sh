@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under a sanitizer and runs the
+# tests that exercise util::ThreadPool and the parallel SearchIndex/corpus
+# paths. The determinism tests assert parallel == serial bitwise; running
+# them under TSan additionally proves the parallel sections are data-race
+# free. CI-friendly: exits non-zero on build failure, test failure, or any
+# sanitizer report.
+#
+# Usage: scripts/check_sanitize.sh [thread|address]   (default: thread)
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address]" >&2; exit 2 ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/build-${SANITIZER/thread/tsan}"
+BUILD="${BUILD/address/asan}"
+
+cmake -S "$ROOT" -B "$BUILD" -DASTERIA_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target \
+      util_test determinism_test core_test dataset_test
+
+# halt_on_error turns any sanitizer report into a non-zero exit so CI fails
+# even if the race would not otherwise crash the test.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
+
+for test in util_test determinism_test core_test dataset_test; do
+  echo "== $SANITIZER: $test =="
+  "$BUILD/tests/$test" --gtest_brief=1
+done
+
+echo "OK: all concurrency tests clean under ${SANITIZER} sanitizer"

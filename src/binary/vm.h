@@ -5,7 +5,7 @@
 // semantics, any ISA) must produce identical results.
 //
 // Machine model: 64-bit word-addressed memory (rodata strings at the bottom,
-// a downward-growing... no — an upward-growing stack above them), per-frame
+// an upward-growing stack above them), per-frame
 // register files of 32 registers (r31 is the frame pointer, set by the VM at
 // entry; r0 carries return values), a signed compare flag, and an argument
 // staging area per frame. Per-frame register files stand in for real

@@ -708,6 +708,26 @@ void RemoveUnreachableBlocks(IrFunction* fn) {
       if (insn.target2 >= 0) insn.target2 = remap[static_cast<std::size_t>(insn.target2)];
     }
   }
+  // Garbage-collect jump tables whose owning kJmpTable block was removed:
+  // their targets would remap to -1 and later passes/emission index block
+  // tables with them. A surviving kJmpTable keeps every one of its targets
+  // reachable (Successors includes them), so kept tables remap cleanly.
+  std::vector<int> table_remap(fn->jump_tables.size(), -1);
+  std::vector<IrJumpTable> kept_tables;
+  for (IrBlock& block : fn->blocks) {
+    for (IrInsn& insn : block.insns) {
+      if (insn.op != Opcode::kJmpTable) continue;
+      int& index = insn.table;
+      if (table_remap[static_cast<std::size_t>(index)] == -1) {
+        table_remap[static_cast<std::size_t>(index)] =
+            static_cast<int>(kept_tables.size());
+        kept_tables.push_back(
+            std::move(fn->jump_tables[static_cast<std::size_t>(index)]));
+      }
+      index = table_remap[static_cast<std::size_t>(index)];
+    }
+  }
+  fn->jump_tables = std::move(kept_tables);
   for (IrJumpTable& table : fn->jump_tables) {
     for (int& t : table.targets) t = remap[static_cast<std::size_t>(t)];
     table.default_target = remap[static_cast<std::size_t>(table.default_target)];

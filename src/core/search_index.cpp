@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace asteria::core {
+
+namespace {
+
+// Strict total order on hits: score descending, insertion index ascending.
+// The index tiebreak makes merge results independent of the shard count.
+bool HitBefore(const SearchHit& a, const SearchHit& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+}  // namespace
 
 int SearchIndex::Add(const FunctionFeature& feature) {
   Entry entry;
@@ -14,38 +27,91 @@ int SearchIndex::Add(const FunctionFeature& feature) {
 }
 
 void SearchIndex::AddAll(const std::vector<FunctionFeature>& features) {
-  for (const FunctionFeature& feature : features) Add(feature);
+  const std::size_t base = entries_.size();
+  entries_.resize(base + features.size());
+  // Each worker writes only the entry slot of its own index, so the stored
+  // order is the input order regardless of scheduling.
+  util::ParallelFor(
+      static_cast<std::int64_t>(features.size()), threads_,
+      [&](std::int64_t i) {
+        const FunctionFeature& feature = features[static_cast<std::size_t>(i)];
+        Entry& entry = entries_[base + static_cast<std::size_t>(i)];
+        entry.name = feature.name;
+        entry.encoding = model_.Encode(feature.tree);
+        entry.callee_count = feature.callee_count;
+      });
+}
+
+SearchHit SearchIndex::ScoreEntry(const nn::Matrix& query_encoding,
+                                  int query_callees, int index) const {
+  const Entry& entry = entries_[static_cast<std::size_t>(index)];
+  SearchHit hit;
+  hit.index = index;
+  hit.name = entry.name;
+  hit.score = CalibratedSimilarity(
+      model_.SimilarityFromEncodings(query_encoding, entry.encoding),
+      query_callees, entry.callee_count);
+  return hit;
 }
 
 std::vector<SearchHit> SearchIndex::Scored(
     const FunctionFeature& query) const {
   const nn::Matrix query_encoding = model_.Encode(query.tree);
-  std::vector<SearchHit> hits;
-  hits.reserve(entries_.size());
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const Entry& entry = entries_[i];
-    SearchHit hit;
-    hit.index = static_cast<int>(i);
-    hit.name = entry.name;
-    hit.score = CalibratedSimilarity(
-        model_.SimilarityFromEncodings(query_encoding, entry.encoding),
-        query.callee_count, entry.callee_count);
-    hits.push_back(std::move(hit));
-  }
+  std::vector<SearchHit> hits(entries_.size());
+  util::ParallelFor(static_cast<std::int64_t>(entries_.size()), threads_,
+                    [&](std::int64_t i) {
+                      hits[static_cast<std::size_t>(i)] = ScoreEntry(
+                          query_encoding, query.callee_count,
+                          static_cast<int>(i));
+                    });
   return hits;
 }
 
 std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
                                          int k) const {
-  std::vector<SearchHit> hits = Scored(query);
-  const auto cut = hits.begin() +
-                   std::min<std::ptrdiff_t>(k, static_cast<std::ptrdiff_t>(hits.size()));
-  std::partial_sort(hits.begin(), cut, hits.end(),
-                    [](const SearchHit& a, const SearchHit& b) {
-                      return a.score > b.score;
-                    });
-  hits.erase(cut, hits.end());
-  return hits;
+  if (k <= 0 || entries_.empty()) return {};
+  const nn::Matrix query_encoding = model_.Encode(query.tree);
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), entries_.size());
+  // Shard-local top-k: each shard scores its contiguous entry range into a
+  // max-`keep` heap ordered worst-hit-first, then the shard winners are
+  // merged. Every comparison uses the strict HitBefore order, so the final
+  // ranking is a pure function of the scores — not of the shard count.
+  const int max_shards = threads_;
+  std::vector<std::vector<SearchHit>> shard_top(
+      static_cast<std::size_t>(std::max(1, max_shards)));
+  util::ParallelForShards(
+      static_cast<std::int64_t>(entries_.size()), max_shards,
+      [&](std::int64_t begin, std::int64_t end, int shard) {
+        auto worse = [](const SearchHit& a, const SearchHit& b) {
+          return HitBefore(a, b);  // heap top = worst kept hit
+        };
+        std::vector<SearchHit>& local = shard_top[static_cast<std::size_t>(shard)];
+        local.reserve(keep + 1);
+        for (std::int64_t i = begin; i < end; ++i) {
+          SearchHit hit = ScoreEntry(query_encoding, query.callee_count,
+                                     static_cast<int>(i));
+          if (local.size() < keep) {
+            local.push_back(std::move(hit));
+            std::push_heap(local.begin(), local.end(), worse);
+          } else if (HitBefore(hit, local.front())) {
+            std::pop_heap(local.begin(), local.end(), worse);
+            local.back() = std::move(hit);
+            std::push_heap(local.begin(), local.end(), worse);
+          }
+        }
+      });
+  std::vector<SearchHit> merged;
+  merged.reserve(keep * shard_top.size());
+  for (std::vector<SearchHit>& local : shard_top) {
+    merged.insert(merged.end(), std::make_move_iterator(local.begin()),
+                  std::make_move_iterator(local.end()));
+  }
+  const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(keep, merged.size()));
+  std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
+  merged.erase(cut, merged.end());
+  return merged;
 }
 
 std::vector<SearchHit> SearchIndex::AboveThreshold(
@@ -56,10 +122,7 @@ std::vector<SearchHit> SearchIndex::AboveThreshold(
                               return hit.score < threshold;
                             }),
              hits.end());
-  std::sort(hits.begin(), hits.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              return a.score > b.score;
-            });
+  std::sort(hits.begin(), hits.end(), HitBefore);
   return hits;
 }
 

@@ -4,6 +4,13 @@
 // offline, every corpus function is encoded once; online, a query is
 // encoded and scored against all stored encodings with the fast eq. (8)
 // replay plus callee calibration, returning the top-k matches.
+//
+// Both phases parallelize over util::ThreadPool with its static-partition
+// determinism contract: AddAll encodes shards of the input concurrently but
+// stores entries in input order, and TopK/AboveThreshold score shards with
+// local top-k heaps merged shard-by-shard under a strict total order
+// (score desc, insertion index asc), so encodings, scores, and result
+// ordering are bitwise identical for every thread count.
 #pragma once
 
 #include <string>
@@ -23,16 +30,21 @@ class SearchIndex {
  public:
   // The model must outlive the index; its weights should be trained before
   // Add() (encodings are computed with the weights current at call time).
-  explicit SearchIndex(const AsteriaModel& model) : model_(model) {}
+  // `threads` bounds the worker count for AddAll and query scoring.
+  explicit SearchIndex(const AsteriaModel& model, int threads = 1)
+      : model_(model), threads_(threads < 1 ? 1 : threads) {}
+
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+  int threads() const { return threads_; }
 
   // Encodes and stores one function; returns its index.
   int Add(const FunctionFeature& feature);
 
-  // Encodes all features (convenience).
+  // Encodes all features in parallel; entries keep input order.
   void AddAll(const std::vector<FunctionFeature>& features);
 
   // Scores `query` against every stored function and returns the best `k`
-  // hits in descending score order.
+  // hits in descending score order (ties broken by insertion index).
   std::vector<SearchHit> TopK(const FunctionFeature& query, int k) const;
 
   // All hits scoring at least `threshold`, descending.
@@ -41,6 +53,11 @@ class SearchIndex {
 
   int size() const { return static_cast<int>(entries_.size()); }
 
+  // Stored encoding of entry `index` (bitwise-reproducibility checks).
+  const nn::Matrix& encoding(int index) const {
+    return entries_[static_cast<std::size_t>(index)].encoding;
+  }
+
  private:
   struct Entry {
     std::string name;
@@ -48,9 +65,12 @@ class SearchIndex {
     int callee_count = 0;
   };
 
+  SearchHit ScoreEntry(const nn::Matrix& query_encoding, int query_callees,
+                       int index) const;
   std::vector<SearchHit> Scored(const FunctionFeature& query) const;
 
   const AsteriaModel& model_;
+  int threads_ = 1;
   std::vector<Entry> entries_;
 };
 

@@ -1,5 +1,6 @@
 #include "dataset/corpus.h"
 
+#include <algorithm>
 #include <array>
 #include <set>
 
@@ -7,54 +8,93 @@
 #include "decompiler/decompile.h"
 #include "minic/sema.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace asteria::dataset {
 
-Corpus BuildCorpus(const CorpusConfig& config) {
-  Corpus corpus;
-  util::Rng rng(config.seed);
-  for (int pkg = 0; pkg < config.packages; ++pkg) {
-    const std::string package = "pkg" + std::to_string(pkg);
-    minic::Program program = GenerateProgram(config.generator, rng);
-    std::string error;
-    if (!minic::Check(program, &error)) {
-      // Generator invariant violation; skip the package but scream.
-      ASTERIA_LOG(Error) << "generated package failed sema: " << error;
+namespace {
+
+// Everything one package contributes to the corpus, accumulated privately
+// per package index so generation can run on any number of threads and be
+// merged in package order afterwards.
+struct PackageResult {
+  std::vector<CorpusFunction> functions;
+  std::array<int, 4> binaries_per_isa{};
+  std::array<int, 4> functions_per_isa{};
+  int filtered_small = 0;
+};
+
+PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
+  PackageResult result;
+  const std::string package = "pkg" + std::to_string(pkg);
+  // Independent per-package stream: sequential and parallel builds see the
+  // exact same draws (util::Rng::DeriveSeed is a pure function of its args).
+  util::Rng rng(util::Rng::DeriveSeed(config.seed, static_cast<std::uint64_t>(pkg)));
+  minic::Program program = GenerateProgram(config.generator, rng);
+  std::string error;
+  if (!minic::Check(program, &error)) {
+    // Generator invariant violation; skip the package but scream.
+    ASTERIA_LOG(Error) << "generated package failed sema: " << error;
+    return result;
+  }
+  for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+    auto compiled = compiler::CompileProgram(
+        program, static_cast<binary::Isa>(isa), package);
+    if (!compiled.ok) {
+      ASTERIA_LOG(Error) << "compile failed: " << compiled.error;
       continue;
     }
-    for (int isa = 0; isa < binary::kNumIsas; ++isa) {
-      auto compiled = compiler::CompileProgram(
-          program, static_cast<binary::Isa>(isa), package);
-      if (!compiled.ok) {
-        ASTERIA_LOG(Error) << "compile failed: " << compiled.error;
+    ++result.binaries_per_isa[static_cast<std::size_t>(isa)];
+    auto decompiled =
+        decompiler::DecompileModule(compiled.module, config.beta);
+    for (std::size_t f = 0; f < decompiled.size(); ++f) {
+      decompiler::DecompiledFunction& df = decompiled[f];
+      ++result.functions_per_isa[static_cast<std::size_t>(isa)];
+      if (df.tree.size() < config.min_ast_size) {
+        ++result.filtered_small;
         continue;
       }
-      ++corpus.binaries_per_isa[static_cast<std::size_t>(isa)];
-      auto decompiled =
-          decompiler::DecompileModule(compiled.module, config.beta);
-      for (std::size_t f = 0; f < decompiled.size(); ++f) {
-        decompiler::DecompiledFunction& df = decompiled[f];
-        ++corpus.functions_per_isa[static_cast<std::size_t>(isa)];
-        if (df.tree.size() < config.min_ast_size) {
-          ++corpus.filtered_small;
-          continue;
-        }
-        CorpusFunction entry;
-        entry.package = package;
-        entry.function = df.name;
-        entry.isa = isa;
-        entry.preprocessed = ast::ToLeftChildRightSibling(df.tree);
-        entry.ast_size = df.tree.size();
-        entry.callee_count = df.callee_count;
-        entry.callee_sizes = std::move(df.callee_sizes);
-        entry.instruction_count = df.instruction_count;
-        entry.acfg = cfg::BuildAcfg(
-            compiled.module.functions[f]);
-        if (config.keep_source_ast) entry.tree = std::move(df.tree);
-        corpus.index[{package, entry.function, isa}] =
-            static_cast<int>(corpus.functions.size());
-        corpus.functions.push_back(std::move(entry));
-      }
+      CorpusFunction entry;
+      entry.package = package;
+      entry.function = df.name;
+      entry.isa = isa;
+      entry.preprocessed = ast::ToLeftChildRightSibling(df.tree);
+      entry.ast_size = df.tree.size();
+      entry.callee_count = df.callee_count;
+      entry.callee_sizes = std::move(df.callee_sizes);
+      entry.instruction_count = df.instruction_count;
+      entry.acfg = cfg::BuildAcfg(
+          compiled.module.functions[f]);
+      if (config.keep_source_ast) entry.tree = std::move(df.tree);
+      result.functions.push_back(std::move(entry));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Corpus BuildCorpus(const CorpusConfig& config) {
+  std::vector<PackageResult> results(
+      static_cast<std::size_t>(std::max(0, config.packages)));
+  util::ParallelFor(config.packages, config.threads, [&](std::int64_t pkg) {
+    results[static_cast<std::size_t>(pkg)] =
+        BuildPackage(config, static_cast<int>(pkg));
+  });
+  // Merge in package order; indices match the sequential build exactly.
+  Corpus corpus;
+  for (PackageResult& result : results) {
+    for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+      corpus.binaries_per_isa[static_cast<std::size_t>(isa)] +=
+          result.binaries_per_isa[static_cast<std::size_t>(isa)];
+      corpus.functions_per_isa[static_cast<std::size_t>(isa)] +=
+          result.functions_per_isa[static_cast<std::size_t>(isa)];
+    }
+    corpus.filtered_small += result.filtered_small;
+    for (CorpusFunction& entry : result.functions) {
+      corpus.index[{entry.package, entry.function, entry.isa}] =
+          static_cast<int>(corpus.functions.size());
+      corpus.functions.push_back(std::move(entry));
     }
   }
   return corpus;

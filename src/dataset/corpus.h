@@ -27,6 +27,10 @@ struct CorpusConfig {
   int min_ast_size = 5;  // paper: "node number less than 5" filter
   int beta = 4;          // callee-filter threshold (§III-C)
   bool keep_source_ast = false;  // retain the n-ary decompiled tree
+  // Worker threads for package generation. Each package draws from an
+  // independent Rng stream derived via util::Rng::DeriveSeed(seed, pkg), so
+  // the corpus is bitwise identical for every thread count.
+  int threads = 1;
 };
 
 // One decompiled function under one ISA.

@@ -471,8 +471,17 @@ class Generator {
     // (tiny functions get just one).
     body.stmts.push_back(GenDeclaration(1));
     if (!scalar_only_decls_) body.stmts.push_back(GenDeclaration(1));
+    // The early-goto guard below is inserted at statement position 2, so
+    // remember how many body-scope names exist once two statements have been
+    // emitted: on the goto path only those declarations have executed.
+    std::size_t names_at_guard = scopes_.back().size();
+    bool guard_scope_captured = body.stmts.size() >= 2;
     for (int i = 0; i < stmts; ++i) {
       body.stmts.push_back(GenStmt(fn_depth_, false));
+      if (!guard_scope_captured && body.stmts.size() >= 2) {
+        names_at_guard = scopes_.back().size();
+        guard_scope_captured = true;
+      }
     }
     // Most real non-trivial functions mix straight-line code with a loop
     // and a branch; nudge each size class toward that shared shape.
@@ -505,7 +514,19 @@ class Generator {
       body.stmts.insert(body.stmts.begin() + 2, MakeStmt(std::move(iff)));
       Stmt ret;
       ret.kind = StmtKind::kReturn;
+      // The goto skips every declaration between the guard and the label,
+      // so the label's return expression may only use names already in
+      // scope at the guard; anything declared later is undeclared on the
+      // early-exit path (the interpreter would trap, and compiled code
+      // would read an uninitialized frame slot).
+      std::vector<ScopeVar> after_guard(
+          scopes_.back().begin() +
+              static_cast<std::ptrdiff_t>(names_at_guard),
+          scopes_.back().end());
+      scopes_.back().resize(names_at_guard);
       ret.expr = GenExpr(1);
+      scopes_.back().insert(scopes_.back().end(), after_guard.begin(),
+                            after_guard.end());
       Stmt label;
       label.kind = StmtKind::kLabel;
       label.name = "out";

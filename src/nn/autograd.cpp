@@ -254,12 +254,13 @@ Var Tape::ConcatRows(Var a, Var b) {
   const Matrix& av = value(a);
   const Matrix& bv = value(b);
   assert(av.cols() == 1 && bv.cols() == 1);
-  Matrix out(av.rows() + bv.rows(), 1);
-  for (int r = 0; r < av.rows(); ++r) out(r, 0) = av(r, 0);
-  for (int r = 0; r < bv.rows(); ++r) out(av.rows() + r, 0) = bv(r, 0);
+  // Hoist the row counts: av/bv alias nodes_, which Push may reallocate.
+  const int na = av.rows(), nb = bv.rows();
+  Matrix out(na + nb, 1);
+  for (int r = 0; r < na; ++r) out(r, 0) = av(r, 0);
+  for (int r = 0; r < nb; ++r) out(na + r, 0) = bv(r, 0);
   Var v = Push(std::move(out));
   const int id = v.id, ia = a.id, ib = b.id;
-  const int na = av.rows(), nb = bv.rows();
   nodes_[static_cast<std::size_t>(id)].backward = [id, ia, ib, na, nb](Tape& t) {
     const Matrix& g = t.nodes_[static_cast<std::size_t>(id)].grad;
     Matrix& ga = t.MutableGrad(ia);

@@ -109,6 +109,18 @@ class Rng {
   // Derives an independent child generator (for parallel-safe substreams).
   Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
 
+  // Stateless substream derivation: the seed of stream `stream` under master
+  // seed `seed`, mixed through splitmix64. Because it depends only on its
+  // arguments, per-index generators derived this way are identical whether
+  // the indices are processed sequentially or in parallel (the determinism
+  // contract of util::ThreadPool — see thread_pool.h).
+  static std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,178 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace asteria::util {
+
+// Workers block on a condition variable between jobs. A job is published by
+// bumping `job_id`; workers then claim shards from `next_shard` until the
+// shard supply is exhausted. The claim order is nondeterministic but the
+// shard bounds are not, which is all the determinism contract needs.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;   // workers: a new job is available
+  std::condition_variable done_cv;   // caller: all shards finished
+  std::uint64_t job_id = 0;
+  bool shutdown = false;
+
+  // Current job (valid while shards_done < shard_count).
+  const std::function<void(std::int64_t, std::int64_t, int)>* fn = nullptr;
+  std::int64_t n = 0;
+  int shard_count = 0;
+  int next_shard = 0;
+  int shards_done = 0;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> workers;
+
+  void RunShards() {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (next_shard < shard_count) {
+      const int shard = next_shard++;
+      lock.unlock();
+      try {
+        const auto [begin, end] = ShardRange(n, shard_count, shard);
+        (*fn)(begin, end, shard);
+      } catch (...) {
+        lock.lock();
+        if (!first_error) first_error = std::current_exception();
+        lock.unlock();
+      }
+      lock.lock();
+      if (++shards_done == shard_count) done_cv.notify_all();
+    }
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_job = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock,
+                     [&] { return shutdown || job_id != seen_job; });
+        if (shutdown) return;
+        seen_job = job_id;
+      }
+      RunShards();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  if (threads_ <= 1) return;
+  impl_ = new Impl;
+  impl_->workers.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+int ThreadPool::ShardCount(std::int64_t n, int max_shards) {
+  if (n <= 0) return 0;
+  const std::int64_t count =
+      std::min<std::int64_t>(n, std::max(1, max_shards));
+  return static_cast<int>(count);
+}
+
+std::pair<std::int64_t, std::int64_t> ThreadPool::ShardRange(std::int64_t n,
+                                                             int shards,
+                                                             int shard) {
+  const std::int64_t base = n / shards;
+  const std::int64_t extra = n % shards;
+  const std::int64_t begin =
+      shard * base + std::min<std::int64_t>(shard, extra);
+  return {begin, begin + base + (shard < extra ? 1 : 0)};
+}
+
+void ThreadPool::ParallelForShards(
+    std::int64_t n, int max_shards,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
+  const int shard_count = ShardCount(n, std::min(max_shards, threads_));
+  if (shard_count == 0) return;
+  if (shard_count == 1 || !impl_) {
+    // Serial path: no pool traffic, identical shard bounds.
+    for (int shard = 0; shard < shard_count; ++shard) {
+      const auto [begin, end] = ShardRange(n, shard_count, shard);
+      fn(begin, end, shard);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->shard_count = shard_count;
+    impl_->next_shard = 0;
+    impl_->shards_done = 0;
+    impl_->first_error = nullptr;
+    ++impl_->job_id;
+  }
+  impl_->work_cv.notify_all();
+  impl_->RunShards();  // the caller works too
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock,
+                      [&] { return impl_->shards_done == impl_->shard_count; });
+  impl_->fn = nullptr;
+  if (impl_->first_error) {
+    std::exception_ptr error = impl_->first_error;
+    impl_->first_error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t n, int max_shards,
+                             const std::function<void(std::int64_t)>& fn) {
+  ParallelForShards(n, max_shards,
+                    [&fn](std::int64_t begin, std::int64_t end, int) {
+                      for (std::int64_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+ThreadPool& ThreadPool::Shared(int min_threads) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!pool || pool->threads() < min_threads) {
+    pool = std::make_unique<ThreadPool>(min_threads);
+  }
+  return *pool;
+}
+
+void ParallelFor(std::int64_t n, int threads,
+                 const std::function<void(std::int64_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared(threads).ParallelFor(n, threads, fn);
+}
+
+void ParallelForShards(
+    std::int64_t n, int threads,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
+  if (threads <= 1 || n <= 0) {
+    if (n > 0) fn(0, n, 0);
+    return;
+  }
+  ThreadPool::Shared(threads).ParallelForShards(n, threads, fn);
+}
+
+}  // namespace asteria::util

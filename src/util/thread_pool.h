@@ -1,0 +1,71 @@
+// Fixed-size worker pool with a deterministic ParallelFor primitive.
+//
+// Determinism contract: ParallelFor(n, threads, fn) partitions [0, n) into
+// at most `threads` contiguous shards whose bounds depend only on n and the
+// shard count (ShardRange) — never on scheduling. Each index runs exactly
+// once, so as long as fn(i) writes only to state owned by index i, the
+// results are bitwise identical for every thread count, including 1 (which
+// runs inline on the calling thread with no synchronization at all). Which
+// OS thread executes a shard is unspecified; only the shard→range mapping
+// is static. Callers that keep per-shard accumulators (e.g. local top-k
+// heaps) must merge them in shard order to stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace asteria::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers; the calling thread participates in every
+  // ParallelFor as an extra worker. threads <= 1 spawns nothing.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs fn(begin, end, shard) for every shard of the static partition of
+  // [0, n) into min(max_shards, threads(), n) shards. Blocks until all
+  // shards finish; rethrows the first exception thrown by any shard.
+  void ParallelForShards(
+      std::int64_t n, int max_shards,
+      const std::function<void(std::int64_t, std::int64_t, int)>& fn);
+
+  // Runs fn(i) for every i in [0, n) via ParallelForShards.
+  void ParallelFor(std::int64_t n, int max_shards,
+                   const std::function<void(std::int64_t)>& fn);
+
+  // Number of shards ParallelForShards will use for n items.
+  static int ShardCount(std::int64_t n, int max_shards);
+
+  // [begin, end) of shard `shard` in the static partition of [0, n) into
+  // `shards` near-equal contiguous ranges (the first n % shards ranges get
+  // one extra item). Depends only on its arguments.
+  static std::pair<std::int64_t, std::int64_t> ShardRange(std::int64_t n,
+                                                          int shards,
+                                                          int shard);
+
+  // Process-wide pool used by the free ParallelFor helpers below. Grows
+  // (never shrinks) to the largest thread count ever requested. Not safe to
+  // call concurrently with an in-flight free ParallelFor.
+  static ThreadPool& Shared(int min_threads);
+
+ private:
+  struct Impl;
+  int threads_ = 1;
+  Impl* impl_ = nullptr;  // null when threads_ <= 1
+};
+
+// Convenience wrappers over the shared pool. threads <= 1 (or n <= 1) runs
+// inline on the calling thread without touching the pool.
+void ParallelFor(std::int64_t n, int threads,
+                 const std::function<void(std::int64_t)>& fn);
+void ParallelForShards(
+    std::int64_t n, int threads,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn);
+
+}  // namespace asteria::util

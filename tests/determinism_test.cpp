@@ -1,0 +1,188 @@
+// Determinism tests for the parallel encode/search/generate paths: the
+// same seed must produce bitwise-identical SearchIndex encodings, TopK
+// orderings, and generated corpora for thread counts 1, 2, and 8 — the
+// util::ThreadPool static-partition contract, observed end to end. Run
+// these under -DASTERIA_SANITIZE=thread to also prove data-race freedom
+// (scripts/check_sanitize.sh).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/search_index.h"
+#include "dataset/corpus.h"
+
+namespace asteria {
+namespace {
+
+// Bitwise matrix equality — no tolerance: parallel must equal serial
+// exactly, not approximately.
+bool BitwiseEqual(const nn::Matrix& a, const nn::Matrix& b) {
+  return a.SameShape(b) &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+dataset::Corpus SmallCorpus(int threads) {
+  dataset::CorpusConfig config;
+  config.packages = 6;
+  config.seed = 4242;
+  config.threads = threads;
+  return dataset::BuildCorpus(config);
+}
+
+void ExpectSameCorpus(const dataset::Corpus& a, const dataset::Corpus& b) {
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.binaries_per_isa, b.binaries_per_isa);
+  EXPECT_EQ(a.functions_per_isa, b.functions_per_isa);
+  EXPECT_EQ(a.filtered_small, b.filtered_small);
+  for (std::size_t i = 0; i < a.functions.size(); ++i) {
+    const dataset::CorpusFunction& fa = a.functions[i];
+    const dataset::CorpusFunction& fb = b.functions[i];
+    ASSERT_EQ(fa.package, fb.package);
+    ASSERT_EQ(fa.function, fb.function);
+    ASSERT_EQ(fa.isa, fb.isa);
+    ASSERT_EQ(fa.ast_size, fb.ast_size);
+    ASSERT_EQ(fa.callee_count, fb.callee_count);
+    ASSERT_EQ(fa.callee_sizes, fb.callee_sizes);
+    ASSERT_EQ(fa.instruction_count, fb.instruction_count);
+    // Node-exact preprocessed tree equality.
+    ASSERT_EQ(fa.preprocessed.size(), fb.preprocessed.size());
+    ASSERT_EQ(fa.preprocessed.root(), fb.preprocessed.root());
+    for (int n = 0; n < fa.preprocessed.size(); ++n) {
+      const ast::BinaryNode& na = fa.preprocessed.node(n);
+      const ast::BinaryNode& nb = fb.preprocessed.node(n);
+      ASSERT_EQ(na.label, nb.label) << fa.package << "::" << fa.function;
+      ASSERT_EQ(na.payload_bucket, nb.payload_bucket);
+      ASSERT_EQ(na.left, nb.left);
+      ASSERT_EQ(na.right, nb.right);
+    }
+  }
+}
+
+TEST(Determinism, CorpusIdenticalForThreadCounts) {
+  const dataset::Corpus serial = SmallCorpus(1);
+  ASSERT_GT(serial.functions.size(), 0u);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    ExpectSameCorpus(serial, SmallCorpus(threads));
+  }
+}
+
+// Features from a small corpus, shared by the index tests below.
+std::vector<core::FunctionFeature> CorpusFeatures(
+    const dataset::Corpus& corpus) {
+  std::vector<core::FunctionFeature> features;
+  features.reserve(corpus.functions.size());
+  for (const dataset::CorpusFunction& fn : corpus.functions) {
+    core::FunctionFeature feature;
+    feature.name = fn.package + "::" + fn.function;
+    feature.tree = fn.preprocessed;
+    feature.callee_count = fn.callee_count;
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+TEST(Determinism, SearchIndexEncodingsIdenticalForThreadCounts) {
+  const dataset::Corpus corpus = SmallCorpus(1);
+  const auto features = CorpusFeatures(corpus);
+  ASSERT_GT(features.size(), 10u);
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+
+  core::SearchIndex serial(model, 1);
+  serial.AddAll(features);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE(threads);
+    core::SearchIndex parallel(model, threads);
+    parallel.AddAll(features);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (int i = 0; i < serial.size(); ++i) {
+      ASSERT_TRUE(BitwiseEqual(serial.encoding(i), parallel.encoding(i)))
+          << "entry " << i;
+    }
+  }
+}
+
+TEST(Determinism, TopKOrderingIdenticalForThreadCounts) {
+  const dataset::Corpus corpus = SmallCorpus(1);
+  const auto features = CorpusFeatures(corpus);
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+
+  core::SearchIndex serial(model, 1);
+  serial.AddAll(features);
+  // k around a shard boundary and k > corpus size both exercise the merge.
+  for (const int k : {1, 5, static_cast<int>(features.size()) + 7}) {
+    const auto expected = serial.TopK(features.front(), k);
+    const auto expected_above =
+        serial.AboveThreshold(features.front(), 0.25);
+    for (int threads : {2, 8}) {
+      SCOPED_TRACE(testing::Message() << "k=" << k << " threads=" << threads);
+      core::SearchIndex parallel(model, threads);
+      parallel.AddAll(features);
+      const auto hits = parallel.TopK(features.front(), k);
+      ASSERT_EQ(hits.size(), expected.size());
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].index, expected[i].index) << "rank " << i;
+        EXPECT_EQ(hits[i].name, expected[i].name);
+        // Bitwise score equality — same summation order per entry.
+        EXPECT_EQ(hits[i].score, expected[i].score);
+      }
+      const auto above = parallel.AboveThreshold(features.front(), 0.25);
+      ASSERT_EQ(above.size(), expected_above.size());
+      for (std::size_t i = 0; i < above.size(); ++i) {
+        EXPECT_EQ(above[i].index, expected_above[i].index);
+        EXPECT_EQ(above[i].score, expected_above[i].score);
+      }
+    }
+  }
+}
+
+TEST(Determinism, TopKScoresDescendWithIndexTiebreak) {
+  const dataset::Corpus corpus = SmallCorpus(1);
+  const auto features = CorpusFeatures(corpus);
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  core::SearchIndex index(model, 8);
+  index.AddAll(features);
+  const auto hits = index.TopK(features.front(), index.size());
+  ASSERT_EQ(hits.size(), features.size());
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    const bool ordered =
+        hits[i - 1].score > hits[i].score ||
+        (hits[i - 1].score == hits[i].score &&
+         hits[i - 1].index < hits[i].index);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+}
+
+TEST(Determinism, GeneratorStreamsIndependentOfOrder) {
+  // Package k's program depends only on (seed, k): building packages 0..5
+  // must generate the same package-3 functions as a corpus of 4 packages.
+  dataset::CorpusConfig big;
+  big.packages = 6;
+  big.seed = 99;
+  dataset::CorpusConfig small = big;
+  small.packages = 4;
+  const dataset::Corpus corpus_big = dataset::BuildCorpus(big);
+  const dataset::Corpus corpus_small = dataset::BuildCorpus(small);
+  int compared = 0;
+  for (const auto& [key, idx] : corpus_small.index) {
+    const int other = corpus_big.Find(std::get<0>(key), std::get<1>(key),
+                                      std::get<2>(key));
+    ASSERT_GE(other, 0);
+    const auto& fa = corpus_small.functions[static_cast<std::size_t>(idx)];
+    const auto& fb = corpus_big.functions[static_cast<std::size_t>(other)];
+    EXPECT_EQ(fa.ast_size, fb.ast_size);
+    EXPECT_EQ(fa.callee_count, fb.callee_count);
+    EXPECT_EQ(fa.instruction_count, fb.instruction_count);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0);
+}
+
+}  // namespace
+}  // namespace asteria

@@ -1,11 +1,17 @@
-// util tests: RNG determinism/distributions, tables, flags, timers.
+// util tests: RNG determinism/distributions, tables, flags, timers, and the
+// ThreadPool static-partition determinism contract.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace asteria::util {
@@ -133,6 +139,97 @@ TEST(Format, AdaptiveSeconds) {
   EXPECT_NE(FormatSeconds(3e-6).find("us"), std::string::npos);
   EXPECT_NE(FormatSeconds(3e-3).find("ms"), std::string::npos);
   EXPECT_NE(FormatSeconds(3.0).find(" s"), std::string::npos);
+}
+
+TEST(ThreadPool, ShardRangesPartitionExactly) {
+  for (std::int64_t n : {0, 1, 2, 7, 64, 1000}) {
+    for (int max_shards : {1, 2, 3, 8, 17}) {
+      const int shards = ThreadPool::ShardCount(n, max_shards);
+      if (n == 0) {
+        EXPECT_EQ(shards, 0);
+        continue;
+      }
+      ASSERT_GE(shards, 1);
+      ASSERT_LE(shards, max_shards);
+      std::int64_t expected_begin = 0;
+      for (int shard = 0; shard < shards; ++shard) {
+        const auto [begin, end] = ThreadPool::ShardRange(n, shards, shard);
+        EXPECT_EQ(begin, expected_begin) << n << "/" << shards;
+        EXPECT_GT(end, begin);  // no empty shard
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, n);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(257);
+  pool.ParallelFor(257, 4, [&](std::int64_t i) {
+    counts[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, DeterministicAcrossThreadCounts) {
+  // fn(i) writes only slot i, so any thread count must produce the same
+  // vector — the contract SearchIndex/BuildCorpus rely on.
+  auto run = [](int threads) {
+    std::vector<std::uint64_t> out(1000);
+    ParallelFor(1000, threads, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] =
+          Rng(Rng::DeriveSeed(99, static_cast<std::uint64_t>(i))).Next();
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> out(64, -1);
+    pool.ParallelFor(64, 3, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = static_cast<int>(i) + round;
+    });
+    for (int i = 0; i < 64; ++i) ASSERT_EQ(out[static_cast<std::size_t>(i)], i + round);
+  }
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(100, 4,
+                                [](std::int64_t i) {
+                                  if (i == 57) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // Pool stays usable after an exception.
+  std::atomic<std::int64_t> sum{0};
+  pool.ParallelFor(10, 4, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, ShardCallbackSeesStaticBounds) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(8);
+  ParallelForShards(100, 8, [&](std::int64_t begin, std::int64_t end, int shard) {
+    ranges[static_cast<std::size_t>(shard)] = {begin, end};
+  });
+  for (int shard = 0; shard < 8; ++shard) {
+    EXPECT_EQ(ranges[static_cast<std::size_t>(shard)],
+              ThreadPool::ShardRange(100, 8, shard));
+  }
+}
+
+TEST(Rng, DeriveSeedIsPureAndSpreads) {
+  EXPECT_EQ(Rng::DeriveSeed(1, 0), Rng::DeriveSeed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(Rng::DeriveSeed(1, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across streams
 }
 
 }  // namespace

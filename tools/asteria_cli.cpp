@@ -7,10 +7,20 @@
 //   asteria-cli stats <file>                   per-ISA AST size/callee table
 //   asteria-cli sim <file> <fnA> <isaA> <fnB> <isaB> [weights]
 //                                              similarity of two functions
+//   asteria-cli search <file> <fn> <isa> [k] [weights]
+//                                              top-k clone search: query one
+//                                              function against every function
+//                                              of every ISA build of <file>
 //   asteria-cli run <file> <fn> [args...]      execute in the interpreter
 //
 // ISAs: x86 x64 ARM PPC (default x86).
+//
+// A --threads=N flag (anywhere on the command line) sets the worker-thread
+// count for offline encoding and query scoring; results are bitwise
+// identical for any value (util::ThreadPool determinism contract).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,6 +28,7 @@
 #include "binary/disasm.h"
 #include "compiler/compile.h"
 #include "core/asteria.h"
+#include "core/search_index.h"
 #include "decompiler/decompile.h"
 #include "minic/interp.h"
 #include "minic/parser.h"
@@ -30,10 +41,14 @@ namespace {
 
 using namespace asteria;
 
+int g_threads = 1;  // set by --threads=N
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|run> ...\n"
-               "see the header of tools/asteria_cli.cpp for details\n");
+  std::fprintf(
+      stderr,
+      "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|run> "
+      "[--threads=N] ...\n"
+      "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
 
@@ -206,6 +221,71 @@ int CmdSim(int argc, char** argv) {
   return 0;
 }
 
+int CmdSearch(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const std::string query_fn = argv[3];
+  const binary::Isa query_isa = ParseIsa(argv[4]);
+  const int k = argc > 5 ? std::atoi(argv[5]) : 10;
+
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  if (argc > 6) {
+    if (!model.Load(argv[6])) {
+      std::fprintf(stderr, "cannot load weights from %s\n", argv[6]);
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr,
+                 "warning: scoring with UNTRAINED weights; pass a weight "
+                 "file (see examples/train_model)\n");
+  }
+
+  // Offline phase: every function of every ISA build goes into the index.
+  std::vector<core::FunctionFeature> features;
+  core::FunctionFeature query;
+  bool have_query = false;
+  for (int isa = 0; isa < binary::kNumIsas; ++isa) {
+    auto result = compiler::CompileProgram(
+        program, static_cast<binary::Isa>(isa), argv[2]);
+    const std::string isa_name(binary::IsaName(static_cast<binary::Isa>(isa)));
+    if (!result.ok) {
+      std::fprintf(stderr, "compile error (%s): %s\n", isa_name.c_str(),
+                   result.error.c_str());
+      return 1;
+    }
+    auto decompiled = decompiler::DecompileModule(result.module);
+    for (decompiler::DecompiledFunction& df : decompiled) {
+      core::FunctionFeature feature;
+      feature.name = df.name + "@" + isa_name;
+      feature.tree = core::AsteriaModel::Preprocess(df.tree);
+      feature.callee_count = df.callee_count;
+      if (static_cast<binary::Isa>(isa) == query_isa && df.name == query_fn) {
+        query = feature;
+        have_query = true;
+      }
+      features.push_back(std::move(feature));
+    }
+  }
+  if (!have_query) {
+    std::fprintf(stderr, "no function '%s' under %s\n", query_fn.c_str(),
+                 std::string(binary::IsaName(query_isa)).c_str());
+    return 1;
+  }
+  core::SearchIndex index(model, g_threads);
+  index.AddAll(features);
+  util::TextTable table({"rank", "function", "F"});
+  const auto hits = index.TopK(query, k);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.6f", hits[i].score);
+    table.AddRow({std::to_string(i + 1), hits[i].name, score});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  return 0;
+}
+
 int CmdRun(int argc, char** argv) {
   if (argc < 4) return Usage();
   minic::Program program;
@@ -227,6 +307,16 @@ int CmdRun(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Extract --threads=N wherever it appears; commands see positional args only.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      g_threads = std::atoi(argv[i] + 10);
+      if (g_threads < 1) g_threads = 1;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+  }
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "gen") return CmdGen(argc, argv);
@@ -235,6 +325,7 @@ int main(int argc, char** argv) {
   if (command == "dot") return CmdDot(argc, argv);
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "sim") return CmdSim(argc, argv);
+  if (command == "search") return CmdSearch(argc, argv);
   if (command == "run") return CmdRun(argc, argv);
   return Usage();
 }
