@@ -176,9 +176,16 @@ BENCHMARK(BM_SearchTopK)->Arg(1)->Arg(0);
 
 int main(int argc, char** argv) {
   // Strip --threads=N (our flag) before google-benchmark sees the args.
+  // Parsed strictly: garbage is an error, not a silent 1.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      asteria::g_flag_threads = std::max(1, std::atoi(argv[i] + 10));
+      char* end = nullptr;
+      const long threads = std::strtol(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || threads < 1) {
+        std::fprintf(stderr, "bad --threads value '%s'\n", argv[i] + 10);
+        return 1;
+      }
+      asteria::g_flag_threads = static_cast<int>(threads);
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;

@@ -1,0 +1,153 @@
+// Cold vs. warm start of the online phase (Fig. 10(c) scenario).
+//
+// The paper's workflow is encode-once/query-many, but a process restart
+// used to pay the whole offline phase again. This bench quantifies what the
+// index snapshot buys: "cold" builds the SearchIndex by re-encoding every
+// corpus function; "warm" loads the persisted snapshot (names, callee
+// counts, encodings — CRC-verified) and is ready to serve queries
+// immediately. It also asserts the determinism contract across the process
+// boundary: the loaded index must return bitwise-identical TopK results
+// (scores and ordering) to the freshly built one for threads 1, 2, and 8.
+//
+// CSV: bench_out/fig10c_warm_start.csv
+//   functions, cold_encode_seconds, warm_load_seconds, speedup,
+//   bitwise_identical
+#include <algorithm>
+#include <cstdio>
+#include <sys/stat.h>
+
+#include "common.h"
+#include "core/search_index.h"
+#include "util/log.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace asteria {
+namespace {
+
+bool SameHits(const std::vector<core::SearchHit>& a,
+              const std::vector<core::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Bitwise score equality, exact rank order, same entries.
+    if (a[i].index != b[i].index || a[i].name != b[i].name ||
+        a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  util::Flags flags;
+  bench::DefineCommonFlags(&flags);
+  flags.DefineInt("queries", 8, "query functions for the determinism check");
+  flags.DefineInt("topk", 10, "k for the TopK determinism check");
+  if (!flags.Parse(argc, argv)) return 1;
+  bench::ExperimentSetup setup = bench::BuildSetup(flags);
+
+  core::AsteriaConfig config;
+  config.siamese.encoder.embedding_dim =
+      static_cast<int>(flags.GetInt("embedding"));
+  config.siamese.encoder.hidden_dim = config.siamese.encoder.embedding_dim;
+  core::AsteriaModel model(config);
+
+  std::vector<core::FunctionFeature> features;
+  features.reserve(setup.corpus.functions.size());
+  for (const dataset::CorpusFunction& fn : setup.corpus.functions) {
+    core::FunctionFeature feature;
+    feature.name = fn.package + "::" + fn.function + "@" +
+                   std::to_string(fn.isa);
+    feature.tree = fn.preprocessed;
+    feature.callee_count = fn.callee_count;
+    features.push_back(std::move(feature));
+  }
+  if (features.empty()) {
+    std::fprintf(stderr, "empty corpus — nothing to index\n");
+    return 1;
+  }
+  const int threads = static_cast<int>(flags.GetInt("threads"));
+
+  // Cold start: the full offline phase (encode every function).
+  util::Timer timer;
+  core::SearchIndex cold(model, threads);
+  cold.AddAll(features);
+  const double cold_seconds = timer.ElapsedSeconds();
+  ASTERIA_LOG(Info) << "cold start: encoded " << cold.size()
+                    << " functions in " << cold_seconds << "s";
+
+  mkdir(bench::OutDir().c_str(), 0755);
+  const std::string snapshot_path = bench::OutDir() + "/fig10c_index.snapshot";
+  std::string error;
+  if (!cold.Save(snapshot_path, &error)) {
+    std::fprintf(stderr, "snapshot save failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Warm start: load the snapshot (best of 3 to damp filesystem noise).
+  double warm_seconds = 0.0;
+  core::SearchIndex warm(model, threads);
+  for (int run = 0; run < 3; ++run) {
+    timer.Reset();
+    if (!warm.Load(snapshot_path, &error)) {
+      std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
+      return 1;
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    warm_seconds = run == 0 ? elapsed : std::min(warm_seconds, elapsed);
+  }
+  ASTERIA_LOG(Info) << "warm start: loaded " << warm.size() << " functions in "
+                    << warm_seconds << "s";
+
+  // Determinism across the process boundary: same TopK scores and ordering
+  // from the loaded index as from the fresh one, for every thread count.
+  bool identical = warm.size() == cold.size();
+  const int queries = std::max<int>(
+      1, std::min<int>(static_cast<int>(flags.GetInt("queries")),
+                       static_cast<int>(features.size())));
+  const int k = static_cast<int>(flags.GetInt("topk"));
+  for (int thread_count : {1, 2, 8}) {
+    cold.set_threads(thread_count);
+    warm.set_threads(thread_count);
+    for (int q = 0; q < queries; ++q) {
+      const auto& query = features[static_cast<std::size_t>(q) *
+                                   (features.size() / queries)];
+      if (!SameHits(cold.TopK(query, k), warm.TopK(query, k))) {
+        identical = false;
+        ASTERIA_LOG(Error) << "TopK mismatch: query " << q << " threads="
+                           << thread_count;
+      }
+    }
+  }
+  cold.set_threads(threads);
+
+  const double speedup = warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+  std::printf("\n== Fig. 10(c) cold vs. warm start ==\n");
+  std::printf("corpus functions:   %d\n", cold.size());
+  std::printf("cold (re-encode):   %.4fs\n", cold_seconds);
+  std::printf("warm (snapshot):    %.4fs\n", warm_seconds);
+  std::printf("speedup:            %.1fx\n", speedup);
+  std::printf("bitwise identical:  %s (threads 1/2/8, %d queries, k=%d)\n",
+              identical ? "yes" : "NO", queries, k);
+  if (speedup < 10.0) {
+    ASTERIA_LOG(Warn) << "warm start under 10x cold (" << speedup
+                      << "x) — snapshot overhead dominates at this corpus "
+                         "size; grow --packages";
+  }
+
+  util::TextTable table({"functions", "cold_encode_seconds",
+                         "warm_load_seconds", "speedup", "bitwise_identical"});
+  char cold_text[32], warm_text[32], speedup_text[32];
+  std::snprintf(cold_text, sizeof(cold_text), "%.6f", cold_seconds);
+  std::snprintf(warm_text, sizeof(warm_text), "%.6f", warm_seconds);
+  std::snprintf(speedup_text, sizeof(speedup_text), "%.2f", speedup);
+  table.AddRow({std::to_string(cold.size()), cold_text, warm_text,
+                speedup_text, identical ? "yes" : "no"});
+  table.WriteCsv(bench::OutDir() + "/fig10c_warm_start.csv");
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace asteria
+
+int main(int argc, char** argv) { return asteria::Run(argc, argv); }

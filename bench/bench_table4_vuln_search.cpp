@@ -23,6 +23,10 @@ int Run(int argc, char** argv) {
   util::Flags flags;
   bench::DefineCommonFlags(&flags);
   flags.DefineInt("images", 40, "number of firmware images");
+  flags.DefineString("encodings_cache", "",
+                     "path of a firmware-encodings snapshot to reuse "
+                     "(empty = encode every run); invalidated automatically "
+                     "on model or corpus changes");
   if (!flags.Parse(argc, argv)) return 1;
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
@@ -77,8 +81,8 @@ int Run(int argc, char** argv) {
   ASTERIA_LOG(Info) << "firmware corpus: " << corpus.images.size()
                     << " images, " << corpus.functions.size() << " functions";
 
-  firmware::VulnSearchResult result =
-      firmware::RunVulnSearch(model, corpus, threshold);
+  firmware::VulnSearchResult result = firmware::RunVulnSearchCached(
+      model, corpus, threshold, /*beta=*/4, flags.GetString("encodings_cache"));
 
   std::printf("\n== Table IV: vulnerability search results ==\n");
   std::printf("(threshold %.3f from Youden index; paper found 75 vulnerable "

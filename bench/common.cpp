@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "dataset/corpus_io.h"
 #include "util/log.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -20,6 +21,10 @@ void DefineCommonFlags(util::Flags* flags) {
                    "worker threads for corpus generation and offline "
                    "encoding (deterministic: results are bitwise identical "
                    "for any value)");
+  flags->DefineString("corpus_cache", "",
+                      "path of a corpus snapshot to reuse (empty = rebuild "
+                      "every run); a stale or corrupt snapshot is detected "
+                      "by its config fingerprint/CRCs and rebuilt");
 }
 
 namespace {
@@ -37,7 +42,8 @@ ExperimentSetup BuildSetup(const util::Flags& flags) {
   config.threads = static_cast<int>(flags.GetInt("threads"));
   util::Timer timer;
   ExperimentSetup setup;
-  setup.corpus = dataset::BuildCorpus(config);
+  setup.corpus =
+      dataset::BuildOrLoadCorpus(config, flags.GetString("corpus_cache"));
   ASTERIA_LOG(Info) << "corpus: " << setup.corpus.functions.size()
                     << " functions from " << config.packages
                     << " packages x 4 ISAs in "

@@ -22,6 +22,9 @@ int main(int argc, char** argv) {
   flags.DefineInt("embedding", 16, "embedding/hidden size");
   flags.DefineInt("seed", 7, "seed");
   flags.DefineString("save", "asteria.weights", "output weight file");
+  flags.DefineString("load", "",
+                     "warm-start from an existing checkpoint (container "
+                     "format or legacy asteria-params v1)");
   if (!flags.Parse(argc, argv)) return 1;
 
   dataset::CorpusConfig corpus_config;
@@ -46,6 +49,14 @@ int main(int argc, char** argv) {
   config.seed = corpus_config.seed;
   core::AsteriaModel model(config);
   std::printf("model: %zu weights\n", model.TotalWeights());
+  if (!flags.GetString("load").empty()) {
+    if (!model.Load(flags.GetString("load"))) {
+      std::fprintf(stderr, "failed to load %s\n",
+                   flags.GetString("load").c_str());
+      return 1;
+    }
+    std::printf("warm-started from %s\n", flags.GetString("load").c_str());
+  }
 
   std::vector<core::FunctionFeature> features;
   for (const dataset::CorpusFunction& fn : corpus.functions) {

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   flags.DefineInt("images", 12, "firmware images to generate");
   flags.DefineDouble("threshold", 0.6, "similarity threshold");
   flags.DefineInt("seed", 21, "seed");
+  flags.DefineString("encodings_cache", "",
+                     "reuse/persist firmware encodings at this path");
   if (!flags.Parse(argc, argv)) return 1;
 
   firmware::FirmwareCorpusConfig corpus_config;
@@ -57,8 +59,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  firmware::VulnSearchResult result = firmware::RunVulnSearch(
-      model, corpus, flags.GetDouble("threshold"));
+  firmware::VulnSearchResult result = firmware::RunVulnSearchCached(
+      model, corpus, flags.GetDouble("threshold"), /*beta=*/4,
+      flags.GetString("encodings_cache"));
   std::printf("\nsearch results at threshold %.2f:\n",
               flags.GetDouble("threshold"));
   for (const firmware::CveSearchResult& row : result.per_cve) {

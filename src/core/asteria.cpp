@@ -1,6 +1,12 @@
 #include "core/asteria.h"
 
+#include "store/checkpoint.h"
+
 namespace asteria::core {
+
+std::uint32_t AsteriaModel::WeightsFingerprint() const {
+  return store::WeightsFingerprint(siamese_.parameters());
+}
 
 AsteriaModel::AsteriaModel(const AsteriaConfig& config)
     : config_(config), rng_(config.seed), siamese_(config.siamese, rng_) {}

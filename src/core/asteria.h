@@ -78,6 +78,10 @@ class AsteriaModel {
   const AsteriaConfig& config() const { return config_; }
   std::size_t TotalWeights() const { return siamese_.TotalWeights(); }
 
+  // CRC32 fingerprint of the current weights. Index snapshots embed it so a
+  // snapshot is only ever loaded back under the model that encoded it.
+  std::uint32_t WeightsFingerprint() const;
+
  private:
   AsteriaConfig config_;
   util::Rng rng_;

@@ -1,12 +1,19 @@
 #include "core/search_index.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "store/container.h"
 #include "util/thread_pool.h"
 
 namespace asteria::core {
 
 namespace {
+
+// Index-snapshot chunk tags and schema version (see docs/FORMATS.md).
+constexpr std::uint32_t kTagIndexMeta = store::FourCc('I', 'M', 'E', 'T');
+constexpr std::uint32_t kTagIndexEntry = store::FourCc('E', 'N', 'T', 'R');
+constexpr std::uint32_t kSnapshotVersion = 1;
 
 // Strict total order on hits: score descending, insertion index ascending.
 // The index tiebreak makes merge results independent of the shard count.
@@ -112,6 +119,152 @@ std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
   std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
   merged.erase(cut, merged.end());
   return merged;
+}
+
+namespace {
+
+void BuildEntryChunk(const std::string& name, int callee_count,
+                     const nn::Matrix& encoding, store::ChunkBuilder* chunk) {
+  chunk->PutString(name);
+  chunk->PutI32(callee_count);
+  chunk->PutU32(static_cast<std::uint32_t>(encoding.rows()));
+  chunk->PutU32(static_cast<std::uint32_t>(encoding.cols()));
+  chunk->PutF64Array(encoding.data(), encoding.size());
+}
+
+}  // namespace
+
+bool SearchIndex::Save(const std::string& path, std::string* error) const {
+  store::Writer writer;
+  if (!writer.Open(path, store::kKindIndex, error)) return false;
+  store::ChunkBuilder meta;
+  meta.PutU32(kSnapshotVersion);
+  meta.PutU32(model_.WeightsFingerprint());
+  if (!writer.WriteChunk(kTagIndexMeta, meta, error)) return false;
+  for (const Entry& entry : entries_) {
+    store::ChunkBuilder chunk;
+    BuildEntryChunk(entry.name, entry.callee_count, entry.encoding, &chunk);
+    if (!writer.WriteChunk(kTagIndexEntry, chunk, error)) return false;
+  }
+  return writer.Finish(error);
+}
+
+bool SearchIndex::AppendTo(const std::string& path, int first_index,
+                           std::string* error) const {
+  if (first_index < 0 || first_index > size()) {
+    *error = "AppendTo: first_index " + std::to_string(first_index) +
+             " out of range [0, " + std::to_string(size()) + "]";
+    return false;
+  }
+  // Validate the existing snapshot (structure + model fingerprint) before
+  // extending it, so an append can never bury corruption or mix models.
+  {
+    store::Reader reader;
+    if (!reader.Open(path, store::kKindIndex, error)) return false;
+    if (reader.chunks().empty() ||
+        reader.chunks().front().tag != kTagIndexMeta) {
+      *error = path + ": snapshot is missing its leading IMET chunk";
+      return false;
+    }
+    std::vector<std::uint8_t> payload;
+    if (!reader.ReadChunk(0, &payload, error)) return false;
+    store::ChunkParser parser(payload);
+    std::uint32_t version = 0, fingerprint = 0;
+    if (!parser.GetU32(&version, error) ||
+        !parser.GetU32(&fingerprint, error)) {
+      return false;
+    }
+    if (version != kSnapshotVersion) {
+      *error = path + ": unsupported index snapshot version " +
+               std::to_string(version);
+      return false;
+    }
+    if (fingerprint != model_.WeightsFingerprint()) {
+      *error = path + ": snapshot was encoded by different model weights "
+                      "(fingerprint mismatch) — rebuild instead of appending";
+      return false;
+    }
+  }
+  store::Writer writer;
+  if (!writer.OpenAppend(path, store::kKindIndex, error)) return false;
+  for (std::size_t i = static_cast<std::size_t>(first_index);
+       i < entries_.size(); ++i) {
+    const Entry& entry = entries_[i];
+    store::ChunkBuilder chunk;
+    BuildEntryChunk(entry.name, entry.callee_count, entry.encoding, &chunk);
+    if (!writer.WriteChunk(kTagIndexEntry, chunk, error)) return false;
+  }
+  return writer.Finish(error);
+}
+
+bool SearchIndex::Load(const std::string& path, std::string* error) {
+  store::Reader reader;
+  if (!reader.Open(path, store::kKindIndex, error)) return false;
+  bool saw_meta = false;
+  std::vector<Entry> loaded;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+    const store::ChunkInfo& info = reader.chunks()[i];
+    if (info.tag != kTagIndexMeta && info.tag != kTagIndexEntry) {
+      continue;  // unknown chunks are skippable (forward compat)
+    }
+    if (!reader.ReadChunk(i, &payload, error)) return false;
+    store::ChunkParser parser(payload);
+    if (info.tag == kTagIndexMeta) {
+      std::uint32_t version = 0, fingerprint = 0;
+      if (!parser.GetU32(&version, error) ||
+          !parser.GetU32(&fingerprint, error)) {
+        return false;
+      }
+      if (version != kSnapshotVersion) {
+        *error = path + ": unsupported index snapshot version " +
+                 std::to_string(version);
+        return false;
+      }
+      if (fingerprint != model_.WeightsFingerprint()) {
+        *error = path + ": snapshot was encoded by different model weights "
+                        "(fingerprint mismatch) — scores would be garbage; "
+                        "load the matching checkpoint first or rebuild";
+        return false;
+      }
+      saw_meta = true;
+      continue;
+    }
+    if (!saw_meta) {
+      *error = path + ": ENTR chunk before IMET metadata";
+      return false;
+    }
+    Entry entry;
+    std::uint32_t rows = 0, cols = 0;
+    if (!parser.GetString(&entry.name, error) ||
+        !parser.GetI32(&entry.callee_count, error) ||
+        !parser.GetU32(&rows, error) || !parser.GetU32(&cols, error)) {
+      return false;
+    }
+    // Guard the allocation: a corrupted size field must not turn into a
+    // multi-gigabyte resize. The payload itself bounds the element count.
+    const std::uint64_t elements =
+        static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+    if (elements * sizeof(double) > parser.remaining()) {
+      *error = path + ": entry '" + entry.name + "' declares " +
+               std::to_string(rows) + "x" + std::to_string(cols) +
+               " encoding but only " + std::to_string(parser.remaining()) +
+               " payload bytes remain — corrupted entry";
+      return false;
+    }
+    entry.encoding = nn::Matrix(static_cast<int>(rows), static_cast<int>(cols));
+    if (!parser.GetF64Array(entry.encoding.data(), entry.encoding.size(),
+                            error)) {
+      return false;
+    }
+    loaded.push_back(std::move(entry));
+  }
+  if (!saw_meta) {
+    *error = path + ": missing IMET metadata chunk";
+    return false;
+  }
+  entries_ = std::move(loaded);
+  return true;
 }
 
 std::vector<SearchHit> SearchIndex::AboveThreshold(

@@ -57,6 +57,35 @@ class SearchIndex {
   const nn::Matrix& encoding(int index) const {
     return entries_[static_cast<std::size_t>(index)].encoding;
   }
+  const std::string& name(int index) const {
+    return entries_[static_cast<std::size_t>(index)].name;
+  }
+  int callee_count(int index) const {
+    return entries_[static_cast<std::size_t>(index)].callee_count;
+  }
+
+  // -- Snapshots (offline phase persisted; see docs/FORMATS.md) -----------
+  //
+  // A snapshot is a kKindIndex container holding the entry names, callee
+  // counts, and raw encodings, fingerprinted against the model weights that
+  // produced them. Saving then loading yields a bitwise-identical index:
+  // the same TopK scores and ordering for any thread count, extending the
+  // ParallelFor determinism contract across process boundaries. Corrupted
+  // or truncated snapshots fail with a descriptive `error`, never load
+  // partial state.
+
+  // Writes all entries to `path`, replacing any existing file.
+  bool Save(const std::string& path, std::string* error) const;
+
+  // Appends entries [first_index, size()) to an existing snapshot written
+  // by the same model (incremental corpus growth without re-encoding).
+  bool AppendTo(const std::string& path, int first_index,
+                std::string* error) const;
+
+  // Replaces this index's entries with the snapshot's. Fails (leaving the
+  // index untouched) on corruption, truncation, or a snapshot produced by
+  // different model weights.
+  bool Load(const std::string& path, std::string* error);
 
  private:
   struct Entry {

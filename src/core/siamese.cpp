@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "store/checkpoint.h"
+#include "util/log.h"
+
 namespace asteria::core {
 
 using nn::Matrix;
@@ -92,6 +95,24 @@ double SiameseModel::TrainPair(const ast::BinaryAst& a,
   tape.Backward(loss);
   optimizer_.Step(store_.parameters());
   return loss_value;
+}
+
+bool SiameseModel::Save(const std::string& path) const {
+  std::string error;
+  if (!store::SaveModelCheckpoint(store_, path, &error)) {
+    ASTERIA_LOG(Error) << "SiameseModel::Save: " << error;
+    return false;
+  }
+  return true;
+}
+
+bool SiameseModel::Load(const std::string& path) {
+  std::string error;
+  if (!store::LoadModelCheckpoint(&store_, path, &error)) {
+    ASTERIA_LOG(Error) << "SiameseModel::Load: " << error;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace asteria::core

@@ -46,11 +46,15 @@ class SiameseModel {
   double TrainPair(const ast::BinaryAst& a, const ast::BinaryAst& b,
                    bool homologous);
 
-  bool Save(const std::string& path) const { return store_.Save(path); }
-  bool Load(const std::string& path) { return store_.Load(path); }
+  // Checkpoints via store::{Save,Load}ModelCheckpoint: writes the versioned
+  // CRC-checked container format, reads both it and legacy asteria-params v1
+  // files (src/store/checkpoint.h).
+  bool Save(const std::string& path) const;
+  bool Load(const std::string& path);
 
   const SiameseConfig& config() const { return config_; }
   std::size_t TotalWeights() const { return store_.TotalWeights(); }
+  const nn::ParameterStore& parameters() const { return store_; }
 
  private:
   nn::Var Head(nn::Tape* tape, nn::Var e1, nn::Var e2) const;

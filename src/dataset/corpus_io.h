@@ -1,0 +1,43 @@
+// Corpus snapshots: persist a built dataset::Corpus so repeated experiment
+// runs skip the generate/compile/decompile pipeline entirely.
+//
+// A snapshot is a kKindCorpus container (docs/FORMATS.md): one CMET chunk
+// carrying a fingerprint of the CorpusConfig that built the corpus plus the
+// per-ISA counters, then one FUNC chunk per corpus function (names, ISA,
+// preprocessed LCRS tree, callee data, ACFG). The `(package, function,
+// isa) -> index` map is rebuilt on load. The source n-ary AST
+// (CorpusConfig::keep_source_ast) is not persisted — corpora built with
+// that flag refuse to snapshot rather than silently dropping data.
+//
+// LoadCorpus only accepts a snapshot whose config fingerprint matches the
+// requested config (thread count excluded — it never changes the corpus by
+// the ParallelFor determinism contract), so a stale cache can never leak a
+// wrong corpus into an experiment.
+#pragma once
+
+#include <string>
+
+#include "dataset/corpus.h"
+
+namespace asteria::dataset {
+
+// Fingerprint of every config field that affects the built corpus.
+std::uint32_t CorpusConfigFingerprint(const CorpusConfig& config);
+
+// Writes `corpus` (built with `config`) to `path`.
+bool SaveCorpus(const Corpus& corpus, const CorpusConfig& config,
+                const std::string& path, std::string* error);
+
+// Loads a corpus snapshot; fails on corruption, truncation, or a config
+// fingerprint mismatch, leaving `corpus` untouched.
+bool LoadCorpus(Corpus* corpus, const CorpusConfig& config,
+                const std::string& path, std::string* error);
+
+// BuildCorpus with a snapshot cache: when `cache_path` is non-empty and
+// holds a matching snapshot, loads it; otherwise builds the corpus and
+// writes the snapshot for the next run. Falls back to a plain build when
+// the cache cannot be written (logged, not fatal).
+Corpus BuildOrLoadCorpus(const CorpusConfig& config,
+                         const std::string& cache_path);
+
+}  // namespace asteria::dataset

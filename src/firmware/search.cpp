@@ -9,6 +9,7 @@
 #include "decompiler/decompile.h"
 #include "minic/parser.h"
 #include "minic/sema.h"
+#include "store/container.h"
 #include "util/log.h"
 
 namespace asteria::firmware {
@@ -176,18 +177,164 @@ FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
   return corpus;
 }
 
-VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
-                               const FirmwareCorpus& corpus, double threshold,
-                               int beta) {
-  VulnSearchResult result;
-  result.threshold = threshold;
-
-  // Encode the whole firmware corpus once (offline phase).
+std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
+                                             const FirmwareCorpus& corpus) {
   std::vector<nn::Matrix> encodings;
   encodings.reserve(corpus.functions.size());
   for (const FirmwareFunction& fn : corpus.functions) {
     encodings.push_back(model.Encode(fn.feature.tree));
   }
+  return encodings;
+}
+
+namespace {
+
+constexpr std::uint32_t kTagEncodingsMeta = store::FourCc('E', 'M', 'E', 'T');
+constexpr std::uint32_t kTagEncodingsData = store::FourCc('E', 'V', 'E', 'C');
+constexpr std::uint32_t kEncodingsSchemaVersion = 1;
+
+}  // namespace
+
+bool SaveFirmwareEncodings(const std::vector<nn::Matrix>& encodings,
+                           const core::AsteriaModel& model,
+                           const std::string& path, std::string* error) {
+  store::Writer writer;
+  if (!writer.Open(path, store::kKindEncodings, error)) return false;
+  store::ChunkBuilder meta;
+  meta.PutU32(kEncodingsSchemaVersion);
+  meta.PutU32(model.WeightsFingerprint());
+  meta.PutU64(encodings.size());
+  if (!writer.WriteChunk(kTagEncodingsMeta, meta, error)) return false;
+  store::ChunkBuilder data;
+  for (const nn::Matrix& encoding : encodings) {
+    data.PutU32(static_cast<std::uint32_t>(encoding.rows()));
+    data.PutU32(static_cast<std::uint32_t>(encoding.cols()));
+    data.PutF64Array(encoding.data(), encoding.size());
+  }
+  if (!writer.WriteChunk(kTagEncodingsData, data, error)) return false;
+  return writer.Finish(error);
+}
+
+bool LoadFirmwareEncodings(std::vector<nn::Matrix>* encodings,
+                           const core::AsteriaModel& model,
+                           std::size_t expected_count, const std::string& path,
+                           std::string* error) {
+  store::Reader reader;
+  if (!reader.Open(path, store::kKindEncodings, error)) return false;
+  std::uint64_t declared_count = 0;
+  bool saw_meta = false;
+  std::vector<nn::Matrix> loaded;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+    const store::ChunkInfo& info = reader.chunks()[i];
+    if (info.tag != kTagEncodingsMeta && info.tag != kTagEncodingsData) {
+      continue;
+    }
+    if (!reader.ReadChunk(i, &payload, error)) return false;
+    store::ChunkParser parser(payload);
+    if (info.tag == kTagEncodingsMeta) {
+      std::uint32_t schema = 0, fingerprint = 0;
+      if (!parser.GetU32(&schema, error) ||
+          !parser.GetU32(&fingerprint, error) ||
+          !parser.GetU64(&declared_count, error)) {
+        return false;
+      }
+      if (schema != kEncodingsSchemaVersion) {
+        *error = path + ": unsupported encodings schema version " +
+                 std::to_string(schema);
+        return false;
+      }
+      if (fingerprint != model.WeightsFingerprint()) {
+        *error = path + ": encodings were produced by different model "
+                        "weights (fingerprint mismatch)";
+        return false;
+      }
+      if (declared_count != expected_count) {
+        *error = path + ": cache holds " + std::to_string(declared_count) +
+                 " encodings but the corpus has " +
+                 std::to_string(expected_count) + " functions — stale cache";
+        return false;
+      }
+      saw_meta = true;
+      continue;
+    }
+    if (!saw_meta) {
+      *error = path + ": EVEC chunk before EMET metadata";
+      return false;
+    }
+    while (!parser.AtEnd()) {
+      std::uint32_t rows = 0, cols = 0;
+      if (!parser.GetU32(&rows, error) || !parser.GetU32(&cols, error)) {
+        return false;
+      }
+      const std::uint64_t elements =
+          static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+      if (elements * sizeof(double) > parser.remaining()) {
+        *error = path + ": encoding " + std::to_string(loaded.size()) +
+                 " declares " + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " but the chunk is too small";
+        return false;
+      }
+      nn::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
+      if (!parser.GetF64Array(m.data(), m.size(), error)) return false;
+      loaded.push_back(std::move(m));
+    }
+  }
+  if (!saw_meta) {
+    *error = path + ": missing EMET metadata chunk";
+    return false;
+  }
+  if (loaded.size() != declared_count) {
+    *error = path + ": EMET declares " + std::to_string(declared_count) +
+             " encodings but " + std::to_string(loaded.size()) +
+             " were stored";
+    return false;
+  }
+  *encodings = std::move(loaded);
+  return true;
+}
+
+VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
+                               const FirmwareCorpus& corpus, double threshold,
+                               int beta) {
+  // Encode the whole firmware corpus once (offline phase).
+  return RunVulnSearch(model, corpus, EncodeFirmwareCorpus(model, corpus),
+                       threshold, beta);
+}
+
+VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
+                                     const FirmwareCorpus& corpus,
+                                     double threshold, int beta,
+                                     const std::string& cache_path) {
+  if (cache_path.empty()) return RunVulnSearch(model, corpus, threshold, beta);
+  std::string error;
+  std::vector<nn::Matrix> encodings;
+  if (LoadFirmwareEncodings(&encodings, model, corpus.functions.size(),
+                            cache_path, &error)) {
+    ASTERIA_LOG(Info) << "firmware encodings cache hit: " << cache_path;
+  } else {
+    ASTERIA_LOG(Info) << "firmware encodings cache miss (" << error
+                      << "); re-encoding";
+    encodings = EncodeFirmwareCorpus(model, corpus);
+    if (!SaveFirmwareEncodings(encodings, model, cache_path, &error)) {
+      ASTERIA_LOG(Warn) << "firmware encodings cache write failed: " << error;
+    }
+  }
+  return RunVulnSearch(model, corpus, encodings, threshold, beta);
+}
+
+VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
+                               const FirmwareCorpus& corpus,
+                               const std::vector<nn::Matrix>& encodings,
+                               double threshold, int beta) {
+  if (encodings.size() != corpus.functions.size()) {
+    ASTERIA_LOG(Error) << "RunVulnSearch: " << encodings.size()
+                       << " encodings for " << corpus.functions.size()
+                       << " corpus functions; re-encoding";
+    return RunVulnSearch(model, corpus, threshold, beta);
+  }
+  VulnSearchResult result;
+  result.threshold = threshold;
 
   for (const VulnSpec& spec : VulnLibrary()) {
     CveSearchResult row;

@@ -77,9 +77,38 @@ struct VulnSearchResult {
 // Reference ISA used to compile the CVE library for querying.
 inline constexpr int kQueryIsa = 0;  // x86
 
+// Offline phase: one encoding per corpus function, in corpus order.
+std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
+                                             const FirmwareCorpus& corpus);
+
+// Persist/reload the offline encodings (kKindEncodings container,
+// docs/FORMATS.md). The snapshot is fingerprinted against the model
+// weights; Load additionally requires the entry count to match the corpus
+// so a cache from a different corpus build fails loudly.
+bool SaveFirmwareEncodings(const std::vector<nn::Matrix>& encodings,
+                           const core::AsteriaModel& model,
+                           const std::string& path, std::string* error);
+bool LoadFirmwareEncodings(std::vector<nn::Matrix>* encodings,
+                           const core::AsteriaModel& model,
+                           std::size_t expected_count, const std::string& path,
+                           std::string* error);
+
 // Runs the search with a trained model at the given score threshold.
 VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
                                const FirmwareCorpus& corpus,
                                double threshold, int beta = 4);
+
+// Same, but with precomputed offline encodings (corpus order).
+VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
+                               const FirmwareCorpus& corpus,
+                               const std::vector<nn::Matrix>& encodings,
+                               double threshold, int beta = 4);
+
+// Warm-start variant: reuses `cache_path` when it holds valid encodings
+// for this (model, corpus), otherwise encodes and refreshes the cache.
+VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
+                                     const FirmwareCorpus& corpus,
+                                     double threshold, int beta,
+                                     const std::string& cache_path);
 
 }  // namespace asteria::firmware

@@ -1,9 +1,15 @@
 #include "nn/parameter.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "util/log.h"
 
 namespace asteria::nn {
 
@@ -58,26 +64,79 @@ bool ParameterStore::Save(const std::string& path) const {
 }
 
 bool ParameterStore::Load(const std::string& path) {
+  const auto reject = [&path](const std::string& reason) {
+    ASTERIA_LOG(Error) << "ParameterStore::Load(" << path << "): " << reason;
+    return false;
+  };
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) return reject("cannot open file");
+  in.seekg(0, std::ios::end);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   std::string magic, version;
   in >> magic >> version;
-  if (magic != "asteria-params" || version != "v1") return false;
-  std::size_t count = 0;
+  if (!in || magic != "asteria-params" || version != "v1") {
+    return reject("bad magic/version (expected 'asteria-params v1')");
+  }
+  std::uint64_t count = 0;
   in >> count;
-  for (std::size_t i = 0; i < count; ++i) {
+  if (!in) return reject("unreadable parameter count");
+  // Each parameter record is at least a 1-char name, " r c\n", one double,
+  // and the trailing newline; a count that cannot fit in the file is a
+  // corrupted or truncated header, not something to iterate on.
+  if (count > file_size / (sizeof(double) + 6)) {
+    return reject("declared parameter count " + std::to_string(count) +
+                  " cannot fit in a " + std::to_string(file_size) +
+                  "-byte file — corrupted header");
+  }
+  if (count != handles_.size()) {
+    return reject("file declares " + std::to_string(count) +
+                  " parameters but this store has " +
+                  std::to_string(handles_.size()));
+  }
+  // Stage every value first so a failure never leaves the store partially
+  // overwritten (all-or-nothing, matching store::LoadModelCheckpoint).
+  std::vector<std::pair<Parameter*, std::vector<double>>> staged;
+  staged.reserve(count);
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < count; ++i) {
     std::string name;
-    int rows = 0, cols = 0;
+    long long rows = 0, cols = 0;
     in >> name >> rows >> cols;
-    in.ignore();  // newline before the raw block
-    Parameter* p = Find(name);
-    if (p == nullptr || p->value.rows() != rows || p->value.cols() != cols) {
-      return false;
+    if (!in) {
+      return reject("truncated header for parameter record " +
+                    std::to_string(i));
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(double)));
-    if (!in) return false;
+    in.ignore();  // newline before the raw block
+    if (!seen.insert(name).second) {
+      return reject("duplicate parameter record '" + name + "'");
+    }
+    Parameter* p = Find(name);
+    if (p == nullptr) {
+      return reject("unknown parameter '" + name +
+                    "' (model/checkpoint mismatch)");
+    }
+    if (p->value.rows() != rows || p->value.cols() != cols) {
+      return reject("parameter '" + name + "' has shape " +
+                    std::to_string(rows) + "x" + std::to_string(cols) +
+                    " in the file but " + std::to_string(p->value.rows()) +
+                    "x" + std::to_string(p->value.cols()) + " in this store");
+    }
+    std::vector<double> values(p->value.size());
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(double)));
+    if (!in || in.gcount() !=
+                   static_cast<std::streamsize>(values.size() * sizeof(double))) {
+      return reject("raw value block of parameter '" + name +
+                    "' is truncated (wanted " +
+                    std::to_string(values.size() * sizeof(double)) +
+                    " bytes)");
+    }
     in.ignore();  // trailing newline
+    staged.emplace_back(p, std::move(values));
+  }
+  for (auto& [p, values] : staged) {
+    std::copy(values.begin(), values.end(), p->value.data());
   }
   return true;
 }

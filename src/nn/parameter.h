@@ -46,9 +46,15 @@ class ParameterStore {
   // Total number of scalar weights.
   std::size_t TotalWeights() const;
 
-  // Serializes all parameters to a file (text header + raw doubles).
+  // Legacy "asteria-params v1" codec (text header + raw doubles). New code
+  // should go through store::SaveModelCheckpoint / LoadModelCheckpoint
+  // (src/store/checkpoint.h), which write the versioned CRC-checked
+  // container format and fall back to this reader for old files.
   bool Save(const std::string& path) const;
   // Loads values for parameters already created with matching names/shapes.
+  // All-or-nothing: validates the declared count against the file size and
+  // every name/shape before committing any value; failures are logged with
+  // a reason and leave the store untouched.
   bool Load(const std::string& path);
 
  private:

@@ -141,6 +141,50 @@ TEST(Determinism, TopKOrderingIdenticalForThreadCounts) {
   }
 }
 
+TEST(Determinism, SnapshotLoadIdenticalTopKForThreadCounts) {
+  // The persistence acceptance bar: a saved-then-loaded SearchIndex must
+  // return bitwise-identical TopK results (scores and ordering) to the
+  // freshly built index, for every thread count — the static-partition
+  // contract extended across a process boundary.
+  const dataset::Corpus corpus = SmallCorpus(1);
+  const auto features = CorpusFeatures(corpus);
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+
+  core::SearchIndex fresh(model, 1);
+  fresh.AddAll(features);
+  const std::string path = testing::TempDir() + "determinism_index.snapshot";
+  std::string error;
+  ASSERT_TRUE(fresh.Save(path, &error)) << error;
+
+  core::SearchIndex loaded(model, 1);
+  ASSERT_TRUE(loaded.Load(path, &error)) << error;
+  ASSERT_EQ(loaded.size(), fresh.size());
+  for (int i = 0; i < fresh.size(); ++i) {
+    ASSERT_TRUE(BitwiseEqual(fresh.encoding(i), loaded.encoding(i)))
+        << "entry " << i;
+  }
+
+  const int k = 10;
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE(threads);
+    fresh.set_threads(threads);
+    loaded.set_threads(threads);
+    for (std::size_t q = 0; q < features.size(); q += 11) {
+      const auto expected = fresh.TopK(features[q], k);
+      const auto hits = loaded.TopK(features[q], k);
+      ASSERT_EQ(hits.size(), expected.size());
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].index, expected[i].index) << "rank " << i;
+        EXPECT_EQ(hits[i].name, expected[i].name);
+        // Bitwise: the loaded encodings are the saved bytes, so the eq. (8)
+        // replay must produce the exact same doubles.
+        EXPECT_EQ(hits[i].score, expected[i].score);
+      }
+    }
+  }
+}
+
 TEST(Determinism, TopKScoresDescendWithIndexTiebreak) {
   const dataset::Corpus corpus = SmallCorpus(1);
   const auto features = CorpusFeatures(corpus);

@@ -11,19 +11,33 @@
 //                                              top-k clone search: query one
 //                                              function against every function
 //                                              of every ISA build of <file>
+//   asteria-cli index-build <file> <out.idx> [weights]
+//                                              offline phase: encode every
+//                                              function of every ISA build and
+//                                              save a CRC-checked snapshot
+//   asteria-cli index-info <idx>               inspect a snapshot (or any
+//                                              container artifact) without
+//                                              loading a model
+//   asteria-cli index-query <idx> <file> <fn> <isa> [k] [weights]
+//                                              online phase: load the snapshot
+//                                              (no re-encoding) and run top-k
 //   asteria-cli run <file> <fn> [args...]      execute in the interpreter
 //
 // ISAs: x86 x64 ARM PPC (default x86).
 //
 // A --threads=N flag (anywhere on the command line) sets the worker-thread
 // count for offline encoding and query scoring; results are bitwise
-// identical for any value (util::ThreadPool determinism contract).
+// identical for any value (util::ThreadPool determinism contract) — and a
+// snapshot round trip preserves that: index-query over a loaded snapshot
+// returns bitwise-identical TopK results to a fresh index-build.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "binary/disasm.h"
 #include "compiler/compile.h"
@@ -35,6 +49,7 @@
 #include "minic/printer.h"
 #include "minic/sema.h"
 #include "dataset/generator.h"
+#include "store/container.h"
 #include "util/table.h"
 
 namespace {
@@ -46,10 +61,22 @@ int g_threads = 1;  // set by --threads=N
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|run> "
-      "[--threads=N] ...\n"
+      "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
+      "index-build|index-info|index-query|run> [--threads=N] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
+}
+
+// Strict base-10 integer parse: the whole token must be digits (optionally
+// signed); anything else is an error, not silently clamped garbage.
+bool ParseInt(const char* text, long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
 }
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -221,39 +248,37 @@ int CmdSim(int argc, char** argv) {
   return 0;
 }
 
-int CmdSearch(int argc, char** argv) {
-  if (argc < 5) return Usage();
-  minic::Program program;
-  if (!LoadProgram(argv[2], &program)) return 1;
-  const std::string query_fn = argv[3];
-  const binary::Isa query_isa = ParseIsa(argv[4]);
-  const int k = argc > 5 ? std::atoi(argv[5]) : 10;
-
-  core::AsteriaConfig config;
-  core::AsteriaModel model(config);
-  if (argc > 6) {
-    if (!model.Load(argv[6])) {
-      std::fprintf(stderr, "cannot load weights from %s\n", argv[6]);
-      return 1;
+// Loads weights into `model` when a path is given; warns otherwise.
+bool LoadWeightsOrWarn(core::AsteriaModel* model, const char* path) {
+  if (path != nullptr) {
+    if (!model->Load(path)) {
+      std::fprintf(stderr, "cannot load weights from %s\n", path);
+      return false;
     }
-  } else {
-    std::fprintf(stderr,
-                 "warning: scoring with UNTRAINED weights; pass a weight "
-                 "file (see examples/train_model)\n");
+    return true;
   }
+  std::fprintf(stderr,
+               "warning: scoring with UNTRAINED weights; pass a weight "
+               "file (see examples/train_model)\n");
+  return true;
+}
 
-  // Offline phase: every function of every ISA build goes into the index.
-  std::vector<core::FunctionFeature> features;
-  core::FunctionFeature query;
-  bool have_query = false;
+// Offline phase of `search`/`index-build`: every function of every ISA
+// build of `program` becomes one feature, named "<fn>@<ISA>". When
+// `query_fn` is non-empty, also extracts the matching query feature.
+bool CollectFeatures(const minic::Program& program, const char* source_path,
+                     const std::string& query_fn, binary::Isa query_isa,
+                     std::vector<core::FunctionFeature>* features,
+                     core::FunctionFeature* query, bool* have_query) {
+  if (have_query != nullptr) *have_query = false;
   for (int isa = 0; isa < binary::kNumIsas; ++isa) {
     auto result = compiler::CompileProgram(
-        program, static_cast<binary::Isa>(isa), argv[2]);
+        program, static_cast<binary::Isa>(isa), source_path);
     const std::string isa_name(binary::IsaName(static_cast<binary::Isa>(isa)));
     if (!result.ok) {
       std::fprintf(stderr, "compile error (%s): %s\n", isa_name.c_str(),
                    result.error.c_str());
-      return 1;
+      return false;
     }
     auto decompiled = decompiler::DecompileModule(result.module);
     for (decompiler::DecompiledFunction& df : decompiled) {
@@ -261,28 +286,168 @@ int CmdSearch(int argc, char** argv) {
       feature.name = df.name + "@" + isa_name;
       feature.tree = core::AsteriaModel::Preprocess(df.tree);
       feature.callee_count = df.callee_count;
-      if (static_cast<binary::Isa>(isa) == query_isa && df.name == query_fn) {
-        query = feature;
-        have_query = true;
+      if (!query_fn.empty() && static_cast<binary::Isa>(isa) == query_isa &&
+          df.name == query_fn) {
+        *query = feature;
+        *have_query = true;
       }
-      features.push_back(std::move(feature));
+      features->push_back(std::move(feature));
     }
   }
-  if (!have_query) {
+  if (!query_fn.empty() && have_query != nullptr && !*have_query) {
     std::fprintf(stderr, "no function '%s' under %s\n", query_fn.c_str(),
                  std::string(binary::IsaName(query_isa)).c_str());
-    return 1;
+    return false;
   }
-  core::SearchIndex index(model, g_threads);
-  index.AddAll(features);
+  return true;
+}
+
+void PrintHits(const std::vector<core::SearchHit>& hits) {
   util::TextTable table({"rank", "function", "F"});
-  const auto hits = index.TopK(query, k);
   for (std::size_t i = 0; i < hits.size(); ++i) {
     char score[32];
     std::snprintf(score, sizeof(score), "%.6f", hits[i].score);
     table.AddRow({std::to_string(i + 1), hits[i].name, score});
   }
   std::fputs(table.ToString().c_str(), stdout);
+}
+
+bool ParseTopK(int argc, char** argv, int arg_index, int* k) {
+  if (argc <= arg_index) return true;  // keep the default
+  long value = 0;
+  if (!ParseInt(argv[arg_index], &value) || value < 1) {
+    std::fprintf(stderr, "bad k '%s' (expected a positive integer)\n",
+                 argv[arg_index]);
+    return false;
+  }
+  *k = static_cast<int>(value);
+  return true;
+}
+
+int CmdSearch(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const std::string query_fn = argv[3];
+  const binary::Isa query_isa = ParseIsa(argv[4]);
+  int k = 10;
+  if (!ParseTopK(argc, argv, 5, &k)) return 1;
+
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  if (!LoadWeightsOrWarn(&model, argc > 6 ? argv[6] : nullptr)) return 1;
+
+  std::vector<core::FunctionFeature> features;
+  core::FunctionFeature query;
+  bool have_query = false;
+  if (!CollectFeatures(program, argv[2], query_fn, query_isa, &features,
+                       &query, &have_query)) {
+    return 1;
+  }
+  core::SearchIndex index(model, g_threads);
+  index.AddAll(features);
+  PrintHits(index.TopK(query, k));
+  return 0;
+}
+
+int CmdIndexBuild(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const std::string out_path = argv[3];
+
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  if (!LoadWeightsOrWarn(&model, argc > 4 ? argv[4] : nullptr)) return 1;
+
+  std::vector<core::FunctionFeature> features;
+  if (!CollectFeatures(program, argv[2], "", binary::Isa::kX86, &features,
+                       nullptr, nullptr)) {
+    return 1;
+  }
+  core::SearchIndex index(model, g_threads);
+  index.AddAll(features);
+  std::string error;
+  if (!index.Save(out_path, &error)) {
+    std::fprintf(stderr, "cannot save index: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("indexed %d functions -> %s\n", index.size(), out_path.c_str());
+  return 0;
+}
+
+int CmdIndexInfo(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string error;
+  store::Reader reader;
+  if (!reader.Open(argv[2], 0, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: %s container, format v%u, %zu chunks\n", argv[2],
+              store::FourCcName(reader.kind()).c_str(), reader.version(),
+              reader.chunks().size());
+  util::TextTable table({"chunk", "tag", "payload bytes", "crc32"});
+  std::size_t verified = 0;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+    const store::ChunkInfo& info = reader.chunks()[i];
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", info.crc32);
+    table.AddRow({std::to_string(i), store::FourCcName(info.tag),
+                  std::to_string(info.size), crc});
+    if (!reader.ReadChunk(i, &payload, &error)) {
+      std::fputs(table.ToString().c_str(), stdout);
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    ++verified;
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("all %zu chunk CRCs verified\n", verified);
+  return 0;
+}
+
+int CmdIndexQuery(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  const std::string index_path = argv[2];
+  minic::Program program;
+  if (!LoadProgram(argv[3], &program)) return 1;
+  const std::string query_fn = argv[4];
+  const binary::Isa query_isa = ParseIsa(argv[5]);
+  int k = 10;
+  if (!ParseTopK(argc, argv, 6, &k)) return 1;
+
+  core::AsteriaConfig config;
+  core::AsteriaModel model(config);
+  if (!LoadWeightsOrWarn(&model, argc > 7 ? argv[7] : nullptr)) return 1;
+
+  core::SearchIndex index(model, g_threads);
+  std::string error;
+  if (!index.Load(index_path, &error)) {
+    std::fprintf(stderr, "cannot load index: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %d encoded functions from %s (no re-encode)\n",
+               index.size(), index_path.c_str());
+
+  // Only the query function needs compiling/encoding now.
+  auto result = compiler::CompileProgram(program, query_isa, argv[3]);
+  if (!result.ok) {
+    std::fprintf(stderr, "compile error: %s\n", result.error.c_str());
+    return 1;
+  }
+  const int fn = result.module.FindFunction(query_fn);
+  if (fn < 0) {
+    std::fprintf(stderr, "no function '%s'\n", query_fn.c_str());
+    return 1;
+  }
+  auto decompiled = decompiler::DecompileFunction(result.module, fn);
+  core::FunctionFeature query;
+  query.name = query_fn;
+  query.tree = core::AsteriaModel::Preprocess(decompiled.tree);
+  query.callee_count = decompiled.callee_count;
+  PrintHits(index.TopK(query, k));
   return 0;
 }
 
@@ -307,11 +472,19 @@ int CmdRun(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract --threads=N wherever it appears; commands see positional args only.
+  // Extract --threads=N wherever it appears; commands see positional args
+  // only. The value is parsed strictly: non-numeric input is an error, not
+  // something to clamp to 1 and silently run with.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      g_threads = std::atoi(argv[i] + 10);
-      if (g_threads < 1) g_threads = 1;
+      long threads = 0;
+      if (!ParseInt(argv[i] + 10, &threads) || threads < 1) {
+        std::fprintf(stderr,
+                     "bad --threads value '%s' (expected a positive integer)\n",
+                     argv[i] + 10);
+        return 2;
+      }
+      g_threads = static_cast<int>(threads);
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
@@ -326,6 +499,9 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(argc, argv);
   if (command == "sim") return CmdSim(argc, argv);
   if (command == "search") return CmdSearch(argc, argv);
+  if (command == "index-build") return CmdIndexBuild(argc, argv);
+  if (command == "index-info") return CmdIndexInfo(argc, argv);
+  if (command == "index-query") return CmdIndexQuery(argc, argv);
   if (command == "run") return CmdRun(argc, argv);
   return Usage();
 }
