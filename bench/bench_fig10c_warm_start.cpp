@@ -18,6 +18,7 @@
 
 #include "common.h"
 #include "core/search_index.h"
+#include "store/container.h"
 #include "util/log.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -71,8 +72,11 @@ int Run(int argc, char** argv) {
   // Cold start: the full offline phase (encode every function).
   util::Timer timer;
   core::SearchIndex cold(model, threads);
-  cold.AddAll(features);
+  const util::PipelineReport encode_report = cold.AddAll(features);
   const double cold_seconds = timer.ElapsedSeconds();
+  if (!encode_report.Clean()) {
+    ASTERIA_LOG(Warn) << encode_report.Summary();
+  }
   ASTERIA_LOG(Info) << "cold start: encoded " << cold.size()
                     << " functions in " << cold_seconds << "s";
 
@@ -84,14 +88,24 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  // Warm start: load the snapshot (best of 3 to damp filesystem noise).
+  // Warm start: load the snapshot (best of 3 to damp filesystem noise). A
+  // corrupt snapshot is quarantined and rewritten from the in-memory index
+  // rather than aborting the bench.
   double warm_seconds = 0.0;
   core::SearchIndex warm(model, threads);
   for (int run = 0; run < 3; ++run) {
     timer.Reset();
     if (!warm.Load(snapshot_path, &error)) {
-      std::fprintf(stderr, "snapshot load failed: %s\n", error.c_str());
-      return 1;
+      std::string quarantined;
+      store::QuarantineFile(snapshot_path, &quarantined);
+      ASTERIA_LOG(Warn) << "snapshot load failed (" << error
+                        << "); quarantined to " << quarantined
+                        << " and rewriting from the cold index";
+      if (!cold.Save(snapshot_path, &error) ||
+          !warm.Load(snapshot_path, &error)) {
+        std::fprintf(stderr, "snapshot rebuild failed: %s\n", error.c_str());
+        return 1;
+      }
     }
     const double elapsed = timer.ElapsedSeconds();
     warm_seconds = run == 0 ? elapsed : std::min(warm_seconds, elapsed);

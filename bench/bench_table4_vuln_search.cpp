@@ -80,6 +80,9 @@ int Run(int argc, char** argv) {
   firmware::FirmwareCorpus corpus = firmware::BuildFirmwareCorpus(fw_config);
   ASTERIA_LOG(Info) << "firmware corpus: " << corpus.images.size()
                     << " images, " << corpus.functions.size() << " functions";
+  if (!corpus.report.Clean()) {
+    ASTERIA_LOG(Warn) << corpus.report.Summary();
+  }
 
   firmware::VulnSearchResult result = firmware::RunVulnSearchCached(
       model, corpus, threshold, /*beta=*/4, flags.GetString("encodings_cache"));
@@ -111,6 +114,9 @@ int Run(int argc, char** argv) {
               "vulnerable instances\n",
               result.total_candidates, result.total_confirmed,
               planted_vulnerable);
+  if (!result.report.Clean()) {
+    std::printf("%s\n", result.report.Summary().c_str());
+  }
   table.WriteCsv(bench::OutDir() + "/table4_vuln.csv");
   return 0;
 }

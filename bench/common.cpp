@@ -1,8 +1,11 @@
 #include "common.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 
 #include "dataset/corpus_io.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -24,7 +27,11 @@ void DefineCommonFlags(util::Flags* flags) {
   flags->DefineString("corpus_cache", "",
                       "path of a corpus snapshot to reuse (empty = rebuild "
                       "every run); a stale or corrupt snapshot is detected "
-                      "by its config fingerprint/CRCs and rebuilt");
+                      "by its config fingerprint/CRCs, quarantined, and "
+                      "rebuilt");
+  flags->DefineString("failpoints", "",
+                      "fault-injection spec, e.g. 'store.write=once,"
+                      "corpus.function=every:3' (see docs/ROBUSTNESS.md)");
 }
 
 namespace {
@@ -36,6 +43,13 @@ std::string OutDir() { return g_out_dir; }
 ExperimentSetup BuildSetup(const util::Flags& flags) {
   if (flags.GetBool("quiet")) util::SetLogLevel(util::LogLevel::kWarn);
   g_out_dir = flags.GetString("out");
+  if (const std::string spec = flags.GetString("failpoints"); !spec.empty()) {
+    std::string error;
+    if (!util::ConfigureFailpoints(spec, &error)) {
+      std::fprintf(stderr, "bad --failpoints spec: %s\n", error.c_str());
+      std::exit(2);
+    }
+  }
   dataset::CorpusConfig config;
   config.packages = static_cast<int>(flags.GetInt("packages"));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) * 1000003 + 17;
@@ -44,6 +58,9 @@ ExperimentSetup BuildSetup(const util::Flags& flags) {
   ExperimentSetup setup;
   setup.corpus =
       dataset::BuildOrLoadCorpus(config, flags.GetString("corpus_cache"));
+  if (!setup.corpus.report.Clean()) {
+    ASTERIA_LOG(Warn) << setup.corpus.report.Summary();
+  }
   ASTERIA_LOG(Info) << "corpus: " << setup.corpus.functions.size()
                     << " functions from " << config.packages
                     << " packages x 4 ISAs in "
@@ -79,11 +96,15 @@ std::vector<double> TrainAsteria(core::AsteriaModel* model,
   std::vector<double> losses;
   for (int epoch = 0; epoch < epochs; ++epoch) {
     util::Timer timer;
-    const double loss = model->TrainEpoch(features, pairs, *rng);
+    util::PipelineReport report;
+    const double loss = model->TrainEpoch(features, pairs, *rng, &report);
     losses.push_back(loss);
     ASTERIA_LOG(Info) << "asteria epoch " << epoch << ": loss=" << loss
                       << " (" << util::FormatSeconds(timer.ElapsedSeconds())
                       << ")";
+    if (report.failed > 0) {
+      ASTERIA_LOG(Warn) << report.Summary();
+    }
   }
   return losses;
 }

@@ -3,7 +3,10 @@
 # tests that exercise util::ThreadPool and the parallel SearchIndex/corpus
 # paths. The determinism tests assert parallel == serial bitwise; running
 # them under TSan additionally proves the parallel sections are data-race
-# free. CI-friendly: exits non-zero on build failure, test failure, or any
+# free. robustness_test's corruption sweep (byte flips and truncations of
+# every container kind) runs here under ASan/UBSan so "fails cleanly" also
+# means no out-of-bounds read on adversarial inputs (docs/ROBUSTNESS.md).
+# CI-friendly: exits non-zero on build failure, test failure, or any
 # sanitizer report.
 #
 # Usage: scripts/check_sanitize.sh [thread|address]   (default: thread)
@@ -22,14 +25,16 @@ BUILD="${BUILD/address/asan}"
 cmake -S "$ROOT" -B "$BUILD" -DASTERIA_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
-      util_test determinism_test core_test dataset_test store_test
+      util_test determinism_test core_test dataset_test store_test \
+      robustness_test
 
 # halt_on_error turns any sanitizer report into a non-zero exit so CI fails
 # even if the race would not otherwise crash the test.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
 
-for test in util_test determinism_test core_test dataset_test store_test; do
+for test in util_test determinism_test core_test dataset_test store_test \
+            robustness_test; do
   echo "== $SANITIZER: $test =="
   "$BUILD/tests/$test" --gtest_brief=1
 done

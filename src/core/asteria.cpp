@@ -1,5 +1,7 @@
 #include "core/asteria.h"
 
+#include <cmath>
+
 #include "store/checkpoint.h"
 
 namespace asteria::core {
@@ -17,16 +19,33 @@ ast::BinaryAst AsteriaModel::Preprocess(const ast::Ast& tree) {
 
 double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
                                 std::vector<LabeledPair> pairs,
-                                util::Rng& rng) {
+                                util::Rng& rng,
+                                util::PipelineReport* report) {
   rng.Shuffle(pairs);
+  if (report != nullptr && report->stage.empty()) report->stage = "train-epoch";
   double total_loss = 0.0;
   std::size_t counted = 0;
   for (const LabeledPair& pair : pairs) {
     const auto& a = features[static_cast<std::size_t>(pair.a)].tree;
     const auto& b = features[static_cast<std::size_t>(pair.b)].tree;
-    if (a.empty() || b.empty()) continue;
-    total_loss += TrainPair(a, b, pair.homologous);
+    if (a.empty() || b.empty()) {
+      if (report != nullptr) report->AddSkipped();
+      continue;
+    }
+    const double loss = TrainPair(a, b, pair.homologous);
+    if (!std::isfinite(loss)) {
+      // TrainPair already declined the weight update; keep the mean clean
+      // and record the isolated pair.
+      if (report != nullptr) {
+        report->AddFailed("non-finite loss for pair (" +
+                          std::to_string(pair.a) + ", " +
+                          std::to_string(pair.b) + ") — sample skipped");
+      }
+      continue;
+    }
+    total_loss += loss;
     ++counted;
+    if (report != nullptr) report->AddOk();
   }
   return counted == 0 ? 0.0 : total_loss / static_cast<double>(counted);
 }

@@ -11,6 +11,7 @@
 
 #include "core/calibration.h"
 #include "core/siamese.h"
+#include "util/pipeline_report.h"
 
 namespace asteria::core {
 
@@ -68,9 +69,14 @@ class AsteriaModel {
     return siamese_.TrainPair(a, b, homologous);
   }
 
-  // Trains one epoch over shuffled pairs; returns the mean loss.
+  // Trains one epoch over shuffled pairs; returns the mean loss over the
+  // pairs that actually trained. Pairs with empty trees are skipped; pairs
+  // whose loss comes back non-finite are isolated (no weight update, not
+  // counted in the mean). `report`, when non-null, accumulates the per-pair
+  // outcomes (stage "train-epoch").
   double TrainEpoch(const std::vector<FunctionFeature>& features,
-                    std::vector<LabeledPair> pairs, util::Rng& rng);
+                    std::vector<LabeledPair> pairs, util::Rng& rng,
+                    util::PipelineReport* report = nullptr);
 
   bool Save(const std::string& path) const { return siamese_.Save(path); }
   bool Load(const std::string& path) { return siamese_.Load(path); }

@@ -1,14 +1,27 @@
 #include "core/search_index.h"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
 #include <utility>
 
 #include "store/container.h"
+#include "util/failpoint.h"
 #include "util/thread_pool.h"
 
 namespace asteria::core {
 
 namespace {
+
+// Injects a per-feature encoding failure into AddAll (isolation testing).
+util::Failpoint fp_search_encode("search.encode");
+
+bool AllFinite(const nn::Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m.data()[i])) return false;
+  }
+  return true;
+}
 
 // Index-snapshot chunk tags and schema version (see docs/FORMATS.md).
 constexpr std::uint32_t kTagIndexMeta = store::FourCc('I', 'M', 'E', 'T');
@@ -33,20 +46,63 @@ int SearchIndex::Add(const FunctionFeature& feature) {
   return static_cast<int>(entries_.size()) - 1;
 }
 
-void SearchIndex::AddAll(const std::vector<FunctionFeature>& features) {
-  const std::size_t base = entries_.size();
-  entries_.resize(base + features.size());
-  // Each worker writes only the entry slot of its own index, so the stored
-  // order is the input order regardless of scheduling.
+util::PipelineReport SearchIndex::AddAll(
+    const std::vector<FunctionFeature>& features) {
+  util::PipelineReport report;
+  report.stage = "index-encode";
+  // Encode into staging slots so a failing feature never leaves a hole in
+  // entries_. Each worker writes only its own slot; the sequential compact
+  // pass below makes the surviving order (and the report) thread-count
+  // independent.
+  std::vector<Entry> staged(features.size());
+  enum : char { kFailed = 0, kOk = 1, kSkipped = 2 };
+  std::vector<char> outcome(features.size(), kFailed);
+  std::vector<std::string> failure(features.size());
   util::ParallelFor(
       static_cast<std::int64_t>(features.size()), threads_,
       [&](std::int64_t i) {
-        const FunctionFeature& feature = features[static_cast<std::size_t>(i)];
-        Entry& entry = entries_[base + static_cast<std::size_t>(i)];
-        entry.name = feature.name;
-        entry.encoding = model_.Encode(feature.tree);
-        entry.callee_count = feature.callee_count;
+        const std::size_t slot = static_cast<std::size_t>(i);
+        const FunctionFeature& feature = features[slot];
+        if (feature.tree.empty()) {
+          outcome[slot] = kSkipped;
+          failure[slot] = feature.name + ": empty AST";
+          return;
+        }
+        if (fp_search_encode.ShouldFail()) {
+          failure[slot] =
+              feature.name + ": injected failure (failpoint search.encode)";
+          return;
+        }
+        try {
+          Entry& entry = staged[slot];
+          entry.name = feature.name;
+          entry.encoding = model_.Encode(feature.tree);
+          entry.callee_count = feature.callee_count;
+          if (!AllFinite(entry.encoding)) {
+            failure[slot] = feature.name + ": encoding has non-finite values";
+            return;
+          }
+          outcome[slot] = kOk;
+        } catch (const std::exception& e) {
+          failure[slot] = feature.name + ": " + e.what();
+        }
       });
+  entries_.reserve(entries_.size() + features.size());
+  for (std::size_t i = 0; i < staged.size(); ++i) {
+    switch (outcome[i]) {
+      case kOk:
+        entries_.push_back(std::move(staged[i]));
+        report.AddOk();
+        break;
+      case kSkipped:
+        report.AddSkipped(failure[i]);
+        break;
+      default:
+        report.AddFailed(failure[i]);
+        break;
+    }
+  }
+  return report;
 }
 
 SearchHit SearchIndex::ScoreEntry(const nn::Matrix& query_encoding,
@@ -252,9 +308,26 @@ bool SearchIndex::Load(const std::string& path, std::string* error) {
                " payload bytes remain — corrupted entry";
       return false;
     }
+    // The model only produces hidden_dim x 1 encodings; anything else is a
+    // corrupted entry or a snapshot from an incompatible build, and scoring
+    // against it would read out of bounds or produce garbage.
+    const int hidden_dim = model_.config().siamese.encoder.hidden_dim;
+    if (static_cast<int>(rows) != hidden_dim || cols != 1) {
+      *error = path + ": entry '" + entry.name + "' has encoding shape " +
+               std::to_string(rows) + "x" + std::to_string(cols) +
+               " but this model produces " + std::to_string(hidden_dim) +
+               "x1 encodings";
+      return false;
+    }
     entry.encoding = nn::Matrix(static_cast<int>(rows), static_cast<int>(cols));
     if (!parser.GetF64Array(entry.encoding.data(), entry.encoding.size(),
                             error)) {
+      return false;
+    }
+    if (!AllFinite(entry.encoding)) {
+      *error = path + ": entry '" + entry.name +
+               "' encoding contains non-finite values (NaN/Inf) — corrupted "
+               "snapshot";
       return false;
     }
     loaded.push_back(std::move(entry));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/asteria.h"
+#include "util/pipeline_report.h"
 
 namespace asteria::core {
 
@@ -40,8 +41,13 @@ class SearchIndex {
   // Encodes and stores one function; returns its index.
   int Add(const FunctionFeature& feature);
 
-  // Encodes all features in parallel; entries keep input order.
-  void AddAll(const std::vector<FunctionFeature>& features);
+  // Encodes all features in parallel; entries keep input order. A feature
+  // that fails to encode (throws, yields non-finite values, or hits the
+  // search.encode failpoint) is isolated — counted in the returned report
+  // and dropped from the index — instead of aborting the batch. Empty ASTs
+  // are skipped. The surviving entries and the report are identical for
+  // every thread count.
+  util::PipelineReport AddAll(const std::vector<FunctionFeature>& features);
 
   // Scores `query` against every stored function and returns the best `k`
   // hits in descending score order (ties broken by insertion index).

@@ -1,8 +1,10 @@
 #include "core/siamese.h"
 
 #include <cmath>
+#include <limits>
 
 #include "store/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 
 namespace asteria::core {
@@ -10,6 +12,14 @@ namespace asteria::core {
 using nn::Matrix;
 using nn::Tape;
 using nn::Var;
+
+namespace {
+
+// Forces a NaN loss on one pair, exercising the numerics guard (sample
+// skipped, no weight update, training continues).
+util::Failpoint fp_train_loss("train.loss");
+
+}  // namespace
 
 SiameseModel::SiameseModel(const SiameseConfig& config, util::Rng& rng)
     : config_(config),
@@ -91,7 +101,14 @@ double SiameseModel::TrainPair(const ast::BinaryAst& a,
     target(1, 0) = homologous ? 1.0 : 0.0;
     loss = tape.BceLoss(out, target);
   }
-  const double loss_value = tape.value(loss)(0, 0);
+  double loss_value = tape.value(loss)(0, 0);
+  if (fp_train_loss.ShouldFail()) {
+    loss_value = std::numeric_limits<double>::quiet_NaN();
+  }
+  // Numerics guard: a non-finite loss means the gradients are poisoned too.
+  // Skip the update entirely — the caller counts the sample and moves on —
+  // rather than writing NaN into every weight.
+  if (!std::isfinite(loss_value)) return loss_value;
   tape.Backward(loss);
   optimizer_.Step(store_.parameters());
   return loss_value;

@@ -7,12 +7,17 @@
 #include "compiler/compile.h"
 #include "decompiler/decompile.h"
 #include "minic/sema.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
 
 namespace asteria::dataset {
 
 namespace {
+
+// Injects a per-function failure into corpus generation, exercising the
+// fault-isolation path (function skipped + counted, build continues).
+util::Failpoint fp_corpus_function("corpus.function");
 
 // Everything one package contributes to the corpus, accumulated privately
 // per package index so generation can run on any number of threads and be
@@ -22,6 +27,7 @@ struct PackageResult {
   std::array<int, 4> binaries_per_isa{};
   std::array<int, 4> functions_per_isa{};
   int filtered_small = 0;
+  util::PipelineReport report;
 };
 
 PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
@@ -35,6 +41,7 @@ PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
   if (!minic::Check(program, &error)) {
     // Generator invariant violation; skip the package but scream.
     ASTERIA_LOG(Error) << "generated package failed sema: " << error;
+    result.report.AddFailed(package + ": sema check failed: " + error);
     return result;
   }
   for (int isa = 0; isa < binary::kNumIsas; ++isa) {
@@ -42,6 +49,7 @@ PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
         program, static_cast<binary::Isa>(isa), package);
     if (!compiled.ok) {
       ASTERIA_LOG(Error) << "compile failed: " << compiled.error;
+      result.report.AddFailed(package + ": compile failed: " + compiled.error);
       continue;
     }
     ++result.binaries_per_isa[static_cast<std::size_t>(isa)];
@@ -50,10 +58,22 @@ PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
     for (std::size_t f = 0; f < decompiled.size(); ++f) {
       decompiler::DecompiledFunction& df = decompiled[f];
       ++result.functions_per_isa[static_cast<std::size_t>(isa)];
-      if (df.tree.size() < config.min_ast_size) {
-        ++result.filtered_small;
+      if (fp_corpus_function.ShouldFail()) {
+        result.report.AddFailed(package + "/" + df.name +
+                                ": injected failure (failpoint "
+                                "corpus.function)");
         continue;
       }
+      if (!df.error.empty()) {
+        result.report.AddFailed(package + "/" + df.name + ": " + df.error);
+        continue;
+      }
+      if (df.tree.size() < config.min_ast_size) {
+        ++result.filtered_small;
+        result.report.AddSkipped();
+        continue;
+      }
+      result.report.AddOk();
       CorpusFunction entry;
       entry.package = package;
       entry.function = df.name;
@@ -83,7 +103,9 @@ Corpus BuildCorpus(const CorpusConfig& config) {
   });
   // Merge in package order; indices match the sequential build exactly.
   Corpus corpus;
+  corpus.report.stage = "corpus-build";
   for (PackageResult& result : results) {
+    corpus.report.Merge(result.report);
     for (int isa = 0; isa < binary::kNumIsas; ++isa) {
       corpus.binaries_per_isa[static_cast<std::size_t>(isa)] +=
           result.binaries_per_isa[static_cast<std::size_t>(isa)];

@@ -17,6 +17,7 @@
 #include "cfg/acfg.h"
 #include "dataset/generator.h"
 #include "minic/ast.h"
+#include "util/pipeline_report.h"
 
 namespace asteria::dataset {
 
@@ -56,6 +57,10 @@ struct Corpus {
   std::array<int, 4> functions_per_isa{};
   // Number of functions dropped by the min-size filter.
   int filtered_small = 0;
+  // Per-function outcome accounting (stage "corpus-build"): a package that
+  // fails sema or a function that fails compilation/decompilation is
+  // isolated and counted here instead of aborting the build.
+  util::PipelineReport report;
 
   int Find(const std::string& package, const std::string& function,
            int isa) const {

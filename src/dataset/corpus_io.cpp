@@ -1,5 +1,6 @@
 #include "dataset/corpus_io.h"
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,13 @@
 namespace asteria::dataset {
 
 namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::fclose(file);
+  return true;
+}
 
 constexpr std::uint32_t kTagCorpusMeta = store::FourCc('C', 'M', 'E', 'T');
 constexpr std::uint32_t kTagCorpusFunction = store::FourCc('F', 'U', 'N', 'C');
@@ -175,6 +183,7 @@ bool LoadCorpus(Corpus* corpus, const CorpusConfig& config,
   if (!reader.Open(path, store::kKindCorpus, error)) return false;
 
   Corpus loaded;
+  loaded.report.stage = "corpus-load";
   std::uint64_t declared_functions = 0;
   bool saw_meta = false;
   std::vector<std::uint8_t> payload;
@@ -242,6 +251,7 @@ bool LoadCorpus(Corpus* corpus, const CorpusConfig& config,
     loaded.index[{fn.package, fn.function, fn.isa}] =
         static_cast<int>(loaded.functions.size());
     loaded.functions.push_back(std::move(fn));
+    loaded.report.AddOk();
   }
   if (!saw_meta) {
     *error = path + ": missing CMET metadata chunk";
@@ -270,6 +280,16 @@ Corpus BuildOrLoadCorpus(const CorpusConfig& config,
     return corpus;
   }
   ASTERIA_LOG(Info) << "corpus cache miss (" << error << "); rebuilding";
+  // A cache that exists but failed to load is corrupt or stale: move it
+  // aside (never silently delete evidence) so the rebuild below can write a
+  // fresh snapshot in its place.
+  if (FileExists(cache_path)) {
+    std::string quarantined;
+    if (store::QuarantineFile(cache_path, &quarantined)) {
+      ASTERIA_LOG(Warn) << "quarantined corrupt corpus cache to "
+                        << quarantined;
+    }
+  }
   corpus = BuildCorpus(config);
   if (!SaveCorpus(corpus, config, cache_path, &error)) {
     ASTERIA_LOG(Warn) << "corpus cache write failed: " << error;

@@ -60,7 +60,7 @@ DecompiledFunction DecompileFunction(const binary::BinModule& module,
   MachineCfg cfg(fn);
   DPool pool;
   const LiftedFunction lifted = LiftFunction(module, cfg, &pool);
-  const int root = StructureFunction(cfg, lifted, &pool);
+  const int root = StructureFunction(cfg, lifted, &pool, &out.error);
   out.tree.set_root(CopyToAst(pool, root, &out.tree));
 
   // Callee features for the calibration (§III-C).

@@ -29,6 +29,10 @@ struct DecompiledFunction {
   // Instruction counts of each distinct callee (lets callers re-apply the
   // β filter with other thresholds, e.g. the β-sweep ablation bench).
   std::vector<int> callee_sizes;
+  // Non-empty when decompilation degraded (e.g. the structurer hit its
+  // nesting bound and flattened to gotos). The tree is still valid;
+  // pipelines decide whether to keep or isolate the function.
+  std::string error;
 };
 
 // Re-applies the β filter: |{s in callee_sizes : s >= beta}|.

@@ -154,12 +154,18 @@ namespace {
 class StructurerImpl {
  public:
   StructurerImpl(const MachineCfg& cfg, const LiftedFunction& lifted,
-                 DPool* pool)
-      : cfg_(cfg), lifted_(lifted), pool_(*pool) {
+                 DPool* pool, int max_depth)
+      : cfg_(cfg), lifted_(lifted), pool_(*pool),
+        // Below depth 2 the pending loop cannot make progress: a while(1)
+        // header is only marked emitted by the depth-2 walk inside
+        // EmitLoop, so a depth-1-only budget would re-queue it forever.
+        max_depth_(std::max(max_depth, 2)) {
     ipdom_ = ComputeIpostdom(cfg_);
     FindLoops();
     emitted_.assign(static_cast<std::size_t>(cfg_.num_blocks()), 0);
   }
+
+  bool exceeded() const { return exceeded_; }
 
   int Run() {
     std::vector<int> stmts;
@@ -238,8 +244,24 @@ class StructurerImpl {
   // Structures the chain starting at `cur`; stops (without emitting) at any
   // block in `stops`, at the enclosing loop's header (continue) or exit
   // (break), or at a return.
+  // Walk recurses via Side (if/switch arms) and EmitLoop (loop bodies);
+  // this guard bounds that nesting so hostile CFGs cannot blow the stack.
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
   void Walk(int cur, std::set<int> stops, LoopCtx* loop,
             std::vector<int>* out) {
+    DepthGuard guard(&depth_);
+    if (depth_ > max_depth_) {
+      // Degrade to a goto; the target re-enters via the pending queue and
+      // is structured from depth 1 there.
+      exceeded_ = true;
+      if (cur >= 0) EmitGoto(cur, out);
+      return;
+    }
     while (cur >= 0) {
       if (stops.count(cur)) return;
       if (loop != nullptr) {
@@ -419,6 +441,9 @@ class StructurerImpl {
   const MachineCfg& cfg_;
   const LiftedFunction& lifted_;
   DPool& pool_;
+  int max_depth_;
+  int depth_ = 0;
+  bool exceeded_ = false;
   std::vector<int> ipdom_;
   std::map<int, std::set<int>> loops_;
   std::vector<char> emitted_;
@@ -429,8 +454,14 @@ class StructurerImpl {
 }  // namespace
 
 int StructureFunction(const MachineCfg& cfg, const LiftedFunction& lifted,
-                      DPool* pool) {
-  return StructurerImpl(cfg, lifted, pool).Run();
+                      DPool* pool, std::string* error, int max_depth) {
+  StructurerImpl impl(cfg, lifted, pool, max_depth);
+  const int root = impl.Run();
+  if (impl.exceeded() && error != nullptr) {
+    *error = "structuring exceeded max nesting depth " +
+             std::to_string(std::max(max_depth, 2)) + "; flattened via goto";
+  }
+  return root;
 }
 
 }  // namespace asteria::decompiler

@@ -7,14 +7,26 @@
 // decompiler exhibits, and Table I reserves a label for it.
 #pragma once
 
+#include <string>
+
 #include "decompiler/lifter.h"
 #include "decompiler/machine_cfg.h"
 
 namespace asteria::decompiler {
 
+// Recursion budget for the structurer. Pathological CFGs (deeply nested
+// conditionals, adversarial irreducible graphs) are flattened to gotos past
+// this nesting depth instead of overflowing the stack.
+inline constexpr int kMaxStructureDepth = 200;
+
 // Structures the function and returns the DNode id of the root kBlock.
+// When the walk exceeds `max_depth` nesting levels the remaining structure
+// degrades to gotos (the output stays a valid statement tree) and `error`,
+// if non-null, is filled with a diagnostic. `max_depth` is clamped to >= 2;
+// below that the goto-fallback queue could never drain.
 int StructureFunction(const MachineCfg& cfg, const LiftedFunction& lifted,
-                      DPool* pool);
+                      DPool* pool, std::string* error = nullptr,
+                      int max_depth = kMaxStructureDepth);
 
 // Dominator utilities (exposed for tests and the cfg library).
 // idom[b] = immediate dominator block id (entry's is itself).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <exception>
 #include <set>
 
 #include "compiler/compile.h"
@@ -10,11 +12,23 @@
 #include "minic/parser.h"
 #include "minic/sema.h"
 #include "store/container.h"
+#include "util/failpoint.h"
 #include "util/log.h"
 
 namespace asteria::firmware {
 
 namespace {
+
+// Injects a per-function encoding failure into EncodeFirmwareCorpus
+// (isolation testing: the slot degrades to a placeholder, search continues).
+util::Failpoint fp_firmware_encode("firmware.encode");
+
+bool AllFinite(const nn::Matrix& m) {
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(m.data()[i])) return false;
+  }
+  return true;
+}
 
 struct VendorSpec {
   const char* vendor;
@@ -54,6 +68,7 @@ binary::BinModule CompileSource(const std::string& source,
 
 FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
   FirmwareCorpus corpus;
+  corpus.report.stage = "firmware-corpus";
   util::Rng rng(config.seed);
   dataset::GeneratorConfig generator_config;
   generator_config.min_functions = 3;
@@ -145,6 +160,8 @@ FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
     auto unpacked = Unpack(blob);
     if (!unpacked.has_value()) {
       ++corpus.unpack_failures;
+      corpus.report.AddFailed("image " + std::to_string(img) +
+                              ": unpack failed");
       continue;
     }
     const int image_index = static_cast<int>(corpus.images.size());
@@ -155,7 +172,16 @@ FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
       const binary::BinModule& module = stored.modules[m];
       auto decompiled = decompiler::DecompileModule(module, config.beta);
       for (auto& df : decompiled) {
-        if (df.tree.size() < 5) continue;
+        if (!df.error.empty()) {
+          corpus.report.AddFailed(module.name + "/" + df.name + ": " +
+                                  df.error);
+          continue;
+        }
+        if (df.tree.size() < 5) {
+          corpus.report.AddSkipped();
+          continue;
+        }
+        corpus.report.AddOk();
         FirmwareFunction entry;
         entry.image = image_index;
         entry.module = module.name;
@@ -178,12 +204,36 @@ FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
 }
 
 std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
-                                             const FirmwareCorpus& corpus) {
+                                             const FirmwareCorpus& corpus,
+                                             util::PipelineReport* report) {
+  util::PipelineReport local;
+  local.stage = "firmware-encode";
   std::vector<nn::Matrix> encodings;
   encodings.reserve(corpus.functions.size());
   for (const FirmwareFunction& fn : corpus.functions) {
-    encodings.push_back(model.Encode(fn.feature.tree));
+    // A failed function keeps its slot as an empty 0x0 placeholder so the
+    // positional alignment with corpus.functions survives.
+    if (fp_firmware_encode.ShouldFail()) {
+      local.AddFailed(fn.feature.name +
+                      ": injected failure (failpoint firmware.encode)");
+      encodings.emplace_back();
+      continue;
+    }
+    try {
+      nn::Matrix encoding = model.Encode(fn.feature.tree);
+      if (!AllFinite(encoding)) {
+        local.AddFailed(fn.feature.name + ": encoding has non-finite values");
+        encodings.emplace_back();
+        continue;
+      }
+      encodings.push_back(std::move(encoding));
+      local.AddOk();
+    } catch (const std::exception& e) {
+      local.AddFailed(fn.feature.name + ": " + e.what());
+      encodings.emplace_back();
+    }
   }
+  if (report != nullptr) report->Merge(local);
   return encodings;
 }
 
@@ -275,8 +325,25 @@ bool LoadFirmwareEncodings(std::vector<nn::Matrix>* encodings,
                  std::to_string(cols) + " but the chunk is too small";
         return false;
       }
+      // 0x0 entries are legitimate placeholders for functions whose
+      // encoding failed; anything else must match what this model produces
+      // and hold finite values.
+      const int hidden_dim = model.config().siamese.encoder.hidden_dim;
+      if (elements != 0 &&
+          (static_cast<int>(rows) != hidden_dim || cols != 1)) {
+        *error = path + ": encoding " + std::to_string(loaded.size()) +
+                 " has shape " + std::to_string(rows) + "x" +
+                 std::to_string(cols) + " but this model produces " +
+                 std::to_string(hidden_dim) + "x1 encodings";
+        return false;
+      }
       nn::Matrix m(static_cast<int>(rows), static_cast<int>(cols));
       if (!parser.GetF64Array(m.data(), m.size(), error)) return false;
+      if (!AllFinite(m)) {
+        *error = path + ": encoding " + std::to_string(loaded.size()) +
+                 " contains non-finite values (NaN/Inf) — corrupted cache";
+        return false;
+      }
       loaded.push_back(std::move(m));
     }
   }
@@ -298,8 +365,13 @@ VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
                                const FirmwareCorpus& corpus, double threshold,
                                int beta) {
   // Encode the whole firmware corpus once (offline phase).
-  return RunVulnSearch(model, corpus, EncodeFirmwareCorpus(model, corpus),
-                       threshold, beta);
+  util::PipelineReport encode_report;
+  const std::vector<nn::Matrix> encodings =
+      EncodeFirmwareCorpus(model, corpus, &encode_report);
+  VulnSearchResult result =
+      RunVulnSearch(model, corpus, encodings, threshold, beta);
+  result.report.Merge(encode_report);
+  return result;
 }
 
 VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
@@ -312,15 +384,28 @@ VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
   if (LoadFirmwareEncodings(&encodings, model, corpus.functions.size(),
                             cache_path, &error)) {
     ASTERIA_LOG(Info) << "firmware encodings cache hit: " << cache_path;
-  } else {
-    ASTERIA_LOG(Info) << "firmware encodings cache miss (" << error
-                      << "); re-encoding";
-    encodings = EncodeFirmwareCorpus(model, corpus);
-    if (!SaveFirmwareEncodings(encodings, model, cache_path, &error)) {
-      ASTERIA_LOG(Warn) << "firmware encodings cache write failed: " << error;
+    return RunVulnSearch(model, corpus, encodings, threshold, beta);
+  }
+  ASTERIA_LOG(Info) << "firmware encodings cache miss (" << error
+                    << "); re-encoding";
+  // Move a present-but-unloadable cache aside before writing a fresh one.
+  if (std::FILE* f = std::fopen(cache_path.c_str(), "rb")) {
+    std::fclose(f);
+    std::string quarantined;
+    if (store::QuarantineFile(cache_path, &quarantined)) {
+      ASTERIA_LOG(Warn) << "quarantined corrupt encodings cache to "
+                        << quarantined;
     }
   }
-  return RunVulnSearch(model, corpus, encodings, threshold, beta);
+  util::PipelineReport encode_report;
+  encodings = EncodeFirmwareCorpus(model, corpus, &encode_report);
+  if (!SaveFirmwareEncodings(encodings, model, cache_path, &error)) {
+    ASTERIA_LOG(Warn) << "firmware encodings cache write failed: " << error;
+  }
+  VulnSearchResult result =
+      RunVulnSearch(model, corpus, encodings, threshold, beta);
+  result.report.Merge(encode_report);
+  return result;
 }
 
 VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
@@ -335,6 +420,18 @@ VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
   }
   VulnSearchResult result;
   result.threshold = threshold;
+  result.report.stage = "vuln-search";
+  // Functions whose offline encoding failed sit in their slot as empty 0x0
+  // placeholders; exclude them from scoring once (not once per CVE).
+  bool first_missing = true;
+  for (const nn::Matrix& encoding : encodings) {
+    if (encoding.size() == 0) {
+      result.report.AddSkipped(
+          first_missing ? "function without encoding excluded from scoring"
+                        : "");
+      first_missing = false;
+    }
+  }
 
   for (const VulnSpec& spec : VulnLibrary()) {
     CveSearchResult row;
@@ -347,15 +444,19 @@ VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
         spec.vulnerable_source, spec.software, static_cast<binary::Isa>(kQueryIsa));
     const int fn_index = module.FindFunction(spec.function);
     if (fn_index < 0) {
+      result.report.AddFailed(spec.cve + ": query function '" + spec.function +
+                              "' failed to compile — CVE row is empty");
       result.per_cve.push_back(std::move(row));
       continue;
     }
+    result.report.AddOk();
     auto query = decompiler::DecompileFunction(module, fn_index, beta);
     const ast::BinaryAst query_tree = ast::ToLeftChildRightSibling(query.tree);
     const nn::Matrix query_encoding = model.Encode(query_tree);
 
     std::set<std::string> models_hit;
     for (std::size_t i = 0; i < corpus.functions.size(); ++i) {
+      if (encodings[i].size() == 0) continue;  // placeholder (already counted)
       const FirmwareFunction& fn = corpus.functions[i];
       const double ast_similarity =
           model.SimilarityFromEncodings(query_encoding, encodings[i]);

@@ -19,6 +19,7 @@
 #include "core/asteria.h"
 #include "firmware/image.h"
 #include "firmware/vulnlib.h"
+#include "util/pipeline_report.h"
 
 namespace asteria::firmware {
 
@@ -50,6 +51,8 @@ struct FirmwareCorpus {
   std::vector<FirmwareImage> images;
   std::vector<FirmwareFunction> functions;
   int unpack_failures = 0;
+  // Per-function/image outcome accounting (stage "firmware-corpus").
+  util::PipelineReport report;
 };
 
 FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config);
@@ -72,14 +75,23 @@ struct VulnSearchResult {
   int total_confirmed = 0;
   int total_candidates = 0;
   double threshold = 0.0;
+  // Per-query/encoding outcome accounting (stage "vuln-search"): failed CVE
+  // query compilations and corpus functions excluded from scoring are
+  // counted here, never silently dropped.
+  util::PipelineReport report;
 };
 
 // Reference ISA used to compile the CVE library for querying.
 inline constexpr int kQueryIsa = 0;  // x86
 
-// Offline phase: one encoding per corpus function, in corpus order.
-std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
-                                             const FirmwareCorpus& corpus);
+// Offline phase: one encoding per corpus function, in corpus order. A
+// function whose encoding fails (throws, non-finite values, or the
+// firmware.encode failpoint) keeps its slot as an empty 0x0 placeholder so
+// positional alignment with the corpus survives; the failure is counted in
+// `report` (stage "firmware-encode") when non-null.
+std::vector<nn::Matrix> EncodeFirmwareCorpus(
+    const core::AsteriaModel& model, const FirmwareCorpus& corpus,
+    util::PipelineReport* report = nullptr);
 
 // Persist/reload the offline encodings (kKindEncodings container,
 // docs/FORMATS.md). The snapshot is fingerprinted against the model

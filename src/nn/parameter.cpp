@@ -9,9 +9,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/log.h"
 
 namespace asteria::nn {
+
+namespace {
+
+// Fault-injection points for the legacy text weight format (the container
+// checkpoint path has its own store.* failpoints).
+util::Failpoint fp_params_open("params.open");
+util::Failpoint fp_params_write("params.write");
+util::Failpoint fp_params_rename("params.rename");
+util::Failpoint fp_params_read("params.read");
+
+}  // namespace
 
 Parameter* ParameterStore::Create(const std::string& name, int rows,
                                   int cols) {
@@ -51,7 +63,11 @@ std::size_t ParameterStore::TotalWeights() const {
 }
 
 bool ParameterStore::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
+  // Same crash-safety discipline as store::Writer: stream to a temp file
+  // and rename over the final path only once everything is on disk.
+  const std::string temp_path = path + ".tmp";
+  if (fp_params_open.ShouldFail()) return false;
+  std::ofstream out(temp_path, std::ios::binary);
   if (!out) return false;
   out << "asteria-params v1\n" << handles_.size() << "\n";
   for (Parameter* p : handles_) {
@@ -60,7 +76,15 @@ bool ParameterStore::Save(const std::string& path) const {
               static_cast<std::streamsize>(p->value.size() * sizeof(double)));
     out << "\n";
   }
-  return static_cast<bool>(out);
+  if (fp_params_write.ShouldFail()) out.setstate(std::ios::failbit);
+  const bool wrote = static_cast<bool>(out);
+  out.close();
+  if (!wrote || fp_params_rename.ShouldFail() ||
+      std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  return true;
 }
 
 bool ParameterStore::Load(const std::string& path) {
@@ -68,6 +92,9 @@ bool ParameterStore::Load(const std::string& path) {
     ASTERIA_LOG(Error) << "ParameterStore::Load(" << path << "): " << reason;
     return false;
   };
+  if (fp_params_read.ShouldFail()) {
+    return reject("read failed (failpoint params.read)");
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return reject("cannot open file");
   in.seekg(0, std::ios::end);
@@ -133,6 +160,13 @@ bool ParameterStore::Load(const std::string& path) {
                     " bytes)");
     }
     in.ignore();  // trailing newline
+    for (double v : values) {
+      if (!std::isfinite(v)) {
+        return reject("parameter '" + name +
+                      "' contains non-finite values (NaN/Inf) — refusing to "
+                      "load a poisoned weight file");
+      }
+    }
     staged.emplace_back(p, std::move(values));
   }
   for (auto& [p, values] : staged) {

@@ -1,6 +1,7 @@
 #include "store/checkpoint.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 #include <vector>
@@ -140,6 +141,14 @@ bool LoadModelCheckpoint(nn::ParameterStore* params, const std::string& path,
       return Fail(path + ": parameter '" + name + "' payload truncated: " +
                       io_error,
                   error);
+    }
+    for (double v : values) {
+      if (!std::isfinite(v)) {
+        return Fail(path + ": parameter '" + name +
+                        "' contains non-finite values (NaN/Inf) — refusing "
+                        "to load a poisoned checkpoint",
+                    error);
+      }
     }
     staged.emplace_back(p, std::move(values));
   }

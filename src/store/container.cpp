@@ -6,9 +6,22 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace asteria::store {
 
 namespace {
+
+// Fault-injection points covering every I/O step of a container's life
+// (docs/ROBUSTNESS.md). store.crash simulates dying after the temp file is
+// fully written but before the atomic rename — the window a real crash
+// would hit.
+util::Failpoint fp_open("store.open");
+util::Failpoint fp_write("store.write");
+util::Failpoint fp_rename("store.rename");
+util::Failpoint fp_crash("store.crash");
+util::Failpoint fp_read_open("store.read_open");
+util::Failpoint fp_read("store.read");
 
 // Header: magic[8] "ASTRSTOR", u32 container version, u32 file kind
 // (fourcc), u8 endianness tag (1 = little), 3 reserved zero bytes.
@@ -247,7 +260,16 @@ bool ChunkParser::GetF64(double* v, std::string* error) {
 bool ChunkParser::GetString(std::string* v, std::string* error) {
   std::uint32_t length = 0;
   if (!GetU32(&length, error)) return false;
-  if (!Need(length, error)) return false;
+  // Validate the declared length against the remaining payload BEFORE the
+  // allocation in assign() — a hostile length must fail cleanly, not OOM.
+  if (length > size_ - offset_) {
+    if (error != nullptr) {
+      *error = "declared string length " + std::to_string(length) +
+               " exceeds the " + std::to_string(size_ - offset_) +
+               " remaining payload bytes";
+    }
+    return false;
+  }
   v->assign(reinterpret_cast<const char*>(data_ + offset_), length);
   offset_ += length;
   return true;
@@ -255,7 +277,16 @@ bool ChunkParser::GetString(std::string* v, std::string* error) {
 
 bool ChunkParser::GetF64Array(double* out, std::size_t count,
                               std::string* error) {
-  if (!Need(count * 8, error)) return false;
+  // Division, not `count * 8`: the multiplication can wrap size_t for a
+  // corrupt count and sail past the bounds check.
+  if (count > (size_ - offset_) / 8) {
+    if (error != nullptr) {
+      *error = "declared f64 count " + std::to_string(count) +
+               " exceeds the " + std::to_string(size_ - offset_) +
+               " remaining payload bytes";
+    }
+    return false;
+  }
   for (std::size_t i = 0; i < count; ++i) {
     out[i] = std::bit_cast<double>(DecodeU64(data_ + offset_));
     offset_ += 8;
@@ -265,22 +296,33 @@ bool ChunkParser::GetF64Array(double* out, std::size_t count,
 
 struct Writer::Impl {
   std::FILE* file = nullptr;
-  std::string path;
+  std::string path;       // final artifact path (rename target)
+  std::string temp_path;  // where bytes actually land until Finish
   bool failed = false;
+  // Set by the store.crash failpoint: leave the temp file on disk exactly
+  // as a real mid-commit crash would, instead of cleaning it up.
+  bool abandoned = false;
 };
 
 Writer::~Writer() {
   if (impl_ != nullptr) {
     if (impl_->file != nullptr) std::fclose(impl_->file);
+    // Never committed: drop the temp file so failures leave no debris
+    // (unless a simulated crash wants the debris observable).
+    if (!impl_->temp_path.empty() && !impl_->abandoned) {
+      std::remove(impl_->temp_path.c_str());
+    }
     delete impl_;
   }
 }
 
 bool Writer::Open(const std::string& path, std::uint32_t kind,
                   std::string* error) {
-  std::FILE* file = std::fopen(path.c_str(), "wb");
+  const std::string temp_path = path + ".tmp";
+  std::FILE* file =
+      fp_open.ShouldFail() ? nullptr : std::fopen(temp_path.c_str(), "wb");
   if (file == nullptr) {
-    *error = path + ": cannot open for writing";
+    *error = temp_path + ": cannot open for writing";
     return false;
   }
   std::vector<std::uint8_t> header;
@@ -289,48 +331,78 @@ bool Writer::Open(const std::string& path, std::uint32_t kind,
   AppendU32(&header, kind);
   header.push_back(kLittleEndianTag);
   header.resize(kHeaderSize, 0);
-  if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
-    *error = path + ": header write failed";
+  if (fp_write.ShouldFail() ||
+      std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
+    *error = temp_path + ": header write failed";
     std::fclose(file);
+    std::remove(temp_path.c_str());
     return false;
   }
-  impl_ = new Impl{file, path, false};
+  impl_ = new Impl{file, path, temp_path, false, false};
   return true;
 }
 
 bool Writer::OpenAppend(const std::string& path, std::uint32_t kind,
                         std::string* error) {
-  std::FILE* file = std::fopen(path.c_str(), "r+b");
-  if (file == nullptr) {
+  // Validate the existing artifact first (header + chunk walk), then copy
+  // it to the temp path and extend the copy; the original stays intact
+  // until Finish renames over it.
+  std::FILE* src =
+      fp_open.ShouldFail() ? nullptr : std::fopen(path.c_str(), "rb");
+  if (src == nullptr) {
     *error = path + ": cannot open for appending";
     return false;
   }
   std::uint64_t size = 0;
-  if (!FileSize(file, path, &size, error)) {
-    std::fclose(file);
+  if (!FileSize(src, path, &size, error)) {
+    std::fclose(src);
     return false;
   }
   std::array<std::uint8_t, kHeaderSize> header;
-  if (std::fseek(file, 0, SEEK_SET) != 0 ||
-      std::fread(header.data(), 1, header.size(), file) != header.size()) {
+  if (std::fseek(src, 0, SEEK_SET) != 0 ||
+      std::fread(header.data(), 1, header.size(), src) != header.size()) {
     *error = path + ": header read failed";
-    std::fclose(file);
+    std::fclose(src);
     return false;
   }
   std::uint32_t version = 0, found_kind = 0;
   std::vector<ChunkInfo> chunks;
   if (!ParseHeader(path, header.data(), header.size(), kind, &version,
                    &found_kind, error) ||
-      !ScanChunks(file, path, size, &chunks, error)) {
-    std::fclose(file);
+      !ScanChunks(src, path, size, &chunks, error)) {
+    std::fclose(src);
     return false;
   }
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    *error = path + ": cannot seek to end for append";
-    std::fclose(file);
+  const std::string temp_path = path + ".tmp";
+  std::FILE* file = std::fopen(temp_path.c_str(), "wb");
+  if (file == nullptr) {
+    *error = temp_path + ": cannot open for writing";
+    std::fclose(src);
     return false;
   }
-  impl_ = new Impl{file, path, false};
+  if (std::fseek(src, 0, SEEK_SET) != 0) {
+    *error = path + ": cannot rewind for copy";
+    std::fclose(src);
+    std::fclose(file);
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  std::array<std::uint8_t, 1 << 16> buffer;
+  bool copy_failed = fp_write.ShouldFail();
+  while (!copy_failed) {
+    const std::size_t got = std::fread(buffer.data(), 1, buffer.size(), src);
+    if (got == 0) break;
+    if (std::fwrite(buffer.data(), 1, got, file) != got) copy_failed = true;
+  }
+  copy_failed = copy_failed || std::ferror(src) != 0;
+  std::fclose(src);
+  if (copy_failed) {
+    *error = temp_path + ": copy for append failed";
+    std::fclose(file);
+    std::remove(temp_path.c_str());
+    return false;
+  }
+  impl_ = new Impl{file, path, temp_path, false, false};
   return true;
 }
 
@@ -345,12 +417,13 @@ bool Writer::WriteChunk(std::uint32_t tag, const ChunkBuilder& payload,
   AppendU32(&frame, tag);
   AppendU64(&frame, payload.size());
   AppendU32(&frame, Crc32(payload.bytes().data(), payload.size()));
-  if (std::fwrite(frame.data(), 1, frame.size(), impl_->file) !=
+  if (fp_write.ShouldFail() ||
+      std::fwrite(frame.data(), 1, frame.size(), impl_->file) !=
           frame.size() ||
       std::fwrite(payload.bytes().data(), 1, payload.size(), impl_->file) !=
           payload.size()) {
     impl_->failed = true;
-    *error = impl_->path + ": chunk write failed";
+    *error = impl_->temp_path + ": chunk write failed";
     return false;
   }
   return true;
@@ -365,9 +438,27 @@ bool Writer::Finish(std::string* error) {
   const bool close_ok = std::fclose(impl_->file) == 0;
   impl_->file = nullptr;
   if (impl_->failed || !flush_ok || !close_ok) {
+    std::remove(impl_->temp_path.c_str());
     *error = impl_->path + ": finishing container failed";
     return false;
   }
+  if (fp_crash.ShouldFail()) {
+    // Simulated crash between "temp fully written" and the commit rename:
+    // the temp file stays on disk (as after a real crash) and the final
+    // path still holds the previous artifact.
+    impl_->abandoned = true;
+    *error = impl_->path + ": simulated crash before commit rename "
+             "(failpoint store.crash)";
+    return false;
+  }
+  if (fp_rename.ShouldFail() ||
+      std::rename(impl_->temp_path.c_str(), impl_->path.c_str()) != 0) {
+    std::remove(impl_->temp_path.c_str());
+    *error = impl_->path + ": commit rename from " + impl_->temp_path +
+             " failed";
+    return false;
+  }
+  impl_->temp_path.clear();  // committed: nothing left to clean up
   return true;
 }
 
@@ -385,7 +476,8 @@ Reader::~Reader() {
 
 bool Reader::Open(const std::string& path, std::uint32_t expected_kind,
                   std::string* error) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
+  std::FILE* file =
+      fp_read_open.ShouldFail() ? nullptr : std::fopen(path.c_str(), "rb");
   if (file == nullptr) {
     *error = path + ": cannot open for reading";
     return false;
@@ -427,7 +519,8 @@ bool Reader::ReadChunk(std::size_t index, std::vector<std::uint8_t>* payload,
   }
   const ChunkInfo& info = chunks_[index];
   payload->resize(info.size);
-  if (std::fseek(impl_->file, static_cast<long>(info.offset), SEEK_SET) != 0 ||
+  if (fp_read.ShouldFail() ||
+      std::fseek(impl_->file, static_cast<long>(info.offset), SEEK_SET) != 0 ||
       std::fread(payload->data(), 1, payload->size(), impl_->file) !=
           payload->size()) {
     *error = AtOffset(impl_->path, info.offset) + ": chunk payload read failed";
@@ -455,6 +548,14 @@ bool IsContainerFile(const std::string& path) {
       std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
   std::fclose(file);
   return matches;
+}
+
+bool QuarantineFile(const std::string& path, std::string* quarantined_path) {
+  const std::string target = path + ".corrupt";
+  std::remove(target.c_str());  // only the latest quarantine is kept
+  if (std::rename(path.c_str(), target.c_str()) != 0) return false;
+  if (quarantined_path != nullptr) *quarantined_path = target;
+  return true;
 }
 
 }  // namespace asteria::store

@@ -20,6 +20,13 @@
 // descriptive `error` string (path, offset, expectation vs. reality).
 // Nothing in this layer loads partial state silently — a corrupted or
 // truncated file is always a loud, diagnosable failure.
+//
+// Crash safety: the Writer streams to "<path>.tmp" and renames over the
+// final path only from a successful Finish(), so a crash (or injected
+// util::Failpoint failure) mid-write never leaves a file at `path` that
+// opens as valid — the previous artifact, if any, survives untouched. See
+// docs/ROBUSTNESS.md for the full failure-handling contract and the
+// store.* failpoints threaded through this layer.
 #pragma once
 
 #include <cstdint>
@@ -106,6 +113,10 @@ class ChunkParser {
 };
 
 // Streams a container to disk: header first, then WriteChunk per chunk.
+// All writes go to "<path>.tmp"; Finish() atomically renames it over
+// `path`, so readers only ever see the previous artifact or the complete
+// new one. An abandoned Writer (destroyed without Finish, or after any
+// failure) removes its temp file and leaves `path` untouched.
 class Writer {
  public:
   Writer() = default;
@@ -113,11 +124,14 @@ class Writer {
   Writer(const Writer&) = delete;
   Writer& operator=(const Writer&) = delete;
 
-  // Creates/truncates `path` and writes a fresh header of `kind`.
+  // Starts a fresh container of `kind` destined for `path` (written to the
+  // temp file until Finish commits it).
   bool Open(const std::string& path, std::uint32_t kind, std::string* error);
   // Opens an existing container of `kind` for appending. Validates the
   // header and walks the chunk sizes to confirm the file ends on a chunk
-  // boundary (a truncated file is refused, not extended).
+  // boundary (a truncated file is refused, not extended), then copies the
+  // file to the temp path and appends there — the original is replaced
+  // only by a successful Finish.
   bool OpenAppend(const std::string& path, std::uint32_t kind,
                   std::string* error);
 
@@ -125,7 +139,8 @@ class Writer {
   bool WriteChunk(std::uint32_t tag, const ChunkBuilder& payload,
                   std::string* error);
 
-  // Flushes and closes; returns false if any write failed.
+  // Flushes, closes, and renames the temp file over the final path;
+  // returns false (removing the temp file) if anything failed.
   bool Finish(std::string* error);
 
  private:
@@ -174,5 +189,12 @@ class Reader {
 // the container checkpoint format and the legacy "asteria-params v1" text
 // format when loading model weights).
 bool IsContainerFile(const std::string& path);
+
+// Moves a corrupt artifact aside to "<path>.corrupt" (replacing any
+// previous quarantine) so cache loaders can rebuild from source without
+// re-reading — or silently deleting — the bad bytes. Returns true when the
+// file was moved and fills `quarantined_path` (may be null) with the new
+// location.
+bool QuarantineFile(const std::string& path, std::string* quarantined_path);
 
 }  // namespace asteria::store

@@ -1,0 +1,191 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace asteria::util {
+
+namespace {
+
+struct Trigger {
+  int mode = Failpoint::kOff;
+  std::uint64_t param = 0;
+};
+
+// Strict positive-integer parse for hit:N / every:N parameters.
+bool ParseCount(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0' || value == 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseTrigger(const std::string& text, Trigger* out, std::string* error) {
+  if (text == "always") {
+    out->mode = Failpoint::kAlways;
+    return true;
+  }
+  if (text == "once") {
+    out->mode = Failpoint::kOnce;
+    return true;
+  }
+  if (text == "off") {
+    out->mode = Failpoint::kOff;
+    return true;
+  }
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    const std::string verb = text.substr(0, colon);
+    std::uint64_t count = 0;
+    if ((verb == "hit" || verb == "every") &&
+        ParseCount(text.substr(colon + 1), &count)) {
+      out->mode = verb == "hit" ? Failpoint::kHit : Failpoint::kEvery;
+      out->param = count;
+      return true;
+    }
+  }
+  if (error != nullptr) {
+    *error = "bad failpoint trigger '" + text +
+             "' (expected always|once|off|hit:N|every:N)";
+  }
+  return false;
+}
+
+}  // namespace
+
+struct FailpointRegistry {
+  std::mutex mutex;
+  std::map<std::string, Failpoint*> points;
+  // Specs for names that have not registered yet (env var and early
+  // ConfigureFailpoints calls run before most static registrations).
+  std::map<std::string, Trigger> pending;
+
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry* registry = [] {
+      auto* r = new FailpointRegistry;  // never destroyed: points outlive main
+      if (const char* env = std::getenv(kFailpointsEnvVar)) {
+        r->ParseInto(env, nullptr);
+      }
+      return r;
+    }();
+    return *registry;
+  }
+
+  void Register(Failpoint* point) {
+    std::lock_guard<std::mutex> lock(mutex);
+    points[point->name()] = point;
+    const auto it = pending.find(point->name());
+    if (it != pending.end()) {
+      point->Arm(it->second.mode, it->second.param);
+      pending.erase(it);
+    }
+  }
+
+  void ClearAll() {
+    std::lock_guard<std::mutex> lock(mutex);
+    pending.clear();
+    for (auto& [name, point] : points) {
+      point->Arm(Failpoint::kOff, 0);
+    }
+  }
+
+  // Parses and applies `spec` (caller does NOT hold the mutex).
+  bool ParseInto(const std::string& spec, std::string* error) {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+      std::size_t end = spec.find(',', begin);
+      if (end == std::string::npos) end = spec.size();
+      const std::string item = spec.substr(begin, end - begin);
+      begin = end + 1;
+      if (item.empty()) continue;
+      const auto eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        if (error != nullptr) {
+          *error = "bad failpoint spec '" + item + "' (expected name=trigger)";
+        }
+        return false;
+      }
+      const std::string name = item.substr(0, eq);
+      Trigger trigger;
+      if (!ParseTrigger(item.substr(eq + 1), &trigger, error)) return false;
+      const auto it = points.find(name);
+      if (it != points.end()) {
+        it->second->Arm(trigger.mode, trigger.param);
+      } else {
+        pending[name] = trigger;
+      }
+    }
+    return true;
+  }
+};
+
+Failpoint::Failpoint(const char* name) : name_(name) {
+  FailpointRegistry::Instance().Register(this);
+}
+
+void Failpoint::Arm(int mode, std::uint64_t param) {
+  param_.store(param, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  mode_.store(mode, std::memory_order_relaxed);
+}
+
+bool Failpoint::ShouldFail() {
+  const int mode = mode_.load(std::memory_order_relaxed);
+  if (mode == kOff) return false;
+  const std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (mode) {
+    case kAlways:
+      fire = true;
+      break;
+    case kOnce:
+      fire = hit == 1;
+      break;
+    case kHit:
+      fire = hit == param_.load(std::memory_order_relaxed);
+      break;
+    case kEvery: {
+      const std::uint64_t n = param_.load(std::memory_order_relaxed);
+      fire = n != 0 && hit % n == 0;
+      break;
+    }
+    default:
+      break;
+  }
+  if (fire) fires_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+bool ConfigureFailpoints(const std::string& spec, std::string* error) {
+  return FailpointRegistry::Instance().ParseInto(spec, error);
+}
+
+void ClearFailpoints() { FailpointRegistry::Instance().ClearAll(); }
+
+std::vector<std::string> ListFailpoints() {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::uint64_t FailpointFireCount(const std::string& name) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second->fire_count();
+}
+
+}  // namespace asteria::util

@@ -1,0 +1,88 @@
+// Failpoint fault injection: named points in production code that tests
+// (and operators chasing a bug) can arm to force a failure exactly where a
+// real one would occur — a failing fopen, a short fwrite, a crash between
+// "temp file written" and "renamed over the snapshot".
+//
+// A failpoint is a namespace-scope static in the .cpp it guards:
+//
+//   namespace { util::Failpoint fp_open("store.open"); }
+//   ...
+//   if (fp_open.ShouldFail()) { /* behave as if fopen returned nullptr */ }
+//
+// Points register themselves at static-init time, so ListFailpoints() can
+// enumerate every point compiled into the binary. They are armed by spec
+// strings from the ASTERIA_FAILPOINTS environment variable or a
+// --failpoints flag:
+//
+//   name=always        fire on every hit
+//   name=once          fire on the first hit only
+//   name=hit:N         fire on the N-th hit only (1-based)
+//   name=every:N       fire on every N-th hit
+//   name=off           disarm
+//
+// Multiple entries are comma-separated ("store.write=once,store.read=every:3").
+// Arming a name that has not registered yet is not an error: the spec is
+// held pending and applied when (if) the point registers — necessary
+// because the env var is parsed before most translation units register.
+//
+// ShouldFail() is safe to call from ParallelFor workers: the disarmed fast
+// path is a single relaxed atomic load, and armed state is plain atomics.
+// Fire order across threads is scheduling-dependent, so deterministic tests
+// arm failpoints on single-threaded paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asteria::util {
+
+// Environment variable holding the initial failpoint spec.
+inline constexpr char kFailpointsEnvVar[] = "ASTERIA_FAILPOINTS";
+
+class Failpoint {
+ public:
+  // `name` must be a string literal (the registry keeps the pointer).
+  explicit Failpoint(const char* name);
+
+  // True when this hit should be turned into a failure. Every call counts
+  // as one hit; disarmed points count nothing and cost one atomic load.
+  bool ShouldFail();
+
+  const char* name() const { return name_; }
+  std::uint64_t fire_count() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+  enum Mode : int { kOff = 0, kAlways, kOnce, kHit, kEvery };
+
+ private:
+  friend struct FailpointRegistry;
+
+  void Arm(int mode, std::uint64_t param);
+
+  const char* name_;
+  std::atomic<int> mode_{kOff};
+  std::atomic<std::uint64_t> param_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fires_{0};
+};
+
+// Applies a spec string ("name=trigger,name=trigger"). Returns false and
+// fills `error` on malformed syntax; unknown names are held pending (see
+// header comment), not rejected.
+bool ConfigureFailpoints(const std::string& spec, std::string* error = nullptr);
+
+// Disarms every failpoint, zeroes hit/fire counters, and drops pending
+// specs. Tests call this between cases.
+void ClearFailpoints();
+
+// Names of all registered failpoints (sorted). Only points whose
+// translation units are linked into this binary appear.
+std::vector<std::string> ListFailpoints();
+
+// Times `name` has fired since the last ClearFailpoints (0 if unknown).
+std::uint64_t FailpointFireCount(const std::string& name);
+
+}  // namespace asteria::util

@@ -1,11 +1,54 @@
 #include "util/flags.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 namespace asteria::util {
+
+namespace {
+
+// Strict numeric parsing: the whole token must convert, with no trailing
+// garbage and no range overflow. std::stoll-style prefix parsing silently
+// accepted "12abc" as 12, which turns a typo'd experiment flag into a
+// wrong-but-plausible run.
+bool ParseInt64(const std::string& value, std::int64_t* out) {
+  if (value.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') return false;
+  *out = static_cast<std::int64_t>(parsed);
+  return true;
+}
+
+bool ParseDouble(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0') return false;
+  if (!std::isfinite(parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+bool ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1" || value == "yes") {
+    *out = true;
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 void Flags::DefineInt(const std::string& name, std::int64_t default_value,
                       const std::string& help) {
@@ -79,24 +122,27 @@ bool Flags::Parse(int argc, char** argv) {
       value = argv[++i];
       has_value = true;
     }
-    try {
-      switch (entry.type) {
-        case Type::kInt:
-          entry.int_value = std::stoll(value);
-          break;
-        case Type::kDouble:
-          entry.double_value = std::stod(value);
-          break;
-        case Type::kBool:
-          entry.bool_value =
-              !has_value || value == "true" || value == "1" || value == "yes";
-          break;
-        case Type::kString:
-          entry.string_value = value;
-          break;
-      }
-    } catch (const std::exception&) {
-      std::fprintf(stderr, "bad value for --%s: %s\n", name.c_str(),
+    bool ok = true;
+    switch (entry.type) {
+      case Type::kInt:
+        ok = ParseInt64(value, &entry.int_value);
+        break;
+      case Type::kDouble:
+        ok = ParseDouble(value, &entry.double_value);
+        break;
+      case Type::kBool:
+        if (!has_value) {
+          entry.bool_value = true;  // bare "--flag" means true
+        } else {
+          ok = ParseBool(value, &entry.bool_value);
+        }
+        break;
+      case Type::kString:
+        entry.string_value = value;
+        break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "bad value for --%s: '%s'\n", name.c_str(),
                    value.c_str());
       return false;
     }

@@ -1,0 +1,47 @@
+#include "util/pipeline_report.h"
+
+namespace asteria::util {
+
+void PipelineReport::Remember(const std::string& reason) {
+  if (!reason.empty() && reasons.size() < kMaxReasons) {
+    reasons.push_back(reason);
+  }
+}
+
+void PipelineReport::AddSkipped(const std::string& reason) {
+  ++skipped;
+  Remember(reason);
+}
+
+void PipelineReport::AddFailed(const std::string& reason) {
+  ++failed;
+  Remember(reason);
+}
+
+void PipelineReport::Merge(const PipelineReport& other) {
+  if (stage.empty()) stage = other.stage;
+  ok += other.ok;
+  skipped += other.skipped;
+  failed += other.failed;
+  for (const std::string& reason : other.reasons) {
+    if (reasons.size() >= kMaxReasons) break;
+    reasons.push_back(reason);
+  }
+}
+
+std::string PipelineReport::Summary() const {
+  std::string out = stage.empty() ? std::string("pipeline") : stage;
+  out += ": " + std::to_string(ok) + " ok, " + std::to_string(skipped) +
+         " skipped, " + std::to_string(failed) + " failed";
+  if (!reasons.empty()) {
+    out += " (";
+    for (std::size_t i = 0; i < reasons.size(); ++i) {
+      if (i > 0) out += "; ";
+      out += reasons[i];
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace asteria::util

@@ -1,0 +1,47 @@
+// PipelineReport: per-item outcome accounting for fault-isolated batch
+// stages (corpus generation, offline encoding, vuln search, training).
+//
+// The contract (docs/ROBUSTNESS.md): a failing or malformed item is
+// skipped and counted, never allowed to abort the batch. The report makes
+// that visible — callers and CLIs print Summary() so silent data loss is
+// impossible, and tests assert exact ok/skipped/failed counts.
+//
+// Reports merge associatively in item order: parallel stages accumulate
+// one report per shard (or per item) and fold them sequentially, so the
+// counts and the retained reasons are identical for every thread count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asteria::util {
+
+struct PipelineReport {
+  // Only the first kMaxReasons failure/skip reasons are retained; the
+  // counters always cover everything.
+  static constexpr std::size_t kMaxReasons = 5;
+
+  std::string stage;         // e.g. "corpus-build", "index-encode"
+  std::int64_t ok = 0;       // items processed successfully
+  std::int64_t skipped = 0;  // items intentionally left out (too small, ...)
+  std::int64_t failed = 0;   // items that errored and were isolated
+  std::vector<std::string> reasons;
+
+  void AddOk() { ++ok; }
+  void AddSkipped(const std::string& reason = "");
+  void AddFailed(const std::string& reason);
+  // Folds `other` into this report (stage kept from *this when set).
+  void Merge(const PipelineReport& other);
+
+  bool Clean() const { return skipped == 0 && failed == 0; }
+  std::int64_t total() const { return ok + skipped + failed; }
+
+  // One line: "<stage>: N ok, N skipped, N failed [reasons: ...]".
+  std::string Summary() const;
+
+ private:
+  void Remember(const std::string& reason);
+};
+
+}  // namespace asteria::util

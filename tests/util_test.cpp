@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/failpoint.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -230,6 +231,161 @@ TEST(Rng, DeriveSeedIsPureAndSpreads) {
     seen.insert(Rng::DeriveSeed(1, stream));
   }
   EXPECT_EQ(seen.size(), 1000u);  // no collisions across streams
+}
+
+// ---------------------------------------------------------------------------
+// Strict flag parsing: trailing garbage and overflow are rejected, not
+// silently prefix-parsed.
+
+TEST(Flags, RejectsTrailingGarbageOnInt) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* argv[] = {"prog", "--n=12abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.GetInt("n"), 5);  // default untouched
+}
+
+TEST(Flags, RejectsIntOverflowAndEmpty) {
+  Flags flags;
+  flags.DefineInt("n", 5, "count");
+  const char* over[] = {"prog", "--n=99999999999999999999999"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(over)));
+  const char* empty[] = {"prog", "--n="};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(empty)));
+}
+
+TEST(Flags, RejectsGarbageAndNonFiniteDoubles) {
+  Flags flags;
+  flags.DefineDouble("beta", 0.5, "beta");
+  const char* garbage[] = {"prog", "--beta=1e3x"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(garbage)));
+  const char* inf[] = {"prog", "--beta=inf"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(inf)));
+  const char* nan[] = {"prog", "--beta=nan"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(nan)));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta"), 0.5);
+}
+
+TEST(Flags, BoolAcceptsCanonicalSpellingsOnly) {
+  Flags flags;
+  flags.DefineBool("quiet", false, "quiet");
+  const char* yes[] = {"prog", "--quiet=yes"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(yes)));
+  EXPECT_TRUE(flags.GetBool("quiet"));
+  const char* off[] = {"prog", "--quiet=0"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(off)));
+  EXPECT_FALSE(flags.GetBool("quiet"));
+  const char* garbage[] = {"prog", "--quiet=maybe"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(garbage)));
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint framework
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearFailpoints(); }
+  void TearDown() override { ClearFailpoints(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  static Failpoint fp("util_test.disarmed");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_EQ(fp.fire_count(), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysOnceHitEveryModes) {
+  static Failpoint fp("util_test.modes");
+  std::string error;
+
+  ASSERT_TRUE(ConfigureFailpoints("util_test.modes=always", &error)) << error;
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+
+  ClearFailpoints();
+  ASSERT_TRUE(ConfigureFailpoints("util_test.modes=once", &error)) << error;
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_EQ(FailpointFireCount("util_test.modes"), 1u);
+
+  ClearFailpoints();
+  ASSERT_TRUE(ConfigureFailpoints("util_test.modes=hit:3", &error)) << error;
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+
+  ClearFailpoints();
+  ASSERT_TRUE(ConfigureFailpoints("util_test.modes=every:2", &error)) << error;
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_EQ(fp.fire_count(), 2u);
+
+  ClearFailpoints();
+  ASSERT_TRUE(ConfigureFailpoints("util_test.modes=off", &error)) << error;
+  EXPECT_FALSE(fp.ShouldFail());
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreRejectedWithReason) {
+  std::string error;
+  EXPECT_FALSE(ConfigureFailpoints("noequals", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ConfigureFailpoints("a=bogusmode", &error));
+  EXPECT_FALSE(ConfigureFailpoints("a=hit:", &error));
+  EXPECT_FALSE(ConfigureFailpoints("a=every:0", &error));
+  EXPECT_FALSE(ConfigureFailpoints("a=hit:12x", &error));
+  EXPECT_FALSE(ConfigureFailpoints("=always", &error));
+}
+
+TEST_F(FailpointTest, CommaSeparatedSpecArmsMultiplePoints) {
+  static Failpoint fp_a("util_test.multi_a");
+  static Failpoint fp_b("util_test.multi_b");
+  std::string error;
+  ASSERT_TRUE(ConfigureFailpoints(
+      "util_test.multi_a=always,util_test.multi_b=once", &error))
+      << error;
+  EXPECT_TRUE(fp_a.ShouldFail());
+  EXPECT_TRUE(fp_b.ShouldFail());
+  EXPECT_FALSE(fp_b.ShouldFail());
+  EXPECT_TRUE(fp_a.ShouldFail());
+}
+
+TEST_F(FailpointTest, UnknownNamesAreHeldPendingNotRejected) {
+  // Arming before the point registers must succeed (the env var is parsed
+  // before most translation units run their static initializers)...
+  std::string error;
+  ASSERT_TRUE(ConfigureFailpoints("util_test.pending_point=always", &error))
+      << error;
+  // ...and apply the moment the point registers.
+  static Failpoint* late = new Failpoint("util_test.pending_point");
+  EXPECT_TRUE(late->ShouldFail());
+}
+
+TEST_F(FailpointTest, ListContainsRegisteredPointsSorted) {
+  static Failpoint fp("util_test.listed");
+  (void)fp;
+  const std::vector<std::string> names = ListFailpoints();
+  bool found = false;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "util_test.listed") found = true;
+    if (i > 0) EXPECT_LE(names[i - 1], names[i]);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FailpointTest, ClearDisarmsAndZeroesCounters) {
+  static Failpoint fp("util_test.cleared");
+  std::string error;
+  ASSERT_TRUE(ConfigureFailpoints("util_test.cleared=always", &error)) << error;
+  EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_EQ(fp.fire_count(), 1u);
+  ClearFailpoints();
+  EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_EQ(fp.fire_count(), 0u);
+  EXPECT_EQ(FailpointFireCount("util_test.cleared"), 0u);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@
 //                                              online phase: load the snapshot
 //                                              (no re-encoding) and run top-k
 //   asteria-cli run <file> <fn> [args...]      execute in the interpreter
+//   asteria-cli failpoints                     list registered failpoints
 //
 // ISAs: x86 x64 ARM PPC (default x86).
 //
@@ -30,6 +31,10 @@
 // identical for any value (util::ThreadPool determinism contract) — and a
 // snapshot round trip preserves that: index-query over a loaded snapshot
 // returns bitwise-identical TopK results to a fresh index-build.
+//
+// A --failpoints=SPEC flag (or the ASTERIA_FAILPOINTS env var) arms
+// fault-injection points, e.g. --failpoints=store.write=once (see
+// docs/ROBUSTNESS.md); --failpoints=list prints the registered names.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -50,6 +55,7 @@
 #include "minic/sema.h"
 #include "dataset/generator.h"
 #include "store/container.h"
+#include "util/failpoint.h"
 #include "util/table.h"
 
 namespace {
@@ -62,7 +68,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
-      "index-build|index-info|index-query|run> [--threads=N] ...\n"
+      "index-build|index-info|index-query|run|failpoints> [--threads=N] "
+      "[--failpoints=SPEC] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -111,8 +118,24 @@ binary::Isa ParseIsa(const std::string& name) {
   return isa;
 }
 
+int CmdFailpoints() {
+  for (const std::string& name : util::ListFailpoints()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
 int CmdGen(int argc, char** argv) {
-  const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 42;
+  std::uint64_t seed = 42;
+  if (argc > 2) {
+    long value = 0;
+    if (!ParseInt(argv[2], &value) || value < 0) {
+      std::fprintf(stderr, "bad seed '%s' (expected a non-negative integer)\n",
+                   argv[2]);
+      return 2;
+    }
+    seed = static_cast<std::uint64_t>(value);
+  }
   dataset::GeneratorConfig config;
   util::Rng rng(seed);
   minic::Program program = dataset::GenerateProgram(config, rng);
@@ -345,7 +368,10 @@ int CmdSearch(int argc, char** argv) {
     return 1;
   }
   core::SearchIndex index(model, g_threads);
-  index.AddAll(features);
+  const util::PipelineReport report = index.AddAll(features);
+  if (!report.Clean()) {
+    std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  }
   PrintHits(index.TopK(query, k));
   return 0;
 }
@@ -366,7 +392,10 @@ int CmdIndexBuild(int argc, char** argv) {
     return 1;
   }
   core::SearchIndex index(model, g_threads);
-  index.AddAll(features);
+  const util::PipelineReport report = index.AddAll(features);
+  if (!report.Clean()) {
+    std::fprintf(stderr, "%s\n", report.Summary().c_str());
+  }
   std::string error;
   if (!index.Save(out_path, &error)) {
     std::fprintf(stderr, "cannot save index: %s\n", error.c_str());
@@ -457,7 +486,13 @@ int CmdRun(int argc, char** argv) {
   if (!LoadProgram(argv[2], &program)) return 1;
   std::vector<minic::ArgValue> args;
   for (int i = 4; i < argc; ++i) {
-    args.push_back(minic::ArgValue::Scalar(std::stoll(argv[i])));
+    long value = 0;
+    if (!ParseInt(argv[i], &value)) {
+      std::fprintf(stderr, "bad argument '%s' (expected an integer)\n",
+                   argv[i]);
+      return 2;
+    }
+    args.push_back(minic::ArgValue::Scalar(value));
   }
   minic::Interpreter interp(program);
   const auto result = interp.Call(argv[3], std::move(args));
@@ -488,10 +523,22 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--failpoints=", 13) == 0) {
+      const std::string spec = argv[i] + 13;
+      if (spec == "list") return CmdFailpoints();
+      std::string error;
+      if (!util::ConfigureFailpoints(spec, &error)) {
+        std::fprintf(stderr, "bad --failpoints spec: %s\n", error.c_str());
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "failpoints") return CmdFailpoints();
   if (command == "gen") return CmdGen(argc, argv);
   if (command == "compile") return CmdCompile(argc, argv);
   if (command == "decompile") return CmdDecompile(argc, argv);
