@@ -23,9 +23,7 @@ int Run(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 17);
 
   core::AsteriaConfig config;
-  config.siamese.encoder.embedding_dim =
-      static_cast<int>(flags.GetInt("embedding"));
-  config.siamese.encoder.hidden_dim = config.siamese.encoder.embedding_dim;
+  bench::ApplyEncoderFlags(flags, &config);
   core::AsteriaModel model(config);
   bench::TrainAsteria(&model, setup, epochs, &rng);
 

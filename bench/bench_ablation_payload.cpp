@@ -26,10 +26,7 @@ int Run(int argc, char** argv) {
                          "train time"});
   for (const bool payloads : {false, true}) {
     core::AsteriaConfig config;
-    config.siamese.encoder.embedding_dim =
-        static_cast<int>(flags.GetInt("embedding"));
-    config.siamese.encoder.hidden_dim =
-        config.siamese.encoder.embedding_dim;
+    bench::ApplyEncoderFlags(flags, &config);
     config.siamese.encoder.embed_payloads = payloads;
     config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
     core::AsteriaModel model(config);

@@ -48,9 +48,7 @@ int Run(int argc, char** argv) {
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
 
   core::AsteriaConfig config;
-  config.siamese.encoder.embedding_dim =
-      static_cast<int>(flags.GetInt("embedding"));
-  config.siamese.encoder.hidden_dim = config.siamese.encoder.embedding_dim;
+  bench::ApplyEncoderFlags(flags, &config);
   core::AsteriaModel model(config);
 
   std::vector<core::FunctionFeature> features;

@@ -21,10 +21,7 @@ int Run(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")));
 
   core::AsteriaConfig asteria_config;
-  asteria_config.siamese.encoder.embedding_dim =
-      static_cast<int>(flags.GetInt("embedding"));
-  asteria_config.siamese.encoder.hidden_dim =
-      asteria_config.siamese.encoder.embedding_dim;
+  bench::ApplyEncoderFlags(flags, &asteria_config);
   core::AsteriaModel asteria_model(asteria_config);
   bench::TrainAsteria(&asteria_model, setup, epochs, &rng);
 

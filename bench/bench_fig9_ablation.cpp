@@ -36,10 +36,7 @@ int Run(int argc, char** argv) {
   util::TextTable table({"variant", "AUC", "TPR@5%FPR"});
   for (const Variant& variant : kVariants) {
     core::AsteriaConfig config;
-    config.siamese.encoder.embedding_dim =
-        static_cast<int>(flags.GetInt("embedding"));
-    config.siamese.encoder.hidden_dim =
-        config.siamese.encoder.embedding_dim;
+    bench::ApplyEncoderFlags(flags, &config);
     config.siamese.head = variant.head;
     config.siamese.encoder.leaf_init_ones = variant.leaf_ones;
     config.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));

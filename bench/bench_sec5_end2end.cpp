@@ -31,9 +31,7 @@ int Run(int argc, char** argv) {
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 8);
 
   core::AsteriaConfig config;
-  config.siamese.encoder.embedding_dim =
-      static_cast<int>(flags.GetInt("embedding"));
-  config.siamese.encoder.hidden_dim = config.siamese.encoder.embedding_dim;
+  bench::ApplyEncoderFlags(flags, &config);
   core::AsteriaModel asteria_model(config);
   bench::TrainAsteria(&asteria_model, setup, epochs, &rng);
   baselines::GeminiConfig gemini_config;

@@ -28,6 +28,11 @@ struct ExperimentSetup {
 // Standard flags shared by the training benches; call before Parse().
 void DefineCommonFlags(util::Flags* flags);
 
+// Applies the encoder-shape and kernel-selection flags (--embedding,
+// --hidden, --fast_encoder) to an AsteriaConfig. --hidden=0 (the default)
+// keeps hidden_dim equal to embedding_dim, matching the paper's setup.
+void ApplyEncoderFlags(const util::Flags& flags, core::AsteriaConfig* config);
+
 // Builds the corpus and the mixed-arch 8:2 split from the parsed flags.
 ExperimentSetup BuildSetup(const util::Flags& flags);
 

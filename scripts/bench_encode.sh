@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Encode-kernel smoke benchmark: A/B-times the autograd-tape path against
+# the fused TreeLstmFastEncoder (docs/PERFORMANCE.md) on a small generated
+# corpus at the paper's embedding size with a widened hidden state, asserts
+# the two produce bitwise-identical embeddings, and fails unless the fused
+# kernel is at least MIN_SPEEDUP x faster single-threaded. Writes the
+# machine-readable result to BENCH_encode.json at the repo root.
+#
+# Usage: scripts/bench_encode.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/${1:-build}"
+MIN_SPEEDUP="${MIN_SPEEDUP:-3}"
+
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target bench_fig10b_offline_time
+
+"$BUILD/bench/bench_fig10b_offline_time" \
+    --packages=4 --hidden=64 --quiet=1 \
+    --out="$BUILD/bench_out" \
+    --encode_json="$ROOT/BENCH_encode.json" \
+    --min_encode_speedup="$MIN_SPEEDUP"
+
+echo
+cat "$ROOT/BENCH_encode.json"
+echo "OK: fused encode kernel >= ${MIN_SPEEDUP}x vs tape, bitwise identical"

@@ -57,6 +57,25 @@ double SiameseModel::Similarity(const ast::BinaryAst& a,
   return value(1, 0);
 }
 
+Matrix SiameseModel::Encode(const ast::BinaryAst& tree) const {
+  if (!config_.use_fast_encoder) return encoder_.EncodeVector(tree);
+  EnsureFastEncoderFresh();
+  return fast_->EncodeVector(tree);
+}
+
+void SiameseModel::EnsureFastEncoderFresh() const {
+  if (!fast_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(fast_mutex_);
+  if (!fast_dirty_.load(std::memory_order_relaxed)) return;
+  if (fast_ == nullptr) {
+    fast_ = std::make_unique<TreeLstmFastEncoder>(config_.encoder, store_,
+                                                  encoder_.prefix());
+  } else {
+    fast_->RefreshFrom(store_);
+  }
+  fast_dirty_.store(false, std::memory_order_release);
+}
+
 double SiameseModel::SimilarityFromEncodings(const Matrix& a,
                                              const Matrix& b) const {
   if (config_.head == SiameseHead::kRegression) {
@@ -88,7 +107,8 @@ double SiameseModel::SimilarityFromEncodings(const Matrix& a,
 double SiameseModel::TrainPair(const ast::BinaryAst& a,
                                const ast::BinaryAst& b, bool homologous) {
   if (a.empty() || b.empty()) return 0.0;
-  Tape tape;
+  Tape& tape = train_tape_;
+  tape.Clear();  // keeps capacity from previous examples
   const Var e1 = encoder_.Encode(&tape, a);
   const Var e2 = encoder_.Encode(&tape, b);
   const Var out = Head(&tape, e1, e2);
@@ -111,6 +131,9 @@ double SiameseModel::TrainPair(const ast::BinaryAst& a,
   if (!std::isfinite(loss_value)) return loss_value;
   tape.Backward(loss);
   optimizer_.Step(store_.parameters());
+  // The fused inference copies are now stale; rebuild before the next
+  // Encode rather than per step (an epoch of updates costs one refresh).
+  MarkEncoderDirty();
   return loss_value;
 }
 
@@ -129,6 +152,7 @@ bool SiameseModel::Load(const std::string& path) {
     ASTERIA_LOG(Error) << "SiameseModel::Load: " << error;
     return false;
   }
+  MarkEncoderDirty();
   return true;
 }
 

@@ -10,9 +10,13 @@
 // squared error against ±1.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/tree_lstm.h"
+#include "core/tree_lstm_fast.h"
 #include "nn/optimizer.h"
 
 namespace asteria::core {
@@ -23,6 +27,10 @@ struct SiameseConfig {
   TreeLstmConfig encoder;
   SiameseHead head = SiameseHead::kClassification;
   double learning_rate = 0.05;
+  // Encode() through the fused tape-free TreeLstmFastEncoder (bitwise
+  // identical to the tape path, several times faster). Off = the autograd
+  // reference path, kept for gradient checks and A/B benchmarking.
+  bool use_fast_encoder = true;
 };
 
 class SiameseModel {
@@ -33,9 +41,10 @@ class SiameseModel {
   double Similarity(const ast::BinaryAst& a, const ast::BinaryAst& b) const;
 
   // Offline phase: encode once, compare many times (the "A-E" stage).
-  nn::Matrix Encode(const ast::BinaryAst& tree) const {
-    return encoder_.EncodeVector(tree);
-  }
+  // Runs the fused TreeLstmFastEncoder unless config disables it; the fused
+  // weights are rebuilt lazily after any TrainPair/Load (see
+  // docs/PERFORMANCE.md for the refresh rule). Thread-safe.
+  nn::Matrix Encode(const ast::BinaryAst& tree) const;
 
   // Online phase (Fig. 10(c)): similarity from two precomputed encodings —
   // plain matrix math, no tape.
@@ -59,11 +68,28 @@ class SiameseModel {
  private:
   nn::Var Head(nn::Tape* tape, nn::Var e1, nn::Var e2) const;
 
+  // Rebuilds the fast encoder's fused weights if a weight update happened
+  // since the last Encode. Double-checked under fast_mutex_ so concurrent
+  // encoders (SearchIndex::AddAll workers) refresh exactly once.
+  void EnsureFastEncoderFresh() const;
+  // Called after every weight mutation (optimizer step, checkpoint load).
+  void MarkEncoderDirty() {
+    fast_dirty_.store(true, std::memory_order_release);
+  }
+
   SiameseConfig config_;
   nn::ParameterStore store_;
   TreeLstmEncoder encoder_;
   nn::Parameter* w_out_ = nullptr;  // (2h x 2), classification head only
   nn::AdaGrad optimizer_;
+  // Reused across TrainPair calls (Tape::Clear keeps capacity, so steady
+  // state training performs no tape-node reallocation).
+  nn::Tape train_tape_;
+  // Lazily built/refreshed fused inference kernel (guarded by fast_mutex_;
+  // fast_dirty_ is the fast-path "is it current" check).
+  mutable std::unique_ptr<TreeLstmFastEncoder> fast_;
+  mutable std::mutex fast_mutex_;
+  mutable std::atomic<bool> fast_dirty_{true};
 };
 
 }  // namespace asteria::core

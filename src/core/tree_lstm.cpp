@@ -12,7 +12,7 @@ using nn::Var;
 TreeLstmEncoder::TreeLstmEncoder(const TreeLstmConfig& config,
                                  nn::ParameterStore* store, util::Rng& rng,
                                  const std::string& prefix)
-    : config_(config) {
+    : config_(config), prefix_(prefix) {
   const int e = config_.embedding_dim;
   const int h = config_.hidden_dim;
   const int vocab = ast::kMaxNodeLabel + 1;
@@ -44,6 +44,11 @@ TreeLstmEncoder::TreeLstmEncoder(const TreeLstmConfig& config,
 
 Var TreeLstmEncoder::Encode(Tape* tape, const BinaryAst& tree) const {
   const int h = config_.hidden_dim;
+  // Worst case ~44 tape nodes per AST node (payload add included) plus the
+  // parameter binds below; reserving up front keeps Push from reallocating
+  // the node vector mid-example.
+  tape->Reserve(tape->size() + 20 +
+                44 * static_cast<std::size_t>(tree.size()));
   // Leaf-state initialization (Fig. 9: zeros vs ones).
   const double init = config_.leaf_init_ones ? 1.0 : 0.0;
   const Var leaf_state = tape->Leaf(Matrix::Filled(h, 1, init));
@@ -92,16 +97,17 @@ Var TreeLstmEncoder::Encode(Tape* tape, const BinaryAst& tree) const {
                               tape->MatMul(g.ur, right.h))),
           g.b));
     };
-    // (1)(2): two forget gates with shared W/b, distinct U pairs.
+    // (1)(2): two forget gates with shared W/b, distinct U pairs. Wf·e is
+    // the same subexpression in both, so it is computed once and its tape
+    // node shared (its gradient accumulates from both uses).
+    const Var wf_e = tape->MatMul(wf, e);
     const Var fl = tape->Sigmoid(tape->Add(
-        tape->Add(tape->MatMul(wf, e),
-                  tape->Add(tape->MatMul(ufll, left.h),
-                            tape->MatMul(uflr, right.h))),
+        tape->Add(wf_e, tape->Add(tape->MatMul(ufll, left.h),
+                                  tape->MatMul(uflr, right.h))),
         bf));
     const Var fr = tape->Sigmoid(tape->Add(
-        tape->Add(tape->MatMul(wf, e),
-                  tape->Add(tape->MatMul(ufrl, left.h),
-                            tape->MatMul(ufrr, right.h))),
+        tape->Add(wf_e, tape->Add(tape->MatMul(ufrl, left.h),
+                                  tape->MatMul(ufrr, right.h))),
         bf));
     const Var i = gate3(gi);  // (3)
     const Var o = gate3(go);  // (4)

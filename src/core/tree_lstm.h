@@ -11,6 +11,11 @@
 //   h_k  = o . tanh(c_k)                              (7)
 // The root's hidden state is the AST encoding. Missing children use the
 // leaf initialization (zeros by default; ones for the Fig. 9 ablation).
+//
+// This tape-based encoder is the training/gradient-check reference path.
+// Inference-heavy callers go through core::TreeLstmFastEncoder
+// (tree_lstm_fast.h), a fused forward-only kernel whose output is required
+// to stay bitwise identical to EncodeVector (docs/PERFORMANCE.md).
 #pragma once
 
 #include <string>
@@ -43,6 +48,9 @@ class TreeLstmEncoder {
   nn::Matrix EncodeVector(const ast::BinaryAst& tree) const;
 
   const TreeLstmConfig& config() const { return config_; }
+  // Parameter-name prefix inside the store (TreeLstmFastEncoder looks the
+  // same parameters up by name to build its fused copies).
+  const std::string& prefix() const { return prefix_; }
 
  private:
   struct Gate {
@@ -53,6 +61,7 @@ class TreeLstmEncoder {
   };
 
   TreeLstmConfig config_;
+  std::string prefix_;
   nn::Parameter* embedding_;          // vocab x e
   nn::Parameter* payload_embedding_ = nullptr;  // kPayloadVocab x e (optional)
   // Forget gate has four U matrices (ll, lr, rl, rr) and shared W/b.

@@ -1,0 +1,242 @@
+#include "core/tree_lstm_fast.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+
+#include "ast/node_kind.h"
+
+namespace asteria::core {
+
+using ast::BinaryAst;
+using ast::kInvalidNode;
+using ast::NodeId;
+using nn::Matrix;
+
+namespace {
+
+// Per-thread scratch arena. One arena serves every encoder on the thread:
+// the vectors are grown (never shrunk) at the start of each call, so after
+// the largest tree has been seen an encode performs no heap allocation
+// beyond the post-order index vector.
+struct Scratch {
+  std::vector<double> h;      // n x hidden, node hidden states
+  std::vector<double> c;      // n x hidden, node cell states
+  std::vector<double> leaf;   // hidden, the missing-child initialization
+  std::vector<double> ul;     // 5h, UL_all · h_left
+  std::vector<double> ur;     // 5h, UR_all · h_right
+  std::vector<double> wx;     // 4h, W_all · e for payload nodes
+  std::vector<double> e;      // embedding_dim, label + payload embedding
+  std::vector<double> gates;  // 5h, activated gate values
+
+  void Grow(std::vector<double>* v, std::size_t n) {
+    if (v->size() < n) v->resize(n);
+  }
+};
+
+Scratch& LocalScratch() {
+  static thread_local Scratch scratch;
+  return scratch;
+}
+
+// Copies `src` into rows [row_offset, row_offset + src.rows()) of `dst`.
+void CopyBlock(Matrix* dst, int row_offset, const Matrix& src) {
+  for (int r = 0; r < src.rows(); ++r) {
+    for (int c = 0; c < src.cols(); ++c) {
+      (*dst)(row_offset + r, c) = src(r, c);
+    }
+  }
+}
+
+double SigmoidScalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+TreeLstmFastEncoder::TreeLstmFastEncoder(const TreeLstmConfig& config,
+                                         const nn::ParameterStore& store,
+                                         const std::string& prefix)
+    : config_(config), prefix_(prefix) {
+  const int e = config_.embedding_dim;
+  const int h = config_.hidden_dim;
+  w_all_ = Matrix(4 * h, e);
+  ul_all_ = Matrix(5 * h, h);
+  ur_all_ = Matrix(5 * h, h);
+  b_all_.resize(5 * static_cast<std::size_t>(h));
+  RefreshFrom(store);
+}
+
+void TreeLstmFastEncoder::RefreshFrom(const nn::ParameterStore& store) {
+  const int e = config_.embedding_dim;
+  const int h = config_.hidden_dim;
+  auto find = [&](const std::string& name, int rows, int cols) -> const Matrix& {
+    const nn::Parameter* param = store.Find(prefix_ + "." + name);
+    if (param == nullptr) {
+      throw std::runtime_error("TreeLstmFastEncoder: parameter '" + prefix_ +
+                               "." + name + "' not found in store");
+    }
+    if (param->value.rows() != rows || param->value.cols() != cols) {
+      throw std::runtime_error(
+          "TreeLstmFastEncoder: parameter '" + prefix_ + "." + name +
+          "' has shape " + std::to_string(param->value.rows()) + "x" +
+          std::to_string(param->value.cols()) + ", expected " +
+          std::to_string(rows) + "x" + std::to_string(cols));
+    }
+    return param->value;
+  };
+
+  // W stack (Wf is shared by both forget gates, so it appears once).
+  CopyBlock(&w_all_, 0 * h, find("Wf", h, e));
+  CopyBlock(&w_all_, 1 * h, find("Wi", h, e));
+  CopyBlock(&w_all_, 2 * h, find("Wo", h, e));
+  CopyBlock(&w_all_, 3 * h, find("Wu", h, e));
+
+  // U stacks in gate row order fl, fr, i, o, u.
+  CopyBlock(&ul_all_, kForgetLeft * h, find("Ufll", h, h));
+  CopyBlock(&ul_all_, kForgetRight * h, find("Ufrl", h, h));
+  CopyBlock(&ul_all_, kInput * h, find("Uil", h, h));
+  CopyBlock(&ul_all_, kOutput * h, find("Uol", h, h));
+  CopyBlock(&ul_all_, kCached * h, find("Uul", h, h));
+  CopyBlock(&ur_all_, kForgetLeft * h, find("Uflr", h, h));
+  CopyBlock(&ur_all_, kForgetRight * h, find("Ufrr", h, h));
+  CopyBlock(&ur_all_, kInput * h, find("Uir", h, h));
+  CopyBlock(&ur_all_, kOutput * h, find("Uor", h, h));
+  CopyBlock(&ur_all_, kCached * h, find("Uur", h, h));
+
+  // Biases: bf twice (both forget gates share it).
+  const Matrix& bf = find("bf", h, 1);
+  const Matrix& bi = find("bi", h, 1);
+  const Matrix& bo = find("bo", h, 1);
+  const Matrix& bu = find("bu", h, 1);
+  for (int r = 0; r < h; ++r) {
+    b_all_[static_cast<std::size_t>(kForgetLeft * h + r)] = bf(r, 0);
+    b_all_[static_cast<std::size_t>(kForgetRight * h + r)] = bf(r, 0);
+    b_all_[static_cast<std::size_t>(kInput * h + r)] = bi(r, 0);
+    b_all_[static_cast<std::size_t>(kOutput * h + r)] = bo(r, 0);
+    b_all_[static_cast<std::size_t>(kCached * h + r)] = bu(r, 0);
+  }
+
+  const int vocab = ast::kMaxNodeLabel + 1;
+  embedding_ = find("embedding", vocab, e);
+  if (config_.embed_payloads) {
+    payload_embedding_ = find("payload_embedding", ast::kPayloadVocab, e);
+  } else {
+    payload_embedding_ = Matrix();
+  }
+
+  // Per-label input projections: wx_table_[label] = W_all · embedding[label].
+  // Gemv accumulates each row in the same order as the tape path's
+  // MatMul(W, EmbeddingRow(label)), so the table entries are bitwise what
+  // the tape computes per node.
+  wx_table_.resize(static_cast<std::size_t>(vocab) *
+                   static_cast<std::size_t>(4 * h));
+  std::vector<double> column(static_cast<std::size_t>(e));
+  for (int label = 0; label < vocab; ++label) {
+    for (int k = 0; k < e; ++k) column[static_cast<std::size_t>(k)] = embedding_(label, k);
+    w_all_.Gemv(column.data(),
+                wx_table_.data() +
+                    static_cast<std::size_t>(label) * static_cast<std::size_t>(4 * h));
+  }
+}
+
+Matrix TreeLstmFastEncoder::EncodeVector(const BinaryAst& tree) const {
+  const int h = config_.hidden_dim;
+  if (tree.empty()) return Matrix(h, 1);
+  const int e_dim = config_.embedding_dim;
+  const std::size_t n = static_cast<std::size_t>(tree.size());
+  const std::size_t hs = static_cast<std::size_t>(h);
+
+  Scratch& s = LocalScratch();
+  s.Grow(&s.h, n * hs);
+  s.Grow(&s.c, n * hs);
+  s.Grow(&s.ul, 5 * hs);
+  s.Grow(&s.ur, 5 * hs);
+  s.Grow(&s.wx, 4 * hs);
+  s.Grow(&s.e, static_cast<std::size_t>(e_dim));
+  s.Grow(&s.gates, 5 * hs);
+  // Leaf initialization (Fig. 9: zeros vs ones) for both h and c.
+  s.leaf.assign(hs, config_.leaf_init_ones ? 1.0 : 0.0);
+
+  const bool payloads = config_.embed_payloads;
+  // Offset of each gate's rows inside the 4h-tall W stack (forget gates
+  // share the Wf block).
+  static constexpr int kWxBlock[5] = {0, 0, 1, 2, 3};
+
+  for (NodeId id : tree.PostOrder()) {
+    const ast::BinaryNode& node = tree.node(id);
+    const double* hl = node.left != kInvalidNode
+                           ? s.h.data() + static_cast<std::size_t>(node.left) * hs
+                           : s.leaf.data();
+    const double* cl = node.left != kInvalidNode
+                           ? s.c.data() + static_cast<std::size_t>(node.left) * hs
+                           : s.leaf.data();
+    const double* hr = node.right != kInvalidNode
+                           ? s.h.data() + static_cast<std::size_t>(node.right) * hs
+                           : s.leaf.data();
+    const double* cr = node.right != kInvalidNode
+                           ? s.c.data() + static_cast<std::size_t>(node.right) * hs
+                           : s.leaf.data();
+
+    // Input projection W_all · e: a table lookup unless the node carries a
+    // payload bucket, in which case e = emb[label] + pay[bucket] must be
+    // summed first (projecting the two halves separately would change the
+    // tape path's per-row summation order).
+    const double* wx;
+    if (payloads && node.payload_bucket != 0) {
+      for (int k = 0; k < e_dim; ++k) {
+        s.e[static_cast<std::size_t>(k)] =
+            embedding_(node.label, k) +
+            payload_embedding_(node.payload_bucket, k);
+      }
+      w_all_.Gemv(s.e.data(), s.wx.data());
+      wx = s.wx.data();
+    } else {
+      wx = wx_table_.data() +
+           static_cast<std::size_t>(node.label) * 4 * hs;
+    }
+
+    // The two fused GEMVs covering all ten U applications of eqs. (1)-(5).
+    ul_all_.Gemv(hl, s.ul.data());
+    ur_all_.Gemv(hr, s.ur.data());
+
+    // Gate activations. Association order matches the tape path exactly:
+    // ((W·e + (UL·hl + UR·hr)) + b).
+    for (int gate = 0; gate < 5; ++gate) {
+      const double* wrow = wx + static_cast<std::size_t>(kWxBlock[gate]) * hs;
+      const double* ulg = s.ul.data() + static_cast<std::size_t>(gate) * hs;
+      const double* urg = s.ur.data() + static_cast<std::size_t>(gate) * hs;
+      const double* b = b_all_.data() + static_cast<std::size_t>(gate) * hs;
+      double* out = s.gates.data() + static_cast<std::size_t>(gate) * hs;
+      if (gate == kCached) {
+        for (int r = 0; r < h; ++r) {
+          out[r] = std::tanh((wrow[r] + (ulg[r] + urg[r])) + b[r]);
+        }
+      } else {
+        for (int r = 0; r < h; ++r) {
+          out[r] = SigmoidScalar((wrow[r] + (ulg[r] + urg[r])) + b[r]);
+        }
+      }
+    }
+
+    // (6)(7) with the tape path's association: c = i.u + (c_l.f_l + c_r.f_r),
+    // h = o . tanh(c).
+    const double* fl = s.gates.data() + static_cast<std::size_t>(kForgetLeft) * hs;
+    const double* fr = s.gates.data() + static_cast<std::size_t>(kForgetRight) * hs;
+    const double* gi = s.gates.data() + static_cast<std::size_t>(kInput) * hs;
+    const double* go = s.gates.data() + static_cast<std::size_t>(kOutput) * hs;
+    const double* gu = s.gates.data() + static_cast<std::size_t>(kCached) * hs;
+    double* hk = s.h.data() + static_cast<std::size_t>(id) * hs;
+    double* ck = s.c.data() + static_cast<std::size_t>(id) * hs;
+    for (int r = 0; r < h; ++r) {
+      const double c = gi[r] * gu[r] + (cl[r] * fl[r] + cr[r] * fr[r]);
+      ck[r] = c;
+      hk[r] = go[r] * std::tanh(c);
+    }
+  }
+
+  Matrix out(h, 1);
+  const double* root = s.h.data() + static_cast<std::size_t>(tree.root()) * hs;
+  for (int r = 0; r < h; ++r) out(r, 0) = root[r];
+  return out;
+}
+
+}  // namespace asteria::core

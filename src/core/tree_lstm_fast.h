@@ -1,0 +1,88 @@
+// Forward-only fused inference kernel for the Binary Tree-LSTM.
+//
+// TreeLstmEncoder::EncodeVector runs the forward pass through a full
+// reverse-mode autograd Tape: per node it heap-allocates ~42 tape entries
+// (value + gradient matrices + std::function backward closures) and issues
+// ~14 small MatMuls, none of which inference needs. Every similarity query
+// and every firmware index build pays that cost (§V-E, Fig. 10), so the
+// online path gets a dedicated lean kernel, the same training/inference
+// split Gemini uses for embedding-based search.
+//
+// What the fast encoder does differently:
+//  * Tape-free: post-order evaluation into a reusable thread-local scratch
+//    arena sized by the tree — zero per-node heap allocation.
+//  * Fused weights: {Wf, Wi, Wo, Wu} are stacked into one (4h x e) matrix
+//    and the ten U matrices into two (5h x h) matrices (gate row order
+//    fl, fr, i, o, u), so a node costs at most three Matrix::Gemv calls
+//    instead of ~14 small MatMuls.
+//  * Precomputed input projections: W_all · embedding[label] for the whole
+//    node-label vocabulary (a few KB), eliminating the W GEMV outright for
+//    nodes without a payload bucket.
+//
+// Bitwise contract: the produced embeddings are bit-for-bit identical to
+// EncodeVector. Every fused row accumulates in the same ascending-k order
+// as the tape path's per-gate MatMul (Matrix::Gemv guarantees this), and
+// the gate/cell/hidden arithmetic reuses the tape path's exact association
+// order. This keeps the PR-1 determinism contract and PR-2 snapshot
+// compatibility intact; tests/fast_encoder_test.cpp enforces it.
+//
+// The fused copies go stale when the parameters change (a training step or
+// a checkpoint load): call RefreshFrom(store) again. SiameseModel automates
+// this with a dirty flag set by TrainPair/Load (docs/PERFORMANCE.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/lcrs.h"
+#include "core/tree_lstm.h"
+#include "nn/matrix.h"
+#include "nn/parameter.h"
+
+namespace asteria::core {
+
+class TreeLstmFastEncoder {
+ public:
+  // Builds the fused weight copies from the named parameters that a
+  // TreeLstmEncoder with the same config/prefix created in `store`. Throws
+  // std::runtime_error if a parameter is missing or has the wrong shape.
+  explicit TreeLstmFastEncoder(const TreeLstmConfig& config,
+                               const nn::ParameterStore& store,
+                               const std::string& prefix = "treelstm");
+
+  // Rebuilds the fused matrices and the per-label projection table from the
+  // store's current parameter values. Must be called after every weight
+  // update (training step, checkpoint load) before the next EncodeVector.
+  void RefreshFrom(const nn::ParameterStore& store);
+
+  // Encodes a binarized AST; returns the root hidden state (h x 1).
+  // Bitwise identical to TreeLstmEncoder::EncodeVector. Thread-safe: safe
+  // to call concurrently from many threads (per-thread scratch arenas).
+  nn::Matrix EncodeVector(const ast::BinaryAst& tree) const;
+
+  const TreeLstmConfig& config() const { return config_; }
+
+ private:
+  // Gate row order inside the fused 5h blocks.
+  enum Gate { kForgetLeft = 0, kForgetRight, kInput, kOutput, kCached };
+
+  TreeLstmConfig config_;
+  std::string prefix_;
+
+  nn::Matrix w_all_;   // 4h x e: [Wf; Wi; Wo; Wu]
+  nn::Matrix ul_all_;  // 5h x h: [Ufll; Ufrl; Uil; Uol; Uul]
+  nn::Matrix ur_all_;  // 5h x h: [Uflr; Ufrr; Uir; Uor; Uur]
+  std::vector<double> b_all_;  // 5h: [bf; bf; bi; bo; bu]
+
+  // wx_table_[label * 4h ..] = W_all · embedding[label], one entry per
+  // vocabulary label; nodes without payload read it instead of a GEMV.
+  std::vector<double> wx_table_;
+
+  // Raw embedding copies for the payload path (e = emb[label] + pay[bucket]
+  // cannot be split across two precomputed projections without changing the
+  // tape path's summation order).
+  nn::Matrix embedding_;          // vocab x e
+  nn::Matrix payload_embedding_;  // kPayloadVocab x e (empty if payloads off)
+};
+
+}  // namespace asteria::core

@@ -79,7 +79,14 @@ class Tape {
   // Runs reverse-mode accumulation from `loss` (must be 1x1).
   void Backward(Var loss);
 
-  // Drops all nodes so the tape can be reused for the next example.
+  // Pre-allocates room for `nodes` tape nodes so graph construction does not
+  // reallocate mid-example (TreeLstmEncoder::Encode reserves from the AST
+  // size before its post-order walk).
+  void Reserve(std::size_t nodes) { nodes_.reserve(nodes); }
+
+  // Drops all nodes so the tape can be reused for the next example. Keeps
+  // the node vector's capacity: a tape reused across training examples
+  // reaches steady state after the largest one and stops reallocating.
   void Clear();
 
   std::size_t size() const { return nodes_.size(); }

@@ -16,6 +16,39 @@ Matrix Matrix::ColVector(std::vector<double> values) {
   return Matrix(n, 1, std::move(values));
 }
 
+void Matrix::Gemv(const double* x, double* y) const {
+  const int m = rows_;
+  const int n = cols_;
+  const double* a = data_.data();
+  int i = 0;
+  // Four rows per pass: four independent accumulator chains hide the FP-add
+  // latency that serializes a single row's sum, and each x[k] load is shared.
+  for (; i + 4 <= m; i += 4) {
+    const double* r0 = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    const double* r1 = r0 + n;
+    const double* r2 = r1 + n;
+    const double* r3 = r2 + n;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double xk = x[k];
+      s0 += r0[k] * xk;
+      s1 += r1[k] * xk;
+      s2 += r2[k] * xk;
+      s3 += r3[k] * xk;
+    }
+    y[i] = s0;
+    y[i + 1] = s1;
+    y[i + 2] = s2;
+    y[i + 3] = s3;
+  }
+  for (; i < m; ++i) {
+    const double* row = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(n);
+    double sum = 0.0;
+    for (int k = 0; k < n; ++k) sum += row[k] * x[k];
+    y[i] = sum;
+  }
+}
+
 void Matrix::Fill(double value) {
   for (auto& x : data_) x = value;
 }
@@ -68,13 +101,15 @@ std::string Matrix::DebugString() const {
   return out.str();
 }
 
+// The inner loops deliberately have no `a == 0.0` skip: the operands here
+// are dense trained weights, where a data-dependent branch mispredicts far
+// more than it saves.
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   for (int i = 0; i < a.rows(); ++i) {
     for (int k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);
-      if (aik == 0.0) continue;
       for (int j = 0; j < b.cols(); ++j) {
         out(i, j) += aik * b(k, j);
       }
@@ -89,7 +124,6 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   for (int k = 0; k < a.rows(); ++k) {
     for (int i = 0; i < a.cols(); ++i) {
       const double aki = a(k, i);
-      if (aki == 0.0) continue;
       for (int j = 0; j < b.cols(); ++j) {
         out(i, j) += aki * b(k, j);
       }

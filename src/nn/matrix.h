@@ -51,6 +51,15 @@ class Matrix {
   void Fill(double value);
   void SetZero() { Fill(0.0); }
 
+  // y = (*this) · x, with x a dense cols()-length vector and y rows() long.
+  // Each output row accumulates strictly in ascending-k order starting from
+  // 0.0 — the same per-row association as MatMul with a (cols x 1) right
+  // operand — so a row of a fused/stacked weight matrix yields a bitwise
+  // identical sum to the unstacked per-gate MatMul. Rows are processed four
+  // at a time (independent accumulator chains) purely for instruction-level
+  // parallelism; the within-row order is unchanged.
+  void Gemv(const double* x, double* y) const;
+
   // this += other (shapes must match).
   void AddInPlace(const Matrix& other);
   // this += scale * other.

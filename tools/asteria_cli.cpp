@@ -32,6 +32,10 @@
 // snapshot round trip preserves that: index-query over a loaded snapshot
 // returns bitwise-identical TopK results to a fresh index-build.
 //
+// A --fast_encoder={0,1} flag selects the encode kernel: the fused
+// tape-free TreeLstmFastEncoder (default) or the autograd reference path.
+// Both produce bitwise-identical encodings (docs/PERFORMANCE.md).
+//
 // A --failpoints=SPEC flag (or the ASTERIA_FAILPOINTS env var) arms
 // fault-injection points, e.g. --failpoints=store.write=once (see
 // docs/ROBUSTNESS.md); --failpoints=list prints the registered names.
@@ -62,14 +66,24 @@ namespace {
 
 using namespace asteria;
 
-int g_threads = 1;  // set by --threads=N
+int g_threads = 1;           // set by --threads=N
+bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
+
+// Model config for every command: the fused tape-free encode kernel unless
+// --fast_encoder=0 asks for the autograd reference path (the two produce
+// bitwise-identical encodings; see docs/PERFORMANCE.md).
+core::AsteriaConfig CliModelConfig() {
+  core::AsteriaConfig config;
+  config.siamese.use_fast_encoder = g_fast_encoder;
+  return config;
+}
 
 int Usage() {
   std::fprintf(
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
       "index-build|index-info|index-query|run|failpoints> [--threads=N] "
-      "[--failpoints=SPEC] ...\n"
+      "[--fast_encoder=0|1] [--failpoints=SPEC] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -233,7 +247,7 @@ int CmdSim(int argc, char** argv) {
   const std::string fn_b = argv[5];
   const binary::Isa isa_b = ParseIsa(argv[6]);
 
-  core::AsteriaConfig config;
+  const core::AsteriaConfig config = CliModelConfig();
   core::AsteriaModel model(config);
   if (argc > 7) {
     if (!model.Load(argv[7])) {
@@ -356,7 +370,7 @@ int CmdSearch(int argc, char** argv) {
   int k = 10;
   if (!ParseTopK(argc, argv, 5, &k)) return 1;
 
-  core::AsteriaConfig config;
+  const core::AsteriaConfig config = CliModelConfig();
   core::AsteriaModel model(config);
   if (!LoadWeightsOrWarn(&model, argc > 6 ? argv[6] : nullptr)) return 1;
 
@@ -382,7 +396,7 @@ int CmdIndexBuild(int argc, char** argv) {
   if (!LoadProgram(argv[2], &program)) return 1;
   const std::string out_path = argv[3];
 
-  core::AsteriaConfig config;
+  const core::AsteriaConfig config = CliModelConfig();
   core::AsteriaModel model(config);
   if (!LoadWeightsOrWarn(&model, argc > 4 ? argv[4] : nullptr)) return 1;
 
@@ -447,7 +461,7 @@ int CmdIndexQuery(int argc, char** argv) {
   int k = 10;
   if (!ParseTopK(argc, argv, 6, &k)) return 1;
 
-  core::AsteriaConfig config;
+  const core::AsteriaConfig config = CliModelConfig();
   core::AsteriaModel model(config);
   if (!LoadWeightsOrWarn(&model, argc > 7 ? argv[7] : nullptr)) return 1;
 
@@ -520,6 +534,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       g_threads = static_cast<int>(threads);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--fast_encoder=", 15) == 0) {
+      const char* value = argv[i] + 15;
+      if (std::strcmp(value, "0") != 0 && std::strcmp(value, "1") != 0) {
+        std::fprintf(stderr, "bad --fast_encoder value '%s' (want 0 or 1)\n",
+                     value);
+        return 2;
+      }
+      g_fast_encoder = value[0] == '1';
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
