@@ -18,6 +18,7 @@ int Run(int argc, char** argv) {
   util::Flags flags;
   bench::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 17);

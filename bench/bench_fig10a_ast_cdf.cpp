@@ -14,6 +14,7 @@ int Run(int argc, char** argv) {
   util::Flags flags;
   bench::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
 
   dataset::CorpusConfig config;
   config.packages = static_cast<int>(flags.GetInt("packages"));

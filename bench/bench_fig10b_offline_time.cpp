@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
                      "fail unless the fused kernel beats the tape path by "
                      "at least this factor (0 = report only)");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
 
   // Build raw modules (we need the machine code, not just the corpus
   // features, to time decompilation itself).

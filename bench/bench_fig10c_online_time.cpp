@@ -25,6 +25,8 @@
 #include "baselines/gemini.h"
 #include "core/asteria.h"
 #include "core/search_index.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace asteria {
@@ -205,7 +207,8 @@ BENCHMARK(BM_SearchTopK)->Arg(1)->Arg(0);
 }  // namespace asteria
 
 int main(int argc, char** argv) {
-  // Strip --threads=N (our flag) before google-benchmark sees the args.
+  std::string metrics_out;
+  // Strip our flags before google-benchmark sees the args.
   // Parsed strictly: garbage is an error, not a silent 1.
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -230,11 +233,35 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--log_level=", 12) == 0) {
+      asteria::util::LogLevel level = asteria::util::LogLevel::kInfo;
+      if (!asteria::util::ParseLogLevel(argv[i] + 12, &level)) {
+        std::fprintf(stderr,
+                     "bad --log_level value '%s' (debug|info|warn|error)\n",
+                     argv[i] + 12);
+        return 1;
+      }
+      asteria::util::SetLogLevel(level);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      metrics_out = argv[i] + 14;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    std::string error;
+    if (!asteria::util::SnapshotMetrics().WriteJson(metrics_out, &error)) {
+      std::fprintf(stderr, "cannot write --metrics_out: %s\n", error.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -45,6 +45,7 @@ int Run(int argc, char** argv) {
   flags.DefineInt("queries", 8, "query functions for the determinism check");
   flags.DefineInt("topk", 10, "k for the TopK determinism check");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
 
   core::AsteriaConfig config;

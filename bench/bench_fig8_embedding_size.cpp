@@ -23,6 +23,7 @@ int Run(int argc, char** argv) {
   bench::DefineCommonFlags(&flags);
   flags.DefineString("sizes", "8,16,32,64,128", "embedding sizes to sweep");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
 

@@ -17,6 +17,7 @@ int Run(int argc, char** argv) {
   flags.DefineInt("epochs", 4, "epochs per variant (4 variants retrained)");
   bench::DefineCommonFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
 

@@ -26,6 +26,7 @@ int Run(int argc, char** argv) {
   bench::DefineCommonFlags(&flags);
   flags.DefineInt("images", 30, "number of firmware images");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 8);

@@ -20,7 +20,9 @@ int Run(int argc, char** argv) {
   flags.DefineInt("firmware_images", 20, "firmware images");
   flags.DefineInt("seed", 1, "seed");
   flags.DefineString("out", "bench_out", "CSV output directory");
+  bench::DefineObservabilityFlags(&flags);
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
 
   util::TextTable table({"name", "platform", "# of binaries", "# of functions"});
 

@@ -28,6 +28,7 @@ int Run(int argc, char** argv) {
                      "(empty = encode every run); invalidated automatically "
                      "on model or corpus changes");
   if (!flags.Parse(argc, argv)) return 1;
+  bench::ApplyCommonFlags(flags);
   bench::ExperimentSetup setup = bench::BuildSetup(flags);
   const int epochs = static_cast<int>(flags.GetInt("epochs"));
   util::Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 5);

@@ -7,12 +7,23 @@
 #include "dataset/corpus_io.h"
 #include "util/failpoint.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/table.h"
 #include "util/timer.h"
 
 namespace asteria::bench {
 
+void DefineObservabilityFlags(util::Flags* flags) {
+  flags->DefineString("log_level", "",
+                      "minimum emitted log level (debug|info|warn|error); "
+                      "empty keeps the default (info)");
+  flags->DefineString("metrics_out", "",
+                      "write the process metrics snapshot (counters, "
+                      "histograms, span times) as JSON to this path on exit");
+}
+
 void DefineCommonFlags(util::Flags* flags) {
+  DefineObservabilityFlags(flags);
   flags->DefineInt("packages", 12, "number of generated packages (Buildroot-like corpus)");
   flags->DefineInt("pairs_per_comb", 120, "max labeled pairs per ISA combination (0 = all)");
   flags->DefineInt("epochs", 5, "training epochs (paper: 60; defaults sized for one CPU core)");
@@ -42,9 +53,56 @@ void DefineCommonFlags(util::Flags* flags) {
 
 namespace {
 std::string g_out_dir = "bench_out";
+std::string g_metrics_out;  // written by the atexit hook when non-empty
+bool g_flags_applied = false;
+
+void WriteMetricsAtExit() {
+  if (g_metrics_out.empty()) return;
+  std::string error;
+  if (!util::SnapshotMetrics().WriteJson(g_metrics_out, &error)) {
+    std::fprintf(stderr, "cannot write --metrics_out: %s\n", error.c_str());
+  }
+}
 }  // namespace
 
 std::string OutDir() { return g_out_dir; }
+
+void ApplyCommonFlags(const util::Flags& flags) {
+  if (g_flags_applied) return;
+  g_flags_applied = true;
+  if (flags.Has("out")) g_out_dir = flags.GetString("out");
+  if (flags.Has("log_level")) {
+    if (const std::string name = flags.GetString("log_level"); !name.empty()) {
+      util::LogLevel level = util::LogLevel::kInfo;
+      if (!util::ParseLogLevel(name, &level)) {
+        std::fprintf(stderr,
+                     "bad --log_level value '%s' (debug|info|warn|error)\n",
+                     name.c_str());
+        std::exit(2);
+      }
+      util::SetLogLevel(level);
+    }
+  }
+  // --quiet outranks --log_level: scripts rely on it silencing progress.
+  if (flags.Has("quiet") && flags.GetBool("quiet")) {
+    util::SetLogLevel(util::LogLevel::kWarn);
+  }
+  if (flags.Has("failpoints")) {
+    if (const std::string spec = flags.GetString("failpoints"); !spec.empty()) {
+      std::string error;
+      if (!util::ConfigureFailpoints(spec, &error)) {
+        std::fprintf(stderr, "bad --failpoints spec: %s\n", error.c_str());
+        std::exit(2);
+      }
+    }
+  }
+  if (flags.Has("metrics_out")) {
+    g_metrics_out = flags.GetString("metrics_out");
+    // atexit (not an eager write) so the snapshot reflects the whole run,
+    // including whatever the bench does after BuildSetup.
+    if (!g_metrics_out.empty()) std::atexit(WriteMetricsAtExit);
+  }
+}
 
 void ApplyEncoderFlags(const util::Flags& flags, core::AsteriaConfig* config) {
   const int embedding = static_cast<int>(flags.GetInt("embedding"));
@@ -55,15 +113,7 @@ void ApplyEncoderFlags(const util::Flags& flags, core::AsteriaConfig* config) {
 }
 
 ExperimentSetup BuildSetup(const util::Flags& flags) {
-  if (flags.GetBool("quiet")) util::SetLogLevel(util::LogLevel::kWarn);
-  g_out_dir = flags.GetString("out");
-  if (const std::string spec = flags.GetString("failpoints"); !spec.empty()) {
-    std::string error;
-    if (!util::ConfigureFailpoints(spec, &error)) {
-      std::fprintf(stderr, "bad --failpoints spec: %s\n", error.c_str());
-      std::exit(2);
-    }
-  }
+  ApplyCommonFlags(flags);
   dataset::CorpusConfig config;
   config.packages = static_cast<int>(flags.GetInt("packages"));
   config.seed = static_cast<std::uint64_t>(flags.GetInt("seed")) * 1000003 + 17;

@@ -28,6 +28,19 @@ struct ExperimentSetup {
 // Standard flags shared by the training benches; call before Parse().
 void DefineCommonFlags(util::Flags* flags);
 
+// Just the observability flags (--log_level, --metrics_out) for benches
+// that define their own experiment flags instead of the common set.
+// DefineCommonFlags already includes these.
+void DefineObservabilityFlags(util::Flags* flags);
+
+// Applies the cross-cutting flags after Parse(): output directory, log
+// level (--quiet wins over --log_level), failpoint spec, and — when
+// --metrics_out is set — registers an atexit hook that writes the metrics
+// snapshot JSON when the bench exits. Call once right after Parse();
+// BuildSetup() also calls it, so benches that use BuildSetup get it for
+// free (the call is idempotent).
+void ApplyCommonFlags(const util::Flags& flags);
+
 // Applies the encoder-shape and kernel-selection flags (--embedding,
 // --hidden, --fast_encoder) to an AsteriaConfig. --hidden=0 (the default)
 // keeps hidden_dim equal to embedding_dim, matching the paper's setup.

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Observability smoke gate (docs/OBSERVABILITY.md): runs the same end-to-end
+# clone search through asteria-cli at --threads=1 and --threads=8 with
+# --metrics_out, then
+#   1. asserts the deterministic slice of the two snapshots is identical —
+#      counter values, histogram observation counts, value-deterministic
+#      bucket tallies, span counts, and pipeline rows must not depend on the
+#      thread count (only latency-valued fields may differ);
+#   2. asserts the snapshot actually observed the run: nonzero encode.fast
+#      counter and decompile/encode/search span entries.
+#
+# Usage: scripts/check_metrics.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="$ROOT/${1:-build}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" --target asteria-cli
+
+CLI="$BUILD/tools/asteria-cli"
+
+"$CLI" gen 42 > "$WORK/prog.mc"
+# First function of the generated package is the query.
+FN="$(grep -oE '^int [A-Za-z_][A-Za-z0-9_]*\(' "$WORK/prog.mc" \
+      | head -1 | sed -E 's/^int ([A-Za-z0-9_]+)\(/\1/')"
+[ -n "$FN" ] || { echo "FAIL: no function found in generated program" >&2; exit 1; }
+
+for threads in 1 8; do
+  "$CLI" search "$WORK/prog.mc" "$FN" x86 \
+         --threads=$threads --metrics_out="$WORK/m$threads.json" >/dev/null
+done
+
+# Strip the latency-valued (machine- and schedule-dependent) fields:
+#   - sum/min/max of every histogram (nanos histograms time real work),
+#   - total_seconds/mean_seconds of every span,
+#   - per-bucket tallies of *_nanos histograms (observation values are
+#     timings, so bucket placement is nondeterministic; counts are not).
+# Everything that survives is the deterministic slice and must be identical
+# across thread counts.
+filter() {
+  awk '
+    /^    "[a-z_.]*_nanos": \{$/ { in_nanos = 1 }
+    in_nanos && /^    \}/        { in_nanos = 0 }
+    /"(sum|min|max|total_seconds|mean_seconds)":/ { next }
+    in_nanos && /"buckets":/     { next }
+    { print }
+  ' "$1"
+}
+
+filter "$WORK/m1.json" > "$WORK/m1.det"
+filter "$WORK/m8.json" > "$WORK/m8.det"
+if ! diff -u "$WORK/m1.det" "$WORK/m8.det"; then
+  echo "FAIL: deterministic metrics slice differs between --threads=1 and --threads=8" >&2
+  exit 1
+fi
+
+# The snapshot must have actually observed the run.
+grep -qE '"encode\.fast": [1-9]' "$WORK/m1.json" \
+  || { echo "FAIL: encode.fast counter is zero or missing" >&2; exit 1; }
+for span in decompile encode search; do
+  grep -q "\"$span\": {" "$WORK/m1.json" \
+    || { echo "FAIL: span '$span' missing from snapshot" >&2; exit 1; }
+done
+
+echo "OK: metrics snapshot deterministic across thread counts and complete"

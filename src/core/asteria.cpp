@@ -3,8 +3,18 @@
 #include <cmath>
 
 #include "store/checkpoint.h"
+#include "util/metrics.h"
 
 namespace asteria::core {
+
+namespace {
+
+util::Counter c_train_pairs("train.pairs");
+util::Counter c_train_skipped("train.skipped_samples");
+util::Counter c_train_nonfinite("train.nonfinite_loss");
+util::Gauge g_last_loss("train.last_loss");
+
+}  // namespace
 
 std::uint32_t AsteriaModel::WeightsFingerprint() const {
   return store::WeightsFingerprint(siamese_.parameters());
@@ -21,6 +31,7 @@ double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
                                 std::vector<LabeledPair> pairs,
                                 util::Rng& rng,
                                 util::PipelineReport* report) {
+  ASTERIA_SPAN("train-epoch");
   rng.Shuffle(pairs);
   if (report != nullptr && report->stage.empty()) report->stage = "train-epoch";
   double total_loss = 0.0;
@@ -29,6 +40,7 @@ double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
     const auto& a = features[static_cast<std::size_t>(pair.a)].tree;
     const auto& b = features[static_cast<std::size_t>(pair.b)].tree;
     if (a.empty() || b.empty()) {
+      c_train_skipped.Increment();
       if (report != nullptr) report->AddSkipped();
       continue;
     }
@@ -36,6 +48,7 @@ double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
     if (!std::isfinite(loss)) {
       // TrainPair already declined the weight update; keep the mean clean
       // and record the isolated pair.
+      c_train_nonfinite.Increment();
       if (report != nullptr) {
         report->AddFailed("non-finite loss for pair (" +
                           std::to_string(pair.a) + ", " +
@@ -45,9 +58,14 @@ double AsteriaModel::TrainEpoch(const std::vector<FunctionFeature>& features,
     }
     total_loss += loss;
     ++counted;
+    c_train_pairs.Increment();
     if (report != nullptr) report->AddOk();
   }
-  return counted == 0 ? 0.0 : total_loss / static_cast<double>(counted);
+  const double mean_loss =
+      counted == 0 ? 0.0 : total_loss / static_cast<double>(counted);
+  g_last_loss.Set(mean_loss);
+  if (report != nullptr) util::PublishPipelineReport(*report);
+  return mean_loss;
 }
 
 }  // namespace asteria::core

@@ -7,7 +7,9 @@
 
 #include "store/container.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace asteria::core {
 
@@ -15,6 +17,12 @@ namespace {
 
 // Injects a per-feature encoding failure into AddAll (isolation testing).
 util::Failpoint fp_search_encode("search.encode");
+
+// Latency histograms ("*_nanos"): deterministic counts, machine-dependent
+// bucket placement. TopK result sizes are fully deterministic.
+util::Histogram h_add_nanos("search.add_nanos");
+util::Histogram h_topk_nanos("search.topk_nanos");
+util::Histogram h_topk_size("search.topk_size");
 
 bool AllFinite(const nn::Matrix& m) {
   for (std::size_t i = 0; i < m.size(); ++i) {
@@ -38,11 +46,14 @@ bool HitBefore(const SearchHit& a, const SearchHit& b) {
 }  // namespace
 
 int SearchIndex::Add(const FunctionFeature& feature) {
+  ASTERIA_SPAN("encode");
+  util::Timer timer;
   Entry entry;
   entry.name = feature.name;
   entry.encoding = model_.Encode(feature.tree);
   entry.callee_count = feature.callee_count;
   entries_.push_back(std::move(entry));
+  h_add_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
   return static_cast<int>(entries_.size()) - 1;
 }
 
@@ -61,6 +72,7 @@ util::PipelineReport SearchIndex::AddAll(
   util::ParallelFor(
       static_cast<std::int64_t>(features.size()), threads_,
       [&](std::int64_t i) {
+        ASTERIA_SPAN("encode");
         const std::size_t slot = static_cast<std::size_t>(i);
         const FunctionFeature& feature = features[slot];
         if (feature.tree.empty()) {
@@ -102,6 +114,7 @@ util::PipelineReport SearchIndex::AddAll(
         break;
     }
   }
+  util::PublishPipelineReport(report);
   return report;
 }
 
@@ -133,6 +146,8 @@ std::vector<SearchHit> SearchIndex::Scored(
 std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
                                          int k) const {
   if (k <= 0 || entries_.empty()) return {};
+  ASTERIA_SPAN("search");
+  util::Timer timer;
   const nn::Matrix query_encoding = model_.Encode(query.tree);
   const std::size_t keep =
       std::min<std::size_t>(static_cast<std::size_t>(k), entries_.size());
@@ -174,6 +189,8 @@ std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
                                         std::min(keep, merged.size()));
   std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
   merged.erase(cut, merged.end());
+  h_topk_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
+  h_topk_size.Observe(merged.size());
   return merged;
 }
 
@@ -342,6 +359,7 @@ bool SearchIndex::Load(const std::string& path, std::string* error) {
 
 std::vector<SearchHit> SearchIndex::AboveThreshold(
     const FunctionFeature& query, double threshold) const {
+  ASTERIA_SPAN("search");
   std::vector<SearchHit> hits = Scored(query);
   hits.erase(std::remove_if(hits.begin(), hits.end(),
                             [&](const SearchHit& hit) {

@@ -6,6 +6,7 @@
 #include "store/checkpoint.h"
 #include "util/failpoint.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 namespace asteria::core {
 
@@ -18,6 +19,12 @@ namespace {
 // Forces a NaN loss on one pair, exercising the numerics guard (sample
 // skipped, no weight update, training continues).
 util::Failpoint fp_train_loss("train.loss");
+
+// One striped relaxed increment per encode — cheap enough for the fused
+// hot path (overhead measured in docs/OBSERVABILITY.md).
+util::Counter c_encode_fast("encode.fast");
+util::Counter c_encode_tape("encode.tape");
+util::Counter c_weight_refresh("encode.weight_refresh");
 
 }  // namespace
 
@@ -58,8 +65,12 @@ double SiameseModel::Similarity(const ast::BinaryAst& a,
 }
 
 Matrix SiameseModel::Encode(const ast::BinaryAst& tree) const {
-  if (!config_.use_fast_encoder) return encoder_.EncodeVector(tree);
+  if (!config_.use_fast_encoder) {
+    c_encode_tape.Increment();
+    return encoder_.EncodeVector(tree);
+  }
   EnsureFastEncoderFresh();
+  c_encode_fast.Increment();
   return fast_->EncodeVector(tree);
 }
 
@@ -73,6 +84,7 @@ void SiameseModel::EnsureFastEncoderFresh() const {
   } else {
     fast_->RefreshFrom(store_);
   }
+  c_weight_refresh.Increment();
   fast_dirty_.store(false, std::memory_order_release);
 }
 

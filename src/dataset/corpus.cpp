@@ -9,6 +9,7 @@
 #include "minic/sema.h"
 #include "util/failpoint.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace asteria::dataset {
@@ -18,6 +19,10 @@ namespace {
 // Injects a per-function failure into corpus generation, exercising the
 // fault-isolation path (function skipped + counted, build continues).
 util::Failpoint fp_corpus_function("corpus.function");
+
+// AST sizes are deterministic per seed, so this histogram's buckets are
+// identical across runs and thread counts (the determinism contract).
+util::Histogram h_ast_size("corpus.ast_size");
 
 // Everything one package contributes to the corpus, accumulated privately
 // per package index so generation can run on any number of threads and be
@@ -74,6 +79,7 @@ PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
         continue;
       }
       result.report.AddOk();
+      h_ast_size.Observe(static_cast<std::uint64_t>(df.tree.size()));
       CorpusFunction entry;
       entry.package = package;
       entry.function = df.name;
@@ -95,6 +101,7 @@ PackageResult BuildPackage(const CorpusConfig& config, int pkg) {
 }  // namespace
 
 Corpus BuildCorpus(const CorpusConfig& config) {
+  ASTERIA_SPAN("corpus-build");
   std::vector<PackageResult> results(
       static_cast<std::size_t>(std::max(0, config.packages)));
   util::ParallelFor(config.packages, config.threads, [&](std::int64_t pkg) {
@@ -119,6 +126,7 @@ Corpus BuildCorpus(const CorpusConfig& config) {
       corpus.functions.push_back(std::move(entry));
     }
   }
+  util::PublishPipelineReport(corpus.report);
   return corpus;
 }
 

@@ -6,11 +6,16 @@
 
 #include "store/container.h"
 #include "util/log.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace asteria::dataset {
 
 namespace {
+
+util::Counter c_cache_hit("corpus.cache_hit");
+util::Counter c_cache_miss("corpus.cache_miss");
+util::Counter c_cache_quarantined("corpus.cache_quarantined");
 
 bool FileExists(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "rb");
@@ -274,11 +279,13 @@ Corpus BuildOrLoadCorpus(const CorpusConfig& config,
   Corpus corpus;
   util::Timer timer;
   if (LoadCorpus(&corpus, config, cache_path, &error)) {
+    c_cache_hit.Increment();
     ASTERIA_LOG(Info) << "corpus cache hit: " << cache_path << " ("
                       << corpus.functions.size() << " functions in "
                       << timer.ElapsedSeconds() << "s)";
     return corpus;
   }
+  c_cache_miss.Increment();
   ASTERIA_LOG(Info) << "corpus cache miss (" << error << "); rebuilding";
   // A cache that exists but failed to load is corrupt or stale: move it
   // aside (never silently delete evidence) so the rebuild below can write a
@@ -286,6 +293,7 @@ Corpus BuildOrLoadCorpus(const CorpusConfig& config,
   if (FileExists(cache_path)) {
     std::string quarantined;
     if (store::QuarantineFile(cache_path, &quarantined)) {
+      c_cache_quarantined.Increment();
       ASTERIA_LOG(Warn) << "quarantined corrupt corpus cache to "
                         << quarantined;
     }

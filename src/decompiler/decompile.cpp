@@ -5,10 +5,14 @@
 #include "decompiler/lifter.h"
 #include "decompiler/machine_cfg.h"
 #include "decompiler/structurer.h"
+#include "util/metrics.h"
 
 namespace asteria::decompiler {
 
 namespace {
+
+util::Counter c_functions("decompile.functions");
+util::Counter c_goto_degradations("decompile.goto_degradations");
 
 // Copies the (possibly DAG-shaped) DNode tree rooted at `id` into a fresh
 // ast::Ast arena; sharing expands into distinct subtrees, so the result is
@@ -47,6 +51,8 @@ ast::NodeId CopyToAst(const DPool& pool, int id, ast::Ast* out) {
 
 DecompiledFunction DecompileFunction(const binary::BinModule& module,
                                      int fn_index, int beta) {
+  ASTERIA_SPAN("decompile");
+  c_functions.Increment();
   const binary::BinFunction& fn =
       module.functions[static_cast<std::size_t>(fn_index)];
   DecompiledFunction out;
@@ -61,6 +67,7 @@ DecompiledFunction DecompileFunction(const binary::BinModule& module,
   DPool pool;
   const LiftedFunction lifted = LiftFunction(module, cfg, &pool);
   const int root = StructureFunction(cfg, lifted, &pool, &out.error);
+  if (!out.error.empty()) c_goto_degradations.Increment();
   out.tree.set_root(CopyToAst(pool, root, &out.tree));
 
   // Callee features for the calibration (§III-C).

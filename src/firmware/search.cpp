@@ -14,6 +14,7 @@
 #include "store/container.h"
 #include "util/failpoint.h"
 #include "util/log.h"
+#include "util/metrics.h"
 
 namespace asteria::firmware {
 
@@ -22,6 +23,13 @@ namespace {
 // Injects a per-function encoding failure into EncodeFirmwareCorpus
 // (isolation testing: the slot degrades to a placeholder, search continues).
 util::Failpoint fp_firmware_encode("firmware.encode");
+
+util::Counter c_fw_cache_hit("firmware.cache_hit");
+util::Counter c_fw_cache_miss("firmware.cache_miss");
+util::Counter c_fw_quarantined("firmware.cache_quarantined");
+util::Counter c_fw_confirmed("firmware.confirmed");
+// Candidates above threshold per CVE query — deterministic per seed/model.
+util::Histogram h_fw_candidates("firmware.candidates");
 
 bool AllFinite(const nn::Matrix& m) {
   for (std::size_t i = 0; i < m.size(); ++i) {
@@ -206,6 +214,7 @@ FirmwareCorpus BuildFirmwareCorpus(const FirmwareCorpusConfig& config) {
 std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
                                              const FirmwareCorpus& corpus,
                                              util::PipelineReport* report) {
+  ASTERIA_SPAN("firmware-encode");
   util::PipelineReport local;
   local.stage = "firmware-encode";
   std::vector<nn::Matrix> encodings;
@@ -233,6 +242,7 @@ std::vector<nn::Matrix> EncodeFirmwareCorpus(const core::AsteriaModel& model,
       encodings.emplace_back();
     }
   }
+  util::PublishPipelineReport(local);
   if (report != nullptr) report->Merge(local);
   return encodings;
 }
@@ -383,9 +393,11 @@ VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
   std::vector<nn::Matrix> encodings;
   if (LoadFirmwareEncodings(&encodings, model, corpus.functions.size(),
                             cache_path, &error)) {
+    c_fw_cache_hit.Increment();
     ASTERIA_LOG(Info) << "firmware encodings cache hit: " << cache_path;
     return RunVulnSearch(model, corpus, encodings, threshold, beta);
   }
+  c_fw_cache_miss.Increment();
   ASTERIA_LOG(Info) << "firmware encodings cache miss (" << error
                     << "); re-encoding";
   // Move a present-but-unloadable cache aside before writing a fresh one.
@@ -393,6 +405,7 @@ VulnSearchResult RunVulnSearchCached(const core::AsteriaModel& model,
     std::fclose(f);
     std::string quarantined;
     if (store::QuarantineFile(cache_path, &quarantined)) {
+      c_fw_quarantined.Increment();
       ASTERIA_LOG(Warn) << "quarantined corrupt encodings cache to "
                         << quarantined;
     }
@@ -482,10 +495,13 @@ VulnSearchResult RunVulnSearch(const core::AsteriaModel& model,
       }
     }
     row.affected_models.assign(models_hit.begin(), models_hit.end());
+    c_fw_confirmed.Add(static_cast<std::uint64_t>(row.confirmed));
+    h_fw_candidates.Observe(static_cast<std::uint64_t>(row.candidates));
     result.total_confirmed += row.confirmed;
     result.total_candidates += row.candidates;
     result.per_cve.push_back(std::move(row));
   }
+  util::PublishPipelineReport(result.report);
   return result;
 }
 

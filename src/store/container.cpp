@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace asteria::store {
 
@@ -22,6 +23,12 @@ util::Failpoint fp_rename("store.rename");
 util::Failpoint fp_crash("store.crash");
 util::Failpoint fp_read_open("store.read_open");
 util::Failpoint fp_read("store.read");
+
+// Payload traffic only (framing/header bytes excluded): what flows through
+// WriteChunk and ReadChunk, so cache effectiveness is readable directly.
+util::Counter c_bytes_written("store.bytes_written");
+util::Counter c_bytes_read("store.bytes_read");
+util::Counter c_crc_failures("store.crc_failures");
 
 // Header: magic[8] "ASTRSTOR", u32 container version, u32 file kind
 // (fourcc), u8 endianness tag (1 = little), 3 reserved zero bytes.
@@ -426,6 +433,7 @@ bool Writer::WriteChunk(std::uint32_t tag, const ChunkBuilder& payload,
     *error = impl_->temp_path + ": chunk write failed";
     return false;
   }
+  c_bytes_written.Add(payload.size());
   return true;
 }
 
@@ -526,8 +534,10 @@ bool Reader::ReadChunk(std::size_t index, std::vector<std::uint8_t>* payload,
     *error = AtOffset(impl_->path, info.offset) + ": chunk payload read failed";
     return false;
   }
+  c_bytes_read.Add(payload->size());
   const std::uint32_t actual = Crc32(payload->data(), payload->size());
   if (actual != info.crc32) {
+    c_crc_failures.Increment();
     char expect[16], got[16];
     std::snprintf(expect, sizeof(expect), "%08x", info.crc32);
     std::snprintf(got, sizeof(got), "%08x", actual);

@@ -181,6 +181,17 @@ std::vector<std::string> ListFailpoints() {
   return names;  // std::map iteration is already sorted
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> FailpointFireCounts() {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  counts.reserve(registry.points.size());
+  for (const auto& [name, point] : registry.points) {
+    counts.emplace_back(name, point->fire_count());
+  }
+  return counts;  // std::map iteration is already sorted
+}
+
 std::uint64_t FailpointFireCount(const std::string& name) {
   FailpointRegistry& registry = FailpointRegistry::Instance();
   std::lock_guard<std::mutex> lock(registry.mutex);

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace asteria::util {
@@ -84,5 +85,10 @@ std::vector<std::string> ListFailpoints();
 
 // Times `name` has fired since the last ClearFailpoints (0 if unknown).
 std::uint64_t FailpointFireCount(const std::string& name);
+
+// (name, fire count) for every registered failpoint, sorted by name.
+// util::SnapshotMetrics() folds the nonzero entries into the counter
+// section as "failpoint.<name>" so trip counts appear in run reports.
+std::vector<std::pair<std::string, std::uint64_t>> FailpointFireCounts();
 
 }  // namespace asteria::util

@@ -28,6 +28,13 @@ class Flags {
   // or --help.
   bool Parse(int argc, char** argv);
 
+  // True if a flag with this name has been defined (any type). Lets shared
+  // helpers (bench::ApplyCommonFlags) work across binaries that define
+  // different flag subsets.
+  bool Has(const std::string& name) const {
+    return entries_.find(name) != entries_.end();
+  }
+
   std::int64_t GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;

@@ -16,7 +16,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one formatted line "LEVEL ts message" to stderr if enabled.
+// Parses "debug"|"info"|"warn"|"error" (case-sensitive, the spelling the
+// --log_level flag documents). Returns false on anything else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
+// Emits one formatted line "[LEVEL ts tNN] message" to stderr if enabled.
+// tNN is a small process-local thread ordinal (main thread is t00), stable
+// for the thread's lifetime, so interleaved ParallelFor logs are
+// attributable.
 void LogLine(LogLevel level, const std::string& message);
 
 namespace internal {

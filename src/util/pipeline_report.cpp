@@ -1,5 +1,7 @@
 #include "util/pipeline_report.h"
 
+#include "util/metrics.h"
+
 namespace asteria::util {
 
 void PipelineReport::Remember(const std::string& reason) {
@@ -30,6 +32,11 @@ void PipelineReport::Merge(const PipelineReport& other) {
 }
 
 std::string PipelineReport::Summary() const {
+  // Printing a run report also lands it in the metrics registry, so the
+  // text summary and a later --metrics_out snapshot always agree.
+  // Publishing replaces any earlier report for the same stage, so repeated
+  // Summary() calls never double-count.
+  PublishPipelineReport(*this);
   std::string out = stage.empty() ? std::string("pipeline") : stage;
   out += ": " + std::to_string(ok) + " ok, " + std::to_string(skipped) +
          " skipped, " + std::to_string(failed) + " failed";

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/metrics.h"
+
 namespace asteria::util {
 
 // High-resolution stopwatch.
@@ -31,27 +33,10 @@ class Timer {
   Clock::time_point start_;
 };
 
-// Incremental mean/min/max accumulator for repeated timings.
-class TimingStats {
- public:
-  void Add(double seconds) {
-    ++count_;
-    sum_ += seconds;
-    if (seconds < min_ || count_ == 1) min_ = seconds;
-    if (seconds > max_ || count_ == 1) max_ = seconds;
-  }
-
-  std::int64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-
- private:
-  std::int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-};
+// Incremental mean/min/max accumulator for repeated timings. Folded into
+// util::ScalarStats (src/util/metrics.h), which seeds min/max from the
+// first sample unconditionally — the old local implementation compared
+// against stale zeros before checking count_ == 1.
+using TimingStats = ScalarStats;
 
 }  // namespace asteria::util

@@ -135,6 +135,20 @@ TEST(TimingStats, TracksMeanMinMax) {
   EXPECT_DOUBLE_EQ(stats.max(), 3.0);
 }
 
+TEST(TimingStats, FirstSampleSeedsMinAndMax) {
+  // The first sample must become both bounds unconditionally — samples
+  // above 0 (all durations) used to leave min stuck at the stale 0.
+  TimingStats stats;
+  stats.Add(5.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+
+  TimingStats negative;
+  negative.Add(-2.0);
+  EXPECT_DOUBLE_EQ(negative.min(), -2.0);
+  EXPECT_DOUBLE_EQ(negative.max(), -2.0);
+}
+
 TEST(Format, AdaptiveSeconds) {
   EXPECT_NE(FormatSeconds(3e-9).find("ns"), std::string::npos);
   EXPECT_NE(FormatSeconds(3e-6).find("us"), std::string::npos);

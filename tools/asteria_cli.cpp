@@ -5,6 +5,8 @@
 //   asteria-cli decompile <file> [isa] [fn]    decompile to Table-I s-exprs
 //   asteria-cli dot <file> <fn> [isa]          decompiled AST as Graphviz dot
 //   asteria-cli stats <file>                   per-ISA AST size/callee table
+//                                              plus the metrics snapshot of
+//                                              the run (counters/spans)
 //   asteria-cli sim <file> <fnA> <isaA> <fnB> <isaB> [weights]
 //                                              similarity of two functions
 //   asteria-cli search <file> <fn> <isa> [k] [weights]
@@ -39,6 +41,13 @@
 // A --failpoints=SPEC flag (or the ASTERIA_FAILPOINTS env var) arms
 // fault-injection points, e.g. --failpoints=store.write=once (see
 // docs/ROBUSTNESS.md); --failpoints=list prints the registered names.
+//
+// A --log_level={debug,info,warn,error} flag sets the logger's minimum
+// emitted level (default info). Each line carries a thread ordinal.
+//
+// A --metrics_out=FILE flag writes the process metrics snapshot (counters,
+// histograms, per-stage span times, pipeline reports) as JSON after the
+// command finishes, whatever its exit code — see docs/OBSERVABILITY.md.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +69,8 @@
 #include "dataset/generator.h"
 #include "store/container.h"
 #include "util/failpoint.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/table.h"
 
 namespace {
@@ -68,6 +79,7 @@ using namespace asteria;
 
 int g_threads = 1;           // set by --threads=N
 bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
+std::string g_metrics_out;   // set by --metrics_out=FILE
 
 // Model config for every command: the fused tape-free encode kernel unless
 // --fast_encoder=0 asks for the autograd reference path (the two produce
@@ -83,7 +95,8 @@ int Usage() {
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
       "index-build|index-info|index-query|run|failpoints> [--threads=N] "
-      "[--fast_encoder=0|1] [--failpoints=SPEC] ...\n"
+      "[--fast_encoder=0|1] [--failpoints=SPEC] [--log_level=LEVEL] "
+      "[--metrics_out=FILE] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -235,6 +248,9 @@ int CmdStats(int argc, char** argv) {
     }
   }
   std::fputs(table.ToString().c_str(), stdout);
+  // The decompiles above populated the metrics registry; print the run's
+  // snapshot (counters, spans, pipeline reports) below the AST table.
+  std::printf("\n%s", util::SnapshotMetrics().ToText().c_str());
   return 0;
 }
 
@@ -559,21 +575,56 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--log_level=", 12) == 0) {
+      util::LogLevel level = util::LogLevel::kInfo;
+      if (!util::ParseLogLevel(argv[i] + 12, &level)) {
+        std::fprintf(stderr,
+                     "bad --log_level value '%s' (debug|info|warn|error)\n",
+                     argv[i] + 12);
+        return 2;
+      }
+      util::SetLogLevel(level);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--metrics_out=", 14) == 0) {
+      g_metrics_out = argv[i] + 14;
+      if (g_metrics_out.empty()) {
+        std::fprintf(stderr, "bad --metrics_out value (expected a path)\n");
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  if (command == "failpoints") return CmdFailpoints();
-  if (command == "gen") return CmdGen(argc, argv);
-  if (command == "compile") return CmdCompile(argc, argv);
-  if (command == "decompile") return CmdDecompile(argc, argv);
-  if (command == "dot") return CmdDot(argc, argv);
-  if (command == "stats") return CmdStats(argc, argv);
-  if (command == "sim") return CmdSim(argc, argv);
-  if (command == "search") return CmdSearch(argc, argv);
-  if (command == "index-build") return CmdIndexBuild(argc, argv);
-  if (command == "index-info") return CmdIndexInfo(argc, argv);
-  if (command == "index-query") return CmdIndexQuery(argc, argv);
-  if (command == "run") return CmdRun(argc, argv);
-  return Usage();
+  int rc = 2;
+  if (argc < 2) {
+    rc = Usage();
+  } else {
+    const std::string command = argv[1];
+    if (command == "failpoints") rc = CmdFailpoints();
+    else if (command == "gen") rc = CmdGen(argc, argv);
+    else if (command == "compile") rc = CmdCompile(argc, argv);
+    else if (command == "decompile") rc = CmdDecompile(argc, argv);
+    else if (command == "dot") rc = CmdDot(argc, argv);
+    else if (command == "stats") rc = CmdStats(argc, argv);
+    else if (command == "sim") rc = CmdSim(argc, argv);
+    else if (command == "search") rc = CmdSearch(argc, argv);
+    else if (command == "index-build") rc = CmdIndexBuild(argc, argv);
+    else if (command == "index-info") rc = CmdIndexInfo(argc, argv);
+    else if (command == "index-query") rc = CmdIndexQuery(argc, argv);
+    else if (command == "run") rc = CmdRun(argc, argv);
+    else rc = Usage();
+  }
+  // Emit the snapshot even when the command failed: a run that tripped a
+  // failpoint or hit corruption is exactly the one worth inspecting.
+  if (!g_metrics_out.empty()) {
+    std::string error;
+    if (!util::SnapshotMetrics().WriteJson(g_metrics_out, &error)) {
+      std::fprintf(stderr, "cannot write --metrics_out: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
