@@ -8,6 +8,11 @@
 # means no out-of-bounds read on adversarial inputs (docs/ROBUSTNESS.md).
 # metrics_test hammers the striped counters/histograms and trace spans from
 # ParallelFor workers while snapshots race the writers (docs/OBSERVABILITY.md).
+# serve_test runs the asteria-serve daemon in-process — hostile-frame sweep,
+# concurrent clients against worker pools, and snapshot swap under load — so
+# ASan covers the wire parsers on adversarial bytes and TSan covers the
+# reader/queue/worker handoff and the atomic snapshot publish
+# (docs/SERVING.md).
 # CI-friendly: exits non-zero on build failure, test failure, or any
 # sanitizer report.
 #
@@ -28,7 +33,7 @@ cmake -S "$ROOT" -B "$BUILD" -DASTERIA_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
       util_test determinism_test core_test dataset_test store_test \
-      robustness_test fast_encoder_test metrics_test
+      robustness_test fast_encoder_test metrics_test serve_test
 
 # halt_on_error turns any sanitizer report into a non-zero exit so CI fails
 # even if the race would not otherwise crash the test.
@@ -36,7 +41,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
 
 for test in util_test determinism_test core_test dataset_test store_test \
-            robustness_test fast_encoder_test metrics_test; do
+            robustness_test fast_encoder_test metrics_test serve_test; do
   echo "== $SANITIZER: $test =="
   "$BUILD/tests/$test" --gtest_brief=1
 done

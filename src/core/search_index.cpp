@@ -23,6 +23,11 @@ util::Failpoint fp_search_encode("search.encode");
 util::Histogram h_add_nanos("search.add_nanos");
 util::Histogram h_topk_nanos("search.topk_nanos");
 util::Histogram h_topk_size("search.topk_size");
+// Batch-shaped metrics: observation counts depend on how requests coalesce
+// (i.e. on timing), unlike the per-query histograms above, so determinism
+// gates (scripts/check_serve.sh) filter "*batch*" histograms wholesale.
+util::Histogram h_topk_batch_queries("search.topk_batch_queries");
+util::Histogram h_topk_batch_nanos("search.topk_batch_nanos");
 
 bool AllFinite(const nn::Matrix& m) {
   for (std::size_t i = 0; i < m.size(); ++i) {
@@ -192,6 +197,88 @@ std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
   h_topk_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
   h_topk_size.Observe(merged.size());
   return merged;
+}
+
+std::vector<std::vector<SearchHit>> SearchIndex::TopKBatch(
+    const std::vector<const FunctionFeature*>& queries,
+    const std::vector<int>& ks) const {
+  const std::size_t batch = queries.size();
+  std::vector<std::vector<SearchHit>> results(batch);
+  if (batch == 0) return results;
+  ASTERIA_SPAN("search");
+  util::Timer timer;
+  h_topk_batch_queries.Observe(batch);
+  // Encode the whole batch first (the expensive per-query step), in
+  // parallel across queries.
+  std::vector<nn::Matrix> encodings(batch);
+  util::ParallelFor(static_cast<std::int64_t>(batch), threads_,
+                    [&](std::int64_t q) {
+                      ASTERIA_SPAN("encode");
+                      const std::size_t slot = static_cast<std::size_t>(q);
+                      encodings[slot] = model_.Encode(queries[slot]->tree);
+                    });
+  std::vector<std::size_t> keeps(batch);
+  for (std::size_t q = 0; q < batch; ++q) {
+    keeps[q] = ks[q] <= 0 ? 0
+                          : std::min<std::size_t>(
+                                static_cast<std::size_t>(ks[q]),
+                                entries_.size());
+  }
+  // One sweep over the stored entries scores every query in the batch
+  // against each entry while it is hot, maintaining a heap per (shard,
+  // query) — the same shard-local top-k scheme as TopK, vectorized over
+  // the batch dimension.
+  const int max_shards = threads_;
+  const std::size_t shard_slots =
+      static_cast<std::size_t>(std::max(1, max_shards));
+  std::vector<std::vector<std::vector<SearchHit>>> shard_top(
+      shard_slots, std::vector<std::vector<SearchHit>>(batch));
+  util::ParallelForShards(
+      static_cast<std::int64_t>(entries_.size()), max_shards,
+      [&](std::int64_t begin, std::int64_t end, int shard) {
+        auto worse = [](const SearchHit& a, const SearchHit& b) {
+          return HitBefore(a, b);  // heap top = worst kept hit
+        };
+        std::vector<std::vector<SearchHit>>& locals =
+            shard_top[static_cast<std::size_t>(shard)];
+        for (std::size_t q = 0; q < batch; ++q) {
+          locals[q].reserve(keeps[q] + 1);
+        }
+        for (std::int64_t i = begin; i < end; ++i) {
+          for (std::size_t q = 0; q < batch; ++q) {
+            if (keeps[q] == 0) continue;
+            SearchHit hit = ScoreEntry(encodings[q],
+                                       queries[q]->callee_count,
+                                       static_cast<int>(i));
+            std::vector<SearchHit>& local = locals[q];
+            if (local.size() < keeps[q]) {
+              local.push_back(std::move(hit));
+              std::push_heap(local.begin(), local.end(), worse);
+            } else if (HitBefore(hit, local.front())) {
+              std::pop_heap(local.begin(), local.end(), worse);
+              local.back() = std::move(hit);
+              std::push_heap(local.begin(), local.end(), worse);
+            }
+          }
+        }
+      });
+  for (std::size_t q = 0; q < batch; ++q) {
+    std::vector<SearchHit> merged;
+    merged.reserve(keeps[q] * shard_slots);
+    for (std::vector<std::vector<SearchHit>>& locals : shard_top) {
+      merged.insert(merged.end(),
+                    std::make_move_iterator(locals[q].begin()),
+                    std::make_move_iterator(locals[q].end()));
+    }
+    const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(
+                                          std::min(keeps[q], merged.size()));
+    std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
+    merged.erase(cut, merged.end());
+    h_topk_size.Observe(merged.size());
+    results[q] = std::move(merged);
+  }
+  h_topk_batch_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
+  return results;
 }
 
 namespace {

@@ -53,6 +53,17 @@ class SearchIndex {
   // hits in descending score order (ties broken by insertion index).
   std::vector<SearchHit> TopK(const FunctionFeature& query, int k) const;
 
+  // Batched TopK — the asteria-serve dispatch path: encodes every query,
+  // then scores the whole batch in one pass over the stored entries (each
+  // entry is touched once per sweep instead of once per query), keeping a
+  // per-query top-k heap. ks[i] is query i's k. Results are bitwise
+  // identical to calling TopK(queries[i], ks[i]) one at a time: the strict
+  // (score desc, index asc) total order makes the ranking a pure function
+  // of the scores, independent of batching and sharding.
+  std::vector<std::vector<SearchHit>> TopKBatch(
+      const std::vector<const FunctionFeature*>& queries,
+      const std::vector<int>& ks) const;
+
   // All hits scoring at least `threshold`, descending.
   std::vector<SearchHit> AboveThreshold(const FunctionFeature& query,
                                         double threshold) const;

@@ -1,0 +1,142 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace asteria::serve {
+
+bool Client::Connect(const std::string& socket_path, std::string* error,
+                     int recv_timeout_seconds) {
+  Close();
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path '" + socket_path + "' is empty or too long";
+    return false;
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (recv_timeout_seconds > 0) {
+    timeval timeout{};
+    timeout.tv_sec = recv_timeout_seconds;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    *error = socket_path + ": connect failed: " + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Exchange(FrameType request_type,
+                      const store::ChunkBuilder& payload, std::uint64_t id,
+                      FrameType expected_reply,
+                      std::vector<std::uint8_t>* reply_payload,
+                      std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  if (!WriteFrame(fd_, request_type, payload, error)) return false;
+  // Replies to pipelined requests may arrive in any order; skip frames for
+  // other ids (none today — this client is synchronous — but the protocol
+  // allows it).
+  for (;;) {
+    FrameType reply_type = FrameType::kError;
+    const ReadStatus status = ReadFrame(fd_, &reply_type, reply_payload, error);
+    if (status == ReadStatus::kClosed) {
+      *error = "daemon closed the connection before replying";
+      return false;
+    }
+    if (status == ReadStatus::kBad) return false;
+    std::uint64_t reply_id = 0;
+    std::string parse_error;
+    if (!GetControl(*reply_payload, &reply_id, &parse_error)) {
+      *error = "unparseable reply: " + parse_error;
+      return false;
+    }
+    if (reply_type == FrameType::kError) {
+      std::string message;
+      if (!GetError(*reply_payload, &reply_id, &message, &parse_error)) {
+        *error = "unparseable error reply: " + parse_error;
+        return false;
+      }
+      *error = "daemon error: " + message;
+      return false;
+    }
+    if (reply_id != id) continue;
+    if (reply_type != expected_reply) {
+      *error = "unexpected reply frame type " +
+               std::to_string(static_cast<std::uint32_t>(reply_type));
+      return false;
+    }
+    return true;
+  }
+}
+
+bool Client::Query(FrameType type, const core::FunctionFeature& query, int k,
+                   double threshold, std::vector<core::SearchHit>* hits,
+                   std::string* error) {
+  const std::uint64_t id = next_id_++;
+  store::ChunkBuilder payload;
+  PutQuery(id, query, k, threshold, type, &payload);
+  std::vector<std::uint8_t> reply;
+  if (!Exchange(type, payload, id, FrameType::kHits, &reply, error)) {
+    return false;
+  }
+  std::uint64_t reply_id = 0;
+  return GetHits(reply, &reply_id, hits, error);
+}
+
+bool Client::TopK(const core::FunctionFeature& query, int k,
+                  std::vector<core::SearchHit>* hits, std::string* error) {
+  return Query(FrameType::kTopK, query, k, 0.0, hits, error);
+}
+
+bool Client::AboveThreshold(const core::FunctionFeature& query,
+                            double threshold,
+                            std::vector<core::SearchHit>* hits,
+                            std::string* error) {
+  return Query(FrameType::kAboveThreshold, query, 0, threshold, hits, error);
+}
+
+bool Client::Control(FrameType request_type, FrameType expected_reply,
+                     std::string* error) {
+  const std::uint64_t id = next_id_++;
+  store::ChunkBuilder payload;
+  PutControl(id, &payload);
+  std::vector<std::uint8_t> reply;
+  return Exchange(request_type, payload, id, expected_reply, &reply, error);
+}
+
+bool Client::Ping(std::string* error) {
+  return Control(FrameType::kPing, FrameType::kPong, error);
+}
+
+bool Client::Reload(std::string* error) {
+  return Control(FrameType::kReload, FrameType::kOk, error);
+}
+
+bool Client::Shutdown(std::string* error) {
+  return Control(FrameType::kShutdown, FrameType::kOk, error);
+}
+
+}  // namespace asteria::serve

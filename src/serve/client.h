@@ -1,0 +1,61 @@
+// Blocking client for the asteria-serve daemon (docs/SERVING.md).
+//
+// One connection, synchronous request/reply: every call writes one frame
+// and reads frames until the reply echoing its correlation id arrives. A
+// kError reply (or any transport/protocol fault) surfaces as false + a
+// descriptive `error`; a receive timeout guards every read so a wedged or
+// killed daemon can never hang the caller.
+//
+// Used by `asteria-cli query --socket` / `asteria-cli ctl`, the serve test
+// net, and scripts/bench_serve.sh's warm-latency loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/asteria.h"
+#include "core/search_index.h"
+#include "serve/protocol.h"
+
+namespace asteria::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects to the daemon's Unix-domain socket. `recv_timeout_seconds`
+  // bounds every subsequent reply wait (0 disables the timeout).
+  bool Connect(const std::string& socket_path, std::string* error,
+               int recv_timeout_seconds = 60);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  bool TopK(const core::FunctionFeature& query, int k,
+            std::vector<core::SearchHit>* hits, std::string* error);
+  bool AboveThreshold(const core::FunctionFeature& query, double threshold,
+                      std::vector<core::SearchHit>* hits, std::string* error);
+  bool Ping(std::string* error);
+  bool Reload(std::string* error);
+  bool Shutdown(std::string* error);
+
+ private:
+  // Writes one request frame and reads until the reply whose payload leads
+  // with `id` arrives. A kError reply or a reply of the wrong type fails.
+  bool Exchange(FrameType request_type, const store::ChunkBuilder& payload,
+                std::uint64_t id, FrameType expected_reply,
+                std::vector<std::uint8_t>* reply_payload, std::string* error);
+  bool Query(FrameType type, const core::FunctionFeature& query, int k,
+             double threshold, std::vector<core::SearchHit>* hits,
+             std::string* error);
+  bool Control(FrameType request_type, FrameType expected_reply,
+               std::string* error);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace asteria::serve

@@ -1,0 +1,106 @@
+// asteria-serve wire protocol: length-prefixed binary frames over a
+// Unix-domain stream socket (docs/SERVING.md for the full spec).
+//
+// The framing deliberately reuses the store::Container conventions —
+// leading magic, explicit protocol version, per-frame CRC32 over the
+// payload, and every scalar encoded little-endian byte by byte — so the
+// same hostile-input posture applies on the wire as on disk: a frame is
+// either validated end to end or rejected with a descriptive error, never
+// partially trusted.
+//
+// Frame layout (24-byte header + payload):
+//
+//   offset  size  field
+//   0       4     magic "ASRV" (FourCc, little-endian)
+//   4       4     protocol version (kProtocolVersion)
+//   8       4     frame type (FrameType)
+//   12      4     CRC32 of the payload bytes
+//   16      8     payload byte count (<= kMaxFramePayload)
+//   24      n     payload (store::ChunkBuilder / ChunkParser encoding)
+//
+// Request payloads carry a client-chosen u64 correlation id that the
+// matching reply echoes, so a client may pipeline requests and a batched
+// server may answer them in any order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/asteria.h"
+#include "core/search_index.h"
+#include "store/container.h"
+
+namespace asteria::serve {
+
+inline constexpr std::uint32_t kServeMagic = store::FourCc('A', 'S', 'R', 'V');
+inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kFrameHeaderSize = 24;
+
+// A declared payload larger than this is rejected before any allocation —
+// the cap bounds what one hostile frame can make the daemon buffer.
+inline constexpr std::uint64_t kMaxFramePayload = 16ull * 1024 * 1024;
+
+enum class FrameType : std::uint32_t {
+  // Requests.
+  kTopK = 1,            // id, name, callee_count, k, tree
+  kAboveThreshold = 2,  // id, name, callee_count, threshold (f64), tree
+  kPing = 3,            // id
+  kReload = 4,          // id — re-load the index snapshot and swap it in
+  kShutdown = 5,        // id — stop the daemon after replying
+  // Replies.
+  kHits = 16,   // id, hit count, (index, name, score) per hit
+  kPong = 17,   // id
+  kOk = 18,     // id
+  kError = 19,  // id (0 when the request id was unparseable), message
+};
+
+// Outcome of reading one frame from a file descriptor.
+enum class ReadStatus {
+  kFrame,   // a complete, CRC-verified frame was read
+  kClosed,  // clean end of stream before any header byte
+  kBad,     // malformed input (bad magic/version/oversize/CRC/short read);
+            // `error` describes it. The stream is unframed past this point.
+};
+
+// Reads exactly one frame. On kBad the connection should be answered with
+// one best-effort kError frame and closed — after a framing violation the
+// byte stream cannot be trusted to realign.
+ReadStatus ReadFrame(int fd, FrameType* type,
+                     std::vector<std::uint8_t>* payload, std::string* error);
+
+// Writes header + payload. Returns false on any short or failed write
+// (e.g. the peer vanished); writing never raises SIGPIPE.
+bool WriteFrame(int fd, FrameType type, const store::ChunkBuilder& payload,
+                std::string* error);
+
+// -- Payload builders / parsers ---------------------------------------------
+//
+// Parsers validate everything against the payload bounds before allocating
+// (declared node/hit counts vs. remaining bytes) and reject structurally
+// invalid ASTs — out-of-range child ids, a node with two parents, a root
+// that is someone's child — so a crafted query can never make the encoder
+// walk garbage. GetX functions return false and fill `error`.
+
+void PutQuery(std::uint64_t id, const core::FunctionFeature& query, int k,
+              double threshold, FrameType type, store::ChunkBuilder* out);
+bool GetQuery(const std::vector<std::uint8_t>& payload, FrameType type,
+              std::uint64_t* id, core::FunctionFeature* query, int* k,
+              double* threshold, std::string* error);
+
+void PutHits(std::uint64_t id, const std::vector<core::SearchHit>& hits,
+             store::ChunkBuilder* out);
+bool GetHits(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+             std::vector<core::SearchHit>* hits, std::string* error);
+
+// kPing/kReload/kShutdown/kPong/kOk payload: just the id.
+void PutControl(std::uint64_t id, store::ChunkBuilder* out);
+bool GetControl(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+                std::string* error);
+
+void PutError(std::uint64_t id, const std::string& message,
+              store::ChunkBuilder* out);
+bool GetError(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+              std::string* message, std::string* error);
+
+}  // namespace asteria::serve

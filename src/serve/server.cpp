@@ -1,0 +1,463 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace asteria::serve {
+
+namespace {
+
+// serve.accept: the accepted connection is dropped immediately (resource
+// exhaustion at accept time). serve.read: the next frame read is treated as
+// an I/O failure. serve.swap: injects a delay between loading the
+// replacement index and publishing it — not a failure, a race-window
+// widener for the swap-under-load tests (a stalled swap must never stall
+// or tear in-flight queries).
+util::Failpoint fp_accept("serve.accept");
+util::Failpoint fp_read("serve.read");
+util::Failpoint fp_swap("serve.swap");
+
+// Deterministic slice (counts depend only on the session's requests, never
+// on worker count or timing): accepted, requests, queries, replies, errors,
+// reloads, index_size. Batch shapes and latencies are timing-dependent;
+// scripts/check_serve.sh filters those.
+util::Counter c_accepted("serve.accepted");
+util::Counter c_accept_dropped("serve.accept_dropped");
+util::Counter c_requests("serve.requests");
+util::Counter c_control("serve.control");
+util::Counter c_replies("serve.replies");
+util::Counter c_errors("serve.errors");
+util::Counter c_bad_frames("serve.bad_frames");
+util::Counter c_read_failures("serve.read_failures");
+util::Counter c_write_failures("serve.write_failures");
+util::Counter c_reloads("serve.reloads");
+util::Histogram h_request_nanos("serve.request_nanos");
+util::Histogram h_batch_requests("serve.batch_requests");
+util::Gauge g_index_size("serve.index_size");
+
+}  // namespace
+
+// One accepted client. The fd is owned here (closed by the destructor, so
+// it stays valid for any queued request still holding the shared_ptr);
+// writes from workers and the reader serialize on write_mu so reply frames
+// never interleave bytes.
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Wakes a blocked reader with a clean EOF while leaving the write side
+  // open — queued requests can still be answered during shutdown.
+  void AbortReads() { ::shutdown(fd, SHUT_RD); }
+
+  // Protocol violation or write failure: no further traffic either way.
+  void CloseHard() {
+    closed.store(true, std::memory_order_release);
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  bool SendFrame(FrameType type, const store::ChunkBuilder& payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed.load(std::memory_order_acquire)) return false;
+    std::string error;
+    if (!WriteFrame(fd, type, payload, &error)) {
+      c_write_failures.Increment();
+      closed.store(true, std::memory_order_release);
+      ::shutdown(fd, SHUT_RDWR);
+      return false;
+    }
+    return true;
+  }
+
+  bool SendError(std::uint64_t id, const std::string& message) {
+    store::ChunkBuilder payload;
+    PutError(id, message, &payload);
+    c_errors.Increment();
+    return SendFrame(FrameType::kError, payload);
+  }
+
+  const int fd;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+};
+
+// One parsed, validated query waiting in the dispatch queue.
+struct Server::Request {
+  std::shared_ptr<Connection> conn;
+  std::uint64_t id = 0;
+  FrameType type = FrameType::kTopK;
+  core::FunctionFeature query;
+  int k = 0;
+  double threshold = 0.0;
+};
+
+Server::Server(const core::AsteriaModel& model, const ServerConfig& config)
+    : model_(model), config_(config) {}
+
+Server::~Server() {
+  // A started server must be Run() to completion (or never started); guard
+  // against leaking the listen socket on a Start() that was never Run.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+std::shared_ptr<const core::SearchIndex> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+bool Server::Start(std::string* error) {
+  sockaddr_un addr{};
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path '" + config_.socket_path +
+             "' is empty or longer than sun_path allows (" +
+             std::to_string(sizeof(addr.sun_path) - 1) + " bytes)";
+    return false;
+  }
+  auto index = std::make_shared<core::SearchIndex>(
+      model_, config_.score_threads < 1 ? 1 : config_.score_threads);
+  if (!index->Load(config_.index_path, error)) return false;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(index);
+  }
+  g_index_size.Set(snapshot()->size());
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  // A previous daemon that crashed leaves its socket file behind; binding
+  // over it needs the unlink (a *live* daemon would still win the race to
+  // accept, so this never hijacks one — the stale file is just an inode).
+  ::unlink(config_.socket_path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    *error = config_.socket_path + ": bind/listen failed: " +
+             std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  queue_ = std::make_unique<util::MpmcQueue<Request>>(
+      static_cast<std::size_t>(
+          config_.queue_capacity < 1 ? 1 : config_.queue_capacity));
+  const int workers = config_.workers < 1 ? 1 : config_.workers;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  started_.store(true, std::memory_order_release);
+  ASTERIA_LOG(Info) << "asteria-serve: " << snapshot()->size()
+                    << " entries from " << config_.index_path << ", "
+                    << workers << " workers, batch_max=" << config_.batch_max
+                    << ", listening on " << config_.socket_path;
+  return true;
+}
+
+bool Server::Reload(std::string* error) {
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  auto fresh = std::make_shared<core::SearchIndex>(
+      model_, config_.score_threads < 1 ? 1 : config_.score_threads);
+  if (!fresh->Load(config_.index_path, error)) return false;
+  if (fp_swap.ShouldFail()) {
+    // Delay, don't fail: hold the fully built replacement unpublished so
+    // swap-under-load tests get a wide window where queries race the swap.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  g_index_size.Set(fresh->size());
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(fresh);
+  }
+  c_reloads.Increment();
+  ASTERIA_LOG(Info) << "asteria-serve: reloaded " << config_.index_path
+                    << " (" << snapshot()->size() << " entries)";
+  return true;
+}
+
+void Server::AcceptLoop() {
+  pollfd pfd{};
+  pfd.fd = listen_fd_;
+  pfd.events = POLLIN;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (reload_.exchange(false, std::memory_order_acq_rel)) {
+      std::string error;
+      if (!Reload(&error)) {
+        ASTERIA_LOG(Warn) << "asteria-serve: SIGHUP reload failed, keeping "
+                             "current snapshot: " << error;
+      }
+    }
+    // Reap finished reader threads so a long-lived daemon's thread vector
+    // tracks live connections, not historical ones.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (std::size_t i = 0; i < readers_.size();) {
+        if (conns_[i] == nullptr) {
+          readers_[i].join();
+          readers_.erase(readers_.begin() + static_cast<std::ptrdiff_t>(i));
+          conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      ASTERIA_LOG(Error) << "asteria-serve: poll failed: "
+                         << std::strerror(errno);
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
+      ASTERIA_LOG(Error) << "asteria-serve: accept failed: "
+                         << std::strerror(errno);
+      break;
+    }
+    if (fp_accept.ShouldFail()) {
+      c_accept_dropped.Increment();
+      ::close(fd);
+      continue;
+    }
+    c_accepted.Increment();
+    auto conn = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back(&Server::ReaderLoop, this, std::move(conn));
+  }
+}
+
+void Server::Run() {
+  AcceptLoop();
+  // Teardown, in dependency order: stop accepting (done), wake blocked
+  // readers with EOF, fail further enqueues while letting workers drain
+  // what was accepted, then join everything and remove the socket.
+  std::vector<std::shared_ptr<Connection>> conns;
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+    readers.swap(readers_);
+  }
+  for (const std::shared_ptr<Connection>& conn : conns) {
+    if (conn != nullptr) conn->AbortReads();
+  }
+  queue_->Close();
+  for (std::thread& reader : readers) {
+    reader.join();
+  }
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(config_.socket_path.c_str());
+  ASTERIA_LOG(Info) << "asteria-serve: stopped";
+}
+
+void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    if (fp_read.ShouldFail()) {
+      c_read_failures.Increment();
+      conn->SendError(0, "injected read failure (failpoint serve.read)");
+      conn->CloseHard();
+      break;
+    }
+    FrameType type = FrameType::kPing;
+    std::vector<std::uint8_t> payload;
+    std::string error;
+    const ReadStatus status = ReadFrame(conn->fd, &type, &payload, &error);
+    if (status == ReadStatus::kClosed) break;
+    if (status == ReadStatus::kBad) {
+      // The byte stream can't be re-framed after a violation: answer once
+      // (best effort — the peer may already be gone) and hang up.
+      c_bad_frames.Increment();
+      conn->SendError(0, error);
+      conn->CloseHard();
+      break;
+    }
+    if (!HandleFrame(conn, type, payload)) break;
+  }
+  // Null the conns_ slot so the acceptor reaps this thread; the Connection
+  // itself lives on in any queued Request until its reply is written.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i] == conn) {
+      conns_[i] = nullptr;
+      break;
+    }
+  }
+}
+
+bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         FrameType type,
+                         const std::vector<std::uint8_t>& payload) {
+  std::string error;
+  std::uint64_t id = 0;
+  switch (type) {
+    case FrameType::kTopK:
+    case FrameType::kAboveThreshold: {
+      Request request;
+      request.conn = conn;
+      request.type = type;
+      if (!GetQuery(payload, type, &request.id, &request.query, &request.k,
+                    &request.threshold, &error)) {
+        // Framing and CRC were fine, so the stream is still aligned: report
+        // the malformed payload and keep the connection.
+        conn->SendError(request.id, error);
+        return true;
+      }
+      if (request.query.tree.empty()) {
+        conn->SendError(request.id, "query AST is empty");
+        return true;
+      }
+      if (type == FrameType::kTopK && request.k < 1) {
+        conn->SendError(request.id,
+                        "k must be >= 1, got " + std::to_string(request.k));
+        return true;
+      }
+      if (type == FrameType::kAboveThreshold &&
+          !std::isfinite(request.threshold)) {
+        conn->SendError(request.id, "threshold must be finite");
+        return true;
+      }
+      c_requests.Increment();
+      const std::uint64_t request_id = request.id;
+      if (!queue_->Push(std::move(request))) {
+        conn->SendError(request_id, "daemon is shutting down");
+        return false;
+      }
+      return true;
+    }
+    case FrameType::kPing: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error);
+        return true;
+      }
+      c_control.Increment();
+      store::ChunkBuilder reply;
+      PutControl(id, &reply);
+      conn->SendFrame(FrameType::kPong, reply);
+      return true;
+    }
+    case FrameType::kReload: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error);
+        return true;
+      }
+      c_control.Increment();
+      // Reload on the reader thread: only this connection waits for the
+      // load; workers keep answering against the pinned old snapshot.
+      if (!Reload(&error)) {
+        conn->SendError(id, error);
+        return true;
+      }
+      store::ChunkBuilder reply;
+      PutControl(id, &reply);
+      conn->SendFrame(FrameType::kOk, reply);
+      return true;
+    }
+    case FrameType::kShutdown: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error);
+        return true;
+      }
+      c_control.Increment();
+      store::ChunkBuilder reply;
+      PutControl(id, &reply);
+      conn->SendFrame(FrameType::kOk, reply);
+      RequestStop();
+      return false;
+    }
+    default:
+      conn->SendError(0, "unexpected frame type " +
+                             std::to_string(static_cast<std::uint32_t>(type)));
+      return true;
+  }
+}
+
+void Server::WorkerLoop() {
+  Request request;
+  while (queue_->Pop(&request)) {
+    std::vector<Request> batch;
+    batch.push_back(std::move(request));
+    // Coalesce whatever queued since the last pass, up to batch_max; an
+    // idle daemon dispatches singletons, a loaded one amortizes the index
+    // sweep across the whole batch.
+    const std::size_t batch_max = static_cast<std::size_t>(
+        config_.batch_max < 1 ? 1 : config_.batch_max);
+    while (batch.size() < batch_max && queue_->TryPop(&request)) {
+      batch.push_back(std::move(request));
+    }
+    DispatchBatch(&batch);
+  }
+}
+
+void Server::DispatchBatch(std::vector<Request>* batch) {
+  util::Timer timer;
+  h_batch_requests.Observe(batch->size());
+  // Pin one snapshot for the whole batch: every query in it scores against
+  // this index even if a reload publishes mid-flight.
+  const std::shared_ptr<const core::SearchIndex> index = snapshot();
+  std::vector<const core::FunctionFeature*> topk_queries;
+  std::vector<int> topk_ks;
+  std::vector<std::size_t> topk_slots;
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    const Request& req = (*batch)[i];
+    if (req.type == FrameType::kTopK) {
+      topk_queries.push_back(&req.query);
+      topk_ks.push_back(req.k);
+      topk_slots.push_back(i);
+    }
+  }
+  const std::vector<std::vector<core::SearchHit>> topk_results =
+      index->TopKBatch(topk_queries, topk_ks);
+  for (std::size_t j = 0; j < topk_slots.size(); ++j) {
+    const Request& req = (*batch)[topk_slots[j]];
+    store::ChunkBuilder reply;
+    PutHits(req.id, topk_results[j], &reply);
+    if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
+  }
+  for (const Request& req : *batch) {
+    if (req.type != FrameType::kAboveThreshold) continue;
+    const std::vector<core::SearchHit> hits =
+        index->AboveThreshold(req.query, req.threshold);
+    store::ChunkBuilder reply;
+    PutHits(req.id, hits, &reply);
+    if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
+  }
+  const std::uint64_t elapsed =
+      static_cast<std::uint64_t>(timer.ElapsedNanos());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    h_request_nanos.Observe(elapsed);
+  }
+}
+
+}  // namespace asteria::serve

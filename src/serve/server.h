@@ -1,0 +1,128 @@
+// asteria-serve: long-lived similarity query daemon (docs/SERVING.md).
+//
+// Loads an INDX snapshot once, then answers TopK / AboveThreshold queries
+// over a Unix-domain stream socket speaking the serve::protocol framing.
+// Internals:
+//
+//   acceptor ──> one reader thread per connection ──> bounded MpmcQueue
+//                                                        │
+//                              worker pool (N threads) <─┘
+//
+// Readers parse and validate frames (hostile input dies here, with a
+// descriptive kError reply) and push well-formed query requests into the
+// bounded queue — the queue's capacity is the daemon's backpressure.
+// Workers pop one request, drain up to batch_max-1 more without blocking,
+// and dispatch the whole batch through SearchIndex::TopKBatch: one sweep
+// over the index scores every coalesced query.
+//
+// Snapshot swap: the index lives in a mutex-guarded shared_ptr (the lock
+// covers only the pointer copy — see the snapshot_ comment below).
+// Reload() builds the replacement off to the side and publishes it with a
+// single pointer swap; workers pin the current snapshot once per batch, so
+// in-flight queries finish against the index they started with — readers
+// see the old index or the new one, never a torn mix — and the old
+// snapshot frees itself when its last batch completes. Reload is triggered
+// by a kReload control frame or by SIGHUP (RequestReload from the signal
+// handler; the acceptor loop performs the swap on its next tick).
+//
+// Every stage is metered (serve.* counters/histograms, docs/SERVING.md
+// lists the deterministic slice) and fault-injectable (serve.accept,
+// serve.read, serve.swap failpoints).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/asteria.h"
+#include "core/search_index.h"
+#include "serve/protocol.h"
+#include "util/mpmc_queue.h"
+
+namespace asteria::serve {
+
+struct ServerConfig {
+  std::string socket_path;  // Unix-domain socket to bind (must fit sun_path)
+  std::string index_path;   // INDX snapshot; Start() loads it, Reload() re-loads
+  int workers = 1;          // dispatch worker threads
+  int batch_max = 16;       // max queries coalesced into one scoring pass
+  int queue_capacity = 256; // bounded request queue (backpressure)
+  int score_threads = 1;    // ParallelFor width inside TopKBatch
+};
+
+class Server {
+ public:
+  // The model must outlive the server (snapshots hold encodings produced by
+  // its weights; the fingerprint check on load enforces the match).
+  Server(const core::AsteriaModel& model, const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Loads the initial snapshot, binds + listens on the socket, and spawns
+  // the worker pool. Returns false (with `error`) without leaving any
+  // thread running on failure.
+  bool Start(std::string* error);
+
+  // Accept loop; blocks until RequestStop() (or a kShutdown frame), then
+  // tears everything down: joins readers and workers, closes the socket,
+  // unlinks the socket path. Safe to call exactly once after Start().
+  void Run();
+
+  // Async-signal-safe stop/reload triggers (atomic stores only). The
+  // acceptor loop notices within one poll tick (~100ms).
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  void RequestReload() { reload_.store(true, std::memory_order_release); }
+
+  // Loads config.index_path into a fresh SearchIndex and atomically swaps
+  // it in. In-flight batches keep the snapshot they pinned. Serialized
+  // against concurrent Reload calls; the live index is untouched on error.
+  bool Reload(std::string* error);
+
+  // The currently published snapshot (what the next batch will score
+  // against).
+  std::shared_ptr<const core::SearchIndex> snapshot() const;
+
+ private:
+  struct Connection;
+  struct Request;
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void WorkerLoop();
+  void DispatchBatch(std::vector<Request>* batch);
+  bool HandleFrame(const std::shared_ptr<Connection>& conn, FrameType type,
+                   const std::vector<std::uint8_t>& payload);
+
+  const core::AsteriaModel& model_;
+  const ServerConfig config_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> reload_{false};
+  std::atomic<bool> started_{false};
+
+  // The published snapshot. Guarded by snapshot_mu_, which is held only
+  // for the pointer copy/assignment: workers pin once per batch and
+  // reloads publish once, so the lock is off the per-query path. (Not
+  // std::atomic<shared_ptr>: libstdc++ 12's _Sp_atomic::load releases its
+  // internal lock bit with relaxed ordering, which leaves the pointer
+  // read/write pair without a happens-before edge — TSan rightly flags
+  // the publish racing a pin.)
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const core::SearchIndex> snapshot_;
+  std::mutex reload_mu_;
+
+  std::unique_ptr<util::MpmcQueue<Request>> queue_;
+  std::vector<std::thread> workers_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+  std::vector<std::thread> readers_;
+};
+
+}  // namespace asteria::serve

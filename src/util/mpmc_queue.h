@@ -1,0 +1,105 @@
+// Bounded multi-producer/multi-consumer blocking queue — the dispatch
+// spine of the asteria-serve daemon (docs/SERVING.md).
+//
+// Connection reader threads Push() parsed requests (blocking when the queue
+// is full, which is the backpressure that keeps a flood of clients from
+// exhausting memory) and worker threads Pop() them. TryPop() lets a worker
+// drain up to batch_max-1 additional requests without blocking, so batching
+// adapts to load: an idle daemon dispatches batches of one, a busy daemon
+// coalesces whatever has queued since the last pass.
+//
+// Close() wakes every blocked producer and consumer: subsequent Push()
+// calls fail, and Pop() keeps draining queued items until the queue is
+// empty, then fails — so shutdown never drops an accepted request.
+//
+// Plain mutex + two condition variables. The daemon enqueues at most a few
+// thousand requests per second of decode-heavy work, so a lock-free ring
+// buys nothing here; correctness under TSan is the feature.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace asteria::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Blocks while the queue is full. Returns false (dropping `item`) once
+  // the queue has been closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty. Returns false only when the queue is
+  // closed AND drained; queued items are always delivered.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Non-blocking Pop: false when the queue is momentarily empty (or
+  // closed and drained).
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Idempotent. Wakes all waiters; see class comment for drain semantics.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace asteria::util

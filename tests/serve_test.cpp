@@ -1,0 +1,857 @@
+// asteria-serve protocol/concurrency test net (docs/SERVING.md).
+//
+// Four contracts are pinned here:
+//  1. Protocol conformance: well-formed frames round-trip; every hostile
+//     frame — byte-flipped, truncated, oversized-declared-length, wrong
+//     version, structurally invalid AST — yields a clean kError reply or a
+//     clean close, never a crash, hang, or partial read. The sweep runs
+//     under ASan and TSan via scripts/check_sanitize.sh (the on-the-wire
+//     sibling of robustness_test's container corruption sweep).
+//  2. Concurrency determinism: M client threads against worker pools of
+//     1/2/8 return results bitwise identical to direct single-threaded
+//     SearchIndex::TopK — batching and dispatch order must never leak into
+//     scores or ranking.
+//  3. Snapshot swap: queries racing a (failpoint-delayed) reload see either
+//     the old index or the new one, bitwise — never a torn mix; after the
+//     swap quiesces, everyone sees the new one.
+//  4. Lifecycle: shutdown with connections open and requests queued drains
+//     cleanly; injected accept/read failures degrade one connection, not
+//     the daemon.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/asteria.h"
+#include "core/search_index.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "store/container.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace asteria {
+namespace {
+
+using ::testing::TempDir;
+
+std::string TempPath(const std::string& name) { return TempDir() + name; }
+
+// -- Shared fixtures (the synthetic-AST recipe from robustness_test) --------
+
+core::AsteriaConfig SmallModelConfig(std::uint64_t seed = 1) {
+  core::AsteriaConfig config;
+  config.siamese.encoder.embedding_dim = 8;
+  config.siamese.encoder.hidden_dim = 8;
+  config.seed = seed;
+  return config;
+}
+
+ast::Ast SyntheticTree(int nodes, util::Rng& rng) {
+  ast::Ast tree;
+  std::vector<ast::NodeId> pool;
+  pool.push_back(tree.AddVar("x"));
+  while (tree.size() < nodes) {
+    const auto kind = static_cast<ast::NodeKind>(
+        rng.NextBounded(static_cast<std::uint64_t>(ast::kNumNodeKinds)));
+    const int arity = static_cast<int>(rng.NextBounded(3));
+    std::vector<ast::NodeId> children;
+    for (int i = 0; i < arity && !pool.empty(); ++i) {
+      children.push_back(pool.back());
+      pool.pop_back();
+    }
+    pool.push_back(tree.AddNode(kind, std::move(children)));
+  }
+  tree.set_root(tree.AddNode(ast::NodeKind::kBlock, pool));
+  return tree;
+}
+
+std::vector<core::FunctionFeature> SyntheticFeatures(int count,
+                                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<core::FunctionFeature> features;
+  features.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    core::FunctionFeature feature;
+    feature.name = "fn" + std::to_string(i);
+    feature.tree = core::AsteriaModel::Preprocess(SyntheticTree(8, rng));
+    feature.callee_count = static_cast<int>(rng.NextBounded(6));
+    features.push_back(std::move(feature));
+  }
+  return features;
+}
+
+void ExpectSameHits(const std::vector<core::SearchHit>& got,
+                    const std::vector<core::SearchHit>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << "rank " << i;
+    EXPECT_EQ(got[i].name, want[i].name) << "rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score) << "rank " << i;  // bitwise
+  }
+}
+
+bool SameHits(const std::vector<core::SearchHit>& a,
+              const std::vector<core::SearchHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].index != b[i].index || a[i].name != b[i].name ||
+        a[i].score != b[i].score) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// In-process daemon around a snapshot file: Start() + Run() on a thread,
+// stopped and joined by the destructor.
+class Harness {
+ public:
+  Harness(const core::AsteriaModel& model, const std::string& index_path,
+          const std::string& socket_path, int workers, int batch_max = 8)
+      : server_(model, MakeConfig(index_path, socket_path, workers,
+                                  batch_max)) {
+    std::string error;
+    started_ = server_.Start(&error);
+    EXPECT_TRUE(started_) << error;
+    if (started_) {
+      thread_ = std::thread([this] { server_.Run(); });
+    }
+  }
+
+  ~Harness() { Stop(); }
+
+  void Stop() {
+    if (thread_.joinable()) {
+      server_.RequestStop();
+      thread_.join();
+    }
+  }
+
+  bool started() const { return started_; }
+  serve::Server& server() { return server_; }
+
+ private:
+  static serve::ServerConfig MakeConfig(const std::string& index_path,
+                                        const std::string& socket_path,
+                                        int workers, int batch_max) {
+    serve::ServerConfig config;
+    config.socket_path = socket_path;
+    config.index_path = index_path;
+    config.workers = workers;
+    config.batch_max = batch_max;
+    config.queue_capacity = 64;
+    return config;
+  }
+
+  serve::Server server_;
+  std::thread thread_;
+  bool started_ = false;
+};
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::ClearFailpoints(); }
+  void TearDown() override { util::ClearFailpoints(); }
+};
+
+void Arm(const std::string& spec) {
+  std::string error;
+  ASSERT_TRUE(util::ConfigureFailpoints(spec, &error)) << error;
+}
+
+// Builds an index over `features`, saves it, and returns the entry count.
+int SaveIndexSnapshot(const core::AsteriaModel& model,
+                      const std::vector<core::FunctionFeature>& features,
+                      const std::string& path) {
+  core::SearchIndex index(model);
+  index.AddAll(features);
+  std::string error;
+  EXPECT_TRUE(index.Save(path, &error)) << error;
+  return index.size();
+}
+
+// -- Raw-socket helpers for the hostile sweep -------------------------------
+
+int ConnectRaw(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval timeout{};  // a wedged daemon must fail the test, not hang it
+  timeout.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void PutLe32(std::uint32_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutLe64(std::uint64_t v, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+// The byte-exact frame layout from docs/SERVING.md, hard-coded on purpose:
+// this is the conformance side of the spec, independent of WriteFrame.
+std::vector<std::uint8_t> BuildFrameBytes(std::uint32_t magic,
+                                          std::uint32_t version,
+                                          std::uint32_t type,
+                                          const store::ChunkBuilder& payload) {
+  std::vector<std::uint8_t> frame;
+  PutLe32(magic, &frame);
+  PutLe32(version, &frame);
+  PutLe32(type, &frame);
+  PutLe32(store::Crc32(payload.bytes().data(), payload.size()), &frame);
+  PutLe64(payload.size(), &frame);
+  frame.insert(frame.end(), payload.bytes().begin(), payload.bytes().end());
+  return frame;
+}
+
+std::vector<std::uint8_t> BuildTopKFrameBytes(
+    const core::FunctionFeature& query, int k, std::uint64_t id = 7) {
+  store::ChunkBuilder payload;
+  serve::PutQuery(id, query, k, 0.0, serve::FrameType::kTopK, &payload);
+  return BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                         static_cast<std::uint32_t>(serve::FrameType::kTopK),
+                         payload);
+}
+
+bool SendAll(int fd, const std::vector<std::uint8_t>& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// What a hostile frame earned: a reply frame, a clean close, or a hang
+// (recv timeout) — the last one fails the test.
+enum class Outcome { kReply, kClosed, kHang };
+
+Outcome AwaitOutcome(int fd) {
+  // Half-close our side so a server draining to EOF sees it.
+  ::shutdown(fd, SHUT_WR);
+  std::uint8_t buffer[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) return Outcome::kReply;
+    if (n == 0) return Outcome::kClosed;
+    if (errno == EINTR) continue;
+    return Outcome::kHang;
+  }
+}
+
+// Sends `bytes` as one hostile connection and requires a reply or a clean
+// close. Then proves the daemon survived: a fresh, well-formed query on a
+// fresh connection still answers correctly.
+void ExpectSurvives(const std::string& socket_path,
+                    const std::vector<std::uint8_t>& bytes,
+                    const std::string& what) {
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0) << what << ": connect failed";
+  // The server may hang up mid-send (e.g. after rejecting an oversized
+  // declared length); a send failure is fine, a hang is not.
+  SendAll(fd, bytes);
+  EXPECT_NE(AwaitOutcome(fd), Outcome::kHang) << what << ": daemon hung";
+  ::close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Core batched-scoring entry point (no daemon involved)
+
+TEST_F(ServeTest, TopKBatchBitwiseMatchesSequentialTopK) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const std::vector<core::FunctionFeature> corpus = SyntheticFeatures(40, 11);
+  const std::vector<core::FunctionFeature> queries = SyntheticFeatures(9, 99);
+  for (const int threads : {1, 2, 8}) {
+    core::SearchIndex index(model, threads);
+    index.AddAll(corpus);
+    std::vector<const core::FunctionFeature*> query_ptrs;
+    std::vector<int> ks;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      query_ptrs.push_back(&queries[q]);
+      ks.push_back(1 + static_cast<int>(q % 7));  // mixed per-query k
+    }
+    const auto batched = index.TopKBatch(query_ptrs, ks);
+    ASSERT_EQ(batched.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      ExpectSameHits(batched[q], index.TopK(queries[q], ks[q]));
+    }
+  }
+}
+
+TEST_F(ServeTest, TopKBatchHandlesEmptyAndZeroK) {
+  const core::AsteriaModel model(SmallModelConfig());
+  core::SearchIndex index(model);
+  index.AddAll(SyntheticFeatures(5, 3));
+  EXPECT_TRUE(index.TopKBatch({}, {}).empty());
+  const std::vector<core::FunctionFeature> queries = SyntheticFeatures(1, 4);
+  const auto results = index.TopKBatch({&queries[0]}, {0});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+
+TEST_F(ServeTest, PingQueryAndShutdownRoundTrip) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(20, 5);
+  const std::string index_path = TempPath("serve_rt.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_rt.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/2);
+  ASSERT_TRUE(harness.started());
+
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  EXPECT_TRUE(client.Ping(&error)) << error;
+
+  const auto queries = SyntheticFeatures(3, 77);
+  std::vector<core::SearchHit> hits;
+  for (const core::FunctionFeature& query : queries) {
+    ASSERT_TRUE(client.TopK(query, 5, &hits, &error)) << error;
+    ExpectSameHits(hits, reference.TopK(query, 5));
+    ASSERT_TRUE(client.AboveThreshold(query, 0.5, &hits, &error)) << error;
+    ExpectSameHits(hits, reference.AboveThreshold(query, 0.5));
+  }
+  // Shutdown via control frame: Run() must return without RequestStop().
+  EXPECT_TRUE(client.Shutdown(&error)) << error;
+}
+
+TEST_F(ServeTest, SemanticErrorsKeepTheConnectionUsable) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 6);
+  const std::string index_path = TempPath("serve_sem.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_sem.sock");
+  Harness harness(model, index_path, socket_path, 1);
+  ASSERT_TRUE(harness.started());
+
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  const auto queries = SyntheticFeatures(1, 8);
+  std::vector<core::SearchHit> hits;
+
+  // k < 1 and an empty AST are semantic faults: error reply, same socket.
+  EXPECT_FALSE(client.TopK(queries[0], 0, &hits, &error));
+  EXPECT_NE(error.find("k must be >= 1"), std::string::npos) << error;
+  core::FunctionFeature empty;
+  empty.name = "empty";
+  EXPECT_FALSE(client.TopK(empty, 3, &hits, &error));
+  EXPECT_NE(error.find("empty"), std::string::npos) << error;
+
+  ASSERT_TRUE(client.TopK(queries[0], 3, &hits, &error)) << error;
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency determinism
+
+TEST_F(ServeTest, ConcurrentClientsMatchDirectTopKAtEveryWorkerCount) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(30, 21);
+  const std::string index_path = TempPath("serve_det.idx");
+  SaveIndexSnapshot(model, features, index_path);
+
+  core::SearchIndex reference(model);  // single-threaded direct scoring
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const auto queries = SyntheticFeatures(12, 123);
+  constexpr int kTop = 7;
+  std::vector<std::vector<core::SearchHit>> expected;
+  for (const core::FunctionFeature& query : queries) {
+    expected.push_back(reference.TopK(query, kTop));
+  }
+
+  for (const int workers : {1, 2, 8}) {
+    const std::string socket_path =
+        TempPath("serve_det" + std::to_string(workers) + ".sock");
+    Harness harness(model, index_path, socket_path, workers, /*batch_max=*/4);
+    ASSERT_TRUE(harness.started());
+    constexpr int kClientThreads = 4;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+      clients.emplace_back([&, t] {
+        serve::Client client;
+        std::string client_error;
+        if (!client.Connect(socket_path, &client_error)) {
+          ++failures;
+          return;
+        }
+        // Interleave: each thread walks the query set from its own offset.
+        for (std::size_t step = 0; step < queries.size(); ++step) {
+          const std::size_t q =
+              (static_cast<std::size_t>(t) + step) % queries.size();
+          std::vector<core::SearchHit> hits;
+          if (!client.TopK(queries[q], kTop, &hits, &client_error) ||
+              !SameHits(hits, expected[q])) {
+            ++failures;
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& thread : clients) thread.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "non-identical results at workers=" << workers;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot swap
+
+TEST_F(ServeTest, SwapUnderLoadServesOldOrNewNeverTorn) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features_v1 = SyntheticFeatures(25, 31);
+  auto features_v2 = SyntheticFeatures(25, 31);
+  const auto extra = SyntheticFeatures(10, 32);
+  features_v2.insert(features_v2.end(), extra.begin(), extra.end());
+
+  const std::string index_path = TempPath("serve_swap.idx");
+  SaveIndexSnapshot(model, features_v1, index_path);
+  const std::string socket_path = TempPath("serve_swap.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/2,
+                  /*batch_max=*/4);
+  ASSERT_TRUE(harness.started());
+
+  core::SearchIndex ref_old(model), ref_new(model);
+  std::string error;
+  ASSERT_TRUE(ref_old.Load(index_path, &error)) << error;
+  // Overwrite the serving snapshot with v2; the daemon still serves v1
+  // until a reload publishes the new file.
+  SaveIndexSnapshot(model, features_v2, index_path);
+  ASSERT_TRUE(ref_new.Load(index_path, &error)) << error;
+
+  const auto queries = SyntheticFeatures(6, 41);
+  constexpr int kTop = 5;
+  std::vector<std::vector<core::SearchHit>> expect_old, expect_new;
+  for (const core::FunctionFeature& query : queries) {
+    expect_old.push_back(ref_old.TopK(query, kTop));
+    expect_new.push_back(ref_new.TopK(query, kTop));
+    // The two references must differ, or "old or new" proves nothing.
+    ASSERT_FALSE(SameHits(expect_old.back(), expect_new.back()));
+  }
+
+  // Delay every swap publish by 50ms (serve.swap failpoint) so in-flight
+  // queries genuinely race it.
+  Arm("serve.swap=always");
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> checked{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      serve::Client client;
+      std::string client_error;
+      if (!client.Connect(socket_path, &client_error)) {
+        ++failures;
+        return;
+      }
+      std::size_t q = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_acquire)) {
+        q = (q + 1) % queries.size();
+        std::vector<core::SearchHit> hits;
+        if (!client.TopK(queries[q], kTop, &hits, &client_error)) {
+          ++failures;
+          return;
+        }
+        if (!SameHits(hits, expect_old[q]) && !SameHits(hits, expect_new[q])) {
+          ++failures;  // a torn snapshot would land here
+          return;
+        }
+        ++checked;
+      }
+    });
+  }
+  serve::Client control;
+  ASSERT_TRUE(control.Connect(socket_path, &error)) << error;
+  for (int reload = 0; reload < 3; ++reload) {
+    ASSERT_TRUE(control.Reload(&error)) << error;
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(checked.load(), 0);
+
+  // Quiesced: every post-reload query must now see v2 exactly.
+  std::vector<core::SearchHit> hits;
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_TRUE(control.TopK(queries[q], kTop, &hits, &error)) << error;
+    ExpectSameHits(hits, expect_new[q]);
+  }
+}
+
+TEST_F(ServeTest, ReloadFailureKeepsServingTheOldSnapshot) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(12, 51);
+  const std::string index_path = TempPath("serve_rfail.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_rfail.sock");
+  Harness harness(model, index_path, socket_path, 1);
+  ASSERT_TRUE(harness.started());
+
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+
+  // Corrupt the snapshot file on disk; reload must fail loudly and leave
+  // the in-memory snapshot serving.
+  {
+    std::ofstream out(index_path, std::ios::binary | std::ios::trunc);
+    out << "not a container";
+  }
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  EXPECT_FALSE(client.Reload(&error));
+  EXPECT_NE(error.find("daemon error"), std::string::npos) << error;
+
+  const auto queries = SyntheticFeatures(2, 52);
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(client.TopK(queries[0], 4, &hits, &error)) << error;
+  ExpectSameHits(hits, reference.TopK(queries[0], 4));
+}
+
+// ---------------------------------------------------------------------------
+// Hostile input sweep
+
+class HostileTest : public ServeTest {
+ protected:
+  void StartDaemon(const std::string& tag) {
+    model_ = std::make_unique<core::AsteriaModel>(SmallModelConfig());
+    features_ = SyntheticFeatures(15, 61);
+    index_path_ = TempPath("serve_hostile_" + tag + ".idx");
+    SaveIndexSnapshot(*model_, features_, index_path_);
+    socket_path_ = TempPath("serve_hostile_" + tag + ".sock");
+    harness_ = std::make_unique<Harness>(*model_, index_path_, socket_path_,
+                                         /*workers=*/2);
+    ASSERT_TRUE(harness_->started());
+    reference_ = std::make_unique<core::SearchIndex>(*model_);
+    std::string error;
+    ASSERT_TRUE(reference_->Load(index_path_, &error)) << error;
+    queries_ = SyntheticFeatures(2, 62);
+  }
+
+  // The daemon must still answer a well-formed query correctly.
+  void ExpectStillServing() {
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.Connect(socket_path_, &error)) << error;
+    std::vector<core::SearchHit> hits;
+    ASSERT_TRUE(client.TopK(queries_[0], 3, &hits, &error)) << error;
+    ExpectSameHits(hits, reference_->TopK(queries_[0], 3));
+  }
+
+  std::unique_ptr<core::AsteriaModel> model_;
+  std::vector<core::FunctionFeature> features_;
+  std::vector<core::FunctionFeature> queries_;
+  std::string index_path_;
+  std::string socket_path_;
+  std::unique_ptr<Harness> harness_;
+  std::unique_ptr<core::SearchIndex> reference_;
+};
+
+TEST_F(HostileTest, MalformedHeadersAreRejectedCleanly) {
+  StartDaemon("hdr");
+  store::ChunkBuilder ping;
+  serve::PutControl(1, &ping);
+
+  // Wrong magic.
+  ExpectSurvives(socket_path_,
+                 BuildFrameBytes(0xdeadbeef, serve::kProtocolVersion,
+                                 static_cast<std::uint32_t>(
+                                     serve::FrameType::kPing),
+                                 ping),
+                 "wrong magic");
+  // Wrong protocol version.
+  ExpectSurvives(socket_path_,
+                 BuildFrameBytes(serve::kServeMagic, 99,
+                                 static_cast<std::uint32_t>(
+                                     serve::FrameType::kPing),
+                                 ping),
+                 "wrong version");
+  // Unknown frame type (well-formed otherwise).
+  ExpectSurvives(socket_path_,
+                 BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                                 12345, ping),
+                 "unknown type");
+  // Oversized declared payload: must be refused before any allocation.
+  {
+    std::vector<std::uint8_t> frame;
+    PutLe32(serve::kServeMagic, &frame);
+    PutLe32(serve::kProtocolVersion, &frame);
+    PutLe32(static_cast<std::uint32_t>(serve::FrameType::kTopK), &frame);
+    PutLe32(0, &frame);
+    PutLe64(serve::kMaxFramePayload + 1, &frame);
+    ExpectSurvives(socket_path_, frame, "oversized declared length");
+  }
+  ExpectStillServing();
+}
+
+TEST_F(HostileTest, TruncationsAreRejectedCleanly) {
+  StartDaemon("trunc");
+  const std::vector<std::uint8_t> frame = BuildTopKFrameBytes(queries_[0], 3);
+  // Every prefix class: mid-header, exact header (payload missing), and
+  // mid-payload. AwaitOutcome half-closes, so the server sees EOF where the
+  // declared bytes should be.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, std::size_t{10},
+        std::size_t{serve::kFrameHeaderSize},
+        std::size_t{serve::kFrameHeaderSize + 5}, frame.size() - 1}) {
+    ASSERT_LT(keep, frame.size());
+    const std::vector<std::uint8_t> truncated(frame.begin(),
+                                              frame.begin() + keep);
+    ExpectSurvives(socket_path_, truncated,
+                   "truncated at byte " + std::to_string(keep));
+  }
+  ExpectStillServing();
+}
+
+TEST_F(HostileTest, ByteFlipSweepNeverCrashesOrHangs) {
+  StartDaemon("flip");
+  const std::vector<std::uint8_t> frame = BuildTopKFrameBytes(queries_[1], 4);
+  // Flip one bit in every byte of the frame — header fields, payload
+  // scalars, AST bytes — and require a reply or clean close each time.
+  // (CRC coverage means any payload flip must be caught; header flips are
+  // caught field by field.)
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::vector<std::uint8_t> corrupted = frame;
+    corrupted[i] ^= 0x20;
+    ExpectSurvives(socket_path_, corrupted,
+                   "bit flip at byte " + std::to_string(i));
+  }
+  ExpectStillServing();
+}
+
+TEST_F(HostileTest, StructurallyInvalidAstsAreRejected) {
+  StartDaemon("ast");
+  // Hand-build query payloads with valid framing + CRC but broken trees;
+  // these must die in validation with an error reply, and the connection
+  // must stay usable (the stream is still aligned).
+  struct Case {
+    std::string name;
+    std::uint32_t count;
+    std::int32_t root;
+    std::vector<std::array<std::int32_t, 4>> nodes;  // label,payload,left,right
+  };
+  const std::vector<Case> cases = {
+      {"root out of range", 2, 5, {{1, 0, -1, -1}, {1, 0, -1, -1}}},
+      {"child out of range", 2, 0, {{1, 0, 7, -1}, {1, 0, -1, -1}}},
+      {"negative child", 2, 0, {{1, 0, -3, -1}, {1, 0, -1, -1}}},
+      {"two parents", 3, 0, {{1, 0, 1, 2}, {1, 0, 2, -1}, {1, 0, -1, -1}}},
+      {"root is a child", 2, 0, {{1, 0, 1, -1}, {1, 0, 0, -1}}},
+      {"self cycle", 1, 0, {{1, 0, 0, -1}}},
+  };
+  for (const Case& test_case : cases) {
+    const int fd = ConnectRaw(socket_path_);
+    ASSERT_GE(fd, 0);
+    store::ChunkBuilder payload;
+    payload.PutU64(3);
+    payload.PutString("hostile");
+    payload.PutI32(0);  // callee_count
+    payload.PutI32(5);  // k
+    payload.PutU32(test_case.count);
+    payload.PutI32(test_case.root);
+    for (const auto& node : test_case.nodes) {
+      for (const std::int32_t field : node) payload.PutI32(field);
+    }
+    ASSERT_TRUE(SendAll(
+        fd, BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                            static_cast<std::uint32_t>(serve::FrameType::kTopK),
+                            payload)))
+        << test_case.name;
+    // Expect a kError reply frame on the still-open connection.
+    serve::FrameType type = serve::FrameType::kPing;
+    std::vector<std::uint8_t> reply;
+    std::string error;
+    ASSERT_EQ(serve::ReadFrame(fd, &type, &reply, &error), serve::ReadStatus::kFrame)
+        << test_case.name << ": " << error;
+    EXPECT_EQ(type, serve::FrameType::kError) << test_case.name;
+    std::uint64_t id = 0;
+    std::string message;
+    ASSERT_TRUE(serve::GetError(reply, &id, &message, &error));
+    EXPECT_EQ(id, 3u) << test_case.name;
+    ::close(fd);
+  }
+  // A declared node count bigger than the payload must also die cleanly.
+  {
+    store::ChunkBuilder payload;
+    payload.PutU64(4);
+    payload.PutString("hostile");
+    payload.PutI32(0);
+    payload.PutI32(5);
+    payload.PutU32(1000000);  // declares 16MB of nodes, sends none
+    payload.PutI32(0);
+    ExpectSurvives(
+        socket_path_,
+        BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                        static_cast<std::uint32_t>(serve::FrameType::kTopK),
+                        payload),
+        "overdeclared node count");
+  }
+  // Trailing garbage after a valid query payload.
+  {
+    store::ChunkBuilder payload;
+    serve::PutQuery(5, queries_[0], 3, 0.0, serve::FrameType::kTopK, &payload);
+    payload.PutU32(0xabcdef01);
+    ExpectSurvives(
+        socket_path_,
+        BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                        static_cast<std::uint32_t>(serve::FrameType::kTopK),
+                        payload),
+        "trailing bytes");
+  }
+  ExpectStillServing();
+}
+
+// ---------------------------------------------------------------------------
+// Injected faults
+
+TEST_F(ServeTest, ReadFailpointKillsOneConnectionNotTheDaemon) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 71);
+  const std::string index_path = TempPath("serve_fpread.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_fpread.sock");
+  Harness harness(model, index_path, socket_path, 1);
+  ASSERT_TRUE(harness.started());
+
+  Arm("serve.read=once");
+  serve::Client doomed;
+  std::string error;
+  ASSERT_TRUE(doomed.Connect(socket_path, &error)) << error;
+  EXPECT_FALSE(doomed.Ping(&error));  // injected read failure on the server
+
+  serve::Client healthy;
+  ASSERT_TRUE(healthy.Connect(socket_path, &error)) << error;
+  EXPECT_TRUE(healthy.Ping(&error)) << error;
+}
+
+TEST_F(ServeTest, AcceptFailpointDropsOneConnectionNotTheDaemon) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 81);
+  const std::string index_path = TempPath("serve_fpacc.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_fpacc.sock");
+  Harness harness(model, index_path, socket_path, 1);
+  ASSERT_TRUE(harness.started());
+
+  Arm("serve.accept=once");
+  serve::Client dropped;
+  std::string error;
+  // connect() itself succeeds against the listen backlog; the daemon then
+  // closes the accepted fd, so the first round trip fails.
+  if (dropped.Connect(socket_path, &error)) {
+    EXPECT_FALSE(dropped.Ping(&error));
+  }
+  serve::Client healthy;
+  ASSERT_TRUE(healthy.Connect(socket_path, &error)) << error;
+  EXPECT_TRUE(healthy.Ping(&error)) << error;
+}
+
+TEST_F(ServeTest, StartFailsCleanlyOnMissingOrCorruptSnapshot) {
+  const core::AsteriaModel model(SmallModelConfig());
+  serve::ServerConfig config;
+  config.socket_path = TempPath("serve_nostart.sock");
+  config.index_path = TempPath("serve_nostart_missing.idx");
+  {
+    serve::Server server(model, config);
+    std::string error;
+    EXPECT_FALSE(server.Start(&error));
+    EXPECT_FALSE(error.empty());
+  }
+  // Fingerprint mismatch: snapshot built by different weights.
+  const core::AsteriaModel other(SmallModelConfig(/*seed=*/999));
+  const std::string index_path = TempPath("serve_nostart_mismatch.idx");
+  SaveIndexSnapshot(other, SyntheticFeatures(4, 91), index_path);
+  config.index_path = index_path;
+  serve::Server server(model, config);
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
+TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(20, 95);
+  const std::string index_path = TempPath("serve_drain.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_drain.sock");
+  auto harness = std::make_unique<Harness>(model, index_path, socket_path,
+                                           /*workers=*/2);
+  ASSERT_TRUE(harness->started());
+
+  // Pipeline several queries raw (no reply waits), then a shutdown frame on
+  // another connection; every pipelined query must still get its reply.
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  const auto queries = SyntheticFeatures(4, 96);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(
+        SendAll(fd, BuildTopKFrameBytes(queries[i], 3, /*id=*/100 + i)));
+  }
+  serve::Client control;
+  std::string error;
+  ASSERT_TRUE(control.Connect(socket_path, &error)) << error;
+  ASSERT_TRUE(control.Shutdown(&error)) << error;
+
+  std::vector<bool> answered(queries.size(), false);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serve::FrameType type = serve::FrameType::kPing;
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+              serve::ReadStatus::kFrame)
+        << error;
+    ASSERT_EQ(type, serve::FrameType::kHits);
+    std::uint64_t id = 0;
+    std::vector<core::SearchHit> hits;
+    ASSERT_TRUE(serve::GetHits(payload, &id, &hits, &error)) << error;
+    ASSERT_GE(id, 100u);
+    ASSERT_LT(id - 100, answered.size());
+    EXPECT_FALSE(answered[id - 100]);
+    answered[id - 100] = true;
+    EXPECT_EQ(hits.size(), 3u);
+  }
+  ::close(fd);
+  harness.reset();  // joins Run(); must not deadlock with queued work
+}
+
+}  // namespace
+}  // namespace asteria

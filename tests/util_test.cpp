@@ -6,10 +6,13 @@
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
 #include "util/flags.h"
+#include "util/mpmc_queue.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -400,6 +403,143 @@ TEST_F(FailpointTest, ClearDisarmsAndZeroesCounters) {
   EXPECT_FALSE(fp.ShouldFail());
   EXPECT_EQ(fp.fire_count(), 0u);
   EXPECT_EQ(FailpointFireCount("util_test.cleared"), 0u);
+}
+
+TEST_F(FailpointTest, ServeFailpointSpecsAreHeldPending) {
+  // The asteria-serve daemon registers serve.accept / serve.read /
+  // serve.swap from its own translation unit, which this binary does not
+  // link. Arming them must still succeed (held in the pending-spec table
+  // until the points register), so `asteria-serve --failpoints=...` works
+  // regardless of static-initialization order.
+  std::string error;
+  ASSERT_TRUE(ConfigureFailpoints(
+      "serve.accept=once,serve.read=hit:3,serve.swap=always", &error))
+      << error;
+  // And none of them leak into the registered-point listing here.
+  for (const std::string& name : ListFailpoints()) {
+    EXPECT_NE(name.rfind("serve.", 0), 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MpmcQueue (the asteria-serve dispatch queue)
+
+TEST(MpmcQueueTest, DeliversInFifoOrderSingleThreaded) {
+  MpmcQueue<int> queue(8);
+  EXPECT_EQ(queue.capacity(), 8u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.Push(i));
+  EXPECT_EQ(queue.size(), 5u);
+  int value = -1;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.Pop(&value));
+    EXPECT_EQ(value, i);
+  }
+  EXPECT_FALSE(queue.TryPop(&value));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(MpmcQueueTest, ZeroCapacityIsClampedToOne) {
+  MpmcQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(42));
+  int value = 0;
+  EXPECT_TRUE(queue.TryPop(&value));
+  EXPECT_EQ(value, 42);
+}
+
+TEST(MpmcQueueTest, PushBlocksAtCapacityUntilAPopFreesASlot) {
+  MpmcQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.Push(2));  // must block until the consumer pops
+    second_pushed.store(true, std::memory_order_release);
+  });
+  // The producer cannot have completed while the queue is full. (A sleep
+  // can only miss a violation, never fake one.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load(std::memory_order_acquire));
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load(std::memory_order_acquire));
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 2);
+}
+
+TEST(MpmcQueueTest, CloseDrainsQueuedItemsThenFails) {
+  MpmcQueue<std::string> queue(4);
+  ASSERT_TRUE(queue.Push("a"));
+  ASSERT_TRUE(queue.Push("b"));
+  queue.Close();
+  queue.Close();  // idempotent
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.Push("dropped"));
+  std::string value;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, "a");
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, "b");
+  EXPECT_FALSE(queue.Pop(&value));  // drained + closed
+  EXPECT_FALSE(queue.TryPop(&value));
+}
+
+TEST(MpmcQueueTest, CloseWakesBlockedConsumersAndProducers) {
+  // Liveness contract: Close() must wake a consumer blocked on empty and a
+  // producer blocked on full; neither join may deadlock. (The consumer may
+  // race a push and legitimately pop an item first — only the wakeup is
+  // asserted, via the joins completing.)
+  MpmcQueue<int> queue(1);
+  std::thread consumer([&] {
+    int value = 0;
+    while (queue.Pop(&value)) {
+    }
+  });
+  ASSERT_TRUE(queue.Push(7));
+  std::thread producer([&] {
+    (void)queue.Push(8);  // blocks on full unless the consumer drained 7
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.Close();
+  consumer.join();
+  producer.join();
+}
+
+TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEveryItemExactlyOnce) {
+  // TSan-facing stress: 4 producers x 4 consumers over a tiny queue so
+  // both condvars see real contention. Every pushed value must arrive at
+  // exactly one consumer.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 250;
+  MpmcQueue<int> queue(3);
+  std::vector<std::atomic<int>> seen(
+      static_cast<std::size_t>(kProducers * kPerProducer));
+  for (auto& count : seen) count.store(0);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int value = -1;
+      while (queue.Pop(&value)) {
+        seen[static_cast<std::size_t>(value)].fetch_add(1);
+        ++consumed;
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  queue.Close();  // producers done: consumers drain the tail and exit
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
 }
 
 }  // namespace

@@ -25,6 +25,15 @@
 //                                              (no re-encoding) and run top-k
 //   asteria-cli run <file> <fn> [args...]      execute in the interpreter
 //   asteria-cli failpoints                     list registered failpoints
+//   asteria-cli query <file> <fn> <isa> [k] --socket=PATH
+//                                              send a top-k query to a running
+//                                              asteria-serve daemon; with
+//                                              --repeat=N, re-send it N times
+//                                              and report per-query latency
+//                                              (the warm path of
+//                                              scripts/bench_serve.sh)
+//   asteria-cli ctl <ping|reload|shutdown> --socket=PATH
+//                                              control a running daemon
 //
 // ISAs: x86 x64 ARM PPC (default x86).
 //
@@ -67,8 +76,10 @@
 #include "minic/printer.h"
 #include "minic/sema.h"
 #include "dataset/generator.h"
+#include "serve/client.h"
 #include "store/container.h"
 #include "util/failpoint.h"
+#include "util/timer.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/table.h"
@@ -80,6 +91,8 @@ using namespace asteria;
 int g_threads = 1;           // set by --threads=N
 bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
 std::string g_metrics_out;   // set by --metrics_out=FILE
+std::string g_socket;        // set by --socket=PATH (query/ctl commands)
+long g_repeat = 1;           // set by --repeat=N (query latency loops)
 
 // Model config for every command: the fused tape-free encode kernel unless
 // --fast_encoder=0 asks for the autograd reference path (the two produce
@@ -94,9 +107,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
-      "index-build|index-info|index-query|run|failpoints> [--threads=N] "
-      "[--fast_encoder=0|1] [--failpoints=SPEC] [--log_level=LEVEL] "
-      "[--metrics_out=FILE] ...\n"
+      "index-build|index-info|index-query|query|ctl|run|failpoints> "
+      "[--threads=N] [--fast_encoder=0|1] [--failpoints=SPEC] "
+      "[--log_level=LEVEL] [--metrics_out=FILE] [--socket=PATH] "
+      "[--repeat=N] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -510,6 +524,92 @@ int CmdIndexQuery(int argc, char** argv) {
   return 0;
 }
 
+// Online path against a running asteria-serve daemon: only the query is
+// compiled and shipped; the daemon already holds the index and the model.
+int CmdQuery(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  if (g_socket.empty()) {
+    std::fprintf(stderr, "query: --socket=PATH is required\n");
+    return 2;
+  }
+  minic::Program program;
+  if (!LoadProgram(argv[2], &program)) return 1;
+  const std::string query_fn = argv[3];
+  const binary::Isa query_isa = ParseIsa(argv[4]);
+  int k = 10;
+  if (!ParseTopK(argc, argv, 5, &k)) return 1;
+
+  auto result = compiler::CompileProgram(program, query_isa, argv[2]);
+  if (!result.ok) {
+    std::fprintf(stderr, "compile error: %s\n", result.error.c_str());
+    return 1;
+  }
+  const int fn = result.module.FindFunction(query_fn);
+  if (fn < 0) {
+    std::fprintf(stderr, "no function '%s'\n", query_fn.c_str());
+    return 1;
+  }
+  auto decompiled = decompiler::DecompileFunction(result.module, fn);
+  core::FunctionFeature query;
+  query.name = query_fn;
+  query.tree = core::AsteriaModel::Preprocess(decompiled.tree);
+  query.callee_count = decompiled.callee_count;
+
+  serve::Client client;
+  std::string error;
+  if (!client.Connect(g_socket, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::vector<core::SearchHit> hits;
+  util::TimingStats latency;
+  for (long i = 0; i < g_repeat; ++i) {
+    util::Timer timer;
+    if (!client.TopK(query, k, &hits, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    latency.Add(static_cast<double>(timer.ElapsedNanos()));
+  }
+  PrintHits(hits);
+  if (g_repeat > 1) {
+    // Machine-readable warm-latency line for scripts/bench_serve.sh.
+    std::printf("repeat=%ld mean_nanos=%.0f min_nanos=%.0f max_nanos=%.0f\n",
+                g_repeat, latency.mean(), latency.min(), latency.max());
+  }
+  return 0;
+}
+
+int CmdCtl(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  if (g_socket.empty()) {
+    std::fprintf(stderr, "ctl: --socket=PATH is required\n");
+    return 2;
+  }
+  const std::string action = argv[2];
+  serve::Client client;
+  std::string error;
+  if (!client.Connect(g_socket, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  bool ok = false;
+  if (action == "ping") ok = client.Ping(&error);
+  else if (action == "reload") ok = client.Reload(&error);
+  else if (action == "shutdown") ok = client.Shutdown(&error);
+  else {
+    std::fprintf(stderr, "ctl: unknown action '%s' (ping|reload|shutdown)\n",
+                 action.c_str());
+    return 2;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s: ok\n", action.c_str());
+  return 0;
+}
+
 int CmdRun(int argc, char** argv) {
   if (argc < 4) return Usage();
   minic::Program program;
@@ -596,6 +696,25 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
+      g_socket = argv[i] + 9;
+      if (g_socket.empty()) {
+        std::fprintf(stderr, "bad --socket value (expected a path)\n");
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      if (!ParseInt(argv[i] + 9, &g_repeat) || g_repeat < 1) {
+        std::fprintf(stderr,
+                     "bad --repeat value '%s' (expected a positive integer)\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
   int rc = 2;
@@ -614,6 +733,8 @@ int main(int argc, char** argv) {
     else if (command == "index-build") rc = CmdIndexBuild(argc, argv);
     else if (command == "index-info") rc = CmdIndexInfo(argc, argv);
     else if (command == "index-query") rc = CmdIndexQuery(argc, argv);
+    else if (command == "query") rc = CmdQuery(argc, argv);
+    else if (command == "ctl") rc = CmdCtl(argc, argv);
     else if (command == "run") rc = CmdRun(argc, argv);
     else rc = Usage();
   }
