@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The pre-PR gate: one command that runs everything CI runs. In order:
+#   1. the tier-1 build + ctest suite (the floor no change may lower),
+#   2. the concurrency suites under TSan and ASan (check_sanitize.sh),
+#   3. the metrics determinism gate (check_metrics.sh),
+#   4. the serving determinism gate (check_serve.sh),
+#   5. the streaming-ingest determinism gate (check_ingest.sh).
+# Each stage reuses its own build directory, so a warm tree pays mostly
+# test time. Exits non-zero on the first failing stage.
+#
+# Usage: scripts/check_all.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+BUILD="$ROOT/$BUILD_DIR"
+
+echo "== check_all: build + ctest =="
+cmake -S "$ROOT" -B "$BUILD" >/dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+for sanitizer in thread address; do
+  echo "== check_all: check_sanitize.sh $sanitizer =="
+  "$ROOT/scripts/check_sanitize.sh" "$sanitizer"
+done
+
+echo "== check_all: check_metrics.sh =="
+"$ROOT/scripts/check_metrics.sh" "$BUILD_DIR"
+
+echo "== check_all: check_serve.sh =="
+"$ROOT/scripts/check_serve.sh" "$BUILD_DIR"
+
+echo "== check_all: check_ingest.sh =="
+"$ROOT/scripts/check_ingest.sh" "$BUILD_DIR"
+
+echo
+echo "OK: all gates green"

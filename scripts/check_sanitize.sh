@@ -12,7 +12,10 @@
 # concurrent clients against worker pools, and snapshot swap under load — so
 # ASan covers the wire parsers on adversarial bytes and TSan covers the
 # reader/queue/worker handoff and the atomic snapshot publish
-# (docs/SERVING.md).
+# (docs/SERVING.md). ingest_test runs the streaming-ingest pipeline —
+# sharded loads at several thread counts, AppendTo compaction, the
+# crash-publish failpoint matrix, and an in-process daemon reload poke —
+# under both sanitizers (docs/ARCHITECTURE.md "Incremental ingest").
 # CI-friendly: exits non-zero on build failure, test failure, or any
 # sanitizer report.
 #
@@ -33,7 +36,7 @@ cmake -S "$ROOT" -B "$BUILD" -DASTERIA_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
       util_test determinism_test core_test dataset_test store_test \
-      robustness_test fast_encoder_test metrics_test serve_test
+      robustness_test fast_encoder_test metrics_test serve_test ingest_test
 
 # halt_on_error turns any sanitizer report into a non-zero exit so CI fails
 # even if the race would not otherwise crash the test.
@@ -41,7 +44,8 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
 
 for test in util_test determinism_test core_test dataset_test store_test \
-            robustness_test fast_encoder_test metrics_test serve_test; do
+            robustness_test fast_encoder_test metrics_test serve_test \
+            ingest_test; do
   echo "== $SANITIZER: $test =="
   "$BUILD/tests/$test" --gtest_brief=1
 done

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "store/container.h"
+#include "store/manifest.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -59,6 +60,23 @@ int SearchIndex::Add(const FunctionFeature& feature) {
   entry.callee_count = feature.callee_count;
   entries_.push_back(std::move(entry));
   h_add_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
+  return static_cast<int>(entries_.size()) - 1;
+}
+
+int SearchIndex::AddEncoded(const std::string& name,
+                            const nn::Matrix& encoding, int callee_count) {
+  // Same shape/finiteness gate as Load: a foreign or corrupted encoding
+  // must be rejected here, not discovered as garbage scores later.
+  const int hidden_dim = model_.config().siamese.encoder.hidden_dim;
+  if (encoding.rows() != hidden_dim || encoding.cols() != 1 ||
+      !AllFinite(encoding)) {
+    return -1;
+  }
+  Entry entry;
+  entry.name = name;
+  entry.encoding = encoding;
+  entry.callee_count = callee_count;
+  entries_.push_back(std::move(entry));
   return static_cast<int>(entries_.size()) - 1;
 }
 
@@ -357,11 +375,13 @@ bool SearchIndex::AppendTo(const std::string& path, int first_index,
   return writer.Finish(error);
 }
 
-bool SearchIndex::Load(const std::string& path, std::string* error) {
+bool SearchIndex::LoadEntriesFrom(const std::string& path,
+                                  std::vector<Entry>* out,
+                                  std::string* error) const {
   store::Reader reader;
   if (!reader.Open(path, store::kKindIndex, error)) return false;
   bool saw_meta = false;
-  std::vector<Entry> loaded;
+  std::vector<Entry>& loaded = *out;
   std::vector<std::uint8_t> payload;
   for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
     const store::ChunkInfo& info = reader.chunks()[i];
@@ -440,8 +460,69 @@ bool SearchIndex::Load(const std::string& path, std::string* error) {
     *error = path + ": missing IMET metadata chunk";
     return false;
   }
+  return true;
+}
+
+bool SearchIndex::Load(const std::string& path, std::string* error) {
+  std::vector<Entry> loaded;
+  if (!LoadEntriesFrom(path, &loaded, error)) return false;
   entries_ = std::move(loaded);
   return true;
+}
+
+bool SearchIndex::LoadAppend(const std::string& path, std::string* error) {
+  // Stage into a scratch vector so a mid-file failure never leaves the
+  // index holding a partial shard.
+  std::vector<Entry> loaded;
+  if (!LoadEntriesFrom(path, &loaded, error)) return false;
+  entries_.insert(entries_.end(), std::make_move_iterator(loaded.begin()),
+                  std::make_move_iterator(loaded.end()));
+  return true;
+}
+
+bool SearchIndex::OpenSharded(const std::string& manifest_path,
+                              std::string* error) {
+  store::ShardManifest manifest;
+  if (!LoadManifest(&manifest, manifest_path, error)) return false;
+  if (manifest.model_fingerprint != model_.WeightsFingerprint()) {
+    *error = manifest_path +
+             ": manifest was published for different model weights "
+             "(fingerprint mismatch) — load the matching checkpoint or "
+             "re-ingest";
+    return false;
+  }
+  const std::string dir = store::DirOf(manifest_path);
+  std::vector<Entry> loaded;
+  for (const store::ShardRecord& shard : manifest.shards) {
+    const std::size_t before = loaded.size();
+    if (!LoadEntriesFrom(dir + "/" + shard.file, &loaded, error)) {
+      return false;
+    }
+    if (loaded.size() - before != shard.entries) {
+      *error = manifest_path + ": shard '" + shard.file + "' holds " +
+               std::to_string(loaded.size() - before) +
+               " entries but the manifest records " +
+               std::to_string(shard.entries) +
+               " — shard and manifest are out of sync";
+      return false;
+    }
+  }
+  entries_ = std::move(loaded);
+  return true;
+}
+
+bool SearchIndex::Open(const std::string& path, std::string* error) {
+  std::uint32_t kind = 0;
+  {
+    store::Reader reader;
+    if (!reader.Open(path, 0, error)) return false;
+    kind = reader.kind();
+  }
+  if (kind == store::kKindIndex) return Load(path, error);
+  if (kind == store::kKindManifest) return OpenSharded(path, error);
+  *error = path + ": " + store::FourCcName(kind) +
+           " container is neither an INDX snapshot nor a MANI manifest";
+  return false;
 }
 
 std::vector<SearchHit> SearchIndex::AboveThreshold(

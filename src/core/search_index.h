@@ -41,6 +41,14 @@ class SearchIndex {
   // Encodes and stores one function; returns its index.
   int Add(const FunctionFeature& feature);
 
+  // Stores a precomputed encoding without re-running the model — the
+  // streaming-ingest path, where FENC-cached encodings must never be
+  // encoded twice. The encoding must be the model's hidden_dim x 1 shape
+  // with finite values; returns the new entry index, or -1 when it is
+  // rejected (the index is unchanged).
+  int AddEncoded(const std::string& name, const nn::Matrix& encoding,
+                 int callee_count);
+
   // Encodes all features in parallel; entries keep input order. A feature
   // that fails to encode (throws, yields non-finite values, or hits the
   // search.encode failpoint) is isolated — counted in the returned report
@@ -104,6 +112,24 @@ class SearchIndex {
   // different model weights.
   bool Load(const std::string& path, std::string* error);
 
+  // Appends a snapshot's entries after the current ones (shard loading and
+  // compaction). The index is untouched on failure.
+  bool LoadAppend(const std::string& path, std::string* error);
+
+  // Loads a sharded index: reads the MANI manifest at `manifest_path` and
+  // concatenates every named shard's entries in manifest order. Because
+  // entry order — not shard boundaries — is what TopK/TopKBatch rank by,
+  // the result is bitwise identical to a monolithic snapshot holding the
+  // same entries, at any thread count. Fails (index untouched) on a
+  // missing/corrupt manifest or shard, or a model fingerprint mismatch.
+  bool OpenSharded(const std::string& manifest_path, std::string* error);
+
+  // Kind-sniffing open: dispatches on the container kind at `path` — an
+  // INDX snapshot goes through Load, a MANI manifest through OpenSharded.
+  // This is what asteria-serve and index-query call, so both accept either
+  // artifact transparently.
+  bool Open(const std::string& path, std::string* error);
+
  private:
   struct Entry {
     std::string name;
@@ -114,6 +140,10 @@ class SearchIndex {
   SearchHit ScoreEntry(const nn::Matrix& query_encoding, int query_callees,
                        int index) const;
   std::vector<SearchHit> Scored(const FunctionFeature& query) const;
+  // Appends one snapshot's validated entries to `*out` (shared by
+  // Load/LoadAppend/OpenSharded).
+  bool LoadEntriesFrom(const std::string& path, std::vector<Entry>* out,
+                       std::string* error) const;
 
   const AsteriaModel& model_;
   int threads_ = 1;

@@ -133,7 +133,7 @@ bool Server::Start(std::string* error) {
   }
   auto index = std::make_shared<core::SearchIndex>(
       model_, config_.score_threads < 1 ? 1 : config_.score_threads);
-  if (!index->Load(config_.index_path, error)) return false;
+  if (!index->Open(config_.index_path, error)) return false;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(index);
@@ -182,7 +182,7 @@ bool Server::Reload(std::string* error) {
   std::lock_guard<std::mutex> lock(reload_mu_);
   auto fresh = std::make_shared<core::SearchIndex>(
       model_, config_.score_threads < 1 ? 1 : config_.score_threads);
-  if (!fresh->Load(config_.index_path, error)) return false;
+  if (!fresh->Open(config_.index_path, error)) return false;
   if (fp_swap.ShouldFail()) {
     // Delay, don't fail: hold the fully built replacement unpublished so
     // swap-under-load tests get a wide window where queries race the swap.

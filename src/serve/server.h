@@ -47,7 +47,10 @@ namespace asteria::serve {
 
 struct ServerConfig {
   std::string socket_path;  // Unix-domain socket to bind (must fit sun_path)
-  std::string index_path;   // INDX snapshot; Start() loads it, Reload() re-loads
+  // INDX snapshot or MANI shard manifest (SearchIndex::Open dispatches on
+  // the container kind); Start() loads it, Reload() re-loads — which is how
+  // the streaming ingester makes freshly published shards queryable.
+  std::string index_path;
   int workers = 1;          // dispatch worker threads
   int batch_max = 16;       // max queries coalesced into one scoring pass
   int queue_capacity = 256; // bounded request queue (backpressure)

@@ -55,6 +55,7 @@ inline constexpr std::uint32_t kKindModel = FourCc('M', 'O', 'D', 'L');
 inline constexpr std::uint32_t kKindIndex = FourCc('I', 'N', 'D', 'X');
 inline constexpr std::uint32_t kKindCorpus = FourCc('C', 'O', 'R', 'P');
 inline constexpr std::uint32_t kKindEncodings = FourCc('F', 'E', 'N', 'C');
+inline constexpr std::uint32_t kKindManifest = FourCc('M', 'A', 'N', 'I');
 
 // Renders a fourcc as "ABCD" for error messages and index-info output.
 std::string FourCcName(std::uint32_t fourcc);

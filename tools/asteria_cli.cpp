@@ -34,6 +34,29 @@
 //                                              scripts/bench_serve.sh)
 //   asteria-cli ctl <ping|reload|shutdown> --socket=PATH
 //                                              control a running daemon
+//   asteria-cli fw-gen <out_dir> <count> [seed]
+//                                              pack synthetic firmware images
+//                                              as <out_dir>/img-<seed>-<i>.fw
+//                                              drop files for `ingest`
+//   asteria-cli ingest <index_dir> [image.fw ...] [--drop_dir=DIR]
+//               [--compact] [--weights=FILE] [--socket=PATH]
+//                                              streaming ingest: decompile +
+//                                              encode each NEW image (content
+//                                              digest dedup, FENC cache
+//                                              reuse), publish it as a shard
+//                                              under <index_dir>/manifest.mani
+//                                              and poke a running daemon's
+//                                              reload path (--socket). With
+//                                              --drop_dir, sweep DIR for
+//                                              *.fw files; with --compact,
+//                                              fold adjacent small shards
+//                                              afterwards.
+//   asteria-cli delta-search <index_dir> [threshold] [--weights=FILE]
+//                                              re-run the CVE library queries
+//                                              against only the shards newer
+//                                              than the manifest's searched
+//                                              high-water mark, then advance
+//                                              the mark
 //
 // ISAs: x86 x64 ARM PPC (default x86).
 //
@@ -57,6 +80,8 @@
 // A --metrics_out=FILE flag writes the process metrics snapshot (counters,
 // histograms, per-stage span times, pipeline reports) as JSON after the
 // command finishes, whatever its exit code — see docs/OBSERVABILITY.md.
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +96,10 @@
 #include "core/asteria.h"
 #include "core/search_index.h"
 #include "decompiler/decompile.h"
+#include "firmware/image.h"
+#include "firmware/search.h"
+#include "ingest/ingest.h"
+#include "store/manifest.h"
 #include "minic/interp.h"
 #include "minic/parser.h"
 #include "minic/printer.h"
@@ -91,8 +120,11 @@ using namespace asteria;
 int g_threads = 1;           // set by --threads=N
 bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
 std::string g_metrics_out;   // set by --metrics_out=FILE
-std::string g_socket;        // set by --socket=PATH (query/ctl commands)
+std::string g_socket;        // set by --socket=PATH (query/ctl/ingest)
 long g_repeat = 1;           // set by --repeat=N (query latency loops)
+std::string g_weights;       // set by --weights=FILE (ingest/delta-search)
+std::string g_drop_dir;      // set by --drop_dir=DIR (ingest)
+bool g_compact = false;      // set by --compact (ingest)
 
 // Model config for every command: the fused tape-free encode kernel unless
 // --fast_encoder=0 asks for the autograd reference path (the two produce
@@ -107,10 +139,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
-      "index-build|index-info|index-query|query|ctl|run|failpoints> "
+      "index-build|index-info|index-query|query|ctl|run|failpoints|"
+      "fw-gen|ingest|delta-search> "
       "[--threads=N] [--fast_encoder=0|1] [--failpoints=SPEC] "
       "[--log_level=LEVEL] [--metrics_out=FILE] [--socket=PATH] "
-      "[--repeat=N] ...\n"
+      "[--repeat=N] [--weights=FILE] [--drop_dir=DIR] [--compact] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -478,6 +511,35 @@ int CmdIndexInfo(int argc, char** argv) {
   }
   std::fputs(table.ToString().c_str(), stdout);
   std::printf("all %zu chunk CRCs verified\n", verified);
+
+  // A MANI manifest gets a decoded per-shard view on top of the raw chunk
+  // table, so operators can see the compaction state of a sharded index.
+  if (reader.kind() == store::kKindManifest) {
+    store::ShardManifest manifest;
+    if (!store::LoadManifest(&manifest, argv[2], &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "\nsharded index: sequence %llu, searched_seq %llu, model "
+        "fingerprint %08x\n",
+        static_cast<unsigned long long>(manifest.sequence),
+        static_cast<unsigned long long>(manifest.searched_seq),
+        manifest.model_fingerprint);
+    util::TextTable shards(
+        {"shard", "file", "entries", "bytes", "created_seq", "sources"});
+    for (std::size_t i = 0; i < manifest.shards.size(); ++i) {
+      const store::ShardRecord& shard = manifest.shards[i];
+      shards.AddRow({std::to_string(i), shard.file,
+                     std::to_string(shard.entries),
+                     std::to_string(shard.bytes),
+                     std::to_string(shard.created_seq),
+                     std::to_string(shard.sources.size())});
+    }
+    std::fputs(shards.ToString().c_str(), stdout);
+    std::printf("%zu shard(s), %llu entries total\n", manifest.shards.size(),
+                static_cast<unsigned long long>(manifest.TotalEntries()));
+  }
   return 0;
 }
 
@@ -497,7 +559,9 @@ int CmdIndexQuery(int argc, char** argv) {
 
   core::SearchIndex index(model, g_threads);
   std::string error;
-  if (!index.Load(index_path, &error)) {
+  // Open dispatches on the container kind, so <idx> may be a monolithic
+  // INDX snapshot or a MANI shard manifest — same results either way.
+  if (!index.Open(index_path, &error)) {
     std::fprintf(stderr, "cannot load index: %s\n", error.c_str());
     return 1;
   }
@@ -634,6 +698,157 @@ int CmdRun(int argc, char** argv) {
   return 0;
 }
 
+// Packs synthetic firmware images (the BuildFirmwareCorpus generator) into
+// <out_dir>/img-<seed>-<i>.fw — the drop files `ingest` consumes. The
+// output is a pure function of (count, seed).
+int CmdFwGen(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string out_dir = argv[2];
+  long count = 0;
+  if (!ParseInt(argv[3], &count) || count < 1) {
+    std::fprintf(stderr, "bad count '%s' (expected a positive integer)\n",
+                 argv[3]);
+    return 2;
+  }
+  long seed = 7;
+  if (argc > 4 && (!ParseInt(argv[4], &seed) || seed < 0)) {
+    std::fprintf(stderr, "bad seed '%s' (expected a non-negative integer)\n",
+                 argv[4]);
+    return 2;
+  }
+  firmware::FirmwareCorpusConfig config;
+  config.images = static_cast<int>(count);
+  config.seed = static_cast<std::uint64_t>(seed);
+  const firmware::FirmwareCorpus corpus =
+      firmware::BuildFirmwareCorpus(config);
+  if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  int written = 0;
+  for (std::size_t i = 0; i < corpus.images.size(); ++i) {
+    const std::vector<std::uint8_t> blob = firmware::Pack(corpus.images[i]);
+    const std::string path = out_dir + "/img-" + std::to_string(seed) + "-" +
+                             std::to_string(i) + ".fw";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(blob.data(), 1, blob.size(), f) != blob.size()) {
+      if (f != nullptr) std::fclose(f);
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fclose(f);
+    ++written;
+  }
+  std::printf("packed %d firmware images -> %s\n", written, out_dir.c_str());
+  return 0;
+}
+
+int CmdIngest(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const core::AsteriaConfig config = CliModelConfig();
+  core::AsteriaModel model(config);
+  if (!LoadWeightsOrWarn(&model, g_weights.empty() ? nullptr
+                                                   : g_weights.c_str())) {
+    return 1;
+  }
+  ingest::IngestConfig ingest_config;
+  ingest_config.index_dir = argv[2];
+  ingest_config.threads = g_threads;
+  ingest_config.serve_socket = g_socket;
+  ingest::IngestService service(model, ingest_config);
+  std::string error;
+  if (!service.Open(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  ingest::IngestStats stats;
+  int rc = 0;
+  for (int i = 3; i < argc; ++i) {
+    if (!service.IngestFile(argv[i], &stats, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      rc = 1;
+    }
+  }
+  if (!g_drop_dir.empty()) service.ScanDropDir(g_drop_dir, &stats);
+  if (g_compact) {
+    int merged_runs = 0;
+    if (!service.Compact(&merged_runs, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      rc = 1;
+    } else if (merged_runs > 0) {
+      std::printf("compacted %d shard run(s)\n", merged_runs);
+    }
+  }
+  if (!stats.report.Clean()) {
+    std::fprintf(stderr, "%s\n", stats.report.Summary().c_str());
+  }
+  std::printf(
+      "ingested %d image(s) (%d deduped, %d failed): %d functions indexed, "
+      "%d encoded, %d cache hit(s)\n",
+      stats.images_published, stats.images_deduped, stats.images_failed,
+      stats.functions_indexed, stats.functions_encoded, stats.cache_hits);
+  const store::ShardManifest& manifest = service.manifest();
+  std::printf("manifest: sequence %llu, %zu shard(s), %llu entries\n",
+              static_cast<unsigned long long>(manifest.sequence),
+              manifest.shards.size(),
+              static_cast<unsigned long long>(manifest.TotalEntries()));
+  return rc;
+}
+
+int CmdDeltaSearch(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  double threshold = 0.9;
+  if (argc > 3) {
+    char* end = nullptr;
+    errno = 0;
+    threshold = std::strtod(argv[3], &end);
+    if (errno != 0 || end == argv[3] || *end != '\0' || threshold < 0.0 ||
+        threshold > 1.0) {
+      std::fprintf(stderr, "bad threshold '%s' (expected 0..1)\n", argv[3]);
+      return 2;
+    }
+  }
+  const core::AsteriaConfig config = CliModelConfig();
+  core::AsteriaModel model(config);
+  if (!LoadWeightsOrWarn(&model, g_weights.empty() ? nullptr
+                                                   : g_weights.c_str())) {
+    return 1;
+  }
+  ingest::DeltaVulnResult result;
+  std::string error;
+  if (!ingest::DeltaVulnSearch(model, argv[2], threshold, /*beta=*/4,
+                               g_threads, &result, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf(
+      "delta vuln search: %d shard(s), %d entries newer than seq %llu\n",
+      result.shards_searched, result.entries_searched,
+      static_cast<unsigned long long>(result.from_seq));
+  util::TextTable table({"CVE", "software", "candidates", "top hit", "F"});
+  for (const ingest::DeltaCveRow& row : result.per_cve) {
+    std::string top = "-";
+    std::string score = "-";
+    if (!row.hits.empty()) {
+      top = row.hits.front().name;
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.6f", row.hits.front().score);
+      score = buffer;
+    }
+    table.AddRow({row.cve, row.software, std::to_string(row.hits.size()),
+                  top, score});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  if (!result.report.Clean()) {
+    std::fprintf(stderr, "%s\n", result.report.Summary().c_str());
+  }
+  std::printf("searched high-water mark advanced to seq %llu\n",
+              static_cast<unsigned long long>(result.to_seq));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -715,6 +930,29 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--weights=", 10) == 0) {
+      g_weights = argv[i] + 10;
+      if (g_weights.empty()) {
+        std::fprintf(stderr, "bad --weights value (expected a path)\n");
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--drop_dir=", 11) == 0) {
+      g_drop_dir = argv[i] + 11;
+      if (g_drop_dir.empty()) {
+        std::fprintf(stderr, "bad --drop_dir value (expected a path)\n");
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strcmp(argv[i], "--compact") == 0) {
+      g_compact = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
   int rc = 2;
@@ -736,6 +974,9 @@ int main(int argc, char** argv) {
     else if (command == "query") rc = CmdQuery(argc, argv);
     else if (command == "ctl") rc = CmdCtl(argc, argv);
     else if (command == "run") rc = CmdRun(argc, argv);
+    else if (command == "fw-gen") rc = CmdFwGen(argc, argv);
+    else if (command == "ingest") rc = CmdIngest(argc, argv);
+    else if (command == "delta-search") rc = CmdDeltaSearch(argc, argv);
     else rc = Usage();
   }
   // Emit the snapshot even when the command failed: a run that tripped a

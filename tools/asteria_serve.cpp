@@ -5,11 +5,15 @@
 //                 [--fast_encoder=0|1] [--failpoints=SPEC]
 //                 [--log_level=LEVEL] [--metrics_out=FILE]
 //
-// Loads the model weights and the INDX snapshot once, then answers TopK /
-// AboveThreshold queries over the Unix-domain socket until a kShutdown
-// control frame (asteria-cli ctl shutdown), SIGTERM, or SIGINT stops it.
-// SIGHUP (or asteria-cli ctl reload) re-loads --index and atomically swaps
-// the new snapshot in without blocking in-flight queries.
+// Loads the model weights and the index once — --index may be a monolithic
+// INDX snapshot or a MANI shard manifest (sharded results are bitwise
+// identical) — then answers TopK / AboveThreshold queries over the
+// Unix-domain socket until a kShutdown control frame (asteria-cli ctl
+// shutdown), SIGTERM, or SIGINT stops it. SIGHUP (or asteria-cli ctl
+// reload) re-loads --index and atomically swaps the new snapshot in
+// without blocking in-flight queries; `asteria-cli ingest --socket=...`
+// sends that reload after every publish, so new firmware becomes
+// queryable without a restart.
 //
 // Flags go through util::Flags, so every numeric value is parsed strictly
 // (trailing garbage, overflow, and non-finite input are errors, never
@@ -47,7 +51,8 @@ int main(int argc, char** argv) {
 
   util::Flags flags;
   flags.DefineString("socket", "", "Unix-domain socket path to listen on");
-  flags.DefineString("index", "", "INDX snapshot to serve");
+  flags.DefineString("index", "",
+                     "INDX snapshot or MANI shard manifest to serve");
   flags.DefineString("weights", "",
                      "model checkpoint (untrained weights when omitted)");
   flags.DefineInt("workers", 1, "dispatch worker threads");
