@@ -4,9 +4,12 @@
 #   2. the concurrency suites under TSan and ASan (check_sanitize.sh),
 #   3. the metrics determinism gate (check_metrics.sh),
 #   4. the serving determinism gate (check_serve.sh),
-#   5. the streaming-ingest determinism gate (check_ingest.sh).
+#   5. the streaming-ingest determinism gate (check_ingest.sh),
+#   6. the overload/request-lifecycle chaos gate (check_chaos.sh).
 # Each stage reuses its own build directory, so a warm tree pays mostly
-# test time. Exits non-zero on the first failing stage.
+# test time. Fail-fast: the first failing gate stops the run; either way a
+# per-gate PASS/FAIL/skipped summary table prints at the end, so a red run
+# still says exactly where it died.
 #
 # Usage: scripts/check_all.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -15,24 +18,56 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-build}"
 BUILD="$ROOT/$BUILD_DIR"
 
-echo "== check_all: build + ctest =="
-cmake -S "$ROOT" -B "$BUILD" >/dev/null
-cmake --build "$BUILD" -j "$(nproc)"
-ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+GATE_NAMES=()
+GATE_RESULTS=()
 
-for sanitizer in thread address; do
-  echo "== check_all: check_sanitize.sh $sanitizer =="
-  "$ROOT/scripts/check_sanitize.sh" "$sanitizer"
-done
+summary() {
+  echo
+  echo "== check_all summary =="
+  printf '%-22s %s\n' "gate" "result"
+  printf '%-22s %s\n' "----" "------"
+  for i in "${!GATE_NAMES[@]}"; do
+    printf '%-22s %s\n' "${GATE_NAMES[$i]}" "${GATE_RESULTS[$i]}"
+  done
+}
+trap summary EXIT
 
-echo "== check_all: check_metrics.sh =="
-"$ROOT/scripts/check_metrics.sh" "$BUILD_DIR"
+# Runs one gate and records PASS/FAIL. Fail-fast: a failing gate stops the
+# run; the EXIT trap still prints the table, with every unreached gate
+# marked skipped.
+REMAINING_GATES=("build+ctest" "sanitize(thread)" "sanitize(address)"
+                 "metrics" "serve" "ingest" "chaos")
+gate() {
+  local name="$1"
+  shift
+  echo "== check_all: $name =="
+  GATE_NAMES+=("$name")
+  REMAINING_GATES=("${REMAINING_GATES[@]:1}")
+  if "$@"; then
+    GATE_RESULTS+=("PASS")
+  else
+    GATE_RESULTS+=("FAIL")
+    for remaining in "${REMAINING_GATES[@]+"${REMAINING_GATES[@]}"}"; do
+      GATE_NAMES+=("$remaining")
+      GATE_RESULTS+=("skipped")
+    done
+    exit 1
+  fi
+}
 
-echo "== check_all: check_serve.sh =="
-"$ROOT/scripts/check_serve.sh" "$BUILD_DIR"
+tier1() {
+  cmake -S "$ROOT" -B "$BUILD" >/dev/null \
+    && cmake --build "$BUILD" -j "$(nproc)" \
+    && ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+}
 
-echo "== check_all: check_ingest.sh =="
-"$ROOT/scripts/check_ingest.sh" "$BUILD_DIR"
+gate "build+ctest" tier1
+gate "sanitize(thread)" "$ROOT/scripts/check_sanitize.sh" thread
+gate "sanitize(address)" "$ROOT/scripts/check_sanitize.sh" address
+gate "metrics" "$ROOT/scripts/check_metrics.sh" "$BUILD_DIR"
+gate "serve" "$ROOT/scripts/check_serve.sh" "$BUILD_DIR"
+gate "ingest" "$ROOT/scripts/check_ingest.sh" "$BUILD_DIR"
+gate "chaos" "$ROOT/scripts/check_chaos.sh" "$BUILD_DIR"
 
 echo
 echo "OK: all gates green"

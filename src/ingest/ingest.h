@@ -147,9 +147,53 @@ struct DeltaVulnResult {
 // searched_seq advanced to the newest shard. When compaction has folded
 // unsearched entries into an older-sequence shard the entries are simply
 // seen again — at-least-once semantics, never missed.
+//
+// Every hit is also appended to the persistent CVE-alert log (below)
+// BEFORE the mark advances, so a crash between the two replays the search
+// and re-appends — an alert can be duplicated (dedup on `seq`), never
+// lost.
 bool DeltaVulnSearch(const core::AsteriaModel& model,
                      const std::string& index_dir, double threshold,
                      int beta, int threads, DeltaVulnResult* result,
                      std::string* error);
+
+// -- Persistent CVE-alert log ------------------------------------------------
+//
+// <index_dir>/alerts.jsonl accumulates every DeltaVulnSearch hit across
+// runs — the durable artifact a fleet operator tails, where DeltaVulnResult
+// is one run's report. Each line is
+//
+//   ALRT <8-hex CRC32 of the JSON bytes> <one-line JSON object>\n
+//
+// appended with a single O_APPEND write + fsync per run, so a crash can
+// only ever tear the final line; the reader detects a torn or corrupted
+// line by the CRC (or broken framing), skips it, and counts it in
+// `corrupt_lines` instead of failing the whole log.
+
+struct AlertRecord {
+  std::uint64_t seq = 0;  // searched_seq the run advanced to; re-runs after
+                          // a crash repeat it, so equal (seq, cve, hit)
+                          // triples are duplicates
+  std::string cve;
+  std::string software;
+  std::string function;  // the vulnerable function queried
+  std::string hit;       // the fleet function that matched
+  double score = 0.0;
+};
+
+std::string AlertLogPath(const std::string& index_dir);
+
+// Appends one run's alerts as a single atomic-append write (O_APPEND +
+// fsync). Guarded by the ingest.alert_append failpoint; a failed append
+// fails the run before the high-water mark moves.
+bool AppendAlerts(const std::string& index_dir,
+                  const std::vector<AlertRecord>& alerts, std::string* error);
+
+// Reads the whole log. A missing file is an empty log, not an error.
+// Unparseable or CRC-mismatched lines (torn tail, disk corruption) are
+// skipped and counted in `corrupt_lines` (may be null).
+bool ReadAlertLog(const std::string& index_dir,
+                  std::vector<AlertRecord>* alerts, int* corrupt_lines,
+                  std::string* error);
 
 }  // namespace asteria::ingest

@@ -4,6 +4,7 @@
 #include <sys/types.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -41,9 +42,22 @@ std::uint64_t GetLe64(const std::uint8_t* in) {
   return v;
 }
 
+using SteadyTime = std::chrono::steady_clock::time_point;
+
 // Reads exactly `size` bytes. Returns size on success, 0 on clean EOF
-// before the first byte, -1 on error or EOF mid-buffer.
-ssize_t ReadFull(int fd, void* buffer, std::size_t size) {
+// before the first byte, -1 on error or EOF mid-buffer, -2 when the
+// frame-assembly deadline expires first.
+//
+// `deadline` (may be null) threads the assembly budget across the several
+// reads that make up one frame. Unarmed (time_point{}) it means "no frame
+// in flight yet": EAGAIN wakeups from the fd's SO_RCVTIMEO just retry, so
+// an idle connection can sit forever. The first byte that lands arms it at
+// now + io_timeout_ms, and from then on every EAGAIN wakeup — and every
+// partial read, so a steady trickle cannot dodge the check — tests it.
+// With a null deadline, EAGAIN is an ordinary error (-1), preserving the
+// pre-v2 client behavior where SO_RCVTIMEO expiry fails the exchange.
+ssize_t ReadFull(int fd, void* buffer, std::size_t size, int io_timeout_ms = 0,
+                 SteadyTime* deadline = nullptr) {
   std::uint8_t* out = static_cast<std::uint8_t*>(buffer);
   std::size_t done = 0;
   while (done < size) {
@@ -51,9 +65,23 @@ ssize_t ReadFull(int fd, void* buffer, std::size_t size) {
     if (n == 0) return done == 0 ? 0 : -1;
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && deadline != nullptr) {
+        if (*deadline == SteadyTime{}) continue;  // idle: no frame started
+        if (std::chrono::steady_clock::now() < *deadline) continue;
+        return -2;
+      }
       return -1;
     }
     done += static_cast<std::size_t>(n);
+    if (deadline != nullptr) {
+      if (*deadline == SteadyTime{}) {
+        *deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(io_timeout_ms);
+      } else if (done < size &&
+                 std::chrono::steady_clock::now() >= *deadline) {
+        return -2;
+      }
+    }
   }
   return static_cast<ssize_t>(done);
 }
@@ -77,10 +105,20 @@ bool WriteFull(int fd, const void* buffer, std::size_t size) {
 }  // namespace
 
 ReadStatus ReadFrame(int fd, FrameType* type,
-                     std::vector<std::uint8_t>* payload, std::string* error) {
-  std::uint8_t header[kFrameHeaderSize];
-  const ssize_t got = ReadFull(fd, header, sizeof(header));
+                     std::vector<std::uint8_t>* payload, std::string* error,
+                     std::uint64_t* deadline_ms, int io_timeout_ms) {
+  if (deadline_ms != nullptr) *deadline_ms = 0;
+  SteadyTime assembly_deadline{};
+  SteadyTime* deadline = io_timeout_ms > 0 ? &assembly_deadline : nullptr;
+  std::uint8_t header[kFrameHeaderSizeV2];
+  const ssize_t got =
+      ReadFull(fd, header, kFrameHeaderSize, io_timeout_ms, deadline);
   if (got == 0) return ReadStatus::kClosed;
+  if (got == -2) {
+    *error = "frame assembly timed out after " +
+             std::to_string(io_timeout_ms) + " ms (slow or stalled peer)";
+    return ReadStatus::kTimeout;
+  }
   if (got < 0) {
     *error = "short read inside frame header (peer closed or I/O error)";
     return ReadStatus::kBad;
@@ -91,7 +129,7 @@ ReadStatus ReadFrame(int fd, FrameType* type,
     return ReadStatus::kBad;
   }
   const std::uint32_t version = GetLe32(header + 4);
-  if (version != kProtocolVersion) {
+  if (version != kProtocolVersion && version != kProtocolVersionV1) {
     *error = "unsupported protocol version " + std::to_string(version) +
              " (this daemon speaks v" + std::to_string(kProtocolVersion) + ")";
     return ReadStatus::kBad;
@@ -99,6 +137,22 @@ ReadStatus ReadFrame(int fd, FrameType* type,
   const std::uint32_t raw_type = GetLe32(header + 8);
   const std::uint32_t declared_crc = GetLe32(header + 12);
   const std::uint64_t size = GetLe64(header + 16);
+  if (version == kProtocolVersion) {
+    // v2 appends the deadline field; a v1 header simply has no deadline.
+    const std::size_t extra = kFrameHeaderSizeV2 - kFrameHeaderSize;
+    const ssize_t more = ReadFull(fd, header + kFrameHeaderSize, extra,
+                                  io_timeout_ms, deadline);
+    if (more == -2) {
+      *error = "frame assembly timed out after " +
+               std::to_string(io_timeout_ms) + " ms (slow or stalled peer)";
+      return ReadStatus::kTimeout;
+    }
+    if (more != static_cast<ssize_t>(extra)) {
+      *error = "short read inside frame header (peer closed or I/O error)";
+      return ReadStatus::kBad;
+    }
+    if (deadline_ms != nullptr) *deadline_ms = GetLe64(header + 24);
+  }
   if (size > kMaxFramePayload) {
     *error = "declared payload of " + std::to_string(size) +
              " bytes exceeds the " + std::to_string(kMaxFramePayload) +
@@ -106,11 +160,19 @@ ReadStatus ReadFrame(int fd, FrameType* type,
     return ReadStatus::kBad;
   }
   payload->resize(static_cast<std::size_t>(size));
-  if (size > 0 && ReadFull(fd, payload->data(), payload->size()) !=
-                      static_cast<ssize_t>(size)) {
-    *error = "frame truncated: declared " + std::to_string(size) +
-             " payload bytes but the stream ended early";
-    return ReadStatus::kBad;
+  if (size > 0) {
+    const ssize_t body =
+        ReadFull(fd, payload->data(), payload->size(), io_timeout_ms, deadline);
+    if (body == -2) {
+      *error = "frame assembly timed out after " +
+               std::to_string(io_timeout_ms) + " ms (slow or stalled peer)";
+      return ReadStatus::kTimeout;
+    }
+    if (body != static_cast<ssize_t>(size)) {
+      *error = "frame truncated: declared " + std::to_string(size) +
+               " payload bytes but the stream ended early";
+      return ReadStatus::kBad;
+    }
   }
   const std::uint32_t actual_crc =
       store::Crc32(payload->data(), payload->size());
@@ -123,13 +185,14 @@ ReadStatus ReadFrame(int fd, FrameType* type,
 }
 
 bool WriteFrame(int fd, FrameType type, const store::ChunkBuilder& payload,
-                std::string* error) {
-  std::uint8_t header[kFrameHeaderSize];
+                std::string* error, std::uint64_t deadline_ms) {
+  std::uint8_t header[kFrameHeaderSizeV2];
   PutLe32(kServeMagic, header);
   PutLe32(kProtocolVersion, header + 4);
   PutLe32(static_cast<std::uint32_t>(type), header + 8);
   PutLe32(store::Crc32(payload.bytes().data(), payload.size()), header + 12);
   PutLe64(payload.size(), header + 16);
+  PutLe64(deadline_ms, header + 24);
   if (!WriteFull(fd, header, sizeof(header)) ||
       !WriteFull(fd, payload.bytes().data(), payload.size())) {
     *error = "frame write failed (peer closed or I/O error)";
@@ -309,6 +372,29 @@ bool GetError(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
               std::string* message, std::string* error) {
   store::ChunkParser parser(payload);
   return parser.GetU64(id, error) && parser.GetString(message, error);
+}
+
+void PutHealthInfo(std::uint64_t id, const HealthInfo& info,
+                   store::ChunkBuilder* out) {
+  out->PutU64(id);
+  out->PutU64(info.index_size);
+  out->PutU64(info.queue_depth);
+  out->PutU64(info.connections);
+  out->PutU32(info.draining ? 1 : 0);
+}
+
+bool GetHealthInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+                   HealthInfo* info, std::string* error) {
+  store::ChunkParser parser(payload);
+  std::uint32_t draining = 0;
+  if (!parser.GetU64(id, error) || !parser.GetU64(&info->index_size, error) ||
+      !parser.GetU64(&info->queue_depth, error) ||
+      !parser.GetU64(&info->connections, error) ||
+      !parser.GetU32(&draining, error)) {
+    return false;
+  }
+  info->draining = draining != 0;
+  return true;
 }
 
 }  // namespace asteria::serve

@@ -8,7 +8,7 @@
 // either validated end to end or rejected with a descriptive error, never
 // partially trusted.
 //
-// Frame layout (24-byte header + payload):
+// Frame layout, protocol v2 (32-byte header + payload):
 //
 //   offset  size  field
 //   0       4     magic "ASRV" (FourCc, little-endian)
@@ -16,7 +16,16 @@
 //   8       4     frame type (FrameType)
 //   12      4     CRC32 of the payload bytes
 //   16      8     payload byte count (<= kMaxFramePayload)
-//   24      n     payload (store::ChunkBuilder / ChunkParser encoding)
+//   24      8     deadline_ms — request-lifetime budget in milliseconds,
+//                 relative to frame receipt (0 = no deadline). v2's one new
+//                 field: a server drops a query whose budget has expired by
+//                 dequeue time instead of scoring it (kDeadlineExceeded).
+//   32      n     payload (store::ChunkBuilder / ChunkParser encoding)
+//
+// v1 frames (24-byte header, no deadline field) are still accepted — the
+// reader dispatches on the version field before consuming the deadline
+// bytes — so a pre-deadline client keeps working against a v2 daemon; a v1
+// frame simply has no deadline.
 //
 // Request payloads carry a client-chosen u64 correlation id that the
 // matching reply echoes, so a client may pipeline requests and a batched
@@ -34,8 +43,12 @@
 namespace asteria::serve {
 
 inline constexpr std::uint32_t kServeMagic = store::FourCc('A', 'S', 'R', 'V');
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersionV1 = 1;
+// v1 header (also the common prefix of a v2 header) and the extra deadline
+// field a v2 header appends.
 inline constexpr std::uint32_t kFrameHeaderSize = 24;
+inline constexpr std::uint32_t kFrameHeaderSizeV2 = 32;
 
 // A declared payload larger than this is rejected before any allocation —
 // the cap bounds what one hostile frame can make the daemon buffer.
@@ -48,31 +61,64 @@ enum class FrameType : std::uint32_t {
   kPing = 3,            // id
   kReload = 4,          // id — re-load the index snapshot and swap it in
   kShutdown = 5,        // id — stop the daemon after replying
+  kCancel = 6,          // id of the pending query to cancel (best effort)
+  kHealth = 7,          // id — liveness + load probe
   // Replies.
   kHits = 16,   // id, hit count, (index, name, score) per hit
   kPong = 17,   // id
   kOk = 18,     // id
   kError = 19,  // id (0 when the request id was unparseable), message
+  // Request-lifecycle replies (v2). All carry just the id; each tells the
+  // client *why* no kHits is coming, and whether a retry can help.
+  kOverloaded = 20,        // shed at admission (queue past high water) or
+                           // connection refused at --max_conns; retryable
+  kDeadlineExceeded = 21,  // budget expired before scoring; not retryable
+  kShuttingDown = 22,      // daemon draining past --drain_timeout_ms;
+                           // retryable against a replacement daemon
+  kHealthInfo = 23,  // id, index_size, queue_depth, connections, draining
+};
+
+// Payload of a kHealthInfo reply: a daemon's load at a glance.
+struct HealthInfo {
+  std::uint64_t index_size = 0;   // entries in the served snapshot
+  std::uint64_t queue_depth = 0;  // requests waiting for a worker
+  std::uint64_t connections = 0;  // live client connections
+  bool draining = false;          // true once shutdown has begun
 };
 
 // Outcome of reading one frame from a file descriptor.
 enum class ReadStatus {
-  kFrame,   // a complete, CRC-verified frame was read
-  kClosed,  // clean end of stream before any header byte
-  kBad,     // malformed input (bad magic/version/oversize/CRC/short read);
-            // `error` describes it. The stream is unframed past this point.
+  kFrame,    // a complete, CRC-verified frame was read
+  kClosed,   // clean end of stream before any header byte
+  kBad,      // malformed input (bad magic/version/oversize/CRC/short read);
+             // `error` describes it. The stream is unframed past this point.
+  kTimeout,  // io_timeout_ms elapsed between a frame's first byte and its
+             // last — a slow-loris peer. Same disposition as kBad, but
+             // distinguishable so the server can count it separately.
 };
 
-// Reads exactly one frame. On kBad the connection should be answered with
-// one best-effort kError frame and closed — after a framing violation the
-// byte stream cannot be trusted to realign.
+// Reads exactly one frame. On kBad/kTimeout the connection should be
+// answered with one best-effort kError frame and closed — after a framing
+// violation the byte stream cannot be trusted to realign.
+//
+// `deadline_ms`, when non-null, receives the v2 deadline field (0 for a v1
+// frame or an absent deadline). `io_timeout_ms > 0` arms the frame-assembly
+// deadline: waiting for a frame to *start* is unbounded (idle connections
+// are fine; the fd's SO_RCVTIMEO only paces the wait), but once the first
+// byte arrives the whole frame must complete within io_timeout_ms or the
+// read fails with kTimeout. With io_timeout_ms == 0 an EAGAIN from a
+// socket-level timeout is an ordinary kBad (the client's posture).
 ReadStatus ReadFrame(int fd, FrameType* type,
-                     std::vector<std::uint8_t>* payload, std::string* error);
+                     std::vector<std::uint8_t>* payload, std::string* error,
+                     std::uint64_t* deadline_ms = nullptr,
+                     int io_timeout_ms = 0);
 
-// Writes header + payload. Returns false on any short or failed write
-// (e.g. the peer vanished); writing never raises SIGPIPE.
+// Writes a v2 header + payload, stamping `deadline_ms` into the header
+// (0 = no deadline; only meaningful on request frames). Returns false on
+// any short or failed write (e.g. the peer vanished); writing never raises
+// SIGPIPE.
 bool WriteFrame(int fd, FrameType type, const store::ChunkBuilder& payload,
-                std::string* error);
+                std::string* error, std::uint64_t deadline_ms = 0);
 
 // -- Payload builders / parsers ---------------------------------------------
 //
@@ -102,5 +148,11 @@ void PutError(std::uint64_t id, const std::string& message,
               store::ChunkBuilder* out);
 bool GetError(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
               std::string* message, std::string* error);
+
+// kHealthInfo payload: id + the HealthInfo fields.
+void PutHealthInfo(std::uint64_t id, const HealthInfo& info,
+                   store::ChunkBuilder* out);
+bool GetHealthInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+                   HealthInfo* info, std::string* error);
 
 }  // namespace asteria::serve

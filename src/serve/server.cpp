@@ -2,13 +2,16 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <deque>
 #include <utility>
 
 #include "util/failpoint.h"
@@ -29,6 +32,13 @@ namespace {
 util::Failpoint fp_accept("serve.accept");
 util::Failpoint fp_read("serve.read");
 util::Failpoint fp_swap("serve.swap");
+// serve.stall_worker: a worker sleeps ~250ms before examining its batch —
+// lets tests fill the queue deterministically (shed/cancel/expire all need
+// requests to still be queued when something happens to them).
+// serve.slow_reply: ~50ms sleep before each kHits write, for slow-reply /
+// drain-window races.
+util::Failpoint fp_stall_worker("serve.stall_worker");
+util::Failpoint fp_slow_reply("serve.slow_reply");
 
 // Deterministic slice (counts depend only on the session's requests, never
 // on worker count or timing): accepted, requests, queries, replies, errors,
@@ -44,8 +54,17 @@ util::Counter c_bad_frames("serve.bad_frames");
 util::Counter c_read_failures("serve.read_failures");
 util::Counter c_write_failures("serve.write_failures");
 util::Counter c_reloads("serve.reloads");
+// Request-lifecycle counters (zero on a well-behaved session; the chaos
+// gate drives each one deterministically — scripts/check_chaos.sh).
+util::Counter c_shed("serve.shed");
+util::Counter c_cancelled("serve.cancelled");
+util::Counter c_deadline_exceeded("serve.deadline_exceeded");
+util::Counter c_conn_rejected("serve.conn_rejected");
+util::Counter c_io_timeouts("serve.io_timeouts");
+util::Counter c_drain_dropped("serve.drain_dropped");
 util::Histogram h_request_nanos("serve.request_nanos");
 util::Histogram h_batch_requests("serve.batch_requests");
+util::Histogram h_drain_nanos("serve.drain_nanos");
 util::Gauge g_index_size("serve.index_size");
 
 }  // namespace
@@ -90,9 +109,40 @@ struct Server::Connection {
     return SendFrame(FrameType::kError, payload);
   }
 
+  // Id-only reply (kOk / kOverloaded / kDeadlineExceeded / kShuttingDown).
+  bool SendControl(FrameType type, std::uint64_t id) {
+    store::ChunkBuilder payload;
+    PutControl(id, &payload);
+    return SendFrame(type, payload);
+  }
+
+  // Explicit kCancel bookkeeping. The list is bounded (oldest evicted):
+  // a cancel only matters while its query is queued, which a few dozen
+  // slots comfortably cover, and a hostile peer spraying cancels must not
+  // grow server memory.
+  void Cancel(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(cancel_mu);
+    if (cancelled_ids.size() >= kMaxCancelledIds) cancelled_ids.pop_front();
+    cancelled_ids.push_back(id);
+  }
+
+  bool IsCancelled(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(cancel_mu);
+    return std::find(cancelled_ids.begin(), cancelled_ids.end(), id) !=
+           cancelled_ids.end();
+  }
+
+  static constexpr std::size_t kMaxCancelledIds = 64;
+
   const int fd;
   std::mutex write_mu;
   std::atomic<bool> closed{false};
+  // Bumped when the reader observes a client disconnect (not a shutdown
+  // drain). A queued Request carries the epoch at enqueue time; a mismatch
+  // at dispatch means nobody is waiting for the answer.
+  std::atomic<std::uint64_t> cancel_epoch{0};
+  std::mutex cancel_mu;
+  std::deque<std::uint64_t> cancelled_ids;
 };
 
 // One parsed, validated query waiting in the dispatch queue.
@@ -103,6 +153,9 @@ struct Server::Request {
   core::FunctionFeature query;
   int k = 0;
   double threshold = 0.0;
+  std::uint64_t enqueue_epoch = 0;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 Server::Server(const core::AsteriaModel& model, const ServerConfig& config)
@@ -245,6 +298,39 @@ void Server::AcceptLoop() {
       ::close(fd);
       continue;
     }
+    if (config_.max_conns > 0 &&
+        LiveConnections() >= static_cast<std::size_t>(config_.max_conns)) {
+      // Full house: say why before hanging up, so the client can back off
+      // and retry instead of seeing a bare connection reset.
+      c_conn_rejected.Increment();
+      store::ChunkBuilder payload;
+      PutControl(0, &payload);
+      std::string werr;
+      WriteFrame(fd, FrameType::kOverloaded, payload, &werr);
+      ::close(fd);
+      continue;
+    }
+    if (config_.io_timeout_ms > 0) {
+      // SO_RCVTIMEO paces the reader's recv wakeups (capped at 100ms so the
+      // frame-assembly deadline is enforced promptly even against a peer
+      // that goes fully silent); SO_SNDTIMEO bounds how long a worker can
+      // be wedged writing a reply to a client that stopped reading.
+      const int recv_ms = std::min(config_.io_timeout_ms, 100);
+      timeval recv_tv{};
+      recv_tv.tv_sec = recv_ms / 1000;
+      recv_tv.tv_usec = static_cast<suseconds_t>((recv_ms % 1000) * 1000);
+      timeval send_tv{};
+      send_tv.tv_sec = config_.io_timeout_ms / 1000;
+      send_tv.tv_usec =
+          static_cast<suseconds_t>((config_.io_timeout_ms % 1000) * 1000);
+      if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &recv_tv,
+                       sizeof(recv_tv)) != 0 ||
+          ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv,
+                       sizeof(send_tv)) != 0) {
+        ASTERIA_LOG(Warn) << "asteria-serve: setsockopt timeouts failed: "
+                          << std::strerror(errno);
+      }
+    }
     c_accepted.Increment();
     auto conn = std::make_shared<Connection>(fd);
     std::lock_guard<std::mutex> lock(conns_mu_);
@@ -253,11 +339,23 @@ void Server::AcceptLoop() {
   }
 }
 
+std::size_t Server::LiveConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  std::size_t live = 0;
+  for (const std::shared_ptr<Connection>& conn : conns_) {
+    if (conn != nullptr) ++live;
+  }
+  return live;
+}
+
 void Server::Run() {
   AcceptLoop();
   // Teardown, in dependency order: stop accepting (done), wake blocked
-  // readers with EOF, fail further enqueues while letting workers drain
-  // what was accepted, then join everything and remove the socket.
+  // readers with EOF — flagging draining_ first so their exits read as
+  // shutdown, not client disconnects — give queued work the drain window,
+  // then join everything and remove the socket.
+  util::Timer drain_timer;
+  draining_.store(true, std::memory_order_release);
   std::vector<std::shared_ptr<Connection>> conns;
   std::vector<std::thread> readers;
   {
@@ -268,14 +366,34 @@ void Server::Run() {
   for (const std::shared_ptr<Connection>& conn : conns) {
     if (conn != nullptr) conn->AbortReads();
   }
-  queue_->Close();
   for (std::thread& reader : readers) {
     reader.join();
   }
+  // Drain window: wait up to drain_timeout_ms for workers to empty the
+  // queue. Past the window, flip drain_expired_ so the remainder is
+  // answered kShuttingDown — shutdown latency stays bounded no matter how
+  // deep the backlog.
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          config_.drain_timeout_ms < 0 ? 0 : config_.drain_timeout_ms);
+  while (queue_->size() > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  if (queue_->size() > 0) {
+    drain_expired_.store(true, std::memory_order_release);
+    ASTERIA_LOG(Warn) << "asteria-serve: drain window ("
+                      << config_.drain_timeout_ms << " ms) closed with "
+                      << queue_->size()
+                      << " queued requests; answering kShuttingDown";
+  }
+  queue_->Close();
   for (std::thread& worker : workers_) {
     worker.join();
   }
   workers_.clear();
+  h_drain_nanos.Observe(static_cast<std::uint64_t>(drain_timer.ElapsedNanos()));
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(config_.socket_path.c_str());
@@ -283,27 +401,44 @@ void Server::Run() {
 }
 
 void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
+  // True when the loop ends because the peer went away (EOF, framing
+  // violation, slow-loris timeout) rather than a kShutdown request.
+  bool disconnected = false;
   for (;;) {
     if (fp_read.ShouldFail()) {
       c_read_failures.Increment();
       conn->SendError(0, "injected read failure (failpoint serve.read)");
       conn->CloseHard();
+      disconnected = true;
       break;
     }
     FrameType type = FrameType::kPing;
     std::vector<std::uint8_t> payload;
     std::string error;
-    const ReadStatus status = ReadFrame(conn->fd, &type, &payload, &error);
-    if (status == ReadStatus::kClosed) break;
-    if (status == ReadStatus::kBad) {
+    std::uint64_t deadline_ms = 0;
+    const ReadStatus status = ReadFrame(conn->fd, &type, &payload, &error,
+                                        &deadline_ms, config_.io_timeout_ms);
+    if (status == ReadStatus::kClosed) {
+      disconnected = true;
+      break;
+    }
+    if (status == ReadStatus::kBad || status == ReadStatus::kTimeout) {
       // The byte stream can't be re-framed after a violation: answer once
       // (best effort — the peer may already be gone) and hang up.
+      if (status == ReadStatus::kTimeout) c_io_timeouts.Increment();
       c_bad_frames.Increment();
       conn->SendError(0, error);
       conn->CloseHard();
+      disconnected = true;
       break;
     }
-    if (!HandleFrame(conn, type, payload)) break;
+    if (!HandleFrame(conn, type, payload, deadline_ms)) break;
+  }
+  // A disconnected client is no longer waiting: bump the epoch so workers
+  // skip its queued queries before encoding them. A reader woken by the
+  // shutdown drain must NOT bump — those queries still get answered.
+  if (disconnected && !draining_.load(std::memory_order_acquire)) {
+    conn->cancel_epoch.fetch_add(1, std::memory_order_acq_rel);
   }
   // Null the conns_ slot so the acceptor reaps this thread; the Connection
   // itself lives on in any queued Request until its reply is written.
@@ -318,7 +453,8 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
 
 bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                          FrameType type,
-                         const std::vector<std::uint8_t>& payload) {
+                         const std::vector<std::uint8_t>& payload,
+                         std::uint64_t deadline_ms) {
   std::string error;
   std::uint64_t id = 0;
   switch (type) {
@@ -348,11 +484,30 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         conn->SendError(request.id, "threshold must be finite");
         return true;
       }
+      request.enqueue_epoch =
+          conn->cancel_epoch.load(std::memory_order_acquire);
+      if (deadline_ms > 0) {
+        request.has_deadline = true;
+        request.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(deadline_ms);
+      }
       c_requests.Increment();
       const std::uint64_t request_id = request.id;
-      if (!queue_->Push(std::move(request))) {
-        conn->SendError(request_id, "daemon is shutting down");
-        return false;
+      // Admission control: shed instead of block. A full queue means the
+      // workers are already saturated — queueing deeper only grows latency
+      // for everyone, so the honest answer is an immediate kOverloaded the
+      // client can back off on.
+      const std::size_t high_water =
+          config_.queue_high_water < 1
+              ? 0
+              : static_cast<std::size_t>(config_.queue_high_water);
+      if (!queue_->TryPush(std::move(request), high_water)) {
+        if (queue_->closed()) {
+          conn->SendControl(FrameType::kShuttingDown, request_id);
+          return false;
+        }
+        c_shed.Increment();
+        conn->SendControl(FrameType::kOverloaded, request_id);
       }
       return true;
     }
@@ -396,6 +551,35 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       RequestStop();
       return false;
     }
+    case FrameType::kCancel: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error);
+        return true;
+      }
+      c_control.Increment();
+      // Best effort by design: the query may already be scoring or
+      // answered. The kOk acknowledges the *cancel request*, not that the
+      // query was caught in time.
+      conn->Cancel(id);
+      conn->SendControl(FrameType::kOk, id);
+      return true;
+    }
+    case FrameType::kHealth: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error);
+        return true;
+      }
+      c_control.Increment();
+      HealthInfo info;
+      info.index_size = snapshot()->size();
+      info.queue_depth = queue_->size();
+      info.connections = LiveConnections();
+      info.draining = draining_.load(std::memory_order_acquire);
+      store::ChunkBuilder reply;
+      PutHealthInfo(id, info, &reply);
+      conn->SendFrame(FrameType::kHealthInfo, reply);
+      return true;
+    }
     default:
       conn->SendError(0, "unexpected frame type " +
                              std::to_string(static_cast<std::uint32_t>(type)));
@@ -423,14 +607,49 @@ void Server::WorkerLoop() {
 void Server::DispatchBatch(std::vector<Request>* batch) {
   util::Timer timer;
   h_batch_requests.Observe(batch->size());
+  if (fp_stall_worker.ShouldFail()) {
+    // Chaos hook: hold the batch so tests can deterministically disconnect,
+    // cancel, or expire requests while they sit here.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  // Request-lifecycle triage, strictly before the expensive encode: a
+  // request whose client is gone (disconnect epoch bumped, or the id
+  // explicitly cancelled) is dropped silently; an expired deadline is
+  // answered kDeadlineExceeded; past the drain window the remainder gets
+  // kShuttingDown. Only survivors are scored.
+  const auto now = std::chrono::steady_clock::now();
+  const bool drain_expired = drain_expired_.load(std::memory_order_acquire);
+  std::vector<Request> live;
+  live.reserve(batch->size());
+  for (Request& req : *batch) {
+    if (req.conn->closed.load(std::memory_order_acquire) ||
+        req.conn->cancel_epoch.load(std::memory_order_acquire) !=
+            req.enqueue_epoch ||
+        req.conn->IsCancelled(req.id)) {
+      c_cancelled.Increment();
+      continue;
+    }
+    if (req.has_deadline && now >= req.deadline) {
+      c_deadline_exceeded.Increment();
+      req.conn->SendControl(FrameType::kDeadlineExceeded, req.id);
+      continue;
+    }
+    if (drain_expired) {
+      c_drain_dropped.Increment();
+      req.conn->SendControl(FrameType::kShuttingDown, req.id);
+      continue;
+    }
+    live.push_back(std::move(req));
+  }
+  if (live.empty()) return;
   // Pin one snapshot for the whole batch: every query in it scores against
   // this index even if a reload publishes mid-flight.
   const std::shared_ptr<const core::SearchIndex> index = snapshot();
   std::vector<const core::FunctionFeature*> topk_queries;
   std::vector<int> topk_ks;
   std::vector<std::size_t> topk_slots;
-  for (std::size_t i = 0; i < batch->size(); ++i) {
-    const Request& req = (*batch)[i];
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Request& req = live[i];
     if (req.type == FrameType::kTopK) {
       topk_queries.push_back(&req.query);
       topk_ks.push_back(req.k);
@@ -440,22 +659,28 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
   const std::vector<std::vector<core::SearchHit>> topk_results =
       index->TopKBatch(topk_queries, topk_ks);
   for (std::size_t j = 0; j < topk_slots.size(); ++j) {
-    const Request& req = (*batch)[topk_slots[j]];
+    const Request& req = live[topk_slots[j]];
     store::ChunkBuilder reply;
     PutHits(req.id, topk_results[j], &reply);
+    if (fp_slow_reply.ShouldFail()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
     if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
   }
-  for (const Request& req : *batch) {
+  for (const Request& req : live) {
     if (req.type != FrameType::kAboveThreshold) continue;
     const std::vector<core::SearchHit> hits =
         index->AboveThreshold(req.query, req.threshold);
     store::ChunkBuilder reply;
     PutHits(req.id, hits, &reply);
+    if (fp_slow_reply.ShouldFail()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
     if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
   }
   const std::uint64_t elapsed =
       static_cast<std::uint64_t>(timer.ElapsedNanos());
-  for (std::size_t i = 0; i < batch->size(); ++i) {
+  for (std::size_t i = 0; i < live.size(); ++i) {
     h_request_nanos.Observe(elapsed);
   }
 }

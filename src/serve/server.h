@@ -9,11 +9,27 @@
 //                              worker pool (N threads) <─┘
 //
 // Readers parse and validate frames (hostile input dies here, with a
-// descriptive kError reply) and push well-formed query requests into the
-// bounded queue — the queue's capacity is the daemon's backpressure.
-// Workers pop one request, drain up to batch_max-1 more without blocking,
-// and dispatch the whole batch through SearchIndex::TopKBatch: one sweep
-// over the index scores every coalesced query.
+// descriptive kError reply) and admit well-formed query requests into the
+// bounded queue via TryPush — past --queue_high_water the query is shed
+// immediately with a kOverloaded reply, so a flood degrades into fast
+// rejections instead of unbounded queueing (docs/ROBUSTNESS.md "Overload
+// & request lifecycle"). Workers pop one request, drain up to batch_max-1
+// more without blocking, and dispatch the whole batch through
+// SearchIndex::TopKBatch: one sweep over the index scores every coalesced
+// query.
+//
+// Request lifecycle (v2): each query may carry a deadline budget in its
+// frame header; a worker that dequeues an already-expired query replies
+// kDeadlineExceeded without encoding it. A reader that sees its client
+// disconnect bumps the connection's cancellation epoch so the client's
+// queued queries are skipped before the expensive encode; an explicit
+// kCancel frame does the same for a single correlation id. Slow peers are
+// bounded by --io_timeout_ms (SO_RCVTIMEO/SO_SNDTIMEO plus a
+// frame-assembly deadline: a frame's first byte starts a clock its last
+// byte must beat) and --max_conns (over-limit connects get kOverloaded,
+// then close). SIGTERM drains: accepting stops, queued work gets
+// --drain_timeout_ms to finish, and whatever remains is answered
+// kShuttingDown rather than silently dropped.
 //
 // Snapshot swap: the index lives in a mutex-guarded shared_ptr (the lock
 // covers only the pointer copy — see the snapshot_ comment below).
@@ -55,6 +71,19 @@ struct ServerConfig {
   int batch_max = 16;       // max queries coalesced into one scoring pass
   int queue_capacity = 256; // bounded request queue (backpressure)
   int score_threads = 1;    // ParallelFor width inside TopKBatch
+  // Admission control: queries are shed (kOverloaded) once the queue holds
+  // this many requests. 0 means shed only at queue_capacity.
+  int queue_high_water = 0;
+  // Slow-client bound: max milliseconds between a frame's first and last
+  // byte, and the socket send timeout. 0 disables both (reads block
+  // forever — test/debug only).
+  int io_timeout_ms = 5000;
+  // Connection cap: over-limit connects are greeted with kOverloaded and
+  // closed. 0 means unlimited.
+  int max_conns = 64;
+  // Graceful drain: after stop, queued queries get this long to finish
+  // before the remainder is answered kShuttingDown.
+  int drain_timeout_ms = 2000;
 };
 
 class Server {
@@ -99,7 +128,9 @@ class Server {
   void WorkerLoop();
   void DispatchBatch(std::vector<Request>* batch);
   bool HandleFrame(const std::shared_ptr<Connection>& conn, FrameType type,
-                   const std::vector<std::uint8_t>& payload);
+                   const std::vector<std::uint8_t>& payload,
+                   std::uint64_t deadline_ms);
+  std::size_t LiveConnections();
 
   const core::AsteriaModel& model_;
   const ServerConfig config_;
@@ -108,6 +139,13 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<bool> reload_{false};
   std::atomic<bool> started_{false};
+  // Set at the start of teardown, before readers are woken with EOF: a
+  // reader exiting while draining is shutdown, not a client disconnect, so
+  // it must NOT cancel that client's queued work (shutdown drains it).
+  std::atomic<bool> draining_{false};
+  // Set when the drain window closes with work still queued: workers answer
+  // the remainder kShuttingDown instead of scoring it.
+  std::atomic<bool> drain_expired_{false};
 
   // The published snapshot. Guarded by snapshot_mu_, which is held only
   // for the pointer copy/assignment: workers pin once per batch and

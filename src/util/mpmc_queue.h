@@ -1,12 +1,16 @@
 // Bounded multi-producer/multi-consumer blocking queue — the dispatch
 // spine of the asteria-serve daemon (docs/SERVING.md).
 //
-// Connection reader threads Push() parsed requests (blocking when the queue
-// is full, which is the backpressure that keeps a flood of clients from
-// exhausting memory) and worker threads Pop() them. TryPop() lets a worker
-// drain up to batch_max-1 additional requests without blocking, so batching
-// adapts to load: an idle daemon dispatches batches of one, a busy daemon
-// coalesces whatever has queued since the last pass.
+// Connection reader threads enqueue parsed requests and worker threads
+// Pop() them. Two producer flavors: Push() blocks when the queue is full
+// (backpressure for cooperating in-process producers), while TryPush()
+// never blocks — it fails immediately when the queue is at capacity (or at
+// an optional lower high-water mark), which is how the daemon sheds load
+// instead of letting hostile floods pin reader threads
+// (docs/ROBUSTNESS.md "Overload & request lifecycle"). TryPop() lets a
+// worker drain up to batch_max-1 additional requests without blocking, so
+// batching adapts to load: an idle daemon dispatches batches of one, a
+// busy daemon coalesces whatever has queued since the last pass.
 //
 // Close() wakes every blocked producer and consumer: subsequent Push()
 // calls fail, and Pop() keeps draining queued items until the queue is
@@ -17,6 +21,7 @@
 // buys nothing here; correctness under TSan is the feature.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -42,6 +47,21 @@ class MpmcQueue {
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking Push: returns false (dropping `item`) when the queue is
+  // closed or already holds `high_water` items (0 means the full
+  // capacity; values above capacity are clamped to it). Admission control:
+  // the caller sheds the item instead of waiting for a slot.
+  bool TryPush(T item, std::size_t high_water = 0) {
+    const std::size_t limit =
+        high_water == 0 ? capacity_ : std::min(high_water, capacity_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= limit) return false;
     items_.push_back(std::move(item));
     lock.unlock();
     not_empty_.notify_one();

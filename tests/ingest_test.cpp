@@ -602,6 +602,149 @@ TEST_F(IngestTest, DeltaVulnSearchScansOnlyNewShards) {
   EXPECT_EQ(third.entries_searched, 0);
 }
 
+// -- Persistent CVE-alert log ------------------------------------------------
+
+TEST_F(IngestTest, AlertLogRoundTripsAcrossAppends) {
+  const std::string dir = FreshDir("alert_rt_idx");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  std::string error;
+
+  // A missing log is an empty log, not an error.
+  std::vector<ingest::AlertRecord> read;
+  int corrupt = -1;
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  EXPECT_TRUE(read.empty());
+  EXPECT_EQ(corrupt, 0);
+
+  // Two appends accumulate in order; strings with JSON-hostile characters
+  // ("quotes", backslashes, control bytes) survive the codec bitwise.
+  ingest::AlertRecord first;
+  first.seq = 3;
+  first.cve = "CVE-2020-0001";
+  first.software = "open\"ssl\\lib";
+  first.function = "tls_\x01parse";
+  first.hit = "fn42";
+  first.score = 0.987654321012345678;
+  ingest::AlertRecord second;
+  second.seq = 3;
+  second.cve = "CVE-2020-0002";
+  second.software = "busybox";
+  second.function = "ash_eval";
+  second.hit = "fn7";
+  second.score = 1.0;
+  ASSERT_TRUE(ingest::AppendAlerts(dir, {first, second}, &error)) << error;
+  ingest::AlertRecord third = first;
+  third.seq = 5;
+  ASSERT_TRUE(ingest::AppendAlerts(dir, {third}, &error)) << error;
+
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  EXPECT_EQ(corrupt, 0);
+  ASSERT_EQ(read.size(), 3u);
+  const std::vector<ingest::AlertRecord> want = {first, second, third};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(read[i].seq, want[i].seq) << "record " << i;
+    EXPECT_EQ(read[i].cve, want[i].cve) << "record " << i;
+    EXPECT_EQ(read[i].software, want[i].software) << "record " << i;
+    EXPECT_EQ(read[i].function, want[i].function) << "record " << i;
+    EXPECT_EQ(read[i].hit, want[i].hit) << "record " << i;
+    EXPECT_EQ(read[i].score, want[i].score) << "record " << i;  // bitwise
+  }
+}
+
+TEST_F(IngestTest, AlertLogSkipsTornAndCorruptLinesWithoutFailing) {
+  const std::string dir = FreshDir("alert_torn_idx");
+  ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+  std::string error;
+  ingest::AlertRecord good;
+  good.seq = 1;
+  good.cve = "CVE-2020-0001";
+  good.software = "openssl";
+  good.function = "tls_parse";
+  good.hit = "fn1";
+  good.score = 0.5;
+  ASSERT_TRUE(ingest::AppendAlerts(dir, {good}, &error)) << error;
+
+  // Simulated disk corruption (CRC mismatch on a framed line) and a
+  // simulated crash mid-append (an unterminated tail).
+  {
+    std::ofstream out(ingest::AlertLogPath(dir),
+                      std::ios::binary | std::ios::app);
+    ASSERT_TRUE(out.good());
+    out << "ALRT deadbeef {\"seq\":9,\"cve\":\"x\",\"software\":\"y\","
+           "\"function\":\"z\",\"hit\":\"w\",\"score\":1}\n";
+    out << "ALRT 00000000 {\"seq\":9,\"cve\":\"tor";  // no newline: torn
+  }
+  std::vector<ingest::AlertRecord> read;
+  int corrupt = 0;
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  ASSERT_EQ(read.size(), 1u);
+  EXPECT_EQ(read[0].cve, good.cve);
+  EXPECT_EQ(corrupt, 2);
+}
+
+TEST_F(IngestTest, DeltaVulnSearchAppendsAlertsAtLeastOnceAcrossCrashes) {
+  core::AsteriaModel model(SmallModelConfig());
+  const auto corpus = MakeCorpus(2, 23);
+  const auto paths = PackImages(corpus, TempPath("alertd"), 2);
+  const std::string dir = FreshDir("alertd_idx");
+  std::string error;
+  {
+    ingest::IngestService service(model, MakeConfig(dir));
+    ASSERT_TRUE(service.Open(&error)) << error;
+    ingest::IngestStats stats;
+    ASSERT_TRUE(service.IngestFile(paths[0], &stats, &error)) << error;
+    ASSERT_TRUE(service.IngestFile(paths[1], &stats, &error)) << error;
+  }
+
+  // A crash in the append itself fails the run before the mark moves: no
+  // alerts written, nothing marked searched. Threshold 0.0 guarantees hits.
+  Arm("ingest.alert_append=once");
+  ingest::DeltaVulnResult crashed;
+  EXPECT_FALSE(
+      ingest::DeltaVulnSearch(model, dir, 0.0, 4, 1, &crashed, &error));
+  EXPECT_NE(error.find("alert_append"), std::string::npos) << error;
+  std::vector<ingest::AlertRecord> read;
+  int corrupt = 0;
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  EXPECT_TRUE(read.empty());
+
+  // A crash after the append but before the manifest publish leaves the
+  // alerts durable and the mark unmoved...
+  Arm("ingest.publish=once");
+  ingest::DeltaVulnResult torn;
+  EXPECT_FALSE(ingest::DeltaVulnSearch(model, dir, 0.0, 4, 1, &torn, &error));
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  const std::size_t per_run = read.size();
+  ASSERT_GT(per_run, 0u);
+  EXPECT_EQ(corrupt, 0);
+
+  // ...so the retry re-searches the same shards and re-appends the same
+  // records: duplicates (same seq), never lost alerts.
+  util::ClearFailpoints();
+  ingest::DeltaVulnResult retried;
+  ASSERT_TRUE(
+      ingest::DeltaVulnSearch(model, dir, 0.0, 4, 1, &retried, &error))
+      << error;
+  EXPECT_EQ(retried.from_seq, 0u);  // the torn run never advanced the mark
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &read, &corrupt, &error)) << error;
+  ASSERT_EQ(read.size(), 2 * per_run);
+  for (std::size_t i = 0; i < per_run; ++i) {
+    EXPECT_EQ(read[i].seq, read[per_run + i].seq);
+    EXPECT_EQ(read[i].cve, read[per_run + i].cve);
+    EXPECT_EQ(read[i].hit, read[per_run + i].hit);
+    EXPECT_EQ(read[i].score, read[per_run + i].score);
+  }
+
+  // A clean follow-up sweep finds nothing new and appends nothing.
+  ingest::DeltaVulnResult idle;
+  ASSERT_TRUE(ingest::DeltaVulnSearch(model, dir, 0.0, 4, 1, &idle, &error))
+      << error;
+  EXPECT_EQ(idle.shards_searched, 0);
+  std::vector<ingest::AlertRecord> again;
+  ASSERT_TRUE(ingest::ReadAlertLog(dir, &again, &corrupt, &error)) << error;
+  EXPECT_EQ(again.size(), 2 * per_run);
+}
+
 TEST_F(IngestTest, ServeReloadPokeMakesNewShardsQueryable) {
   core::AsteriaModel model(SmallModelConfig());
   const auto corpus = MakeCorpus(2, 20);

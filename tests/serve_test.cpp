@@ -27,9 +27,11 @@
 #include <array>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -42,6 +44,7 @@
 #include "serve/server.h"
 #include "store/container.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace asteria {
@@ -121,10 +124,14 @@ bool SameHits(const std::vector<core::SearchHit>& a,
 // stopped and joined by the destructor.
 class Harness {
  public:
+  // `tweak` mutates the assembled config before Start() — how the overload
+  // tests dial in queue_high_water / io_timeout_ms / max_conns /
+  // drain_timeout_ms without a constructor parameter per knob.
   Harness(const core::AsteriaModel& model, const std::string& index_path,
-          const std::string& socket_path, int workers, int batch_max = 8)
-      : server_(model, MakeConfig(index_path, socket_path, workers,
-                                  batch_max)) {
+          const std::string& socket_path, int workers, int batch_max = 8,
+          std::function<void(serve::ServerConfig*)> tweak = nullptr)
+      : server_(model, MakeConfig(index_path, socket_path, workers, batch_max,
+                                  std::move(tweak))) {
     std::string error;
     started_ = server_.Start(&error);
     EXPECT_TRUE(started_) << error;
@@ -146,15 +153,17 @@ class Harness {
   serve::Server& server() { return server_; }
 
  private:
-  static serve::ServerConfig MakeConfig(const std::string& index_path,
-                                        const std::string& socket_path,
-                                        int workers, int batch_max) {
+  static serve::ServerConfig MakeConfig(
+      const std::string& index_path, const std::string& socket_path,
+      int workers, int batch_max,
+      std::function<void(serve::ServerConfig*)> tweak) {
     serve::ServerConfig config;
     config.socket_path = socket_path;
     config.index_path = index_path;
     config.workers = workers;
     config.batch_max = batch_max;
     config.queue_capacity = 64;
+    if (tweak) tweak(&config);
     return config;
   }
 
@@ -217,28 +226,34 @@ void PutLe64(std::uint64_t v, std::vector<std::uint8_t>* out) {
 }
 
 // The byte-exact frame layout from docs/SERVING.md, hard-coded on purpose:
-// this is the conformance side of the spec, independent of WriteFrame.
+// this is the conformance side of the spec, independent of WriteFrame. A
+// v2 header carries the trailing deadline field; any other version value
+// gets the bare 24-byte prefix (v1's layout, also what makes bad-version
+// frames byte-plausible).
 std::vector<std::uint8_t> BuildFrameBytes(std::uint32_t magic,
                                           std::uint32_t version,
                                           std::uint32_t type,
-                                          const store::ChunkBuilder& payload) {
+                                          const store::ChunkBuilder& payload,
+                                          std::uint64_t deadline_ms = 0) {
   std::vector<std::uint8_t> frame;
   PutLe32(magic, &frame);
   PutLe32(version, &frame);
   PutLe32(type, &frame);
   PutLe32(store::Crc32(payload.bytes().data(), payload.size()), &frame);
   PutLe64(payload.size(), &frame);
+  if (version == serve::kProtocolVersion) PutLe64(deadline_ms, &frame);
   frame.insert(frame.end(), payload.bytes().begin(), payload.bytes().end());
   return frame;
 }
 
 std::vector<std::uint8_t> BuildTopKFrameBytes(
-    const core::FunctionFeature& query, int k, std::uint64_t id = 7) {
+    const core::FunctionFeature& query, int k, std::uint64_t id = 7,
+    std::uint64_t deadline_ms = 0) {
   store::ChunkBuilder payload;
   serve::PutQuery(id, query, k, 0.0, serve::FrameType::kTopK, &payload);
   return BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
                          static_cast<std::uint32_t>(serve::FrameType::kTopK),
-                         payload);
+                         payload, deadline_ms);
 }
 
 bool SendAll(int fd, const std::vector<std::uint8_t>& bytes) {
@@ -270,6 +285,38 @@ Outcome AwaitOutcome(int fd) {
     if (errno == EINTR) continue;
     return Outcome::kHang;
   }
+}
+
+// -- Metric probes for the overload tests -----------------------------------
+
+std::uint64_t CounterValueOf(const util::MetricsSnapshot& snapshot,
+                             const std::string& name) {
+  for (const util::CounterValue& counter : snapshot.counters) {
+    if (counter.name == name) return counter.value;
+  }
+  return 0;
+}
+
+std::uint64_t SpanCountOf(const util::MetricsSnapshot& snapshot,
+                          const std::string& stage) {
+  for (const util::StageTiming& span : snapshot.spans) {
+    if (span.stage == stage) return span.count;
+  }
+  return 0;
+}
+
+// Polls SnapshotMetrics until `name` has grown by at least `delta` over
+// `baseline`, failing the test after ~5s. Used where the observable effect
+// (a cancelled query) produces no reply frame to wait on.
+void AwaitCounterDelta(const std::string& name, std::uint64_t baseline,
+                       std::uint64_t delta) {
+  for (int i = 0; i < 500; ++i) {
+    if (CounterValueOf(util::SnapshotMetrics(), name) >= baseline + delta) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << name << " never reached +" << delta;
 }
 
 // Sends `bytes` as one hostile connection and requires a reply or a clean
@@ -851,6 +898,516 @@ TEST_F(ServeTest, ShutdownDrainsQueuedRequests) {
   }
   ::close(fd);
   harness.reset();  // joins Run(); must not deadlock with queued work
+}
+
+// ---------------------------------------------------------------------------
+// Overload & request lifecycle (docs/ROBUSTNESS.md "Overload & request
+// lifecycle"): admission control, deadlines, cancellation, io timeouts,
+// drain windows, and the retrying client. Chaos pacing comes from the
+// serve.stall_worker failpoint (250 ms at every DispatchBatch entry), which
+// holds workers still long enough for queues to fill, deadlines to lapse,
+// and cancels to land — deterministically, not by racing the scheduler.
+
+TEST_F(ServeTest, OverloadShedsWithKOverloadedAtEveryWorkerCount) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(20, 141);
+  const std::string index_path = TempPath("serve_shed.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const auto queries = SyntheticFeatures(40, 142);
+  std::vector<std::vector<core::SearchHit>> expected;
+  for (const core::FunctionFeature& query : queries) {
+    expected.push_back(reference.TopK(query, 3));
+  }
+
+  for (const int workers : {1, 2, 8}) {
+    Arm("serve.stall_worker=always");
+    const std::string socket_path =
+        TempPath("serve_shed" + std::to_string(workers) + ".sock");
+    // batch_max=2 bounds what stalled workers can absorb: at most
+    // workers*2 in flight + 4 queued, so a 40-query burst must shed.
+    Harness harness(model, index_path, socket_path, workers, /*batch_max=*/2,
+                    [](serve::ServerConfig* config) {
+                      config->queue_high_water = 4;
+                    });
+    ASSERT_TRUE(harness.started());
+    const auto before = util::SnapshotMetrics();
+
+    const int fd = ConnectRaw(socket_path);
+    ASSERT_GE(fd, 0);
+    for (std::uint64_t i = 0; i < queries.size(); ++i) {
+      ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[i], 3, 300 + i)));
+    }
+    // Exactly one reply per query — kHits for the admitted, kOverloaded for
+    // the shed — and every answered query is bitwise-identical to direct
+    // TopK. Nothing is silently dropped, nothing is wrong-but-fast.
+    int answered = 0;
+    int shed = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      serve::FrameType type = serve::FrameType::kPing;
+      std::vector<std::uint8_t> payload;
+      ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+                serve::ReadStatus::kFrame)
+          << "workers=" << workers << ": " << error;
+      std::uint64_t id = 0;
+      if (type == serve::FrameType::kHits) {
+        std::vector<core::SearchHit> hits;
+        ASSERT_TRUE(serve::GetHits(payload, &id, &hits, &error)) << error;
+        ASSERT_GE(id, 300u);
+        ASSERT_LT(id - 300, expected.size());
+        ExpectSameHits(hits, expected[id - 300]);
+        ++answered;
+      } else {
+        ASSERT_EQ(type, serve::FrameType::kOverloaded)
+            << "workers=" << workers;
+        ASSERT_TRUE(serve::GetControl(payload, &id, &error)) << error;
+        ++shed;
+      }
+    }
+    ::close(fd);
+    EXPECT_EQ(answered + shed, static_cast<int>(queries.size()));
+    EXPECT_GT(answered, 0) << "workers=" << workers;
+    EXPECT_GT(shed, 0) << "workers=" << workers;
+    const auto after = util::SnapshotMetrics();
+    EXPECT_EQ(CounterValueOf(after, "serve.shed") -
+                  CounterValueOf(before, "serve.shed"),
+              static_cast<std::uint64_t>(shed))
+        << "workers=" << workers;
+    util::ClearFailpoints();
+  }
+}
+
+TEST_F(ServeTest, ExpiredAtDequeueAnswersDeadlineExceededWithoutEncoding) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 151);
+  const std::string index_path = TempPath("serve_ddl.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const std::string socket_path = TempPath("serve_ddl.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+  const auto queries = SyntheticFeatures(2, 152);
+
+  // A 1 ms deadline against a 250 ms worker stall: expired long before the
+  // worker triages it, so the daemon must answer kDeadlineExceeded without
+  // ever encoding the query.
+  Arm("serve.stall_worker=always");
+  const auto before = util::SnapshotMetrics();
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(SendAll(
+      fd, BuildTopKFrameBytes(queries[0], 3, /*id=*/9, /*deadline_ms=*/1)));
+  serve::FrameType type = serve::FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+            serve::ReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(type, serve::FrameType::kDeadlineExceeded);
+  std::uint64_t id = 0;
+  ASSERT_TRUE(serve::GetControl(payload, &id, &error)) << error;
+  EXPECT_EQ(id, 9u);
+  const auto after = util::SnapshotMetrics();
+  EXPECT_EQ(SpanCountOf(after, "encode"), SpanCountOf(before, "encode"))
+      << "an expired query was encoded anyway";
+  EXPECT_EQ(CounterValueOf(after, "serve.deadline_exceeded") -
+                CounterValueOf(before, "serve.deadline_exceeded"),
+            1u);
+
+  // The connection survived the expiry; an undeadlined query on the same
+  // socket still answers bitwise-correctly.
+  util::ClearFailpoints();
+  ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[1], 3, /*id=*/10)));
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+            serve::ReadStatus::kFrame)
+      << error;
+  ASSERT_EQ(type, serve::FrameType::kHits);
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(serve::GetHits(payload, &id, &hits, &error)) << error;
+  EXPECT_EQ(id, 10u);
+  ExpectSameHits(hits, reference.TopK(queries[1], 3));
+  ::close(fd);
+}
+
+TEST_F(ServeTest, DisconnectCancelsQueuedQueriesViaEpoch) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 161);
+  const std::string index_path = TempPath("serve_epoch.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const std::string socket_path = TempPath("serve_epoch.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+
+  // Pipeline six queries into a stalled daemon, then vanish. The reader
+  // sees EOF while the worker is still sleeping, bumps the connection's
+  // cancel epoch, and every one of the six is skipped at dispatch — the
+  // daemon never scores work nobody is waiting for.
+  Arm("serve.stall_worker=always");
+  const std::uint64_t cancelled_before =
+      CounterValueOf(util::SnapshotMetrics(), "serve.cancelled");
+  const auto queries = SyntheticFeatures(6, 162);
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[i], 3, 400 + i)));
+  }
+  ::close(fd);
+  AwaitCounterDelta("serve.cancelled", cancelled_before, queries.size());
+  util::ClearFailpoints();
+
+  // The daemon is unharmed: a healthy client gets bitwise-correct results.
+  serve::Client healthy;
+  ASSERT_TRUE(healthy.Connect(socket_path, &error)) << error;
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(healthy.TopK(queries[0], 3, &hits, &error)) << error;
+  ExpectSameHits(hits, reference.TopK(queries[0], 3));
+}
+
+TEST_F(ServeTest, ExplicitCancelFrameSkipsTheQueryBeforeScoring) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 171);
+  const std::string index_path = TempPath("serve_cancel.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const std::string socket_path = TempPath("serve_cancel.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+  const auto queries = SyntheticFeatures(2, 172);
+
+  Arm("serve.stall_worker=always");
+  const std::uint64_t cancelled_before =
+      CounterValueOf(util::SnapshotMetrics(), "serve.cancelled");
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  // Query 42 goes into the stalled daemon; the kCancel for it is processed
+  // by the reader (kOk ack) before any worker can triage it.
+  ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[0], 3, /*id=*/42)));
+  store::ChunkBuilder cancel_payload;
+  serve::PutControl(42, &cancel_payload);
+  ASSERT_TRUE(SendAll(
+      fd, BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                          static_cast<std::uint32_t>(serve::FrameType::kCancel),
+                          cancel_payload)));
+  serve::FrameType type = serve::FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+            serve::ReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(type, serve::FrameType::kOk);
+  std::uint64_t id = 0;
+  ASSERT_TRUE(serve::GetControl(payload, &id, &error)) << error;
+  EXPECT_EQ(id, 42u);
+
+  // Un-stall and send query 43: the next frame on the wire must be 43's
+  // hits — 42 was skipped, not answered late.
+  util::ClearFailpoints();
+  ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[1], 3, /*id=*/43)));
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+            serve::ReadStatus::kFrame)
+      << error;
+  ASSERT_EQ(type, serve::FrameType::kHits);
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(serve::GetHits(payload, &id, &hits, &error)) << error;
+  EXPECT_EQ(id, 43u);
+  ExpectSameHits(hits, reference.TopK(queries[1], 3));
+  ::close(fd);
+  EXPECT_EQ(CounterValueOf(util::SnapshotMetrics(), "serve.cancelled") -
+                cancelled_before,
+            1u);
+}
+
+TEST_F(ServeTest, SlowWriterIsDisconnectedAtIoTimeoutWithoutStallingOthers) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 181);
+  const std::string index_path = TempPath("serve_slow.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const std::string socket_path = TempPath("serve_slow.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1,
+                  /*batch_max=*/8, [](serve::ServerConfig* config) {
+                    config->io_timeout_ms = 300;
+                  });
+  ASSERT_TRUE(harness.started());
+  const auto queries = SyntheticFeatures(1, 182);
+  const std::uint64_t timeouts_before =
+      CounterValueOf(util::SnapshotMetrics(), "serve.io_timeouts");
+
+  // The slow writer: a valid frame start, then silence. The reader's frame
+  // assembly clock is armed by the first byte; the whole frame never
+  // arrives, so at io_timeout_ms the daemon must cut the connection loose.
+  const std::vector<std::uint8_t> frame = BuildTopKFrameBytes(queries[0], 3);
+  const int slow_fd = ConnectRaw(socket_path);
+  ASSERT_GE(slow_fd, 0);
+  ASSERT_TRUE(SendAll(slow_fd, std::vector<std::uint8_t>(
+                                   frame.begin(), frame.begin() + 40)));
+  const auto start = std::chrono::steady_clock::now();
+
+  // Meanwhile a healthy client on the same single-worker daemon is not
+  // blocked behind the trickler.
+  serve::Client healthy;
+  ASSERT_TRUE(healthy.Connect(socket_path, &error)) << error;
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(healthy.TopK(queries[0], 3, &hits, &error)) << error;
+  ExpectSameHits(hits, reference.TopK(queries[0], 3));
+
+  // The slow connection gets an error reply and/or a close, well before
+  // our 10 s recv timeout would call it a hang.
+  std::uint8_t buffer[256];
+  bool closed = false;
+  for (int i = 0; i < 8 && !closed; ++i) {
+    const ssize_t n = ::recv(slow_fd, buffer, sizeof(buffer), 0);
+    if (n == 0) closed = true;
+    ASSERT_FALSE(n < 0 && errno != EINTR) << "slow writer hung, not cut";
+  }
+  EXPECT_TRUE(closed);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5000) << "disconnect was not bounded";
+  EXPECT_GE(CounterValueOf(util::SnapshotMetrics(), "serve.io_timeouts") -
+                timeouts_before,
+            1u);
+  ::close(slow_fd);
+
+  // And the daemon still serves.
+  ASSERT_TRUE(healthy.TopK(queries[0], 3, &hits, &error)) << error;
+}
+
+TEST_F(ServeTest, DrainWindowExpiryAnswersShuttingDown) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 191);
+  const std::string index_path = TempPath("serve_drainx.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_drainx.sock");
+  auto harness = std::make_unique<Harness>(
+      model, index_path, socket_path, /*workers=*/1, /*batch_max=*/1,
+      [](serve::ServerConfig* config) { config->drain_timeout_ms = 30; });
+  ASSERT_TRUE(harness->started());
+
+  // Six queries against a worker that needs 250 ms per one-query batch and
+  // a 30 ms drain window: the window must close with work still queued, and
+  // every unanswered query gets an explicit kShuttingDown — not silence.
+  Arm("serve.stall_worker=always");
+  const std::uint64_t dropped_before =
+      CounterValueOf(util::SnapshotMetrics(), "serve.drain_dropped");
+  const auto queries = SyntheticFeatures(6, 192);
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  for (std::uint64_t i = 0; i < queries.size(); ++i) {
+    ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[i], 3, 500 + i)));
+  }
+  // Make sure the queries are actually queued before pulling the plug.
+  serve::Client probe;
+  std::string error;
+  ASSERT_TRUE(probe.Connect(socket_path, &error)) << error;
+  for (int i = 0; i < 500; ++i) {
+    serve::HealthInfo info;
+    ASSERT_TRUE(probe.Health(&info, &error)) << error;
+    if (info.queue_depth >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  harness.reset();  // RequestStop + join: the drain window runs and expires
+
+  std::vector<bool> refused(queries.size(), false);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    serve::FrameType type = serve::FrameType::kPing;
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+              serve::ReadStatus::kFrame)
+        << error;
+    ASSERT_EQ(type, serve::FrameType::kShuttingDown);
+    std::uint64_t id = 0;
+    ASSERT_TRUE(serve::GetControl(payload, &id, &error)) << error;
+    ASSERT_GE(id, 500u);
+    ASSERT_LT(id - 500, refused.size());
+    EXPECT_FALSE(refused[id - 500]);
+    refused[id - 500] = true;
+  }
+  ::close(fd);
+  EXPECT_EQ(CounterValueOf(util::SnapshotMetrics(), "serve.drain_dropped") -
+                dropped_before,
+            queries.size());
+}
+
+// ---------------------------------------------------------------------------
+// The retrying client
+
+TEST_F(ServeTest, RetryBackoffIsSeededAndBounded) {
+  util::Rng a(0), b(0);
+  a.Reseed(42);
+  b.Reseed(42);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(serve::RetryBackoffMs(10, 1000, attempt, &a),
+              serve::RetryBackoffMs(10, 1000, attempt, &b))
+        << "attempt " << attempt;
+  }
+  // Every draw lands in [full/2, full] where full = min(cap, base << n) —
+  // jittered enough to spread a herd, floored enough to still back off.
+  util::Rng c(0);
+  c.Reseed(7);
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    const std::uint64_t full =
+        attempt >= 32 ? 1000
+                      : std::min<std::uint64_t>(1000, 10ull << attempt);
+    const std::uint64_t backoff = serve::RetryBackoffMs(10, 1000, attempt, &c);
+    EXPECT_LE(backoff, full) << "attempt " << attempt;
+    EXPECT_GE(backoff, full / 2) << "attempt " << attempt;
+  }
+}
+
+TEST_F(ServeTest, ClientReconnectsAndRetriesAcrossDaemonRestart) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 201);
+  const std::string index_path = TempPath("serve_restart.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  core::SearchIndex reference(model);
+  std::string error;
+  ASSERT_TRUE(reference.Load(index_path, &error)) << error;
+  const std::string socket_path = TempPath("serve_restart.sock");
+  const auto queries = SyntheticFeatures(2, 202);
+
+  auto harness = std::make_unique<Harness>(model, index_path, socket_path,
+                                           /*workers=*/1);
+  ASSERT_TRUE(harness->started());
+  serve::ClientOptions options;
+  options.max_retries = 5;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 20;
+  options.retry_seed = 7;
+  serve::Client client;
+  ASSERT_TRUE(client.Connect(socket_path, options, &error)) << error;
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(client.TopK(queries[0], 3, &hits, &error)) << error;
+  EXPECT_EQ(client.retries(), 0);
+
+  // Restart the daemon under the client's feet. Its next query hits a dead
+  // socket, reconnects, retries, and succeeds — bitwise-identically.
+  harness.reset();
+  harness = std::make_unique<Harness>(model, index_path, socket_path,
+                                      /*workers=*/1);
+  ASSERT_TRUE(harness->started());
+  ASSERT_TRUE(client.TopK(queries[1], 3, &hits, &error)) << error;
+  EXPECT_GE(client.retries(), 1);
+  ExpectSameHits(hits, reference.TopK(queries[1], 3));
+}
+
+TEST_F(ServeTest, MutationsAreNeverRetriedButIdempotentOpsAre) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 211);
+  const std::string index_path = TempPath("serve_idem.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_idem.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+
+  serve::ClientOptions options;
+  options.max_retries = 3;
+  options.backoff_base_ms = 5;
+  options.backoff_cap_ms = 20;
+  std::string error;
+
+  // The same injected fault both times: serve.accept=once makes the daemon
+  // accept and immediately drop the connection, so the first exchange dies
+  // in transport — exactly the ambiguity where a reload might still have
+  // applied. The client must fail the mutation, not replay it.
+  {
+    Arm("serve.accept=once");
+    serve::Client client;
+    ASSERT_TRUE(client.Connect(socket_path, options, &error)) << error;
+    EXPECT_FALSE(client.Reload(&error));
+    EXPECT_EQ(client.retries(), 0) << "a mutation was retried";
+  }
+
+  // The identical fault against an idempotent op is retried to success.
+  {
+    Arm("serve.accept=once");
+    serve::Client client;
+    ASSERT_TRUE(client.Connect(socket_path, options, &error)) << error;
+    EXPECT_TRUE(client.Ping(&error)) << error;
+    EXPECT_GE(client.retries(), 1);
+  }
+}
+
+TEST_F(ServeTest, HealthProbeReportsDaemonState) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(20, 221);
+  const std::string index_path = TempPath("serve_health.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_health.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/2);
+  ASSERT_TRUE(harness.started());
+
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  serve::HealthInfo info;
+  ASSERT_TRUE(client.Health(&info, &error)) << error;
+  EXPECT_EQ(info.index_size, 20u);
+  EXPECT_EQ(info.queue_depth, 0u);  // idle daemon
+  EXPECT_EQ(info.connections, 1u);  // just us
+  EXPECT_FALSE(info.draining);
+}
+
+TEST_F(ServeTest, MaxConnsRejectsTheExcessConnection) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 231);
+  const std::string index_path = TempPath("serve_conns.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_conns.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1,
+                  /*batch_max=*/8, [](serve::ServerConfig* config) {
+                    config->max_conns = 2;
+                  });
+  ASSERT_TRUE(harness.started());
+  const std::uint64_t rejected_before =
+      CounterValueOf(util::SnapshotMetrics(), "serve.conn_rejected");
+
+  serve::Client first;
+  serve::Client second;
+  std::string error;
+  ASSERT_TRUE(first.Connect(socket_path, &error)) << error;
+  ASSERT_TRUE(first.Ping(&error)) << error;  // round trip = registered
+  ASSERT_TRUE(second.Connect(socket_path, &error)) << error;
+  ASSERT_TRUE(second.Ping(&error)) << error;
+
+  // The third connection is told why and hung up on — not left dangling in
+  // the accept backlog.
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  serve::FrameType type = serve::FrameType::kPing;
+  std::vector<std::uint8_t> payload;
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+            serve::ReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(type, serve::FrameType::kOverloaded);
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // clean close after the reply
+  ::close(fd);
+  EXPECT_EQ(CounterValueOf(util::SnapshotMetrics(), "serve.conn_rejected") -
+                rejected_before,
+            1u);
+
+  // Freeing a slot re-admits: close the first client and wait for its
+  // reader to deregister, then a new client gets in.
+  first.Close();
+  for (int i = 0; i < 500; ++i) {
+    serve::HealthInfo info;
+    ASSERT_TRUE(second.Health(&info, &error)) << error;
+    if (info.connections <= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  serve::Client third;
+  ASSERT_TRUE(third.Connect(socket_path, &error)) << error;
+  EXPECT_TRUE(third.Ping(&error)) << error;
 }
 
 }  // namespace

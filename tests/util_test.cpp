@@ -506,6 +506,41 @@ TEST(MpmcQueueTest, CloseWakesBlockedConsumersAndProducers) {
   producer.join();
 }
 
+TEST(MpmcQueueTest, TryPushShedsInsteadOfBlocking) {
+  MpmcQueue<int> queue(4);
+  // No high-water mark: the full capacity is the admission limit.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.TryPush(i));
+  EXPECT_FALSE(queue.TryPush(99));  // full: refuse, don't block
+  EXPECT_EQ(queue.size(), 4u);
+  int value = -1;
+  EXPECT_TRUE(queue.Pop(&value));
+  EXPECT_EQ(value, 0);
+  EXPECT_TRUE(queue.TryPush(4));  // a pop re-opens admission
+}
+
+TEST(MpmcQueueTest, TryPushHonorsTheHighWaterMark) {
+  MpmcQueue<int> queue(8);
+  // A high-water mark below capacity sheds early, leaving headroom.
+  EXPECT_TRUE(queue.TryPush(1, /*high_water=*/2));
+  EXPECT_TRUE(queue.TryPush(2, /*high_water=*/2));
+  EXPECT_FALSE(queue.TryPush(3, /*high_water=*/2));
+  // A mark above capacity clamps to capacity.
+  MpmcQueue<int> small(2);
+  EXPECT_TRUE(small.TryPush(1, /*high_water=*/100));
+  EXPECT_TRUE(small.TryPush(2, /*high_water=*/100));
+  EXPECT_FALSE(small.TryPush(3, /*high_water=*/100));
+}
+
+TEST(MpmcQueueTest, TryPushFailsOnAClosedQueue) {
+  MpmcQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(2));
+  int value = 0;
+  EXPECT_TRUE(queue.Pop(&value));  // queued items still drain after close
+  EXPECT_EQ(value, 1);
+}
+
 TEST(MpmcQueueTest, ManyProducersManyConsumersDeliverEveryItemExactlyOnce) {
   // TSan-facing stress: 4 producers x 4 consumers over a tiny queue so
   // both condvars see real contention. Every pushed value must arrive at

@@ -32,8 +32,11 @@
 //                                              and report per-query latency
 //                                              (the warm path of
 //                                              scripts/bench_serve.sh)
-//   asteria-cli ctl <ping|reload|shutdown> --socket=PATH
-//                                              control a running daemon
+//   asteria-cli ctl <ping|health|reload|shutdown> --socket=PATH
+//                                              control a running daemon;
+//                                              `health` prints index size,
+//                                              queue depth, connection count,
+//                                              and whether it is draining
 //   asteria-cli fw-gen <out_dir> <count> [seed]
 //                                              pack synthetic firmware images
 //                                              as <out_dir>/img-<seed>-<i>.fw
@@ -55,8 +58,20 @@
 //                                              re-run the CVE library queries
 //                                              against only the shards newer
 //                                              than the manifest's searched
-//                                              high-water mark, then advance
-//                                              the mark
+//                                              high-water mark, append every
+//                                              hit to the persistent
+//                                              <index_dir>/alerts.jsonl CVE
+//                                              log, then advance the mark
+//   asteria-cli alerts <index_dir>             print the accumulated CVE-alert
+//                                              log (crash-torn or corrupted
+//                                              lines are skipped and counted)
+//
+// Client request-lifecycle flags for `query` and `ctl` (docs/SERVING.md):
+// --deadline_ms=N stamps each request's frame header with a time budget the
+// daemon enforces at dequeue; --retries=N retries idempotent operations
+// (never reload/shutdown) with jittered exponential backoff over reconnect,
+// shed (kOverloaded), and drain (kShuttingDown); --retry_seed=N pins the
+// jitter rng for reproducible timing.
 //
 // ISAs: x86 x64 ARM PPC (default x86).
 //
@@ -125,6 +140,18 @@ long g_repeat = 1;           // set by --repeat=N (query latency loops)
 std::string g_weights;       // set by --weights=FILE (ingest/delta-search)
 std::string g_drop_dir;      // set by --drop_dir=DIR (ingest)
 bool g_compact = false;      // set by --compact (ingest)
+long g_deadline_ms = 0;      // set by --deadline_ms=N (query/ctl)
+long g_retries = 0;          // set by --retries=N (query/ctl)
+long g_retry_seed = 0;       // set by --retry_seed=N (query/ctl)
+
+// Client options for `query`/`ctl`, folding in the request-lifecycle flags.
+serve::ClientOptions CliClientOptions() {
+  serve::ClientOptions options;
+  options.deadline_ms = static_cast<std::uint64_t>(g_deadline_ms);
+  options.max_retries = static_cast<int>(g_retries);
+  options.retry_seed = static_cast<std::uint64_t>(g_retry_seed);
+  return options;
+}
 
 // Model config for every command: the fused tape-free encode kernel unless
 // --fast_encoder=0 asks for the autograd reference path (the two produce
@@ -140,10 +167,11 @@ int Usage() {
       stderr,
       "usage: asteria-cli <gen|compile|decompile|dot|stats|sim|search|"
       "index-build|index-info|index-query|query|ctl|run|failpoints|"
-      "fw-gen|ingest|delta-search> "
+      "fw-gen|ingest|delta-search|alerts> "
       "[--threads=N] [--fast_encoder=0|1] [--failpoints=SPEC] "
       "[--log_level=LEVEL] [--metrics_out=FILE] [--socket=PATH] "
-      "[--repeat=N] [--weights=FILE] [--drop_dir=DIR] [--compact] ...\n"
+      "[--repeat=N] [--weights=FILE] [--drop_dir=DIR] [--compact] "
+      "[--deadline_ms=N] [--retries=N] [--retry_seed=N] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
 }
@@ -621,7 +649,7 @@ int CmdQuery(int argc, char** argv) {
 
   serve::Client client;
   std::string error;
-  if (!client.Connect(g_socket, &error)) {
+  if (!client.Connect(g_socket, CliClientOptions(), &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
@@ -653,16 +681,31 @@ int CmdCtl(int argc, char** argv) {
   const std::string action = argv[2];
   serve::Client client;
   std::string error;
-  if (!client.Connect(g_socket, &error)) {
+  if (!client.Connect(g_socket, CliClientOptions(), &error)) {
     std::fprintf(stderr, "%s\n", error.c_str());
     return 1;
   }
   bool ok = false;
   if (action == "ping") ok = client.Ping(&error);
-  else if (action == "reload") ok = client.Reload(&error);
+  else if (action == "health") {
+    serve::HealthInfo info;
+    if (!client.Health(&info, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "health: index_size=%llu queue_depth=%llu connections=%llu "
+        "draining=%d\n",
+        static_cast<unsigned long long>(info.index_size),
+        static_cast<unsigned long long>(info.queue_depth),
+        static_cast<unsigned long long>(info.connections),
+        info.draining ? 1 : 0);
+    return 0;
+  } else if (action == "reload") ok = client.Reload(&error);
   else if (action == "shutdown") ok = client.Shutdown(&error);
   else {
-    std::fprintf(stderr, "ctl: unknown action '%s' (ping|reload|shutdown)\n",
+    std::fprintf(stderr,
+                 "ctl: unknown action '%s' (ping|health|reload|shutdown)\n",
                  action.c_str());
     return 2;
   }
@@ -849,6 +892,34 @@ int CmdDeltaSearch(int argc, char** argv) {
   return 0;
 }
 
+// Prints the persistent CVE-alert log accumulated by delta-search runs.
+// Crash-torn or corrupted lines are skipped by the reader and only
+// counted, so a dirty log is still fully consultable.
+int CmdAlerts(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::vector<ingest::AlertRecord> alerts;
+  int corrupt_lines = 0;
+  std::string error;
+  if (!ingest::ReadAlertLog(argv[2], &alerts, &corrupt_lines, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  util::TextTable table({"seq", "CVE", "software", "function", "hit", "F"});
+  for (const ingest::AlertRecord& alert : alerts) {
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.6f", alert.score);
+    table.AddRow({std::to_string(alert.seq), alert.cve, alert.software,
+                  alert.function, alert.hit, score});
+  }
+  std::fputs(table.ToString().c_str(), stdout);
+  std::printf("%zu alert(s)", alerts.size());
+  if (corrupt_lines > 0) {
+    std::printf(", %d corrupt line(s) skipped", corrupt_lines);
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -953,6 +1024,39 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--deadline_ms=", 14) == 0) {
+      if (!ParseInt(argv[i] + 14, &g_deadline_ms) || g_deadline_ms < 0) {
+        std::fprintf(
+            stderr,
+            "bad --deadline_ms value '%s' (expected a non-negative integer)\n",
+            argv[i] + 14);
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--retries=", 10) == 0) {
+      if (!ParseInt(argv[i] + 10, &g_retries) || g_retries < 0) {
+        std::fprintf(
+            stderr,
+            "bad --retries value '%s' (expected a non-negative integer)\n",
+            argv[i] + 10);
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--retry_seed=", 13) == 0) {
+      if (!ParseInt(argv[i] + 13, &g_retry_seed) || g_retry_seed < 0) {
+        std::fprintf(
+            stderr,
+            "bad --retry_seed value '%s' (expected a non-negative integer)\n",
+            argv[i] + 13);
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     }
   }
   int rc = 2;
@@ -977,6 +1081,7 @@ int main(int argc, char** argv) {
     else if (command == "fw-gen") rc = CmdFwGen(argc, argv);
     else if (command == "ingest") rc = CmdIngest(argc, argv);
     else if (command == "delta-search") rc = CmdDeltaSearch(argc, argv);
+    else if (command == "alerts") rc = CmdAlerts(argc, argv);
     else rc = Usage();
   }
   // Emit the snapshot even when the command failed: a run that tripped a

@@ -2,8 +2,10 @@
 //
 //   asteria-serve --socket=PATH --index=SNAPSHOT [--weights=FILE]
 //                 [--workers=N] [--batch_max=N] [--queue=N] [--threads=N]
-//                 [--fast_encoder=0|1] [--failpoints=SPEC]
-//                 [--log_level=LEVEL] [--metrics_out=FILE]
+//                 [--queue_high_water=N] [--io_timeout_ms=N] [--max_conns=N]
+//                 [--drain_timeout_ms=N] [--fast_encoder=0|1]
+//                 [--failpoints=SPEC] [--log_level=LEVEL]
+//                 [--metrics_out=FILE]
 //
 // Loads the model weights and the index once — --index may be a monolithic
 // INDX snapshot or a MANI shard manifest (sharded results are bitwise
@@ -60,6 +62,18 @@ int main(int argc, char** argv) {
                   "max queries coalesced into one scoring pass");
   flags.DefineInt("queue", 256, "bounded request queue capacity");
   flags.DefineInt("threads", 1, "scoring threads inside a batch");
+  flags.DefineInt("queue_high_water", 0,
+                  "shed queries (kOverloaded) once the queue holds this many "
+                  "(0 = shed only at --queue capacity)");
+  flags.DefineInt("io_timeout_ms", 5000,
+                  "max ms between a frame's first and last byte, and the "
+                  "socket send timeout (0 = unbounded)");
+  flags.DefineInt("max_conns", 64,
+                  "connection cap; over-limit connects get kOverloaded then "
+                  "close (0 = unlimited)");
+  flags.DefineInt("drain_timeout_ms", 2000,
+                  "on shutdown, queued queries get this long to finish "
+                  "before the remainder is answered kShuttingDown");
   flags.DefineBool("fast_encoder", true,
                    "use the fused tape-free encode kernel");
   flags.DefineString("failpoints", "",
@@ -81,6 +95,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "asteria-serve: --workers, --batch_max, --queue, and "
                  "--threads must be >= 1\n");
+    return 2;
+  }
+  if (flags.GetInt("queue_high_water") < 0 ||
+      flags.GetInt("io_timeout_ms") < 0 || flags.GetInt("max_conns") < 0 ||
+      flags.GetInt("drain_timeout_ms") < 0) {
+    std::fprintf(stderr,
+                 "asteria-serve: --queue_high_water, --io_timeout_ms, "
+                 "--max_conns, and --drain_timeout_ms must be >= 0\n");
     return 2;
   }
   util::LogLevel level = util::LogLevel::kInfo;
@@ -120,6 +142,10 @@ int main(int argc, char** argv) {
   config.batch_max = static_cast<int>(flags.GetInt("batch_max"));
   config.queue_capacity = static_cast<int>(flags.GetInt("queue"));
   config.score_threads = static_cast<int>(flags.GetInt("threads"));
+  config.queue_high_water = static_cast<int>(flags.GetInt("queue_high_water"));
+  config.io_timeout_ms = static_cast<int>(flags.GetInt("io_timeout_ms"));
+  config.max_conns = static_cast<int>(flags.GetInt("max_conns"));
+  config.drain_timeout_ms = static_cast<int>(flags.GetInt("drain_timeout_ms"));
 
   serve::Server server(model, config);
   std::string error;
