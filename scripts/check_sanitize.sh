@@ -16,6 +16,10 @@
 # sharded loads at several thread counts, AppendTo compaction, the
 # crash-publish failpoint matrix, and an in-process daemon reload poke —
 # under both sanitizers (docs/ARCHITECTURE.md "Incremental ingest").
+# search_index_test runs the packed/pruned TopK differential battery —
+# blocked-GEMM sweep vs brute-force reference at threads 1/2/8 on monolithic
+# and sharded indexes — so TSan covers the lazy side-index rebuild and the
+# shard-local heap merge (docs/PERFORMANCE.md "Sub-linear TopK").
 # CI-friendly: exits non-zero on build failure, test failure, or any
 # sanitizer report.
 #
@@ -36,7 +40,8 @@ cmake -S "$ROOT" -B "$BUILD" -DASTERIA_SANITIZE="$SANITIZER" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD" -j "$(nproc)" --target \
       util_test determinism_test core_test dataset_test store_test \
-      robustness_test fast_encoder_test metrics_test serve_test ingest_test
+      search_index_test robustness_test fast_encoder_test metrics_test \
+      serve_test ingest_test
 
 # halt_on_error turns any sanitizer report into a non-zero exit so CI fails
 # even if the race would not otherwise crash the test.
@@ -44,8 +49,8 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=0"
 
 for test in util_test determinism_test core_test dataset_test store_test \
-            robustness_test fast_encoder_test metrics_test serve_test \
-            ingest_test; do
+            search_index_test robustness_test fast_encoder_test metrics_test \
+            serve_test ingest_test; do
   echo "== $SANITIZER: $test =="
   "$BUILD/tests/$test" --gtest_brief=1
 done

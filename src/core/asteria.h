@@ -62,6 +62,16 @@ class AsteriaModel {
                                  const nn::Matrix& b) const {
     return siamese_.SimilarityFromEncodings(a, b);
   }
+  // Batched online scoring: out[i] = M over the encoding pair (a[i], b[i]),
+  // each a hidden_dim-length column. One blocked GEMM per block instead of
+  // per-pair feature allocations; bitwise identical per pair to
+  // SimilarityFromEncodings (see SiameseModel::SimilarityFromEncodingsBatch).
+  void SimilarityFromEncodingsBatch(const double* const* a,
+                                    const double* const* b, int count,
+                                    double* out,
+                                    EncodingScoreScratch* scratch) const {
+    siamese_.SimilarityFromEncodingsBatch(a, b, count, out, scratch);
+  }
 
   // One SGD step; returns the pair loss.
   double TrainPair(const ast::BinaryAst& a, const ast::BinaryAst& b,

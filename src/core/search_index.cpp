@@ -1,8 +1,11 @@
 #include "core/search_index.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <exception>
+#include <limits>
 #include <utility>
 
 #include "store/container.h"
@@ -29,13 +32,21 @@ util::Histogram h_topk_size("search.topk_size");
 // gates (scripts/check_serve.sh) filter "*batch*" histograms wholesale.
 util::Histogram h_topk_batch_queries("search.topk_batch_queries");
 util::Histogram h_topk_batch_nanos("search.topk_batch_nanos");
+// Prune accounting, bumped once per sweep with shard-order totals (never in
+// the scoring inner loop), so metrics cost does not scale with index size.
+// Prune decisions depend only on callee counts and deterministic seed
+// scores, so both totals are thread-count invariant.
+util::Counter c_scored_pairs("search.scored_pairs");
+util::Counter c_pruned_pairs("search.pruned_pairs");
 
-bool AllFinite(const nn::Matrix& m) {
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    if (!std::isfinite(m.data()[i])) return false;
+bool AllFinite(const double* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
   }
   return true;
 }
+
+bool AllFinite(const nn::Matrix& m) { return AllFinite(m.data(), m.size()); }
 
 // Index-snapshot chunk tags and schema version (see docs/FORMATS.md).
 constexpr std::uint32_t kTagIndexMeta = store::FourCc('I', 'M', 'E', 'T');
@@ -49,16 +60,204 @@ bool HitBefore(const SearchHit& a, const SearchHit& b) {
   return a.index < b.index;
 }
 
+// -- Exact prefilter machinery ---------------------------------------------
+//
+// F = M * S with M <= 1 and S = e^{-|C1-C2|}, so S alone upper-bounds the
+// calibrated score. The table below caches S for every integer distance the
+// double format can distinguish (e^-746 already underflows to 0.0), holding
+// the exact std::exp values CalleeSimilarity produces — scoring through the
+// table is bitwise identical to calling std::exp per pair.
+
+constexpr std::int64_t kExpTableSize = 768;
+
+const std::array<double, kExpTableSize>& NegExpTable() {
+  static const std::array<double, kExpTableSize> table = [] {
+    std::array<double, kExpTableSize> t{};
+    for (std::int64_t d = 0; d < kExpTableSize; ++d) {
+      t[static_cast<std::size_t>(d)] = std::exp(-static_cast<double>(d));
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::int64_t CalleeDistance(int a, int b) {
+  return std::abs(static_cast<std::int64_t>(a) - static_cast<std::int64_t>(b));
+}
+
+// S(C1, C2) by table lookup — the same value CalleeSimilarity returns.
+double CalleeSimFromDistance(std::int64_t d) {
+  if (d < kExpTableSize) return NegExpTable()[static_cast<std::size_t>(d)];
+  return std::exp(-static_cast<double>(d));
+}
+
+// The prune compares against S * kPruneSlack rather than S itself. For the
+// classification head M <= 1 holds bitwise (a softmax output never rounds
+// above 1), so F = fl(M*S) <= S exactly. The regression head's cosine can
+// exceed 1 by a few ulps of accumulated rounding (~1e-14 relative), so a
+// 1e-9 slack — five orders of magnitude of margin, far too small to weaken
+// the prune in practice — keeps the skip provably safe for both heads.
+// docs/PERFORMANCE.md has the full argument.
+constexpr double kPruneSlack = 1.0 + 1e-9;
+
+double PruneBound(std::int64_t d) {
+  const std::int64_t clamped = d < kExpTableSize ? d : kExpTableSize - 1;
+  return NegExpTable()[static_cast<std::size_t>(clamped)] * kPruneSlack;
+}
+
+// Sentinel: no distance can be excluded — score every entry.
+constexpr std::int64_t kNoDistanceCut = std::numeric_limits<std::int64_t>::max();
+
+// Largest |ΔC| whose calibration bound can still reach `floor`. Returns
+// kNoDistanceCut when nothing is excludable (floor <= 0 or NaN, or even the
+// underflowed tail of the table clears it) and -1 when even distance 0
+// cannot reach the floor (every entry is excluded).
+std::int64_t MaxAllowedDistance(double floor) {
+  if (!(floor > 0.0)) return kNoDistanceCut;
+  if (PruneBound(kExpTableSize - 1) >= floor) return kNoDistanceCut;
+  if (PruneBound(0) < floor) return -1;
+  // The bound is monotone non-increasing in d: binary search the last
+  // allowed distance. Invariant: bound(lo) >= floor > bound(hi).
+  std::int64_t lo = 0, hi = kExpTableSize - 1;
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (PruneBound(mid) >= floor) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Gathers (query, entry column) pairs and scores a full block with one
+// SimilarityFromEncodingsBatch call (one feature matrix + one blocked GEMM
+// per flush). One instance per worker; buffers are reused across flushes.
+class BlockScorer {
+ public:
+  // How many pairs a flush scores at once: large enough that the GEMM and
+  // the sigmoid/exp loops amortize call overhead, small enough that the
+  // feature block (kPairsPerBlock x 2h doubles) stays cache-resident.
+  static constexpr int kPairsPerBlock = 256;
+
+  explicit BlockScorer(const AsteriaModel& model) : model_(model) {
+    a_.reserve(kPairsPerBlock);
+    b_.reserve(kPairsPerBlock);
+    tags_.reserve(kPairsPerBlock);
+    m_.resize(kPairsPerBlock);
+  }
+
+  bool Full() const { return static_cast<int>(a_.size()) >= kPairsPerBlock; }
+
+  void Push(const double* query, const double* entry, int query_slot,
+            int entry_index) {
+    a_.push_back(query);
+    b_.push_back(entry);
+    tags_.push_back({query_slot, entry_index});
+  }
+
+  // Scores pending pairs and invokes sink(query_slot, entry_index, m) for
+  // each, in push order.
+  template <typename Sink>
+  void Flush(Sink&& sink) {
+    const int count = static_cast<int>(a_.size());
+    if (count == 0) return;
+    model_.SimilarityFromEncodingsBatch(a_.data(), b_.data(), count,
+                                        m_.data(), &scratch_);
+    for (int p = 0; p < count; ++p) {
+      sink(tags_[static_cast<std::size_t>(p)].first,
+           tags_[static_cast<std::size_t>(p)].second,
+           m_[static_cast<std::size_t>(p)]);
+    }
+    a_.clear();
+    b_.clear();
+    tags_.clear();
+  }
+
+ private:
+  const AsteriaModel& model_;
+  std::vector<const double*> a_, b_;
+  std::vector<std::pair<int, int>> tags_;
+  std::vector<double> m_;
+  EncodingScoreScratch scratch_;
+};
+
+// Prune activation cut-offs. Below kMinPruneIndex entries the brute sweep
+// is already microseconds; above kMaxPruneK kept hits the serial seed pass
+// would cost more than it saves. Both depend only on (N, k), never on the
+// thread count, so the pruned set stays deterministic.
+constexpr std::int64_t kMinPruneIndex = 2048;
+constexpr std::size_t kMaxPruneK = 512;
+
 }  // namespace
+
+// Strict total order on (score, insertion index) refs — HitBefore without
+// the materialized name. Templated so the file-local helpers never have to
+// name the private SearchIndex::ScoredRef type.
+template <typename Ref>
+static bool RefBefore(const Ref& a, const Ref& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.index < b.index;
+}
+
+// Keeps at most `keep` best refs in a worst-on-top heap (the shard-local
+// top-k scheme every sweep shares).
+template <typename Ref>
+static void PushHeapKeep(std::vector<Ref>* heap, std::size_t keep, Ref ref) {
+  auto worse = [](const Ref& a, const Ref& b) {
+    return RefBefore(a, b);  // heap top = worst kept ref
+  };
+  if (heap->size() < keep) {
+    heap->push_back(ref);
+    std::push_heap(heap->begin(), heap->end(), worse);
+  } else if (RefBefore(ref, heap->front())) {
+    std::pop_heap(heap->begin(), heap->end(), worse);
+    heap->back() = ref;
+    std::push_heap(heap->begin(), heap->end(), worse);
+  }
+}
+
+// Per-query sweep state: the encoded query plus the exact-prune cut derived
+// from its callee-nearest seed entries.
+struct SearchIndex::QueryPlan {
+  const double* encoding = nullptr;
+  int callees = 0;
+  std::size_t keep = 0;      // TopK: heap size; 0 disables scoring entirely
+  std::int64_t max_dist = kNoDistanceCut;  // skip entries with |ΔC| beyond
+  std::int64_t seed_lo = 0, seed_hi = 0;   // side positions already scored
+  std::vector<ScoredRef> seed_heap;        // their top-keep refs
+};
+
+double* SearchIndex::PackedColumns::AppendColumn() {
+  const std::int64_t block = count_ / kBlockCols;
+  if (block == static_cast<std::int64_t>(blocks_.size())) {
+    blocks_.push_back(std::make_unique<double[]>(
+        static_cast<std::size_t>(kBlockCols) * static_cast<std::size_t>(dim_)));
+  }
+  double* column = blocks_[static_cast<std::size_t>(block)].get() +
+                   (count_ % kBlockCols) * dim_;
+  ++count_;
+  return column;
+}
+
+SearchIndex::SearchIndex(const AsteriaModel& model, int threads)
+    : model_(model),
+      threads_(threads < 1 ? 1 : threads),
+      hidden_dim_(model.config().siamese.encoder.hidden_dim) {
+  packed_.Reset(hidden_dim_);
+}
 
 int SearchIndex::Add(const FunctionFeature& feature) {
   ASTERIA_SPAN("encode");
   util::Timer timer;
-  Entry entry;
-  entry.name = feature.name;
-  entry.encoding = model_.Encode(feature.tree);
-  entry.callee_count = feature.callee_count;
-  entries_.push_back(std::move(entry));
+  const nn::Matrix encoding = model_.Encode(feature.tree);
+  std::memcpy(packed_.AppendColumn(), encoding.data(),
+              static_cast<std::size_t>(hidden_dim_) * sizeof(double));
+  EntryMeta meta;
+  meta.name = feature.name;
+  meta.callee_count = feature.callee_count;
+  entries_.push_back(std::move(meta));
+  MarkSideIndexDirty();
   h_add_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
   return static_cast<int>(entries_.size()) - 1;
 }
@@ -67,16 +266,17 @@ int SearchIndex::AddEncoded(const std::string& name,
                             const nn::Matrix& encoding, int callee_count) {
   // Same shape/finiteness gate as Load: a foreign or corrupted encoding
   // must be rejected here, not discovered as garbage scores later.
-  const int hidden_dim = model_.config().siamese.encoder.hidden_dim;
-  if (encoding.rows() != hidden_dim || encoding.cols() != 1 ||
+  if (encoding.rows() != hidden_dim_ || encoding.cols() != 1 ||
       !AllFinite(encoding)) {
     return -1;
   }
-  Entry entry;
-  entry.name = name;
-  entry.encoding = encoding;
-  entry.callee_count = callee_count;
-  entries_.push_back(std::move(entry));
+  std::memcpy(packed_.AppendColumn(), encoding.data(),
+              static_cast<std::size_t>(hidden_dim_) * sizeof(double));
+  EntryMeta meta;
+  meta.name = name;
+  meta.callee_count = callee_count;
+  entries_.push_back(std::move(meta));
+  MarkSideIndexDirty();
   return static_cast<int>(entries_.size()) - 1;
 }
 
@@ -85,10 +285,11 @@ util::PipelineReport SearchIndex::AddAll(
   util::PipelineReport report;
   report.stage = "index-encode";
   // Encode into staging slots so a failing feature never leaves a hole in
-  // entries_. Each worker writes only its own slot; the sequential compact
-  // pass below makes the surviving order (and the report) thread-count
-  // independent.
-  std::vector<Entry> staged(features.size());
+  // the packed matrix. Each worker writes only its own slot; the sequential
+  // compact pass below makes the surviving order (and the report)
+  // thread-count independent.
+  std::vector<EntryMeta> staged_meta(features.size());
+  std::vector<nn::Matrix> staged_encoding(features.size());
   enum : char { kFailed = 0, kOk = 1, kSkipped = 2 };
   std::vector<char> outcome(features.size(), kFailed);
   std::vector<std::string> failure(features.size());
@@ -109,11 +310,10 @@ util::PipelineReport SearchIndex::AddAll(
           return;
         }
         try {
-          Entry& entry = staged[slot];
-          entry.name = feature.name;
-          entry.encoding = model_.Encode(feature.tree);
-          entry.callee_count = feature.callee_count;
-          if (!AllFinite(entry.encoding)) {
+          staged_meta[slot].name = feature.name;
+          staged_meta[slot].callee_count = feature.callee_count;
+          staged_encoding[slot] = model_.Encode(feature.tree);
+          if (!AllFinite(staged_encoding[slot])) {
             failure[slot] = feature.name + ": encoding has non-finite values";
             return;
           }
@@ -123,10 +323,12 @@ util::PipelineReport SearchIndex::AddAll(
         }
       });
   entries_.reserve(entries_.size() + features.size());
-  for (std::size_t i = 0; i < staged.size(); ++i) {
+  for (std::size_t i = 0; i < staged_meta.size(); ++i) {
     switch (outcome[i]) {
       case kOk:
-        entries_.push_back(std::move(staged[i]));
+        std::memcpy(packed_.AppendColumn(), staged_encoding[i].data(),
+                    static_cast<std::size_t>(hidden_dim_) * sizeof(double));
+        entries_.push_back(std::move(staged_meta[i]));
         report.AddOk();
         break;
       case kSkipped:
@@ -137,33 +339,302 @@ util::PipelineReport SearchIndex::AddAll(
         break;
     }
   }
+  MarkSideIndexDirty();
   util::PublishPipelineReport(report);
   return report;
 }
 
-SearchHit SearchIndex::ScoreEntry(const nn::Matrix& query_encoding,
-                                  int query_callees, int index) const {
-  const Entry& entry = entries_[static_cast<std::size_t>(index)];
-  SearchHit hit;
-  hit.index = index;
-  hit.name = entry.name;
-  hit.score = CalibratedSimilarity(
-      model_.SimilarityFromEncodings(query_encoding, entry.encoding),
-      query_callees, entry.callee_count);
-  return hit;
+nn::Matrix SearchIndex::encoding(int index) const {
+  nn::Matrix m(hidden_dim_, 1);
+  std::memcpy(m.data(), packed_.Column(index),
+              static_cast<std::size_t>(hidden_dim_) * sizeof(double));
+  return m;
 }
 
-std::vector<SearchHit> SearchIndex::Scored(
-    const FunctionFeature& query) const {
-  const nn::Matrix query_encoding = model_.Encode(query.tree);
-  std::vector<SearchHit> hits(entries_.size());
-  util::ParallelFor(static_cast<std::int64_t>(entries_.size()), threads_,
-                    [&](std::int64_t i) {
-                      hits[static_cast<std::size_t>(i)] = ScoreEntry(
-                          query_encoding, query.callee_count,
-                          static_cast<int>(i));
-                    });
-  return hits;
+void SearchIndex::EnsureSideIndexFresh() const {
+  if (!side_dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(side_mutex_);
+  if (!side_dirty_.load(std::memory_order_relaxed)) return;
+  const int n = size();
+  side_order_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) side_order_[static_cast<std::size_t>(i)] = i;
+  std::sort(side_order_.begin(), side_order_.end(), [&](int a, int b) {
+    const int ca = entries_[static_cast<std::size_t>(a)].callee_count;
+    const int cb = entries_[static_cast<std::size_t>(b)].callee_count;
+    if (ca != cb) return ca < cb;
+    return a < b;
+  });
+  side_pos_.resize(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    side_pos_[static_cast<std::size_t>(side_order_[static_cast<std::size_t>(p)])] = p;
+  }
+  side_dirty_.store(false, std::memory_order_release);
+}
+
+std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
+    const std::vector<nn::Matrix>& encodings, const std::vector<int>& callees,
+    const std::vector<std::size_t>& keeps) const {
+  const std::size_t batch = encodings.size();
+  const std::int64_t n = static_cast<std::int64_t>(entries_.size());
+  std::vector<std::vector<SearchHit>> results(batch);
+  if (batch == 0 || n == 0) return results;
+
+  // Phase 1 — per-query plans. When the prune is worth arming (large index,
+  // small k), pick the `keep` entries nearest the query's callee count in
+  // the side order, score them serially into a full heap, and derive the
+  // static distance cut from its worst score: any entry farther than
+  // max_dist has bound < that score and provably cannot displace a kept
+  // hit. Everything here is a pure function of (callee counts, k, scores),
+  // so plans — and therefore the skipped set — are thread-count invariant.
+  bool any_prune = false;
+  for (std::size_t q = 0; q < batch; ++q) {
+    if (keeps[q] > 0 && keeps[q] <= kMaxPruneK && n >= kMinPruneIndex) {
+      any_prune = true;
+      break;
+    }
+  }
+  if (any_prune) EnsureSideIndexFresh();
+  std::vector<QueryPlan> plans(batch);
+  std::vector<std::uint64_t> seed_scored(batch, 0);
+  util::ParallelFor(
+      static_cast<std::int64_t>(batch), threads_, [&](std::int64_t qi) {
+        const std::size_t q = static_cast<std::size_t>(qi);
+        QueryPlan& plan = plans[q];
+        plan.encoding = encodings[q].data();
+        plan.callees = callees[q];
+        plan.keep = keeps[q];
+        if (plan.keep == 0 || plan.keep > kMaxPruneK || n < kMinPruneIndex) {
+          return;  // no prune: the sweep scores every entry for this query
+        }
+        // Seed range: exactly `keep` side positions nearest the query's
+        // callee count, expanded one position at a time toward whichever
+        // neighbor is closer (ties toward larger counts — any fixed rule
+        // works, it only has to be deterministic).
+        std::int64_t lo =
+            std::lower_bound(side_order_.begin(), side_order_.end(),
+                             plan.callees,
+                             [&](int idx, int c) {
+                               return entries_[static_cast<std::size_t>(idx)]
+                                          .callee_count < c;
+                             }) -
+            side_order_.begin();
+        std::int64_t hi = lo;
+        while (hi - lo < static_cast<std::int64_t>(plan.keep)) {
+          bool take_right;
+          if (lo == 0) {
+            take_right = true;
+          } else if (hi == n) {
+            take_right = false;
+          } else {
+            const std::int64_t dr = CalleeDistance(
+                entries_[static_cast<std::size_t>(
+                             side_order_[static_cast<std::size_t>(hi)])]
+                    .callee_count,
+                plan.callees);
+            const std::int64_t dl = CalleeDistance(
+                entries_[static_cast<std::size_t>(
+                             side_order_[static_cast<std::size_t>(lo - 1)])]
+                    .callee_count,
+                plan.callees);
+            take_right = dr <= dl;
+          }
+          if (take_right) {
+            ++hi;
+          } else {
+            --lo;
+          }
+        }
+        plan.seed_lo = lo;
+        plan.seed_hi = hi;
+        plan.seed_heap.reserve(plan.keep + 1);
+        BlockScorer scorer(model_);
+        auto sink = [&](int, int entry, double m) {
+          const std::int64_t d = CalleeDistance(
+              entries_[static_cast<std::size_t>(entry)].callee_count,
+              plan.callees);
+          PushHeapKeep(&plan.seed_heap, plan.keep,
+                       {m * CalleeSimFromDistance(d), entry});
+        };
+        for (std::int64_t pos = lo; pos < hi; ++pos) {
+          const int entry = side_order_[static_cast<std::size_t>(pos)];
+          scorer.Push(plan.encoding, packed_.Column(entry), 0, entry);
+          if (scorer.Full()) scorer.Flush(sink);
+        }
+        scorer.Flush(sink);
+        seed_scored[q] = static_cast<std::uint64_t>(hi - lo);
+        // The heap is full (keep <= N seeds), so its worst score is a lower
+        // bound on the final k-th score: only entries whose calibration
+        // bound reaches it can still matter.
+        plan.max_dist = MaxAllowedDistance(plan.seed_heap.front().score);
+      });
+
+  // Phase 2 — one blocked sweep over the packed matrix in insertion order.
+  // Every (entry block x query batch) tile is gathered and scored through
+  // one GEMM flush; seeds are skipped by side position, pruned pairs by the
+  // distance cut.
+  const int max_shards = threads_;
+  const std::size_t shard_slots =
+      static_cast<std::size_t>(std::max(1, max_shards));
+  std::vector<std::vector<std::vector<ScoredRef>>> shard_top(
+      shard_slots, std::vector<std::vector<ScoredRef>>(batch));
+  std::vector<std::uint64_t> shard_scored(shard_slots, 0);
+  std::vector<std::uint64_t> shard_pruned(shard_slots, 0);
+  util::ParallelForShards(
+      n, max_shards, [&](std::int64_t begin, std::int64_t end, int shard) {
+        std::vector<std::vector<ScoredRef>>& locals =
+            shard_top[static_cast<std::size_t>(shard)];
+        for (std::size_t q = 0; q < batch; ++q) {
+          locals[q].reserve(plans[q].keep + 1);
+        }
+        std::uint64_t scored = 0, pruned = 0;
+        BlockScorer scorer(model_);
+        auto sink = [&](int q, int entry, double m) {
+          const std::size_t slot = static_cast<std::size_t>(q);
+          const std::int64_t d = CalleeDistance(
+              entries_[static_cast<std::size_t>(entry)].callee_count,
+              plans[slot].callees);
+          PushHeapKeep(&locals[slot], plans[slot].keep,
+                       {m * CalleeSimFromDistance(d), entry});
+        };
+        for (std::int64_t i = begin; i < end; ++i) {
+          const int ce = entries_[static_cast<std::size_t>(i)].callee_count;
+          const double* column = packed_.Column(i);
+          for (std::size_t q = 0; q < batch; ++q) {
+            const QueryPlan& plan = plans[q];
+            if (plan.keep == 0) continue;
+            if (plan.seed_hi > plan.seed_lo) {
+              const int pos = side_pos_[static_cast<std::size_t>(i)];
+              if (pos >= plan.seed_lo && pos < plan.seed_hi) {
+                continue;  // already scored as a seed
+              }
+            }
+            if (plan.max_dist != kNoDistanceCut &&
+                CalleeDistance(ce, plan.callees) > plan.max_dist) {
+              ++pruned;
+              continue;
+            }
+            scorer.Push(plan.encoding, column, static_cast<int>(q),
+                        static_cast<int>(i));
+            ++scored;
+            if (scorer.Full()) scorer.Flush(sink);
+          }
+        }
+        scorer.Flush(sink);
+        shard_scored[static_cast<std::size_t>(shard)] = scored;
+        shard_pruned[static_cast<std::size_t>(shard)] = pruned;
+      });
+
+  // Merge: seeds plus every shard's heap, cut under the strict total order.
+  // The ranking is a pure function of the scores, so the result is bitwise
+  // identical to the brute-force sweep at any thread count.
+  std::uint64_t total_scored = 0, total_pruned = 0;
+  for (std::size_t q = 0; q < batch; ++q) total_scored += seed_scored[q];
+  for (std::size_t s = 0; s < shard_slots; ++s) {
+    total_scored += shard_scored[s];
+    total_pruned += shard_pruned[s];
+  }
+  c_scored_pairs.Add(total_scored);
+  c_pruned_pairs.Add(total_pruned);
+  for (std::size_t q = 0; q < batch; ++q) {
+    std::vector<ScoredRef> merged = std::move(plans[q].seed_heap);
+    merged.reserve(merged.size() + keeps[q] * shard_slots);
+    for (std::vector<std::vector<ScoredRef>>& locals : shard_top) {
+      merged.insert(merged.end(), locals[q].begin(), locals[q].end());
+    }
+    const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                          keeps[q], merged.size()));
+    std::partial_sort(merged.begin(), cut, merged.end(), RefBefore<ScoredRef>);
+    merged.erase(cut, merged.end());
+    std::vector<SearchHit>& hits = results[q];
+    hits.resize(merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      hits[i].index = merged[i].index;
+      hits[i].name = entries_[static_cast<std::size_t>(merged[i].index)].name;
+      hits[i].score = merged[i].score;
+    }
+  }
+  return results;
+}
+
+std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdOnEncodings(
+    const std::vector<nn::Matrix>& encodings, const std::vector<int>& callees,
+    const std::vector<double>& thresholds) const {
+  const std::size_t batch = encodings.size();
+  const std::int64_t n = static_cast<std::int64_t>(entries_.size());
+  std::vector<std::vector<SearchHit>> results(batch);
+  if (batch == 0 || n == 0) return results;
+  // The threshold is a static floor, so no seed pass is needed: any entry
+  // whose calibration bound falls below it cannot score above it.
+  std::vector<QueryPlan> plans(batch);
+  for (std::size_t q = 0; q < batch; ++q) {
+    plans[q].encoding = encodings[q].data();
+    plans[q].callees = callees[q];
+    plans[q].max_dist = MaxAllowedDistance(thresholds[q]);
+  }
+  const int max_shards = threads_;
+  const std::size_t shard_slots =
+      static_cast<std::size_t>(std::max(1, max_shards));
+  std::vector<std::vector<std::vector<ScoredRef>>> shard_hits(
+      shard_slots, std::vector<std::vector<ScoredRef>>(batch));
+  std::vector<std::uint64_t> shard_scored(shard_slots, 0);
+  std::vector<std::uint64_t> shard_pruned(shard_slots, 0);
+  util::ParallelForShards(
+      n, max_shards, [&](std::int64_t begin, std::int64_t end, int shard) {
+        std::vector<std::vector<ScoredRef>>& locals =
+            shard_hits[static_cast<std::size_t>(shard)];
+        std::uint64_t scored = 0, pruned = 0;
+        BlockScorer scorer(model_);
+        auto sink = [&](int q, int entry, double m) {
+          const std::size_t slot = static_cast<std::size_t>(q);
+          const std::int64_t d = CalleeDistance(
+              entries_[static_cast<std::size_t>(entry)].callee_count,
+              plans[slot].callees);
+          const double score = m * CalleeSimFromDistance(d);
+          if (!(score < thresholds[slot])) {
+            locals[slot].push_back({score, entry});
+          }
+        };
+        for (std::int64_t i = begin; i < end; ++i) {
+          const int ce = entries_[static_cast<std::size_t>(i)].callee_count;
+          const double* column = packed_.Column(i);
+          for (std::size_t q = 0; q < batch; ++q) {
+            if (plans[q].max_dist != kNoDistanceCut &&
+                CalleeDistance(ce, plans[q].callees) > plans[q].max_dist) {
+              ++pruned;
+              continue;
+            }
+            scorer.Push(plans[q].encoding, column, static_cast<int>(q),
+                        static_cast<int>(i));
+            ++scored;
+            if (scorer.Full()) scorer.Flush(sink);
+          }
+        }
+        scorer.Flush(sink);
+        shard_scored[static_cast<std::size_t>(shard)] = scored;
+        shard_pruned[static_cast<std::size_t>(shard)] = pruned;
+      });
+  std::uint64_t total_scored = 0, total_pruned = 0;
+  for (std::size_t s = 0; s < shard_slots; ++s) {
+    total_scored += shard_scored[s];
+    total_pruned += shard_pruned[s];
+  }
+  c_scored_pairs.Add(total_scored);
+  c_pruned_pairs.Add(total_pruned);
+  for (std::size_t q = 0; q < batch; ++q) {
+    std::vector<ScoredRef> merged;
+    for (std::vector<std::vector<ScoredRef>>& locals : shard_hits) {
+      merged.insert(merged.end(), locals[q].begin(), locals[q].end());
+    }
+    std::sort(merged.begin(), merged.end(), RefBefore<ScoredRef>);
+    std::vector<SearchHit>& hits = results[q];
+    hits.resize(merged.size());
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      hits[i].index = merged[i].index;
+      hits[i].name = entries_[static_cast<std::size_t>(merged[i].index)].name;
+      hits[i].score = merged[i].score;
+    }
+  }
+  return results;
 }
 
 std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
@@ -171,50 +642,16 @@ std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
   if (k <= 0 || entries_.empty()) return {};
   ASTERIA_SPAN("search");
   util::Timer timer;
-  const nn::Matrix query_encoding = model_.Encode(query.tree);
-  const std::size_t keep =
-      std::min<std::size_t>(static_cast<std::size_t>(k), entries_.size());
-  // Shard-local top-k: each shard scores its contiguous entry range into a
-  // max-`keep` heap ordered worst-hit-first, then the shard winners are
-  // merged. Every comparison uses the strict HitBefore order, so the final
-  // ranking is a pure function of the scores — not of the shard count.
-  const int max_shards = threads_;
-  std::vector<std::vector<SearchHit>> shard_top(
-      static_cast<std::size_t>(std::max(1, max_shards)));
-  util::ParallelForShards(
-      static_cast<std::int64_t>(entries_.size()), max_shards,
-      [&](std::int64_t begin, std::int64_t end, int shard) {
-        auto worse = [](const SearchHit& a, const SearchHit& b) {
-          return HitBefore(a, b);  // heap top = worst kept hit
-        };
-        std::vector<SearchHit>& local = shard_top[static_cast<std::size_t>(shard)];
-        local.reserve(keep + 1);
-        for (std::int64_t i = begin; i < end; ++i) {
-          SearchHit hit = ScoreEntry(query_encoding, query.callee_count,
-                                     static_cast<int>(i));
-          if (local.size() < keep) {
-            local.push_back(std::move(hit));
-            std::push_heap(local.begin(), local.end(), worse);
-          } else if (HitBefore(hit, local.front())) {
-            std::pop_heap(local.begin(), local.end(), worse);
-            local.back() = std::move(hit);
-            std::push_heap(local.begin(), local.end(), worse);
-          }
-        }
-      });
-  std::vector<SearchHit> merged;
-  merged.reserve(keep * shard_top.size());
-  for (std::vector<SearchHit>& local : shard_top) {
-    merged.insert(merged.end(), std::make_move_iterator(local.begin()),
-                  std::make_move_iterator(local.end()));
-  }
-  const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(
-                                        std::min(keep, merged.size()));
-  std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
-  merged.erase(cut, merged.end());
+  std::vector<nn::Matrix> encodings(1);
+  encodings[0] = model_.Encode(query.tree);
+  const std::vector<int> callees{query.callee_count};
+  const std::vector<std::size_t> keeps{
+      std::min<std::size_t>(static_cast<std::size_t>(k), entries_.size())};
+  std::vector<SearchHit> hits =
+      std::move(TopKOnEncodings(encodings, callees, keeps)[0]);
   h_topk_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
-  h_topk_size.Observe(merged.size());
-  return merged;
+  h_topk_size.Observe(hits.size());
+  return hits;
 }
 
 std::vector<std::vector<SearchHit>> SearchIndex::TopKBatch(
@@ -235,79 +672,169 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKBatch(
                       const std::size_t slot = static_cast<std::size_t>(q);
                       encodings[slot] = model_.Encode(queries[slot]->tree);
                     });
+  std::vector<int> callees(batch);
   std::vector<std::size_t> keeps(batch);
   for (std::size_t q = 0; q < batch; ++q) {
+    callees[q] = queries[q]->callee_count;
     keeps[q] = ks[q] <= 0 ? 0
                           : std::min<std::size_t>(
                                 static_cast<std::size_t>(ks[q]),
                                 entries_.size());
   }
-  // One sweep over the stored entries scores every query in the batch
-  // against each entry while it is hot, maintaining a heap per (shard,
-  // query) — the same shard-local top-k scheme as TopK, vectorized over
-  // the batch dimension.
+  results = TopKOnEncodings(encodings, callees, keeps);
+  for (std::size_t q = 0; q < batch; ++q) {
+    h_topk_size.Observe(results[q].size());
+  }
+  h_topk_batch_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
+  return results;
+}
+
+std::vector<SearchHit> SearchIndex::AboveThreshold(
+    const FunctionFeature& query, double threshold) const {
+  ASTERIA_SPAN("search");
+  if (entries_.empty()) return {};
+  std::vector<nn::Matrix> encodings(1);
+  encodings[0] = model_.Encode(query.tree);
+  const std::vector<int> callees{query.callee_count};
+  const std::vector<double> thresholds{threshold};
+  return std::move(
+      AboveThresholdOnEncodings(encodings, callees, thresholds)[0]);
+}
+
+std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdBatch(
+    const std::vector<const FunctionFeature*>& queries,
+    const std::vector<double>& thresholds) const {
+  const std::size_t batch = queries.size();
+  std::vector<std::vector<SearchHit>> results(batch);
+  if (batch == 0) return results;
+  ASTERIA_SPAN("search");
+  std::vector<nn::Matrix> encodings(batch);
+  util::ParallelFor(static_cast<std::int64_t>(batch), threads_,
+                    [&](std::int64_t q) {
+                      ASTERIA_SPAN("encode");
+                      const std::size_t slot = static_cast<std::size_t>(q);
+                      encodings[slot] = model_.Encode(queries[slot]->tree);
+                    });
+  std::vector<int> callees(batch);
+  for (std::size_t q = 0; q < batch; ++q) {
+    callees[q] = queries[q]->callee_count;
+  }
+  return AboveThresholdOnEncodings(encodings, callees, thresholds);
+}
+
+// -- Brute-force reference paths (pre-packing implementation) --------------
+
+std::vector<nn::Matrix> SearchIndex::MaterializeEncodings() const {
+  std::vector<nn::Matrix> mats(entries_.size());
+  util::ParallelFor(static_cast<std::int64_t>(entries_.size()), threads_,
+                    [&](std::int64_t i) {
+                      mats[static_cast<std::size_t>(i)] =
+                          encoding(static_cast<int>(i));
+                    });
+  return mats;
+}
+
+SearchHit SearchIndex::ScoreEntryReference(const nn::Matrix& query_encoding,
+                                           int query_callees,
+                                           const nn::Matrix& entry_encoding,
+                                           int index) const {
+  const EntryMeta& entry = entries_[static_cast<std::size_t>(index)];
+  SearchHit hit;
+  hit.index = index;
+  hit.name = entry.name;
+  hit.score = CalibratedSimilarity(
+      model_.SimilarityFromEncodings(query_encoding, entry_encoding),
+      query_callees, entry.callee_count);
+  return hit;
+}
+
+std::vector<SearchHit> SearchIndex::ScoredReference(
+    const FunctionFeature& query,
+    const std::vector<nn::Matrix>& entry_encodings) const {
+  const nn::Matrix query_encoding = model_.Encode(query.tree);
+  std::vector<SearchHit> hits(entries_.size());
+  util::ParallelFor(static_cast<std::int64_t>(entries_.size()), threads_,
+                    [&](std::int64_t i) {
+                      const std::size_t slot = static_cast<std::size_t>(i);
+                      hits[slot] = ScoreEntryReference(
+                          query_encoding, query.callee_count,
+                          entry_encodings[slot], static_cast<int>(i));
+                    });
+  return hits;
+}
+
+std::vector<SearchHit> SearchIndex::TopKReference(const FunctionFeature& query,
+                                                  int k) const {
+  if (k <= 0 || entries_.empty()) return {};
+  const std::vector<nn::Matrix> mats = MaterializeEncodings();
+  const nn::Matrix query_encoding = model_.Encode(query.tree);
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(k), entries_.size());
+  // Shard-local top-k exactly as the original brute force: every entry is
+  // scored, one pair at a time.
   const int max_shards = threads_;
-  const std::size_t shard_slots =
-      static_cast<std::size_t>(std::max(1, max_shards));
-  std::vector<std::vector<std::vector<SearchHit>>> shard_top(
-      shard_slots, std::vector<std::vector<SearchHit>>(batch));
+  std::vector<std::vector<SearchHit>> shard_top(
+      static_cast<std::size_t>(std::max(1, max_shards)));
   util::ParallelForShards(
       static_cast<std::int64_t>(entries_.size()), max_shards,
       [&](std::int64_t begin, std::int64_t end, int shard) {
         auto worse = [](const SearchHit& a, const SearchHit& b) {
           return HitBefore(a, b);  // heap top = worst kept hit
         };
-        std::vector<std::vector<SearchHit>>& locals =
+        std::vector<SearchHit>& local =
             shard_top[static_cast<std::size_t>(shard)];
-        for (std::size_t q = 0; q < batch; ++q) {
-          locals[q].reserve(keeps[q] + 1);
-        }
+        local.reserve(keep + 1);
         for (std::int64_t i = begin; i < end; ++i) {
-          for (std::size_t q = 0; q < batch; ++q) {
-            if (keeps[q] == 0) continue;
-            SearchHit hit = ScoreEntry(encodings[q],
-                                       queries[q]->callee_count,
-                                       static_cast<int>(i));
-            std::vector<SearchHit>& local = locals[q];
-            if (local.size() < keeps[q]) {
-              local.push_back(std::move(hit));
-              std::push_heap(local.begin(), local.end(), worse);
-            } else if (HitBefore(hit, local.front())) {
-              std::pop_heap(local.begin(), local.end(), worse);
-              local.back() = std::move(hit);
-              std::push_heap(local.begin(), local.end(), worse);
-            }
+          SearchHit hit = ScoreEntryReference(
+              query_encoding, query.callee_count,
+              mats[static_cast<std::size_t>(i)], static_cast<int>(i));
+          if (local.size() < keep) {
+            local.push_back(std::move(hit));
+            std::push_heap(local.begin(), local.end(), worse);
+          } else if (HitBefore(hit, local.front())) {
+            std::pop_heap(local.begin(), local.end(), worse);
+            local.back() = std::move(hit);
+            std::push_heap(local.begin(), local.end(), worse);
           }
         }
       });
-  for (std::size_t q = 0; q < batch; ++q) {
-    std::vector<SearchHit> merged;
-    merged.reserve(keeps[q] * shard_slots);
-    for (std::vector<std::vector<SearchHit>>& locals : shard_top) {
-      merged.insert(merged.end(),
-                    std::make_move_iterator(locals[q].begin()),
-                    std::make_move_iterator(locals[q].end()));
-    }
-    const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(
-                                          std::min(keeps[q], merged.size()));
-    std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
-    merged.erase(cut, merged.end());
-    h_topk_size.Observe(merged.size());
-    results[q] = std::move(merged);
+  std::vector<SearchHit> merged;
+  merged.reserve(keep * shard_top.size());
+  for (std::vector<SearchHit>& local : shard_top) {
+    merged.insert(merged.end(), std::make_move_iterator(local.begin()),
+                  std::make_move_iterator(local.end()));
   }
-  h_topk_batch_nanos.Observe(static_cast<std::uint64_t>(timer.ElapsedNanos()));
-  return results;
+  const auto cut = merged.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(keep, merged.size()));
+  std::partial_sort(merged.begin(), cut, merged.end(), HitBefore);
+  merged.erase(cut, merged.end());
+  return merged;
 }
+
+std::vector<SearchHit> SearchIndex::AboveThresholdReference(
+    const FunctionFeature& query, double threshold) const {
+  const std::vector<nn::Matrix> mats = MaterializeEncodings();
+  std::vector<SearchHit> hits = ScoredReference(query, mats);
+  hits.erase(std::remove_if(hits.begin(), hits.end(),
+                            [&](const SearchHit& hit) {
+                              return hit.score < threshold;
+                            }),
+             hits.end());
+  std::sort(hits.begin(), hits.end(), HitBefore);
+  return hits;
+}
+
+// -- Snapshots --------------------------------------------------------------
 
 namespace {
 
-void BuildEntryChunk(const std::string& name, int callee_count,
-                     const nn::Matrix& encoding, store::ChunkBuilder* chunk) {
+void BuildEntryChunk(const std::string& name, int callee_count, int dim,
+                     const double* column, store::ChunkBuilder* chunk) {
   chunk->PutString(name);
   chunk->PutI32(callee_count);
-  chunk->PutU32(static_cast<std::uint32_t>(encoding.rows()));
-  chunk->PutU32(static_cast<std::uint32_t>(encoding.cols()));
-  chunk->PutF64Array(encoding.data(), encoding.size());
+  chunk->PutU32(static_cast<std::uint32_t>(dim));
+  chunk->PutU32(1);
+  chunk->PutF64Array(column, static_cast<std::size_t>(dim));
 }
 
 }  // namespace
@@ -319,9 +846,11 @@ bool SearchIndex::Save(const std::string& path, std::string* error) const {
   meta.PutU32(kSnapshotVersion);
   meta.PutU32(model_.WeightsFingerprint());
   if (!writer.WriteChunk(kTagIndexMeta, meta, error)) return false;
-  for (const Entry& entry : entries_) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const EntryMeta& entry = entries_[i];
     store::ChunkBuilder chunk;
-    BuildEntryChunk(entry.name, entry.callee_count, entry.encoding, &chunk);
+    BuildEntryChunk(entry.name, entry.callee_count, hidden_dim_,
+                    packed_.Column(static_cast<std::int64_t>(i)), &chunk);
     if (!writer.WriteChunk(kTagIndexEntry, chunk, error)) return false;
   }
   return writer.Finish(error);
@@ -367,21 +896,20 @@ bool SearchIndex::AppendTo(const std::string& path, int first_index,
   if (!writer.OpenAppend(path, store::kKindIndex, error)) return false;
   for (std::size_t i = static_cast<std::size_t>(first_index);
        i < entries_.size(); ++i) {
-    const Entry& entry = entries_[i];
+    const EntryMeta& entry = entries_[i];
     store::ChunkBuilder chunk;
-    BuildEntryChunk(entry.name, entry.callee_count, entry.encoding, &chunk);
+    BuildEntryChunk(entry.name, entry.callee_count, hidden_dim_,
+                    packed_.Column(static_cast<std::int64_t>(i)), &chunk);
     if (!writer.WriteChunk(kTagIndexEntry, chunk, error)) return false;
   }
   return writer.Finish(error);
 }
 
-bool SearchIndex::LoadEntriesFrom(const std::string& path,
-                                  std::vector<Entry>* out,
+bool SearchIndex::LoadEntriesFrom(const std::string& path, StagedEntries* out,
                                   std::string* error) const {
   store::Reader reader;
   if (!reader.Open(path, store::kKindIndex, error)) return false;
   bool saw_meta = false;
-  std::vector<Entry>& loaded = *out;
   std::vector<std::uint8_t> payload;
   for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
     const store::ChunkInfo& info = reader.chunks()[i];
@@ -414,7 +942,7 @@ bool SearchIndex::LoadEntriesFrom(const std::string& path,
       *error = path + ": ENTR chunk before IMET metadata";
       return false;
     }
-    Entry entry;
+    EntryMeta entry;
     std::uint32_t rows = 0, cols = 0;
     if (!parser.GetString(&entry.name, error) ||
         !parser.GetI32(&entry.callee_count, error) ||
@@ -435,26 +963,28 @@ bool SearchIndex::LoadEntriesFrom(const std::string& path,
     // The model only produces hidden_dim x 1 encodings; anything else is a
     // corrupted entry or a snapshot from an incompatible build, and scoring
     // against it would read out of bounds or produce garbage.
-    const int hidden_dim = model_.config().siamese.encoder.hidden_dim;
-    if (static_cast<int>(rows) != hidden_dim || cols != 1) {
+    if (static_cast<int>(rows) != hidden_dim_ || cols != 1) {
       *error = path + ": entry '" + entry.name + "' has encoding shape " +
                std::to_string(rows) + "x" + std::to_string(cols) +
-               " but this model produces " + std::to_string(hidden_dim) +
+               " but this model produces " + std::to_string(hidden_dim_) +
                "x1 encodings";
       return false;
     }
-    entry.encoding = nn::Matrix(static_cast<int>(rows), static_cast<int>(cols));
-    if (!parser.GetF64Array(entry.encoding.data(), entry.encoding.size(),
-                            error)) {
+    // Stage the column straight into packed (column-contiguous) form.
+    const std::size_t base = out->columns.size();
+    out->columns.resize(base + static_cast<std::size_t>(hidden_dim_));
+    if (!parser.GetF64Array(out->columns.data() + base,
+                            static_cast<std::size_t>(hidden_dim_), error)) {
       return false;
     }
-    if (!AllFinite(entry.encoding)) {
+    if (!AllFinite(out->columns.data() + base,
+                   static_cast<std::size_t>(hidden_dim_))) {
       *error = path + ": entry '" + entry.name +
                "' encoding contains non-finite values (NaN/Inf) — corrupted "
                "snapshot";
       return false;
     }
-    loaded.push_back(std::move(entry));
+    out->meta.push_back(std::move(entry));
   }
   if (!saw_meta) {
     *error = path + ": missing IMET metadata chunk";
@@ -463,20 +993,32 @@ bool SearchIndex::LoadEntriesFrom(const std::string& path,
   return true;
 }
 
+void SearchIndex::CommitStaged(StagedEntries&& staged) {
+  entries_.reserve(entries_.size() + staged.meta.size());
+  for (std::size_t i = 0; i < staged.meta.size(); ++i) {
+    std::memcpy(packed_.AppendColumn(),
+                staged.columns.data() + i * static_cast<std::size_t>(hidden_dim_),
+                static_cast<std::size_t>(hidden_dim_) * sizeof(double));
+    entries_.push_back(std::move(staged.meta[i]));
+  }
+  MarkSideIndexDirty();
+}
+
 bool SearchIndex::Load(const std::string& path, std::string* error) {
-  std::vector<Entry> loaded;
-  if (!LoadEntriesFrom(path, &loaded, error)) return false;
-  entries_ = std::move(loaded);
+  StagedEntries staged;
+  if (!LoadEntriesFrom(path, &staged, error)) return false;
+  entries_.clear();
+  packed_.Reset(hidden_dim_);
+  CommitStaged(std::move(staged));
   return true;
 }
 
 bool SearchIndex::LoadAppend(const std::string& path, std::string* error) {
-  // Stage into a scratch vector so a mid-file failure never leaves the
+  // Stage into scratch buffers so a mid-file failure never leaves the
   // index holding a partial shard.
-  std::vector<Entry> loaded;
-  if (!LoadEntriesFrom(path, &loaded, error)) return false;
-  entries_.insert(entries_.end(), std::make_move_iterator(loaded.begin()),
-                  std::make_move_iterator(loaded.end()));
+  StagedEntries staged;
+  if (!LoadEntriesFrom(path, &staged, error)) return false;
+  CommitStaged(std::move(staged));
   return true;
 }
 
@@ -492,22 +1034,24 @@ bool SearchIndex::OpenSharded(const std::string& manifest_path,
     return false;
   }
   const std::string dir = store::DirOf(manifest_path);
-  std::vector<Entry> loaded;
+  StagedEntries staged;
   for (const store::ShardRecord& shard : manifest.shards) {
-    const std::size_t before = loaded.size();
-    if (!LoadEntriesFrom(dir + "/" + shard.file, &loaded, error)) {
+    const std::size_t before = staged.meta.size();
+    if (!LoadEntriesFrom(dir + "/" + shard.file, &staged, error)) {
       return false;
     }
-    if (loaded.size() - before != shard.entries) {
+    if (staged.meta.size() - before != shard.entries) {
       *error = manifest_path + ": shard '" + shard.file + "' holds " +
-               std::to_string(loaded.size() - before) +
+               std::to_string(staged.meta.size() - before) +
                " entries but the manifest records " +
                std::to_string(shard.entries) +
                " — shard and manifest are out of sync";
       return false;
     }
   }
-  entries_ = std::move(loaded);
+  entries_.clear();
+  packed_.Reset(hidden_dim_);
+  CommitStaged(std::move(staged));
   return true;
 }
 
@@ -523,19 +1067,6 @@ bool SearchIndex::Open(const std::string& path, std::string* error) {
   *error = path + ": " + store::FourCcName(kind) +
            " container is neither an INDX snapshot nor a MANI manifest";
   return false;
-}
-
-std::vector<SearchHit> SearchIndex::AboveThreshold(
-    const FunctionFeature& query, double threshold) const {
-  ASTERIA_SPAN("search");
-  std::vector<SearchHit> hits = Scored(query);
-  hits.erase(std::remove_if(hits.begin(), hits.end(),
-                            [&](const SearchHit& hit) {
-                              return hit.score < threshold;
-                            }),
-             hits.end());
-  std::sort(hits.begin(), hits.end(), HitBefore);
-  return hits;
 }
 
 }  // namespace asteria::core

@@ -5,14 +5,39 @@
 // encoded and scored against all stored encodings with the fast eq. (8)
 // replay plus callee calibration, returning the top-k matches.
 //
+// Storage is a packed encode matrix: entry encodings live column-major
+// (hidden_dim x N) in fixed-size column blocks, so Add/AddEncoded/
+// LoadAppend never copy existing columns and a scoring sweep walks
+// contiguous memory instead of N scattered heap allocations. Scoring is
+// blocked: a whole (query batch x entry block) tile becomes one feature
+// matrix and a single nn::Matrix::GemmRaw against the head weights
+// (SiameseModel::SimilarityFromEncodingsBatch), with SearchHit names
+// materialized only for the hits that survive — never per scored pair.
+//
+// On top of the sweep sits an *exact* prefilter: M(T1,T2) <= 1, so the
+// calibrated score F = M * S is bounded by S(C1,C2) = e^{-|C1-C2|}. A
+// callee-count-sorted side index seeds each query's top-k heap with the
+// nearest-callee entries, and every entry whose calibration bound falls
+// strictly below that k-th seed score is skipped — a legal prune that only
+// drops provably-losing entries (proof sketch in docs/PERFORMANCE.md).
+// TopK/TopKBatch/AboveThreshold therefore return results bitwise identical
+// to the brute-force sweep (TopKReference/AboveThresholdReference, kept
+// in-tree as the differential oracle and bench baseline).
+//
 // Both phases parallelize over util::ThreadPool with its static-partition
 // determinism contract: AddAll encodes shards of the input concurrently but
-// stores entries in input order, and TopK/AboveThreshold score shards with
+// stores entries in input order, and the query paths score shards with
 // local top-k heaps merged shard-by-shard under a strict total order
 // (score desc, insertion index asc), so encodings, scores, and result
-// ordering are bitwise identical for every thread count.
+// ordering are bitwise identical for every thread count. Prune decisions
+// depend only on callee counts and the deterministic seed scores — never on
+// sharding — so the skipped set is thread-count invariant too.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,8 +57,7 @@ class SearchIndex {
   // The model must outlive the index; its weights should be trained before
   // Add() (encodings are computed with the weights current at call time).
   // `threads` bounds the worker count for AddAll and query scoring.
-  explicit SearchIndex(const AsteriaModel& model, int threads = 1)
-      : model_(model), threads_(threads < 1 ? 1 : threads) {}
+  explicit SearchIndex(const AsteriaModel& model, int threads = 1);
 
   void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
   int threads() const { return threads_; }
@@ -62,26 +86,48 @@ class SearchIndex {
   std::vector<SearchHit> TopK(const FunctionFeature& query, int k) const;
 
   // Batched TopK — the asteria-serve dispatch path: encodes every query,
-  // then scores the whole batch in one pass over the stored entries (each
-  // entry is touched once per sweep instead of once per query), keeping a
-  // per-query top-k heap. ks[i] is query i's k. Results are bitwise
-  // identical to calling TopK(queries[i], ks[i]) one at a time: the strict
-  // (score desc, index asc) total order makes the ranking a pure function
-  // of the scores, independent of batching and sharding.
+  // then scores the whole batch in one blocked-GEMM sweep over the packed
+  // entry matrix (each entry block is touched once per sweep instead of
+  // once per query), keeping a per-query top-k heap. ks[i] is query i's k.
+  // Results are bitwise identical to calling TopK(queries[i], ks[i]) one at
+  // a time: the strict (score desc, index asc) total order makes the
+  // ranking a pure function of the scores, independent of batching and
+  // sharding.
   std::vector<std::vector<SearchHit>> TopKBatch(
       const std::vector<const FunctionFeature*>& queries,
       const std::vector<int>& ks) const;
 
-  // All hits scoring at least `threshold`, descending.
+  // All hits scoring at least `threshold`, descending. Routed through the
+  // same pruned/blocked sweep as TopK — entries whose calibration bound
+  // already falls below `threshold` are skipped, and only surviving hits
+  // are ever materialized (no O(N) scored-vector allocation).
   std::vector<SearchHit> AboveThreshold(const FunctionFeature& query,
                                         double threshold) const;
 
+  // Batched AboveThreshold — one sweep for a whole dispatch batch, same
+  // contract as TopKBatch: results[i] is bitwise identical to
+  // AboveThreshold(queries[i], thresholds[i]).
+  std::vector<std::vector<SearchHit>> AboveThresholdBatch(
+      const std::vector<const FunctionFeature*>& queries,
+      const std::vector<double>& thresholds) const;
+
+  // -- Brute-force reference paths ----------------------------------------
+  //
+  // The pre-packing implementation, kept verbatim as (a) the differential
+  // oracle for tests/search_index_test.cpp (pruned/blocked results must be
+  // bitwise identical to these, at every thread count) and (b) the baseline
+  // that scripts/bench_search.sh measures the blocked path against. They
+  // score every entry, one pair at a time, with no pruning.
+  std::vector<SearchHit> TopKReference(const FunctionFeature& query,
+                                       int k) const;
+  std::vector<SearchHit> AboveThresholdReference(const FunctionFeature& query,
+                                                 double threshold) const;
+
   int size() const { return static_cast<int>(entries_.size()); }
 
-  // Stored encoding of entry `index` (bitwise-reproducibility checks).
-  const nn::Matrix& encoding(int index) const {
-    return entries_[static_cast<std::size_t>(index)].encoding;
-  }
+  // Stored encoding of entry `index`, materialized from the packed column
+  // (bitwise-reproducibility checks).
+  nn::Matrix encoding(int index) const;
   const std::string& name(int index) const {
     return entries_[static_cast<std::size_t>(index)].name;
   }
@@ -97,7 +143,7 @@ class SearchIndex {
   // the same TopK scores and ordering for any thread count, extending the
   // ParallelFor determinism contract across process boundaries. Corrupted
   // or truncated snapshots fail with a descriptive `error`, never load
-  // partial state.
+  // partial state. Loads land directly in the packed encode matrix.
 
   // Writes all entries to `path`, replacing any existing file.
   bool Save(const std::string& path, std::string* error) const;
@@ -131,23 +177,102 @@ class SearchIndex {
   bool Open(const std::string& path, std::string* error);
 
  private:
-  struct Entry {
+  // Per-entry metadata; the encoding itself lives in `packed_`.
+  struct EntryMeta {
     std::string name;
-    nn::Matrix encoding;
     int callee_count = 0;
   };
 
-  SearchHit ScoreEntry(const nn::Matrix& query_encoding, int query_callees,
-                       int index) const;
-  std::vector<SearchHit> Scored(const FunctionFeature& query) const;
-  // Appends one snapshot's validated entries to `*out` (shared by
-  // Load/LoadAppend/OpenSharded).
-  bool LoadEntriesFrom(const std::string& path, std::vector<Entry>* out,
+  // The packed encode matrix: hidden_dim x N, column-major, grown in
+  // fixed-size column blocks so appends never move existing columns (stable
+  // pointers, no realloc copy) and LoadAppend stays O(new entries).
+  class PackedColumns {
+   public:
+    void Reset(int dim) {
+      dim_ = dim;
+      count_ = 0;
+      blocks_.clear();
+    }
+    int dim() const { return dim_; }
+    std::int64_t count() const { return count_; }
+    // Pointer to a fresh uninitialized column for the caller to fill.
+    double* AppendColumn();
+    const double* Column(std::int64_t i) const {
+      return blocks_[static_cast<std::size_t>(i / kBlockCols)].get() +
+             (i % kBlockCols) * dim_;
+    }
+
+   private:
+    static constexpr std::int64_t kBlockCols = 4096;
+    int dim_ = 0;
+    std::int64_t count_ = 0;
+    std::vector<std::unique_ptr<double[]>> blocks_;
+  };
+
+  // A (score, insertion index) pair — what the sweep heaps and merges.
+  // Names are attached only to the hits that survive selection.
+  struct ScoredRef {
+    double score = 0.0;
+    int index = 0;
+  };
+
+  // Per-query sweep state: the encoded query plus the exact-prune cut
+  // derived from its callee-nearest seed entries.
+  struct QueryPlan;
+
+  // Entries staged by a snapshot load before committing to the index.
+  struct StagedEntries {
+    std::vector<EntryMeta> meta;
+    std::vector<double> columns;  // meta.size() columns, dim doubles each
+  };
+
+  // Old-path scorer for the reference implementations. Entry encodings are
+  // materialized from the packed columns once per sweep (same doubles, so
+  // the scores carry the same bits as the row-per-entry original).
+  std::vector<nn::Matrix> MaterializeEncodings() const;
+  SearchHit ScoreEntryReference(const nn::Matrix& query_encoding,
+                                int query_callees,
+                                const nn::Matrix& entry_encoding,
+                                int index) const;
+  std::vector<SearchHit> ScoredReference(
+      const FunctionFeature& query,
+      const std::vector<nn::Matrix>& entry_encodings) const;
+
+  // Shared pruned/blocked sweep cores (encodings already computed).
+  std::vector<std::vector<SearchHit>> TopKOnEncodings(
+      const std::vector<nn::Matrix>& encodings,
+      const std::vector<int>& callees,
+      const std::vector<std::size_t>& keeps) const;
+  std::vector<std::vector<SearchHit>> AboveThresholdOnEncodings(
+      const std::vector<nn::Matrix>& encodings,
+      const std::vector<int>& callees,
+      const std::vector<double>& thresholds) const;
+
+  // Rebuilds the callee-count-sorted side index if entries changed since
+  // the last query (double-checked under side_mutex_, so concurrent
+  // queries rebuild exactly once).
+  void EnsureSideIndexFresh() const;
+  void MarkSideIndexDirty() {
+    side_dirty_.store(true, std::memory_order_release);
+  }
+
+  void CommitStaged(StagedEntries&& staged);
+  bool LoadEntriesFrom(const std::string& path, StagedEntries* out,
                        std::string* error) const;
 
   const AsteriaModel& model_;
   int threads_ = 1;
-  std::vector<Entry> entries_;
+  int hidden_dim_ = 0;
+  std::vector<EntryMeta> entries_;
+  PackedColumns packed_;
+
+  // Callee-count-sorted side index, rebuilt lazily on the first query after
+  // a mutation: side_order_ holds entry indices sorted by (callee_count,
+  // insertion index); side_pos_ is its inverse permutation.
+  mutable std::mutex side_mutex_;
+  mutable std::atomic<bool> side_dirty_{true};
+  mutable std::vector<int> side_order_;
+  mutable std::vector<int> side_pos_;
 };
 
 }  // namespace asteria::core

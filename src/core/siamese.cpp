@@ -116,6 +116,63 @@ double SiameseModel::SimilarityFromEncodings(const Matrix& a,
   return z1 / (z0 + z1);
 }
 
+void SiameseModel::SimilarityFromEncodingsBatch(
+    const double* const* a, const double* const* b, int count, double* out,
+    EncodingScoreScratch* scratch) const {
+  if (count <= 0) return;
+  const int h = config_.encoder.hidden_dim;
+  if (config_.head == SiameseHead::kRegression) {
+    // No GEMM structure here (every pair has its own left operand); the
+    // batch interface still amortizes call overhead. The per-pair ops are
+    // exactly SimilarityFromEncodings': Norm (ascending sum of squares,
+    // then sqrt), Dot (ascending), and the same affine map.
+    for (int p = 0; p < count; ++p) {
+      const double* x = a[p];
+      const double* y = b[p];
+      double nx = 0.0, ny = 0.0;
+      for (int r = 0; r < h; ++r) nx += x[r] * x[r];
+      for (int r = 0; r < h; ++r) ny += y[r] * y[r];
+      const double denom = std::sqrt(nx) * std::sqrt(ny);
+      if (denom < 1e-12) {
+        out[p] = 0.0;
+        continue;
+      }
+      double dot = 0.0;
+      for (int r = 0; r < h; ++r) dot += x[r] * y[r];
+      out[p] = 0.5 * (dot / denom + 1.0);
+    }
+    return;
+  }
+  // Classification head, eq. (8): build the (count x 2h) feature matrix for
+  // the whole block — row p = sigmoid(cat(|a_p - b_p|, a_p . b_p)) — then
+  // one blocked GemmRaw against W (2h x 2) yields every pair's logits. Each
+  // logit accumulates over ascending feature rows from 0.0, the same
+  // association as the scalar loop in SimilarityFromEncodings.
+  const std::size_t stride = 2 * static_cast<std::size_t>(h);
+  scratch->features.resize(static_cast<std::size_t>(count) * stride);
+  scratch->logits.resize(static_cast<std::size_t>(count) * 2);
+  for (int p = 0; p < count; ++p) {
+    const double* x = a[p];
+    const double* y = b[p];
+    double* f = scratch->features.data() + static_cast<std::size_t>(p) * stride;
+    for (int r = 0; r < h; ++r) {
+      f[r] = 1.0 / (1.0 + std::exp(-std::fabs(x[r] - y[r])));
+      f[h + r] = 1.0 / (1.0 + std::exp(-(x[r] * y[r])));
+    }
+  }
+  const Matrix& w = w_out_->value;  // (2h x 2) row-major
+  nn::Matrix::GemmRaw(scratch->features.data(), w.data(),
+                      scratch->logits.data(), count, 2 * h, 2);
+  for (int p = 0; p < count; ++p) {
+    const double logit0 = scratch->logits[static_cast<std::size_t>(p) * 2];
+    const double logit1 = scratch->logits[static_cast<std::size_t>(p) * 2 + 1];
+    const double max_logit = std::max(logit0, logit1);
+    const double z0 = std::exp(logit0 - max_logit);
+    const double z1 = std::exp(logit1 - max_logit);
+    out[p] = z1 / (z0 + z1);
+  }
+}
+
 double SiameseModel::TrainPair(const ast::BinaryAst& a,
                                const ast::BinaryAst& b, bool homologous) {
   if (a.empty() || b.empty()) return 0.0;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "core/tree_lstm.h"
 #include "core/tree_lstm_fast.h"
@@ -33,6 +34,14 @@ struct SiameseConfig {
   bool use_fast_encoder = true;
 };
 
+// Reusable scratch for SimilarityFromEncodingsBatch: grow-only buffers so a
+// steady-state scoring sweep performs no heap allocation. One instance per
+// worker thread (it is not thread-safe).
+struct EncodingScoreScratch {
+  std::vector<double> features;  // pairs x 2h feature rows (classification)
+  std::vector<double> logits;    // pairs x 2 head outputs (classification)
+};
+
 class SiameseModel {
  public:
   SiameseModel(const SiameseConfig& config, util::Rng& rng);
@@ -50,6 +59,19 @@ class SiameseModel {
   // plain matrix math, no tape.
   double SimilarityFromEncodings(const nn::Matrix& a,
                                  const nn::Matrix& b) const;
+
+  // Batched online scoring — the SearchIndex block-sweep path. Scores
+  // `count` (a[i], b[i]) encoding pairs, each a hidden_dim-length column,
+  // writing out[i]. For the classification head the whole block becomes one
+  // feature matrix and a single blocked Gemm against the head weights
+  // (nn::Matrix::GemmRaw), instead of `count` per-pair feature allocations.
+  // out[i] is bitwise identical to SimilarityFromEncodings(a[i], b[i]):
+  // the feature expressions, the ascending-row logit accumulation, and the
+  // softmax are op-for-op the same. `scratch` is reused across calls.
+  void SimilarityFromEncodingsBatch(const double* const* a,
+                                    const double* const* b, int count,
+                                    double* out,
+                                    EncodingScoreScratch* scratch) const;
 
   // One training step on a labeled pair (homologous: true). Returns loss.
   double TrainPair(const ast::BinaryAst& a, const ast::BinaryAst& b,

@@ -49,6 +49,56 @@ void Matrix::Gemv(const double* x, double* y) const {
   }
 }
 
+void Matrix::Gemm(const Matrix& b, Matrix* out) const {
+  assert(cols_ == b.rows_);
+  if (out->rows_ != rows_ || out->cols_ != b.cols_) {
+    *out = Matrix(rows_, b.cols_);
+  }
+  GemmRaw(data_.data(), b.data_.data(), out->data_.data(), rows_, cols_,
+          b.cols_);
+}
+
+void Matrix::GemmRaw(const double* a, const double* b, double* c, int m,
+                     int k, int n) {
+  // Four rows of A per pass — the Gemv blocking applied per column of B.
+  // Each c element keeps its own accumulator chain over ascending k, so the
+  // per-element association matches Gemv/MatMul bit for bit.
+  int i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* r0 = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    const double* r1 = r0 + k;
+    const double* r2 = r1 + k;
+    const double* r3 = r2 + k;
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b + j;
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        const double bv = bj[static_cast<std::size_t>(kk) * static_cast<std::size_t>(n)];
+        s0 += r0[kk] * bv;
+        s1 += r1[kk] * bv;
+        s2 += r2[kk] * bv;
+        s3 += r3[kk] * bv;
+      }
+      double* cj = c + static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + j;
+      cj[0] = s0;
+      cj[static_cast<std::size_t>(n)] = s1;
+      cj[2 * static_cast<std::size_t>(n)] = s2;
+      cj[3 * static_cast<std::size_t>(n)] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    const double* row = a + static_cast<std::size_t>(i) * static_cast<std::size_t>(k);
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b + j;
+      double sum = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        sum += row[kk] * bj[static_cast<std::size_t>(kk) * static_cast<std::size_t>(n)];
+      }
+      c[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) + j] = sum;
+    }
+  }
+}
+
 void Matrix::Fill(double value) {
   for (auto& x : data_) x = value;
 }

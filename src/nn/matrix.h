@@ -60,6 +60,20 @@ class Matrix {
   // parallelism; the within-row order is unchanged.
   void Gemv(const double* x, double* y) const;
 
+  // out = (*this) · b — Gemv extended to multiple right-hand sides (the
+  // batch-scoring path of SearchIndex). Every out(i, j) accumulates in
+  // ascending-k order from 0.0, i.e. exactly the Gemv/MatMul per-element
+  // association, so Gemm results are bitwise identical to calling Gemv once
+  // per column of b (and to MatMul). `out` is resized as needed.
+  void Gemm(const Matrix& b, Matrix* out) const;
+
+  // Raw-buffer core of Gemm: c (m x n, row-major) = a (m x k, row-major) ·
+  // b (k x n, row-major). Same ascending-k accumulation contract; rows are
+  // blocked four at a time for instruction-level parallelism. Buffers must
+  // not alias.
+  static void GemmRaw(const double* a, const double* b, double* c, int m,
+                      int k, int n);
+
   // this += other (shapes must match).
   void AddInPlace(const Matrix& other);
   // this += scale * other.

@@ -667,12 +667,23 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
     }
     if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
   }
-  for (const Request& req : live) {
-    if (req.type != FrameType::kAboveThreshold) continue;
-    const std::vector<core::SearchHit> hits =
-        index->AboveThreshold(req.query, req.threshold);
+  std::vector<const core::FunctionFeature*> at_queries;
+  std::vector<double> at_thresholds;
+  std::vector<std::size_t> at_slots;
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    const Request& req = live[i];
+    if (req.type == FrameType::kAboveThreshold) {
+      at_queries.push_back(&req.query);
+      at_thresholds.push_back(req.threshold);
+      at_slots.push_back(i);
+    }
+  }
+  const std::vector<std::vector<core::SearchHit>> at_results =
+      index->AboveThresholdBatch(at_queries, at_thresholds);
+  for (std::size_t j = 0; j < at_slots.size(); ++j) {
+    const Request& req = live[at_slots[j]];
     store::ChunkBuilder reply;
-    PutHits(req.id, hits, &reply);
+    PutHits(req.id, at_results[j], &reply);
     if (fp_slow_reply.ShouldFail()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }

@@ -1,0 +1,368 @@
+// Differential tests for the packed/pruned SearchIndex query paths.
+//
+// The contract under test is bitwise identity: TopK, TopKBatch,
+// AboveThreshold, and AboveThresholdBatch — the blocked-GEMM sweep with the
+// exact callee-distance prefilter — must return the same hits, the same
+// scores (bit for bit), and the same order as the brute-force references
+// (TopKReference/AboveThresholdReference), at every thread count, on
+// monolithic and sharded indexes, for both siamese heads, and on
+// adversarial callee-count distributions where the prune is either useless
+// (all counts equal) or maximally aggressive (extreme spread).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/asteria.h"
+#include "core/search_index.h"
+#include "store/manifest.h"
+#include "util/rng.h"
+
+namespace asteria::core {
+namespace {
+
+using ::testing::TempDir;
+
+std::string TempPath(const std::string& name) { return TempDir() + name; }
+
+ast::Ast SmallTree(int variant) {
+  ast::Ast tree;
+  auto v1 = tree.AddVar("x");
+  auto n1 = tree.AddNum(3);
+  auto asg = tree.AddNode(ast::NodeKind::kAsg, {v1, n1});
+  auto v2 = tree.AddVar("x");
+  auto n2 = tree.AddNum(4 + variant);
+  ast::NodeId inner;
+  if (variant % 2 == 0) {
+    inner = tree.AddNode(ast::NodeKind::kAdd, {v2, n2});
+  } else {
+    inner = tree.AddNode(ast::NodeKind::kMul, {v2, n2});
+  }
+  auto ret = tree.AddNode(ast::NodeKind::kReturn, {inner});
+  auto block = tree.AddNode(ast::NodeKind::kBlock, {asg, ret});
+  tree.set_root(block);
+  return tree;
+}
+
+FunctionFeature MakeQuery(int variant, int callees) {
+  FunctionFeature f;
+  f.name = "query" + std::to_string(variant);
+  f.tree = AsteriaModel::Preprocess(SmallTree(variant));
+  f.callee_count = callees;
+  return f;
+}
+
+AsteriaConfig SmallConfig(SiameseHead head = SiameseHead::kClassification) {
+  AsteriaConfig config;
+  config.siamese.encoder.embedding_dim = 8;
+  config.siamese.encoder.hidden_dim = 8;
+  config.siamese.head = head;
+  return config;
+}
+
+// Fills the index with `n` synthetic (but finite, well-spread) encodings
+// via AddEncoded — no per-entry model evaluation, so tests can afford
+// corpora large enough to arm the prefilter (>= 2048 entries). `callee_of`
+// maps the entry number to its callee count.
+template <typename CalleeFn>
+void FillSynthetic(SearchIndex* index, const AsteriaModel& model, int n,
+                   CalleeFn&& callee_of) {
+  const int h = model.config().siamese.encoder.hidden_dim;
+  util::Rng rng(0xa57e41a5eedULL);
+  for (int i = 0; i < n; ++i) {
+    nn::Matrix enc(h, 1);
+    for (int r = 0; r < h; ++r) {
+      enc(r, 0) = static_cast<double>(rng.NextBounded(2000)) / 1000.0 - 1.0;
+    }
+    ASSERT_GE(index->AddEncoded("fn" + std::to_string(i), enc, callee_of(i)),
+              0);
+  }
+}
+
+// Bitwise hit-list equality: same entries, same order, same score bits.
+void ExpectSameHits(const std::vector<SearchHit>& got,
+                    const std::vector<SearchHit>& want,
+                    const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << label << " hit " << i;
+    EXPECT_EQ(got[i].name, want[i].name) << label << " hit " << i;
+    // Bitwise, not approximate: the pruned/blocked sweep must replay the
+    // exact reference arithmetic.
+    EXPECT_EQ(got[i].score, want[i].score) << label << " hit " << i;
+  }
+}
+
+// Runs the full differential battery for one index + query set: TopK and
+// AboveThreshold against their references, batch against single, at thread
+// counts 1, 2, and 8.
+void RunDifferential(SearchIndex* index,
+                     const std::vector<FunctionFeature>& queries, int k,
+                     double threshold, const std::string& label) {
+  // References are computed once (they are thread-count invariant too, but
+  // one fixed configuration keeps the oracle simple).
+  index->set_threads(1);
+  std::vector<std::vector<SearchHit>> want_topk, want_above;
+  for (const FunctionFeature& q : queries) {
+    want_topk.push_back(index->TopKReference(q, k));
+    want_above.push_back(index->AboveThresholdReference(q, threshold));
+  }
+  for (int threads : {1, 2, 8}) {
+    index->set_threads(threads);
+    const std::string tag = label + " threads=" + std::to_string(threads);
+    std::vector<const FunctionFeature*> ptrs;
+    for (const FunctionFeature& q : queries) ptrs.push_back(&q);
+    const std::vector<int> ks(queries.size(), k);
+    const std::vector<double> thresholds(queries.size(), threshold);
+    const auto got_topk_batch = index->TopKBatch(ptrs, ks);
+    const auto got_above_batch = index->AboveThresholdBatch(ptrs, thresholds);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const std::string qtag = tag + " query=" + std::to_string(i);
+      ExpectSameHits(index->TopK(queries[i], k), want_topk[i],
+                     qtag + " topk");
+      ExpectSameHits(got_topk_batch[i], want_topk[i], qtag + " topk-batch");
+      ExpectSameHits(index->AboveThreshold(queries[i], threshold),
+                     want_above[i], qtag + " above");
+      ExpectSameHits(got_above_batch[i], want_above[i],
+                     qtag + " above-batch");
+    }
+  }
+}
+
+TEST(SearchIndexTest, EdgeCases) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  const FunctionFeature query = MakeQuery(0, 1);
+
+  // Empty index: every path returns empty.
+  EXPECT_TRUE(index.TopK(query, 5).empty());
+  EXPECT_TRUE(index.TopKReference(query, 5).empty());
+  EXPECT_TRUE(index.AboveThreshold(query, 0.0).empty());
+  std::vector<const FunctionFeature*> one{&query};
+  EXPECT_TRUE(index.TopKBatch(one, {5})[0].empty());
+  EXPECT_TRUE(index.AboveThresholdBatch(one, {0.0})[0].empty());
+
+  FillSynthetic(&index, model, 10, [](int i) { return i; });
+
+  // k = 0 and negative k: empty, not a crash.
+  EXPECT_TRUE(index.TopK(query, 0).empty());
+  EXPECT_TRUE(index.TopK(query, -3).empty());
+  EXPECT_TRUE(index.TopKBatch(one, {0})[0].empty());
+
+  // k > size clips to size.
+  EXPECT_EQ(index.TopK(query, 100).size(), 10u);
+  EXPECT_EQ(index.TopKBatch(one, {100})[0].size(), 10u);
+
+  // A threshold of 0.0 keeps everything (scores are non-negative); an
+  // impossible threshold keeps nothing.
+  EXPECT_EQ(index.AboveThreshold(query, 0.0).size(), 10u);
+  EXPECT_TRUE(index.AboveThreshold(query, 2.0).empty());
+
+  // Mixed batch: per-query k values are honored independently.
+  const FunctionFeature query2 = MakeQuery(1, 5);
+  std::vector<const FunctionFeature*> two{&query, &query2};
+  const auto mixed = index.TopKBatch(two, {0, 3});
+  EXPECT_TRUE(mixed[0].empty());
+  EXPECT_EQ(mixed[1].size(), 3u);
+}
+
+TEST(SearchIndexTest, IdenticalScoresTiebreakByInsertionIndex) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  // Identical encodings and callee counts: every entry scores identically,
+  // so the strict total order must fall back to insertion index.
+  const int h = config.siamese.encoder.hidden_dim;
+  nn::Matrix enc(h, 1);
+  for (int r = 0; r < h; ++r) enc(r, 0) = 0.25 * (r + 1);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_GE(index.AddEncoded("clone" + std::to_string(i), enc, 2), 0);
+  }
+  const FunctionFeature query = MakeQuery(0, 2);
+  const auto top = index.TopK(query, 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].index, i);
+    EXPECT_EQ(top[static_cast<std::size_t>(i)].score, top[0].score);
+  }
+  ExpectSameHits(top, index.TopKReference(query, 5), "all-identical");
+}
+
+// Adversarial distribution 1: every entry has the same callee count — the
+// side index is a single giant bucket, seeds and the distance cut are
+// useless, and the sweep must degrade gracefully to scoring everything.
+TEST(SearchIndexTest, PrefilterParityAllEqualCallees) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  FillSynthetic(&index, model, 2500, [](int) { return 7; });
+  const std::vector<FunctionFeature> queries{MakeQuery(0, 7), MakeQuery(1, 0),
+                                             MakeQuery(2, 1000)};
+  RunDifferential(&index, queries, 10, 0.4, "all-equal");
+}
+
+// Adversarial distribution 2: extreme spread — callee counts span the full
+// int range, so e^{-|dC|} underflows for almost every pair and the prune is
+// maximally aggressive. Exactness must survive the aggression.
+TEST(SearchIndexTest, PrefilterParityExtremeSpread) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  FillSynthetic(&index, model, 2500, [](int i) {
+    switch (i % 4) {
+      case 0:
+        return i % 50;                 // a near-query cluster
+      case 1:
+        return 1000 + i % 97;          // a mid cluster
+      case 2:
+        return 2000000000 - (i % 13);  // near INT_MAX
+      default:
+        return 0;
+    }
+  });
+  const std::vector<FunctionFeature> queries{
+      MakeQuery(0, 25), MakeQuery(1, 2000000000), MakeQuery(2, 1040)};
+  RunDifferential(&index, queries, 10, 0.3, "extreme-spread");
+}
+
+// Uniformly spread counts with a corpus large enough to arm the prefilter:
+// the main regression test that the pruned sweep equals brute force.
+TEST(SearchIndexTest, PrunedSweepMatchesReferenceUniformCallees) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  FillSynthetic(&index, model, 3000, [](int i) { return i % 64; });
+  const std::vector<FunctionFeature> queries{MakeQuery(0, 10), MakeQuery(1, 63),
+                                             MakeQuery(2, 0)};
+  RunDifferential(&index, queries, 25, 0.5, "uniform");
+  // k above the prune cap (kMaxPruneK) still matches: the sweep falls back
+  // to scoring everything.
+  index.set_threads(2);
+  const FunctionFeature big = MakeQuery(3, 31);
+  ExpectSameHits(index.TopK(big, 600), index.TopKReference(big, 600),
+                 "uniform k=600");
+}
+
+// Regression head: M is a rescaled cosine that can exceed 1.0 by rounding
+// ulps, which is exactly what the prune slack exists for.
+TEST(SearchIndexTest, RegressionHeadParity) {
+  const AsteriaConfig config = SmallConfig(SiameseHead::kRegression);
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  FillSynthetic(&index, model, 2200, [](int i) { return i % 16; });
+  const std::vector<FunctionFeature> queries{MakeQuery(0, 8), MakeQuery(1, 15)};
+  RunDifferential(&index, queries, 12, 0.6, "regression");
+}
+
+// Sharded (MANI) index: two shards whose concatenation equals the
+// monolithic index must produce bitwise-identical search results.
+TEST(SearchIndexTest, ShardedIndexMatchesMonolithic) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+
+  SearchIndex mono(model);
+  FillSynthetic(&mono, model, 2400, [](int i) { return (i * 7) % 48; });
+
+  // Rebuild the same entries as two shard snapshots plus a manifest.
+  const std::string dir = TempPath("search_index_sharded/");
+  std::remove((dir + "shard0.idx").c_str());
+  std::remove((dir + "shard1.idx").c_str());
+  std::remove((dir + store::kManifestFileName).c_str());
+  ASSERT_EQ(std::system(("mkdir -p " + dir).c_str()), 0);
+  const int half = mono.size() / 2;
+  std::string error;
+  {
+    SearchIndex shard(model);
+    for (int i = 0; i < half; ++i) {
+      ASSERT_GE(shard.AddEncoded(mono.name(i), mono.encoding(i),
+                                 mono.callee_count(i)),
+                0);
+    }
+    ASSERT_TRUE(shard.Save(dir + "shard0.idx", &error)) << error;
+  }
+  {
+    SearchIndex shard(model);
+    for (int i = half; i < mono.size(); ++i) {
+      ASSERT_GE(shard.AddEncoded(mono.name(i), mono.encoding(i),
+                                 mono.callee_count(i)),
+                0);
+    }
+    ASSERT_TRUE(shard.Save(dir + "shard1.idx", &error)) << error;
+  }
+  store::ShardManifest manifest;
+  manifest.model_fingerprint = model.WeightsFingerprint();
+  manifest.sequence = 1;
+  store::ShardRecord rec0, rec1;
+  rec0.file = "shard0.idx";
+  rec0.entries = static_cast<std::uint64_t>(half);
+  rec1.file = "shard1.idx";
+  rec1.entries = static_cast<std::uint64_t>(mono.size() - half);
+  manifest.shards = {rec0, rec1};
+  ASSERT_TRUE(store::SaveManifest(manifest, dir + store::kManifestFileName,
+                                  &error))
+      << error;
+
+  SearchIndex sharded(model);
+  ASSERT_TRUE(sharded.Open(dir + store::kManifestFileName, &error)) << error;
+  ASSERT_EQ(sharded.size(), mono.size());
+
+  const std::vector<FunctionFeature> queries{MakeQuery(0, 20), MakeQuery(1, 3)};
+  // Sharded results differential against both its own reference and the
+  // monolithic pruned path.
+  RunDifferential(&sharded, queries, 15, 0.45, "sharded");
+  for (int threads : {1, 2, 8}) {
+    mono.set_threads(threads);
+    sharded.set_threads(threads);
+    for (const FunctionFeature& q : queries) {
+      ExpectSameHits(sharded.TopK(q, 15), mono.TopK(q, 15),
+                     "sharded-vs-mono threads=" + std::to_string(threads));
+    }
+  }
+}
+
+// Snapshot round trip of a packed index: save, load, and get bitwise the
+// same encodings and search results.
+TEST(SearchIndexTest, SnapshotRoundTripPreservesPackedResults) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  FillSynthetic(&index, model, 2100, [](int i) { return i % 32; });
+  const std::string path = TempPath("search_index_packed.idx");
+  std::string error;
+  ASSERT_TRUE(index.Save(path, &error)) << error;
+
+  SearchIndex loaded(model);
+  ASSERT_TRUE(loaded.Load(path, &error)) << error;
+  ASSERT_EQ(loaded.size(), index.size());
+  for (int i : {0, 1, 1024, 2099}) {
+    const nn::Matrix a = index.encoding(i);
+    const nn::Matrix b = loaded.encoding(i);
+    for (int r = 0; r < a.rows(); ++r) EXPECT_EQ(a(r, 0), b(r, 0));
+  }
+  const FunctionFeature query = MakeQuery(2, 11);
+  ExpectSameHits(loaded.TopK(query, 20), index.TopK(query, 20), "round-trip");
+  ExpectSameHits(loaded.TopK(query, 20), index.TopKReference(query, 20),
+                 "round-trip-vs-reference");
+}
+
+TEST(SearchIndexTest, AddEncodedRejectsBadEncodings) {
+  const AsteriaConfig config = SmallConfig();
+  AsteriaModel model(config);
+  SearchIndex index(model);
+  const int h = config.siamese.encoder.hidden_dim;
+  nn::Matrix wrong_shape(h + 1, 1);
+  EXPECT_EQ(index.AddEncoded("bad-shape", wrong_shape, 0), -1);
+  nn::Matrix non_finite(h, 1);
+  non_finite(0, 0) = std::nan("");
+  EXPECT_EQ(index.AddEncoded("bad-nan", non_finite, 0), -1);
+  EXPECT_EQ(index.size(), 0);
+  nn::Matrix good(h, 1);
+  EXPECT_EQ(index.AddEncoded("good", good, 0), 0);
+  EXPECT_EQ(index.size(), 1);
+}
+
+}  // namespace
+}  // namespace asteria::core

@@ -22,7 +22,12 @@
 //                                              loading a model
 //   asteria-cli index-query <idx> <file> <fn> <isa> [k] [weights]
 //                                              online phase: load the snapshot
-//                                              (no re-encoding) and run top-k
+//                                              (no re-encoding) and run top-k;
+//                                              --batch_file=FILE queries every
+//                                              listed function in one batched
+//                                              sweep, --repeat=N re-runs it and
+//                                              reports warm latency (the
+//                                              scripts/bench_search.sh path)
 //   asteria-cli run <file> <fn> [args...]      execute in the interpreter
 //   asteria-cli failpoints                     list registered failpoints
 //   asteria-cli query <file> <fn> <isa> [k] --socket=PATH
@@ -137,6 +142,7 @@ bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
 std::string g_metrics_out;   // set by --metrics_out=FILE
 std::string g_socket;        // set by --socket=PATH (query/ctl/ingest)
 long g_repeat = 1;           // set by --repeat=N (query latency loops)
+std::string g_batch_file;    // set by --batch_file=FILE (index-query)
 std::string g_weights;       // set by --weights=FILE (ingest/delta-search)
 std::string g_drop_dir;      // set by --drop_dir=DIR (ingest)
 bool g_compact = false;      // set by --compact (ingest)
@@ -170,7 +176,8 @@ int Usage() {
       "fw-gen|ingest|delta-search|alerts> "
       "[--threads=N] [--fast_encoder=0|1] [--failpoints=SPEC] "
       "[--log_level=LEVEL] [--metrics_out=FILE] [--socket=PATH] "
-      "[--repeat=N] [--weights=FILE] [--drop_dir=DIR] [--compact] "
+      "[--repeat=N] [--batch_file=FILE] [--weights=FILE] [--drop_dir=DIR] "
+      "[--compact] "
       "[--deadline_ms=N] [--retries=N] [--retry_seed=N] ...\n"
       "see the header of tools/asteria_cli.cpp for details\n");
   return 2;
@@ -596,23 +603,68 @@ int CmdIndexQuery(int argc, char** argv) {
   std::fprintf(stderr, "loaded %d encoded functions from %s (no re-encode)\n",
                index.size(), index_path.c_str());
 
-  // Only the query function needs compiling/encoding now.
+  // Only the query functions need compiling/encoding now. With
+  // --batch_file=FILE the queried names come from the file (one per line,
+  // '#' comments allowed) and the positional <fn> is just the default when
+  // the file is empty of names; all queries go through one TopKBatch sweep.
+  std::vector<std::string> names;
+  if (!g_batch_file.empty()) {
+    std::string listing;
+    if (!ReadFile(g_batch_file, &listing)) {
+      std::fprintf(stderr, "cannot read --batch_file %s\n",
+                   g_batch_file.c_str());
+      return 1;
+    }
+    std::istringstream lines(listing);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      const std::size_t stop = line.find_last_not_of(" \t\r");
+      names.push_back(line.substr(start, stop - start + 1));
+    }
+  }
+  if (names.empty()) names.push_back(query_fn);
+
   auto result = compiler::CompileProgram(program, query_isa, argv[3]);
   if (!result.ok) {
     std::fprintf(stderr, "compile error: %s\n", result.error.c_str());
     return 1;
   }
-  const int fn = result.module.FindFunction(query_fn);
-  if (fn < 0) {
-    std::fprintf(stderr, "no function '%s'\n", query_fn.c_str());
-    return 1;
+  std::vector<core::FunctionFeature> queries(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const int fn = result.module.FindFunction(names[i]);
+    if (fn < 0) {
+      std::fprintf(stderr, "no function '%s'\n", names[i].c_str());
+      return 1;
+    }
+    auto decompiled = decompiler::DecompileFunction(result.module, fn);
+    queries[i].name = names[i];
+    queries[i].tree = core::AsteriaModel::Preprocess(decompiled.tree);
+    queries[i].callee_count = decompiled.callee_count;
   }
-  auto decompiled = decompiler::DecompileFunction(result.module, fn);
-  core::FunctionFeature query;
-  query.name = query_fn;
-  query.tree = core::AsteriaModel::Preprocess(decompiled.tree);
-  query.callee_count = decompiled.callee_count;
-  PrintHits(index.TopK(query, k));
+  std::vector<const core::FunctionFeature*> query_ptrs(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) query_ptrs[i] = &queries[i];
+  const std::vector<int> ks(queries.size(), k);
+
+  std::vector<std::vector<core::SearchHit>> results;
+  util::TimingStats latency;
+  for (long rep = 0; rep < g_repeat; ++rep) {
+    util::Timer timer;
+    results = index.TopKBatch(query_ptrs, ks);
+    latency.Add(static_cast<double>(timer.ElapsedNanos()));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results.size() > 1) std::printf("== %s ==\n", queries[i].name.c_str());
+    PrintHits(results[i]);
+  }
+  if (g_repeat > 1) {
+    // Machine-readable warm-latency line for scripts/bench_search.sh.
+    std::printf(
+        "repeat=%ld batch=%zu mean_nanos=%.0f min_nanos=%.0f max_nanos=%.0f\n",
+        g_repeat, queries.size(), latency.mean(), latency.min(),
+        latency.max());
+  }
   return 0;
 }
 
@@ -996,6 +1048,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "bad --repeat value '%s' (expected a positive integer)\n",
                      argv[i] + 9);
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    } else if (std::strncmp(argv[i], "--batch_file=", 13) == 0) {
+      g_batch_file = argv[i] + 13;
+      if (g_batch_file.empty()) {
+        std::fprintf(stderr, "bad --batch_file value (expected a path)\n");
         return 2;
       }
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
