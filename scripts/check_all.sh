@@ -6,7 +6,8 @@
 #   4. the serving determinism gate (check_serve.sh),
 #   5. the streaming-ingest determinism gate (check_ingest.sh),
 #   6. the overload/request-lifecycle chaos gate (check_chaos.sh),
-#   7. the batched-search throughput + exactness gate (bench_search.sh).
+#   7. the per-request tracing gate (check_trace.sh),
+#   8. the batched-search throughput + exactness gate (bench_search.sh).
 # Each stage reuses its own build directory, so a warm tree pays mostly
 # test time. Fail-fast: the first failing gate stops the run; either way a
 # per-gate PASS/FAIL/skipped summary table prints at the end, so a red run
@@ -37,7 +38,7 @@ trap summary EXIT
 # run; the EXIT trap still prints the table, with every unreached gate
 # marked skipped.
 REMAINING_GATES=("build+ctest" "sanitize(thread)" "sanitize(address)"
-                 "metrics" "serve" "ingest" "chaos" "search-bench")
+                 "metrics" "serve" "ingest" "chaos" "trace" "search-bench")
 gate() {
   local name="$1"
   shift
@@ -69,6 +70,7 @@ gate "metrics" "$ROOT/scripts/check_metrics.sh" "$BUILD_DIR"
 gate "serve" "$ROOT/scripts/check_serve.sh" "$BUILD_DIR"
 gate "ingest" "$ROOT/scripts/check_ingest.sh" "$BUILD_DIR"
 gate "chaos" "$ROOT/scripts/check_chaos.sh" "$BUILD_DIR"
+gate "trace" "$ROOT/scripts/check_trace.sh" "$BUILD_DIR"
 gate "search-bench" "$ROOT/scripts/bench_search.sh" "$BUILD_DIR"
 
 echo

@@ -108,7 +108,7 @@ filter() {
     in_batch                     { next }
     /^    "[a-z_.]*_nanos": \{$/ { in_nanos = 1 }
     in_nanos && /^    \}/        { in_nanos = 0 }
-    /"(sum|min|max)":/           { next }
+    /"(sum|min|max|p50|p95|p99)":/           { next }
     in_nanos && /"buckets":/     { next }
     { print }
   ' "$1"

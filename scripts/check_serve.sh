@@ -86,8 +86,9 @@ fi
 
 # Deterministic metrics slice: drop the spans section and every *batch*
 # histogram wholesale (their counts encode arrival timing), then the usual
-# latency-valued fields (sum/min/max everywhere, nanos bucket tallies).
-# Everything that survives must be identical across worker counts.
+# latency-valued fields (sum/min/max and the p50/p95/p99 estimates
+# everywhere, nanos bucket tallies). Everything that survives must be
+# identical across worker counts.
 filter() {
   awk '
     /^  "spans": \{$/            { in_spans = 1 }
@@ -98,7 +99,7 @@ filter() {
     in_batch                     { next }
     /^    "[a-z_.]*_nanos": \{$/ { in_nanos = 1 }
     in_nanos && /^    \}/        { in_nanos = 0 }
-    /"(sum|min|max)":/           { next }
+    /"(sum|min|max|p50|p95|p99)":/           { next }
     in_nanos && /"buckets":/     { next }
     { print }
   ' "$1"

@@ -14,6 +14,7 @@
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace asteria::core {
 
@@ -188,6 +189,11 @@ class BlockScorer {
 // thread count, so the pruned set stays deterministic.
 constexpr std::int64_t kMinPruneIndex = 2048;
 constexpr std::size_t kMaxPruneK = 512;
+
+// Stack capacity for the per-(shard,query) pair tallies (2 slots each).
+// Covers e.g. 4 shards x 8 queries without touching the allocator; bigger
+// sweeps fall back to one heap vector.
+constexpr std::size_t kStackTallySlots = 64;
 
 }  // namespace
 
@@ -373,11 +379,13 @@ void SearchIndex::EnsureSideIndexFresh() const {
 
 std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
     const std::vector<nn::Matrix>& encodings, const std::vector<int>& callees,
-    const std::vector<std::size_t>& keeps) const {
+    const std::vector<std::size_t>& keeps,
+    std::vector<QuerySearchStats>* stats) const {
   const std::size_t batch = encodings.size();
   const std::int64_t n = static_cast<std::int64_t>(entries_.size());
   std::vector<std::vector<SearchHit>> results(batch);
   if (batch == 0 || n == 0) return results;
+  const std::int64_t sweep_start_nanos = util::TraceNowNanos();
 
   // Phase 1 — per-query plans. When the prune is worth arming (large index,
   // small k), pick the `keep` entries nearest the query's callee count in
@@ -477,8 +485,21 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
       static_cast<std::size_t>(std::max(1, max_shards));
   std::vector<std::vector<std::vector<ScoredRef>>> shard_top(
       shard_slots, std::vector<std::vector<ScoredRef>>(batch));
-  std::vector<std::uint64_t> shard_scored(shard_slots, 0);
-  std::vector<std::uint64_t> shard_pruned(shard_slots, 0);
+  // Pair tallies per (shard, query), flattened (rows of 2*batch per shard:
+  // scored then pruned): summed across queries they reproduce the old
+  // per-shard totals (same counter deltas); summed across shards they give
+  // each query's exact scored/pruned counts for `stats`. Flat — and on the
+  // stack for the common small case — because this runs per dispatch: a
+  // nested vector-of-vectors costs 2*(shards+1) mallocs on the warm
+  // singleton-query path.
+  const std::size_t tally_count = shard_slots * batch * 2;
+  std::uint64_t stack_tallies[kStackTallySlots] = {};
+  std::vector<std::uint64_t> heap_tallies;
+  std::uint64_t* shard_tallies = stack_tallies;
+  if (tally_count > kStackTallySlots) {
+    heap_tallies.assign(tally_count, 0);
+    shard_tallies = heap_tallies.data();
+  }
   util::ParallelForShards(
       n, max_shards, [&](std::int64_t begin, std::int64_t end, int shard) {
         std::vector<std::vector<ScoredRef>>& locals =
@@ -486,7 +507,9 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
         for (std::size_t q = 0; q < batch; ++q) {
           locals[q].reserve(plans[q].keep + 1);
         }
-        std::uint64_t scored = 0, pruned = 0;
+        std::uint64_t* const scored =
+            shard_tallies + static_cast<std::size_t>(shard) * batch * 2;
+        std::uint64_t* const pruned = scored + batch;
         BlockScorer scorer(model_);
         auto sink = [&](int q, int entry, double m) {
           const std::size_t slot = static_cast<std::size_t>(q);
@@ -510,28 +533,34 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
             }
             if (plan.max_dist != kNoDistanceCut &&
                 CalleeDistance(ce, plan.callees) > plan.max_dist) {
-              ++pruned;
+              ++pruned[q];
               continue;
             }
             scorer.Push(plan.encoding, column, static_cast<int>(q),
                         static_cast<int>(i));
-            ++scored;
+            ++scored[q];
             if (scorer.Full()) scorer.Flush(sink);
           }
         }
         scorer.Flush(sink);
-        shard_scored[static_cast<std::size_t>(shard)] = scored;
-        shard_pruned[static_cast<std::size_t>(shard)] = pruned;
       });
 
   // Merge: seeds plus every shard's heap, cut under the strict total order.
   // The ranking is a pure function of the scores, so the result is bitwise
   // identical to the brute-force sweep at any thread count.
   std::uint64_t total_scored = 0, total_pruned = 0;
-  for (std::size_t q = 0; q < batch; ++q) total_scored += seed_scored[q];
-  for (std::size_t s = 0; s < shard_slots; ++s) {
-    total_scored += shard_scored[s];
-    total_pruned += shard_pruned[s];
+  for (std::size_t q = 0; q < batch; ++q) {
+    std::uint64_t q_scored = seed_scored[q], q_pruned = 0;
+    for (std::size_t s = 0; s < shard_slots; ++s) {
+      q_scored += shard_tallies[s * batch * 2 + q];
+      q_pruned += shard_tallies[s * batch * 2 + batch + q];
+    }
+    total_scored += q_scored;
+    total_pruned += q_pruned;
+    if (stats != nullptr) {
+      (*stats)[q].scored_pairs = q_scored;
+      (*stats)[q].pruned_pairs = q_pruned;
+    }
   }
   c_scored_pairs.Add(total_scored);
   c_pruned_pairs.Add(total_pruned);
@@ -553,16 +582,25 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKOnEncodings(
       hits[i].score = merged[i].score;
     }
   }
+  if (stats != nullptr) {
+    const std::uint64_t sweep_nanos = static_cast<std::uint64_t>(
+        util::TraceNowNanos() - sweep_start_nanos);
+    for (std::size_t q = 0; q < batch; ++q) {
+      (*stats)[q].score_nanos = sweep_nanos;
+    }
+  }
   return results;
 }
 
 std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdOnEncodings(
     const std::vector<nn::Matrix>& encodings, const std::vector<int>& callees,
-    const std::vector<double>& thresholds) const {
+    const std::vector<double>& thresholds,
+    std::vector<QuerySearchStats>* stats) const {
   const std::size_t batch = encodings.size();
   const std::int64_t n = static_cast<std::int64_t>(entries_.size());
   std::vector<std::vector<SearchHit>> results(batch);
   if (batch == 0 || n == 0) return results;
+  const std::int64_t sweep_start_nanos = util::TraceNowNanos();
   // The threshold is a static floor, so no seed pass is needed: any entry
   // whose calibration bound falls below it cannot score above it.
   std::vector<QueryPlan> plans(batch);
@@ -576,13 +614,23 @@ std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdOnEncodings(
       static_cast<std::size_t>(std::max(1, max_shards));
   std::vector<std::vector<std::vector<ScoredRef>>> shard_hits(
       shard_slots, std::vector<std::vector<ScoredRef>>(batch));
-  std::vector<std::uint64_t> shard_scored(shard_slots, 0);
-  std::vector<std::uint64_t> shard_pruned(shard_slots, 0);
+  // Same flat tally layout as TopKOnEncodings: scored row then pruned row,
+  // 2*batch slots per shard, stack-backed for the common small case.
+  const std::size_t tally_count = shard_slots * batch * 2;
+  std::uint64_t stack_tallies[kStackTallySlots] = {};
+  std::vector<std::uint64_t> heap_tallies;
+  std::uint64_t* shard_tallies = stack_tallies;
+  if (tally_count > kStackTallySlots) {
+    heap_tallies.assign(tally_count, 0);
+    shard_tallies = heap_tallies.data();
+  }
   util::ParallelForShards(
       n, max_shards, [&](std::int64_t begin, std::int64_t end, int shard) {
         std::vector<std::vector<ScoredRef>>& locals =
             shard_hits[static_cast<std::size_t>(shard)];
-        std::uint64_t scored = 0, pruned = 0;
+        std::uint64_t* const scored =
+            shard_tallies + static_cast<std::size_t>(shard) * batch * 2;
+        std::uint64_t* const pruned = scored + batch;
         BlockScorer scorer(model_);
         auto sink = [&](int q, int entry, double m) {
           const std::size_t slot = static_cast<std::size_t>(q);
@@ -600,23 +648,30 @@ std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdOnEncodings(
           for (std::size_t q = 0; q < batch; ++q) {
             if (plans[q].max_dist != kNoDistanceCut &&
                 CalleeDistance(ce, plans[q].callees) > plans[q].max_dist) {
-              ++pruned;
+              ++pruned[q];
               continue;
             }
             scorer.Push(plans[q].encoding, column, static_cast<int>(q),
                         static_cast<int>(i));
-            ++scored;
+            ++scored[q];
             if (scorer.Full()) scorer.Flush(sink);
           }
         }
         scorer.Flush(sink);
-        shard_scored[static_cast<std::size_t>(shard)] = scored;
-        shard_pruned[static_cast<std::size_t>(shard)] = pruned;
       });
   std::uint64_t total_scored = 0, total_pruned = 0;
-  for (std::size_t s = 0; s < shard_slots; ++s) {
-    total_scored += shard_scored[s];
-    total_pruned += shard_pruned[s];
+  for (std::size_t q = 0; q < batch; ++q) {
+    std::uint64_t q_scored = 0, q_pruned = 0;
+    for (std::size_t s = 0; s < shard_slots; ++s) {
+      q_scored += shard_tallies[s * batch * 2 + q];
+      q_pruned += shard_tallies[s * batch * 2 + batch + q];
+    }
+    total_scored += q_scored;
+    total_pruned += q_pruned;
+    if (stats != nullptr) {
+      (*stats)[q].scored_pairs = q_scored;
+      (*stats)[q].pruned_pairs = q_pruned;
+    }
   }
   c_scored_pairs.Add(total_scored);
   c_pruned_pairs.Add(total_pruned);
@@ -632,6 +687,13 @@ std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdOnEncodings(
       hits[i].index = merged[i].index;
       hits[i].name = entries_[static_cast<std::size_t>(merged[i].index)].name;
       hits[i].score = merged[i].score;
+    }
+  }
+  if (stats != nullptr) {
+    const std::uint64_t sweep_nanos = static_cast<std::uint64_t>(
+        util::TraceNowNanos() - sweep_start_nanos);
+    for (std::size_t q = 0; q < batch; ++q) {
+      (*stats)[q].score_nanos = sweep_nanos;
     }
   }
   return results;
@@ -656,21 +718,32 @@ std::vector<SearchHit> SearchIndex::TopK(const FunctionFeature& query,
 
 std::vector<std::vector<SearchHit>> SearchIndex::TopKBatch(
     const std::vector<const FunctionFeature*>& queries,
-    const std::vector<int>& ks) const {
+    const std::vector<int>& ks, std::vector<QuerySearchStats>* stats) const {
   const std::size_t batch = queries.size();
   std::vector<std::vector<SearchHit>> results(batch);
+  if (stats != nullptr) {
+    stats->clear();
+    stats->resize(batch);
+  }
   if (batch == 0) return results;
   ASTERIA_SPAN("search");
   util::Timer timer;
   h_topk_batch_queries.Observe(batch);
   // Encode the whole batch first (the expensive per-query step), in
-  // parallel across queries.
+  // parallel across queries. Each slot of `stats` is written by exactly one
+  // ParallelFor iteration, so no synchronization is needed.
   std::vector<nn::Matrix> encodings(batch);
   util::ParallelFor(static_cast<std::int64_t>(batch), threads_,
                     [&](std::int64_t q) {
                       ASTERIA_SPAN("encode");
+                      const std::int64_t encode_start =
+                          util::TraceNowNanos();
                       const std::size_t slot = static_cast<std::size_t>(q);
                       encodings[slot] = model_.Encode(queries[slot]->tree);
+                      if (stats != nullptr) {
+                        (*stats)[slot].encode_nanos = static_cast<std::uint64_t>(
+                            util::TraceNowNanos() - encode_start);
+                      }
                     });
   std::vector<int> callees(batch);
   std::vector<std::size_t> keeps(batch);
@@ -681,7 +754,7 @@ std::vector<std::vector<SearchHit>> SearchIndex::TopKBatch(
                                 static_cast<std::size_t>(ks[q]),
                                 entries_.size());
   }
-  results = TopKOnEncodings(encodings, callees, keeps);
+  results = TopKOnEncodings(encodings, callees, keeps, stats);
   for (std::size_t q = 0; q < batch; ++q) {
     h_topk_size.Observe(results[q].size());
   }
@@ -703,23 +776,34 @@ std::vector<SearchHit> SearchIndex::AboveThreshold(
 
 std::vector<std::vector<SearchHit>> SearchIndex::AboveThresholdBatch(
     const std::vector<const FunctionFeature*>& queries,
-    const std::vector<double>& thresholds) const {
+    const std::vector<double>& thresholds,
+    std::vector<QuerySearchStats>* stats) const {
   const std::size_t batch = queries.size();
   std::vector<std::vector<SearchHit>> results(batch);
+  if (stats != nullptr) {
+    stats->clear();
+    stats->resize(batch);
+  }
   if (batch == 0) return results;
   ASTERIA_SPAN("search");
   std::vector<nn::Matrix> encodings(batch);
   util::ParallelFor(static_cast<std::int64_t>(batch), threads_,
                     [&](std::int64_t q) {
                       ASTERIA_SPAN("encode");
+                      const std::int64_t encode_start =
+                          util::TraceNowNanos();
                       const std::size_t slot = static_cast<std::size_t>(q);
                       encodings[slot] = model_.Encode(queries[slot]->tree);
+                      if (stats != nullptr) {
+                        (*stats)[slot].encode_nanos = static_cast<std::uint64_t>(
+                            util::TraceNowNanos() - encode_start);
+                      }
                     });
   std::vector<int> callees(batch);
   for (std::size_t q = 0; q < batch; ++q) {
     callees[q] = queries[q]->callee_count;
   }
-  return AboveThresholdOnEncodings(encodings, callees, thresholds);
+  return AboveThresholdOnEncodings(encodings, callees, thresholds, stats);
 }
 
 // -- Brute-force reference paths (pre-packing implementation) --------------

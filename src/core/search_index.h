@@ -85,6 +85,21 @@ class SearchIndex {
   // hits in descending score order (ties broken by insertion index).
   std::vector<SearchHit> TopK(const FunctionFeature& query, int k) const;
 
+  // Per-query accounting for one batched search, filled (when requested)
+  // alongside the results so asteria-serve can cut one wide-event request
+  // record per query (util/request_log.h). The pair counts are exact and
+  // thread-count invariant — summed over the batch they equal the
+  // search.scored_pairs / search.pruned_pairs counter deltas. The timings
+  // are wall clock: encode_nanos is this query's own AST encode;
+  // score_nanos is the batch's *shared* sweep (every query in a batch
+  // reports the same value, because the blocked GEMM scores them together).
+  struct QuerySearchStats {
+    std::uint64_t encode_nanos = 0;
+    std::uint64_t score_nanos = 0;
+    std::uint64_t scored_pairs = 0;
+    std::uint64_t pruned_pairs = 0;
+  };
+
   // Batched TopK — the asteria-serve dispatch path: encodes every query,
   // then scores the whole batch in one blocked-GEMM sweep over the packed
   // entry matrix (each entry block is touched once per sweep instead of
@@ -92,10 +107,12 @@ class SearchIndex {
   // Results are bitwise identical to calling TopK(queries[i], ks[i]) one at
   // a time: the strict (score desc, index asc) total order makes the
   // ranking a pure function of the scores, independent of batching and
-  // sharding.
+  // sharding. `stats`, when non-null, is resized to the batch and filled
+  // with per-query accounting (never affects results or counters).
   std::vector<std::vector<SearchHit>> TopKBatch(
       const std::vector<const FunctionFeature*>& queries,
-      const std::vector<int>& ks) const;
+      const std::vector<int>& ks,
+      std::vector<QuerySearchStats>* stats = nullptr) const;
 
   // All hits scoring at least `threshold`, descending. Routed through the
   // same pruned/blocked sweep as TopK — entries whose calibration bound
@@ -109,7 +126,8 @@ class SearchIndex {
   // AboveThreshold(queries[i], thresholds[i]).
   std::vector<std::vector<SearchHit>> AboveThresholdBatch(
       const std::vector<const FunctionFeature*>& queries,
-      const std::vector<double>& thresholds) const;
+      const std::vector<double>& thresholds,
+      std::vector<QuerySearchStats>* stats = nullptr) const;
 
   // -- Brute-force reference paths ----------------------------------------
   //
@@ -238,15 +256,19 @@ class SearchIndex {
       const FunctionFeature& query,
       const std::vector<nn::Matrix>& entry_encodings) const;
 
-  // Shared pruned/blocked sweep cores (encodings already computed).
+  // Shared pruned/blocked sweep cores (encodings already computed). `stats`
+  // (nullable) receives per-query pair counts and the shared sweep time;
+  // the caller must have sized it to the batch.
   std::vector<std::vector<SearchHit>> TopKOnEncodings(
       const std::vector<nn::Matrix>& encodings,
       const std::vector<int>& callees,
-      const std::vector<std::size_t>& keeps) const;
+      const std::vector<std::size_t>& keeps,
+      std::vector<QuerySearchStats>* stats = nullptr) const;
   std::vector<std::vector<SearchHit>> AboveThresholdOnEncodings(
       const std::vector<nn::Matrix>& encodings,
       const std::vector<int>& callees,
-      const std::vector<double>& thresholds) const;
+      const std::vector<double>& thresholds,
+      std::vector<QuerySearchStats>* stats = nullptr) const;
 
   // Rebuilds the callee-count-sorted side index if entries changed since
   // the last query (double-checked under side_mutex_, so concurrent

@@ -26,8 +26,10 @@
 #include "util/failpoint.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/request_log.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace asteria::ingest {
 
@@ -278,6 +280,21 @@ bool IngestService::IngestFile(const std::string& path, IngestStats* stats,
   ASTERIA_SPAN("ingest");
   util::PipelineReport local;
   local.stage = "ingest";
+  // One wide-event record per image (docs/OBSERVABILITY.md): the pipeline's
+  // wall time rides in encode_nanos (encoding dominates an ingest), the
+  // image path in name, the outcome says published vs failed. Deduped
+  // images cut a record too — "we did nothing" is an answer.
+  util::Timer op_timer;
+  const auto cut_record = [&](util::RequestOutcome outcome) {
+    util::RequestRecord record;
+    record.trace_id = util::MintTraceId();
+    record.op = "ingest.image";
+    record.outcome = outcome;
+    record.encode_nanos = static_cast<std::uint64_t>(op_timer.ElapsedNanos());
+    record.SetName(path);
+    record.end_nanos = util::TraceNowNanos();
+    util::GlobalRequestLog().Append(record);
+  };
   auto fail = [&](const std::string& why) {
     *error = why;
     ++stats->images_failed;
@@ -285,6 +302,7 @@ bool IngestService::IngestFile(const std::string& path, IngestStats* stats,
     local.AddFailed(why);
     stats->report.Merge(local);
     util::PublishPipelineReport(local);
+    cut_record(util::RequestOutcome::kError);
     return false;
   };
 
@@ -302,6 +320,7 @@ bool IngestService::IngestFile(const std::string& path, IngestStats* stats,
     c_deduped.Increment();
     ASTERIA_LOG(Info) << "ingest: " << path
                       << " already ingested (digest match); skipping";
+    cut_record(util::RequestOutcome::kOk);
     return true;
   }
 
@@ -422,6 +441,7 @@ bool IngestService::IngestFile(const std::string& path, IngestStats* stats,
   stats->functions_indexed += shard.size();
   stats->report.Merge(local);
   util::PublishPipelineReport(local);
+  cut_record(util::RequestOutcome::kOk);
   ASTERIA_LOG(Info) << "ingest: published " << shard_file << " ("
                     << shard.size() << " functions) from " << path;
   return true;
@@ -802,6 +822,26 @@ bool DeltaVulnSearch(const core::AsteriaModel& model,
                      int beta, int threads, DeltaVulnResult* result,
                      std::string* error) {
   ASTERIA_SPAN("delta-vuln-search");
+  // Wide-event record for the whole sweep, cut on every exit path: the
+  // sweep wall time in score_nanos, the delta's entry count in
+  // scored_pairs, ok only when the scan (and its manifest advance) landed.
+  struct RecordGuard {
+    util::Timer timer;
+    const DeltaVulnResult* result = nullptr;
+    bool ok = false;
+    ~RecordGuard() {
+      util::RequestRecord record;
+      record.trace_id = util::MintTraceId();
+      record.op = "ingest.delta_search";
+      record.outcome =
+          ok ? util::RequestOutcome::kOk : util::RequestOutcome::kError;
+      record.score_nanos = static_cast<std::uint64_t>(timer.ElapsedNanos());
+      record.scored_pairs = result->entries_searched;
+      record.end_nanos = util::TraceNowNanos();
+      util::GlobalRequestLog().Append(record);
+    }
+  } record_guard;
+  record_guard.result = result;
   const std::string manifest_path =
       index_dir + "/" + store::kManifestFileName;
   store::ShardManifest manifest;
@@ -880,6 +920,7 @@ bool DeltaVulnSearch(const core::AsteriaModel& model,
     if (!SaveManifest(next, manifest_path, error)) return false;
   }
   c_delta_searches.Increment();
+  record_guard.ok = true;
   util::PublishPipelineReport(result->report);
   return true;
 }

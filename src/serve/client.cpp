@@ -11,6 +11,9 @@
 #include <thread>
 
 #include "util/metrics.h"
+#include "util/request_log.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace asteria::serve {
 
@@ -117,13 +120,40 @@ void Client::Close() {
 Client::ExchangeResult Client::ExchangeOnce(
     FrameType request_type, const store::ChunkBuilder& payload,
     std::uint64_t id, FrameType expected_reply,
-    std::uint64_t frame_deadline_ms, std::vector<std::uint8_t>* reply_payload,
+    std::uint64_t frame_deadline_ms, std::uint64_t trace_id, const char* op,
+    const std::string& name, std::vector<std::uint8_t>* reply_payload,
     std::string* error) {
+  // Every exit path below cuts exactly one wide-event record for this
+  // attempt: the round trip lands in reply_nanos, the remaining deadline
+  // budget (if any) in deadline_slack_nanos. One clock read per record —
+  // the end stamp doubles as the round-trip endpoint.
+  const std::int64_t attempt_start_nanos = util::TraceNowNanos();
+  const auto cut_record = [&](util::RequestOutcome outcome) {
+    util::RequestRecord record;
+    record.trace_id = trace_id;
+    record.op = op;
+    record.outcome = outcome;
+    record.end_nanos = util::TraceNowNanos();
+    const std::int64_t attempt_nanos =
+        record.end_nanos - attempt_start_nanos;
+    record.reply_nanos = static_cast<std::uint64_t>(attempt_nanos);
+    record.has_deadline = frame_deadline_ms > 0;
+    if (frame_deadline_ms > 0) {
+      record.deadline_slack_nanos =
+          static_cast<std::int64_t>(frame_deadline_ms) * 1000000 -
+          attempt_nanos;
+    }
+    record.SetName(name);
+    util::GlobalRequestLog().Append(record);
+  };
   if (fd_ < 0) {
     *error = "not connected";
+    cut_record(util::RequestOutcome::kError);
     return ExchangeResult::kTransport;
   }
-  if (!WriteFrame(fd_, request_type, payload, error, frame_deadline_ms)) {
+  if (!WriteFrame(fd_, request_type, payload, error, frame_deadline_ms,
+                  trace_id)) {
+    cut_record(util::RequestOutcome::kError);
     return ExchangeResult::kTransport;
   }
   // Replies to pipelined requests may arrive in any order; skip frames for
@@ -131,46 +161,70 @@ Client::ExchangeResult Client::ExchangeOnce(
   // allows it).
   for (;;) {
     FrameType reply_type = FrameType::kError;
-    const ReadStatus status = ReadFrame(fd_, &reply_type, reply_payload, error);
+    std::uint64_t reply_deadline_ms = 0;
+    std::uint64_t reply_trace_id = 0;
+    const ReadStatus status =
+        ReadFrame(fd_, &reply_type, reply_payload, error, &reply_deadline_ms,
+                  /*io_timeout_ms=*/0, &reply_trace_id);
     if (status == ReadStatus::kClosed) {
       *error = "daemon closed the connection before replying";
+      cut_record(util::RequestOutcome::kError);
       return ExchangeResult::kTransport;
     }
-    if (status != ReadStatus::kFrame) return ExchangeResult::kTransport;
+    if (status != ReadStatus::kFrame) {
+      cut_record(util::RequestOutcome::kError);
+      return ExchangeResult::kTransport;
+    }
     std::uint64_t reply_id = 0;
     std::string parse_error;
     if (!GetControl(*reply_payload, &reply_id, &parse_error)) {
       *error = "unparseable reply: " + parse_error;
+      cut_record(util::RequestOutcome::kError);
       return ExchangeResult::kFailed;
     }
     if (reply_type == FrameType::kError) {
       std::string message;
       if (!GetError(*reply_payload, &reply_id, &message, &parse_error)) {
         *error = "unparseable error reply: " + parse_error;
+        cut_record(util::RequestOutcome::kError);
         return ExchangeResult::kFailed;
       }
       *error = "daemon error: " + message;
+      cut_record(util::RequestOutcome::kError);
       return ExchangeResult::kFailed;
     }
     if (reply_id != id) continue;
+    // A v3 daemon echoes the request's trace id on the reply; an echo that
+    // disagrees means the frames are crossed — fail loudly rather than
+    // trust the payload. A zero echo is a pre-v3 daemon, which is fine.
+    if (reply_trace_id != 0 && trace_id != 0 && reply_trace_id != trace_id) {
+      *error = "reply trace id mismatch (frames crossed on the connection)";
+      cut_record(util::RequestOutcome::kError);
+      return ExchangeResult::kFailed;
+    }
     if (reply_type == FrameType::kOverloaded) {
       *error = "daemon overloaded (query shed)";
+      cut_record(util::RequestOutcome::kShed);
       return ExchangeResult::kRejected;
     }
     if (reply_type == FrameType::kShuttingDown) {
       *error = "daemon shutting down";
+      cut_record(util::RequestOutcome::kShuttingDown);
       return ExchangeResult::kRejected;
     }
     if (reply_type == FrameType::kDeadlineExceeded) {
       // The budget is gone; a retry would only be answered the same way.
       *error = "deadline exceeded before the daemon scored the query";
+      cut_record(util::RequestOutcome::kDeadlineExceeded);
       return ExchangeResult::kFailed;
     }
     if (reply_type != expected_reply) {
       *error = "unexpected reply frame type " +
                std::to_string(static_cast<std::uint32_t>(reply_type));
+      cut_record(util::RequestOutcome::kError);
       return ExchangeResult::kFailed;
     }
+    cut_record(util::RequestOutcome::kOk);
     return ExchangeResult::kOk;
   }
 }
@@ -178,6 +232,7 @@ Client::ExchangeResult Client::ExchangeOnce(
 bool Client::Exchange(FrameType request_type,
                       const store::ChunkBuilder& payload, std::uint64_t id,
                       FrameType expected_reply, bool idempotent,
+                      const char* op, const std::string& name,
                       std::vector<std::uint8_t>* reply_payload,
                       std::string* error) {
   const auto start = std::chrono::steady_clock::now();
@@ -201,9 +256,13 @@ bool Client::Exchange(FrameType request_type,
     if (fd_ < 0 && !ConnectFd(error)) {
       // Daemon not back yet; fall through to the backoff and try again.
     } else {
+      // A fresh trace per attempt: each wire exchange is its own event on
+      // both sides' request logs; the correlation id links the retries.
+      const std::uint64_t trace_id = util::MintTraceId();
       const ExchangeResult result =
           ExchangeOnce(request_type, payload, id, expected_reply,
-                       frame_deadline_ms, reply_payload, error);
+                       frame_deadline_ms, trace_id, op, name, reply_payload,
+                       error);
       if (result == ExchangeResult::kOk) return true;
       if (result == ExchangeResult::kFailed) return false;
       // kTransport: this connection is done; reconnect on the next attempt.
@@ -226,9 +285,11 @@ bool Client::Query(FrameType type, const core::FunctionFeature& query, int k,
   const std::uint64_t id = next_id_++;
   store::ChunkBuilder payload;
   PutQuery(id, query, k, threshold, type, &payload);
+  const char* op = type == FrameType::kTopK ? "client.topk"
+                                            : "client.above_threshold";
   std::vector<std::uint8_t> reply;
-  if (!Exchange(type, payload, id, FrameType::kHits, /*idempotent=*/true,
-                &reply, error)) {
+  if (!Exchange(type, payload, id, FrameType::kHits, /*idempotent=*/true, op,
+                query.name, &reply, error)) {
     return false;
   }
   std::uint64_t reply_id = 0;
@@ -248,29 +309,39 @@ bool Client::AboveThreshold(const core::FunctionFeature& query,
 }
 
 bool Client::Control(FrameType request_type, FrameType expected_reply,
-                     bool idempotent, std::vector<std::uint8_t>* reply,
-                     std::string* error) {
+                     bool idempotent, const char* op,
+                     std::vector<std::uint8_t>* reply, std::string* error) {
   const std::uint64_t id = next_id_++;
   store::ChunkBuilder payload;
   PutControl(id, &payload);
-  return Exchange(request_type, payload, id, expected_reply, idempotent, reply,
-                  error);
+  return Exchange(request_type, payload, id, expected_reply, idempotent, op,
+                  /*name=*/std::string(), reply, error);
 }
 
 bool Client::Ping(std::string* error) {
   std::vector<std::uint8_t> reply;
   return Control(FrameType::kPing, FrameType::kPong, /*idempotent=*/true,
-                 &reply, error);
+                 "client.ping", &reply, error);
 }
 
 bool Client::Health(HealthInfo* info, std::string* error) {
   std::vector<std::uint8_t> reply;
   if (!Control(FrameType::kHealth, FrameType::kHealthInfo,
-               /*idempotent=*/true, &reply, error)) {
+               /*idempotent=*/true, "client.health", &reply, error)) {
     return false;
   }
   std::uint64_t reply_id = 0;
   return GetHealthInfo(reply, &reply_id, info, error);
+}
+
+bool Client::Stats(StatsInfo* info, std::string* error) {
+  std::vector<std::uint8_t> reply;
+  if (!Control(FrameType::kStats, FrameType::kStatsInfo,
+               /*idempotent=*/true, "client.stats", &reply, error)) {
+    return false;
+  }
+  std::uint64_t reply_id = 0;
+  return GetStatsInfo(reply, &reply_id, info, error);
 }
 
 bool Client::Reload(std::string* error) {
@@ -279,13 +350,13 @@ bool Client::Reload(std::string* error) {
   // around a concurrent publish. Mutations get exactly one attempt.
   std::vector<std::uint8_t> reply;
   return Control(FrameType::kReload, FrameType::kOk, /*idempotent=*/false,
-                 &reply, error);
+                 "client.reload", &reply, error);
 }
 
 bool Client::Shutdown(std::string* error) {
   std::vector<std::uint8_t> reply;
   return Control(FrameType::kShutdown, FrameType::kOk, /*idempotent=*/false,
-                 &reply, error);
+                 "client.shutdown", &reply, error);
 }
 
 }  // namespace asteria::serve

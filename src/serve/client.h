@@ -83,6 +83,9 @@ class Client {
                       std::vector<core::SearchHit>* hits, std::string* error);
   bool Ping(std::string* error);
   bool Health(HealthInfo* info, std::string* error);
+  // kStats probe: counters, latency percentiles, and the telemetry sampler's
+  // recent time series (`asteria-cli ctl top`).
+  bool Stats(StatsInfo* info, std::string* error);
   bool Reload(std::string* error);
   bool Shutdown(std::string* error);
 
@@ -99,23 +102,34 @@ class Client {
   };
 
   bool ConnectFd(std::string* error);
+  // One wire attempt. Mints nothing itself: `trace_id` is this attempt's
+  // already-minted trace (stamped into the v3 header; the reply must echo
+  // it or the attempt fails). `op`/`name` label the wide-event record the
+  // attempt cuts into util::GlobalRequestLog() — one record per attempt,
+  // whatever the outcome, so the client-side request log mirrors the
+  // daemon's (docs/OBSERVABILITY.md).
   ExchangeResult ExchangeOnce(FrameType request_type,
                               const store::ChunkBuilder& payload,
                               std::uint64_t id, FrameType expected_reply,
                               std::uint64_t frame_deadline_ms,
+                              std::uint64_t trace_id, const char* op,
+                              const std::string& name,
                               std::vector<std::uint8_t>* reply_payload,
                               std::string* error);
-  // Full retry loop around ExchangeOnce. `idempotent` gates every retry:
+  // Full retry loop around ExchangeOnce; a fresh trace id is minted per
+  // attempt (a retry is a new wire event — the correlation id, not the
+  // trace id, ties the attempts together). `idempotent` gates every retry:
   // false means exactly one attempt, whatever happens.
   bool Exchange(FrameType request_type, const store::ChunkBuilder& payload,
                 std::uint64_t id, FrameType expected_reply, bool idempotent,
+                const char* op, const std::string& name,
                 std::vector<std::uint8_t>* reply_payload, std::string* error);
   bool Query(FrameType type, const core::FunctionFeature& query, int k,
              double threshold, std::vector<core::SearchHit>* hits,
              std::string* error);
   bool Control(FrameType request_type, FrameType expected_reply,
-               bool idempotent, std::vector<std::uint8_t>* reply,
-               std::string* error);
+               bool idempotent, const char* op,
+               std::vector<std::uint8_t>* reply, std::string* error);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;

@@ -106,11 +106,14 @@ bool WriteFull(int fd, const void* buffer, std::size_t size) {
 
 ReadStatus ReadFrame(int fd, FrameType* type,
                      std::vector<std::uint8_t>* payload, std::string* error,
-                     std::uint64_t* deadline_ms, int io_timeout_ms) {
+                     std::uint64_t* deadline_ms, int io_timeout_ms,
+                     std::uint64_t* trace_id, std::uint32_t* frame_version) {
   if (deadline_ms != nullptr) *deadline_ms = 0;
+  if (trace_id != nullptr) *trace_id = 0;
+  if (frame_version != nullptr) *frame_version = kProtocolVersionV1;
   SteadyTime assembly_deadline{};
   SteadyTime* deadline = io_timeout_ms > 0 ? &assembly_deadline : nullptr;
-  std::uint8_t header[kFrameHeaderSizeV2];
+  std::uint8_t header[kFrameHeaderSizeV3];
   const ssize_t got =
       ReadFull(fd, header, kFrameHeaderSize, io_timeout_ms, deadline);
   if (got == 0) return ReadStatus::kClosed;
@@ -129,17 +132,23 @@ ReadStatus ReadFrame(int fd, FrameType* type,
     return ReadStatus::kBad;
   }
   const std::uint32_t version = GetLe32(header + 4);
-  if (version != kProtocolVersion && version != kProtocolVersionV1) {
+  if (version != kProtocolVersion && version != kProtocolVersionV2 &&
+      version != kProtocolVersionV1) {
     *error = "unsupported protocol version " + std::to_string(version) +
              " (this daemon speaks v" + std::to_string(kProtocolVersion) + ")";
     return ReadStatus::kBad;
   }
+  if (frame_version != nullptr) *frame_version = version;
   const std::uint32_t raw_type = GetLe32(header + 8);
   const std::uint32_t declared_crc = GetLe32(header + 12);
   const std::uint64_t size = GetLe64(header + 16);
-  if (version == kProtocolVersion) {
-    // v2 appends the deadline field; a v1 header simply has no deadline.
-    const std::size_t extra = kFrameHeaderSizeV2 - kFrameHeaderSize;
+  // v2 appends the deadline field, v3 the trace id too; a v1 header simply
+  // has neither. Dispatch on the version before consuming trailing fields.
+  const std::size_t extra =
+      version == kProtocolVersion ? kFrameHeaderSizeV3 - kFrameHeaderSize
+      : version == kProtocolVersionV2 ? kFrameHeaderSizeV2 - kFrameHeaderSize
+                                      : 0;
+  if (extra > 0) {
     const ssize_t more = ReadFull(fd, header + kFrameHeaderSize, extra,
                                   io_timeout_ms, deadline);
     if (more == -2) {
@@ -152,6 +161,9 @@ ReadStatus ReadFrame(int fd, FrameType* type,
       return ReadStatus::kBad;
     }
     if (deadline_ms != nullptr) *deadline_ms = GetLe64(header + 24);
+    if (trace_id != nullptr && version == kProtocolVersion) {
+      *trace_id = GetLe64(header + 32);
+    }
   }
   if (size > kMaxFramePayload) {
     *error = "declared payload of " + std::to_string(size) +
@@ -185,15 +197,30 @@ ReadStatus ReadFrame(int fd, FrameType* type,
 }
 
 bool WriteFrame(int fd, FrameType type, const store::ChunkBuilder& payload,
-                std::string* error, std::uint64_t deadline_ms) {
-  std::uint8_t header[kFrameHeaderSizeV2];
+                std::string* error, std::uint64_t deadline_ms,
+                std::uint64_t trace_id, std::uint32_t version) {
+  // Emit the header of the requested version: a v1 peer gets a 24-byte
+  // header (no deadline, no trace), a v2 peer 32 bytes. The daemon uses
+  // this to echo each reply in the version of the request that caused it,
+  // so pre-v3 clients keep parsing replies.
+  if (version != kProtocolVersion && version != kProtocolVersionV2 &&
+      version != kProtocolVersionV1) {
+    version = kProtocolVersion;
+  }
+  const std::size_t header_size = version == kProtocolVersion
+                                      ? kFrameHeaderSizeV3
+                                  : version == kProtocolVersionV2
+                                      ? kFrameHeaderSizeV2
+                                      : kFrameHeaderSize;
+  std::uint8_t header[kFrameHeaderSizeV3];
   PutLe32(kServeMagic, header);
-  PutLe32(kProtocolVersion, header + 4);
+  PutLe32(version, header + 4);
   PutLe32(static_cast<std::uint32_t>(type), header + 8);
   PutLe32(store::Crc32(payload.bytes().data(), payload.size()), header + 12);
   PutLe64(payload.size(), header + 16);
-  PutLe64(deadline_ms, header + 24);
-  if (!WriteFull(fd, header, sizeof(header)) ||
+  if (version != kProtocolVersionV1) PutLe64(deadline_ms, header + 24);
+  if (version == kProtocolVersion) PutLe64(trace_id, header + 32);
+  if (!WriteFull(fd, header, header_size) ||
       !WriteFull(fd, payload.bytes().data(), payload.size())) {
     *error = "frame write failed (peer closed or I/O error)";
     return false;
@@ -381,6 +408,10 @@ void PutHealthInfo(std::uint64_t id, const HealthInfo& info,
   out->PutU64(info.queue_depth);
   out->PutU64(info.connections);
   out->PutU32(info.draining ? 1 : 0);
+  out->PutU64(info.uptime_ms);
+  out->PutU64(info.answered);
+  out->PutU64(info.shed);
+  out->PutU64(info.deadline_exceeded);
 }
 
 bool GetHealthInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
@@ -394,6 +425,91 @@ bool GetHealthInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
     return false;
   }
   info->draining = draining != 0;
+  // The v3 totals. A reply from an older daemon ends here; the fields stay
+  // zero rather than failing the parse, so `ctl health` keeps working
+  // across a version skew.
+  if (parser.AtEnd()) {
+    info->uptime_ms = info->answered = info->shed = info->deadline_exceeded = 0;
+    return true;
+  }
+  return parser.GetU64(&info->uptime_ms, error) &&
+         parser.GetU64(&info->answered, error) &&
+         parser.GetU64(&info->shed, error) &&
+         parser.GetU64(&info->deadline_exceeded, error);
+}
+
+void PutStatsInfo(std::uint64_t id, const StatsInfo& info,
+                  store::ChunkBuilder* out) {
+  out->PutU64(id);
+  out->PutU64(info.uptime_ms);
+  out->PutU64(info.requests);
+  out->PutU64(info.replies);
+  out->PutU64(info.shed);
+  out->PutU64(info.cancelled);
+  out->PutU64(info.deadline_exceeded);
+  out->PutU64(info.queue_depth);
+  out->PutU64(info.connections);
+  out->PutU64(info.index_size);
+  out->PutU64(info.p50_nanos);
+  out->PutU64(info.p95_nanos);
+  out->PutU64(info.p99_nanos);
+  out->PutU32(static_cast<std::uint32_t>(info.samples.size()));
+  for (const StatsSample& sample : info.samples) {
+    out->PutU64(sample.age_ms);
+    out->PutU64(sample.requests);
+    out->PutU64(sample.replies);
+    out->PutU64(sample.shed);
+    out->PutU64(sample.deadline_exceeded);
+    out->PutU64(sample.queue_depth);
+  }
+}
+
+bool GetStatsInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+                  StatsInfo* info, std::string* error) {
+  store::ChunkParser parser(payload);
+  std::uint32_t count = 0;
+  if (!parser.GetU64(id, error) || !parser.GetU64(&info->uptime_ms, error) ||
+      !parser.GetU64(&info->requests, error) ||
+      !parser.GetU64(&info->replies, error) ||
+      !parser.GetU64(&info->shed, error) ||
+      !parser.GetU64(&info->cancelled, error) ||
+      !parser.GetU64(&info->deadline_exceeded, error) ||
+      !parser.GetU64(&info->queue_depth, error) ||
+      !parser.GetU64(&info->connections, error) ||
+      !parser.GetU64(&info->index_size, error) ||
+      !parser.GetU64(&info->p50_nanos, error) ||
+      !parser.GetU64(&info->p95_nanos, error) ||
+      !parser.GetU64(&info->p99_nanos, error) ||
+      !parser.GetU32(&count, error)) {
+    return false;
+  }
+  // 48 bytes per sample; bound the declared count before allocating.
+  if (count > kMaxStatsSamples ||
+      static_cast<std::uint64_t>(count) * 48 > parser.remaining()) {
+    *error = "stats reply declares " + std::to_string(count) +
+             " samples but only " + std::to_string(parser.remaining()) +
+             " payload bytes remain";
+    return false;
+  }
+  info->samples.clear();
+  info->samples.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StatsSample sample;
+    if (!parser.GetU64(&sample.age_ms, error) ||
+        !parser.GetU64(&sample.requests, error) ||
+        !parser.GetU64(&sample.replies, error) ||
+        !parser.GetU64(&sample.shed, error) ||
+        !parser.GetU64(&sample.deadline_exceeded, error) ||
+        !parser.GetU64(&sample.queue_depth, error)) {
+      return false;
+    }
+    info->samples.push_back(sample);
+  }
+  if (!parser.AtEnd()) {
+    *error = std::to_string(parser.remaining()) +
+             " trailing bytes after the stats payload";
+    return false;
+  }
   return true;
 }
 

@@ -8,7 +8,7 @@
 // either validated end to end or rejected with a descriptive error, never
 // partially trusted.
 //
-// Frame layout, protocol v2 (32-byte header + payload):
+// Frame layout, protocol v3 (40-byte header + payload):
 //
 //   offset  size  field
 //   0       4     magic "ASRV" (FourCc, little-endian)
@@ -17,19 +17,26 @@
 //   12      4     CRC32 of the payload bytes
 //   16      8     payload byte count (<= kMaxFramePayload)
 //   24      8     deadline_ms — request-lifetime budget in milliseconds,
-//                 relative to frame receipt (0 = no deadline). v2's one new
+//                 relative to frame receipt (0 = no deadline). v2's new
 //                 field: a server drops a query whose budget has expired by
 //                 dequeue time instead of scoring it (kDeadlineExceeded).
-//   32      n     payload (store::ChunkBuilder / ChunkParser encoding)
+//   32      8     trace_id — v3's new field. Minted per wire attempt by
+//                 serve::Client (util::MintTraceId), echoed verbatim on the
+//                 reply, and stamped into both sides' wide-event request
+//                 records (util/request_log.h) so a client-observed reply
+//                 joins exactly one server record. 0 = untraced.
+//   40      n     payload (store::ChunkBuilder / ChunkParser encoding)
 //
-// v1 frames (24-byte header, no deadline field) are still accepted — the
-// reader dispatches on the version field before consuming the deadline
-// bytes — so a pre-deadline client keeps working against a v2 daemon; a v1
-// frame simply has no deadline.
+// v1 frames (24-byte header, no deadline or trace field) and v2 frames
+// (32-byte header, deadline but no trace) are still accepted — the reader
+// dispatches on the version field before consuming the trailing fields —
+// so older clients keep working against a v3 daemon; their frames simply
+// have no deadline and/or no trace id.
 //
 // Request payloads carry a client-chosen u64 correlation id that the
 // matching reply echoes, so a client may pipeline requests and a batched
-// server may answer them in any order.
+// server may answer them in any order. The trace id is per *attempt* (a
+// retry re-mints), the correlation id per logical request.
 #pragma once
 
 #include <cstdint>
@@ -43,12 +50,14 @@
 namespace asteria::serve {
 
 inline constexpr std::uint32_t kServeMagic = store::FourCc('A', 'S', 'R', 'V');
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
+inline constexpr std::uint32_t kProtocolVersionV2 = 2;
 inline constexpr std::uint32_t kProtocolVersionV1 = 1;
-// v1 header (also the common prefix of a v2 header) and the extra deadline
-// field a v2 header appends.
+// v1 header (also the common prefix of every later header), plus the
+// deadline field a v2 header appends and the trace-id field v3 appends.
 inline constexpr std::uint32_t kFrameHeaderSize = 24;
 inline constexpr std::uint32_t kFrameHeaderSizeV2 = 32;
+inline constexpr std::uint32_t kFrameHeaderSizeV3 = 40;
 
 // A declared payload larger than this is rejected before any allocation —
 // the cap bounds what one hostile frame can make the daemon buffer.
@@ -63,6 +72,8 @@ enum class FrameType : std::uint32_t {
   kShutdown = 5,        // id — stop the daemon after replying
   kCancel = 6,          // id of the pending query to cancel (best effort)
   kHealth = 7,          // id — liveness + load probe
+  kStats = 8,           // id — telemetry probe (v3): counters, percentiles,
+                        // and the sampler's recent time series
   // Replies.
   kHits = 16,   // id, hit count, (index, name, score) per hit
   kPong = 17,   // id
@@ -75,15 +86,58 @@ enum class FrameType : std::uint32_t {
   kDeadlineExceeded = 21,  // budget expired before scoring; not retryable
   kShuttingDown = 22,      // daemon draining past --drain_timeout_ms;
                            // retryable against a replacement daemon
-  kHealthInfo = 23,  // id, index_size, queue_depth, connections, draining
+  kHealthInfo = 23,  // id, index_size, queue_depth, connections, draining,
+                     // uptime_ms, answered/shed/deadline-exceeded totals
+  kStatsInfo = 24,   // id + StatsInfo (the `ctl top` payload)
 };
 
-// Payload of a kHealthInfo reply: a daemon's load at a glance.
+// Payload of a kHealthInfo reply: a daemon's load at a glance. The
+// cumulative totals (v3 additions) let `ctl health` probes compute rates
+// from two probes without a full kStats round trip.
 struct HealthInfo {
   std::uint64_t index_size = 0;   // entries in the served snapshot
   std::uint64_t queue_depth = 0;  // requests waiting for a worker
   std::uint64_t connections = 0;  // live client connections
   bool draining = false;          // true once shutdown has begun
+  std::uint64_t uptime_ms = 0;    // since Server::Start()
+  std::uint64_t answered = 0;     // replies sent (any frame type)
+  std::uint64_t shed = 0;         // admission-control rejections
+  std::uint64_t deadline_exceeded = 0;  // dropped-at-dequeue queries
+};
+
+// One telemetry sampler tick: cumulative totals as of `age_ms` before the
+// reply was built. `ctl top` differences adjacent samples into rates.
+struct StatsSample {
+  std::uint64_t age_ms = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+// Upper bound on samples in one kStatsInfo reply (the server's ring is
+// smaller; the cap bounds a hostile reply's allocation).
+inline constexpr std::uint32_t kMaxStatsSamples = 1024;
+
+// Payload of a kStatsInfo reply: the live-telemetry view behind
+// `asteria-cli ctl top`.
+struct StatsInfo {
+  std::uint64_t uptime_ms = 0;
+  std::uint64_t requests = 0;   // queries admitted (kTopK/kAboveThreshold)
+  std::uint64_t replies = 0;    // reply frames written
+  std::uint64_t shed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t index_size = 0;
+  // serve.request_nanos percentile estimates (util::HistogramValue), in
+  // nanoseconds, rounded.
+  std::uint64_t p50_nanos = 0;
+  std::uint64_t p95_nanos = 0;
+  std::uint64_t p99_nanos = 0;
+  std::vector<StatsSample> samples;  // oldest first
 };
 
 // Outcome of reading one frame from a file descriptor.
@@ -101,8 +155,9 @@ enum class ReadStatus {
 // answered with one best-effort kError frame and closed — after a framing
 // violation the byte stream cannot be trusted to realign.
 //
-// `deadline_ms`, when non-null, receives the v2 deadline field (0 for a v1
-// frame or an absent deadline). `io_timeout_ms > 0` arms the frame-assembly
+// `deadline_ms`, when non-null, receives the v2+ deadline field and
+// `trace_id` the v3 trace field (each 0 for an older frame or an absent
+// value). `io_timeout_ms > 0` arms the frame-assembly
 // deadline: waiting for a frame to *start* is unbounded (idle connections
 // are fine; the fd's SO_RCVTIMEO only paces the wait), but once the first
 // byte arrives the whole frame must complete within io_timeout_ms or the
@@ -111,14 +166,21 @@ enum class ReadStatus {
 ReadStatus ReadFrame(int fd, FrameType* type,
                      std::vector<std::uint8_t>* payload, std::string* error,
                      std::uint64_t* deadline_ms = nullptr,
-                     int io_timeout_ms = 0);
+                     int io_timeout_ms = 0,
+                     std::uint64_t* trace_id = nullptr,
+                     std::uint32_t* frame_version = nullptr);
 
-// Writes a v2 header + payload, stamping `deadline_ms` into the header
-// (0 = no deadline; only meaningful on request frames). Returns false on
-// any short or failed write (e.g. the peer vanished); writing never raises
-// SIGPIPE.
+// Writes a `version` header + payload, stamping `deadline_ms` (v2+) and
+// `trace_id` (v3) into the header (0 = no deadline / untraced; the
+// deadline is only meaningful on request frames, the trace id on both —
+// replies echo it). The daemon passes the version of the request being
+// answered so a v1/v2 peer receives replies it can parse; an unknown
+// version falls back to v3. Returns false on any short or failed write
+// (e.g. the peer vanished); writing never raises SIGPIPE.
 bool WriteFrame(int fd, FrameType type, const store::ChunkBuilder& payload,
-                std::string* error, std::uint64_t deadline_ms = 0);
+                std::string* error, std::uint64_t deadline_ms = 0,
+                std::uint64_t trace_id = 0,
+                std::uint32_t version = kProtocolVersion);
 
 // -- Payload builders / parsers ---------------------------------------------
 //
@@ -154,5 +216,13 @@ void PutHealthInfo(std::uint64_t id, const HealthInfo& info,
                    store::ChunkBuilder* out);
 bool GetHealthInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
                    HealthInfo* info, std::string* error);
+
+// kStatsInfo payload: id + the StatsInfo fields + the sample series. The
+// parser bounds the declared sample count against the remaining payload
+// bytes (and kMaxStatsSamples) before allocating.
+void PutStatsInfo(std::uint64_t id, const StatsInfo& info,
+                  store::ChunkBuilder* out);
+bool GetStatsInfo(const std::vector<std::uint8_t>& payload, std::uint64_t* id,
+                  StatsInfo* info, std::string* error);
 
 }  // namespace asteria::serve

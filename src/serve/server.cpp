@@ -17,7 +17,9 @@
 #include "util/failpoint.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/request_log.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace asteria::serve {
 
@@ -67,6 +69,25 @@ util::Histogram h_batch_requests("serve.batch_requests");
 util::Histogram h_drain_nanos("serve.drain_nanos");
 util::Gauge g_index_size("serve.index_size");
 
+// Wide-event op name for a query frame (docs/OBSERVABILITY.md).
+const char* QueryOpName(FrameType type) {
+  return type == FrameType::kTopK ? "serve.topk" : "serve.above_threshold";
+}
+
+// Cuts a bare control/error record (no queue or scoring phases — those are
+// filled by the query paths, which build their records by hand).
+void CutControlRecord(std::uint64_t trace_id, const char* op,
+                      util::RequestOutcome outcome,
+                      std::uint64_t reply_nanos) {
+  util::RequestRecord record;
+  record.trace_id = trace_id;
+  record.op = op;
+  record.outcome = outcome;
+  record.reply_nanos = reply_nanos;
+  record.end_nanos = util::TraceNowNanos();
+  util::GlobalRequestLog().Append(record);
+}
+
 }  // namespace
 
 // One accepted client. The fd is owned here (closed by the destructor, so
@@ -89,11 +110,18 @@ struct Server::Connection {
     ::shutdown(fd, SHUT_RDWR);
   }
 
-  bool SendFrame(FrameType type, const store::ChunkBuilder& payload) {
+  // `trace_id` echoes the request's v3 trace field on the reply frame so
+  // the client's record for this attempt joins the server's; `version` is
+  // the version of the request being answered, so a v1/v2 peer receives a
+  // header it can parse.
+  bool SendFrame(FrameType type, const store::ChunkBuilder& payload,
+                 std::uint64_t trace_id = 0,
+                 std::uint32_t version = kProtocolVersion) {
     std::lock_guard<std::mutex> lock(write_mu);
     if (closed.load(std::memory_order_acquire)) return false;
     std::string error;
-    if (!WriteFrame(fd, type, payload, &error)) {
+    if (!WriteFrame(fd, type, payload, &error, /*deadline_ms=*/0, trace_id,
+                    version)) {
       c_write_failures.Increment();
       closed.store(true, std::memory_order_release);
       ::shutdown(fd, SHUT_RDWR);
@@ -102,18 +130,22 @@ struct Server::Connection {
     return true;
   }
 
-  bool SendError(std::uint64_t id, const std::string& message) {
+  bool SendError(std::uint64_t id, const std::string& message,
+                 std::uint64_t trace_id = 0,
+                 std::uint32_t version = kProtocolVersion) {
     store::ChunkBuilder payload;
     PutError(id, message, &payload);
     c_errors.Increment();
-    return SendFrame(FrameType::kError, payload);
+    return SendFrame(FrameType::kError, payload, trace_id, version);
   }
 
   // Id-only reply (kOk / kOverloaded / kDeadlineExceeded / kShuttingDown).
-  bool SendControl(FrameType type, std::uint64_t id) {
+  bool SendControl(FrameType type, std::uint64_t id,
+                   std::uint64_t trace_id = 0,
+                   std::uint32_t version = kProtocolVersion) {
     store::ChunkBuilder payload;
     PutControl(id, &payload);
-    return SendFrame(type, payload);
+    return SendFrame(type, payload, trace_id, version);
   }
 
   // Explicit kCancel bookkeeping. The list is bounded (oldest evicted):
@@ -156,6 +188,13 @@ struct Server::Request {
   std::uint64_t enqueue_epoch = 0;
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+  std::uint64_t trace_id = 0;      // from the v3 frame header (0 = untraced)
+  std::uint32_t wire_version = kProtocolVersion;  // reply in this version
+  std::int64_t enqueue_nanos = 0;  // TraceNowNanos() at admission
+  // Reply-side observability, filled by DispatchBatch (in-struct rather
+  // than in side arrays so the per-batch bookkeeping costs no allocations).
+  std::uint64_t reply_nanos = 0;
+  bool replied = false;
 };
 
 Server::Server(const core::AsteriaModel& model, const ServerConfig& config)
@@ -176,6 +215,7 @@ std::shared_ptr<const core::SearchIndex> Server::snapshot() const {
 }
 
 bool Server::Start(std::string* error) {
+  start_time_ = std::chrono::steady_clock::now();
   sockaddr_un addr{};
   if (config_.socket_path.empty() ||
       config_.socket_path.size() >= sizeof(addr.sun_path)) {
@@ -222,6 +262,13 @@ bool Server::Start(std::string* error) {
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  // Telemetry sampler: seed the ring with a t=0 baseline so `ctl top` has a
+  // reference sample immediately, then tick on the configured cadence.
+  telemetry_ring_.reserve(kTelemetryRingSlots);
+  TakeSample();
+  if (config_.telemetry_interval_ms > 0) {
+    telemetry_thread_ = std::thread(&Server::TelemetryLoop, this);
   }
   started_.store(true, std::memory_order_release);
   ASTERIA_LOG(Info) << "asteria-serve: " << snapshot()->size()
@@ -348,6 +395,67 @@ std::size_t Server::LiveConnections() {
   return live;
 }
 
+std::uint64_t Server::UptimeMs() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_time_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count());
+}
+
+void Server::TakeSample() {
+  RawSample sample;
+  sample.at = std::chrono::steady_clock::now();
+  sample.totals.requests = c_requests.Value();
+  sample.totals.replies = c_replies.Value();
+  sample.totals.shed = c_shed.Value();
+  sample.totals.deadline_exceeded = c_deadline_exceeded.Value();
+  sample.totals.queue_depth = queue_ ? queue_->size() : 0;
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  if (telemetry_ring_.size() < kTelemetryRingSlots) {
+    telemetry_ring_.push_back(sample);
+  } else {
+    telemetry_ring_[telemetry_next_ % kTelemetryRingSlots] = sample;
+  }
+  ++telemetry_next_;
+}
+
+void Server::TelemetryLoop() {
+  const auto interval = std::chrono::milliseconds(
+      config_.telemetry_interval_ms < 1 ? 1 : config_.telemetry_interval_ms);
+  std::unique_lock<std::mutex> lock(telemetry_mu_);
+  while (!telemetry_stop_) {
+    if (telemetry_cv_.wait_for(lock, interval,
+                               [this] { return telemetry_stop_; })) {
+      break;
+    }
+    lock.unlock();
+    TakeSample();
+    lock.lock();
+  }
+}
+
+std::vector<StatsSample> Server::SampleRing(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<StatsSample> out;
+  std::lock_guard<std::mutex> lock(telemetry_mu_);
+  const std::size_t size = telemetry_ring_.size();
+  out.reserve(size);
+  const std::size_t start =
+      size < kTelemetryRingSlots ? 0 : telemetry_next_ % kTelemetryRingSlots;
+  for (std::size_t i = 0; i < size; ++i) {
+    const RawSample& raw = telemetry_ring_[(start + i) % size];
+    StatsSample sample = raw.totals;
+    sample.age_ms =
+        raw.at <= now
+            ? static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now - raw.at)
+                      .count())
+            : 0;
+    out.push_back(sample);
+  }
+  return out;
+}
+
 void Server::Run() {
   AcceptLoop();
   // Teardown, in dependency order: stop accepting (done), wake blocked
@@ -393,6 +501,12 @@ void Server::Run() {
     worker.join();
   }
   workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(telemetry_mu_);
+    telemetry_stop_ = true;
+  }
+  telemetry_cv_.notify_all();
+  if (telemetry_thread_.joinable()) telemetry_thread_.join();
   h_drain_nanos.Observe(static_cast<std::uint64_t>(drain_timer.ElapsedNanos()));
   ::close(listen_fd_);
   listen_fd_ = -1;
@@ -409,6 +523,7 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
       c_read_failures.Increment();
       conn->SendError(0, "injected read failure (failpoint serve.read)");
       conn->CloseHard();
+      CutControlRecord(0, "serve.read", util::RequestOutcome::kError, 0);
       disconnected = true;
       break;
     }
@@ -416,8 +531,11 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
     std::vector<std::uint8_t> payload;
     std::string error;
     std::uint64_t deadline_ms = 0;
-    const ReadStatus status = ReadFrame(conn->fd, &type, &payload, &error,
-                                        &deadline_ms, config_.io_timeout_ms);
+    std::uint64_t trace_id = 0;
+    std::uint32_t frame_version = kProtocolVersion;
+    const ReadStatus status =
+        ReadFrame(conn->fd, &type, &payload, &error, &deadline_ms,
+                  config_.io_timeout_ms, &trace_id, &frame_version);
     if (status == ReadStatus::kClosed) {
       disconnected = true;
       break;
@@ -429,10 +547,14 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
       c_bad_frames.Increment();
       conn->SendError(0, error);
       conn->CloseHard();
+      CutControlRecord(0, "serve.read", util::RequestOutcome::kError, 0);
       disconnected = true;
       break;
     }
-    if (!HandleFrame(conn, type, payload, deadline_ms)) break;
+    if (!HandleFrame(conn, type, payload, deadline_ms, trace_id,
+                     frame_version)) {
+      break;
+    }
   }
   // A disconnected client is no longer waiting: bump the epoch so workers
   // skip its queued queries before encoding them. A reader woken by the
@@ -454,7 +576,8 @@ void Server::ReaderLoop(std::shared_ptr<Connection> conn) {
 bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
                          FrameType type,
                          const std::vector<std::uint8_t>& payload,
-                         std::uint64_t deadline_ms) {
+                         std::uint64_t deadline_ms, std::uint64_t trace_id,
+                         std::uint32_t frame_version) {
   std::string error;
   std::uint64_t id = 0;
   switch (type) {
@@ -463,25 +586,58 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       Request request;
       request.conn = conn;
       request.type = type;
-      if (!GetQuery(payload, type, &request.id, &request.query, &request.k,
-                    &request.threshold, &error)) {
+      request.trace_id = trace_id;
+      request.wire_version = frame_version;
+      // A rejected query still cuts a wide-event record: shed and malformed
+      // requests are exactly the ones a latency investigation needs to see.
+      // The name lives outside `request` because a failed TryPush leaves
+      // `request` moved-from — the shed record must still carry it.
+      std::string record_name;
+      const auto cut_admission_record = [&](util::RequestOutcome outcome,
+                                            std::uint64_t reply_nanos) {
+        util::RequestRecord record;
+        record.trace_id = trace_id;
+        record.op = QueryOpName(type);
+        record.outcome = outcome;
+        record.reply_nanos = reply_nanos;
+        record.has_deadline = deadline_ms > 0;
+        if (deadline_ms > 0) {
+          record.deadline_slack_nanos =
+              static_cast<std::int64_t>(deadline_ms) * 1000000;
+        }
+        record.SetName(record_name);
+        record.end_nanos = util::TraceNowNanos();
+        util::GlobalRequestLog().Append(record);
+      };
+      const bool query_parsed =
+          GetQuery(payload, type, &request.id, &request.query, &request.k,
+                   &request.threshold, &error);
+      record_name = request.query.name;
+      if (!query_parsed) {
         // Framing and CRC were fine, so the stream is still aligned: report
         // the malformed payload and keep the connection.
-        conn->SendError(request.id, error);
+        conn->SendError(request.id, error, trace_id, frame_version);
+        cut_admission_record(util::RequestOutcome::kError, 0);
         return true;
       }
       if (request.query.tree.empty()) {
-        conn->SendError(request.id, "query AST is empty");
+        conn->SendError(request.id, "query AST is empty", trace_id,
+                        frame_version);
+        cut_admission_record(util::RequestOutcome::kError, 0);
         return true;
       }
       if (type == FrameType::kTopK && request.k < 1) {
         conn->SendError(request.id,
-                        "k must be >= 1, got " + std::to_string(request.k));
+                        "k must be >= 1, got " + std::to_string(request.k),
+                        trace_id, frame_version);
+        cut_admission_record(util::RequestOutcome::kError, 0);
         return true;
       }
       if (type == FrameType::kAboveThreshold &&
           !std::isfinite(request.threshold)) {
-        conn->SendError(request.id, "threshold must be finite");
+        conn->SendError(request.id, "threshold must be finite", trace_id,
+                        frame_version);
+        cut_admission_record(util::RequestOutcome::kError, 0);
         return true;
       }
       request.enqueue_epoch =
@@ -491,6 +647,7 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
         request.deadline = std::chrono::steady_clock::now() +
                            std::chrono::milliseconds(deadline_ms);
       }
+      request.enqueue_nanos = util::TraceNowNanos();
       c_requests.Increment();
       const std::uint64_t request_id = request.id;
       // Admission control: shed instead of block. A full queue means the
@@ -503,57 +660,86 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
               : static_cast<std::size_t>(config_.queue_high_water);
       if (!queue_->TryPush(std::move(request), high_water)) {
         if (queue_->closed()) {
-          conn->SendControl(FrameType::kShuttingDown, request_id);
+          util::Timer reply_timer;
+          conn->SendControl(FrameType::kShuttingDown, request_id, trace_id,
+                            frame_version);
+          cut_admission_record(
+              util::RequestOutcome::kShuttingDown,
+              static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
           return false;
         }
         c_shed.Increment();
-        conn->SendControl(FrameType::kOverloaded, request_id);
+        util::Timer reply_timer;
+        conn->SendControl(FrameType::kOverloaded, request_id, trace_id,
+                          frame_version);
+        cut_admission_record(
+            util::RequestOutcome::kShed,
+            static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       }
       return true;
     }
     case FrameType::kPing: {
       if (!GetControl(payload, &id, &error)) {
-        conn->SendError(0, error);
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.ping", util::RequestOutcome::kError,
+                         0);
         return true;
       }
       c_control.Increment();
       store::ChunkBuilder reply;
       PutControl(id, &reply);
-      conn->SendFrame(FrameType::kPong, reply);
+      util::Timer reply_timer;
+      conn->SendFrame(FrameType::kPong, reply, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.ping", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       return true;
     }
     case FrameType::kReload: {
       if (!GetControl(payload, &id, &error)) {
-        conn->SendError(0, error);
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.reload",
+                         util::RequestOutcome::kError, 0);
         return true;
       }
       c_control.Increment();
       // Reload on the reader thread: only this connection waits for the
       // load; workers keep answering against the pinned old snapshot.
       if (!Reload(&error)) {
-        conn->SendError(id, error);
+        conn->SendError(id, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.reload",
+                         util::RequestOutcome::kError, 0);
         return true;
       }
       store::ChunkBuilder reply;
       PutControl(id, &reply);
-      conn->SendFrame(FrameType::kOk, reply);
+      util::Timer reply_timer;
+      conn->SendFrame(FrameType::kOk, reply, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.reload", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       return true;
     }
     case FrameType::kShutdown: {
       if (!GetControl(payload, &id, &error)) {
-        conn->SendError(0, error);
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.shutdown",
+                         util::RequestOutcome::kError, 0);
         return true;
       }
       c_control.Increment();
       store::ChunkBuilder reply;
       PutControl(id, &reply);
-      conn->SendFrame(FrameType::kOk, reply);
+      util::Timer reply_timer;
+      conn->SendFrame(FrameType::kOk, reply, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.shutdown", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       RequestStop();
       return false;
     }
     case FrameType::kCancel: {
       if (!GetControl(payload, &id, &error)) {
-        conn->SendError(0, error);
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.cancel",
+                         util::RequestOutcome::kError, 0);
         return true;
       }
       c_control.Increment();
@@ -561,12 +747,17 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       // answered. The kOk acknowledges the *cancel request*, not that the
       // query was caught in time.
       conn->Cancel(id);
-      conn->SendControl(FrameType::kOk, id);
+      util::Timer reply_timer;
+      conn->SendControl(FrameType::kOk, id, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.cancel", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       return true;
     }
     case FrameType::kHealth: {
       if (!GetControl(payload, &id, &error)) {
-        conn->SendError(0, error);
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.health",
+                         util::RequestOutcome::kError, 0);
         return true;
       }
       c_control.Increment();
@@ -575,14 +766,53 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
       info.queue_depth = queue_->size();
       info.connections = LiveConnections();
       info.draining = draining_.load(std::memory_order_acquire);
+      info.uptime_ms = UptimeMs();
+      info.answered = c_replies.Value();
+      info.shed = c_shed.Value();
+      info.deadline_exceeded = c_deadline_exceeded.Value();
       store::ChunkBuilder reply;
       PutHealthInfo(id, info, &reply);
-      conn->SendFrame(FrameType::kHealthInfo, reply);
+      util::Timer reply_timer;
+      conn->SendFrame(FrameType::kHealthInfo, reply, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.health", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
+      return true;
+    }
+    case FrameType::kStats: {
+      if (!GetControl(payload, &id, &error)) {
+        conn->SendError(0, error, trace_id, frame_version);
+        CutControlRecord(trace_id, "serve.stats",
+                         util::RequestOutcome::kError, 0);
+        return true;
+      }
+      c_control.Increment();
+      StatsInfo info;
+      info.uptime_ms = UptimeMs();
+      info.requests = c_requests.Value();
+      info.replies = c_replies.Value();
+      info.shed = c_shed.Value();
+      info.cancelled = c_cancelled.Value();
+      info.deadline_exceeded = c_deadline_exceeded.Value();
+      info.queue_depth = queue_->size();
+      info.connections = LiveConnections();
+      info.index_size = snapshot()->size();
+      const util::HistogramValue latency = h_request_nanos.SnapshotValue();
+      info.p50_nanos = static_cast<std::uint64_t>(latency.p50 + 0.5);
+      info.p95_nanos = static_cast<std::uint64_t>(latency.p95 + 0.5);
+      info.p99_nanos = static_cast<std::uint64_t>(latency.p99 + 0.5);
+      info.samples = SampleRing(std::chrono::steady_clock::now());
+      store::ChunkBuilder reply;
+      PutStatsInfo(id, info, &reply);
+      util::Timer reply_timer;
+      conn->SendFrame(FrameType::kStatsInfo, reply, trace_id, frame_version);
+      CutControlRecord(trace_id, "serve.stats", util::RequestOutcome::kOk,
+                       static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       return true;
     }
     default:
       conn->SendError(0, "unexpected frame type " +
-                             std::to_string(static_cast<std::uint32_t>(type)));
+                             std::to_string(static_cast<std::uint32_t>(type)),
+                      trace_id, frame_version);
       return true;
   }
 }
@@ -616,8 +846,35 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
   // request whose client is gone (disconnect epoch bumped, or the id
   // explicitly cancelled) is dropped silently; an expired deadline is
   // answered kDeadlineExceeded; past the drain window the remainder gets
-  // kShuttingDown. Only survivors are scored.
+  // kShuttingDown. Only survivors are scored. Every branch — including the
+  // silent cancellation — cuts a wide-event record, so the request log is
+  // complete even where the wire is quiet.
   const auto now = std::chrono::steady_clock::now();
+  const std::int64_t now_nanos = util::TraceNowNanos();
+  const auto cut_triage_record = [&](const Request& req,
+                                     util::RequestOutcome outcome,
+                                     std::uint64_t reply_nanos) {
+    util::RequestRecord record;
+    record.trace_id = req.trace_id;
+    record.op = QueryOpName(req.type);
+    record.outcome = outcome;
+    record.batch_size = static_cast<std::uint32_t>(batch->size());
+    record.queue_wait_nanos =
+        now_nanos > req.enqueue_nanos
+            ? static_cast<std::uint64_t>(now_nanos - req.enqueue_nanos)
+            : 0;
+    record.reply_nanos = reply_nanos;
+    record.has_deadline = req.has_deadline;
+    if (req.has_deadline) {
+      record.deadline_slack_nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(req.deadline -
+                                                               now)
+              .count();
+    }
+    record.SetName(req.query.name);
+    record.end_nanos = util::TraceNowNanos();
+    util::GlobalRequestLog().Append(record);
+  };
   const bool drain_expired = drain_expired_.load(std::memory_order_acquire);
   std::vector<Request> live;
   live.reserve(batch->size());
@@ -627,16 +884,25 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
             req.enqueue_epoch ||
         req.conn->IsCancelled(req.id)) {
       c_cancelled.Increment();
+      cut_triage_record(req, util::RequestOutcome::kCancelled, 0);
       continue;
     }
     if (req.has_deadline && now >= req.deadline) {
       c_deadline_exceeded.Increment();
-      req.conn->SendControl(FrameType::kDeadlineExceeded, req.id);
+      util::Timer reply_timer;
+      req.conn->SendControl(FrameType::kDeadlineExceeded, req.id, req.trace_id,
+                            req.wire_version);
+      cut_triage_record(req, util::RequestOutcome::kDeadlineExceeded,
+                        static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       continue;
     }
     if (drain_expired) {
       c_drain_dropped.Increment();
-      req.conn->SendControl(FrameType::kShuttingDown, req.id);
+      util::Timer reply_timer;
+      req.conn->SendControl(FrameType::kShuttingDown, req.id, req.trace_id,
+                            req.wire_version);
+      cut_triage_record(req, util::RequestOutcome::kShuttingDown,
+                        static_cast<std::uint64_t>(reply_timer.ElapsedNanos()));
       continue;
     }
     live.push_back(std::move(req));
@@ -645,6 +911,14 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
   // Pin one snapshot for the whole batch: every query in it scores against
   // this index even if a reload publishes mid-flight.
   const std::shared_ptr<const core::SearchIndex> index = snapshot();
+  // Per-live-slot observability: stage timings and pair tallies from the
+  // scoring pass (reply write time and whether the reply reached the wire
+  // live in the Request itself). The stats scratch is thread_local — one
+  // instance per worker, reused across batches — so steady-state tracing
+  // adds no allocations to the dispatch path.
+  static thread_local std::vector<core::SearchIndex::QuerySearchStats>
+      live_stats;
+  live_stats.assign(live.size(), core::SearchIndex::QuerySearchStats{});
   std::vector<const core::FunctionFeature*> topk_queries;
   std::vector<int> topk_ks;
   std::vector<std::size_t> topk_slots;
@@ -656,16 +930,25 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
       topk_slots.push_back(i);
     }
   }
+  static thread_local std::vector<core::SearchIndex::QuerySearchStats>
+      topk_stats;
   const std::vector<std::vector<core::SearchHit>> topk_results =
-      index->TopKBatch(topk_queries, topk_ks);
+      index->TopKBatch(topk_queries, topk_ks, &topk_stats);
   for (std::size_t j = 0; j < topk_slots.size(); ++j) {
-    const Request& req = live[topk_slots[j]];
+    const std::size_t slot = topk_slots[j];
+    Request& req = live[slot];
+    live_stats[slot] = topk_stats[j];
     store::ChunkBuilder reply;
     PutHits(req.id, topk_results[j], &reply);
     if (fp_slow_reply.ShouldFail()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
+    const std::int64_t reply_start = util::TraceNowNanos();
+    req.replied = req.conn->SendFrame(FrameType::kHits, reply, req.trace_id,
+                                      req.wire_version);
+    req.reply_nanos =
+        static_cast<std::uint64_t>(util::TraceNowNanos() - reply_start);
+    if (req.replied) c_replies.Increment();
   }
   std::vector<const core::FunctionFeature*> at_queries;
   std::vector<double> at_thresholds;
@@ -678,21 +961,76 @@ void Server::DispatchBatch(std::vector<Request>* batch) {
       at_slots.push_back(i);
     }
   }
+  static thread_local std::vector<core::SearchIndex::QuerySearchStats>
+      at_stats;
   const std::vector<std::vector<core::SearchHit>> at_results =
-      index->AboveThresholdBatch(at_queries, at_thresholds);
+      index->AboveThresholdBatch(at_queries, at_thresholds, &at_stats);
   for (std::size_t j = 0; j < at_slots.size(); ++j) {
-    const Request& req = live[at_slots[j]];
+    const std::size_t slot = at_slots[j];
+    Request& req = live[slot];
+    live_stats[slot] = at_stats[j];
     store::ChunkBuilder reply;
     PutHits(req.id, at_results[j], &reply);
     if (fp_slow_reply.ShouldFail()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    if (req.conn->SendFrame(FrameType::kHits, reply)) c_replies.Increment();
+    const std::int64_t reply_start = util::TraceNowNanos();
+    req.replied = req.conn->SendFrame(FrameType::kHits, reply, req.trace_id,
+                                      req.wire_version);
+    req.reply_nanos =
+        static_cast<std::uint64_t>(util::TraceNowNanos() - reply_start);
+    if (req.replied) c_replies.Increment();
   }
   const std::uint64_t elapsed =
       static_cast<std::uint64_t>(timer.ElapsedNanos());
+  // One wide event per answered query, and the slow-query spill: answered
+  // records whose attributed latency crosses --slow_query_ms go to
+  // slow_log_path in one O_APPEND write for the whole batch.
+  std::vector<util::RequestRecord> slow;
+  const auto record_now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < live.size(); ++i) {
+    const Request& req = live[i];
+    util::RequestRecord record;
+    record.trace_id = req.trace_id;
+    record.op = QueryOpName(req.type);
+    // A send that failed means the client vanished mid-reply; the record
+    // says so instead of claiming a clean answer.
+    record.outcome = req.replied ? util::RequestOutcome::kOk
+                                 : util::RequestOutcome::kError;
+    record.batch_size = static_cast<std::uint32_t>(live.size());
+    record.queue_wait_nanos =
+        now_nanos > req.enqueue_nanos
+            ? static_cast<std::uint64_t>(now_nanos - req.enqueue_nanos)
+            : 0;
+    record.encode_nanos = live_stats[i].encode_nanos;
+    record.score_nanos = live_stats[i].score_nanos;
+    record.reply_nanos = req.reply_nanos;
+    record.scored_pairs = live_stats[i].scored_pairs;
+    record.pruned_pairs = live_stats[i].pruned_pairs;
+    record.has_deadline = req.has_deadline;
+    if (req.has_deadline) {
+      record.deadline_slack_nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(req.deadline -
+                                                               record_now)
+              .count();
+    }
+    record.SetName(req.query.name);
+    record.end_nanos = util::TraceNowNanos();
+    util::GlobalRequestLog().Append(record);
     h_request_nanos.Observe(elapsed);
+    if (config_.slow_query_ms >= 0 && !config_.slow_log_path.empty() &&
+        record.TotalNanos() >=
+            static_cast<std::uint64_t>(config_.slow_query_ms) * 1000000) {
+      slow.push_back(record);
+    }
+  }
+  if (!slow.empty()) {
+    std::string spill_error;
+    if (!util::AppendRequestRecords(config_.slow_log_path, slow,
+                                    &spill_error)) {
+      ASTERIA_LOG(Warn) << "asteria-serve: slow-query spill to "
+                        << config_.slow_log_path << " failed: " << spill_error;
+    }
   }
 }
 

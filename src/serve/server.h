@@ -47,6 +47,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -84,6 +86,18 @@ struct ServerConfig {
   // Graceful drain: after stop, queued queries get this long to finish
   // before the remainder is answered kShuttingDown.
   int drain_timeout_ms = 2000;
+  // Slow-query capture: an answered query whose attributed latency
+  // (queue wait + encode + score + reply) reaches this many milliseconds
+  // is spilled to slow_log_path as a CRC-framed "SLOW" line
+  // (docs/FORMATS.md). 0 spills every answered query (test/debug);
+  // negative disables the capture entirely.
+  int slow_query_ms = -1;
+  std::string slow_log_path;  // where slow queries spill (required if armed)
+  // Telemetry sampler cadence: every interval the sampler thread snapshots
+  // the cumulative serve counters + queue depth into a fixed ring that a
+  // kStats probe returns (`asteria-cli ctl top`). 0 disables the thread
+  // (kStats still answers, with an empty time series).
+  int telemetry_interval_ms = 500;
 };
 
 class Server {
@@ -129,8 +143,17 @@ class Server {
   void DispatchBatch(std::vector<Request>* batch);
   bool HandleFrame(const std::shared_ptr<Connection>& conn, FrameType type,
                    const std::vector<std::uint8_t>& payload,
-                   std::uint64_t deadline_ms);
+                   std::uint64_t deadline_ms, std::uint64_t trace_id,
+                   std::uint32_t frame_version);
   std::size_t LiveConnections();
+  // Telemetry sampler (kStats / `ctl top`). TakeSample appends one tick to
+  // the ring; TelemetryLoop runs it every telemetry_interval_ms until
+  // shutdown. SampleRing copies the ring oldest-first, stamping each
+  // sample's age relative to `now`.
+  void TakeSample();
+  void TelemetryLoop();
+  std::vector<StatsSample> SampleRing(std::chrono::steady_clock::time_point now);
+  std::uint64_t UptimeMs() const;
 
   const core::AsteriaModel& model_;
   const ServerConfig config_;
@@ -164,6 +187,23 @@ class Server {
   std::mutex conns_mu_;
   std::vector<std::shared_ptr<Connection>> conns_;
   std::vector<std::thread> readers_;
+
+  // Telemetry sampler state. One raw tick: the wall position (steady clock)
+  // plus the cumulative totals at that instant; kStatsInfo converts the
+  // position into age_ms at reply time so the wire carries no absolute
+  // clocks.
+  struct RawSample {
+    std::chrono::steady_clock::time_point at{};
+    StatsSample totals;  // age_ms unused here (stamped on copy-out)
+  };
+  static constexpr std::size_t kTelemetryRingSlots = 64;
+  std::chrono::steady_clock::time_point start_time_{};
+  std::mutex telemetry_mu_;
+  std::condition_variable telemetry_cv_;
+  bool telemetry_stop_ = false;           // guarded by telemetry_mu_
+  std::vector<RawSample> telemetry_ring_; // guarded by telemetry_mu_
+  std::size_t telemetry_next_ = 0;        // ring write cursor (monotonic)
+  std::thread telemetry_thread_;
 };
 
 }  // namespace asteria::serve

@@ -184,6 +184,59 @@ std::uint64_t Histogram::Count() const {
   return total;
 }
 
+double HistogramValue::Percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based: the smallest r with r >= q*n.
+  const double exact = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (const auto& [lower, tally] : buckets) {
+    if (seen + tally < rank) {
+      seen += tally;
+      continue;
+    }
+    if (lower == 0) return 0.0;  // bucket 0 holds the exact value 0
+    // Bucket i covers [2^(i-1), 2^i); interpolate by the rank's position
+    // inside the bucket. The last bucket's ceiling 2^64 exceeds uint64, so
+    // width math is done in double.
+    const double width = static_cast<double>(lower);  // upper - lower == lower
+    const double frac = static_cast<double>(rank - seen) /
+                        static_cast<double>(tally);
+    return static_cast<double>(lower) + width * frac;
+  }
+  return static_cast<double>(max);  // unreachable when tallies sum to count
+}
+
+HistogramValue Histogram::SnapshotValue() const {
+  HistogramValue value;
+  value.name = name_;
+  std::uint64_t buckets[kBuckets] = {};
+  for (const HistStripe& stripe : stripes_) {
+    value.count += stripe.count.load(std::memory_order_relaxed);
+    value.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (value.count > 0) {
+    value.min = min_.load(std::memory_order_relaxed);
+    value.max = max_.load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] != 0) {
+      value.buckets.emplace_back(BucketLowerBound(b), buckets[b]);
+    }
+  }
+  value.p50 = value.Percentile(0.50);
+  value.p95 = value.Percentile(0.95);
+  value.p99 = value.Percentile(0.99);
+  return value;
+}
+
 void PublishPipelineReport(const PipelineReport& report) {
   if (report.stage.empty() && report.total() == 0) return;
   MetricsRegistry& registry = MetricsRegistry::Instance();
@@ -228,27 +281,8 @@ MetricsSnapshot SnapshotMetrics() {
       histograms[histogram->name()] = histogram;
     }
     for (const auto& [name, histogram] : histograms) {
-      HistogramValue value;
-      value.name = name;
-      std::uint64_t buckets[Histogram::kBuckets] = {};
-      for (const Histogram::HistStripe& stripe : histogram->stripes_) {
-        value.count += stripe.count.load(std::memory_order_relaxed);
-        value.sum += stripe.sum.load(std::memory_order_relaxed);
-        for (int b = 0; b < Histogram::kBuckets; ++b) {
-          buckets[b] += stripe.buckets[b].load(std::memory_order_relaxed);
-        }
-      }
-      if (value.count > 0) {
-        value.min = histogram->min_.load(std::memory_order_relaxed);
-        value.max = histogram->max_.load(std::memory_order_relaxed);
-      }
-      for (int b = 0; b < Histogram::kBuckets; ++b) {
-        if (buckets[b] != 0) {
-          value.buckets.emplace_back(Histogram::BucketLowerBound(b),
-                                     buckets[b]);
-        }
-      }
-      snapshot.histograms.push_back(std::move(value));
+      snapshot.histograms.push_back(histogram->SnapshotValue());
+      snapshot.histograms.back().name = name;
     }
     for (const auto& [stage, stats] : registry.pipeline) {
       snapshot.pipeline.push_back(
@@ -326,6 +360,9 @@ std::string MetricsSnapshot::ToJson() const {
     out += "      \"sum\": " + FormatU64(h.sum) + ",\n";
     out += "      \"min\": " + FormatU64(h.count ? h.min : 0) + ",\n";
     out += "      \"max\": " + FormatU64(h.count ? h.max : 0) + ",\n";
+    out += "      \"p50\": " + FormatJsonDouble(h.p50) + ",\n";
+    out += "      \"p95\": " + FormatJsonDouble(h.p95) + ",\n";
+    out += "      \"p99\": " + FormatJsonDouble(h.p99) + ",\n";
     out += "      \"buckets\": {";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out += ", ";
@@ -379,7 +416,8 @@ std::string MetricsSnapshot::ToText() const {
     out += table.ToString();
   }
   if (!histograms.empty()) {
-    TextTable table({"histogram", "count", "min", "max", "mean", "buckets"});
+    TextTable table({"histogram", "count", "min", "max", "mean", "p50", "p95",
+                     "p99", "buckets"});
     for (const HistogramValue& h : histograms) {
       std::string buckets;
       for (const auto& [bound, tally] : h.buckets) {
@@ -391,7 +429,8 @@ std::string MetricsSnapshot::ToText() const {
                   : 0.0;
       table.AddRow({h.name, FormatU64(h.count), FormatU64(h.count ? h.min : 0),
                     FormatU64(h.count ? h.max : 0), FormatDouble(mean, 1),
-                    buckets});
+                    FormatDouble(h.p50, 1), FormatDouble(h.p95, 1),
+                    FormatDouble(h.p99, 1), buckets});
     }
     out += "\n" + table.ToString();
   }

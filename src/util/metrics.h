@@ -37,6 +37,7 @@ namespace asteria::util {
 
 struct PipelineReport;
 struct MetricsSnapshot;
+struct HistogramValue;
 
 MetricsSnapshot SnapshotMetrics();
 void ResetMetricsForTest();
@@ -129,6 +130,12 @@ class Histogram {
 
   std::uint64_t Count() const;
 
+  // Merged view across all stripes (count/sum/min/max/buckets plus the
+  // p50/p95/p99 estimates) — the same value SnapshotMetrics() builds, but
+  // available per-histogram so e.g. the serve daemon can answer a kStats
+  // frame without snapshotting the whole registry.
+  HistogramValue SnapshotValue() const;
+
   const char* name() const { return name_; }
 
  private:
@@ -200,6 +207,19 @@ struct HistogramValue {
   std::uint64_t max = 0;
   // (bucket lower bound, tally) for every non-empty bucket, ascending.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  // Quantile estimates by upper-bound-of-bucket linear interpolation (see
+  // Percentile). Like bucket placement for "*_nanos" histograms, these are
+  // machine-dependent — determinism diffs must filter them.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  // Estimate of the q-th quantile (q in [0, 1]): finds the bucket holding
+  // the ceil(q * count)-th smallest observation and interpolates linearly
+  // between the bucket's lower bound and its upper bound (bucket 0 is the
+  // exact value 0; the quantile of an empty histogram is 0). An upper-bound
+  // bias: the true quantile is never above the estimate's bucket ceiling.
+  double Percentile(double q) const;
 };
 
 struct PipelineStageValue {

@@ -1,0 +1,435 @@
+#include "util/request_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace asteria::util {
+
+namespace {
+
+util::Counter c_records("request_log.records");
+util::Counter c_snapshot_skipped("request_log.snapshot_skipped");
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kError: return "error";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kCancelled: return "cancelled";
+    case RequestOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case RequestOutcome::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+void RequestRecord::SetName(const std::string& value) {
+  const std::size_t n =
+      value.size() < kRequestNameBytes - 1 ? value.size()
+                                           : kRequestNameBytes - 1;
+  std::memcpy(name, value.data(), n);
+  std::memset(name + n, 0, kRequestNameBytes - n);
+}
+
+RequestLog::RequestLog() : slots_(kCapacity) {}
+
+void RequestLog::Append(const RequestRecord& record) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kCapacity];
+  // Seqlock write: version goes odd (acquire the slot in readers' eyes),
+  // fields land relaxed, version goes even. Two writers lapping each other
+  // onto the same slot can interleave stores — readers detect that because
+  // the version moved — but that needs kCapacity appends during one write,
+  // which the ring size makes unreachable in practice.
+  slot.version.fetch_add(1, std::memory_order_acq_rel);
+  slot.trace_id.store(record.trace_id, std::memory_order_relaxed);
+  slot.end_nanos.store(record.end_nanos, std::memory_order_relaxed);
+  slot.op.store(record.op, std::memory_order_relaxed);
+  slot.outcome.store(static_cast<std::uint8_t>(record.outcome),
+                     std::memory_order_relaxed);
+  slot.batch_size.store(record.batch_size, std::memory_order_relaxed);
+  slot.queue_wait_nanos.store(record.queue_wait_nanos,
+                              std::memory_order_relaxed);
+  slot.encode_nanos.store(record.encode_nanos, std::memory_order_relaxed);
+  slot.score_nanos.store(record.score_nanos, std::memory_order_relaxed);
+  slot.reply_nanos.store(record.reply_nanos, std::memory_order_relaxed);
+  slot.scored_pairs.store(record.scored_pairs, std::memory_order_relaxed);
+  slot.pruned_pairs.store(record.pruned_pairs, std::memory_order_relaxed);
+  slot.has_deadline.store(record.has_deadline, std::memory_order_relaxed);
+  slot.deadline_slack_nanos.store(record.deadline_slack_nanos,
+                                  std::memory_order_relaxed);
+  std::uint64_t words[kRequestNameBytes / 8];
+  std::memcpy(words, record.name, sizeof(words));
+  for (std::size_t w = 0; w < kRequestNameBytes / 8; ++w) {
+    slot.name_words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.version.fetch_add(1, std::memory_order_release);
+  c_records.Increment();
+}
+
+std::vector<RequestRecord> RequestLog::Snapshot() const {
+  const std::uint64_t total = next_.load(std::memory_order_acquire);
+  const std::uint64_t first = total > kCapacity ? total - kCapacity : 0;
+  std::vector<RequestRecord> records;
+  records.reserve(static_cast<std::size_t>(total - first));
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % kCapacity];
+    RequestRecord record;
+    bool stable = false;
+    for (int attempt = 0; attempt < 4 && !stable; ++attempt) {
+      const std::uint64_t before = slot.version.load(std::memory_order_acquire);
+      if (before & 1) continue;  // writer inside
+      record.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      record.end_nanos = slot.end_nanos.load(std::memory_order_relaxed);
+      record.op = slot.op.load(std::memory_order_relaxed);
+      record.outcome = static_cast<RequestOutcome>(
+          slot.outcome.load(std::memory_order_relaxed));
+      record.batch_size = slot.batch_size.load(std::memory_order_relaxed);
+      record.queue_wait_nanos =
+          slot.queue_wait_nanos.load(std::memory_order_relaxed);
+      record.encode_nanos = slot.encode_nanos.load(std::memory_order_relaxed);
+      record.score_nanos = slot.score_nanos.load(std::memory_order_relaxed);
+      record.reply_nanos = slot.reply_nanos.load(std::memory_order_relaxed);
+      record.scored_pairs = slot.scored_pairs.load(std::memory_order_relaxed);
+      record.pruned_pairs = slot.pruned_pairs.load(std::memory_order_relaxed);
+      record.has_deadline = slot.has_deadline.load(std::memory_order_relaxed);
+      record.deadline_slack_nanos =
+          slot.deadline_slack_nanos.load(std::memory_order_relaxed);
+      std::uint64_t words[kRequestNameBytes / 8];
+      for (std::size_t w = 0; w < kRequestNameBytes / 8; ++w) {
+        words[w] = slot.name_words[w].load(std::memory_order_relaxed);
+      }
+      std::memcpy(record.name, words, sizeof(words));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      stable = slot.version.load(std::memory_order_relaxed) == before &&
+               before != 0;  // version 0 = never written
+    }
+    if (stable) {
+      record.name[kRequestNameBytes - 1] = '\0';
+      records.push_back(record);
+    } else {
+      c_snapshot_skipped.Increment();
+    }
+  }
+  return records;
+}
+
+void RequestLog::ResetForTest() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Slot& slot : slots_) {
+    slot.version.store(0, std::memory_order_relaxed);
+  }
+}
+
+RequestLog& GlobalRequestLog() {
+  static RequestLog* log = new RequestLog;  // never destroyed
+  return *log;
+}
+
+std::uint64_t MintTraceId() {
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t base =
+      (static_cast<std::uint64_t>(::getpid()) << 32) ^
+      static_cast<std::uint64_t>(TraceNowNanos());
+  std::uint64_t x = base + counter.fetch_add(1, std::memory_order_relaxed);
+  // SplitMix64 finalizer: a counter walk becomes a well-spread id stream.
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+// -- CRC-line framing -------------------------------------------------------
+
+namespace {
+
+// Same minimal JSON string codec as the alert log (src/ingest/ingest.cpp):
+// the writer controls the schema, so only quote, backslash, and control
+// bytes need escaping.
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buffer;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string RecordJson(const RequestRecord& record) {
+  char trace[24];
+  std::snprintf(trace, sizeof(trace), "%016llx",
+                static_cast<unsigned long long>(record.trace_id));
+  std::string json = "{\"trace\":\"";
+  json += trace;
+  json += "\",\"op\":";
+  AppendJsonString(record.op, &json);
+  json += ",\"outcome\":";
+  AppendJsonString(RequestOutcomeName(record.outcome), &json);
+  json += ",\"name\":";
+  AppendJsonString(record.name, &json);
+  json += ",\"batch\":" + std::to_string(record.batch_size);
+  json += ",\"queue_wait_nanos\":" + std::to_string(record.queue_wait_nanos);
+  json += ",\"encode_nanos\":" + std::to_string(record.encode_nanos);
+  json += ",\"score_nanos\":" + std::to_string(record.score_nanos);
+  json += ",\"reply_nanos\":" + std::to_string(record.reply_nanos);
+  json += ",\"scored_pairs\":" + std::to_string(record.scored_pairs);
+  json += ",\"pruned_pairs\":" + std::to_string(record.pruned_pairs);
+  json += ",\"deadline\":" + std::string(record.has_deadline ? "1" : "0");
+  json +=
+      ",\"slack_nanos\":" + std::to_string(record.deadline_slack_nanos) + "}";
+  return json;
+}
+
+bool ParseJsonString(const std::string& text, std::size_t* pos,
+                     std::string* out) {
+  if (*pos >= text.size() || text[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < text.size()) {
+    const char c = text[*pos];
+    if (c == '"') {
+      ++*pos;
+      return true;
+    }
+    if (c == '\\') {
+      if (*pos + 1 >= text.size()) return false;
+      const char esc = text[*pos + 1];
+      if (esc == '"' || esc == '\\') {
+        out->push_back(esc);
+        *pos += 2;
+        continue;
+      }
+      if (esc == 'u') {
+        if (*pos + 5 >= text.size()) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text[*pos + 2 + static_cast<std::size_t>(i)];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        if (value > 0xff) return false;  // the writer only emits \u00XX
+        out->push_back(static_cast<char>(value));
+        *pos += 6;
+        continue;
+      }
+      return false;
+    }
+    out->push_back(c);
+    ++*pos;
+  }
+  return false;
+}
+
+bool ExpectToken(const std::string& text, std::size_t* pos,
+                 const std::string& token) {
+  if (text.compare(*pos, token.size(), token) != 0) return false;
+  *pos += token.size();
+  return true;
+}
+
+bool ParseU64(const std::string& text, std::size_t* pos, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(text.c_str() + *pos, &end, 10);
+  if (errno != 0 || end == text.c_str() + *pos) return false;
+  *pos = static_cast<std::size_t>(end - text.c_str());
+  return true;
+}
+
+bool ParseI64(const std::string& text, std::size_t* pos, std::int64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoll(text.c_str() + *pos, &end, 10);
+  if (errno != 0 || end == text.c_str() + *pos) return false;
+  *pos = static_cast<std::size_t>(end - text.c_str());
+  return true;
+}
+
+bool ParseRecordJson(const std::string& json, ParsedRequestRecord* record) {
+  std::size_t pos = 0;
+  std::string trace;
+  if (!ExpectToken(json, &pos, "{\"trace\":") ||
+      !ParseJsonString(json, &pos, &trace) || trace.size() != 16) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  record->trace_id = std::strtoull(trace.c_str(), &end, 16);
+  if (errno != 0 || end != trace.c_str() + 16) return false;
+  std::uint64_t deadline = 0;
+  if (!ExpectToken(json, &pos, ",\"op\":") ||
+      !ParseJsonString(json, &pos, &record->op) ||
+      !ExpectToken(json, &pos, ",\"outcome\":") ||
+      !ParseJsonString(json, &pos, &record->outcome) ||
+      !ExpectToken(json, &pos, ",\"name\":") ||
+      !ParseJsonString(json, &pos, &record->name) ||
+      !ExpectToken(json, &pos, ",\"batch\":") ||
+      !ParseU64(json, &pos, &record->batch_size) ||
+      !ExpectToken(json, &pos, ",\"queue_wait_nanos\":") ||
+      !ParseU64(json, &pos, &record->queue_wait_nanos) ||
+      !ExpectToken(json, &pos, ",\"encode_nanos\":") ||
+      !ParseU64(json, &pos, &record->encode_nanos) ||
+      !ExpectToken(json, &pos, ",\"score_nanos\":") ||
+      !ParseU64(json, &pos, &record->score_nanos) ||
+      !ExpectToken(json, &pos, ",\"reply_nanos\":") ||
+      !ParseU64(json, &pos, &record->reply_nanos) ||
+      !ExpectToken(json, &pos, ",\"scored_pairs\":") ||
+      !ParseU64(json, &pos, &record->scored_pairs) ||
+      !ExpectToken(json, &pos, ",\"pruned_pairs\":") ||
+      !ParseU64(json, &pos, &record->pruned_pairs) ||
+      !ExpectToken(json, &pos, ",\"deadline\":") ||
+      !ParseU64(json, &pos, &deadline) || deadline > 1 ||
+      !ExpectToken(json, &pos, ",\"slack_nanos\":") ||
+      !ParseI64(json, &pos, &record->deadline_slack_nanos)) {
+    return false;
+  }
+  record->has_deadline = deadline == 1;
+  return ExpectToken(json, &pos, "}") && pos == json.size();
+}
+
+bool WriteBuffer(const std::string& path, const std::string& buffer,
+                 int open_flags, std::string* error) {
+  const int fd = ::open(path.c_str(), open_flags | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = path + ": open failed: " + std::strerror(errno);
+    return false;
+  }
+  std::size_t done = 0;
+  while (done < buffer.size()) {
+    const ssize_t n = ::write(fd, buffer.data() + done, buffer.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = path + ": write failed: " + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    *error = path + ": fsync failed: " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+std::string RequestRecordLine(const RequestRecord& record) {
+  const std::string json = RecordJson(record);
+  const std::uint32_t crc = Crc32(json.data(), json.size());
+  char head[16];
+  std::snprintf(head, sizeof(head), "SLOW %08x ", crc);
+  return head + json + "\n";
+}
+
+bool AppendRequestRecords(const std::string& path,
+                          const std::vector<RequestRecord>& records,
+                          std::string* error) {
+  if (records.empty()) return true;
+  std::string buffer;
+  for (const RequestRecord& record : records) {
+    buffer += RequestRecordLine(record);
+  }
+  // One O_APPEND write for the whole batch: concurrent appenders never
+  // interleave bytes, and a crash tears at most the final line — which the
+  // reader's per-line CRC catches.
+  return WriteBuffer(path, buffer, O_WRONLY | O_APPEND | O_CREAT, error);
+}
+
+bool WriteRequestLogFile(const std::string& path,
+                         const std::vector<RequestRecord>& records,
+                         std::string* error) {
+  std::string buffer;
+  for (const RequestRecord& record : records) {
+    buffer += RequestRecordLine(record);
+  }
+  return WriteBuffer(path, buffer, O_WRONLY | O_TRUNC | O_CREAT, error);
+}
+
+bool ReadRequestLogFile(const std::string& path,
+                        std::vector<ParsedRequestRecord>* records,
+                        int* corrupt_lines, std::string* error) {
+  records->clear();
+  if (corrupt_lines != nullptr) *corrupt_lines = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = path + ": open failed: " + std::strerror(errno);
+    return false;
+  }
+  std::string contents;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    *error = path + ": read failed";
+    return false;
+  }
+  std::size_t start = 0;
+  while (start < contents.size()) {
+    std::size_t newline = contents.find('\n', start);
+    // A final line with no terminating newline is a torn tail by definition
+    // (the writer always ends lines), so it lands in the corrupt count.
+    const bool terminated = newline != std::string::npos;
+    if (!terminated) newline = contents.size();
+    const std::string line = contents.substr(start, newline - start);
+    start = newline + 1;
+    if (line.empty()) continue;
+    bool good = false;
+    ParsedRequestRecord record;
+    // "SLOW " + 8 hex + " " + json, CRC over the json bytes.
+    if (terminated && line.size() > 14 && line.compare(0, 5, "SLOW ") == 0 &&
+        line[13] == ' ') {
+      char* end = nullptr;
+      errno = 0;
+      const std::string hex = line.substr(5, 8);
+      const unsigned long declared = std::strtoul(hex.c_str(), &end, 16);
+      if (errno == 0 && end == hex.c_str() + 8) {
+        const std::string json = line.substr(14);
+        const std::uint32_t actual = Crc32(json.data(), json.size());
+        if (actual == static_cast<std::uint32_t>(declared) &&
+            ParseRecordJson(json, &record)) {
+          good = true;
+        }
+      }
+    }
+    if (good) {
+      records->push_back(std::move(record));
+    } else if (corrupt_lines != nullptr) {
+      ++*corrupt_lines;
+    }
+  }
+  return true;
+}
+
+}  // namespace asteria::util

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/failpoint.h"
@@ -385,6 +386,83 @@ TEST_F(MetricsTest, ConcurrentMixedWritersAreSafe) {
   EXPECT_EQ(h->min, 0u);
   EXPECT_EQ(h->max, static_cast<std::uint64_t>(kItems - 1));
   EXPECT_EQ(span->count, static_cast<std::uint64_t>(kItems));
+}
+
+TEST_F(MetricsTest, HistogramPercentileMath) {
+  // Percentile() interpolates toward each bucket's UPPER bound: with only
+  // bucket membership known, the upper bound is the honest worst-case
+  // estimate (docs/OBSERVABILITY.md). Verified against a hand-built value.
+  HistogramValue h;
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);  // empty histogram
+
+  // 4 observations: one 0, two in [4,8), one in [256,512).
+  h.count = 4;
+  h.buckets = {{0, 1}, {4, 2}, {256, 1}};
+  EXPECT_DOUBLE_EQ(h.Percentile(0.25), 0.0);  // rank 1: the exact zero
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 6.0);  // rank 2: halfway into [4,8)
+  EXPECT_DOUBLE_EQ(h.Percentile(0.75), 8.0);  // rank 3: top of [4,8)
+  EXPECT_DOUBLE_EQ(h.Percentile(1.00), 512.0);  // rank 4: top of [256,512)
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 512.0);
+
+  // A single observation puts every percentile at its bucket's ceiling.
+  HistogramValue single;
+  single.count = 1;
+  single.buckets = {{4, 1}};
+  EXPECT_DOUBLE_EQ(single.Percentile(0.50), 8.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(0.99), 8.0);
+}
+
+TEST_F(MetricsTest, PercentilesPopulateSnapshotsAndJson) {
+  for (std::uint64_t i = 1; i <= 100; ++i) t_histogram.Observe(i);
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  const HistogramValue* h = FindHistogram(snapshot, "test.histogram");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->p50, 0.0);
+  EXPECT_LE(h->p50, h->p95);
+  EXPECT_LE(h->p95, h->p99);
+  EXPECT_LE(h->p99, static_cast<double>(h->max) * 2.0);  // upper-bound bias
+  // The ladder rides along in both renderings, so `asteria-cli stats` and
+  // the determinism-filtered JSON dumps see the same numbers.
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("p50"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST_F(MetricsTest, SpanOverflowSurfacesAsTraceDropped) {
+  // A thread that records more distinct stage names than its profile holds
+  // (kMaxStages) must drop the surplus and say so via the synthetic
+  // "trace.dropped" stage — never crash, never overwrite a claimed slot.
+  // The names are leaked on purpose: profiles keep the pointers forever,
+  // matching the string-literal contract.
+  auto* names = new std::vector<std::string>();
+  names->reserve(internal::StageProfile::kMaxStages + 1);
+  for (int i = 0; i <= internal::StageProfile::kMaxStages; ++i) {
+    names->push_back("overflow-stage-" + std::to_string(i));
+  }
+  std::thread recorder([names] {
+    internal::StageProfile& profile = internal::ThreadStageProfile();
+    for (const std::string& name : *names) profile.Record(name.c_str(), 1);
+  });
+  recorder.join();
+
+  const std::vector<StageTiming> spans = SnapshotSpans();
+  std::uint64_t dropped = 0;
+  std::uint64_t first = 0;
+  bool last_present = false;
+  for (const StageTiming& span : spans) {
+    if (span.stage == "trace.dropped") dropped = span.count;
+    if (span.stage == names->front()) first = span.count;
+    if (span.stage == names->back()) last_present = true;
+  }
+  EXPECT_EQ(first, 1u);          // slot 0 claimed and counted
+  EXPECT_FALSE(last_present);    // the 65th name never got a slot...
+  EXPECT_EQ(dropped, 1u);        // ...and was counted as dropped instead
 }
 
 }  // namespace

@@ -45,6 +45,7 @@
 #include "store/container.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
+#include "util/request_log.h"
 #include "util/rng.h"
 
 namespace asteria {
@@ -227,33 +228,38 @@ void PutLe64(std::uint64_t v, std::vector<std::uint8_t>* out) {
 
 // The byte-exact frame layout from docs/SERVING.md, hard-coded on purpose:
 // this is the conformance side of the spec, independent of WriteFrame. A
-// v2 header carries the trailing deadline field; any other version value
-// gets the bare 24-byte prefix (v1's layout, also what makes bad-version
-// frames byte-plausible).
+// v2 header carries the trailing deadline field, a v3 header deadline +
+// trace id; any other version value gets the bare 24-byte prefix (v1's
+// layout, also what makes bad-version frames byte-plausible).
 std::vector<std::uint8_t> BuildFrameBytes(std::uint32_t magic,
                                           std::uint32_t version,
                                           std::uint32_t type,
                                           const store::ChunkBuilder& payload,
-                                          std::uint64_t deadline_ms = 0) {
+                                          std::uint64_t deadline_ms = 0,
+                                          std::uint64_t trace_id = 0) {
   std::vector<std::uint8_t> frame;
   PutLe32(magic, &frame);
   PutLe32(version, &frame);
   PutLe32(type, &frame);
   PutLe32(store::Crc32(payload.bytes().data(), payload.size()), &frame);
   PutLe64(payload.size(), &frame);
-  if (version == serve::kProtocolVersion) PutLe64(deadline_ms, &frame);
+  if (version == serve::kProtocolVersion ||
+      version == serve::kProtocolVersionV2) {
+    PutLe64(deadline_ms, &frame);
+  }
+  if (version == serve::kProtocolVersion) PutLe64(trace_id, &frame);
   frame.insert(frame.end(), payload.bytes().begin(), payload.bytes().end());
   return frame;
 }
 
 std::vector<std::uint8_t> BuildTopKFrameBytes(
     const core::FunctionFeature& query, int k, std::uint64_t id = 7,
-    std::uint64_t deadline_ms = 0) {
+    std::uint64_t deadline_ms = 0, std::uint64_t trace_id = 0) {
   store::ChunkBuilder payload;
   serve::PutQuery(id, query, k, 0.0, serve::FrameType::kTopK, &payload);
   return BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
                          static_cast<std::uint32_t>(serve::FrameType::kTopK),
-                         payload, deadline_ms);
+                         payload, deadline_ms, trace_id);
 }
 
 bool SendAll(int fd, const std::vector<std::uint8_t>& bytes) {
@@ -1408,6 +1414,467 @@ TEST_F(ServeTest, MaxConnsRejectsTheExcessConnection) {
   serve::Client third;
   ASSERT_TRUE(third.Connect(socket_path, &error)) << error;
   EXPECT_TRUE(third.Ping(&error)) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Per-request tracing & live telemetry (docs/OBSERVABILITY.md "Per-request
+// tracing"): v3 trace-id plumbing, wide-event request-log completeness,
+// kStats, and the slow-query capture.
+
+int CountRecords(const std::vector<util::RequestRecord>& records,
+                 const char* op, util::RequestOutcome outcome) {
+  int count = 0;
+  for (const util::RequestRecord& record : records) {
+    if (std::strcmp(record.op, op) == 0 && record.outcome == outcome) ++count;
+  }
+  return count;
+}
+
+int CountOpRecords(const std::vector<util::RequestRecord>& records,
+                   const char* op) {
+  int count = 0;
+  for (const util::RequestRecord& record : records) {
+    if (std::strcmp(record.op, op) == 0) ++count;
+  }
+  return count;
+}
+
+// Records are cut AFTER the reply hits the wire, so a client that just read
+// its reply may be microseconds ahead of the daemon's record. Poll for the
+// expected count (~5s) instead of snapshotting immediately.
+void AwaitRecordCount(const char* op, util::RequestOutcome outcome,
+                      int want) {
+  for (int i = 0; i < 500; ++i) {
+    if (CountRecords(util::GlobalRequestLog().Snapshot(), op, outcome) >=
+        want) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << op << "/" << util::RequestOutcomeName(outcome)
+         << " never reached " << want << " records";
+}
+
+void AwaitOpRecordCount(const char* op, int want) {
+  for (int i = 0; i < 500; ++i) {
+    if (CountOpRecords(util::GlobalRequestLog().Snapshot(), op) >= want) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << op << " never reached " << want << " records";
+}
+
+TEST_F(ServeTest, OlderFrameVersionsStillAccepted) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 241);
+  const std::string index_path = TempPath("serve_ver.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_ver.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+
+  // A v1 frame is the bare 24-byte header, a v2 frame adds the deadline —
+  // both predate trace ids and both must still answer. The reply echoes the
+  // *request's* version (an old client would reject a v3 reply header as an
+  // unsupported version), so the trace field stays 0 (nothing to carry it).
+  std::string error;
+  for (const std::uint32_t version :
+       {serve::kProtocolVersionV1, serve::kProtocolVersionV2}) {
+    const int fd = ConnectRaw(socket_path);
+    ASSERT_GE(fd, 0) << "version=" << version;
+    store::ChunkBuilder payload;
+    serve::PutControl(/*id=*/5, &payload);
+    ASSERT_TRUE(SendAll(
+        fd, BuildFrameBytes(serve::kServeMagic, version,
+                            static_cast<std::uint32_t>(serve::FrameType::kPing),
+                            payload)));
+    serve::FrameType type = serve::FrameType::kError;
+    std::vector<std::uint8_t> reply;
+    std::uint64_t reply_trace = 99;
+    std::uint32_t reply_version = 0;
+    ASSERT_EQ(serve::ReadFrame(fd, &type, &reply, &error,
+                               /*deadline_ms=*/nullptr, /*io_timeout_ms=*/0,
+                               &reply_trace, &reply_version),
+              serve::ReadStatus::kFrame)
+        << "version=" << version << ": " << error;
+    EXPECT_EQ(type, serve::FrameType::kPong) << "version=" << version;
+    EXPECT_EQ(reply_version, version) << "reply must echo request version";
+    EXPECT_EQ(reply_trace, 0u) << "version=" << version;
+    std::uint64_t id = 0;
+    ASSERT_TRUE(serve::GetControl(reply, &id, &error)) << error;
+    EXPECT_EQ(id, 5u);
+    ::close(fd);
+  }
+}
+
+TEST_F(ServeTest, TraceIdIsEchoedOnReplies) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 251);
+  const std::string index_path = TempPath("serve_echo.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_echo.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+
+  const auto queries = SyntheticFeatures(1, 252);
+  const std::uint64_t trace = 0xfeedbeefcafe0123ull;
+  const int fd = ConnectRaw(socket_path);
+  ASSERT_GE(fd, 0);
+  std::string error;
+
+  // Query replies echo the request's trace id byte-for-byte.
+  ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[0], 3, /*id=*/7,
+                                              /*deadline_ms=*/0, trace)));
+  serve::FrameType type = serve::FrameType::kError;
+  std::vector<std::uint8_t> reply;
+  std::uint64_t reply_trace = 0;
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &reply, &error,
+                             /*deadline_ms=*/nullptr, /*io_timeout_ms=*/0,
+                             &reply_trace),
+            serve::ReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(type, serve::FrameType::kHits);
+  EXPECT_EQ(reply_trace, trace);
+
+  // Control replies echo it too (the reader path, not the worker path).
+  store::ChunkBuilder ping;
+  serve::PutControl(/*id=*/8, &ping);
+  ASSERT_TRUE(SendAll(
+      fd, BuildFrameBytes(serve::kServeMagic, serve::kProtocolVersion,
+                          static_cast<std::uint32_t>(serve::FrameType::kPing),
+                          ping, /*deadline_ms=*/0, trace + 1)));
+  reply_trace = 0;
+  ASSERT_EQ(serve::ReadFrame(fd, &type, &reply, &error,
+                             /*deadline_ms=*/nullptr, /*io_timeout_ms=*/0,
+                             &reply_trace),
+            serve::ReadStatus::kFrame)
+      << error;
+  EXPECT_EQ(type, serve::FrameType::kPong);
+  EXPECT_EQ(reply_trace, trace + 1);
+  ::close(fd);
+}
+
+TEST_F(ServeTest, ClientAndServerRecordsJoinOnTraceId) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 261);
+  const std::string index_path = TempPath("serve_join.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_join.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/2);
+  ASSERT_TRUE(harness.started());
+
+  util::GlobalRequestLog().ResetForTest();
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  const auto queries = SyntheticFeatures(1, 262);
+  std::vector<core::SearchHit> hits;
+  ASSERT_TRUE(client.TopK(queries[0], 3, &hits, &error)) << error;
+  AwaitRecordCount("serve.topk", util::RequestOutcome::kOk, 1);
+
+  // Both sides run in this process, so both halves of the join land in the
+  // same global ring: the client's per-attempt record and the daemon's
+  // per-request record must carry the SAME nonzero trace id.
+  const auto records = util::GlobalRequestLog().Snapshot();
+  const util::RequestRecord* client_side = nullptr;
+  const util::RequestRecord* server_side = nullptr;
+  for (const util::RequestRecord& record : records) {
+    if (std::strcmp(record.op, "client.topk") == 0) client_side = &record;
+    if (std::strcmp(record.op, "serve.topk") == 0) server_side = &record;
+  }
+  ASSERT_NE(client_side, nullptr);
+  ASSERT_NE(server_side, nullptr);
+  EXPECT_NE(client_side->trace_id, 0u);
+  EXPECT_EQ(client_side->trace_id, server_side->trace_id);
+  EXPECT_EQ(client_side->outcome, util::RequestOutcome::kOk);
+  EXPECT_STREQ(server_side->name, queries[0].name.c_str());
+  EXPECT_STREQ(client_side->name, queries[0].name.c_str());
+  // The attributed stage timings only exist server-side; the client's view
+  // is the whole round trip.
+  EXPECT_GE(server_side->batch_size, 1u);
+  EXPECT_GT(server_side->scored_pairs, 0u);
+  EXPECT_GT(client_side->reply_nanos, 0u);
+}
+
+TEST_F(ServeTest, RequestLogCompleteUnderShedDeadlineCancelAtEveryWorkerCount) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 271);
+  const std::string index_path = TempPath("serve_rlog.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const auto queries = SyntheticFeatures(12, 272);
+  std::string error;
+
+  for (const int workers : {1, 2, 8}) {
+    util::GlobalRequestLog().ResetForTest();
+    Arm("serve.stall_worker=always");
+    const std::string socket_path =
+        TempPath("serve_rlog" + std::to_string(workers) + ".sock");
+    Harness harness(model, index_path, socket_path, workers, /*batch_max=*/1,
+                    [](serve::ServerConfig* config) {
+                      config->queue_high_water = 2;
+                    });
+    ASSERT_TRUE(harness.started());
+
+    // Phase 1 — shed: a 12-query burst against stalled workers and a
+    // 2-deep admission gate. Count answered vs shed off the wire, then
+    // demand the ring holds exactly one record per query, each under the
+    // outcome the wire reported. Nothing double-cut, nothing dropped.
+    {
+      const int fd = ConnectRaw(socket_path);
+      ASSERT_GE(fd, 0);
+      for (std::uint64_t i = 0; i < queries.size(); ++i) {
+        ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[i], 3, 500 + i)));
+      }
+      int answered = 0;
+      int shed = 0;
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        serve::FrameType type = serve::FrameType::kPing;
+        std::vector<std::uint8_t> payload;
+        ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+                  serve::ReadStatus::kFrame)
+            << "workers=" << workers << ": " << error;
+        if (type == serve::FrameType::kHits) {
+          ++answered;
+        } else {
+          ASSERT_EQ(type, serve::FrameType::kOverloaded)
+              << "workers=" << workers;
+          ++shed;
+        }
+      }
+      ::close(fd);
+      ASSERT_GT(answered, 0) << "workers=" << workers;
+      ASSERT_GT(shed, 0) << "workers=" << workers;
+      AwaitRecordCount("serve.topk", util::RequestOutcome::kOk, answered);
+      AwaitRecordCount("serve.topk", util::RequestOutcome::kShed, shed);
+      const auto records = util::GlobalRequestLog().Snapshot();
+      EXPECT_EQ(CountRecords(records, "serve.topk", util::RequestOutcome::kOk),
+                answered)
+          << "workers=" << workers;
+      EXPECT_EQ(
+          CountRecords(records, "serve.topk", util::RequestOutcome::kShed),
+          shed)
+          << "workers=" << workers;
+    }
+
+    // Phase 2 — deadline: 1 ms budget vs a 250 ms stall. The expiry must
+    // cut exactly one deadline_exceeded record.
+    {
+      const int fd = ConnectRaw(socket_path);
+      ASSERT_GE(fd, 0);
+      ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[0], 3, /*id=*/600,
+                                                  /*deadline_ms=*/1)));
+      serve::FrameType type = serve::FrameType::kPing;
+      std::vector<std::uint8_t> payload;
+      ASSERT_EQ(serve::ReadFrame(fd, &type, &payload, &error),
+                serve::ReadStatus::kFrame)
+          << "workers=" << workers << ": " << error;
+      EXPECT_EQ(type, serve::FrameType::kDeadlineExceeded);
+      ::close(fd);
+      AwaitRecordCount("serve.topk", util::RequestOutcome::kDeadlineExceeded,
+                       1);
+      const auto records = util::GlobalRequestLog().Snapshot();
+      EXPECT_EQ(CountRecords(records, "serve.topk",
+                             util::RequestOutcome::kDeadlineExceeded),
+                1)
+          << "workers=" << workers;
+      // A deadline record keeps its budget accounting: deadline armed,
+      // slack spent (negative — it expired).
+      for (const util::RequestRecord& record : records) {
+        if (record.outcome == util::RequestOutcome::kDeadlineExceeded) {
+          EXPECT_TRUE(record.has_deadline);
+          EXPECT_LT(record.deadline_slack_nanos, 0);
+        }
+      }
+    }
+
+    // Phase 3 — cancel: queue four queries into the stall, vanish. Whether
+    // a given query lands cancelled (admitted, then the disconnect epoch
+    // bumped) or shed (queue already at the high-water mark) depends on how
+    // fast a worker drains the queue — but the ACCOUNTING must be exact:
+    // every query cuts exactly one record, and the per-outcome record
+    // tallies must equal the authoritative counters. At least the first
+    // query is always admitted (empty queue) and always cancelled (its
+    // triage runs a full stall after the EOF bump).
+    {
+      const auto before_records = util::GlobalRequestLog().Snapshot();
+      const int topk_before = CountOpRecords(before_records, "serve.topk");
+      const int cancelled_rec_before = CountRecords(
+          before_records, "serve.topk", util::RequestOutcome::kCancelled);
+      const int shed_rec_before = CountRecords(before_records, "serve.topk",
+                                               util::RequestOutcome::kShed);
+      const auto counters_before = util::SnapshotMetrics();
+      const int fd = ConnectRaw(socket_path);
+      ASSERT_GE(fd, 0);
+      for (std::uint64_t i = 0; i < 4; ++i) {
+        ASSERT_TRUE(SendAll(fd, BuildTopKFrameBytes(queries[i], 3, 700 + i)));
+      }
+      ::close(fd);
+      AwaitOpRecordCount("serve.topk", topk_before + 4);
+      const auto records = util::GlobalRequestLog().Snapshot();
+      const auto counters_after = util::SnapshotMetrics();
+      EXPECT_EQ(CountOpRecords(records, "serve.topk"), topk_before + 4)
+          << "workers=" << workers;
+      const int cancelled_records =
+          CountRecords(records, "serve.topk",
+                       util::RequestOutcome::kCancelled) -
+          cancelled_rec_before;
+      const int shed_records =
+          CountRecords(records, "serve.topk", util::RequestOutcome::kShed) -
+          shed_rec_before;
+      EXPECT_EQ(static_cast<std::uint64_t>(cancelled_records),
+                CounterValueOf(counters_after, "serve.cancelled") -
+                    CounterValueOf(counters_before, "serve.cancelled"))
+          << "workers=" << workers;
+      EXPECT_EQ(static_cast<std::uint64_t>(shed_records),
+                CounterValueOf(counters_after, "serve.shed") -
+                    CounterValueOf(counters_before, "serve.shed"))
+          << "workers=" << workers;
+      EXPECT_GE(cancelled_records, 1) << "workers=" << workers;
+      EXPECT_EQ(cancelled_records + shed_records, 4)
+          << "workers=" << workers;
+      // The shed record keeps its query name even though admission moved
+      // the request away before cutting it.
+      for (const util::RequestRecord& record : records) {
+        if (record.outcome == util::RequestOutcome::kShed) {
+          EXPECT_EQ(std::strncmp(record.name, "fn", 2), 0)
+              << "shed record lost its name";
+        }
+      }
+    }
+    util::ClearFailpoints();
+  }
+}
+
+TEST_F(ServeTest, StatsProbeReportsCountersPercentilesAndSamples) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(20, 281);
+  const std::string index_path = TempPath("serve_stats.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_stats.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/2,
+                  /*batch_max=*/8, [](serve::ServerConfig* config) {
+                    config->telemetry_interval_ms = 20;
+                  });
+  ASSERT_TRUE(harness.started());
+
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  const auto queries = SyntheticFeatures(5, 282);
+  std::vector<core::SearchHit> hits;
+  for (const core::FunctionFeature& query : queries) {
+    ASSERT_TRUE(client.TopK(query, 3, &hits, &error)) << error;
+  }
+  // Let the 20 ms sampler tick a few times past the post-query totals.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+
+  serve::StatsInfo info;
+  ASSERT_TRUE(client.Stats(&info, &error)) << error;
+  EXPECT_EQ(info.index_size, 20u);
+  EXPECT_EQ(info.queue_depth, 0u);
+  EXPECT_EQ(info.connections, 1u);
+  // Counter totals are process-cumulative (earlier tests in this binary
+  // also served traffic), so assert floors, not exact values.
+  EXPECT_GE(info.requests, 5u);
+  EXPECT_GE(info.replies, 5u);
+  // Five answered queries give the latency histogram real mass; the
+  // percentile ladder must be populated and ordered.
+  EXPECT_GT(info.p50_nanos, 0u);
+  EXPECT_LE(info.p50_nanos, info.p95_nanos);
+  EXPECT_LE(info.p95_nanos, info.p99_nanos);
+  // The sampler was armed at 20 ms: the ring holds the Start() baseline
+  // plus ticks, oldest first (ages non-increasing toward the newest).
+  ASSERT_GE(info.samples.size(), 2u);
+  for (std::size_t i = 1; i < info.samples.size(); ++i) {
+    EXPECT_LE(info.samples[i].age_ms, info.samples[i - 1].age_ms)
+        << "sample " << i << " out of order";
+  }
+  EXPECT_GE(info.samples.back().replies, 5u);
+}
+
+TEST_F(ServeTest, HealthProbeReportsCumulativeTotals) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(10, 291);
+  const std::string index_path = TempPath("serve_totals.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_totals.sock");
+  Harness harness(model, index_path, socket_path, /*workers=*/1);
+  ASSERT_TRUE(harness.started());
+
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  serve::HealthInfo before;
+  ASSERT_TRUE(client.Health(&before, &error)) << error;
+
+  const auto queries = SyntheticFeatures(3, 292);
+  std::vector<core::SearchHit> hits;
+  for (const core::FunctionFeature& query : queries) {
+    ASSERT_TRUE(client.TopK(query, 3, &hits, &error)) << error;
+  }
+  // The reply counter is bumped after the reply hits the wire, so a probe
+  // can race the last increment by one tick; poll for the settled total.
+  serve::HealthInfo after;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(client.Health(&after, &error)) << error;
+    if (after.answered >= before.answered + 3) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(after.answered, before.answered + 3);
+  EXPECT_GE(after.uptime_ms, before.uptime_ms);
+  // The totals are cumulative process counters (other tests in this binary
+  // may have shed or expired queries); this daemon saw clean traffic only.
+  EXPECT_EQ(after.shed, before.shed);
+  EXPECT_EQ(after.deadline_exceeded, before.deadline_exceeded);
+}
+
+TEST_F(ServeTest, SlowQueryCaptureSpillsAnsweredQueries) {
+  const core::AsteriaModel model(SmallModelConfig());
+  const auto features = SyntheticFeatures(15, 301);
+  const std::string index_path = TempPath("serve_slow.idx");
+  SaveIndexSnapshot(model, features, index_path);
+  const std::string socket_path = TempPath("serve_slow.sock");
+  const std::string slow_log = TempPath("serve_slow.jsonl");
+  ::unlink(slow_log.c_str());
+  // Threshold 0 = every answered query spills, so the capture is
+  // deterministic without having to manufacture a genuinely slow query.
+  Harness harness(model, index_path, socket_path, /*workers=*/2,
+                  /*batch_max=*/8, [&slow_log](serve::ServerConfig* config) {
+                    config->slow_query_ms = 0;
+                    config->slow_log_path = slow_log;
+                  });
+  ASSERT_TRUE(harness.started());
+
+  serve::Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect(socket_path, &error)) << error;
+  const auto queries = SyntheticFeatures(3, 302);
+  std::vector<core::SearchHit> hits;
+  for (const core::FunctionFeature& query : queries) {
+    ASSERT_TRUE(client.TopK(query, 3, &hits, &error)) << error;
+  }
+
+  // The spill happens after the reply hits the wire; poll for it.
+  std::vector<util::ParsedRequestRecord> records;
+  int corrupt = 0;
+  for (int i = 0; i < 500 && records.size() < queries.size(); ++i) {
+    records.clear();
+    corrupt = 0;
+    util::ReadRequestLogFile(slow_log, &records, &corrupt, &error);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(records.size(), queries.size());
+  EXPECT_EQ(corrupt, 0);
+  for (const util::ParsedRequestRecord& record : records) {
+    EXPECT_EQ(record.op, "serve.topk");
+    EXPECT_EQ(record.outcome, "ok");
+    EXPECT_NE(record.trace_id, 0u);  // minted by the client, carried v3
+    EXPECT_EQ(record.name.substr(0, 2), "fn");
+    EXPECT_GT(record.batch_size, 0u);
+    EXPECT_GT(record.scored_pairs, 0u);
+    EXPECT_FALSE(record.has_deadline);
+  }
 }
 
 }  // namespace

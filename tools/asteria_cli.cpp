@@ -37,11 +37,18 @@
 //                                              and report per-query latency
 //                                              (the warm path of
 //                                              scripts/bench_serve.sh)
-//   asteria-cli ctl <ping|health|reload|shutdown> --socket=PATH
+//   asteria-cli ctl <ping|health|top|reload|shutdown> --socket=PATH
 //                                              control a running daemon;
 //                                              `health` prints index size,
 //                                              queue depth, connection count,
-//                                              and whether it is draining
+//                                              uptime, answered/shed/deadline
+//                                              totals, and whether it is
+//                                              draining; `top` prints the
+//                                              live-telemetry view (QPS,
+//                                              shed/deadline rates from the
+//                                              sampler ring, p50/p95/p99
+//                                              latency) — with --repeat=N it
+//                                              refreshes N times
 //   asteria-cli fw-gen <out_dir> <count> [seed]
 //                                              pack synthetic firmware images
 //                                              as <out_dir>/img-<seed>-<i>.fw
@@ -100,15 +107,22 @@
 // A --metrics_out=FILE flag writes the process metrics snapshot (counters,
 // histograms, per-stage span times, pipeline reports) as JSON after the
 // command finishes, whatever its exit code — see docs/OBSERVABILITY.md.
+//
+// A --trace_out=FILE flag dumps this process's wide-event request log (one
+// CRC-framed record per client attempt / ingest op) the same way — the
+// client half of the per-request trace join (docs/OBSERVABILITY.md
+// "Per-request tracing").
 #include <sys/stat.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "binary/disasm.h"
@@ -131,6 +145,7 @@
 #include "util/timer.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/request_log.h"
 #include "util/table.h"
 
 namespace {
@@ -140,6 +155,7 @@ using namespace asteria;
 int g_threads = 1;           // set by --threads=N
 bool g_fast_encoder = true;  // set by --fast_encoder={0,1}
 std::string g_metrics_out;   // set by --metrics_out=FILE
+std::string g_trace_out;     // set by --trace_out=FILE
 std::string g_socket;        // set by --socket=PATH (query/ctl/ingest)
 long g_repeat = 1;           // set by --repeat=N (query latency loops)
 std::string g_batch_file;    // set by --batch_file=FILE (index-query)
@@ -175,7 +191,8 @@ int Usage() {
       "index-build|index-info|index-query|query|ctl|run|failpoints|"
       "fw-gen|ingest|delta-search|alerts> "
       "[--threads=N] [--fast_encoder=0|1] [--failpoints=SPEC] "
-      "[--log_level=LEVEL] [--metrics_out=FILE] [--socket=PATH] "
+      "[--log_level=LEVEL] [--metrics_out=FILE] [--trace_out=FILE] "
+      "[--socket=PATH] "
       "[--repeat=N] [--batch_file=FILE] [--weights=FILE] [--drop_dir=DIR] "
       "[--compact] "
       "[--deadline_ms=N] [--retries=N] [--retry_seed=N] ...\n"
@@ -747,17 +764,75 @@ int CmdCtl(int argc, char** argv) {
     }
     std::printf(
         "health: index_size=%llu queue_depth=%llu connections=%llu "
-        "draining=%d\n",
+        "draining=%d uptime_ms=%llu answered=%llu shed=%llu "
+        "deadline_exceeded=%llu\n",
         static_cast<unsigned long long>(info.index_size),
         static_cast<unsigned long long>(info.queue_depth),
         static_cast<unsigned long long>(info.connections),
-        info.draining ? 1 : 0);
+        info.draining ? 1 : 0,
+        static_cast<unsigned long long>(info.uptime_ms),
+        static_cast<unsigned long long>(info.answered),
+        static_cast<unsigned long long>(info.shed),
+        static_cast<unsigned long long>(info.deadline_exceeded));
+    return 0;
+  } else if (action == "top" || action == "stats") {
+    // Live telemetry view: one kStats round trip per refresh; rates come
+    // from differencing the two newest sampler ticks, so they reflect the
+    // daemon's own cadence, not this client's.
+    for (long iter = 0; iter < g_repeat; ++iter) {
+      if (iter > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(500));
+      }
+      serve::StatsInfo info;
+      if (!client.Stats(&info, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      double qps = 0.0, shed_per_s = 0.0, deadline_per_s = 0.0;
+      if (info.samples.size() >= 2) {
+        const serve::StatsSample& older =
+            info.samples[info.samples.size() - 2];
+        const serve::StatsSample& newer = info.samples.back();
+        const double dt = (static_cast<double>(older.age_ms) -
+                           static_cast<double>(newer.age_ms)) /
+                          1000.0;
+        if (dt > 0) {
+          qps = static_cast<double>(newer.replies - older.replies) / dt;
+          shed_per_s = static_cast<double>(newer.shed - older.shed) / dt;
+          deadline_per_s = static_cast<double>(newer.deadline_exceeded -
+                                               older.deadline_exceeded) /
+                           dt;
+        }
+      }
+      std::printf(
+          "top: uptime_ms=%llu index_size=%llu connections=%llu "
+          "queue_depth=%llu\n"
+          "     requests=%llu replies=%llu shed=%llu cancelled=%llu "
+          "deadline_exceeded=%llu\n"
+          "     p50_ms=%.3f p95_ms=%.3f p99_ms=%.3f samples=%zu\n"
+          "     qps=%.1f shed_per_s=%.1f deadline_per_s=%.1f\n",
+          static_cast<unsigned long long>(info.uptime_ms),
+          static_cast<unsigned long long>(info.index_size),
+          static_cast<unsigned long long>(info.connections),
+          static_cast<unsigned long long>(info.queue_depth),
+          static_cast<unsigned long long>(info.requests),
+          static_cast<unsigned long long>(info.replies),
+          static_cast<unsigned long long>(info.shed),
+          static_cast<unsigned long long>(info.cancelled),
+          static_cast<unsigned long long>(info.deadline_exceeded),
+          static_cast<double>(info.p50_nanos) / 1e6,
+          static_cast<double>(info.p95_nanos) / 1e6,
+          static_cast<double>(info.p99_nanos) / 1e6, info.samples.size(),
+          qps, shed_per_s, deadline_per_s);
+      std::fflush(stdout);
+    }
     return 0;
   } else if (action == "reload") ok = client.Reload(&error);
   else if (action == "shutdown") ok = client.Shutdown(&error);
   else {
     std::fprintf(stderr,
-                 "ctl: unknown action '%s' (ping|health|reload|shutdown)\n",
+                 "ctl: unknown action '%s' "
+                 "(ping|health|top|reload|shutdown)\n",
                  action.c_str());
     return 2;
   }
@@ -1034,6 +1109,15 @@ int main(int argc, char** argv) {
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
       --i;
+    } else if (std::strncmp(argv[i], "--trace_out=", 12) == 0) {
+      g_trace_out = argv[i] + 12;
+      if (g_trace_out.empty()) {
+        std::fprintf(stderr, "bad --trace_out value (expected a path)\n");
+        return 2;
+      }
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
     } else if (std::strncmp(argv[i], "--socket=", 9) == 0) {
       g_socket = argv[i] + 9;
       if (g_socket.empty()) {
@@ -1151,6 +1235,15 @@ int main(int argc, char** argv) {
     std::string error;
     if (!util::SnapshotMetrics().WriteJson(g_metrics_out, &error)) {
       std::fprintf(stderr, "cannot write --metrics_out: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!g_trace_out.empty()) {
+    std::string error;
+    if (!util::WriteRequestLogFile(g_trace_out,
+                                   util::GlobalRequestLog().Snapshot(),
+                                   &error)) {
+      std::fprintf(stderr, "cannot write --trace_out: %s\n", error.c_str());
       if (rc == 0) rc = 1;
     }
   }

@@ -5,7 +5,8 @@
 //                 [--queue_high_water=N] [--io_timeout_ms=N] [--max_conns=N]
 //                 [--drain_timeout_ms=N] [--fast_encoder=0|1]
 //                 [--failpoints=SPEC] [--log_level=LEVEL]
-//                 [--metrics_out=FILE]
+//                 [--metrics_out=FILE] [--slow_query_ms=N] [--slow_log=FILE]
+//                 [--telemetry_interval_ms=N] [--request_log_out=FILE]
 //
 // Loads the model weights and the index once — --index may be a monolithic
 // INDX snapshot or a MANI shard manifest (sharded results are bitwise
@@ -20,7 +21,11 @@
 // Flags go through util::Flags, so every numeric value is parsed strictly
 // (trailing garbage, overflow, and non-finite input are errors, never
 // silently clamped). --metrics_out writes the serve.* counters, latency
-// histograms, and span profile as JSON when the daemon exits.
+// histograms, and span profile as JSON when the daemon exits;
+// --request_log_out dumps the wide-event request ring the same way
+// (docs/OBSERVABILITY.md "Per-request tracing"). --slow_query_ms arms the
+// live slow-query capture: answered queries at or past the threshold spill
+// to --slow_log as the daemon runs.
 #include <csignal>
 #include <cstdio>
 #include <string>
@@ -31,6 +36,7 @@
 #include "util/flags.h"
 #include "util/log.h"
 #include "util/metrics.h"
+#include "util/request_log.h"
 
 namespace {
 
@@ -81,6 +87,17 @@ int main(int argc, char** argv) {
   flags.DefineString("log_level", "info", "debug|info|warn|error");
   flags.DefineString("metrics_out", "",
                      "write the metrics snapshot JSON here on exit");
+  flags.DefineInt("slow_query_ms", -1,
+                  "spill answered queries at or past this latency to "
+                  "--slow_log (0 = every answered query; negative = off)");
+  flags.DefineString("slow_log", "",
+                     "slow-query capture file (CRC-framed SLOW lines; "
+                     "required when --slow_query_ms >= 0)");
+  flags.DefineInt("telemetry_interval_ms", 500,
+                  "telemetry sampler cadence for kStats / ctl top "
+                  "(0 = sampler off)");
+  flags.DefineString("request_log_out", "",
+                     "dump the wide-event request ring here on exit");
   if (!flags.Parse(argc, argv)) return 2;
 
   const std::string socket_path = flags.GetString("socket");
@@ -99,10 +116,18 @@ int main(int argc, char** argv) {
   }
   if (flags.GetInt("queue_high_water") < 0 ||
       flags.GetInt("io_timeout_ms") < 0 || flags.GetInt("max_conns") < 0 ||
-      flags.GetInt("drain_timeout_ms") < 0) {
+      flags.GetInt("drain_timeout_ms") < 0 ||
+      flags.GetInt("telemetry_interval_ms") < 0) {
     std::fprintf(stderr,
                  "asteria-serve: --queue_high_water, --io_timeout_ms, "
-                 "--max_conns, and --drain_timeout_ms must be >= 0\n");
+                 "--max_conns, --drain_timeout_ms, and "
+                 "--telemetry_interval_ms must be >= 0\n");
+    return 2;
+  }
+  if (flags.GetInt("slow_query_ms") >= 0 && flags.GetString("slow_log").empty()) {
+    std::fprintf(stderr,
+                 "asteria-serve: --slow_query_ms needs --slow_log=FILE to "
+                 "spill into\n");
     return 2;
   }
   util::LogLevel level = util::LogLevel::kInfo;
@@ -146,6 +171,10 @@ int main(int argc, char** argv) {
   config.io_timeout_ms = static_cast<int>(flags.GetInt("io_timeout_ms"));
   config.max_conns = static_cast<int>(flags.GetInt("max_conns"));
   config.drain_timeout_ms = static_cast<int>(flags.GetInt("drain_timeout_ms"));
+  config.slow_query_ms = static_cast<int>(flags.GetInt("slow_query_ms"));
+  config.slow_log_path = flags.GetString("slow_log");
+  config.telemetry_interval_ms =
+      static_cast<int>(flags.GetInt("telemetry_interval_ms"));
 
   serve::Server server(model, config);
   std::string error;
@@ -165,6 +194,15 @@ int main(int argc, char** argv) {
     if (!util::SnapshotMetrics().WriteJson(flags.GetString("metrics_out"),
                                            &error)) {
       std::fprintf(stderr, "cannot write --metrics_out: %s\n", error.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  if (!flags.GetString("request_log_out").empty()) {
+    if (!util::WriteRequestLogFile(flags.GetString("request_log_out"),
+                                   util::GlobalRequestLog().Snapshot(),
+                                   &error)) {
+      std::fprintf(stderr, "cannot write --request_log_out: %s\n",
+                   error.c_str());
       if (rc == 0) rc = 1;
     }
   }
